@@ -1,0 +1,47 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation (§4), prints the same rows/series the paper reports, writes
+them under ``benchmarks/results/``, and asserts the *shape* criteria
+from DESIGN.md §3 (who wins, by roughly what factor, where curves take
+off).  Absolute values come from the calibrated Blue Pacific stand-in
+(see EXPERIMENTS.md for paper-vs-measured).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Sequence
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def format_table(title: str, header: Sequence[str], rows: List[Sequence]) -> str:
+    """Render one paper-style table as aligned text."""
+    cells = [[str(h) for h in header]] + [
+        [f"{v:.3f}" if isinstance(v, float) else str(v) for v in row]
+        for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(header))]
+    lines = [title, "=" * len(title)]
+    for i, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines) + "\n"
+
+
+@pytest.fixture
+def report():
+    """Print a result table and persist it under benchmarks/results/."""
+
+    def _report(name: str, title: str, header, rows) -> str:
+        text = format_table(title, header, rows)
+        print("\n" + text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text)
+        return text
+
+    return _report

@@ -1,0 +1,59 @@
+"""Ablation A4 — internal-process placement (§2.6 design choice).
+
+The paper recommends running MRNet internal processes "on resources
+distinct from those running the application processes" because
+co-location (1) contends for CPU/network and (2) creates *imbalance*
+that a bulk-synchronous application amplifies through its slowest
+process.  This bench sweeps the tool's sampling load over a 64-process
+application and reports the application's BSP iteration slowdown under
+the two placements.
+"""
+
+import pytest
+
+from repro.sim.colocation import simulate_colocation
+from repro.topology import balanced_tree_for
+
+N_APP = 64
+FANOUT = 4
+RATES = [0, 40, 160, 320, 640, 1280]  # tool messages/s per back-end
+
+
+def run_sweep():
+    dedicated = balanced_tree_for(FANOUT, N_APP)  # one host per process
+    colocated = balanced_tree_for(
+        FANOUT, N_APP, hosts=[f"app{i:03d}" for i in range(N_APP)]
+    )
+    rows = []
+    for rate in RATES:
+        ded = simulate_colocation(dedicated, rate)
+        col = simulate_colocation(colocated, rate)
+        rows.append(
+            (rate, ded.slowdown, col.slowdown, col.imbalance,
+             max(col.tool_utilization.values(), default=0.0))
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation-colocation")
+def test_ablation_placement(benchmark, report):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    report(
+        "ablation_colocation",
+        "Ablation A4: application BSP-iteration slowdown vs tool load "
+        "(64 app processes, 4-way tree)",
+        ["msgs/s/BE", "dedicated", "co-located", "imbalance", "max-node-util"],
+        rows,
+    )
+    by_rate = {r[0]: r for r in rows}
+    # Dedicated placement never perturbs the application.
+    assert all(r[1] == pytest.approx(1.0) for r in rows)
+    # Idle tool: co-location harmless too.
+    assert by_rate[0][2] == pytest.approx(1.0)
+    # Loaded tool: co-location slows the app, monotonically in load.
+    colocated = [r[2] for r in rows]
+    assert colocated == sorted(colocated)
+    assert by_rate[640][2] > 1.1
+    # The slowdown is an imbalance effect: only internal-process hosts
+    # are slowed, yet the barrier makes everyone wait.
+    assert by_rate[640][3] > 1.05

@@ -1,0 +1,41 @@
+"""Figure 7a — MRNet micro-benchmark: tool instantiation latency.
+
+Paper series: "Flat", "4-way Fanout", "8-way Fanout" over 0–600
+back-ends; flat climbs to ≈ 850–900 s (serialized rsh) while the tree
+curves grow "quite slowly" because MRNet creates the process tree in
+parallel (§4.1).
+"""
+
+import pytest
+
+from repro.evaluation import DEFAULT_BACKEND_SWEEP, fig7a_instantiation
+
+BACKENDS = DEFAULT_BACKEND_SWEEP
+
+
+def run_sweep():
+    _, rows = fig7a_instantiation(BACKENDS)
+    return rows
+
+
+@pytest.mark.benchmark(group="fig7a")
+def test_fig7a_instantiation_latency(benchmark, report):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    report(
+        "fig7a_startup_latency",
+        "Figure 7a: tool instantiation latency (seconds)",
+        ["back-ends", "flat", "4-way", "8-way"],
+        rows,
+    )
+    by_n = {r[0]: r for r in rows}
+    # Shape: flat grows ~linearly with a large per-launch constant and
+    # lands in the paper's 750–1000 s band at 600 back-ends.
+    assert 750 < by_n[600][1] < 1000
+    assert by_n[600][1] / by_n[128][1] == pytest.approx(600 / 128, rel=0.15)
+    # Trees stay below ~60 s and grow sub-linearly.
+    for n, flat, t4, t8 in rows:
+        assert t4 <= flat + 1e-9 and t8 <= flat + 1e-9
+    assert by_n[600][2] < 60 and by_n[600][3] < 60
+    assert by_n[600][2] / by_n[128][2] < 2.0
+    # Crossover: trees win decisively beyond ~64 back-ends.
+    assert by_n[600][1] / by_n[600][2] > 15

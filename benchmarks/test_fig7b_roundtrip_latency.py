@@ -1,0 +1,41 @@
+"""Figure 7b — MRNet micro-benchmark: round-trip latency.
+
+One broadcast followed by one data reduction, measured through the
+discrete-event simulator.  Paper shape: the flat topology serializes
+point-to-point transfers at the front-end so latency grows linearly to
+≈ 1.2–1.4 s at 600 back-ends; multi-level trees stay roughly level
+(well under 0.2 s) because transfers proceed in parallel down/up the
+tree (§4.1).
+"""
+
+import pytest
+
+from repro.evaluation import DEFAULT_BACKEND_SWEEP, fig7b_roundtrip
+
+BACKENDS = DEFAULT_BACKEND_SWEEP
+
+
+def run_sweep():
+    _, rows = fig7b_roundtrip(BACKENDS)
+    return rows
+
+
+@pytest.mark.benchmark(group="fig7b")
+def test_fig7b_roundtrip_latency(benchmark, report):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    report(
+        "fig7b_roundtrip_latency",
+        "Figure 7b: round-trip latency of broadcast + reduction (seconds)",
+        ["back-ends", "flat", "4-way", "8-way"],
+        rows,
+    )
+    by_n = {r[0]: r for r in rows}
+    # Flat: linear growth into the paper's ≈1.2–1.4 s band at 600.
+    assert 0.9 < by_n[600][1] < 1.7
+    assert by_n[600][1] / by_n[128][1] == pytest.approx(600 / 128, rel=0.35)
+    # Trees: nearly level, far below flat at scale.
+    assert by_n[600][2] < 0.25 and by_n[600][3] < 0.25
+    assert by_n[600][2] / max(by_n[64][2], 1e-9) < 3
+    assert by_n[600][1] / by_n[600][3] > 10
+    # At tiny scale all topologies are comparable (curves start together).
+    assert by_n[4][1] == pytest.approx(by_n[4][2], rel=0.5)

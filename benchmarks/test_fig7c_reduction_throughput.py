@@ -1,0 +1,45 @@
+"""Figure 7c — MRNet micro-benchmark: data reduction throughput.
+
+A stream of back-to-back reductions.  Paper shape: every topology
+starts near the harness-bound ≈ 80 ops/s; the flat topology collapses
+hyperbolically (the front-end handles every message of every wave and
+"cannot start a subsequent reduction before the previous operation
+completes"), while moderate-fan-out trees pipeline waves and hold
+throughput high out to 600 back-ends (§4.1).
+"""
+
+import pytest
+
+from repro.evaluation import DEFAULT_BACKEND_SWEEP, fig7c_throughput
+
+BACKENDS = DEFAULT_BACKEND_SWEEP
+WAVES = 60
+
+
+def run_sweep():
+    _, rows = fig7c_throughput(BACKENDS, waves=WAVES)
+    return rows
+
+
+@pytest.mark.benchmark(group="fig7c")
+def test_fig7c_reduction_throughput(benchmark, report):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    report(
+        "fig7c_reduction_throughput",
+        "Figure 7c: data reduction throughput (operations/second)",
+        ["back-ends", "flat", "4-way", "8-way"],
+        rows,
+    )
+    by_n = {r[0]: r for r in rows}
+    # All topologies start together near the ≈80 ops/s peak.
+    assert 55 < by_n[4][1] < 90
+    assert by_n[4][1] == pytest.approx(by_n[4][3], rel=0.2)
+    # Flat decays hyperbolically below 12 ops/s by 600 back-ends.
+    flat_curve = [r[1] for r in rows]
+    assert all(a >= b - 1e-9 for a, b in zip(flat_curve, flat_curve[1:]))
+    assert by_n[600][1] < 12
+    # Trees hold high, roughly level throughput at scale.
+    assert by_n[600][2] > 55 and by_n[600][3] > 55
+    assert by_n[600][3] / by_n[16][3] > 0.75
+    # Crossover factor at 600: trees win by >5x.
+    assert by_n[600][3] / by_n[600][1] > 5

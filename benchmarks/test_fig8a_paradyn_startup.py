@@ -1,0 +1,46 @@
+"""Figure 8a — Paradyn start-up latency vs. number of daemons.
+
+Series: "No MRNet", "4-way", "8-way", "16-way Fanout" over 0–512
+daemons, preparing to monitor smg2000.  Paper shape: without MRNet the
+serialized front-end communication makes latency take off
+super-linearly to ≈ 70 s at 512 daemons; with MRNet the curves are
+"much flatter and growth is nearly linear", 3.4× faster at 512 with
+the eight-way tree (§4.2.1).
+"""
+
+import pytest
+
+from repro.evaluation import DEFAULT_DAEMON_SWEEP, fig8a_startup
+
+DAEMONS = DEFAULT_DAEMON_SWEEP
+
+
+def run_sweep():
+    _, rows = fig8a_startup(DAEMONS)
+    return rows
+
+
+@pytest.mark.benchmark(group="fig8a")
+def test_fig8a_paradyn_startup_latency(benchmark, report):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    report(
+        "fig8a_paradyn_startup",
+        "Figure 8a: Paradyn start-up latency (seconds)",
+        ["daemons", "no-MRNet", "4-way", "8-way", "16-way"],
+        rows,
+    )
+    by_d = {r[0]: r for r in rows}
+    # Paper anchors at 512: ≈70 s without MRNet, ≈20 s with 8-way (3.4×).
+    flat512, t8_512 = by_d[512][1], by_d[512][3]
+    assert 55 < flat512 < 85
+    assert 2.8 < flat512 / t8_512 < 4.0
+    # No-MRNet: super-linear take-off (doubling daemons > doubles time).
+    assert by_d[512][1] / by_d[256][1] > 2.0
+    # MRNet curves: much flatter, sub-linear doubling.
+    for col in (2, 3, 4):
+        assert by_d[512][col] / by_d[256][col] < 1.8
+    # The benefit grows with daemon count (§4.2.1).
+    ratios = [by_d[d][1] / by_d[d][3] for d in DAEMONS]
+    assert ratios == sorted(ratios)
+    # Fan-out choice matters little (curves bunch together).
+    assert abs(by_d[512][2] - by_d[512][4]) / by_d[512][2] < 0.25

@@ -1,0 +1,65 @@
+"""Figure 8b — Paradyn start-up latency by activity, 512 daemons.
+
+Per-activity comparison of "No MRNet" vs "8-way Fanout".  Paper shape:
+every activity that routes data through MRNet (bold names in the
+figure) shrinks substantially; "Parse Executable" (pure parallel
+daemon work) and the point-to-point representative transfers ("Report
+Code Resources", "Report Callgraph") are unchanged — their traffic
+still flows through intermediate MRNet processes, whose overhead "was
+observed to be negligible" (§4.2.1).  Clock skew detection benefits
+most, being the only activity with repeated collective rounds.
+"""
+
+import pytest
+
+from repro.paradyn.startup import ACTIVITIES, simulate_startup
+from repro.topology import balanced_tree_for
+
+DAEMONS = 512
+
+
+def run_breakdown():
+    flat = simulate_startup(DAEMONS)
+    tree = simulate_startup(DAEMONS, balanced_tree_for(8, DAEMONS))
+    return flat, tree
+
+
+@pytest.mark.benchmark(group="fig8b")
+def test_fig8b_startup_by_activity(benchmark, report):
+    flat, tree = benchmark.pedantic(run_breakdown, rounds=1, iterations=1)
+    rows = []
+    for activity in ACTIVITIES:
+        name = activity.name
+        mark = "*" if activity.uses_mrnet else " "
+        rows.append(
+            (
+                f"{mark}{name}",
+                flat.per_activity[name],
+                tree.per_activity[name],
+                flat.per_activity[name] / max(tree.per_activity[name], 1e-9),
+            )
+        )
+    rows.append(("TOTAL", flat.total, tree.total, flat.total / tree.total))
+    report(
+        "fig8b_startup_activities",
+        f"Figure 8b: start-up latency by activity, {DAEMONS} daemons "
+        "(* = uses MRNet aggregation/concatenation)",
+        ["activity", "no-MRNet (s)", "8-way (s)", "speedup"],
+        rows,
+    )
+    # Every MRNet-aided activity shows a significant latency reduction.
+    for activity in ACTIVITIES:
+        f, t = flat.per_activity[activity.name], tree.per_activity[activity.name]
+        if activity.uses_mrnet:
+            assert f / t > 1.5, f"{activity.name} should improve with MRNet"
+        else:
+            assert f == pytest.approx(t), f"{activity.name} should be unchanged"
+    # Clock skew detection benefits most (§4.2.1).
+    speedups = {
+        a.name: flat.per_activity[a.name] / tree.per_activity[a.name]
+        for a in ACTIVITIES
+        if a.uses_mrnet
+    }
+    assert max(speedups, key=speedups.get) == "Find Clock Skew"
+    # Overall ≈3.4× (paper's headline for this configuration).
+    assert 2.8 < flat.total / tree.total < 4.0

@@ -1,0 +1,64 @@
+"""Figure 9 (a–d) — fraction of offered load serviced by the front-end.
+
+Four panels (1, 8, 16, 32 metrics), daemons 4–256, curves "Flat",
+"4-way", "8-way", "16-way Fanout"; offered load is 5·D·M samples/s.
+Paper shape: the flat configuration degrades quickly as daemons ×
+metrics grow (≈ 60 % at 64 daemons × 32 metrics; < 5 % at 256 × 32),
+while every MRNet fan-out processes the entire offered load at every
+tested configuration (§4.2.2).
+"""
+
+import pytest
+
+from repro.sim.frontend_load import frontend_load_fraction, offered_rate
+from repro.topology import balanced_tree_for
+
+DAEMONS = [4, 16, 64, 128, 256]
+METRICS = [1, 8, 16, 32]
+FANOUTS = [4, 8, 16]
+
+
+def run_sweep():
+    panels = {}
+    for m in METRICS:
+        rows = []
+        for d in DAEMONS:
+            row = [d, frontend_load_fraction(d, m)]
+            for f in FANOUTS:
+                row.append(
+                    frontend_load_fraction(d, m, balanced_tree_for(f, d))
+                )
+            row.append(offered_rate(d, m))
+            rows.append(tuple(row))
+        panels[m] = rows
+    return panels
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_fraction_of_offered_load(benchmark, report):
+    panels = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    for m, rows in panels.items():
+        report(
+            f"fig9_{m}metrics",
+            f"Figure 9 ({m} metric{'s' if m > 1 else ''}): fraction of "
+            "offered load serviced by the front-end",
+            ["daemons", "flat", "4-way", "8-way", "16-way", "offered/s"],
+            rows,
+        )
+    flat = {m: {r[0]: r[1] for r in rows} for m, rows in panels.items()}
+    # Paper anchors: ≈60% at 64×32; <5% at 256×32.
+    assert 0.5 < flat[32][64] < 0.7
+    assert flat[32][256] < 0.05
+    # With few metrics the flat front-end keeps up everywhere tested.
+    assert all(flat[1][d] == 1.0 for d in DAEMONS)
+    # Degradation is monotone in both daemons and metrics.
+    for m in METRICS:
+        vals = [flat[m][d] for d in DAEMONS]
+        assert all(a >= b for a, b in zip(vals, vals[1:]))
+    for d in DAEMONS:
+        vals = [flat[m][d] for m in METRICS]
+        assert all(a >= b for a, b in zip(vals, vals[1:]))
+    # Every MRNet fan-out holds the full offered load at every config.
+    for m, rows in panels.items():
+        for row in rows:
+            assert row[2] == row[3] == row[4] == 1.0

@@ -1,0 +1,54 @@
+"""Live threaded-runtime micro-benchmarks (not a paper figure).
+
+These time the *real* Python implementation — packet codec, comm-node
+threads, filters — at laptop scale.  They exist to keep the functional
+runtime honest (wall-clock regressions show up here) and to document
+why the paper's 512-back-end throughput results are regenerated on the
+discrete-event simulator instead: the GIL serializes comm-node
+threads, so Python wall-clock numbers do not scale the way the
+original C++ system does (DESIGN.md, substitution table).
+"""
+
+import pytest
+
+from repro.core import Network
+from repro.core.batching import decode_batch, encode_batch
+from repro.core.packet import Packet
+from repro.filters import TFILTER_SUM
+from repro.topology import balanced_tree
+
+
+@pytest.mark.benchmark(group="live-runtime")
+def test_live_packet_codec_roundtrip(benchmark):
+    packets = [
+        Packet(1, i, "%d %lf %s %ad", (i, i * 0.5, f"be{i}", tuple(range(8))))
+        for i in range(64)
+    ]
+
+    def roundtrip():
+        return decode_batch(encode_batch(packets))
+
+    out = benchmark(roundtrip)
+    assert out == packets
+
+
+@pytest.mark.benchmark(group="live-runtime")
+def test_live_reduction_roundtrip_16_backends(benchmark):
+    """One broadcast + sum-reduction through a real 4x4 tree."""
+    net = Network(balanced_tree(4, 2))
+    comm = net.get_broadcast_communicator()
+    stream = net.new_stream(comm, transform=TFILTER_SUM)
+    backends = [net.backends[r] for r in sorted(net.backends)]
+
+    def one_reduction():
+        stream.send("%d", 0)
+        for be in backends:
+            _, bstream = be.recv(timeout=10)
+            bstream.send("%d", 1)
+        return stream.recv(timeout=10).values[0]
+
+    try:
+        total = benchmark(one_reduction)
+        assert total == 16
+    finally:
+        net.shutdown()

@@ -1,0 +1,101 @@
+"""Calibration sensitivity — do the paper's claims survive being wrong
+about the testbed?
+
+The simulated cluster's constants (gap, overheads, rsh cost, per-byte
+cost) are calibrated to Blue Pacific anchors, but the *claims* we
+reproduce are structural: serialized flat tools collapse, pipelined
+trees don't.  This bench perturbs every LogGP/cluster constant by
+±50 % and re-checks the qualitative assertions of Figures 7a–7c — if
+a shape claim only held at the calibrated point, the reproduction
+would be an artifact of tuning, not of the architecture.
+"""
+
+import pytest
+
+from repro.sim.cluster import BLUE_PACIFIC
+from repro.sim.collectives import CollectiveSim
+from repro.sim.instantiation import simulate_instantiation
+from repro.topology import balanced_tree_for, flat_topology
+
+SCALES = [0.5, 1.0, 2.0]
+N = 512
+
+
+def perturbed_params():
+    """ClusterParams grid: every knob at 0.5×, 1×, 2× (one at a time,
+    plus the all-scaled corners)."""
+    out = []
+    base = BLUE_PACIFIC
+    for s in SCALES:
+        logp = base.logp
+        out.append(("g", s, base.with_(logp=logp.with_(g=logp.g * s))))
+        out.append(("o", s, base.with_(logp=logp.with_(o=logp.o * s))))
+        out.append(("L", s, base.with_(logp=logp.with_(L=logp.L * s))))
+        out.append(("G", s, base.with_(logp=logp.with_(G=logp.G * s))))
+        out.append(("rsh", s, base.with_(rsh_cost=base.rsh_cost * s)))
+        out.append(
+            ("fe-op", s, base.with_(frontend_op_cost=base.frontend_op_cost * s))
+        )
+        out.append(
+            (
+                "all",
+                s,
+                base.with_(
+                    logp=logp.with_(
+                        g=logp.g * s, o=logp.o * s, L=logp.L * s, G=logp.G * s
+                    ),
+                    rsh_cost=base.rsh_cost * s,
+                    frontend_op_cost=base.frontend_op_cost * s,
+                ),
+            )
+        )
+    return out
+
+
+def check_shapes(params):
+    """The Figures 7a/7b/7c qualitative claims under one calibration."""
+    flat = flat_topology(N)
+    tree = balanced_tree_for(8, N)
+    inst_ratio = (
+        simulate_instantiation(flat, params).latency
+        / simulate_instantiation(tree, params).latency
+    )
+    rt_ratio = (
+        CollectiveSim(flat, params).roundtrip().latency
+        / CollectiveSim(tree, params).roundtrip().latency
+    )
+    thr_flat = CollectiveSim(flat, params).pipelined_reductions(waves=30).throughput
+    thr_tree = CollectiveSim(tree, params).pipelined_reductions(waves=30).throughput
+    return inst_ratio, rt_ratio, thr_tree / max(thr_flat, 1e-12)
+
+
+@pytest.mark.benchmark(group="sensitivity")
+def test_shape_claims_robust_to_calibration(benchmark, report):
+    results = benchmark.pedantic(
+        lambda: [
+            (knob, scale, *check_shapes(params))
+            for knob, scale, params in perturbed_params()
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (f"{knob} x{scale:g}", inst, rt, thr)
+        for knob, scale, inst, rt, thr in results
+    ]
+    report(
+        "sensitivity",
+        f"Calibration sensitivity at {N} back-ends: tree-vs-flat advantage "
+        "(instantiation, round-trip, throughput ratios) under ±2x knob "
+        "perturbations",
+        ["perturbation", "inst-ratio", "rt-ratio", "thr-ratio"],
+        rows,
+    )
+    for knob, scale, inst_ratio, rt_ratio, thr_ratio in results:
+        label = f"{knob} x{scale}"
+        # Figure 7a: trees instantiate at least 10x faster at 512.
+        assert inst_ratio > 10, f"instantiation claim broke under {label}"
+        # Figure 7b: trees at least 5x lower round-trip latency.
+        assert rt_ratio > 5, f"round-trip claim broke under {label}"
+        # Figure 7c: trees sustain at least 5x the flat throughput.
+        assert thr_ratio > 5, f"throughput claim broke under {label}"

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Clock-skew detection demo (paper §3.1 / §4.2.1).
+
+Runs the two-phase MRNet clock-skew algorithm and the direct
+front-end-to-daemon baseline over the simulated cluster (skewed host
+clocks, jittered asymmetric links — see repro.sim.clocks), on the
+paper's configuration: 64 daemons under a four-way fan-out, three-level
+topology.  Prints per-daemon detected-vs-true skews and the error
+summary the paper reports (MRNet ≈ 10.5 % average error vs ≈ 17.5 %
+for direct communication).
+
+Run:  python examples/clock_skew_demo.py
+"""
+
+import numpy as np
+
+from repro.paradyn.clockskew import run_skew_experiment
+from repro.topology import analyze, balanced_tree
+
+
+def main() -> None:
+    topology = balanced_tree(fanout=4, depth=3)  # 64 daemons, 3 levels
+    print(f"topology: {analyze(topology).describe()}")
+
+    result = run_skew_experiment(
+        topology, local_trials=20, direct_trials=100, seed=2026
+    )
+
+    print(f"\n{'daemon':>6}  {'true (ms)':>10}  {'MRNet (ms)':>10}  "
+          f"{'direct (ms)':>11}")
+    for rank in sorted(result.true_skew)[:10]:
+        print(f"{rank:6d}  {result.true_skew[rank] * 1e3:10.3f}  "
+              f"{result.mrnet_skew[rank] * 1e3:10.3f}  "
+              f"{result.direct_skew[rank] * 1e3:11.3f}")
+    print(f"... ({len(result.true_skew)} daemons total)")
+
+    m_mean, m_std = result.summary("mrnet")
+    d_mean, d_std = result.summary("direct")
+    print("\nerror vs the globally-synchronous (oracle) clock:")
+    print(f"  MRNet two-phase scheme : mean {m_mean:5.1f}%  sigma {m_std:6.1f}")
+    print(f"  direct communication   : mean {d_mean:5.1f}%  sigma {d_std:6.1f}")
+    print("  (paper, Blue Pacific   : mean  10.5%  sigma   80.4  vs  "
+          "17.5%  sigma 78.9)")
+
+    # Averaged over several runs the tree-based scheme wins, while one
+    # run shows the usual variance.
+    means = []
+    for seed in range(10):
+        r = run_skew_experiment(topology, seed=seed)
+        means.append((r.summary("mrnet")[0], r.summary("direct")[0]))
+    m_avg = float(np.mean([m for m, _ in means]))
+    d_avg = float(np.mean([d for _, d in means]))
+    print(f"\nover 10 runs: MRNet {m_avg:.1f}% vs direct {d_avg:.1f}% "
+          f"average error")
+    assert m_avg < d_avg
+    print("OK: the tree-based scheme is more accurate and needs only "
+          "O(log n) sequential exchanges per level instead of O(n) at "
+          "the front-end")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""A cluster-administration tool on MRNet (the paper's second use case).
+
+The paper pitches MRNet for "scalable performance and system
+administration tools".  This example is the admin half: a front-end
+managing 64 nodes through an 8-way tree, using
+
+* **concatenation** to inventory every node (hostname, kernel, RAM);
+* the custom **equivalence-class filter** to audit configuration
+  drift — nodes checksum their config, the tree bins them, and the
+  admin fetches full configs only from one representative per class;
+* the custom **histogram filter** to summarise per-node load averages
+  into a fixed set of bins without shipping raw values; and
+* **min/max/sum reductions** for a fleet health line.
+
+Run:  python examples/cluster_admin.py
+"""
+
+import random
+
+from repro import Network, TFILTER_CONCAT, TFILTER_MAX, TFILTER_MIN, TFILTER_SUM
+from repro.filters import HistogramFilter
+from repro.paradyn.eqclass import EquivalenceClasses, EquivalenceClassFilter
+from repro.topology import balanced_tree
+
+N_NODES = 64
+TAG_INVENTORY, TAG_CONFIG, TAG_LOAD, TAG_HEALTH = 200, 201, 202, 203
+
+
+def node_config(rank: int) -> str:
+    """This node's config; a handful of stragglers run an old sshd."""
+    sshd = "sshd-9.6p1" if rank % 17 else "sshd-9.3p2"
+    return f"kernel=6.1.0 {sshd} ntp=on selinux=enforcing"
+
+
+def main() -> None:
+    rng = random.Random(7)
+    with Network(balanced_tree(fanout=8, depth=2)) as net:
+        comm = net.get_broadcast_communicator()
+        # Load the two custom filters network-wide.
+        eq_id = net.registry.register_transform(EquivalenceClassFilter())
+        hist_id = net.registry.register_transform(
+            HistogramFilter(edges=[0.5, 1.0, 2.0, 4.0], name="load-histogram")
+        )
+
+        # --- inventory: concatenation --------------------------------
+        inventory = net.new_stream(comm, transform=TFILTER_CONCAT)
+        inventory.send("%d", 0, tag=TAG_INVENTORY)
+        for rank, be in sorted(net.backends.items()):
+            _, bstream = be.recv(timeout=10)
+            bstream.send(
+                "%s", f"node{rank:03d}|linux-6.1.0|{16 + 16 * (rank % 2)}GiB"
+            )
+        (rows,) = inventory.recv_values(timeout=10)
+        print(f"inventory: {len(rows)} nodes, e.g. {rows[0]}")
+
+        # --- config audit: equivalence classes ------------------------
+        audit = net.new_stream(comm, transform=eq_id)
+        audit.send("%d", 0, tag=TAG_CONFIG)
+        configs = {}
+        for rank, be in sorted(net.backends.items()):
+            _, bstream = be.recv(timeout=10)
+            cfg = node_config(rank)
+            configs[rank] = cfg
+            checksum = hash(cfg) & (2**63 - 1)
+            bstream.send("%uld %ud", checksum, rank)
+        classes = EquivalenceClasses.from_packet(audit.recv(timeout=10))
+        print(f"\nconfig audit: {classes.num_classes} configuration classes")
+        for checksum, members in sorted(
+            classes.classes.items(), key=lambda kv: -len(kv[1])
+        ):
+            rep = members[0]
+            print(f"  class of {len(members):2d} nodes "
+                  f"(rep node{rep:03d}): {configs[rep]}")
+        assert classes.num_classes == 2  # the drifted sshd stands out
+
+        # --- load histogram: custom reduction --------------------------
+        loads = {
+            rank: rng.lognormvariate(0.0, 0.8) for rank in sorted(net.backends)
+        }
+        hist = net.new_stream(comm, transform=hist_id)
+        hist.send("%d", 0, tag=TAG_LOAD)
+        for rank, be in sorted(net.backends.items()):
+            _, bstream = be.recv(timeout=10)
+            bstream.send("%lf", loads[rank])
+        (counts,) = hist.recv_values(timeout=10)
+        labels = ["<0.5", "0.5-1", "1-2", "2-4", ">=4"]
+        print("\nload-average histogram (aggregated in-tree):")
+        for label, count in zip(labels, counts):
+            print(f"  {label:>6}: {'#' * count} ({count})")
+        assert sum(counts) == N_NODES
+
+        # --- health line: stock reductions -----------------------------
+        stats = {}
+        for name, fid in (("min", TFILTER_MIN), ("max", TFILTER_MAX),
+                          ("sum", TFILTER_SUM)):
+            s = net.new_stream(comm, transform=fid)
+            s.send("%d", 0, tag=TAG_HEALTH)
+            for rank, be in sorted(net.backends.items()):
+                _, bstream = be.recv(timeout=10)
+                bstream.send("%lf", loads[rank])
+            (stats[name],) = s.recv_values(timeout=10)
+        print(f"\nfleet load: min={stats['min']:.2f} "
+              f"max={stats['max']:.2f} mean={stats['sum'] / N_NODES:.2f}")
+        assert abs(stats["sum"] - sum(loads.values())) < 1e-9
+        print("\nOK: admin sweep complete over a 73-process tree")
+
+
+if __name__ == "__main__":
+    main()

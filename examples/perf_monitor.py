@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Paradyn-style performance monitoring (paper §3).
+
+Runs the complete Paradyn-over-MRNet flow on a live threaded network:
+
+1. scalable tool start-up — concatenated self-reports, MDL broadcast
+   with equivalence-class metric exchange, code/call-graph checksum
+   classes with representative-only full transfers, done-reduction;
+2. distributed performance data aggregation — a CPU-utilization metric
+   whose samples are produced by daemons with *skewed clocks* and
+   *asynchronous sampling*, aggregated in the tree by the custom
+   time-aligned Performance Data Aggregation filter (Figure 6).
+
+Run:  python examples/perf_monitor.py
+"""
+
+from repro.core import Network
+from repro.paradyn import (
+    ParadynDaemon,
+    ParadynFrontEnd,
+    default_metrics,
+    synthetic_executable,
+)
+from repro.topology import balanced_tree
+
+N_BACKENDS = 16
+INTERVAL = 0.5  # output sample interval (seconds of application time)
+ROUNDS = 6  # sampling rounds per daemon
+
+
+def main() -> None:
+    topology = balanced_tree(fanout=4, depth=2)
+    with Network(topology) as net:
+        exe = synthetic_executable()  # the smg2000 stand-in: 434 functions
+        daemons = [
+            ParadynDaemon(
+                net.backends[rank],
+                exe,
+                clock_offset=0.002 * rank,  # per-host clock skew
+            )
+            for rank in sorted(net.backends)
+        ]
+        frontend = ParadynFrontEnd(net)
+
+        print(f"== tool start-up over {net} ==")
+        report = frontend.run_startup(daemons, default_metrics(8))
+        print(f"daemons reported:      {len(report.daemons)}")
+        print(f"code eq classes:       {report.code_classes.num_classes} "
+              f"(homogeneous cluster -> full data from "
+              f"{len(report.code_resources)} representative)")
+        rep_rank, functions = next(iter(report.code_resources.items()))
+        print(f"functions from rank {rep_rank}: {len(functions)} "
+              f"(e.g. {functions[0]})")
+        print(f"machine resources:     {len(report.machine_resources)}")
+        print(f"metrics supported:     {len(report.metric_names)}")
+        print(f"done reductions:       {report.done_count}")
+
+        print("\n== monitoring: global cpu_utilization ==")
+        stream = frontend.enable_metric(
+            daemons, "cpu_utilization", interval=INTERVAL, op="sum"
+        )
+        print(f"metric stream {stream.stream_id} bound to the "
+              f"time-aligned aggregation filter at every tree level")
+
+        # Each daemon reports utilization 0.5 (0.5 cpu-seconds per second)
+        # with its own sampling period.  Timestamps come from the
+        # daemon's skewed clock; the daemons correct them with the skew
+        # the front-end detected at start-up — which is exactly what
+        # the skew-detection phase is for.
+        for d in daemons:
+            detected = report.clock_skews[d.rank]
+            period = INTERVAL * (0.9 + 0.0125 * d.rank)  # asynchronous rates
+            t = 0.0
+            while t < ROUNDS * INTERVAL:
+                end = t + period
+                d.emit_sample(
+                    "cpu_utilization", 0.5 * period, t - detected, end - detected
+                )
+                t = end
+
+        samples = frontend.collect_samples("cpu_utilization", ROUNDS - 1)
+        print(f"\n{'interval':>16}  {'sum util':>9}  {'per daemon':>10}")
+        for s in samples:
+            rate = s.value / (s.end - s.start)
+            print(f"[{s.start:5.2f}, {s.end:5.2f})  {rate:9.3f}  "
+                  f"{rate / N_BACKENDS:10.4f}")
+        # Every daemon contributes exactly 0.5 utilization per interval,
+        # i.e. 0.5 * INTERVAL cpu-seconds.
+        expected = 0.5 * INTERVAL * N_BACKENDS
+        assert all(abs(s.value - expected) < 1e-6 for s in samples)
+        print("\nOK: every global sample shows utilization 0.5 x 16 "
+              "despite skewed clocks and asynchronous sampling")
+
+
+if __name__ == "__main__":
+    main()

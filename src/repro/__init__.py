@@ -1,0 +1,91 @@
+"""PyMRNet: a Python reproduction of MRNet (Roth, Arnold & Miller, SC'03).
+
+MRNet is a software-based multicast/reduction network for scalable
+parallel tools: a tree of internal processes between a tool's
+front-end and back-ends that multicasts control downstream and
+aggregates data upstream through synchronization and transformation
+filters.
+
+Quick start (Figure 2's float-maximum tool)::
+
+    from repro import Network, TFILTER_MAX
+    from repro.topology import balanced_tree
+
+    with Network(balanced_tree(4, 2)) as net:
+        comm = net.get_broadcast_communicator()
+        stream = net.new_stream(comm, transform=TFILTER_MAX)
+        stream.send("%d", 17)                      # broadcast the init
+        for rank, be in net.backends.items():      # drive the back-ends
+            pkt, bstream = be.recv()
+            bstream.send("%lf", float(rank))
+        (maximum,) = stream.recv_values()
+
+Subpackages: :mod:`repro.core` (packets, streams, comm nodes, Network
+API), :mod:`repro.filters`, :mod:`repro.topology`,
+:mod:`repro.transport`, :mod:`repro.sim` (the Blue Pacific stand-in
+that regenerates the paper's figures), :mod:`repro.paradyn` (the §3
+real-world tool integration).
+"""
+
+from .core import (
+    BackEnd,
+    BackEndStream,
+    Communicator,
+    FormatError,
+    FormatString,
+    Network,
+    NetworkError,
+    NetworkShutdown,
+    Packet,
+    PacketDecodeError,
+    Stream,
+    StreamClosed,
+    parse_format,
+)
+from .filters import (
+    SFILTER_DONTWAIT,
+    SFILTER_TIMEOUT,
+    SFILTER_WAITFORALL,
+    TFILTER_AVG,
+    TFILTER_CONCAT,
+    TFILTER_MAX,
+    TFILTER_MIN,
+    TFILTER_NULL,
+    TFILTER_SUM,
+    TFILTER_WAVG,
+    FilterError,
+    FilterState,
+    make_filter,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Network",
+    "NetworkError",
+    "Communicator",
+    "Stream",
+    "StreamClosed",
+    "BackEnd",
+    "BackEndStream",
+    "NetworkShutdown",
+    "Packet",
+    "PacketDecodeError",
+    "FormatString",
+    "FormatError",
+    "parse_format",
+    "FilterError",
+    "FilterState",
+    "make_filter",
+    "TFILTER_NULL",
+    "TFILTER_MIN",
+    "TFILTER_MAX",
+    "TFILTER_SUM",
+    "TFILTER_AVG",
+    "TFILTER_WAVG",
+    "TFILTER_CONCAT",
+    "SFILTER_WAITFORALL",
+    "SFILTER_TIMEOUT",
+    "SFILTER_DONTWAIT",
+    "__version__",
+]

@@ -1,0 +1,152 @@
+"""Command-line entry points: ``python -m repro <command>``.
+
+Commands:
+
+* ``figures [IDS...] [--out DIR]`` — regenerate paper figure data
+  (all by default) and print the tables; optionally persist them.
+* ``demo`` — run the Figure 2 float-maximum tool end to end.
+* ``topology HOSTFILE [...]`` — the automatic configuration generator
+  (same flags as ``python -m repro.topology.autogen``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+
+def _format_table(title: str, header: Sequence[str], rows) -> str:
+    cells = [[str(h) for h in header]] + [
+        [f"{v:.3f}" if isinstance(v, float) else str(v) for v in row]
+        for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(header))]
+    lines = [title, "=" * len(title)]
+    for i, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+_TITLES = {
+    "fig4": "Figure 4: balanced vs unbalanced topologies (16 back-ends)",
+    "fig7a": "Figure 7a: tool instantiation latency (seconds)",
+    "fig7b": "Figure 7b: round-trip latency (seconds)",
+    "fig7c": "Figure 7c: reduction throughput (ops/second)",
+    "fig8a": "Figure 8a: Paradyn start-up latency (seconds)",
+    "fig8b": "Figure 8b: start-up latency by activity, 512 daemons",
+    "skew": "Clock-skew accuracy (paper: 10.5% vs 17.5%)",
+}
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from . import evaluation
+
+    available = {
+        "fig4": evaluation.fig4_topologies,
+        "fig7a": evaluation.fig7a_instantiation,
+        "fig7b": evaluation.fig7b_roundtrip,
+        "fig7c": evaluation.fig7c_throughput,
+        "fig8a": evaluation.fig8a_startup,
+        "fig8b": evaluation.fig8b_activities,
+        "skew": evaluation.skew_accuracy,
+    }
+    wanted = args.ids or list(available) + ["fig9"]
+    out_dir: Optional[Path] = Path(args.out) if args.out else None
+    if out_dir:
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    def emit(name: str, title: str, header, rows) -> None:
+        text = _format_table(title, header, rows)
+        print(text + "\n")
+        if out_dir:
+            (out_dir / f"{name}.txt").write_text(text + "\n")
+
+    for fig in wanted:
+        if fig == "fig9":
+            from .evaluation import fig9_frontend_load
+
+            for m, (header, rows) in fig9_frontend_load().items():
+                emit(
+                    f"fig9-{m}metrics",
+                    f"Figure 9 ({m} metrics): fraction of offered load",
+                    header,
+                    rows,
+                )
+        elif fig in available:
+            header, rows = available[fig]()
+            emit(fig, _TITLES[fig], header, rows)
+        else:
+            print(f"unknown figure id {fig!r}; choices: "
+                  f"{', '.join(list(available) + ['fig9'])}", file=sys.stderr)
+            return 2
+    return 0
+
+
+def cmd_demo(_args: argparse.Namespace) -> int:
+    from . import Network, TFILTER_MAX
+    from .topology import balanced_tree
+
+    with Network(balanced_tree(4, 2)) as net:
+        comm = net.get_broadcast_communicator()
+        stream = net.new_stream(comm, transform=TFILTER_MAX)
+        stream.send("%d", 17)
+        for rank, backend in sorted(net.backends.items()):
+            _, bstream = backend.recv(timeout=10)
+            bstream.send("%lf", float(rank) * 1.5)
+        (maximum,) = stream.recv_values(timeout=10)
+    n = 16
+    print(f"float-max over {n} back-ends through a 4x4 tree: {maximum}")
+    assert maximum == (n - 1) * 1.5
+    print("OK")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PyMRNet: reproduce the MRNet (SC'03) system and paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig = sub.add_parser("figures", help="regenerate paper figure data")
+    p_fig.add_argument("ids", nargs="*", help="figure ids (default: all)")
+    p_fig.add_argument("--out", help="directory to persist tables into")
+    p_fig.set_defaults(func=cmd_figures)
+
+    p_demo = sub.add_parser("demo", help="run the Figure 2 quickstart tool")
+    p_demo.set_defaults(func=cmd_demo)
+
+    p_topo = sub.add_parser(
+        "topology", help="generate an MRNet configuration for a partition"
+    )
+    p_topo.add_argument("hostfile")
+    p_topo.add_argument("--fanout", type=int, default=8)
+    p_topo.add_argument("--backends", type=int, default=None)
+    p_topo.add_argument("--flat", action="store_true")
+    p_topo.add_argument(
+        "--placement", choices=["dedicated", "colocated"], default="dedicated"
+    )
+
+    def cmd_topology(args: argparse.Namespace) -> int:
+        from .topology.autogen import _main as autogen_main
+
+        argv2 = [args.hostfile, "--fanout", str(args.fanout)]
+        if args.backends is not None:
+            argv2 += ["--backends", str(args.backends)]
+        if args.flat:
+            argv2.append("--flat")
+        argv2 += ["--placement", args.placement]
+        return autogen_main(argv2)
+
+    p_topo.set_defaults(func=cmd_topology)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

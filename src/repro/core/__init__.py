@@ -1,0 +1,52 @@
+"""Core MRNet machinery: packets, streams, comm nodes, the Network API."""
+
+from .backend import BackEnd, BackEndStream, NetworkShutdown
+from .batching import PacketBuffer, decode_batch, encode_batch
+from .commnode import CommNode, NodeCore
+from .communicator import Communicator
+from .formats import FormatError, FormatString, TypeCode, parse_format
+from .network import Network, NetworkError
+from .packet import Packet, PacketDecodeError
+from .protocol import (
+    CONTROL_STREAM_ID,
+    FIRST_APP_TAG,
+    FIRST_STREAM_ID,
+    TAG_CLOSE_STREAM,
+    TAG_ENDPOINT_REPORT,
+    TAG_NEW_STREAM,
+    TAG_SHUTDOWN,
+)
+from .routing import RoutingTable
+from .stream import Stream, StreamClosed
+from .stream_manager import StreamManager
+
+__all__ = [
+    "Packet",
+    "PacketDecodeError",
+    "FormatString",
+    "FormatError",
+    "TypeCode",
+    "parse_format",
+    "PacketBuffer",
+    "encode_batch",
+    "decode_batch",
+    "Network",
+    "NetworkError",
+    "Communicator",
+    "Stream",
+    "StreamClosed",
+    "BackEnd",
+    "BackEndStream",
+    "NetworkShutdown",
+    "CommNode",
+    "NodeCore",
+    "StreamManager",
+    "RoutingTable",
+    "CONTROL_STREAM_ID",
+    "FIRST_STREAM_ID",
+    "FIRST_APP_TAG",
+    "TAG_ENDPOINT_REPORT",
+    "TAG_NEW_STREAM",
+    "TAG_CLOSE_STREAM",
+    "TAG_SHUTDOWN",
+]

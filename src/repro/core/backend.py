@@ -1,0 +1,201 @@
+"""Tool back-ends (paper §2.2, Figure 2's ``back_end_main``).
+
+A :class:`BackEnd` is the leaf-side library: it connects to the MRNet
+tree (``MR_Network::init_backend``), receives packets with a
+*stream-anonymous* ``recv`` that returns both the data and a stream
+handle, and sends packets upstream on those handles.
+
+Back-ends are passive objects: they process their inbox from whichever
+thread calls :meth:`recv`/:meth:`poll`, so a test or example can drive
+hundreds of back-ends from one thread (the GIL would serialise
+per-back-end threads anyway — see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import queue
+import time
+from collections import deque
+from typing import Any, Dict, Optional, Tuple
+
+from ..transport.channel import ChannelEnd, Inbox
+from .batching import decode_batch, encode_batch
+from .packet import Packet
+from .protocol import (
+    CONTROL_STREAM_ID,
+    FIRST_APP_TAG,
+    TAG_CLOSE_STREAM,
+    TAG_NEW_STREAM,
+    TAG_SHUTDOWN,
+    make_endpoint_report,
+    parse_new_stream,
+)
+
+__all__ = ["BackEnd", "BackEndStream", "NetworkShutdown"]
+
+
+class NetworkShutdown(ConnectionError):
+    """Raised by back-end operations after the network shut down."""
+
+
+class BackEndStream:
+    """Back-end-side handle for one stream."""
+
+    def __init__(self, backend: "BackEnd", stream_id: int):
+        self._backend = backend
+        self.stream_id = stream_id
+        self.closed = False
+
+    def send(self, fmt: str, *values: Any, tag: int = FIRST_APP_TAG) -> None:
+        """Send a packet upstream toward the front-end."""
+        if self.closed:
+            raise NetworkShutdown(f"stream {self.stream_id} is closed")
+        packet = Packet(
+            self.stream_id, tag, fmt, values, origin_rank=self._backend.rank
+        )
+        self._backend._send_upstream(packet)
+
+    def send_packet(self, packet: Packet) -> None:
+        if self.closed:
+            raise NetworkShutdown(f"stream {self.stream_id} is closed")
+        if packet.stream_id != self.stream_id:
+            raise ValueError("packet stream id mismatch")
+        self._backend._send_upstream(packet)
+
+    def __repr__(self) -> str:
+        return f"BackEndStream(id={self.stream_id}, rank={self._backend.rank})"
+
+
+class BackEnd:
+    """One tool back-end attached to a leaf slot of the MRNet tree."""
+
+    def __init__(self, rank: int, name: str, parent: ChannelEnd, inbox: Inbox):
+        self.rank = rank
+        self.name = name
+        self._parent = parent
+        self._inbox = inbox
+        self._streams: Dict[int, BackEndStream] = {}
+        self._pending: deque[Tuple[Packet, BackEndStream]] = deque()
+        self.connected = False
+        self.shut_down = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def connect(self) -> None:
+        """Join the network: report this end-point upstream (§2.5)."""
+        if not self.connected:
+            self.connected = True
+            self._send_raw(make_endpoint_report([self.rank]))
+
+    # -- receiving ---------------------------------------------------------
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[Tuple[Packet, BackEndStream]]:
+        """Stream-anonymous receive (Figure 2's ``MR_Stream::recv``).
+
+        Returns ``(packet, stream)`` for the next data packet, or
+        ``None`` once the network has shut down.  Raises
+        ``TimeoutError`` if *timeout* elapses with no packet.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if self._pending:
+                return self._pending.popleft()
+            if self.shut_down:
+                return None
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"back-end {self.rank} recv timed out"
+                    )
+            try:
+                link_id, payload = self._inbox.get(timeout=remaining)
+            except queue.Empty:
+                raise TimeoutError(f"back-end {self.rank} recv timed out") from None
+            self._ingest(payload)
+
+    def poll(self) -> Optional[Tuple[Packet, BackEndStream]]:
+        """Non-blocking receive; drains the inbox, returns next packet or None."""
+        while True:
+            if self._pending:
+                return self._pending.popleft()
+            if self.shut_down:
+                return None
+            try:
+                _, payload = self._inbox.get_nowait()
+            except queue.Empty:
+                return None
+            self._ingest(payload)
+
+    def get_stream(self, stream_id: int) -> BackEndStream:
+        """The handle for a stream already announced to this back-end."""
+        try:
+            return self._streams[stream_id]
+        except KeyError:
+            raise KeyError(
+                f"stream {stream_id} unknown at back-end {self.rank}"
+            ) from None
+
+    @property
+    def stream_ids(self) -> Tuple[int, ...]:
+        return tuple(self._streams)
+
+    # -- internals ------------------------------------------------------------
+
+    def _ingest(self, payload: Optional[bytes]) -> None:
+        if payload is None:
+            self._mark_shutdown()
+            return
+        for packet in decode_batch(payload):
+            if packet.stream_id == CONTROL_STREAM_ID:
+                self._handle_control(packet)
+            else:
+                stream = self._streams.get(packet.stream_id)
+                if stream is None:
+                    # Data raced ahead of NEW_STREAM (cannot happen on
+                    # FIFO links, but stay safe): synthesise the handle.
+                    stream = BackEndStream(self, packet.stream_id)
+                    self._streams[packet.stream_id] = stream
+                self._pending.append((packet, stream))
+
+    def _handle_control(self, packet: Packet) -> None:
+        if packet.tag == TAG_NEW_STREAM:
+            stream_id, endpoints, *_ = parse_new_stream(packet)
+            if self.rank in endpoints:
+                self._streams.setdefault(
+                    stream_id, BackEndStream(self, stream_id)
+                )
+        elif packet.tag == TAG_CLOSE_STREAM:
+            (stream_id,) = packet.unpack()
+            stream = self._streams.pop(stream_id, None)
+            if stream is not None:
+                stream.closed = True
+        elif packet.tag == TAG_SHUTDOWN:
+            self._mark_shutdown()
+
+    def _mark_shutdown(self) -> None:
+        self.shut_down = True
+        for stream in self._streams.values():
+            stream.closed = True
+
+    def _send_upstream(self, packet: Packet) -> None:
+        if self.shut_down:
+            raise NetworkShutdown(f"back-end {self.rank}: network is down")
+        if not self.connected:
+            raise NetworkShutdown(
+                f"back-end {self.rank} must connect() before sending"
+            )
+        self._send_raw(packet)
+
+    def _send_raw(self, packet: Packet) -> None:
+        try:
+            self._parent.send(encode_batch([packet]))
+        except ConnectionError:
+            self._mark_shutdown()
+            raise NetworkShutdown(
+                f"back-end {self.rank}: connection closed"
+            ) from None
+
+    def __repr__(self) -> str:
+        return f"BackEnd(rank={self.rank}, name={self.name!r})"

@@ -1,0 +1,121 @@
+"""Packet batching/unbatching (Figure 3, outermost layer).
+
+"Data packets are batched into packet buffers, which logically
+represent a series of communications destined for the same process, to
+allow for fewer larger messages to be sent over busy connections,
+reducing overall communication costs." (paper §2.3)
+
+A :class:`PacketBuffer` accumulates packets bound for one neighbour and
+encodes them into a single framed message:
+
+.. code-block:: text
+
+   uint32 packet_count | (uint32 length | packet bytes) ...
+
+Packets are held *by reference* until :meth:`PacketBuffer.encode` is
+called, so fan-out to several children never copies payloads (the
+zero-copy path the paper calls out).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, List
+
+from .packet import Packet, PacketDecodeError
+
+__all__ = ["PacketBuffer", "encode_batch", "decode_batch"]
+
+_U32 = struct.Struct(">I")
+
+
+def encode_batch(packets: Iterable[Packet]) -> bytes:
+    """Encode an iterable of packets into one framed message."""
+    bodies = [p.to_bytes() for p in packets]
+    parts = [_U32.pack(len(bodies))]
+    for body in bodies:
+        parts.append(_U32.pack(len(body)))
+        parts.append(body)
+    return b"".join(parts)
+
+
+def decode_batch(data: bytes | memoryview) -> List[Packet]:
+    """Decode a framed message back into its packets."""
+    view = memoryview(data)
+    try:
+        (count,) = _U32.unpack_from(view, 0)
+    except struct.error as exc:
+        raise PacketDecodeError("truncated batch header") from exc
+    offset = _U32.size
+    packets: List[Packet] = []
+    for _ in range(count):
+        try:
+            (length,) = _U32.unpack_from(view, offset)
+        except struct.error as exc:
+            raise PacketDecodeError("truncated packet frame") from exc
+        offset += _U32.size
+        end = offset + length
+        if end > len(view):
+            raise PacketDecodeError("truncated packet body")
+        packet, consumed = Packet.decode_from(view[offset:end], 0)
+        if consumed != length:
+            raise PacketDecodeError("packet frame length mismatch")
+        packets.append(packet)
+        offset = end
+    if offset != len(view):
+        raise PacketDecodeError(f"{len(view) - offset} trailing bytes after batch")
+    return packets
+
+
+class PacketBuffer:
+    """Accumulates packets destined for one neighbouring process.
+
+    ``max_packets``/``max_bytes`` bound how much a buffer may hold
+    before :meth:`should_flush` reports it is ready to send; a comm
+    node flushes all buffers at the end of each processing round
+    regardless, so these are upper bounds, not delays.
+    """
+
+    __slots__ = ("destination", "max_packets", "max_bytes", "_packets", "_nbytes")
+
+    def __init__(self, destination: object, max_packets: int = 128, max_bytes: int = 1 << 20):
+        if max_packets < 1:
+            raise ValueError("max_packets must be >= 1")
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        self.destination = destination
+        self.max_packets = max_packets
+        self.max_bytes = max_bytes
+        self._packets: List[Packet] = []
+        self._nbytes = 0
+
+    def add(self, packet: Packet) -> None:
+        """Append *packet* (by reference) to the buffer."""
+        self._packets.append(packet)
+        self._nbytes += packet.nbytes
+
+    def extend(self, packets: Iterable[Packet]) -> None:
+        for packet in packets:
+            self.add(packet)
+
+    def __len__(self) -> int:
+        return len(self._packets)
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes currently buffered."""
+        return self._nbytes
+
+    def should_flush(self) -> bool:
+        """True once the buffer hit its packet- or byte-count bound."""
+        return len(self._packets) >= self.max_packets or self._nbytes >= self.max_bytes
+
+    def drain(self) -> List[Packet]:
+        """Remove and return the buffered packets (no encoding)."""
+        packets, self._packets = self._packets, []
+        self._nbytes = 0
+        return packets
+
+    def encode(self) -> bytes:
+        """Encode and clear the buffer; returns the framed message."""
+        return encode_batch(self.drain())

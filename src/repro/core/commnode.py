@@ -1,0 +1,348 @@
+"""Internal processes (``mrnet_commnode``) and the shared node core.
+
+An internal process "implements logical channels for the flow of
+control messages and data between the tool's components and performs
+data aggregation or reduction operations as appropriate" (§2.3).  The
+functional layers of Figure 3 map onto :class:`NodeCore` methods:
+
+* packet batching/unbatching — :mod:`repro.core.batching`, applied at
+  :meth:`NodeCore._flush` / :meth:`NodeCore.handle_payload`;
+* demultiplexing by stream id — :meth:`NodeCore.dispatch`;
+* packet synchronization + data-specific aggregation — delegated to
+  the stream's :class:`~repro.core.stream_manager.StreamManager`;
+* re-batching toward the parent — the parent :class:`PacketBuffer`.
+
+Packets are "manipulated by reference whenever possible": a packet
+fanned out to several children is appended to each child's buffer as
+the same object, and its encoded bytes are produced once
+(``Packet.to_bytes`` caches).
+
+:class:`CommNode` wraps a :class:`NodeCore` in a daemon thread with a
+``select``-style loop over the node's inbox.  The tool front-end
+reuses :class:`NodeCore` directly (see :mod:`repro.core.network`) and
+pumps it from API calls instead of a thread.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+from ..filters.registry import FilterRegistry
+from .batching import PacketBuffer, decode_batch
+from ..transport.channel import ChannelEnd, Inbox
+from .packet import Packet
+from .protocol import (
+    CONTROL_STREAM_ID,
+    TAG_CLOSE_STREAM,
+    TAG_ENDPOINT_REPORT,
+    TAG_NEW_STREAM,
+    TAG_SHUTDOWN,
+    make_endpoint_report,
+    parse_new_stream,
+)
+from .routing import RoutingTable
+from .stream_manager import StreamManager
+
+__all__ = ["NodeCore", "CommNode"]
+
+
+class NodeCore:
+    """Protocol engine shared by internal processes and the front-end.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic name (the topology label, e.g. ``"node01:0"``).
+    registry:
+        The network's shared filter registry.
+    expected_ranks:
+        Number of back-end ranks that must report through this node
+        before it sends its own endpoint report upstream (§2.5).
+    parent:
+        Channel end toward the parent, or ``None`` at the front-end.
+    clock:
+        Time source for synchronization filters.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        registry: FilterRegistry,
+        expected_ranks: int,
+        parent: Optional[ChannelEnd] = None,
+        clock: Callable[[], float] = time.monotonic,
+        inbox: Optional[Inbox] = None,
+    ):
+        self.name = name
+        self.registry = registry
+        self.expected_ranks = expected_ranks
+        self.parent = parent
+        self.clock = clock
+        self.inbox = inbox if inbox is not None else Inbox()
+        self.children: Dict[int, ChannelEnd] = {}
+        self.routing = RoutingTable()
+        self.streams: Dict[int, StreamManager] = {}
+        self.reported_ranks: set[int] = set()
+        self.sent_report = False
+        self.shutting_down = False
+        self._parent_buffer: Optional[PacketBuffer] = None
+        if parent is not None:
+            self._parent_buffer = PacketBuffer(parent.link_id)
+        self._child_buffers: Dict[int, PacketBuffer] = {}
+        # Stats used by tests and ablation benches.
+        self.stats = {
+            "packets_up": 0,
+            "packets_down": 0,
+            "messages_sent": 0,
+            "waves_aggregated": 0,
+        }
+
+    # -- wiring -----------------------------------------------------------
+
+    def add_child(self, end: ChannelEnd) -> None:
+        """Attach a downstream connection (to a child node or back-end)."""
+        self.children[end.link_id] = end
+        self._child_buffers[end.link_id] = PacketBuffer(end.link_id)
+
+    @property
+    def parent_link_id(self) -> Optional[int]:
+        return self.parent.link_id if self.parent is not None else None
+
+    @property
+    def ready(self) -> bool:
+        """All expected back-end ranks have reported through this node."""
+        return len(self.reported_ranks) >= self.expected_ranks
+
+    # -- inbound ------------------------------------------------------------
+
+    def handle_payload(self, link_id: int, payload: Optional[bytes]) -> None:
+        """Unbatch one inbound message and dispatch its packets."""
+        if payload is None:
+            self._handle_link_closed(link_id)
+            return
+        for packet in decode_batch(payload):
+            self.dispatch(link_id, packet)
+
+    def dispatch(self, link_id: int, packet: Packet) -> None:
+        """Demultiplex one packet (Figure 3's demux layer)."""
+        from_parent = self.parent is not None and link_id == self.parent_link_id
+        if packet.stream_id == CONTROL_STREAM_ID:
+            if from_parent or self.parent is None and packet.tag in (
+                TAG_NEW_STREAM,
+                TAG_CLOSE_STREAM,
+                TAG_SHUTDOWN,
+            ):
+                # Downstream-travelling control (front-end originates
+                # these locally via handle_control_down).
+                self.handle_control_down(packet)
+            else:
+                self.handle_control_up(link_id, packet)
+            return
+        if from_parent:
+            self._handle_data_down(packet)
+        else:
+            self._handle_data_up(link_id, packet)
+
+    # -- control ----------------------------------------------------------
+
+    def handle_control_up(self, link_id: int, packet: Packet) -> None:
+        if packet.tag == TAG_ENDPOINT_REPORT:
+            (ranks,) = packet.unpack()
+            self.routing.add_report(link_id, ranks)
+            self.reported_ranks.update(ranks)
+            if self.ready and not self.sent_report and self.parent is not None:
+                self.sent_report = True
+                self._queue_up(make_endpoint_report(sorted(self.reported_ranks)))
+        else:
+            # Unknown upstream control: forward toward the front-end.
+            self._queue_up(packet)
+
+    def handle_control_down(self, packet: Packet) -> None:
+        if packet.tag == TAG_NEW_STREAM:
+            stream_id, endpoints, sync_id, trans_id, timeout, down_id = (
+                parse_new_stream(packet)
+            )
+            links = self.routing.links_for(frozenset(endpoints))
+            self.streams[stream_id] = StreamManager.create(
+                stream_id,
+                endpoints,
+                links,
+                self.registry,
+                sync_id,
+                trans_id,
+                sync_timeout=timeout,
+                down_transform_filter_id=down_id,
+                clock=self.clock,
+            )
+            for link in links:
+                self._queue_down(link, packet)
+        elif packet.tag == TAG_CLOSE_STREAM:
+            (stream_id,) = packet.unpack()
+            manager = self.streams.pop(stream_id, None)
+            if manager is not None:
+                for out in manager.flush_upstream():
+                    self._queue_up(out)
+                manager.close()
+                for link in manager.child_links:
+                    self._queue_down(link, packet)
+        elif packet.tag == TAG_SHUTDOWN:
+            self.shutting_down = True
+            for link in list(self.children):
+                self._queue_down(link, packet)
+        else:
+            # Unknown downstream control: flood to every child.
+            for link in list(self.children):
+                self._queue_down(link, packet)
+
+    # -- data ------------------------------------------------------------
+
+    def _handle_data_up(self, link_id: int, packet: Packet) -> None:
+        self.stats["packets_up"] += 1
+        manager = self.streams.get(packet.stream_id)
+        if manager is None:
+            # Stream unknown here (e.g. point-to-point pass-through):
+            # forward unchanged, preserving MRNet's negligible-overhead
+            # relay behaviour (§4.2.1).
+            self._queue_up(packet)
+            return
+        outputs = manager.push_upstream(link_id, packet)
+        if outputs:
+            self.stats["waves_aggregated"] += 1
+        for out in outputs:
+            self._queue_up(out)
+
+    def _handle_data_down(self, packet: Packet) -> None:
+        self.stats["packets_down"] += 1
+        manager = self.streams.get(packet.stream_id)
+        if manager is None:
+            # No stream state: flood to all children.
+            for link in list(self.children):
+                self._queue_down(link, packet)
+            return
+        for out in manager.transform_downstream(packet):
+            for link in manager.child_links:
+                self._queue_down(link, out)
+
+    def poll_streams(self) -> None:
+        """Drive time-based synchronization criteria (TimeOut filters)."""
+        for manager in list(self.streams.values()):
+            for out in manager.poll_upstream():
+                self._queue_up(out)
+
+    def _handle_link_closed(self, link_id: int) -> None:
+        if self.parent is not None and link_id == self.parent_link_id:
+            # Parent vanished: treat as shutdown.
+            self.shutting_down = True
+            for link in list(self.children):
+                self._queue_down(link, Packet(CONTROL_STREAM_ID, TAG_SHUTDOWN, "%d", (0,)))
+            return
+        self.children.pop(link_id, None)
+        self._child_buffers.pop(link_id, None)
+        self.routing.remove_link(link_id)
+        for manager in self.streams.values():
+            if link_id in manager.child_links:
+                for out in manager.drop_link(link_id):
+                    self._queue_up(out)
+
+    # -- outbound ----------------------------------------------------------
+
+    def _queue_up(self, packet: Packet) -> None:
+        if self._parent_buffer is not None:
+            self._parent_buffer.add(packet)
+        else:
+            self.deliver_local(packet)
+
+    def _queue_down(self, link_id: int, packet: Packet) -> None:
+        buf = self._child_buffers.get(link_id)
+        if buf is not None:
+            buf.add(packet)
+
+    def deliver_local(self, packet: Packet) -> None:
+        """Upstream output at the tree root; overridden by the front-end."""
+        raise NotImplementedError(
+            "root NodeCore must override deliver_local"
+        )  # pragma: no cover
+
+    def flush(self) -> None:
+        """Encode and transmit all non-empty output buffers."""
+        if self._parent_buffer is not None and len(self._parent_buffer):
+            try:
+                self.parent.send(self._parent_buffer.encode())
+                self.stats["messages_sent"] += 1
+            except ConnectionError:
+                self._parent_buffer.drain()
+        for link_id, buf in list(self._child_buffers.items()):
+            if len(buf):
+                end = self.children.get(link_id)
+                if end is None:
+                    buf.drain()
+                    continue
+                try:
+                    end.send(buf.encode())
+                    self.stats["messages_sent"] += 1
+                except ConnectionError:
+                    buf.drain()
+
+    def close_all(self) -> None:
+        """Close every channel this node owns an end of."""
+        if self.parent is not None:
+            self.parent.close()
+        for end in self.children.values():
+            end.close()
+
+    @property
+    def has_timeout_streams(self) -> bool:
+        """True when any stream needs time-based polling."""
+        return any(m.sync.name == "sync-timeout" for m in self.streams.values())
+
+
+class CommNode(threading.Thread):
+    """An internal process: a :class:`NodeCore` driven by its own thread."""
+
+    IDLE_POLL = 0.05
+    TIMEOUT_POLL = 0.002
+
+    def __init__(
+        self,
+        name: str,
+        registry: FilterRegistry,
+        expected_ranks: int,
+        parent: ChannelEnd,
+        clock: Callable[[], float] = time.monotonic,
+        inbox: Optional[Inbox] = None,
+    ):
+        super().__init__(name=f"commnode-{name}", daemon=True)
+        self.core = NodeCore(name, registry, expected_ranks, parent, clock, inbox)
+
+    @property
+    def inbox(self) -> Inbox:
+        return self.core.inbox
+
+    def run(self) -> None:  # pragma: no branch - loop structure
+        core = self.core
+        while not core.shutting_down:
+            poll = self.TIMEOUT_POLL if core.has_timeout_streams else self.IDLE_POLL
+            try:
+                link_id, payload = core.inbox.get(timeout=poll)
+            except queue.Empty:
+                core.poll_streams()
+                core.flush()
+                continue
+            core.handle_payload(link_id, payload)
+            # Drain whatever else is already queued so one flush batches
+            # an entire burst (Figure 3's batching layer earning its keep).
+            while True:
+                try:
+                    link_id, payload = core.inbox.get_nowait()
+                except queue.Empty:
+                    break
+                core.handle_payload(link_id, payload)
+                if core.shutting_down:
+                    break
+            core.poll_streams()
+            core.flush()
+        core.flush()
+        core.close_all()

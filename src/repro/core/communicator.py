@@ -1,0 +1,73 @@
+"""Communicators: groups of network end-points (paper §2.1).
+
+"MRNet uses communicators to represent groups of network end-points.
+Like communicators in MPI, MRNet communicators provide a handle that
+identifies a set of end-points for point-to-point, multicast or
+broadcast communications."  Communicators are created and managed by
+the front-end; back-ends cannot address each other.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Iterator
+
+__all__ = ["Communicator"]
+
+
+class Communicator:
+    """An immutable set of back-end ranks, owned by a front-end network."""
+
+    __slots__ = ("_network", "_ranks")
+
+    def __init__(self, network, ranks: Iterable[int]):
+        ranks = frozenset(int(r) for r in ranks)
+        if not ranks:
+            raise ValueError("communicator must contain at least one end-point")
+        unknown = ranks - network.endpoints
+        if unknown:
+            raise ValueError(f"unknown back-end ranks: {sorted(unknown)}")
+        self._network = network
+        self._ranks = ranks
+
+    @property
+    def network(self):
+        return self._network
+
+    @property
+    def ranks(self) -> FrozenSet[int]:
+        return self._ranks
+
+    def __len__(self) -> int:
+        return len(self._ranks)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(sorted(self._ranks))
+
+    def __contains__(self, rank: int) -> bool:
+        return rank in self._ranks
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Communicator):
+            return NotImplemented
+        return self._network is other._network and self._ranks == other._ranks
+
+    def __hash__(self) -> int:
+        return hash((id(self._network), self._ranks))
+
+    def subset(self, ranks: Iterable[int]) -> "Communicator":
+        """A new communicator over a subset of this one's end-points."""
+        ranks = frozenset(int(r) for r in ranks)
+        extra = ranks - self._ranks
+        if extra:
+            raise ValueError(
+                f"ranks {sorted(extra)} are not members of this communicator"
+            )
+        return Communicator(self._network, ranks)
+
+    def __repr__(self) -> str:
+        shown = sorted(self._ranks)
+        if len(shown) > 8:
+            body = f"{shown[:8]}... ({len(shown)} ranks)"
+        else:
+            body = str(shown)
+        return f"Communicator({body})"

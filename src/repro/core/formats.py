@@ -1,0 +1,240 @@
+"""Format-string handling for MRNet typed packets.
+
+MRNet describes packet contents with a format string "similar to that
+used by C formatted I/O primitives printf and scanf" (paper §2.1): for
+example ``"%d %f %s"`` is an integer, a float, and a character string.
+MRNet "also adds specifiers for arrays of simple data types"; we follow
+the real MRNet convention of an ``a`` modifier (``%ad`` is an array of
+32-bit integers).
+
+Supported specifiers:
+
+========  ==========================  ================
+spec      Python type                 wire encoding
+========  ==========================  ================
+``%c``    int (0..255) or 1-char str  1 byte
+``%d``    int                         int32, big-endian
+``%ud``   int (non-negative)          uint32
+``%ld``   int                         int64
+``%uld``  int (non-negative)          uint64
+``%f``    float                       IEEE-754 binary32
+``%lf``   float                       IEEE-754 binary64
+``%s``    str                         uint32 length + UTF-8 bytes
+``%b``    bytes                       uint32 length + raw bytes
+``%ac``   bytes / sequence of ints    uint32 count + bytes
+``%ad``   sequence of ints            uint32 count + int32[]
+``%aud``  sequence of ints            uint32 count + uint32[]
+``%ald``  sequence of ints            uint32 count + int64[]
+``%auld`` sequence of ints            uint32 count + uint64[]
+``%af``   sequence of floats          uint32 count + float32[]
+``%alf``  sequence of floats          uint32 count + float64[]
+``%as``   sequence of strs            uint32 count + each as ``%s``
+========  ==========================  ================
+
+A :class:`FormatString` is an immutable, validated parse of such a
+string; parsing is memoised because streams re-use the same format for
+every packet they carry.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from enum import Enum
+from typing import Tuple
+
+__all__ = [
+    "TypeCode",
+    "FieldSpec",
+    "FormatString",
+    "FormatError",
+    "parse_format",
+]
+
+
+class FormatError(ValueError):
+    """Raised for malformed format strings or mismatched values."""
+
+
+class TypeCode(Enum):
+    """Base element types carried in MRNet packets."""
+
+    CHAR = "c"
+    INT32 = "d"
+    UINT32 = "ud"
+    INT64 = "ld"
+    UINT64 = "uld"
+    FLOAT32 = "f"
+    FLOAT64 = "lf"
+    STRING = "s"
+    BYTES = "b"
+
+    @property
+    def is_integral(self) -> bool:
+        return self in (
+            TypeCode.CHAR,
+            TypeCode.INT32,
+            TypeCode.UINT32,
+            TypeCode.INT64,
+            TypeCode.UINT64,
+        )
+
+    @property
+    def is_float(self) -> bool:
+        return self in (TypeCode.FLOAT32, TypeCode.FLOAT64)
+
+    @property
+    def struct_char(self) -> str:
+        """The :mod:`struct` code for fixed-width scalar types."""
+        table = {
+            TypeCode.CHAR: "B",
+            TypeCode.INT32: "i",
+            TypeCode.UINT32: "I",
+            TypeCode.INT64: "q",
+            TypeCode.UINT64: "Q",
+            TypeCode.FLOAT32: "f",
+            TypeCode.FLOAT64: "d",
+        }
+        try:
+            return table[self]
+        except KeyError:  # STRING / BYTES are length-prefixed
+            raise FormatError(f"{self} has no fixed-width struct code") from None
+
+    @property
+    def bounds(self) -> Tuple[int, int] | None:
+        """Inclusive (lo, hi) range for integral types, else ``None``."""
+        if self is TypeCode.CHAR:
+            return (0, 0xFF)
+        if self is TypeCode.INT32:
+            return (-(2**31), 2**31 - 1)
+        if self is TypeCode.UINT32:
+            return (0, 2**32 - 1)
+        if self is TypeCode.INT64:
+            return (-(2**63), 2**63 - 1)
+        if self is TypeCode.UINT64:
+            return (0, 2**64 - 1)
+        return None
+
+
+# Longest-match ordering matters: "uld" before "ud"/"ld"/"d", etc.
+_SCALAR_SPECS = ("uld", "ud", "ld", "lf", "c", "d", "f", "s", "b")
+_SCALAR_BY_SPEC = {
+    "c": TypeCode.CHAR,
+    "d": TypeCode.INT32,
+    "ud": TypeCode.UINT32,
+    "ld": TypeCode.INT64,
+    "uld": TypeCode.UINT64,
+    "f": TypeCode.FLOAT32,
+    "lf": TypeCode.FLOAT64,
+    "s": TypeCode.STRING,
+    "b": TypeCode.BYTES,
+}
+# Array element types; "%ab" is not a thing ("%b" is already a blob).
+_ARRAY_ELEMENT_SPECS = ("uld", "ud", "ld", "lf", "c", "d", "f", "s")
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One ``%...`` conversion in a format string."""
+
+    code: TypeCode
+    is_array: bool = False
+
+    @property
+    def spec(self) -> str:
+        """The textual specifier, e.g. ``"%ad"``."""
+        return "%" + ("a" if self.is_array else "") + self.code.value
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.spec
+
+
+class FormatString:
+    """A validated, parsed packet format.
+
+    Instances are immutable and hashable; two formats compare equal iff
+    their field sequences are identical (whitespace between conversions
+    is not significant).
+    """
+
+    __slots__ = ("_fields", "_canonical")
+
+    def __init__(self, fmt: str):
+        self._fields = _parse_fields(fmt)
+        self._canonical = " ".join(f.spec for f in self._fields)
+
+    @property
+    def fields(self) -> Tuple[FieldSpec, ...]:
+        return self._fields
+
+    @property
+    def canonical(self) -> str:
+        """Canonical text: single-space-separated specifiers."""
+        return self._canonical
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def __iter__(self):
+        return iter(self._fields)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, FormatString):
+            return self._fields == other._fields
+        if isinstance(other, str):
+            return self._fields == parse_format(other)._fields
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._fields)
+
+    def __repr__(self) -> str:
+        return f"FormatString({self._canonical!r})"
+
+
+def _parse_fields(fmt: str) -> Tuple[FieldSpec, ...]:
+    if not isinstance(fmt, str):
+        raise FormatError(f"format must be a str, got {type(fmt).__name__}")
+    fields = []
+    i, n = 0, len(fmt)
+    while i < n:
+        ch = fmt[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch != "%":
+            raise FormatError(
+                f"unexpected character {ch!r} at offset {i} in format {fmt!r}"
+            )
+        i += 1
+        is_array = False
+        if i < n and fmt[i] == "a":
+            is_array = True
+            i += 1
+        specs = _ARRAY_ELEMENT_SPECS if is_array else _SCALAR_SPECS
+        for spec in specs:
+            if fmt.startswith(spec, i):
+                # Guard against a longer identifier, e.g. "%dd".
+                end = i + len(spec)
+                if end < n and not (fmt[end].isspace() or fmt[end] == "%"):
+                    continue
+                fields.append(FieldSpec(_SCALAR_BY_SPEC[spec], is_array))
+                i = end
+                break
+        else:
+            raise FormatError(
+                f"unknown conversion at offset {i} in format {fmt!r}"
+            )
+    if not fields:
+        raise FormatError(f"format {fmt!r} contains no conversions")
+    return tuple(fields)
+
+
+@functools.lru_cache(maxsize=4096)
+def parse_format(fmt: str) -> FormatString:
+    """Parse and memoise a format string.
+
+    Streams stamp every packet with the same format, so parsing is on
+    the packet hot path; the cache makes repeat parses O(1).
+    """
+    return FormatString(fmt)

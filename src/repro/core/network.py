@@ -1,0 +1,568 @@
+"""The front-end Network object and tree instantiation (paper §2.2, §2.5).
+
+``Network`` is the tool front-end's entry point, mirroring Figure 2's
+``front_end_main``::
+
+    net = Network(config_file)                     # or a TopologySpec
+    comm = net.get_broadcast_communicator()
+    stream = net.new_stream(comm, transform=TFILTER_MAX, ...)
+    stream.send("%d", FLOAT_MAX_INIT)
+    (result,) = stream.recv_values()
+
+Instantiation builds the whole process tree from the topology: one
+:class:`~repro.core.commnode.CommNode` thread per internal slot, one
+:class:`~repro.core.backend.BackEnd` per leaf slot, channels along the
+tree edges.  Back-end ranks are the leaves' left-to-right positions.
+
+Two instantiation modes (paper §2.5):
+
+* **Mode 1** (``auto_backends=True``, default): MRNet "creates the
+  internal and back-end processes" — every back-end object is built
+  and connected immediately; reach them via :attr:`Network.backends`.
+* **Mode 2** (``auto_backends=False``): only the internal tree is
+  created; a process-management system starts the tool back-ends,
+  modelled by calling :meth:`Network.attach_backend` later with "the
+  information needed to connect to the MRNet internal process tree"
+  already wired into the reserved leaf slot.
+
+The front-end is passive: API calls pump its :class:`NodeCore`.  All
+front-end methods must be called from one thread.
+"""
+
+from __future__ import annotations
+
+import queue
+import time
+from collections import deque
+from pathlib import Path
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Tuple
+
+from ..filters.registry import (
+    SFILTER_WAITFORALL,
+    TFILTER_NULL,
+    FilterRegistry,
+    default_registry,
+)
+from ..topology.parser import parse_config, parse_config_file
+from ..topology.spec import TopologyNode, TopologySpec
+from ..transport.channel import Channel, ChannelEnd, Inbox
+from .backend import BackEnd
+from .commnode import CommNode, NodeCore
+from .communicator import Communicator
+from .packet import Packet
+from .protocol import (
+    FIRST_STREAM_ID,
+    make_close_stream,
+    make_new_stream,
+    make_shutdown,
+)
+from .stream import Stream
+
+__all__ = ["Network", "NetworkError"]
+
+
+class NetworkError(RuntimeError):
+    """Raised for network life-cycle errors."""
+
+
+class _FrontEndCore(NodeCore):
+    """The root NodeCore: upstream outputs land in per-stream queues."""
+
+    def __init__(self, registry: FilterRegistry, expected_ranks: int, clock):
+        super().__init__("front-end", registry, expected_ranks, None, clock)
+        self.stream_queues: Dict[int, Deque[Packet]] = {}
+        self.default_queue: Deque[Packet] = deque()
+
+    def deliver_local(self, packet: Packet) -> None:
+        self.stream_queues.get(packet.stream_id, self.default_queue).append(packet)
+
+
+class _LeafSlot:
+    """A reserved attachment point for one back-end (mode 2 support).
+
+    With in-process transports the channel to the parent is pre-wired
+    (``parent_end``); with the process transport only the parent's TCP
+    address is known and the connection is made at attach time.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        label: str,
+        parent_end: Optional[ChannelEnd] = None,
+        inbox: Optional[Inbox] = None,
+        parent_addr: Optional[tuple] = None,
+    ):
+        self.rank = rank
+        self.label = label
+        self.parent_end = parent_end
+        self.inbox = inbox
+        self.parent_addr = parent_addr
+        self.backend: Optional[BackEnd] = None
+
+    def connect(self) -> tuple:
+        """Materialize (parent_end, inbox) for this slot."""
+        if self.parent_end is not None:
+            return self.parent_end, self.inbox
+        from ..transport.tcp import tcp_connect
+
+        self.inbox = Inbox()
+        self.parent_end = tcp_connect(self.parent_addr, self.inbox, timeout=30)
+        return self.parent_end, self.inbox
+
+
+class Network:
+    """A live MRNet network instantiation rooted at this front-end."""
+
+    PUMP_QUANTUM = 0.005
+
+    def __init__(
+        self,
+        topology: TopologySpec | str | Path,
+        registry: Optional[FilterRegistry] = None,
+        auto_backends: bool = True,
+        startup_timeout: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+        transport: str = "local",
+        filter_specs: Optional[List[tuple]] = None,
+    ):
+        """Instantiate the network.
+
+        ``transport`` selects how tree edges move bytes and where
+        internal processes live:
+
+        * ``"local"`` — comm-node threads, in-process mailboxes (default);
+        * ``"tcp"`` — comm-node threads, framed loopback sockets;
+        * ``"process"`` — each internal process is a separate
+          ``mrnet_commnode`` OS process (the paper's architecture),
+          connected over TCP.  Custom filters must then be supplied as
+          ``filter_specs=[(path, func_name[, fmt]), ...]`` so every
+          process loads them in the same order (the shared-object
+          shipping model of §2.4); they are also loaded into this
+          front-end's registry, ids assigned in list order.
+        """
+        if transport not in ("local", "tcp", "process"):
+            raise NetworkError(f"unknown transport {transport!r}")
+        self.transport = transport
+        self.topology = self._resolve_topology(topology)
+        self.registry = registry if registry is not None else default_registry()
+        self.filter_specs = [tuple(s) for s in (filter_specs or [])]
+        self.filter_ids: List[int] = []
+        for spec in self.filter_specs:
+            path, func = spec[0], spec[1]
+            fmt = spec[2] if len(spec) > 2 else None
+            self.filter_ids.append(
+                self.registry.load_filter_func(path, func, fmt)
+            )
+        self._clock = clock
+        leaves = self.topology.leaves()
+        self._core = _FrontEndCore(self.registry, len(leaves), clock)
+        self._commnodes: List[CommNode] = []
+        self._procs: List = []  # subprocess.Popen, process transport only
+        self._listener = None
+        self._slots: Dict[int, _LeafSlot] = {}
+        self._next_stream_id = FIRST_STREAM_ID
+        self._streams: Dict[int, Stream] = {}
+        self._down = False
+        if transport == "process":
+            self._build_tree_process(leaves)
+        else:
+            self._build_tree(leaves)
+        for node in self._commnodes:
+            node.start()
+        if auto_backends:
+            for rank in sorted(self._slots):
+                self.attach_backend(rank)
+            self.wait_for_ready(startup_timeout)
+
+    # -- construction -----------------------------------------------------
+
+    @staticmethod
+    def _resolve_topology(topology) -> TopologySpec:
+        if isinstance(topology, TopologySpec):
+            return topology
+        text = str(topology)
+        if "=>" in text:
+            return parse_config(text)
+        return parse_config_file(text)
+
+    def _build_tree(self, leaves: List[TopologyNode]) -> None:
+        rank_of = {leaf.key: i for i, leaf in enumerate(leaves)}
+        # Pre-create an inbox per process so channels can be wired
+        # before the cores that own them exist.
+        inboxes: Dict[Tuple[str, int], Inbox] = {self.topology.root.key: self._core.inbox}
+        for node in self.topology.nodes():
+            if node is not self.topology.root:
+                inboxes[node.key] = Inbox()
+
+        cores: Dict[Tuple[str, int], NodeCore] = {self.topology.root.key: self._core}
+        for node in self.topology.nodes():
+            for child in node.children:
+                if self.transport == "tcp":
+                    from ..transport.tcp import tcp_pair
+
+                    # A tcp end *receives* into the inbox it is built
+                    # with: first end is the parent's.
+                    parent_side, child_side = tcp_pair(
+                        inboxes[node.key], inboxes[child.key]
+                    )
+                else:
+                    channel = Channel(inboxes[node.key], inboxes[child.key])
+                    # end_a sends toward the child; it is the parent's end.
+                    parent_side, child_side = channel.end_a, channel.end_b
+                owner = cores[node.key]
+                owner.add_child(parent_side)
+                if child.is_leaf:
+                    rank = rank_of[child.key]
+                    self._slots[rank] = _LeafSlot(
+                        rank, child.label, child_side, inboxes[child.key]
+                    )
+                else:
+                    subtree_leaves = sum(
+                        1 for n in _iter_subtree(child) if n.is_leaf
+                    )
+                    comm = CommNode(
+                        child.label,
+                        self.registry,
+                        subtree_leaves,
+                        parent=child_side,
+                        clock=self._clock,
+                        inbox=inboxes[child.key],
+                    )
+                    cores[child.key] = comm.core
+                    self._commnodes.append(comm)
+
+    def _build_tree_process(self, leaves: List[TopologyNode]) -> None:
+        """Launch internal processes as real ``mrnet_commnode`` programs.
+
+        Spawn order is breadth-first so every child knows its parent's
+        listener address on the command line; each new process prints
+        ``LISTENING <port>`` which we read before spawning its own
+        children.  Back-end slots record their parent's address and
+        connect at attach time.
+        """
+        import subprocess
+        import sys
+
+        from ..transport.tcp import TcpListener
+
+        rank_of = {leaf.key: i for i, leaf in enumerate(leaves)}
+        self._listener = TcpListener(self._core.inbox)
+        addr_of = {self.topology.root.key: self._listener.address}
+
+        filter_args: List[str] = []
+        for spec in self.filter_specs:
+            text = f"{spec[0]}:{spec[1]}"
+            if len(spec) > 2 and spec[2]:
+                text += f":{spec[2]}"
+            filter_args += ["--filter", text]
+
+        queue_ = [self.topology.root]
+        while queue_:
+            node = queue_.pop(0)
+            for child in node.children:
+                if child.is_leaf:
+                    rank = rank_of[child.key]
+                    self._slots[rank] = _LeafSlot(
+                        rank, child.label, parent_addr=addr_of[node.key]
+                    )
+                    continue
+                subtree_leaves = sum(
+                    1 for n in _iter_subtree(child) if n.is_leaf
+                )
+                host, port = addr_of[node.key]
+                cmd = [
+                    sys.executable,
+                    "-m",
+                    "repro.mrnet_commnode",
+                    "--parent",
+                    f"{host}:{port}",
+                    "--children",
+                    str(len(child.children)),
+                    "--expected-ranks",
+                    str(subtree_leaves),
+                    "--name",
+                    child.label,
+                ] + filter_args
+                proc = subprocess.Popen(
+                    cmd, stdout=subprocess.PIPE, text=True
+                )
+                line = proc.stdout.readline().strip()
+                if not line.startswith("LISTENING "):
+                    proc.kill()
+                    raise NetworkError(
+                        f"mrnet_commnode {child.label} failed to start: "
+                        f"{line!r}"
+                    )
+                addr_of[child.key] = ("127.0.0.1", int(line.split()[1]))
+                self._procs.append(proc)
+                queue_.append(child)
+
+        # Accept the root's direct children (internal processes connect
+        # immediately; leaf back-ends connect at attach time and are
+        # accepted lazily by _pump... no: the front-end must accept all
+        # of its own connections up front, so count them here).
+        internal_children = sum(
+            1 for c in self.topology.root.children if not c.is_leaf
+        )
+        for _ in range(internal_children):
+            self._core.add_child(self._listener.accept(timeout=30))
+
+    def _accept_root_leaf(self) -> None:
+        """Accept one direct-leaf connection at the front-end."""
+        self._core.add_child(self._listener.accept(timeout=30))
+
+    # -- back-end management ------------------------------------------------
+
+    def attach_backend(self, rank: int) -> BackEnd:
+        """Create and connect the back-end for leaf *rank* (mode 2 API)."""
+        try:
+            slot = self._slots[rank]
+        except KeyError:
+            raise NetworkError(f"no leaf slot for rank {rank}") from None
+        if slot.backend is not None:
+            raise NetworkError(f"back-end rank {rank} already attached")
+        root_leaf = (
+            self.transport == "process"
+            and self._listener is not None
+            and slot.parent_addr == self._listener.address
+        )
+        parent_end, inbox = slot.connect()
+        if root_leaf:
+            # A back-end parented directly by the front-end: complete
+            # the TCP accept on our own listener.
+            self._accept_root_leaf()
+        backend = BackEnd(rank, slot.label, parent_end, inbox)
+        backend.connect()
+        slot.backend = backend
+        return backend
+
+    @property
+    def backends(self) -> Dict[int, BackEnd]:
+        """Attached back-ends by rank (complete in mode 1)."""
+        return {
+            rank: slot.backend
+            for rank, slot in self._slots.items()
+            if slot.backend is not None
+        }
+
+    def wait_for_ready(self, timeout: float = 30.0) -> None:
+        """Pump until every back-end's endpoint report arrived (§2.5)."""
+        deadline = self._clock() + timeout
+        while not self._core.ready:
+            if self._clock() > deadline:
+                raise NetworkError(
+                    f"network start-up timed out: "
+                    f"{len(self._core.reported_ranks)}/"
+                    f"{self._core.expected_ranks} back-ends reported"
+                )
+            self._pump(self.PUMP_QUANTUM)
+
+    @property
+    def ready(self) -> bool:
+        return self._core.ready
+
+    @property
+    def endpoints(self) -> frozenset:
+        """Ranks of all reported back-ends."""
+        return frozenset(self._core.reported_ranks)
+
+    @property
+    def num_internal_nodes(self) -> int:
+        return len(self._commnodes)
+
+    # -- communicators & streams ----------------------------------------------
+
+    def get_broadcast_communicator(self) -> Communicator:
+        """A communicator over every available end-point (Figure 2)."""
+        self._check_up()
+        if not self._core.ready:
+            raise NetworkError("network is not ready yet")
+        return Communicator(self, self._core.reported_ranks)
+
+    def new_communicator(self, ranks: Iterable[int]) -> Communicator:
+        self._check_up()
+        return Communicator(self, ranks)
+
+    def new_stream(
+        self,
+        communicator: Communicator,
+        transform: int = TFILTER_NULL,
+        sync: int = SFILTER_WAITFORALL,
+        sync_timeout: float = 0.0,
+        down_transform: int = 0,
+    ) -> Stream:
+        """Create a stream over *communicator* with the given filters.
+
+        ``transform``/``sync`` are filter ids from this network's
+        registry (built-ins or ``load_filter_func`` results).
+        """
+        self._check_up()
+        if communicator.network is not self:
+            raise NetworkError("communicator belongs to a different network")
+        if not self.registry.is_transform(transform):
+            raise NetworkError(f"unknown transformation filter id {transform}")
+        if not self.registry.is_sync(sync):
+            raise NetworkError(f"unknown synchronization filter id {sync}")
+        if down_transform and not self.registry.is_transform(down_transform):
+            raise NetworkError(f"unknown downstream filter id {down_transform}")
+        stream_id = self._next_stream_id
+        self._next_stream_id += 1
+        self._core.stream_queues[stream_id] = deque()
+        packet = make_new_stream(
+            stream_id,
+            sorted(communicator.ranks),
+            sync,
+            transform,
+            sync_timeout,
+            down_transform,
+        )
+        self._core.handle_control_down(packet)
+        self._core.flush()
+        stream = Stream(self, stream_id, communicator)
+        self._streams[stream_id] = stream
+        return stream
+
+    def load_filter_func(self, module_path: str, func_name: str, fmt=None) -> int:
+        """Register a custom filter network-wide (paper's load_filterFunc)."""
+        return self.registry.load_filter_func(module_path, func_name, fmt)
+
+    # -- stream plumbing (called by Stream) -------------------------------
+
+    def _send_downstream(self, packet: Packet) -> None:
+        self._check_up()
+        self._core._handle_data_down(packet)
+        self._core.flush()
+
+    def _recv_on_stream(self, stream_id: int, deadline: Optional[float]) -> Packet:
+        q = self._core.stream_queues.get(stream_id)
+        if q is None:
+            raise NetworkError(f"stream {stream_id} has no delivery queue")
+        while True:
+            if q:
+                return q.popleft()
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(f"recv on stream {stream_id} timed out")
+            self._pump(self.PUMP_QUANTUM)
+
+    def _try_recv_on_stream(self, stream_id: int) -> Optional[Packet]:
+        self._pump(0.0)
+        q = self._core.stream_queues.get(stream_id)
+        if q:
+            return q.popleft()
+        return None
+
+    def recv(self, timeout: Optional[float] = None) -> Tuple[Packet, Stream]:
+        """Stream-anonymous front-end receive: next packet on any stream."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            for stream_id, q in self._core.stream_queues.items():
+                if q:
+                    return q.popleft(), self._streams[stream_id]
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError("front-end recv timed out")
+            self._pump(self.PUMP_QUANTUM)
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-process packet/message counters (diagnostics, ablations).
+
+        Keys are process labels (``"front-end"`` plus each comm node's
+        topology label); values are the NodeCore counter dicts.  Only
+        thread-hosted comm nodes are visible (the process transport's
+        counters live in other address spaces).
+        """
+        out = {"front-end": dict(self._core.stats)}
+        for node in self._commnodes:
+            out[node.core.name] = dict(node.core.stats)
+        return out
+
+    def unexpected_packets(self) -> List[Packet]:
+        """Drain packets that arrived for unknown streams (diagnostics)."""
+        out = list(self._core.default_queue)
+        self._core.default_queue.clear()
+        return out
+
+    def _close_stream(self, stream_id: int) -> None:
+        if self._down:
+            return
+        self._core.handle_control_down(make_close_stream(stream_id))
+        self._core.flush()
+
+    # -- pumping ----------------------------------------------------------
+
+    def _pump(self, timeout: float) -> bool:
+        """Process inbound traffic for up to one blocking receive."""
+        worked = False
+        if timeout > 0:
+            try:
+                link_id, payload = self._core.inbox.get(timeout=timeout)
+                self._core.handle_payload(link_id, payload)
+                worked = True
+            except queue.Empty:
+                pass
+        while True:
+            try:
+                link_id, payload = self._core.inbox.get_nowait()
+            except queue.Empty:
+                break
+            self._core.handle_payload(link_id, payload)
+            worked = True
+        self._core.poll_streams()
+        self._core.flush()
+        return worked
+
+    def flush(self) -> None:
+        """Drain pending inbound traffic without blocking."""
+        self._pump(0.0)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def _check_up(self) -> None:
+        if self._down:
+            raise NetworkError("network has been shut down")
+
+    def shutdown(self, join_timeout: float = 5.0) -> None:
+        """Tear down the tree: broadcast shutdown, join internal threads."""
+        if self._down:
+            return
+        self._down = True
+        self._core.handle_control_down(make_shutdown())
+        self._core.flush()
+        for node in self._commnodes:
+            node.join(timeout=join_timeout)
+        for proc in self._procs:
+            try:
+                proc.wait(timeout=join_timeout)
+            except Exception:
+                proc.kill()
+        if self._listener is not None:
+            self._listener.close()
+        # Wake any passive back-end that never polls again.
+        for slot in self._slots.values():
+            if slot.backend is not None:
+                slot.backend.poll()
+
+    @property
+    def is_down(self) -> bool:
+        return self._down
+
+    def __enter__(self) -> "Network":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        state = "down" if self._down else ("ready" if self._core.ready else "starting")
+        return (
+            f"Network(backends={self._core.expected_ranks}, "
+            f"internal={len(self._commnodes)}, {state})"
+        )
+
+
+def _iter_subtree(node: TopologyNode):
+    stack = [node]
+    while stack:
+        n = stack.pop()
+        yield n
+        stack.extend(n.children)

@@ -1,0 +1,382 @@
+"""MRNet data packets: typed payloads with a packed binary encoding.
+
+A :class:`Packet` is the unit of data on a stream (paper §2.1).  Each
+packet carries:
+
+* ``stream_id`` — identifies the stream the packet belongs to, used by
+  internal processes to demultiplex (paper §2.3);
+* ``tag`` — an application-level message tag (MRNet's API lets tools
+  tag messages; Paradyn uses tags to dispatch handlers);
+* a format (see :mod:`repro.core.formats`) and a tuple of values
+  matching that format;
+* ``origin_rank`` — rank of the end-point that produced the packet,
+  letting filters attribute data to back-ends.
+
+The wire encoding ("efficient, packed binary representation", §1) is:
+
+.. code-block:: text
+
+   uint32 stream_id | int32 tag | uint32 origin_rank |
+   uint32 fmt_len | fmt bytes (UTF-8, canonical) |
+   packed fields ...
+
+All multi-byte quantities are big-endian ("network order").  Inside a
+process packets are passed by reference and never re-encoded
+(zero-copy path, §2.3); :meth:`Packet.to_bytes` caches its result so a
+packet fanned out to many children is serialized once.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Iterator, Sequence, Tuple
+
+import numpy as np
+
+from .formats import FieldSpec, FormatError, FormatString, TypeCode, parse_format
+
+__all__ = ["Packet", "PacketDecodeError"]
+
+_HEADER = struct.Struct(">IiI")
+_U32 = struct.Struct(">I")
+
+# Above this element count, array fields go through numpy's vectorized
+# byte-swap/copy instead of struct.pack(*values) — an order of magnitude
+# faster for the multi-thousand-element vectors concatenation builds.
+_NUMPY_THRESHOLD = 64
+
+_NP_DTYPE = {
+    TypeCode.CHAR: np.dtype(">u1"),
+    TypeCode.INT32: np.dtype(">i4"),
+    TypeCode.UINT32: np.dtype(">u4"),
+    TypeCode.INT64: np.dtype(">i8"),
+    TypeCode.UINT64: np.dtype(">u8"),
+    TypeCode.FLOAT32: np.dtype(">f4"),
+    TypeCode.FLOAT64: np.dtype(">f8"),
+}
+
+
+class PacketDecodeError(ValueError):
+    """Raised when a byte buffer cannot be decoded as a packet."""
+
+
+def _check_scalar(code: TypeCode, value: Any) -> Any:
+    """Validate and normalise one scalar against its type code."""
+    if isinstance(value, np.generic):
+        # numpy scalars normalise to native Python numbers first.
+        if isinstance(value, np.bool_):
+            raise FormatError(f"expected number for {code}, got numpy bool")
+        value = value.item()
+    if code.is_integral:
+        if isinstance(value, bool) or not isinstance(value, int):
+            if code is TypeCode.CHAR and isinstance(value, str) and len(value) == 1:
+                value = ord(value)
+            else:
+                raise FormatError(
+                    f"expected int for {code}, got {type(value).__name__}"
+                )
+        lo, hi = code.bounds
+        if not lo <= value <= hi:
+            raise FormatError(f"value {value} out of range for {code}")
+        return value
+    if code.is_float:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise FormatError(
+                f"expected float for {code}, got {type(value).__name__}"
+            )
+        return float(value)
+    if code is TypeCode.STRING:
+        if not isinstance(value, str):
+            raise FormatError(f"expected str, got {type(value).__name__}")
+        return value
+    if code is TypeCode.BYTES:
+        if not isinstance(value, (bytes, bytearray, memoryview)):
+            raise FormatError(f"expected bytes, got {type(value).__name__}")
+        return bytes(value)
+    raise FormatError(f"unhandled type code {code}")  # pragma: no cover
+
+
+def _normalise(fields: Tuple[FieldSpec, ...], values: Sequence[Any]) -> Tuple[Any, ...]:
+    if len(values) != len(fields):
+        raise FormatError(
+            f"format has {len(fields)} fields but {len(values)} values given"
+        )
+    out = []
+    for spec, value in zip(fields, values):
+        if spec.is_array:
+            if spec.code is TypeCode.STRING:
+                if not isinstance(value, (list, tuple)) or not all(
+                    isinstance(v, str) for v in value
+                ):
+                    raise FormatError("%as expects a sequence of str")
+                out.append(tuple(value))
+            elif spec.code is TypeCode.CHAR and isinstance(
+                value, (bytes, bytearray, memoryview)
+            ):
+                out.append(tuple(bytes(value)))
+            elif isinstance(value, np.ndarray):
+                out.append(_normalise_ndarray(spec.code, value))
+            else:
+                if isinstance(value, (str, bytes)):
+                    raise FormatError(f"{spec.spec} expects a sequence of scalars")
+                try:
+                    items = list(value)
+                except TypeError:
+                    raise FormatError(
+                        f"{spec.spec} expects a sequence, got {type(value).__name__}"
+                    ) from None
+                out.append(tuple(_check_scalar(spec.code, v) for v in items))
+        else:
+            out.append(_check_scalar(spec.code, value))
+    return tuple(out)
+
+
+def _normalise_ndarray(code: TypeCode, arr: np.ndarray) -> Tuple[Any, ...]:
+    """Vectorized validation + conversion of a numpy array field."""
+    if arr.ndim != 1:
+        raise FormatError(f"array fields must be 1-D, got shape {arr.shape}")
+    if code.is_integral:
+        if arr.dtype.kind not in "iu":
+            raise FormatError(
+                f"expected integer array for {code}, got dtype {arr.dtype}"
+            )
+        lo, hi = code.bounds
+        if arr.size and (int(arr.min()) < lo or int(arr.max()) > hi):
+            raise FormatError(f"array values out of range for {code}")
+    elif code.is_float:
+        if arr.dtype.kind not in "iuf":
+            raise FormatError(
+                f"expected numeric array for {code}, got dtype {arr.dtype}"
+            )
+        return tuple(arr.astype(float).tolist())
+    else:
+        raise FormatError(f"ndarray not supported for {code}")
+    return tuple(arr.tolist())
+
+
+class Packet:
+    """One typed data packet.
+
+    Parameters
+    ----------
+    stream_id:
+        Id of the stream this packet travels on.
+    tag:
+        Application message tag.
+    fmt:
+        Format string or pre-parsed :class:`FormatString`.
+    values:
+        Field values matching *fmt*.
+    origin_rank:
+        Rank of the producing end-point (0 for the front-end).
+    """
+
+    __slots__ = ("stream_id", "tag", "fmt", "values", "origin_rank", "_encoded")
+
+    def __init__(
+        self,
+        stream_id: int,
+        tag: int,
+        fmt: str | FormatString,
+        values: Sequence[Any],
+        origin_rank: int = 0,
+    ):
+        if not 0 <= int(stream_id) < 2**32:
+            raise ValueError(f"stream_id {stream_id} out of uint32 range")
+        if not -(2**31) <= int(tag) < 2**31:
+            raise ValueError(f"tag {tag} out of int32 range")
+        if not 0 <= int(origin_rank) < 2**32:
+            raise ValueError(f"origin_rank {origin_rank} out of uint32 range")
+        self.stream_id = int(stream_id)
+        self.tag = int(tag)
+        self.fmt = fmt if isinstance(fmt, FormatString) else parse_format(fmt)
+        self.values = _normalise(self.fmt.fields, values)
+        self.origin_rank = int(origin_rank)
+        self._encoded: bytes | None = None
+
+    # -- value access ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, idx: int) -> Any:
+        return self.values[idx]
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.values)
+
+    def unpack(self) -> Tuple[Any, ...]:
+        """Return all field values as a tuple (scanf-style receive)."""
+        return self.values
+
+    # -- identity --------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Packet):
+            return NotImplemented
+        return (
+            self.stream_id == other.stream_id
+            and self.tag == other.tag
+            and self.fmt == other.fmt
+            and self.values == other.values
+            and self.origin_rank == other.origin_rank
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.stream_id, self.tag, self.fmt, self.values, self.origin_rank))
+
+    def __repr__(self) -> str:
+        vals = ", ".join(repr(v) for v in self.values[:4])
+        if len(self.values) > 4:
+            vals += ", ..."
+        return (
+            f"Packet(stream={self.stream_id}, tag={self.tag}, "
+            f"fmt={self.fmt.canonical!r}, values=({vals}), "
+            f"origin={self.origin_rank})"
+        )
+
+    def replace(self, **kwargs) -> "Packet":
+        """Return a copy with some attributes replaced.
+
+        Filters use this to re-stamp aggregated packets (e.g. new
+        values, same stream) without mutating shared inputs.
+        """
+        return Packet(
+            kwargs.get("stream_id", self.stream_id),
+            kwargs.get("tag", self.tag),
+            kwargs.get("fmt", self.fmt),
+            kwargs.get("values", self.values),
+            kwargs.get("origin_rank", self.origin_rank),
+        )
+
+    # -- codec -----------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Encode to the packed wire representation (cached)."""
+        if self._encoded is None:
+            parts = [
+                _HEADER.pack(self.stream_id, self.tag, self.origin_rank),
+            ]
+            fmt_bytes = self.fmt.canonical.encode("utf-8")
+            parts.append(_U32.pack(len(fmt_bytes)))
+            parts.append(fmt_bytes)
+            for spec, value in zip(self.fmt.fields, self.values):
+                _encode_field(parts, spec, value)
+            self._encoded = b"".join(parts)
+        return self._encoded
+
+    @property
+    def nbytes(self) -> int:
+        """Encoded size in bytes."""
+        return len(self.to_bytes())
+
+    @classmethod
+    def from_bytes(cls, data: bytes | memoryview) -> "Packet":
+        """Decode a packet from its wire representation."""
+        packet, offset = cls.decode_from(data, 0)
+        if offset != len(data):
+            raise PacketDecodeError(
+                f"{len(data) - offset} trailing bytes after packet"
+            )
+        return packet
+
+    @classmethod
+    def decode_from(cls, data: bytes | memoryview, offset: int) -> Tuple["Packet", int]:
+        """Decode one packet starting at *offset*; return (packet, end)."""
+        view = memoryview(data)
+        try:
+            stream_id, tag, origin = _HEADER.unpack_from(view, offset)
+            offset += _HEADER.size
+            (fmt_len,) = _U32.unpack_from(view, offset)
+            offset += _U32.size
+            fmt_text = bytes(view[offset : offset + fmt_len]).decode("utf-8")
+            if len(fmt_text.encode("utf-8")) != fmt_len:
+                raise PacketDecodeError("truncated format string")
+            offset += fmt_len
+            fmt = parse_format(fmt_text)
+            values = []
+            for spec in fmt.fields:
+                value, offset = _decode_field(view, offset, spec)
+                values.append(value)
+        except (struct.error, UnicodeDecodeError, FormatError) as exc:
+            raise PacketDecodeError(str(exc)) from exc
+        return cls(stream_id, tag, fmt, values, origin), offset
+
+
+def _encode_field(parts: list, spec: FieldSpec, value: Any) -> None:
+    code = spec.code
+    if spec.is_array:
+        if code is TypeCode.STRING:
+            parts.append(_U32.pack(len(value)))
+            for s in value:
+                raw = s.encode("utf-8")
+                parts.append(_U32.pack(len(raw)))
+                parts.append(raw)
+        else:
+            parts.append(_U32.pack(len(value)))
+            if len(value) > _NUMPY_THRESHOLD:
+                # Vectorized encode: one big-endian copy, no per-element
+                # Python work.
+                parts.append(np.asarray(value, dtype=_NP_DTYPE[code]).tobytes())
+            elif value:
+                parts.append(
+                    struct.pack(f">{len(value)}{code.struct_char}", *value)
+                )
+        return
+    if code is TypeCode.STRING:
+        raw = value.encode("utf-8")
+        parts.append(_U32.pack(len(raw)))
+        parts.append(raw)
+    elif code is TypeCode.BYTES:
+        parts.append(_U32.pack(len(value)))
+        parts.append(value)
+    else:
+        parts.append(struct.pack(f">{code.struct_char}", value))
+
+
+def _decode_field(view: memoryview, offset: int, spec: FieldSpec):
+    code = spec.code
+    if spec.is_array:
+        (count,) = _U32.unpack_from(view, offset)
+        offset += _U32.size
+        if code is TypeCode.STRING:
+            items = []
+            for _ in range(count):
+                (slen,) = _U32.unpack_from(view, offset)
+                offset += _U32.size
+                raw = bytes(view[offset : offset + slen])
+                if len(raw) != slen:
+                    raise PacketDecodeError("truncated string element")
+                items.append(raw.decode("utf-8"))
+                offset += slen
+            return tuple(items), offset
+        fmt = f">{count}{code.struct_char}"
+        size = struct.calcsize(fmt)
+        if offset + size > len(view):
+            raise PacketDecodeError("truncated array field")
+        if count > _NUMPY_THRESHOLD:
+            arr = np.frombuffer(view, dtype=_NP_DTYPE[code], count=count,
+                                offset=offset)
+            return tuple(arr.tolist()), offset + size
+        values = struct.unpack_from(fmt, view, offset)
+        return tuple(values), offset + size
+    if code is TypeCode.STRING:
+        (slen,) = _U32.unpack_from(view, offset)
+        offset += _U32.size
+        raw = bytes(view[offset : offset + slen])
+        if len(raw) != slen:
+            raise PacketDecodeError("truncated string field")
+        return raw.decode("utf-8"), offset + slen
+    if code is TypeCode.BYTES:
+        (blen,) = _U32.unpack_from(view, offset)
+        offset += _U32.size
+        raw = bytes(view[offset : offset + blen])
+        if len(raw) != blen:
+            raise PacketDecodeError("truncated bytes field")
+        return raw, offset + blen
+    fmt = f">{code.struct_char}"
+    size = struct.calcsize(fmt)
+    if offset + size > len(view):
+        raise PacketDecodeError("truncated scalar field")
+    (value,) = struct.unpack_from(fmt, view, offset)
+    return value, offset + size

@@ -1,0 +1,103 @@
+"""Wire protocol constants and control-message helpers.
+
+MRNet multiplexes everything over the tree links.  We reserve stream
+id 0 as the *control stream*; packets on it drive network life-cycle:
+
+* ``TAG_ENDPOINT_REPORT`` (upstream) — "the root of that sub-tree
+  sends a report to its parent containing the end-points accessible
+  via that sub-tree" (§2.5).  Payload ``"%aud"``: back-end ranks.
+* ``TAG_NEW_STREAM`` (downstream) — stream creation announcement.
+  Payload ``"%ud %aud %d %d %lf %d"``: stream id, endpoint ranks,
+  synchronization filter id, upstream transformation filter id,
+  synchronization timeout (seconds; meaningful for TimeOut sync), and
+  downstream transformation filter id.
+* ``TAG_CLOSE_STREAM`` (downstream) — payload ``"%ud"``: stream id.
+* ``TAG_SHUTDOWN`` (downstream) — tears the tree down.
+
+Application packets use non-negative tags; tags below
+``FIRST_APP_TAG`` are reserved for the protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from .packet import Packet
+
+__all__ = [
+    "CONTROL_STREAM_ID",
+    "FIRST_STREAM_ID",
+    "TAG_ENDPOINT_REPORT",
+    "TAG_NEW_STREAM",
+    "TAG_CLOSE_STREAM",
+    "TAG_SHUTDOWN",
+    "FIRST_APP_TAG",
+    "FMT_ENDPOINT_REPORT",
+    "FMT_NEW_STREAM",
+    "FMT_CLOSE_STREAM",
+    "make_endpoint_report",
+    "make_new_stream",
+    "make_close_stream",
+    "make_shutdown",
+    "parse_new_stream",
+]
+
+CONTROL_STREAM_ID = 0
+FIRST_STREAM_ID = 1
+
+TAG_ENDPOINT_REPORT = -1
+TAG_NEW_STREAM = -2
+TAG_CLOSE_STREAM = -3
+TAG_SHUTDOWN = -4
+
+FIRST_APP_TAG = 100
+
+FMT_ENDPOINT_REPORT = "%aud"
+FMT_NEW_STREAM = "%ud %aud %d %d %lf %d"
+FMT_CLOSE_STREAM = "%ud"
+FMT_SHUTDOWN = "%d"
+
+
+def make_endpoint_report(ranks: Sequence[int]) -> Packet:
+    """Build an upstream endpoint report for *ranks*."""
+    return Packet(
+        CONTROL_STREAM_ID, TAG_ENDPOINT_REPORT, FMT_ENDPOINT_REPORT, (tuple(ranks),)
+    )
+
+
+def make_new_stream(
+    stream_id: int,
+    endpoints: Sequence[int],
+    sync_filter_id: int,
+    transform_filter_id: int,
+    sync_timeout: float = 0.0,
+    down_transform_filter_id: int = 0,
+) -> Packet:
+    """Build the downstream stream-creation announcement."""
+    return Packet(
+        CONTROL_STREAM_ID,
+        TAG_NEW_STREAM,
+        FMT_NEW_STREAM,
+        (
+            stream_id,
+            tuple(endpoints),
+            sync_filter_id,
+            transform_filter_id,
+            float(sync_timeout),
+            down_transform_filter_id,
+        ),
+    )
+
+
+def parse_new_stream(packet: Packet) -> Tuple[int, Tuple[int, ...], int, int, float, int]:
+    """Unpack a ``TAG_NEW_STREAM`` control packet."""
+    stream_id, endpoints, sync_id, trans_id, timeout, down_id = packet.unpack()
+    return stream_id, endpoints, sync_id, trans_id, timeout, down_id
+
+
+def make_close_stream(stream_id: int) -> Packet:
+    return Packet(CONTROL_STREAM_ID, TAG_CLOSE_STREAM, FMT_CLOSE_STREAM, (stream_id,))
+
+
+def make_shutdown() -> Packet:
+    return Packet(CONTROL_STREAM_ID, TAG_SHUTDOWN, FMT_SHUTDOWN, (0,))

@@ -1,0 +1,71 @@
+"""Per-node routing state: which back-end ranks lie behind which link.
+
+"a child node object represents a connection directly to an end-point
+or to another internal process through which at least one end-point in
+the set can ultimately be reached" (paper §2.3).  The
+:class:`RoutingTable` is built from the upstream endpoint reports of
+§2.5 and answers the downstream fan-out question: given a stream's
+endpoint set, which child links must a packet be copied to?
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set
+
+__all__ = ["RoutingTable"]
+
+
+class RoutingTable:
+    """Maps child link ids to the set of back-end ranks they reach."""
+
+    def __init__(self):
+        self._reach: Dict[int, Set[int]] = {}
+
+    def add_report(self, link_id: int, ranks: Iterable[int]) -> None:
+        """Record (or extend) the ranks reachable through *link_id*."""
+        self._reach.setdefault(link_id, set()).update(ranks)
+
+    def remove_link(self, link_id: int) -> Set[int]:
+        """Forget a link (closed child); returns the ranks it reached."""
+        return self._reach.pop(link_id, set())
+
+    def links_for(self, endpoints: FrozenSet[int] | Set[int]) -> List[int]:
+        """Child links whose reachable set intersects *endpoints*.
+
+        Links are ordered by the smallest rank they reach, so stream
+        child lists — and therefore wave order in synchronization
+        filters and concatenation output — follow back-end rank order
+        regardless of the order endpoint reports happened to arrive.
+        """
+        hits = [
+            (min(ranks & endpoints), link)
+            for link, ranks in self._reach.items()
+            if ranks & endpoints
+        ]
+        return [link for _, link in sorted(hits)]
+
+    def ranks_behind(self, link_id: int) -> Set[int]:
+        return set(self._reach.get(link_id, ()))
+
+    def all_ranks(self) -> Set[int]:
+        out: Set[int] = set()
+        for ranks in self._reach.values():
+            out |= ranks
+        return out
+
+    def link_of(self, rank: int) -> int:
+        """The child link leading to *rank* (raises if unknown)."""
+        for link, ranks in self._reach.items():
+            if rank in ranks:
+                return link
+        raise KeyError(f"no route to back-end rank {rank}")
+
+    @property
+    def links(self) -> List[int]:
+        return list(self._reach)
+
+    def __len__(self) -> int:
+        return len(self._reach)
+
+    def __repr__(self) -> str:
+        return f"RoutingTable({ {l: sorted(r) for l, r in self._reach.items()} })"

@@ -1,0 +1,102 @@
+"""Front-end stream handles (paper §2.1–2.2).
+
+"A stream is a logical channel that connects the front-end to the
+end-points of a communicator.  All tool-level communication via MRNet
+uses streams."  A :class:`Stream` is the front-end's handle: ``send``
+multicasts downstream to the stream's communicator; ``recv`` blocks
+for the next aggregated upstream packet.
+
+The front-end is single-threaded by design (tool front-ends drive
+MRNet from their event loop), so ``recv`` pumps the network while it
+waits; packets for *other* streams arriving meanwhile are queued on
+those streams, supporting the paper's "multiple simultaneous,
+asynchronous collective communication operations".
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Optional, Tuple
+
+from .communicator import Communicator
+from .packet import Packet
+from .protocol import FIRST_APP_TAG
+
+__all__ = ["Stream", "StreamClosed"]
+
+
+class StreamClosed(RuntimeError):
+    """Raised when using a stream after it was closed."""
+
+
+class Stream:
+    """A logical data channel between the front-end and a communicator."""
+
+    def __init__(self, network, stream_id: int, communicator: Communicator):
+        self._network = network
+        self.stream_id = stream_id
+        self.communicator = communicator
+        self.closed = False
+
+    # -- sending -------------------------------------------------------------
+
+    def send(self, fmt: str, *values: Any, tag: int = FIRST_APP_TAG) -> None:
+        """Multicast a packet downstream to every stream end-point.
+
+        Mirrors Figure 2's ``stream->send("%d", FLOAT_MAX_INIT)``.
+        """
+        self._check_open()
+        packet = Packet(self.stream_id, tag, fmt, values)
+        self._network._send_downstream(packet)
+
+    def send_packet(self, packet: Packet) -> None:
+        """Multicast a pre-built packet (must carry this stream's id)."""
+        self._check_open()
+        if packet.stream_id != self.stream_id:
+            raise ValueError(
+                f"packet stream id {packet.stream_id} != {self.stream_id}"
+            )
+        self._network._send_downstream(packet)
+
+    # -- receiving ---------------------------------------------------------
+
+    def recv(self, timeout: Optional[float] = None) -> Packet:
+        """Block for the next upstream (aggregated) packet on this stream.
+
+        Raises ``TimeoutError`` if *timeout* seconds elapse first.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        return self._network._recv_on_stream(self.stream_id, deadline)
+
+    def recv_values(self, timeout: Optional[float] = None) -> Tuple[Any, ...]:
+        """Like :meth:`recv` but returns the packet's values directly."""
+        return self.recv(timeout).unpack()
+
+    def try_recv(self) -> Optional[Packet]:
+        """Non-blocking receive: the next packet, or ``None``."""
+        return self._network._try_recv_on_stream(self.stream_id)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Tear the stream down across the network (idempotent)."""
+        if not self.closed:
+            self.closed = True
+            self._network._close_stream(self.stream_id)
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise StreamClosed(f"stream {self.stream_id} is closed")
+
+    def __enter__(self) -> "Stream":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return (
+            f"Stream(id={self.stream_id}, endpoints={len(self.communicator)}, "
+            f"{state})"
+        )

@@ -1,0 +1,153 @@
+"""Stream managers: per-stream control flow inside a process (§2.3).
+
+"Internal processes use a stream manager object to manage control flow
+and route packets.  When a stream is established, an internal process
+creates a new stream manager and initializes it with the set of
+end-points to be associated with the stream and the filter(s) to be
+used on data packets sent on the stream."
+
+A :class:`StreamManager` owns, for one stream at one process:
+
+* the stream's endpoint set (back-end ranks);
+* the child links relevant to the stream (its "children nodes");
+* one synchronization-filter instance over those links;
+* the upstream transformation filter plus its per-node state;
+* optionally a downstream transformation filter plus state.
+
+The upstream path is ``push_upstream`` (packet in, zero or more
+aggregated packets out); downstream fan-out is resolved by the node's
+routing table, with ``transform_downstream`` applied first when a
+downstream filter is bound.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, List, Optional, Sequence
+
+from ..filters.base import FunctionFilter
+from ..filters.registry import FilterRegistry, SFILTER_TIMEOUT
+from ..filters.sync import SynchronizationFilter
+from .packet import Packet
+
+__all__ = ["StreamManager"]
+
+
+class StreamManager:
+    """Per-stream packet processing at one tree node."""
+
+    def __init__(
+        self,
+        stream_id: int,
+        endpoints: Sequence[int],
+        child_links: Sequence[int],
+        sync_filter: SynchronizationFilter,
+        transform: FunctionFilter,
+        down_transform: Optional[FunctionFilter] = None,
+    ):
+        self.stream_id = stream_id
+        self.endpoints: FrozenSet[int] = frozenset(endpoints)
+        self.child_links = list(child_links)
+        self.sync = sync_filter
+        self.transform = transform
+        self.transform_state = transform.make_state()
+        # Generic hint for filters that need their fan-in (e.g. the
+        # Performance Data Aggregation filter aligns one queue per child).
+        self.transform_state.setdefault("n_children", len(self.child_links))
+        self.down_transform = down_transform
+        self.down_state = down_transform.make_state() if down_transform else None
+        self.closed = False
+
+    @classmethod
+    def create(
+        cls,
+        stream_id: int,
+        endpoints: Sequence[int],
+        child_links: Sequence[int],
+        registry: FilterRegistry,
+        sync_filter_id: int,
+        transform_filter_id: int,
+        sync_timeout: float = 0.0,
+        down_transform_filter_id: int = 0,
+        clock: Callable[[], float] = None,
+    ) -> "StreamManager":
+        """Instantiate filters from registry ids (the NEW_STREAM path)."""
+        import time
+
+        clock = clock or time.monotonic
+        kwargs = {}
+        if sync_filter_id == SFILTER_TIMEOUT:
+            kwargs["timeout"] = sync_timeout if sync_timeout > 0 else 0.05
+        sync = registry.make_sync(sync_filter_id, child_links, clock=clock, **kwargs)
+        transform = registry.get_transform(transform_filter_id)
+        down = (
+            registry.get_transform(down_transform_filter_id)
+            if down_transform_filter_id
+            else None
+        )
+        return cls(stream_id, endpoints, child_links, sync, transform, down)
+
+    # -- upstream ----------------------------------------------------------
+
+    def push_upstream(self, link_id: int, packet: Packet) -> List[Packet]:
+        """Process one packet arriving from a child; return outputs."""
+        if self.closed:
+            return []
+        waves = self.sync.push(link_id, packet)
+        return self._run_waves(waves)
+
+    def poll_upstream(self) -> List[Packet]:
+        """Re-check time-based synchronization criteria."""
+        if self.closed:
+            return []
+        return self._run_waves(self.sync.poll())
+
+    def drop_link(self, link_id: int) -> List[Packet]:
+        """A child link closed: release its backlog through the filter."""
+        backlog = self.sync.remove_child(link_id)
+        if link_id in self.child_links:
+            self.child_links.remove(link_id)
+        out: List[Packet] = []
+        if backlog:
+            out.extend(self.transform(backlog, self.transform_state))
+        out.extend(self._run_waves(self.sync.poll()))
+        return out
+
+    def flush_upstream(self) -> List[Packet]:
+        """Stream teardown: push every held packet through the filter."""
+        return self._run_waves(self.sync.flush())
+
+    def _run_waves(self, waves) -> List[Packet]:
+        out: List[Packet] = []
+        for wave in waves:
+            out.extend(self.transform(wave, self.transform_state))
+        return out
+
+    # -- downstream --------------------------------------------------------
+
+    def transform_downstream(self, packet: Packet) -> List[Packet]:
+        """Apply the downstream transformation filter, if bound.
+
+        Downstream flows have no synchronization stage (§2.3: "First,
+        synchronization filters are not supported for downstream data
+        flows").
+        """
+        if self.down_transform is None:
+            return [packet]
+        return self.down_transform([packet], self.down_state)
+
+    # -- misc -----------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Packets currently held by the synchronization filter."""
+        return self.sync.pending
+
+    def close(self) -> None:
+        self.closed = True
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamManager(stream={self.stream_id}, "
+            f"endpoints={sorted(self.endpoints)}, links={self.child_links}, "
+            f"sync={self.sync.name}, transform={self.transform.name})"
+        )

@@ -1,0 +1,249 @@
+"""Programmatic regeneration of every paper figure's data.
+
+Each ``fig*`` function returns ``(header, rows)`` — the same series the
+paper plots — computed on the calibrated Blue Pacific stand-in.  The
+benchmarks under ``benchmarks/`` call these and assert the shape
+criteria; ``python -m repro figures`` prints them all; library users
+can feed them straight into their own plotting.
+
+See EXPERIMENTS.md for paper-vs-measured anchors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .paradyn.clockskew import run_skew_experiment
+from .paradyn.startup import ACTIVITIES, simulate_startup
+from .sim.cluster import BLUE_PACIFIC, ClusterParams
+from .sim.collectives import CollectiveSim
+from .sim.frontend_load import LoadModelParams, PARADYN_LOAD, frontend_load_fraction, offered_rate
+from .sim.instantiation import simulate_instantiation
+from .sim.logp import (
+    LogGPParams,
+    broadcast_latency,
+    injection_gap,
+    pipelined_gap,
+    pipelined_throughput,
+)
+from .topology import analyze, balanced_tree, balanced_tree_for, flat_topology, unbalanced_fig4
+
+__all__ = [
+    "DEFAULT_BACKEND_SWEEP",
+    "DEFAULT_DAEMON_SWEEP",
+    "fig7a_instantiation",
+    "fig7b_roundtrip",
+    "fig7c_throughput",
+    "fig8a_startup",
+    "fig8b_activities",
+    "fig9_frontend_load",
+    "fig4_topologies",
+    "skew_accuracy",
+    "all_figures",
+]
+
+Header = List[str]
+Rows = List[Tuple]
+
+DEFAULT_BACKEND_SWEEP = [4, 16, 64, 128, 256, 400, 512, 600]
+DEFAULT_DAEMON_SWEEP = [4, 16, 64, 128, 256, 512]
+
+
+def fig7a_instantiation(
+    backends: Sequence[int] = DEFAULT_BACKEND_SWEEP,
+    params: ClusterParams = BLUE_PACIFIC,
+) -> Tuple[Header, Rows]:
+    """Figure 7a: tool instantiation latency (seconds)."""
+    rows = []
+    for n in backends:
+        rows.append(
+            (
+                n,
+                simulate_instantiation(flat_topology(n), params).latency,
+                simulate_instantiation(balanced_tree_for(4, n), params).latency,
+                simulate_instantiation(balanced_tree_for(8, n), params).latency,
+            )
+        )
+    return ["back-ends", "flat", "4-way", "8-way"], rows
+
+
+def fig7b_roundtrip(
+    backends: Sequence[int] = DEFAULT_BACKEND_SWEEP,
+    params: ClusterParams = BLUE_PACIFIC,
+) -> Tuple[Header, Rows]:
+    """Figure 7b: round-trip latency of broadcast + reduction (seconds)."""
+    rows = []
+    for n in backends:
+        rows.append(
+            (
+                n,
+                CollectiveSim(flat_topology(n), params).roundtrip().latency,
+                CollectiveSim(balanced_tree_for(4, n), params).roundtrip().latency,
+                CollectiveSim(balanced_tree_for(8, n), params).roundtrip().latency,
+            )
+        )
+    return ["back-ends", "flat", "4-way", "8-way"], rows
+
+
+def fig7c_throughput(
+    backends: Sequence[int] = DEFAULT_BACKEND_SWEEP,
+    waves: int = 60,
+    params: ClusterParams = BLUE_PACIFIC,
+) -> Tuple[Header, Rows]:
+    """Figure 7c: data reduction throughput (operations/second)."""
+    rows = []
+    for n in backends:
+        rows.append(
+            (
+                n,
+                CollectiveSim(flat_topology(n), params)
+                .pipelined_reductions(waves=waves)
+                .throughput,
+                CollectiveSim(balanced_tree_for(4, n), params)
+                .pipelined_reductions(waves=waves)
+                .throughput,
+                CollectiveSim(balanced_tree_for(8, n), params)
+                .pipelined_reductions(waves=waves)
+                .throughput,
+            )
+        )
+    return ["back-ends", "flat", "4-way", "8-way"], rows
+
+
+def fig8a_startup(
+    daemons: Sequence[int] = DEFAULT_DAEMON_SWEEP,
+) -> Tuple[Header, Rows]:
+    """Figure 8a: Paradyn start-up latency vs daemon count (seconds)."""
+    rows = []
+    for d in daemons:
+        rows.append(
+            (
+                d,
+                simulate_startup(d).total,
+                simulate_startup(d, balanced_tree_for(4, d)).total,
+                simulate_startup(d, balanced_tree_for(8, d)).total,
+                simulate_startup(d, balanced_tree_for(16, d)).total,
+            )
+        )
+    return ["daemons", "no-MRNet", "4-way", "8-way", "16-way"], rows
+
+
+def fig8b_activities(daemons: int = 512) -> Tuple[Header, Rows]:
+    """Figure 8b: start-up latency by activity (seconds)."""
+    flat = simulate_startup(daemons)
+    tree = simulate_startup(daemons, balanced_tree_for(8, daemons))
+    rows = []
+    for activity in ACTIVITIES:
+        mark = "*" if activity.uses_mrnet else " "
+        f = flat.per_activity[activity.name]
+        t = tree.per_activity[activity.name]
+        rows.append((f"{mark}{activity.name}", f, t, f / max(t, 1e-9)))
+    rows.append(("TOTAL", flat.total, tree.total, flat.total / tree.total))
+    return ["activity", "no-MRNet (s)", "8-way (s)", "speedup"], rows
+
+
+def fig9_frontend_load(
+    daemons: Sequence[int] = (4, 16, 64, 128, 256),
+    metrics: Sequence[int] = (1, 8, 16, 32),
+    fanouts: Sequence[int] = (4, 8, 16),
+    params: LoadModelParams = PARADYN_LOAD,
+) -> Dict[int, Tuple[Header, Rows]]:
+    """Figure 9 panels: fraction of offered load, keyed by metric count."""
+    panels: Dict[int, Tuple[Header, Rows]] = {}
+    header = (
+        ["daemons", "flat"]
+        + [f"{f}-way" for f in fanouts]
+        + ["offered/s"]
+    )
+    for m in metrics:
+        rows = []
+        for d in daemons:
+            row = [d, frontend_load_fraction(d, m, None, params)]
+            for f in fanouts:
+                row.append(
+                    frontend_load_fraction(d, m, balanced_tree_for(f, d), params)
+                )
+            row.append(offered_rate(d, m))
+            rows.append(tuple(row))
+        panels[m] = (list(header), rows)
+    return panels
+
+
+def fig4_topologies(
+    params: Optional[LogGPParams] = None,
+) -> Tuple[Header, Rows]:
+    """Figure 4 / §2.6: balanced vs unbalanced topology costs."""
+    p = params if params is not None else LogGPParams(L=20e-6, o=10e-6, g=1e-3, G=0.0)
+    rows = []
+    for name, spec in (
+        ("balanced-4a", balanced_tree(4, 2)),
+        ("unbalanced-4b", unbalanced_fig4()),
+    ):
+        stats = analyze(spec)
+        rows.append(
+            (
+                name,
+                stats.num_backends,
+                stats.root_fanout,
+                broadcast_latency(spec, p) * 1e3,
+                injection_gap(spec, p) * 1e3,
+                pipelined_gap(spec, p) * 1e3,
+                pipelined_throughput(spec, p),
+            )
+        )
+    return (
+        ["topology", "BEs", "root-fan", "bcast-ms", "inject-ms", "pipe-ms", "ops/s"],
+        rows,
+    )
+
+
+def skew_accuracy(
+    seeds: Sequence[int] = range(12),
+    fanout: int = 4,
+    depth: int = 3,
+) -> Tuple[Header, Rows]:
+    """§4.2.1: clock-skew error, MRNet scheme vs direct baseline."""
+    rows = []
+    m_means, m_stds, d_means, d_stds = [], [], [], []
+    for seed in seeds:
+        res = run_skew_experiment(
+            balanced_tree(fanout, depth),
+            local_trials=20,
+            direct_trials=100,
+            seed=seed,
+        )
+        m_mean, m_std = res.summary("mrnet")
+        d_mean, d_std = res.summary("direct")
+        rows.append((seed, m_mean, m_std, d_mean, d_std))
+        m_means.append(m_mean)
+        m_stds.append(m_std)
+        d_means.append(d_mean)
+        d_stds.append(d_std)
+    rows.append(
+        (
+            "mean",
+            float(np.mean(m_means)),
+            float(np.mean(m_stds)),
+            float(np.mean(d_means)),
+            float(np.mean(d_stds)),
+        )
+    )
+    return ["seed", "MRNet err%", "MRNet sigma", "direct err%", "direct sigma"], rows
+
+
+def all_figures() -> Dict[str, Tuple[Header, Rows]]:
+    """Every figure's data, keyed by figure id."""
+    out: Dict[str, Tuple[Header, Rows]] = {
+        "fig4": fig4_topologies(),
+        "fig7a": fig7a_instantiation(),
+        "fig7b": fig7b_roundtrip(),
+        "fig7c": fig7c_throughput(),
+        "fig8a": fig8a_startup(),
+        "fig8b": fig8b_activities(),
+        "skew": skew_accuracy(),
+    }
+    for m, panel in fig9_frontend_load().items():
+        out[f"fig9-{m}metrics"] = panel
+    return out

@@ -1,0 +1,91 @@
+"""Histogram transformation filter.
+
+Paradyn "uses a custom histogram filter to place its back-ends into
+equivalence classes based on the program resources ... discovered by
+each back-end" (paper §1).  This module provides the reusable,
+value-histogram half of that machinery; the checksum equivalence-class
+filter built on the same pattern lives in
+:mod:`repro.paradyn.eqclass`.
+
+The filter is *tree-composable*: leaf inputs are scalar samples
+(``"%lf"``) which it bins against edges fixed at construction, while
+interior inputs are partial count vectors (``"%auld"``) which it sums
+element-wise.  Either way the output is a ``"%auld"`` count vector, so
+the same filter id can be bound at every level of the MRNet tree and
+the front-end receives the exact global histogram.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Sequence
+
+from ..core.formats import parse_format
+from ..core.packet import Packet
+from .base import FilterError, FilterState, FunctionFilter
+
+__all__ = ["HistogramFilter"]
+
+_SCALAR_FMT = parse_format("%lf")
+_COUNTS_FMT = parse_format("%auld")
+
+
+class HistogramFilter(FunctionFilter):
+    """Histogram values into fixed bins; merge partial histograms.
+
+    Parameters
+    ----------
+    edges:
+        Strictly increasing bin edges ``e0 < e1 < ... < ek``; values
+        land in bin *i* when ``e_i <= v < e_{i+1}``.  Values below
+        ``e0`` or at/above ``ek`` land in two extra overflow bins, so
+        the output vector has ``k + 1`` entries:
+        ``[underflow, bin0..bin{k-1}, overflow]`` flattened as
+        ``k - 1 + 2`` counts.
+    """
+
+    def __init__(self, edges: Sequence[float], name: str = "histogram"):
+        edges = [float(e) for e in edges]
+        if len(edges) < 2:
+            raise FilterError("histogram needs at least two edges")
+        if any(a >= b for a, b in zip(edges, edges[1:])):
+            raise FilterError("histogram edges must be strictly increasing")
+        super().__init__(self._run, name, None)
+        self.edges = edges
+        self.nbins = len(edges) + 1  # interior bins + under/overflow
+
+    def bin_index(self, value: float) -> int:
+        """Index of the count slot *value* falls into."""
+        return bisect.bisect_right(self.edges, value)
+
+    def _run(self, packets: Sequence[Packet], state: FilterState) -> List[Packet]:
+        if not packets:
+            return []
+        counts = [0] * self.nbins
+        for p in packets:
+            if p.fmt == _SCALAR_FMT:
+                counts[self.bin_index(p.values[0])] += 1
+            elif p.fmt == _COUNTS_FMT:
+                partial = p.values[0]
+                if len(partial) != self.nbins:
+                    raise FilterError(
+                        f"partial histogram has {len(partial)} bins, "
+                        f"expected {self.nbins}"
+                    )
+                for i, c in enumerate(partial):
+                    counts[i] += c
+            else:
+                raise FilterError(
+                    f"histogram filter cannot accept format "
+                    f"{p.fmt.canonical!r}"
+                )
+        first = packets[0]
+        return [
+            Packet(
+                first.stream_id,
+                first.tag,
+                _COUNTS_FMT,
+                (tuple(counts),),
+                origin_rank=first.origin_rank,
+            )
+        ]

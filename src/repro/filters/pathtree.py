@@ -1,0 +1,204 @@
+"""Call-path prefix-tree merge filter.
+
+The paper's extensibility pitch — "custom filters can be loaded
+dynamically into the network to perform tool-specific aggregation
+operations" (§1) — found its best-known use after publication in
+stack-trace aggregation tools built on MRNet, which merge every
+process's call path into one prefix tree annotated with task counts
+(a few kilobytes summarising a million stacks).  This module provides
+that reduction as a library filter, and it doubles as the repository's
+reference example of a *structured* custom aggregation (the built-ins
+are all flat numerics).
+
+Wire format: each back-end sends its call path as a string array
+(``"%as"``, e.g. ``("main", "solve", "mpi_waitall")``).  The filter's
+output — also tree-composable — is a serialized prefix tree as three
+parallel arrays:
+
+* ``"%as"`` frame names in preorder,
+* ``"%aud"`` depth of each node,
+* ``"%auld"`` number of contributing processes per node.
+
+:class:`PathTree` is the in-memory form with merge/serialize/parse;
+:class:`PathTreeFilter` wraps it for MRNet streams.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.formats import parse_format
+from ..core.packet import Packet
+from .base import FilterError, FilterState, FunctionFilter
+
+__all__ = ["PathTree", "PathTreeFilter", "pathtree_filter"]
+
+_PATH_FMT = parse_format("%as")
+_TREE_FMT = parse_format("%as %aud %auld")
+
+
+class PathTree:
+    """A prefix tree of call paths with per-node process counts."""
+
+    __slots__ = ("children", "count")
+
+    def __init__(self):
+        self.children: Dict[str, "PathTree"] = {}
+        self.count = 0  # processes whose path passes through this node
+
+    # -- building -----------------------------------------------------------
+
+    def add_path(self, frames: Sequence[str], count: int = 1) -> None:
+        """Insert one call path contributed by *count* processes."""
+        if count < 1:
+            raise ValueError("count must be positive")
+        node = self
+        for frame in frames:
+            node = node.children.setdefault(frame, PathTree())
+            node.count += count
+
+    def merge(self, other: "PathTree") -> None:
+        """Fold *other* into this tree (associative, commutative)."""
+        for frame, child in other.children.items():
+            mine = self.children.setdefault(frame, PathTree())
+            mine.count += child.count
+            mine.merge(child)
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return sum(1 + c.num_nodes for c in self.children.values())
+
+    @property
+    def num_processes(self) -> int:
+        """Processes represented (sum of top-level counts)."""
+        return sum(c.count for c in self.children.values())
+
+    def paths(self) -> List[Tuple[Tuple[str, ...], int]]:
+        """(path, leaf count) for every leaf, lexicographic order."""
+        out: List[Tuple[Tuple[str, ...], int]] = []
+
+        def walk(node: "PathTree", prefix: Tuple[str, ...]) -> None:
+            for frame in sorted(node.children):
+                child = node.children[frame]
+                path = prefix + (frame,)
+                consumed = sum(g.count for g in child.children.values())
+                ending_here = child.count - consumed
+                if ending_here > 0:
+                    out.append((path, ending_here))
+                walk(child, path)
+
+        walk(self, ())
+        return out
+
+    def render(self, indent: str = "  ") -> str:
+        """Human-readable tree (STAT-style)."""
+        lines: List[str] = []
+
+        def walk(node: "PathTree", depth: int) -> None:
+            for frame in sorted(node.children):
+                child = node.children[frame]
+                lines.append(f"{indent * depth}{frame} [{child.count}]")
+                walk(child, depth + 1)
+
+        walk(self, 0)
+        return "\n".join(lines)
+
+    # -- codec -----------------------------------------------------------------
+
+    def to_arrays(self) -> Tuple[Tuple[str, ...], Tuple[int, ...], Tuple[int, ...]]:
+        """Preorder (names, depths, counts) arrays."""
+        names: List[str] = []
+        depths: List[int] = []
+        counts: List[int] = []
+
+        def walk(node: "PathTree", depth: int) -> None:
+            for frame in sorted(node.children):
+                child = node.children[frame]
+                names.append(frame)
+                depths.append(depth)
+                counts.append(child.count)
+                walk(child, depth + 1)
+
+        walk(self, 0)
+        return tuple(names), tuple(depths), tuple(counts)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        names: Sequence[str],
+        depths: Sequence[int],
+        counts: Sequence[int],
+    ) -> "PathTree":
+        if not (len(names) == len(depths) == len(counts)):
+            raise FilterError("path-tree arrays disagree in length")
+        root = cls()
+        stack: List[PathTree] = [root]
+        for name, depth, count in zip(names, depths, counts):
+            if depth + 1 > len(stack):
+                raise FilterError(f"malformed preorder: depth jump at {name!r}")
+            del stack[depth + 1 :]
+            parent = stack[depth]
+            if name in parent.children:
+                raise FilterError(f"duplicate sibling {name!r} in preorder")
+            node = cls()
+            node.count = int(count)
+            parent.children[name] = node
+            stack.append(node)
+        return root
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, PathTree):
+            return NotImplemented
+        return self.to_arrays() == other.to_arrays()
+
+    def __repr__(self) -> str:
+        return f"PathTree(nodes={self.num_nodes}, processes={self.num_processes})"
+
+
+class PathTreeFilter(FunctionFilter):
+    """Merge call paths / partial prefix trees into one prefix tree.
+
+    Accepts ``"%as"`` leaf inputs (one process's call path) and
+    ``"%as %aud %auld"`` partial trees from lower levels; emits a
+    partial tree.  Bind with Wait-For-All synchronization for one
+    merged tree per wave.
+    """
+
+    def __init__(self, name: str = "pathtree"):
+        super().__init__(self._run, name, None)
+
+    def _run(self, packets: Sequence[Packet], state: FilterState) -> List[Packet]:
+        if not packets:
+            return []
+        tree = PathTree()
+        for p in packets:
+            if p.fmt == _PATH_FMT:
+                (frames,) = p.unpack()
+                tree.add_path(frames)
+            elif p.fmt == _TREE_FMT:
+                tree.merge(PathTree.from_arrays(*p.unpack()))
+            else:
+                raise FilterError(
+                    f"pathtree filter cannot accept format {p.fmt.canonical!r}"
+                )
+        first = packets[0]
+        return [
+            Packet(
+                first.stream_id,
+                first.tag,
+                _TREE_FMT,
+                tree.to_arrays(),
+                origin_rank=first.origin_rank,
+            )
+        ]
+
+
+pathtree_filter = PathTreeFilter()
+
+
+def pathtree_filter_func(packets, state):
+    """Module-level filter function form of the path-tree merge filter,
+    loadable across process boundaries via ``filter_specs``."""
+    return pathtree_filter(packets, state)

@@ -1,0 +1,158 @@
+"""Filter registry: ids for built-ins and dynamically-loaded filters.
+
+Real MRNet identifies filters by integer ids (``TFILTER_SUM``, ...)
+and lets tools register new ones at run time with
+``load_filterFunc(so_file, func_name)`` (paper §2.4).  The registry
+reproduces that: built-in transformation and synchronization filters
+get well-known ids, and :meth:`FilterRegistry.load_filter_func`
+assigns fresh ids to user filters.
+
+Synchronization filters are stateful per stream per node, so the
+registry stores *factories* for them; transformation filters are
+stateless objects paired with per-stream :class:`FilterState`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Sequence
+
+from .base import NULL_FILTER, FilterError, FunctionFilter
+from .sync import (
+    DoNotWaitFilter,
+    SynchronizationFilter,
+    TimeOutFilter,
+    WaitForAllFilter,
+)
+from .transform import (
+    avg_filter,
+    concat_filter,
+    max_filter,
+    min_filter,
+    sum_filter,
+    wavg_filter,
+)
+
+__all__ = [
+    "TFILTER_NULL",
+    "TFILTER_MIN",
+    "TFILTER_MAX",
+    "TFILTER_SUM",
+    "TFILTER_AVG",
+    "TFILTER_WAVG",
+    "TFILTER_CONCAT",
+    "SFILTER_WAITFORALL",
+    "SFILTER_TIMEOUT",
+    "SFILTER_DONTWAIT",
+    "FilterRegistry",
+    "default_registry",
+]
+
+# Well-known transformation filter ids (mirroring MRNet's constants).
+TFILTER_NULL = 0
+TFILTER_MIN = 1
+TFILTER_MAX = 2
+TFILTER_SUM = 3
+TFILTER_AVG = 4
+TFILTER_CONCAT = 5
+TFILTER_WAVG = 6
+
+# Well-known synchronization filter ids.
+SFILTER_WAITFORALL = 100
+SFILTER_TIMEOUT = 101
+SFILTER_DONTWAIT = 102
+
+_FIRST_USER_ID = 1000
+
+SyncFactory = Callable[..., SynchronizationFilter]
+
+
+class FilterRegistry:
+    """Maps filter ids to filter objects / factories.
+
+    One registry is shared by a whole network instantiation so that
+    ids resolved at the front-end mean the same thing at every comm
+    node (real MRNet propagates the shared-object path instead; in a
+    single Python process sharing the registry is the equivalent).
+    """
+
+    def __init__(self):
+        self._transform: Dict[int, FunctionFilter] = {}
+        self._sync: Dict[int, SyncFactory] = {}
+        self._next_id = _FIRST_USER_ID
+        self._install_builtins()
+
+    def _install_builtins(self) -> None:
+        self._transform[TFILTER_NULL] = NULL_FILTER
+        self._transform[TFILTER_MIN] = min_filter
+        self._transform[TFILTER_MAX] = max_filter
+        self._transform[TFILTER_SUM] = sum_filter
+        self._transform[TFILTER_AVG] = avg_filter
+        self._transform[TFILTER_WAVG] = wavg_filter
+        self._transform[TFILTER_CONCAT] = concat_filter
+        self._sync[SFILTER_WAITFORALL] = WaitForAllFilter
+        self._sync[SFILTER_TIMEOUT] = TimeOutFilter
+        self._sync[SFILTER_DONTWAIT] = DoNotWaitFilter
+
+    # -- lookup ------------------------------------------------------------
+
+    def get_transform(self, filter_id: int) -> FunctionFilter:
+        try:
+            return self._transform[filter_id]
+        except KeyError:
+            raise FilterError(f"unknown transformation filter id {filter_id}") from None
+
+    def is_transform(self, filter_id: int) -> bool:
+        return filter_id in self._transform
+
+    def make_sync(
+        self,
+        filter_id: int,
+        children: Sequence[object],
+        clock: Callable[[], float] = time.monotonic,
+        **params,
+    ) -> SynchronizationFilter:
+        """Instantiate a synchronization filter for one node's children."""
+        try:
+            factory = self._sync[filter_id]
+        except KeyError:
+            raise FilterError(
+                f"unknown synchronization filter id {filter_id}"
+            ) from None
+        return factory(children, clock=clock, **params)
+
+    def is_sync(self, filter_id: int) -> bool:
+        return filter_id in self._sync
+
+    # -- registration --------------------------------------------------------
+
+    def register_transform(self, filt: FunctionFilter) -> int:
+        """Register a transformation filter object; returns its id."""
+        fid = self._next_id
+        self._next_id += 1
+        self._transform[fid] = filt
+        return fid
+
+    def register_sync(self, factory: SyncFactory) -> int:
+        """Register a synchronization filter factory; returns its id."""
+        fid = self._next_id
+        self._next_id += 1
+        self._sync[fid] = factory
+        return fid
+
+    def load_filter_func(self, module_path: str, func_name: str, fmt=None) -> int:
+        """Load a filter function from a Python file (MRNet's dlopen flow).
+
+        ``module_path`` is a path to a ``.py`` file (our stand-in for a
+        shared object); ``func_name`` names a filter function inside
+        it.  Returns the new filter id.
+        """
+        from .loader import load_function
+
+        func = load_function(module_path, func_name)
+        return self.register_transform(FunctionFilter(func, func_name, fmt))
+
+
+def default_registry() -> FilterRegistry:
+    """A fresh registry with only the built-ins installed."""
+    return FilterRegistry()

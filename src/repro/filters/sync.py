@@ -1,0 +1,209 @@
+"""Synchronization filters (paper §2.4).
+
+Synchronization filters "organise data packets from downstream nodes
+into synchronized waves of data packets".  They receive packets one at
+a time and output nothing until their synchronization criterion fires.
+MRNet ships three modes, all reproduced here:
+
+* **Wait For All** — hold packets until one has arrived from *every*
+  child of the node, then release one aligned wave (one packet per
+  child, FIFO within a child).
+* **Time Out** — release a wave when every child has contributed *or*
+  a timeout elapses since the wave's first packet, whichever is first.
+* **Do Not Wait** — release packets immediately as singleton waves.
+
+Synchronization filters are type-independent: they never inspect
+packet payloads.  The paper notes users may add new synchronization
+modes; subclass :class:`SynchronizationFilter` and register it (see
+:mod:`repro.filters.registry`).
+
+Timeouts need a time source.  To work identically under the threaded
+runtime (wall clock) and the discrete-event simulator (virtual clock),
+filters take a ``clock`` callable returning the current time in
+seconds; it defaults to :func:`time.monotonic`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence
+
+from ..core.packet import Packet
+
+__all__ = [
+    "Wave",
+    "SynchronizationFilter",
+    "WaitForAllFilter",
+    "TimeOutFilter",
+    "DoNotWaitFilter",
+]
+
+Wave = List[Packet]
+
+
+class SynchronizationFilter:
+    """Base class: per-child FIFO queues plus a release criterion.
+
+    Subclasses implement :meth:`_ready_waves`, which inspects the
+    queues and pops zero or more complete waves.
+
+    Parameters
+    ----------
+    children:
+        The identities of the node's downstream connections.  A wave
+        aligns one packet from each.  The set may grow via
+        :meth:`add_child` during network construction.
+    clock:
+        Time source used by time-based criteria.
+    """
+
+    name = "sync-base"
+
+    def __init__(
+        self,
+        children: Sequence[object] = (),
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._queues: Dict[object, Deque[Packet]] = {c: deque() for c in children}
+        self._clock = clock
+
+    # -- membership -------------------------------------------------------
+
+    @property
+    def children(self) -> List[object]:
+        return list(self._queues)
+
+    def add_child(self, child: object) -> None:
+        """Register a new downstream connection."""
+        self._queues.setdefault(child, deque())
+
+    def remove_child(self, child: object) -> List[Packet]:
+        """Drop a connection (e.g. a closed child); return its backlog."""
+        backlog = self._queues.pop(child, deque())
+        return list(backlog)
+
+    # -- data path ---------------------------------------------------------
+
+    def push(self, child: object, packet: Packet) -> List[Wave]:
+        """Offer one packet from *child*; return any waves now complete."""
+        if child not in self._queues:
+            raise KeyError(f"unknown child {child!r}")
+        self._queues[child].append(packet)
+        return self._ready_waves()
+
+    def poll(self) -> List[Wave]:
+        """Re-evaluate time-based criteria without new input."""
+        return self._ready_waves()
+
+    def flush(self) -> List[Wave]:
+        """Release everything still queued as best-effort waves.
+
+        Used at stream shutdown so no packet is ever silently dropped.
+        Packets are grouped positionally: the i-th remaining packet of
+        each child forms wave i.
+        """
+        waves: List[Wave] = []
+        while any(self._queues.values()):
+            wave = [q.popleft() for q in self._queues.values() if q]
+            waves.append(wave)
+        self._reset_criterion()
+        return waves
+
+    @property
+    def pending(self) -> int:
+        """Number of packets currently held back."""
+        return sum(len(q) for q in self._queues.values())
+
+    # -- criterion ----------------------------------------------------------
+
+    def _ready_waves(self) -> List[Wave]:
+        raise NotImplementedError
+
+    def _reset_criterion(self) -> None:
+        """Hook for subclasses holding extra criterion state."""
+
+    def _pop_full_wave(self) -> Optional[Wave]:
+        """Pop one packet per child if every queue is non-empty."""
+        if self._queues and all(self._queues.values()):
+            return [q.popleft() for q in self._queues.values()]
+        return None
+
+
+class WaitForAllFilter(SynchronizationFilter):
+    """Release a wave only when every child has contributed a packet."""
+
+    name = "sync-wait-for-all"
+
+    def _ready_waves(self) -> List[Wave]:
+        waves: List[Wave] = []
+        while True:
+            wave = self._pop_full_wave()
+            if wave is None:
+                return waves
+            waves.append(wave)
+
+
+class TimeOutFilter(SynchronizationFilter):
+    """Release a full wave, or a partial one after *timeout* seconds.
+
+    "wait a specified time or until a packet has arrived from every
+    child (whichever occurs first)".  The timer starts when the first
+    packet of a prospective wave arrives and resets after each release.
+    """
+
+    name = "sync-timeout"
+
+    def __init__(
+        self,
+        children: Sequence[object] = (),
+        timeout: float = 0.1,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        super().__init__(children, clock)
+        self.timeout = timeout
+        self._wave_started: Optional[float] = None
+
+    def push(self, child: object, packet: Packet) -> List[Wave]:
+        if self._wave_started is None and self.pending == 0:
+            self._wave_started = self._clock()
+        return super().push(child, packet)
+
+    def _reset_criterion(self) -> None:
+        self._wave_started = None
+
+    def _ready_waves(self) -> List[Wave]:
+        waves: List[Wave] = []
+        while True:
+            wave = self._pop_full_wave()
+            if wave is None:
+                break
+            waves.append(wave)
+        if waves:
+            # Completed waves consume the timer; restart it if packets
+            # toward the next wave are already queued.
+            self._wave_started = self._clock() if self.pending else None
+        if (
+            self._wave_started is not None
+            and self.pending
+            and self._clock() - self._wave_started >= self.timeout
+        ):
+            partial = [q.popleft() for q in self._queues.values() if q]
+            waves.append(partial)
+            self._wave_started = self._clock() if self.pending else None
+        return waves
+
+
+class DoNotWaitFilter(SynchronizationFilter):
+    """Pass every packet through immediately as a singleton wave."""
+
+    name = "sync-do-not-wait"
+
+    def _ready_waves(self) -> List[Wave]:
+        waves: List[Wave] = []
+        for q in self._queues.values():
+            while q:
+                waves.append([q.popleft()])
+        return waves

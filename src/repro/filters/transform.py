@@ -1,0 +1,221 @@
+"""Built-in transformation filters (paper §2.4).
+
+The paper ships "basic scalar operations: min, max, sum and average on
+integers or floats" and "concatenation: operation that inputs n scalars
+and outputs a vector of length n of the same base type".  All are
+reproduced here, plus the weighted-average variant needed for exact
+averages over unbalanced trees (the plain average filter — like real
+MRNet's ``TFILTER_AVG`` — averages its direct inputs, which is exact
+only when every input summarises the same number of leaves).
+
+Reduction filters operate *field-wise across the packets of one wave*:
+a wave of packets with format ``"%d %f"`` reduces to a single packet
+``"%d %f"`` whose first field is the reduction of all first fields and
+so on.  Array fields reduce element-wise and must agree in length.
+
+Every filter here is associative in the tree sense: reducing partial
+results of disjoint waves equals reducing the union (for ``avg`` this
+holds only for balanced fan-in; use ``wavg`` otherwise), which is what
+makes them usable at every level of the MRNet tree.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Sequence
+
+from ..core.formats import FormatString, parse_format
+from ..core.packet import Packet
+from .base import FilterError, FilterState, FunctionFilter
+
+__all__ = [
+    "ReductionFilter",
+    "ConcatenationFilter",
+    "AverageFilter",
+    "WeightedAverageFilter",
+    "min_filter",
+    "max_filter",
+    "sum_filter",
+    "avg_filter",
+    "concat_filter",
+    "wavg_filter",
+]
+
+
+def _reduce_field(op: Callable[[Any, Any], Any], values: Sequence[Any], is_array: bool):
+    """Fold *op* over one field position of a wave."""
+    if is_array:
+        lengths = {len(v) for v in values}
+        if len(lengths) > 1:
+            raise FilterError(
+                f"array fields must agree in length to reduce, got {sorted(lengths)}"
+            )
+        it = iter(values)
+        acc = list(next(it))
+        for vec in it:
+            for i, x in enumerate(vec):
+                acc[i] = op(acc[i], x)
+        return tuple(acc)
+    it = iter(values)
+    acc = next(it)
+    for x in it:
+        acc = op(acc, x)
+    return acc
+
+
+class ReductionFilter(FunctionFilter):
+    """Field-wise reduction of a wave into a single packet.
+
+    Parameters
+    ----------
+    op:
+        Associative, commutative binary operator.
+    name:
+        Registry name, e.g. ``"sum"``.
+    fmt:
+        Optional required format; ``None`` accepts any numeric format
+        (the wave itself must still be format-homogeneous).
+    """
+
+    def __init__(self, op: Callable[[Any, Any], Any], name: str, fmt=None):
+        super().__init__(self._run, name, fmt)
+        self._op = op
+
+    def _check_numeric(self, fmt: FormatString) -> None:
+        for field in fmt.fields:
+            if not (field.code.is_integral or field.code.is_float):
+                raise FilterError(
+                    f"filter {self.name!r} cannot reduce field {field.spec}"
+                )
+
+    def _run(self, packets: Sequence[Packet], state: FilterState) -> List[Packet]:
+        if not packets:
+            return []
+        first = packets[0]
+        for p in packets[1:]:
+            if p.fmt != first.fmt:
+                raise FilterError(
+                    f"wave mixes formats {first.fmt.canonical!r} and "
+                    f"{p.fmt.canonical!r}"
+                )
+        self._check_numeric(first.fmt)
+        values = tuple(
+            _reduce_field(
+                self._op, [p.values[i] for p in packets], field.is_array
+            )
+            for i, field in enumerate(first.fmt.fields)
+        )
+        return [first.replace(values=values)]
+
+
+class AverageFilter(FunctionFilter):
+    """Arithmetic mean of direct inputs (real MRNet ``TFILTER_AVG``).
+
+    Integer fields use floor division to stay in-type, mirroring the
+    C implementation; float fields average exactly.  Over a multi-level
+    tree this computes a *mean of partial means*, exact only when each
+    input aggregates equally many leaves — use
+    :class:`WeightedAverageFilter` when fan-in is uneven.
+    """
+
+    def __init__(self, name: str = "avg", fmt=None):
+        super().__init__(self._run, name, fmt)
+
+    def _run(self, packets: Sequence[Packet], state: FilterState) -> List[Packet]:
+        if not packets:
+            return []
+        first = packets[0]
+        for p in packets[1:]:
+            if p.fmt != first.fmt:
+                raise FilterError("wave mixes formats")
+        n = len(packets)
+        out_values = []
+        for i, field in enumerate(first.fmt.fields):
+            if not (field.code.is_integral or field.code.is_float):
+                raise FilterError(f"avg cannot reduce field {field.spec}")
+            total = _reduce_field(
+                lambda a, b: a + b, [p.values[i] for p in packets], field.is_array
+            )
+            if field.is_array:
+                if field.code.is_integral:
+                    out_values.append(tuple(t // n for t in total))
+                else:
+                    out_values.append(tuple(t / n for t in total))
+            else:
+                out_values.append(total // n if field.code.is_integral else total / n)
+        return [first.replace(values=tuple(out_values))]
+
+
+class WeightedAverageFilter(FunctionFilter):
+    """Exact tree average over ``"%lf %ud"`` (partial mean, leaf count).
+
+    Back-ends send ``(value, 1)``; every node outputs the count-weighted
+    mean of its inputs together with the total count, so the value the
+    front-end receives is the exact global mean regardless of tree
+    shape.
+    """
+
+    FMT = parse_format("%lf %ud")
+
+    def __init__(self, name: str = "wavg"):
+        super().__init__(self._run, name, self.FMT)
+
+    def _run(self, packets: Sequence[Packet], state: FilterState) -> List[Packet]:
+        if not packets:
+            return []
+        total_count = sum(p.values[1] for p in packets)
+        if total_count == 0:
+            return [packets[0].replace(values=(0.0, 0))]
+        weighted = sum(p.values[0] * p.values[1] for p in packets)
+        return [packets[0].replace(values=(weighted / total_count, total_count))]
+
+
+class ConcatenationFilter(FunctionFilter):
+    """Concatenate scalar or array inputs into one array packet.
+
+    "inputs n scalars and outputs a vector of length n of the same base
+    type".  At upper tree levels the inputs are already vectors, so
+    array inputs are accepted and flattened; ordering follows the wave
+    order (i.e. child order), which preserves back-end rank order when
+    used with a Wait-For-All synchronizer over an order-preserving
+    tree.
+    """
+
+    def __init__(self, name: str = "concat"):
+        super().__init__(self._run, name, None)
+
+    def _run(self, packets: Sequence[Packet], state: FilterState) -> List[Packet]:
+        if not packets:
+            return []
+        first = packets[0]
+        if len(first.fmt.fields) != 1:
+            raise FilterError("concat requires single-field packets")
+        code = first.fmt.fields[0].code
+        out: List[Any] = []
+        for p in packets:
+            if len(p.fmt.fields) != 1 or p.fmt.fields[0].code is not code:
+                raise FilterError(
+                    f"concat wave mixes base types "
+                    f"({first.fmt.canonical!r} vs {p.fmt.canonical!r})"
+                )
+            if p.fmt.fields[0].is_array:
+                out.extend(p.values[0])
+            else:
+                out.append(p.values[0])
+        out_fmt = parse_format(f"%a{code.value}")
+        return [
+            Packet(
+                first.stream_id,
+                first.tag,
+                out_fmt,
+                (tuple(out),),
+                origin_rank=first.origin_rank,
+            )
+        ]
+
+
+min_filter = ReductionFilter(min, "min")
+max_filter = ReductionFilter(max, "max")
+sum_filter = ReductionFilter(lambda a, b: a + b, "sum")
+avg_filter = AverageFilter()
+wavg_filter = WeightedAverageFilter()
+concat_filter = ConcatenationFilter()

@@ -1,0 +1,162 @@
+"""The ``mrnet_commnode`` program: an internal process as a real OS
+process.
+
+"MRNet has two main components: libmrnet, a library that is linked
+into a tool's front-end and back-end components, and mrnet_commnode, a
+program that runs on intermediate nodes interposed between the
+front-end and back-ends." (§2)
+
+The default runtime hosts internal processes as threads, which is
+convenient but GIL-bound.  This module is the faithful alternative:
+each internal process is a separate Python process connected to its
+parent and children over TCP, exactly like the original program — the
+codec, batching, synchronization and filter work all run outside the
+front-end's interpreter.  ``Network(transport="process")`` launches
+these automatically; the program can also be started by hand::
+
+   python -m repro.mrnet_commnode --parent HOST:PORT \
+          --children 4 --expected-ranks 16 \
+          [--filter /path/to/module.py:func_name] ...
+
+Bootstrap protocol (replacing rsh + the parent's config message of
+§2.5):
+
+1. the process opens a listener and prints ``LISTENING <port>`` on
+   stdout (its launcher reads this to wire the next tree level);
+2. it connects to ``--parent``;
+3. it accepts exactly ``--children`` connections;
+4. it runs the standard NodeCore event loop until shutdown.
+
+Custom filters cross the process boundary the same way real MRNet
+ships shared objects: as a file path + function name, loaded on every
+process in the same order so registry ids agree network-wide.
+"""
+
+from __future__ import annotations
+
+import argparse
+import queue
+import sys
+from typing import List, Optional, Tuple
+
+from .core.commnode import NodeCore
+from .filters.registry import default_registry
+from .transport.channel import Inbox
+from .transport.tcp import TcpListener, tcp_connect
+
+__all__ = ["main", "parse_filter_spec"]
+
+
+def parse_filter_spec(spec: str) -> Tuple[str, str, Optional[str]]:
+    """Parse ``path:func`` or ``path:func:fmt`` (fmt may contain spaces
+    if the caller quotes; colons inside paths are not supported)."""
+    parts = spec.split(":")
+    if len(parts) == 2:
+        return parts[0], parts[1], None
+    if len(parts) == 3:
+        return parts[0], parts[1], parts[2] or None
+    raise ValueError(f"malformed filter spec {spec!r} (want path:func[:fmt])")
+
+
+def _parse_host_port(text: str) -> Tuple[str, int]:
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"malformed address {text!r} (want host:port)")
+    return host, int(port)
+
+
+def run_commnode(
+    parent_addr: Tuple[str, int],
+    n_children: int,
+    expected_ranks: int,
+    filter_specs: List[Tuple[str, str, Optional[str]]],
+    name: str = "commnode",
+    announce=print,
+    accept_timeout: float = 60.0,
+) -> int:
+    """The program body; returns a process exit code."""
+    registry = default_registry()
+    for path, func, fmt in filter_specs:
+        registry.load_filter_func(path, func, fmt)
+
+    inbox = Inbox()
+    listener = TcpListener(inbox)
+    announce(f"LISTENING {listener.address[1]}", flush=True)
+
+    parent_end = tcp_connect(parent_addr, inbox, timeout=accept_timeout)
+    core = NodeCore(
+        name, registry, expected_ranks, parent=parent_end, inbox=inbox
+    )
+    try:
+        for _ in range(n_children):
+            core.add_child(listener.accept(timeout=accept_timeout))
+    finally:
+        listener.close()
+
+    # The standard internal-process event loop (see CommNode.run).
+    while not core.shutting_down:
+        poll = 0.002 if core.has_timeout_streams else 0.05
+        try:
+            link_id, payload = core.inbox.get(timeout=poll)
+        except queue.Empty:
+            core.poll_streams()
+            core.flush()
+            continue
+        core.handle_payload(link_id, payload)
+        while True:
+            try:
+                link_id, payload = core.inbox.get_nowait()
+            except queue.Empty:
+                break
+            core.handle_payload(link_id, payload)
+            if core.shutting_down:
+                break
+        core.poll_streams()
+        core.flush()
+    core.flush()
+    core.close_all()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mrnet_commnode",
+        description="MRNet internal process (runs between front-end and "
+        "back-ends).",
+    )
+    parser.add_argument(
+        "--parent", required=True, help="parent address, host:port"
+    )
+    parser.add_argument(
+        "--children", type=int, required=True,
+        help="number of child connections to accept",
+    )
+    parser.add_argument(
+        "--expected-ranks", type=int, required=True,
+        help="back-end ranks in this subtree (gates the endpoint report)",
+    )
+    parser.add_argument(
+        "--filter", action="append", default=[], metavar="PATH:FUNC[:FMT]",
+        help="custom filter to load (repeatable; order defines ids)",
+    )
+    parser.add_argument("--name", default="commnode")
+    parser.add_argument("--accept-timeout", type=float, default=60.0)
+    args = parser.parse_args(argv)
+
+    try:
+        specs = [parse_filter_spec(s) for s in args.filter]
+        parent_addr = _parse_host_port(args.parent)
+    except ValueError as exc:
+        parser.error(str(exc))
+    return run_commnode(
+        parent_addr,
+        args.children,
+        args.expected_ranks,
+        specs,
+        name=args.name,
+        accept_timeout=args.accept_timeout,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

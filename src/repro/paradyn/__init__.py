@@ -1,0 +1,78 @@
+"""Paradyn-over-MRNet: the paper's real-world tool integration (§3)."""
+
+from .consultant import PerformanceConsultant, SearchResult
+from .clockskew import SkewExperimentResult, measure_local_skew, run_skew_experiment
+from .daemon import TAGS, ParadynDaemon
+from .eqclass import EquivalenceClasses, EquivalenceClassFilter, eqclass_filter
+from .frontend import ParadynFrontEnd, StartupReport
+from .mdl import (
+    DEFAULT_METRICS,
+    MDLError,
+    MetricDefinition,
+    default_metrics,
+    parse_mdl,
+    serialize_mdl,
+)
+from .perfdata import (
+    SAMPLE_FMT,
+    DataSample,
+    OrdinalAggregator,
+    PerformanceDataFilter,
+    TimeAlignedAggregator,
+)
+from .resources import (
+    SMG2000_FUNCTIONS,
+    SMG2000_TEXT_BYTES,
+    ExecutableImage,
+    FunctionResource,
+    ModuleResource,
+    ProcessResources,
+    synthetic_executable,
+)
+from .timehist import TimeHistogram
+from .startup import (
+    ACTIVITIES,
+    StartupActivity,
+    StartupParams,
+    StartupResult,
+    simulate_startup,
+)
+
+__all__ = [
+    "ParadynFrontEnd",
+    "ParadynDaemon",
+    "TAGS",
+    "StartupReport",
+    "EquivalenceClasses",
+    "EquivalenceClassFilter",
+    "eqclass_filter",
+    "MetricDefinition",
+    "MDLError",
+    "parse_mdl",
+    "serialize_mdl",
+    "default_metrics",
+    "DEFAULT_METRICS",
+    "DataSample",
+    "TimeAlignedAggregator",
+    "OrdinalAggregator",
+    "PerformanceDataFilter",
+    "SAMPLE_FMT",
+    "ExecutableImage",
+    "FunctionResource",
+    "ModuleResource",
+    "ProcessResources",
+    "synthetic_executable",
+    "SMG2000_FUNCTIONS",
+    "SMG2000_TEXT_BYTES",
+    "measure_local_skew",
+    "run_skew_experiment",
+    "SkewExperimentResult",
+    "StartupActivity",
+    "StartupParams",
+    "StartupResult",
+    "ACTIVITIES",
+    "simulate_startup",
+    "PerformanceConsultant",
+    "SearchResult",
+    "TimeHistogram",
+]

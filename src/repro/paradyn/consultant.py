@@ -1,0 +1,140 @@
+"""A miniature Performance Consultant over MRNet subset streams.
+
+"The context for our work is Paradyn, a parallel performance tool
+supporting automated application performance problem searches" (§1).
+Paradyn's Performance Consultant searches a hypothesis space — *is the
+program CPU-bound?  where?* — refining along the resource hierarchy.
+This module implements the machine-axis refinement the way an
+MRNet-based consultant would: instead of interrogating every daemon
+point-to-point, it tests *groups* of daemons with one aggregated
+stream per group (max-reduction over the group's metric rates) and
+recursively bisects only groups that test positive.
+
+For *k* culprits among *n* daemons this needs ``O(k · log n)``
+aggregate queries instead of ``n`` direct ones — the same
+serialization argument as the rest of the paper, applied to the
+search itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..filters.registry import TFILTER_MAX
+from .daemon import TAGS, ParadynDaemon
+
+__all__ = ["SearchResult", "PerformanceConsultant"]
+
+_RECV_TIMEOUT = 30.0
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one culprit search."""
+
+    metric: str
+    threshold: float
+    culprits: List[int] = field(default_factory=list)
+    #: Aggregate stream queries issued (the scalability measure).
+    queries: int = 0
+    #: (ranks tested, group max) per query, in search order.
+    trace: List[Tuple[Tuple[int, ...], float]] = field(default_factory=list)
+
+
+class PerformanceConsultant:
+    """Hypothesis refinement over the machine axis via subset streams."""
+
+    def __init__(self, frontend):
+        self.frontend = frontend
+        self.network = frontend.network
+
+    def _group_max(
+        self, daemons: Sequence[ParadynDaemon], ranks: Sequence[int], metric: str
+    ) -> float:
+        """One aggregate query: the max metric rate within *ranks*."""
+        comm = self.network.new_communicator(ranks)
+        with self.network.new_stream(comm, transform=TFILTER_MAX) as stream:
+            stream.send("%s", metric, tag=TAGS.REPORT_RATE)
+            packet = self.frontend._recv_serviced(stream, daemons)
+            (rate,) = packet.unpack()
+        return rate
+
+    def find_culprits(
+        self,
+        daemons: Sequence[ParadynDaemon],
+        metric: str,
+        threshold: float,
+    ) -> SearchResult:
+        """Find every daemon whose *metric* rate exceeds *threshold*.
+
+        Bisects the rank space: a group whose max is under the
+        threshold is discarded whole; singleton groups over the
+        threshold are culprits.
+        """
+        result = SearchResult(metric, threshold)
+        all_ranks = tuple(sorted(d.rank for d in daemons))
+
+        def refine(ranks: Tuple[int, ...]) -> None:
+            group_max = self._group_max(daemons, ranks, metric)
+            result.queries += 1
+            result.trace.append((ranks, group_max))
+            if group_max <= threshold:
+                return
+            if len(ranks) == 1:
+                result.culprits.append(ranks[0])
+                return
+            mid = len(ranks) // 2
+            refine(ranks[:mid])
+            refine(ranks[mid:])
+
+        refine(all_ranks)
+        result.culprits.sort()
+        return result
+
+    def direct_scan(
+        self,
+        daemons: Sequence[ParadynDaemon],
+        metric: str,
+        threshold: float,
+    ) -> SearchResult:
+        """The flat baseline: one query per daemon."""
+        result = SearchResult(metric, threshold)
+        for d in sorted(daemons, key=lambda d: d.rank):
+            rate = self._group_max(daemons, [d.rank], metric)
+            result.queries += 1
+            result.trace.append(((d.rank,), rate))
+            if rate > threshold:
+                result.culprits.append(d.rank)
+        return result
+
+    def search_hypotheses(
+        self,
+        daemons: Sequence[ParadynDaemon],
+        hypotheses: Dict[str, float],
+    ) -> Dict[str, SearchResult]:
+        """Paradyn's two-axis refinement: *why* then *where*.
+
+        ``hypotheses`` maps metric name → threshold (e.g.
+        ``{"sync_wait": 0.2, "io_wait": 0.3}`` — the SyncBound /
+        IOBound hypotheses).  Each metric is first tested with a single
+        whole-machine aggregate query; only metrics whose global max
+        exceeds their threshold are refined along the machine axis.
+        Returns one :class:`SearchResult` per metric (culprits empty
+        for hypotheses that tested false — their single root query is
+        still recorded).
+        """
+        out: Dict[str, SearchResult] = {}
+        all_ranks = tuple(sorted(d.rank for d in daemons))
+        for metric, threshold in hypotheses.items():
+            global_max = self._group_max(daemons, all_ranks, metric)
+            if global_max <= threshold:
+                result = SearchResult(metric, threshold)
+                result.queries = 1
+                result.trace.append((all_ranks, global_max))
+                out[metric] = result
+            else:
+                # The root query repeats inside find_culprits; accept
+                # the one redundant probe to keep the trace uniform.
+                out[metric] = self.find_culprits(daemons, metric, threshold)
+        return out

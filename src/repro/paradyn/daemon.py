@@ -1,0 +1,200 @@
+"""Paradyn daemon (tool back-end) logic — §3.
+
+A :class:`ParadynDaemon` binds Paradyn behaviour to one MRNet
+:class:`~repro.core.backend.BackEnd`: it answers the front-end's
+start-up protocol requests (self report, MDL metric exchange, code and
+call-graph checksums, process/machine resources, done) and, once
+monitoring starts, produces performance data samples.
+
+Daemons are passive like their back-ends: call :meth:`service` to
+process whatever requests have arrived.  Tests and examples drive many
+daemons from one thread.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.backend import BackEnd
+from ..core.packet import Packet
+from .mdl import parse_mdl
+from .perfdata import DataSample
+from .resources import ExecutableImage, ProcessResources
+
+__all__ = ["ParadynDaemon", "TAGS"]
+
+
+class TAGS:
+    """Application tags of the Paradyn-over-MRNet protocol."""
+
+    REPORT_SELF = 1000
+    MDL_BROADCAST = 1001
+    METRIC_CKSUM = 1002
+    METRIC_FULL_REQ = 1003
+    SKEW_COLLECT = 1005
+    CODE_CKSUM = 1006
+    CODE_FULL_REQ = 1007
+    PROCESS_REPORT = 1008
+    MACHINE_RESOURCES = 1009
+    CALLGRAPH_CKSUM = 1010
+    CALLGRAPH_FULL_REQ = 1011
+    REPORT_DONE = 1012
+    ENABLE_METRIC = 1100
+    PERF_SAMPLE = 1101
+    REPORT_RATE = 1102
+
+
+class ParadynDaemon:
+    """One Paradyn daemon attached to an application process."""
+
+    def __init__(
+        self,
+        backend: BackEnd,
+        executable: ExecutableImage,
+        host: Optional[str] = None,
+        pid: Optional[int] = None,
+        clock_offset: float = 0.0,
+    ):
+        self.backend = backend
+        self.executable = executable
+        self.host = host or f"host{backend.rank:04d}"
+        self.pid = pid if pid is not None else 10000 + backend.rank
+        self.clock_offset = clock_offset
+        self.process = ProcessResources(
+            host=self.host,
+            pid=self.pid,
+            rank=backend.rank,
+            command_line=f"./{executable.name} -n 64",
+        )
+        self.metrics = []  # populated by the MDL broadcast
+        self.enabled_metrics: List[str] = []
+        self._sample_streams = {}
+        #: Current per-metric rates, queried by the Performance
+        #: Consultant's REPORT_RATE requests (a stand-in for live
+        #: instrumentation readings).
+        self.metric_rates: dict[str, float] = {}
+        self.startup_complete = False
+
+    @property
+    def rank(self) -> int:
+        return self.backend.rank
+
+    # -- request servicing ------------------------------------------------
+
+    def service(self, max_packets: Optional[int] = None) -> int:
+        """Handle pending requests; returns how many were processed."""
+        handled = 0
+        while max_packets is None or handled < max_packets:
+            got = self.backend.poll()
+            if got is None:
+                break
+            packet, stream = got
+            self._dispatch(packet, stream)
+            handled += 1
+        return handled
+
+    def _dispatch(self, packet: Packet, stream) -> None:
+        tag = packet.tag
+        if tag == TAGS.REPORT_SELF:
+            stream.send("%s", self.process.encode_report(), tag=tag)
+        elif tag == TAGS.MDL_BROADCAST:
+            (mdl_text,) = packet.unpack()
+            self.metrics = parse_mdl(mdl_text)
+            stream.send(
+                "%uld %ud", self._metrics_checksum(), self.rank,
+                tag=TAGS.METRIC_CKSUM,
+            )
+        elif tag == TAGS.METRIC_FULL_REQ:
+            (target,) = packet.unpack()
+            if target == self.rank:
+                stream.send(
+                    "%as", [m.name for m in self.metrics], tag=tag
+                )
+        elif tag == TAGS.SKEW_COLLECT:
+            # Phase 2 of §3.1: daemons initialise the cumulative skew;
+            # the live demo carries the daemon's (simulated) offset.
+            stream.send("%lf %ud", self.clock_offset, self.rank, tag=tag)
+        elif tag == TAGS.CODE_CKSUM:
+            stream.send(
+                "%uld %ud", self.executable.code_checksum(), self.rank, tag=tag
+            )
+        elif tag == TAGS.CODE_FULL_REQ:
+            (target,) = packet.unpack()
+            if target == self.rank:
+                names = [f.resource_path for f in self.executable.functions]
+                stream.send("%as", names, tag=tag)
+        elif tag == TAGS.PROCESS_REPORT:
+            stream.send("%s", self.process.encode_report(), tag=tag)
+        elif tag == TAGS.MACHINE_RESOURCES:
+            report = ";".join(self.process.machine_resource_paths())
+            stream.send("%s", report, tag=tag)
+        elif tag == TAGS.CALLGRAPH_CKSUM:
+            stream.send(
+                "%uld %ud",
+                self.executable.callgraph_checksum(),
+                self.rank,
+                tag=tag,
+            )
+        elif tag == TAGS.CALLGRAPH_FULL_REQ:
+            (target,) = packet.unpack()
+            if target == self.rank:
+                edges = [
+                    f"{caller}>{callee}"
+                    for caller, callees in sorted(self.executable.call_graph.items())
+                    for callee in callees
+                ]
+                stream.send("%as", edges, tag=tag)
+        elif tag == TAGS.REPORT_DONE:
+            self.startup_complete = True
+            stream.send("%d", 1, tag=tag)
+        elif tag == TAGS.ENABLE_METRIC:
+            (metric_name,) = packet.unpack()
+            self.enabled_metrics.append(metric_name)
+            self._sample_streams[metric_name] = stream
+        elif tag == TAGS.REPORT_RATE:
+            (metric_name,) = packet.unpack()
+            stream.send(
+                "%lf", self.metric_rates.get(metric_name, 0.0), tag=tag
+            )
+        else:
+            raise ValueError(
+                f"daemon {self.rank}: unexpected request tag {tag}"
+            )
+
+    # -- performance data production ------------------------------------------
+
+    def has_metric(self, metric_name: str) -> bool:
+        """True once the ENABLE_METRIC request reached this daemon."""
+        return metric_name in self._sample_streams
+
+    def set_rate(self, metric_name: str, rate: float) -> None:
+        """Set the instantaneous rate REPORT_RATE queries will return."""
+        self.metric_rates[metric_name] = float(rate)
+
+    def emit_sample(self, metric_name: str, value: float, start: float, end: float) -> None:
+        """Send one performance sample on the metric's stream.
+
+        The daemon timestamps intervals with *its own* clock ("the
+        interval's start and end timestamps are set by the back-ends",
+        §3.2), so its clock offset shifts the reported interval.
+        """
+        stream = self._sample_streams.get(metric_name)
+        if stream is None:
+            raise KeyError(f"metric {metric_name!r} not enabled on daemon {self.rank}")
+        sample = DataSample(
+            value, start + self.clock_offset, end + self.clock_offset
+        )
+        stream.send_packet(
+            sample.to_packet(stream.stream_id, TAGS.PERF_SAMPLE, self.rank)
+        )
+
+    def _metrics_checksum(self) -> int:
+        import hashlib
+
+        h = hashlib.sha256()
+        for m in self.metrics:
+            h.update(f"{m.name}|{m.units}|{m.style}|{m.aggregate}".encode())
+        return int.from_bytes(h.digest()[:8], "big")
+
+    def __repr__(self) -> str:
+        return f"ParadynDaemon(rank={self.rank}, host={self.host!r})"

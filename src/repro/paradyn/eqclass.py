@@ -1,0 +1,159 @@
+"""Checksum equivalence-class ("binning") filter — §3.1.
+
+"each Paradyn daemon first computes a summary of the data (i.e., a
+checksum).  Next, the daemons write the checksums to an MRNet stream
+created to use a custom binning filter.  This filter partitions the
+daemons into equivalence classes based on their checksum values.
+When the front-end receives the final set of equivalence classes, it
+requests complete function resource information only for each class'
+representative process."
+
+Wire format (tree-composable, like the histogram filter):
+
+* Leaf input: ``"%uld %ud"`` — (checksum, daemon rank).
+* Partial/merged output: ``"%auld %aud %aud"`` — parallel arrays
+  (class checksums, class sizes, members flattened in class order).
+
+Classes are keyed by checksum; members stay rank-sorted; classes are
+emitted in ascending checksum order, so the encoding is canonical and
+merging is associative — the property that lets the same filter run
+at every level of the tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.formats import parse_format
+from ..core.packet import Packet
+from ..filters.base import FilterError, FilterState, FunctionFilter
+
+__all__ = ["EquivalenceClasses", "EquivalenceClassFilter", "eqclass_filter"]
+
+_LEAF_FMT = parse_format("%uld %ud")
+_CLASSES_FMT = parse_format("%auld %aud %aud")
+
+
+@dataclass(frozen=True)
+class EquivalenceClasses:
+    """A decoded set of equivalence classes."""
+
+    #: checksum -> sorted tuple of member ranks
+    classes: Dict[int, Tuple[int, ...]]
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.classes)
+
+    @property
+    def num_members(self) -> int:
+        return sum(len(m) for m in self.classes.values())
+
+    def representative(self, checksum: int) -> int:
+        """The class representative: its lowest member rank."""
+        return self.classes[checksum][0]
+
+    def representatives(self) -> List[int]:
+        """One representative per class, ascending checksum order."""
+        return [members[0] for _, members in sorted(self.classes.items())]
+
+    def class_of(self, rank: int) -> int:
+        for checksum, members in self.classes.items():
+            if rank in members:
+                return checksum
+        raise KeyError(f"rank {rank} is in no class")
+
+    # -- codec -----------------------------------------------------------
+
+    def to_packet_values(self) -> Tuple[Tuple[int, ...], Tuple[int, ...], Tuple[int, ...]]:
+        checksums: List[int] = []
+        sizes: List[int] = []
+        members: List[int] = []
+        for checksum, ranks in sorted(self.classes.items()):
+            checksums.append(checksum)
+            sizes.append(len(ranks))
+            members.extend(ranks)
+        return tuple(checksums), tuple(sizes), tuple(members)
+
+    @classmethod
+    def from_packet_values(
+        cls,
+        checksums: Sequence[int],
+        sizes: Sequence[int],
+        members: Sequence[int],
+    ) -> "EquivalenceClasses":
+        if len(checksums) != len(sizes):
+            raise FilterError("checksum/size arrays disagree in length")
+        if sum(sizes) != len(members):
+            raise FilterError("member array length disagrees with sizes")
+        classes: Dict[int, Tuple[int, ...]] = {}
+        offset = 0
+        for checksum, size in zip(checksums, sizes):
+            if checksum in classes:
+                raise FilterError(f"duplicate class checksum {checksum}")
+            classes[checksum] = tuple(sorted(members[offset : offset + size]))
+            offset += size
+        return cls(classes)
+
+    @classmethod
+    def from_packet(cls, packet: Packet) -> "EquivalenceClasses":
+        if packet.fmt != _CLASSES_FMT:
+            raise FilterError(
+                f"not an equivalence-class packet: {packet.fmt.canonical!r}"
+            )
+        return cls.from_packet_values(*packet.unpack())
+
+    def merged_with(self, other: "EquivalenceClasses") -> "EquivalenceClasses":
+        out: Dict[int, Tuple[int, ...]] = dict(self.classes)
+        for checksum, members in other.classes.items():
+            if checksum in out:
+                out[checksum] = tuple(sorted(set(out[checksum]) | set(members)))
+            else:
+                out[checksum] = members
+        return EquivalenceClasses(out)
+
+
+class EquivalenceClassFilter(FunctionFilter):
+    """The custom binning filter Paradyn loads into MRNet."""
+
+    def __init__(self, name: str = "eqclass"):
+        super().__init__(self._run, name, None)
+
+    def _run(self, packets: Sequence[Packet], state: FilterState) -> List[Packet]:
+        if not packets:
+            return []
+        acc = EquivalenceClasses({})
+        for p in packets:
+            if p.fmt == _LEAF_FMT:
+                checksum, rank = p.unpack()
+                acc = acc.merged_with(EquivalenceClasses({checksum: (rank,)}))
+            elif p.fmt == _CLASSES_FMT:
+                acc = acc.merged_with(EquivalenceClasses.from_packet(p))
+            else:
+                raise FilterError(
+                    f"eqclass filter cannot accept format {p.fmt.canonical!r}"
+                )
+        first = packets[0]
+        return [
+            Packet(
+                first.stream_id,
+                first.tag,
+                _CLASSES_FMT,
+                acc.to_packet_values(),
+                origin_rank=first.origin_rank,
+            )
+        ]
+
+
+eqclass_filter = EquivalenceClassFilter()
+
+
+def eqclass_filter_func(packets, state):
+    """Module-level filter function form of the equivalence-class filter.
+
+    Loadable across process boundaries with
+    ``Network(filter_specs=[(repro.paradyn.eqclass.__file__,
+    "eqclass_filter_func")])`` — the shared-object shipping model.
+    """
+    return eqclass_filter(packets, state)

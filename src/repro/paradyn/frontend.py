@@ -1,0 +1,266 @@
+"""Paradyn front-end over MRNet — the live §3 integration.
+
+:class:`ParadynFrontEnd` drives the complete start-up protocol of
+§3.1 over a real (threaded) MRNet network, using the same machinery
+the paper describes: a concatenation stream for per-daemon data, the
+custom equivalence-class filter for redundant data, representative
+point-to-point requests, and a final done-reduction.  It then supports
+the §3.2 monitoring phase: enabling a metric creates a stream bound to
+the custom Performance Data Aggregation filter, so global samples
+arrive at the front-end already aligned and reduced.
+
+Because back-ends (and therefore daemons) are passive, protocol
+methods take the daemon list and interleave servicing with receives —
+the same structure a test harness on one host would have.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.network import Network
+from ..filters.registry import SFILTER_DONTWAIT, TFILTER_CONCAT, TFILTER_SUM
+from .daemon import TAGS, ParadynDaemon
+from .eqclass import EquivalenceClasses, EquivalenceClassFilter
+from .mdl import MetricDefinition, serialize_mdl
+from .perfdata import DataSample, PerformanceDataFilter
+from .resources import ProcessResources
+from .timehist import TimeHistogram
+
+__all__ = ["ParadynFrontEnd", "StartupReport"]
+
+_RECV_TIMEOUT = 30.0
+
+
+@dataclass
+class StartupReport:
+    """Everything the front-end learned during start-up."""
+
+    daemons: Dict[int, ProcessResources] = field(default_factory=dict)
+    metric_classes: Optional[EquivalenceClasses] = None
+    metric_names: List[str] = field(default_factory=list)
+    clock_skews: Dict[int, float] = field(default_factory=dict)
+    code_classes: Optional[EquivalenceClasses] = None
+    code_resources: Dict[int, List[str]] = field(default_factory=dict)
+    machine_resources: List[str] = field(default_factory=list)
+    callgraph_classes: Optional[EquivalenceClasses] = None
+    callgraph_edges: Dict[int, List[str]] = field(default_factory=dict)
+    done_count: int = 0
+
+
+class ParadynFrontEnd:
+    """The Paradyn front-end bound to an MRNet network."""
+
+    def __init__(self, network: Network):
+        self.network = network
+        self.comm = network.get_broadcast_communicator()
+        self._eqclass_id = network.registry.register_transform(
+            EquivalenceClassFilter()
+        )
+        self._perf_filter_ids: Dict[str, int] = {}
+        self._metric_streams: Dict[str, object] = {}
+        self._histories: Dict[str, TimeHistogram] = {}
+        self.report = StartupReport()
+
+    # -- helpers -----------------------------------------------------------
+
+    def _service_all(self, daemons: Sequence[ParadynDaemon]) -> None:
+        for d in daemons:
+            d.service()
+
+    def _recv_serviced(self, stream, daemons: Sequence[ParadynDaemon]):
+        """Receive one packet, servicing daemons while waiting.
+
+        The comm-node threads move traffic asynchronously, so a
+        request may still be in flight on the first poll; keep
+        alternating "let daemons answer" with "pump the front-end"
+        until the aggregated reply lands.
+        """
+        import time as _time
+
+        deadline = _time.monotonic() + _RECV_TIMEOUT
+        while _time.monotonic() < deadline:
+            self._service_all(daemons)
+            packet = stream.try_recv()
+            if packet is not None:
+                return packet
+            _time.sleep(0.001)
+        raise TimeoutError(
+            f"no reply on stream {stream.stream_id} after {_RECV_TIMEOUT}s"
+        )
+
+    def _gather_concat(self, stream, daemons, tag) -> List[str]:
+        """Broadcast a request and collect the concatenated replies."""
+        stream.send("%d", 0, tag=tag)
+        (items,) = self._recv_serviced(stream, daemons).unpack()
+        return list(items)
+
+    # -- §3.1 start-up protocol ---------------------------------------------
+
+    def run_startup(
+        self,
+        daemons: Sequence[ParadynDaemon],
+        metrics: Sequence[MetricDefinition],
+    ) -> StartupReport:
+        """Run the whole start-up protocol; returns the filled report."""
+        self.report_self(daemons)
+        self.report_metrics(daemons, metrics)
+        self.find_clock_skew(daemons)
+        self.report_process(daemons)
+        self.report_machine_resources(daemons)
+        self.report_code(daemons)
+        self.report_callgraph(daemons)
+        self.report_done(daemons)
+        return self.report
+
+    def report_self(self, daemons: Sequence[ParadynDaemon]) -> None:
+        """Daemons report basic characteristics via concatenation."""
+        with self.network.new_stream(self.comm, transform=TFILTER_CONCAT) as s:
+            for text in self._gather_concat(s, daemons, TAGS.REPORT_SELF):
+                proc = ProcessResources.decode_report(text)
+                self.report.daemons[proc.rank] = proc
+
+    def report_metrics(
+        self, daemons: Sequence[ParadynDaemon], metrics: Sequence[MetricDefinition]
+    ) -> None:
+        """Broadcast MDL; collect supported metrics via equivalence classes."""
+        with self.network.new_stream(self.comm, transform=self._eqclass_id) as s:
+            s.send("%s", serialize_mdl(list(metrics)), tag=TAGS.MDL_BROADCAST)
+            classes = EquivalenceClasses.from_packet(
+                self._recv_serviced(s, daemons)
+            )
+        self.report.metric_classes = classes
+        # Full data only from each class representative (§3.1).
+        names: List[str] = []
+        for rep in classes.representatives():
+            names.extend(self._request_full(daemons, rep, TAGS.METRIC_FULL_REQ))
+        self.report.metric_names = names
+
+    def find_clock_skew(self, daemons: Sequence[ParadynDaemon]) -> None:
+        """Collect per-daemon clock offsets (accumulation phase of §3.1).
+
+        The live tree runs in one address space, so the interesting
+        jitter physics lives in the simulation
+        (:mod:`repro.paradyn.clockskew`); here the front-end runs the
+        protocol shape: one broadcast, per-daemon cumulative values
+        concatenated upstream.
+        """
+        with self.network.new_stream(self.comm, sync=SFILTER_DONTWAIT) as s:
+            s.send("%d", 0, tag=TAGS.SKEW_COLLECT)
+            for _ in range(len(daemons)):
+                offset, rank = self._recv_serviced(s, daemons).unpack()
+                self.report.clock_skews[rank] = offset
+
+    def report_process(self, daemons: Sequence[ParadynDaemon]) -> None:
+        with self.network.new_stream(self.comm, transform=TFILTER_CONCAT) as s:
+            for text in self._gather_concat(s, daemons, TAGS.PROCESS_REPORT):
+                proc = ProcessResources.decode_report(text)
+                self.report.daemons[proc.rank] = proc
+
+    def report_machine_resources(self, daemons: Sequence[ParadynDaemon]) -> None:
+        with self.network.new_stream(self.comm, transform=TFILTER_CONCAT) as s:
+            reports = self._gather_concat(s, daemons, TAGS.MACHINE_RESOURCES)
+        for r in reports:
+            self.report.machine_resources.extend(r.split(";"))
+
+    def report_code(self, daemons: Sequence[ParadynDaemon]) -> None:
+        """Code checksums → equivalence classes → representative data."""
+        with self.network.new_stream(self.comm, transform=self._eqclass_id) as s:
+            s.send("%d", 0, tag=TAGS.CODE_CKSUM)
+            classes = EquivalenceClasses.from_packet(
+                self._recv_serviced(s, daemons)
+            )
+        self.report.code_classes = classes
+        for rep in classes.representatives():
+            self.report.code_resources[rep] = self._request_full(
+                daemons, rep, TAGS.CODE_FULL_REQ
+            )
+
+    def report_callgraph(self, daemons: Sequence[ParadynDaemon]) -> None:
+        with self.network.new_stream(self.comm, transform=self._eqclass_id) as s:
+            s.send("%d", 0, tag=TAGS.CALLGRAPH_CKSUM)
+            classes = EquivalenceClasses.from_packet(
+                self._recv_serviced(s, daemons)
+            )
+        self.report.callgraph_classes = classes
+        for rep in classes.representatives():
+            self.report.callgraph_edges[rep] = self._request_full(
+                daemons, rep, TAGS.CALLGRAPH_FULL_REQ
+            )
+
+    def report_done(self, daemons: Sequence[ParadynDaemon]) -> None:
+        with self.network.new_stream(self.comm, transform=TFILTER_SUM) as s:
+            s.send("%d", 0, tag=TAGS.REPORT_DONE)
+            (count,) = self._recv_serviced(s, daemons).unpack()
+        self.report.done_count = count
+
+    def _request_full(
+        self, daemons: Sequence[ParadynDaemon], rank: int, tag: int
+    ) -> List[str]:
+        """Point-to-point request to one representative daemon."""
+        comm = self.network.new_communicator([rank])
+        with self.network.new_stream(
+            comm, sync=SFILTER_DONTWAIT
+        ) as s:
+            s.send("%ud", rank, tag=tag)
+            (items,) = self._recv_serviced(s, daemons).unpack()
+        return list(items)
+
+    # -- §3.2 monitoring phase ---------------------------------------------
+
+    def enable_metric(
+        self,
+        daemons: Sequence[ParadynDaemon],
+        metric_name: str,
+        interval: float = 0.2,
+        op: str = "sum",
+        start_time: float = 0.0,
+    ):
+        """Create the metric's aggregation stream and enable collection.
+
+        Returns the front-end stream; aggregated global samples arrive
+        on it as ``"%lf %lf %lf"`` packets.
+        """
+        fid = self._perf_filter_ids.get((metric_name, interval, op))
+        if fid is None:
+            fid = self.network.registry.register_transform(
+                PerformanceDataFilter(interval, op, start_time,
+                                      name=f"perfdata-{metric_name}")
+            )
+            self._perf_filter_ids[(metric_name, interval, op)] = fid
+        stream = self.network.new_stream(self.comm, transform=fid)
+        stream.send("%s", metric_name, tag=TAGS.ENABLE_METRIC)
+        import time as _time
+
+        deadline = _time.monotonic() + _RECV_TIMEOUT
+        while not all(d.has_metric(metric_name) for d in daemons):
+            if _time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"enable_metric({metric_name!r}) did not reach all daemons"
+                )
+            self._service_all(daemons)
+            _time.sleep(0.001)
+        self._metric_streams[metric_name] = stream
+        return stream
+
+    def collect_samples(self, metric_name: str, count: int) -> List[DataSample]:
+        """Receive *count* aggregated global samples for a metric.
+
+        Each sample is also folded into the metric's
+        :class:`~repro.paradyn.timehist.TimeHistogram` (Paradyn's
+        bounded-memory history, see :meth:`history`).
+        """
+        stream = self._metric_streams[metric_name]
+        hist = self._histories.setdefault(metric_name, TimeHistogram())
+        out = []
+        for _ in range(count):
+            packet = stream.recv(timeout=_RECV_TIMEOUT)
+            sample = DataSample.from_packet(packet)
+            hist.add_sample(sample)
+            out.append(sample)
+        return out
+
+    def history(self, metric_name: str) -> TimeHistogram:
+        """The folding time histogram of everything collected so far."""
+        return self._histories.setdefault(metric_name, TimeHistogram())

@@ -1,0 +1,174 @@
+"""A miniature Metric Definition Language (MDL) — §3.1.
+
+"metric definitions describing how to instrument processes to collect
+metric performance data are provided to the front end in a
+configuration file written in the Paradyn Metric Definition Language.
+The front-end uses simple broadcast operations to deliver the metric
+definitions to all tool back-ends."
+
+This is a deliberately small subset of MDL [Hollingsworth et al.,
+PACT'97]: enough structure for realistic broadcast payloads and for
+daemons to answer "which metrics do I support".  Grammar::
+
+   metric <name> {
+       units  <string> ;
+       style  EventCounter | SampledFunction ;
+       aggregate sum | avg | min | max ;
+       internal true | false ;        # optional, default false
+   }
+
+Example::
+
+   metric cpu_time { units "seconds"; style EventCounter; aggregate sum; }
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = ["MetricDefinition", "MDLError", "parse_mdl", "serialize_mdl", "DEFAULT_METRICS"]
+
+_STYLES = ("EventCounter", "SampledFunction")
+_AGGREGATES = ("sum", "avg", "min", "max")
+
+
+class MDLError(ValueError):
+    """Raised for malformed MDL text."""
+
+
+@dataclass(frozen=True)
+class MetricDefinition:
+    """One performance metric the tool can instrument for."""
+
+    name: str
+    units: str
+    style: str = "EventCounter"
+    aggregate: str = "sum"
+    internal: bool = False
+
+    def __post_init__(self):
+        if not re.match(r"^[A-Za-z_][A-Za-z0-9_]*$", self.name):
+            raise MDLError(f"invalid metric name {self.name!r}")
+        if self.style not in _STYLES:
+            raise MDLError(f"invalid style {self.style!r}")
+        if self.aggregate not in _AGGREGATES:
+            raise MDLError(f"invalid aggregate {self.aggregate!r}")
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<comment>\#[^\n]*)
+      | (?P<string>"[^"]*")
+      | (?P<punct>[{};])
+      | (?P<word>[A-Za-z_][A-Za-z0-9_]*)
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            if text[pos:].strip():
+                raise MDLError(f"unexpected character {text[pos]!r} at offset {pos}")
+            break
+        pos = m.end()
+        if m.lastgroup != "comment":
+            tokens.append(m.group(m.lastgroup))
+    return tokens
+
+
+def parse_mdl(text: str) -> List[MetricDefinition]:
+    """Parse MDL text into metric definitions."""
+    tokens = _tokenize(text)
+    out: List[MetricDefinition] = []
+    i = 0
+    seen = set()
+    while i < len(tokens):
+        if tokens[i] != "metric":
+            raise MDLError(f"expected 'metric', got {tokens[i]!r}")
+        if i + 2 >= len(tokens) or tokens[i + 2] != "{":
+            raise MDLError("expected 'metric <name> {'")
+        name = tokens[i + 1]
+        i += 3
+        fields: Dict[str, str] = {}
+        while i < len(tokens) and tokens[i] != "}":
+            key = tokens[i]
+            if i + 2 >= len(tokens) or tokens[i + 2] != ";":
+                raise MDLError(f"expected '<key> <value> ;' in metric {name!r}")
+            value = tokens[i + 1]
+            fields[key] = value
+            i += 3
+        if i >= len(tokens):
+            raise MDLError(f"unterminated metric block {name!r}")
+        i += 1  # consume '}'
+        if name in seen:
+            raise MDLError(f"duplicate metric {name!r}")
+        seen.add(name)
+        unknown = set(fields) - {"units", "style", "aggregate", "internal"}
+        if unknown:
+            raise MDLError(f"unknown keys {sorted(unknown)} in metric {name!r}")
+        if "units" not in fields:
+            raise MDLError(f"metric {name!r} missing 'units'")
+        out.append(
+            MetricDefinition(
+                name=name,
+                units=fields["units"].strip('"'),
+                style=fields.get("style", "EventCounter"),
+                aggregate=fields.get("aggregate", "sum"),
+                internal=fields.get("internal", "false") == "true",
+            )
+        )
+    if not out:
+        raise MDLError("no metric definitions found")
+    return out
+
+
+def serialize_mdl(metrics: List[MetricDefinition]) -> str:
+    """Render definitions back to MDL text (round-trips via parse_mdl)."""
+    blocks = []
+    for m in metrics:
+        lines = [
+            f"metric {m.name} {{",
+            f'    units "{m.units}" ;',
+            f"    style {m.style} ;",
+            f"    aggregate {m.aggregate} ;",
+        ]
+        if m.internal:
+            lines.append("    internal true ;")
+        lines.append("}")
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks) + "\n"
+
+
+def default_metrics(n: int = 8) -> List[MetricDefinition]:
+    """The stock metric set a Paradyn front-end ships to daemons."""
+    base = [
+        MetricDefinition("cpu_time", "seconds", "EventCounter", "sum"),
+        MetricDefinition("cpu_utilization", "fraction", "SampledFunction", "avg"),
+        MetricDefinition("io_wait", "seconds", "EventCounter", "sum"),
+        MetricDefinition("io_bytes", "bytes", "EventCounter", "sum"),
+        MetricDefinition("msgs_sent", "operations", "EventCounter", "sum"),
+        MetricDefinition("msg_bytes", "bytes", "EventCounter", "sum"),
+        MetricDefinition("sync_wait", "seconds", "EventCounter", "sum"),
+        MetricDefinition("procedure_calls", "operations", "EventCounter", "sum"),
+        MetricDefinition("active_processes", "processes", "SampledFunction", "sum"),
+        MetricDefinition("pause_time", "seconds", "EventCounter", "sum", internal=True),
+    ]
+    if n <= len(base):
+        return base[:n]
+    extra = [
+        MetricDefinition(f"user_metric_{i:02d}", "units", "SampledFunction", "avg")
+        for i in range(n - len(base))
+    ]
+    return base + extra
+
+
+DEFAULT_METRICS = default_metrics()

@@ -1,0 +1,307 @@
+"""Time-aligned performance data aggregation (paper §3.2, Figures 5–6).
+
+Paradyn represents a performance sample as ``{v, i}`` — a value over a
+time interval — because its back-ends sample asynchronously, so
+position-wise ("ordinal") aggregation would combine samples from
+different portions of the run (Figure 5).  The Performance Data
+Aggregation filter instead aligns samples to a common *output sample
+interval* before reducing (Figure 6):
+
+1. An arriving sample joins its input connection's queue.
+2. If it overlaps the current output interval, the overlapping
+   fraction of its value is attributed to that input's aligned sample
+   and the remainder stays queued with its interval start advanced —
+   "because the sample's value is attributed proportionally ... there
+   is no lost performance data due to round-off issues."  That
+   conservation claim is tested property-based in
+   ``tests/paradyn/test_perfdata.py``.
+3. When every input has covered the whole output interval, the
+   aligned values are reduced into one output sample over exactly
+   that interval, and the interval advances.
+
+:class:`TimeAlignedAggregator` implements the algorithm for one node;
+:class:`PerformanceDataFilter` wraps it as an MRNet transformation
+filter (positional inputs within Wait-For-All waves, one queue per
+child); :class:`OrdinalAggregator` is the baseline Figure 5a scheme
+used by the alignment ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..core.formats import parse_format
+from ..core.packet import Packet
+from ..filters.base import FilterError, FilterState, FunctionFilter
+
+__all__ = [
+    "DataSample",
+    "TimeAlignedAggregator",
+    "OrdinalAggregator",
+    "PerformanceDataFilter",
+    "SAMPLE_FMT",
+]
+
+#: value, interval start, interval end
+SAMPLE_FMT = parse_format("%lf %lf %lf")
+
+_REDUCERS: dict = {
+    "sum": sum,
+    "avg": lambda vals: sum(vals) / len(vals),
+    "min": min,
+    "max": max,
+}
+
+
+@dataclass(frozen=True)
+class DataSample:
+    """One performance data sample: a value over [start, end)."""
+
+    value: float
+    start: float
+    end: float
+
+    def __post_init__(self):
+        if self.end <= self.start:
+            raise ValueError(
+                f"sample interval [{self.start}, {self.end}) is empty"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def rate(self) -> float:
+        """Value per second over the sample's interval."""
+        return self.value / self.duration
+
+    def split_at(self, t: float) -> tuple["DataSample", "DataSample"]:
+        """Split proportionally at *t* (start < t < end); conserves value."""
+        if not self.start < t < self.end:
+            raise ValueError(f"split point {t} outside ({self.start}, {self.end})")
+        frac = (t - self.start) / self.duration
+        left = DataSample(self.value * frac, self.start, t)
+        right = DataSample(self.value - left.value, t, self.end)
+        return left, right
+
+    def to_packet(self, stream_id: int, tag: int, origin_rank: int = 0) -> Packet:
+        return Packet(
+            stream_id, tag, SAMPLE_FMT, (self.value, self.start, self.end),
+            origin_rank=origin_rank,
+        )
+
+    @classmethod
+    def from_packet(cls, packet: Packet) -> "DataSample":
+        if packet.fmt != SAMPLE_FMT:
+            raise FilterError(
+                f"not a performance sample packet: {packet.fmt.canonical!r}"
+            )
+        value, start, end = packet.unpack()
+        return cls(value, start, end)
+
+
+class _InputLane:
+    """One input connection's queue + aligned contribution."""
+
+    __slots__ = ("queue", "acc", "covered_until", "last_end")
+
+    def __init__(self, t0: float):
+        self.queue: List[DataSample] = []
+        self.acc = 0.0
+        self.covered_until = t0
+        self.last_end = float("-inf")
+
+
+class TimeAlignedAggregator:
+    """Figure 6's algorithm for one node with *n_inputs* connections.
+
+    Parameters
+    ----------
+    n_inputs:
+        Number of input connections (children of the node).
+    interval:
+        Output sample interval length in seconds.
+    op:
+        Reduction applied to the aligned values: ``"sum"``, ``"avg"``,
+        ``"min"`` or ``"max"``.
+    start_time:
+        Start of the first output interval.
+    """
+
+    def __init__(
+        self,
+        n_inputs: int,
+        interval: float,
+        op: str = "sum",
+        start_time: float = 0.0,
+    ):
+        if n_inputs < 1:
+            raise ValueError("need at least one input connection")
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if op not in _REDUCERS:
+            raise ValueError(f"unknown reduction {op!r}")
+        self.n_inputs = n_inputs
+        self.interval = interval
+        self.op = op
+        self._reduce: Callable[[Sequence[float]], float] = _REDUCERS[op]
+        self.t0 = start_time
+        self.t1 = start_time + interval
+        self._lanes = [_InputLane(start_time) for _ in range(n_inputs)]
+        self.samples_in = 0
+        self.samples_out = 0
+
+    # -- feeding ------------------------------------------------------------
+
+    def add_sample(self, input_idx: int, sample: DataSample) -> List[DataSample]:
+        """Offer one sample on one input; return any completed outputs."""
+        if not 0 <= input_idx < self.n_inputs:
+            raise IndexError(f"input {input_idx} out of range")
+        lane = self._lanes[input_idx]
+        if sample.start < lane.last_end:
+            raise ValueError(
+                f"input {input_idx} samples must be non-overlapping and ordered"
+            )
+        lane.last_end = sample.end
+        if sample.end <= self.t0:
+            # Entirely before the current output interval (late joiner
+            # history): contributes to nothing current; drop it.
+            self.samples_in += 1
+            return []
+        lane.queue.append(sample)
+        self.samples_in += 1
+        return self._advance()
+
+    # -- the Figure 6 loop -----------------------------------------------------
+
+    def _drain_lane(self, lane: _InputLane) -> None:
+        """Attribute queued samples to the current output interval."""
+        while lane.queue and lane.covered_until < self.t1:
+            s = lane.queue[0]
+            if s.start > lane.covered_until:
+                # Gap in this input's data: cannot certify coverage yet.
+                return
+            if s.end <= self.t1:
+                lane.acc += s.value
+                lane.covered_until = max(lane.covered_until, s.end)
+                lane.queue.pop(0)
+            else:
+                head, tail = s.split_at(self.t1)
+                lane.acc += head.value
+                lane.covered_until = self.t1
+                lane.queue[0] = tail
+
+    def _advance(self) -> List[DataSample]:
+        out: List[DataSample] = []
+        while True:
+            for lane in self._lanes:
+                self._drain_lane(lane)
+            if not all(lane.covered_until >= self.t1 for lane in self._lanes):
+                return out
+            value = self._reduce([lane.acc for lane in self._lanes])
+            out.append(DataSample(value, self.t0, self.t1))
+            self.samples_out += 1
+            self.t0 = self.t1
+            self.t1 = self.t0 + self.interval
+            for lane in self._lanes:
+                lane.acc = 0.0
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def pending_value(self) -> float:
+        """Value attributed or queued but not yet emitted (conservation)."""
+        total = 0.0
+        for lane in self._lanes:
+            total += lane.acc
+            total += sum(s.value for s in lane.queue)
+        return total
+
+    @property
+    def output_interval(self) -> tuple[float, float]:
+        return (self.t0, self.t1)
+
+
+class OrdinalAggregator:
+    """The Figure 5a baseline: combine the i-th sample of every input.
+
+    The output sample's value reduces the i-th values; its interval is
+    the *envelope* of the contributing intervals, which — under clock
+    or rate skew — mixes data from different parts of the run.  The
+    alignment ablation (benchmarks/test_ablation_alignment.py)
+    quantifies the resulting error against the time-aligned scheme.
+    """
+
+    def __init__(self, n_inputs: int, op: str = "sum"):
+        if n_inputs < 1:
+            raise ValueError("need at least one input connection")
+        if op not in _REDUCERS:
+            raise ValueError(f"unknown reduction {op!r}")
+        self.n_inputs = n_inputs
+        self._reduce = _REDUCERS[op]
+        self._queues: List[List[DataSample]] = [[] for _ in range(n_inputs)]
+
+    def add_sample(self, input_idx: int, sample: DataSample) -> List[DataSample]:
+        self._queues[input_idx].append(sample)
+        out: List[DataSample] = []
+        while all(self._queues):
+            wave = [q.pop(0) for q in self._queues]
+            out.append(
+                DataSample(
+                    self._reduce([s.value for s in wave]),
+                    min(s.start for s in wave),
+                    max(s.end for s in wave),
+                )
+            )
+        return out
+
+
+class PerformanceDataFilter(FunctionFilter):
+    """Paradyn's custom Performance Data Aggregation filter for MRNet.
+
+    Bind it to a stream with Wait-For-All synchronization: each wave
+    carries one ``"%lf %lf %lf"`` sample per child, positionally, and
+    the filter feeds them into a per-stream
+    :class:`TimeAlignedAggregator` (fan-in learned from the
+    ``n_children`` hint the stream manager leaves in the filter
+    state).  Completed output samples flow upstream as packets over
+    the same format, so the filter composes across tree levels.
+    """
+
+    def __init__(
+        self,
+        interval: float = 0.2,
+        op: str = "sum",
+        start_time: float = 0.0,
+        name: Optional[str] = None,
+    ):
+        super().__init__(self._run, name or f"perfdata-{op}", None)
+        self.interval = interval
+        self.op = op
+        self.start_time = start_time
+
+    def _run(self, packets: Sequence[Packet], state: FilterState) -> List[Packet]:
+        if not packets:
+            return []
+        agg: Optional[TimeAlignedAggregator] = state.get("aggregator")
+        if agg is None:
+            n = state.get("n_children") or len(packets)
+            agg = TimeAlignedAggregator(
+                max(n, len(packets)), self.interval, self.op, self.start_time
+            )
+            state["aggregator"] = agg
+        first = packets[0]
+        outputs: List[DataSample] = []
+        for idx, packet in enumerate(packets):
+            if idx >= agg.n_inputs:
+                raise FilterError(
+                    f"wave has {len(packets)} packets but aggregator expects "
+                    f"{agg.n_inputs} inputs"
+                )
+            outputs.extend(agg.add_sample(idx, DataSample.from_packet(packet)))
+        return [
+            s.to_packet(first.stream_id, first.tag, first.origin_rank)
+            for s in outputs
+        ]

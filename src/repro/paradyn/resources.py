@@ -1,0 +1,196 @@
+"""Paradyn resources and the synthetic application model (§3.1).
+
+"At tool start-up, the Paradyn back-ends examine application processes
+to identify the relevant parts of the program, such as modules,
+functions, and process ids.  Such items are called resources in
+Paradyn terminology."
+
+The paper's start-up experiments monitor smg2000, "a parallel linear
+equation solver ... approximately 434 functions in a 290 KB
+executable".  We cannot ship smg2000, so :func:`synthetic_executable`
+generates a deterministic stand-in with the same shape: 434 functions
+across a handful of modules, addresses spread over ≈ 290 KB of text,
+and a static call graph.  Because every daemon "runs" the same
+executable on homogeneous hosts, their code checksums agree and the
+equivalence-class scheme collapses to one class, exactly as on Blue
+Pacific.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "FunctionResource",
+    "ModuleResource",
+    "ExecutableImage",
+    "ProcessResources",
+    "synthetic_executable",
+    "SMG2000_FUNCTIONS",
+    "SMG2000_TEXT_BYTES",
+]
+
+SMG2000_FUNCTIONS = 434
+SMG2000_TEXT_BYTES = 290 * 1024
+
+
+@dataclass(frozen=True)
+class FunctionResource:
+    """One discovered function: name, entry address, size in bytes."""
+
+    name: str
+    address: int
+    size: int
+    module: str
+
+    @property
+    def resource_path(self) -> str:
+        """Paradyn-style resource name, e.g. ``/Code/solve.c/relax_42``."""
+        return f"/Code/{self.module}/{self.name}"
+
+
+@dataclass(frozen=True)
+class ModuleResource:
+    """One module (source file / library) and its functions."""
+
+    name: str
+    functions: Tuple[FunctionResource, ...]
+
+    @property
+    def resource_path(self) -> str:
+        return f"/Code/{self.name}"
+
+
+@dataclass
+class ExecutableImage:
+    """Everything a daemon learns by parsing the executable."""
+
+    name: str
+    modules: Tuple[ModuleResource, ...]
+    call_graph: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    @property
+    def functions(self) -> List[FunctionResource]:
+        return [f for m in self.modules for f in m.functions]
+
+    @property
+    def text_bytes(self) -> int:
+        return sum(f.size for f in self.functions)
+
+    def code_checksum(self) -> int:
+        """Order-independent checksum over function names+addresses.
+
+        Daemons exchange this (not the full data) so the front-end can
+        partition them into equivalence classes (§3.1).  Returned as a
+        uint64 so it fits a ``%uld`` packet field.
+        """
+        h = hashlib.sha256()
+        for f in sorted(self.functions, key=lambda f: (f.module, f.name)):
+            h.update(f.name.encode())
+            h.update(struct.pack(">QI", f.address, f.size))
+            h.update(f.module.encode())
+        return int.from_bytes(h.digest()[:8], "big")
+
+    def callgraph_checksum(self) -> int:
+        """Checksum over the static call graph."""
+        h = hashlib.sha256()
+        for caller in sorted(self.call_graph):
+            h.update(caller.encode())
+            for callee in self.call_graph[caller]:
+                h.update(b">")
+                h.update(callee.encode())
+        return int.from_bytes(h.digest()[:8], "big")
+
+
+@dataclass
+class ProcessResources:
+    """Per-process resources a daemon reports (host, pid, args, ...).
+
+    Unlike code resources these differ across daemons ("data like
+    process identifiers and host names are likely to be different"),
+    so Paradyn ships them via parallel concatenation rather than
+    equivalence classes.
+    """
+
+    host: str
+    pid: int
+    rank: int
+    command_line: str
+    created_by_daemon: bool = True
+
+    def machine_resource_paths(self) -> List[str]:
+        return [
+            f"/Machine/{self.host}",
+            f"/Machine/{self.host}/{self.pid}",
+            f"/Machine/{self.host}/{self.pid}/thread_0",
+        ]
+
+    def encode_report(self) -> str:
+        """Flatten to one string for a concatenation stream."""
+        created = 1 if self.created_by_daemon else 0
+        return f"{self.rank}|{self.host}|{self.pid}|{self.command_line}|{created}"
+
+    @classmethod
+    def decode_report(cls, text: str) -> "ProcessResources":
+        rank, host, pid, cmd, created = text.split("|")
+        return cls(
+            host=host,
+            pid=int(pid),
+            rank=int(rank),
+            command_line=cmd,
+            created_by_daemon=created == "1",
+        )
+
+
+def synthetic_executable(
+    name: str = "smg2000",
+    n_functions: int = SMG2000_FUNCTIONS,
+    text_bytes: int = SMG2000_TEXT_BYTES,
+    n_modules: int = 12,
+    variant: int = 0,
+) -> ExecutableImage:
+    """Build the deterministic smg2000 stand-in.
+
+    ``variant`` perturbs function addresses, producing a *different*
+    checksum while keeping the same shape — used to test the
+    equivalence-class machinery with heterogeneous daemon populations
+    (e.g. two executables in one job).
+    """
+    if n_functions < 1 or n_modules < 1:
+        raise ValueError("need at least one function and one module")
+    n_modules = min(n_modules, n_functions)
+    fn_size = max(16, text_bytes // n_functions)
+    base = 0x10000000 + variant * 0x1000
+    modules: List[ModuleResource] = []
+    call_graph: Dict[str, Tuple[str, ...]] = {}
+    names: List[str] = []
+    idx = 0
+    for m in range(n_modules):
+        count = n_functions // n_modules + (1 if m < n_functions % n_modules else 0)
+        funcs = []
+        mod_name = f"{name}_mod{m:02d}.c"
+        for _ in range(count):
+            fname = f"fn_{idx:04d}"
+            funcs.append(
+                FunctionResource(
+                    name=fname,
+                    address=base + idx * fn_size,
+                    size=fn_size,
+                    module=mod_name,
+                )
+            )
+            names.append(fname)
+            idx += 1
+        modules.append(ModuleResource(mod_name, tuple(funcs)))
+    # Deterministic sparse call graph: fn_i calls fn_{2i+1}, fn_{3i+2}.
+    for i, caller in enumerate(names):
+        callees = []
+        for j in (2 * i + 1, 3 * i + 2):
+            if j < len(names):
+                callees.append(names[j])
+        if callees:
+            call_graph[caller] = tuple(callees)
+    return ExecutableImage(name=name, modules=tuple(modules), call_graph=call_graph)

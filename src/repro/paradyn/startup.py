@@ -1,0 +1,148 @@
+"""Paradyn tool start-up model (paper §3.1, Figures 8a/8b).
+
+Start-up latency decomposes into three cost classes per activity:
+
+* **daemon-local work** — parsing the executable, computing checksums,
+  creating processes: perfectly parallel across daemons, identical
+  with and without MRNet (the paper's unshaded Figure 8b activities);
+* **front-end per-daemon work** — registering each daemon's resources
+  (process ids, machine resources, metric lists) in front-end data
+  structures: inherently serial at the front-end, also present in
+  both configurations — this is why the MRNet curves in Figure 8a
+  still grow (nearly linearly) with daemon count;
+* **per-daemon communication/RPC overhead** — without MRNet, every
+  report is a serialized point-to-point exchange with the front-end
+  (synchronous round-trips, select/dispatch per daemon); these costs
+  vanish into the tree with MRNet, replaced by a handful of pipelined
+  collective waves whose cost depends only on fan-out, not daemon
+  count.  Past a few hundred daemons the overloaded front-end also
+  pays a growing per-message penalty (backlog, buffering), modelled
+  as the ``(1 + D/overload_scale)`` factor — the super-linear take-off
+  of the "No MRNet" curve.
+
+Per-activity constants are calibrated so the 512-daemon totals match
+the paper's anchors: ≈ 70 s without MRNet, ≈ 20 s with an eight-way
+balanced tree (the paper's "3.4 times faster"), with the benefit
+growing with daemon count.  See EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..topology.spec import TopologySpec
+
+__all__ = [
+    "StartupActivity",
+    "StartupParams",
+    "ACTIVITIES",
+    "StartupResult",
+    "simulate_startup",
+]
+
+
+@dataclass(frozen=True)
+class StartupActivity:
+    """Cost model for one start-up activity.
+
+    ``uses_mrnet`` marks the activities Figure 8b sets in bold (data
+    aggregation or concatenation flows through the tree); for the
+    others both configurations behave identically.
+    """
+
+    name: str
+    #: Perfectly-parallel daemon-side work (seconds, constant).
+    local: float
+    #: Front-end CPU per daemon, paid in both configurations.
+    fe_per_daemon: float
+    #: Extra serialized per-daemon RPC/communication cost without MRNet.
+    rpc_per_daemon: float
+    #: Collective waves this activity needs through the tree (MRNet).
+    waves: int
+    uses_mrnet: bool = True
+
+
+#: The §4.2.1 activity list, in protocol order.  Where two reporting
+#: steps share a Figure 8b row they share a row here too.
+ACTIVITIES: List[StartupActivity] = [
+    StartupActivity("Report Self", 0.05, 1.0e-3, 4.0e-3, 2),
+    StartupActivity("Report Metrics", 0.30, 2.0e-3, 6.0e-3, 5),
+    StartupActivity("Find Clock Skew", 0.10, 0.5e-3, 24.0e-3, 20),
+    StartupActivity("Parse Executable", 2.00, 0.0, 0.0, 0, uses_mrnet=False),
+    StartupActivity("Report Process", 0.20, 6.0e-3, 8.0e-3, 6),
+    StartupActivity("Report Machine Resources", 0.20, 7.0e-3, 11.0e-3, 8),
+    StartupActivity("Report Code Eq Classes", 0.50, 5.0e-3, 4.0e-3, 3),
+    StartupActivity("Report Code Resources", 0.80, 0.0, 0.0, 0, uses_mrnet=False),
+    StartupActivity("Report Callgraph Eq Classes", 0.40, 6.0e-3, 5.0e-3, 4),
+    StartupActivity("Report Callgraph", 0.60, 0.0, 0.0, 0, uses_mrnet=False),
+    StartupActivity("Report Done", 0.02, 0.2e-3, 1.0e-3, 1),
+]
+
+
+@dataclass(frozen=True)
+class StartupParams:
+    """Global knobs of the start-up model."""
+
+    #: Per-message gap inside tree processes (pipelined wave pacing).
+    node_gap: float = 2.0e-3
+    #: Daemon count at which the overloaded front-end's per-RPC cost
+    #: has doubled (no-MRNet configuration only).
+    overload_scale: float = 1024.0
+
+
+DEFAULT_STARTUP = StartupParams()
+
+
+@dataclass
+class StartupResult:
+    """Per-activity and total start-up latency for one configuration."""
+
+    daemons: int
+    configuration: str
+    per_activity: Dict[str, float]
+
+    @property
+    def total(self) -> float:
+        return sum(self.per_activity.values())
+
+
+def simulate_startup(
+    daemons: int,
+    topology: Optional[TopologySpec] = None,
+    params: StartupParams = DEFAULT_STARTUP,
+    activities: List[StartupActivity] = ACTIVITIES,
+) -> StartupResult:
+    """Start-up latency for *daemons*, without (``topology=None``) or
+    with MRNet over the given tree."""
+    if daemons < 1:
+        raise ValueError("need at least one daemon")
+    if topology is not None and topology.num_backends != daemons:
+        raise ValueError(
+            f"topology has {topology.num_backends} back-ends, expected {daemons}"
+        )
+    per: Dict[str, float] = {}
+    if topology is None:
+        overload = 1.0 + daemons / params.overload_scale
+        for a in activities:
+            per[a.name] = (
+                a.local
+                + daemons * a.fe_per_daemon
+                + daemons * a.rpc_per_daemon * overload
+            )
+        return StartupResult(daemons, "flat", per)
+    # With MRNet: RPC serialization is replaced by pipelined waves whose
+    # pacing depends on the busiest process's fan-out (plus its parent
+    # link), as in sim.logp.pipelined_gap.
+    busiest = 0
+    for node in topology.nodes():
+        msgs = len(node.children) + (
+            1 if node is not topology.root and node.children else 0
+        )
+        busiest = max(busiest, msgs)
+    wave_gap = busiest * params.node_gap
+    for a in activities:
+        comm = a.waves * wave_gap if a.uses_mrnet else 0.0
+        per[a.name] = a.local + daemons * a.fe_per_daemon + comm
+    label = f"{topology.max_fanout}-way"
+    return StartupResult(daemons, label, per)

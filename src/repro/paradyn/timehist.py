@@ -1,0 +1,151 @@
+"""Paradyn-style time histograms for collected performance data.
+
+Paradyn stores each global metric's sample stream in a fixed-size
+*time histogram*: a bounded array of time bins that covers the whole
+run by **folding** — when samples arrive past the histogram's current
+horizon, the bin width doubles and adjacent bins merge, so memory
+stays constant while resolution degrades gracefully.  The front-end
+uses these histograms to drive its displays and its performance
+bottleneck search.
+
+This reproduces that structure for the samples our
+:class:`~repro.paradyn.perfdata.DataSample` pipeline delivers.  Values
+are attributed to bins proportionally by time overlap (the same
+conservation discipline as the Figure 6 filter), so the histogram's
+total equals the total of everything added, across any number of
+folds — property-tested in ``tests/paradyn/test_timehist.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .perfdata import DataSample
+
+__all__ = ["TimeHistogram"]
+
+
+class TimeHistogram:
+    """A bounded, folding time series of metric values.
+
+    Parameters
+    ----------
+    n_bins:
+        Number of bins (constant for the histogram's lifetime).
+    initial_bin_width:
+        Bin width in seconds before any fold.
+    start_time:
+        Left edge of bin 0.
+    """
+
+    def __init__(
+        self,
+        n_bins: int = 240,
+        initial_bin_width: float = 0.2,
+        start_time: float = 0.0,
+    ):
+        if n_bins < 2 or n_bins % 2:
+            raise ValueError("n_bins must be an even number >= 2")
+        if initial_bin_width <= 0:
+            raise ValueError("initial_bin_width must be positive")
+        self.n_bins = n_bins
+        self.bin_width = initial_bin_width
+        self.start_time = start_time
+        self._bins = [0.0] * n_bins
+        self.folds = 0
+        self.samples_added = 0
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def horizon(self) -> float:
+        """Right edge of the last bin."""
+        return self.start_time + self.n_bins * self.bin_width
+
+    def bin_edges(self, index: int) -> Tuple[float, float]:
+        lo = self.start_time + index * self.bin_width
+        return lo, lo + self.bin_width
+
+    @property
+    def values(self) -> List[float]:
+        """A copy of the current bin values."""
+        return list(self._bins)
+
+    @property
+    def total(self) -> float:
+        return sum(self._bins)
+
+    # -- folding -------------------------------------------------------------
+
+    def fold(self) -> None:
+        """Double the bin width, merging adjacent bin pairs."""
+        half = self.n_bins // 2
+        merged = [
+            self._bins[2 * i] + self._bins[2 * i + 1] for i in range(half)
+        ]
+        self._bins = merged + [0.0] * half
+        self.bin_width *= 2.0
+        self.folds += 1
+
+    # -- adding data -----------------------------------------------------------
+
+    def add_sample(self, sample: DataSample) -> None:
+        """Attribute one sample's value across the bins it overlaps.
+
+        Samples (or portions of samples) before ``start_time`` are
+        dropped; samples beyond the horizon trigger folds until they
+        fit.
+        """
+        self.samples_added += 1
+        start = max(sample.start, self.start_time)
+        if start >= sample.end:
+            return
+        # Proportional share of the value inside [start_time, ...).
+        value = sample.value * (sample.end - start) / sample.duration
+        while sample.end > self.horizon:
+            self.fold()
+        rate = value / (sample.end - start)
+        # Attribute by overlap over a bounded bin range (floating-point
+        # bin edges can make an edge-walking loop stall, so iterate bin
+        # indices instead: empty overlaps contribute nothing and the
+        # range is finite by construction).
+        first = int((start - self.start_time) / self.bin_width)
+        last = int((sample.end - self.start_time) / self.bin_width) + 1
+        first = max(0, min(first - 1, self.n_bins - 1))
+        last = max(0, min(last, self.n_bins - 1))
+        for idx in range(first, last + 1):
+            lo, hi = self.bin_edges(idx)
+            overlap = min(hi, sample.end) - max(lo, start)
+            if overlap > 0:
+                self._bins[idx] += rate * overlap
+
+    def add(self, value: float, start: float, end: float) -> None:
+        """Convenience: add a raw (value, interval) triple."""
+        self.add_sample(DataSample(value, start, end))
+
+    # -- queries ----------------------------------------------------------------
+
+    def value_over(self, t0: float, t1: float) -> float:
+        """Approximate total value over [t0, t1), proportional per bin."""
+        if t1 <= t0:
+            raise ValueError("empty query interval")
+        total = 0.0
+        for i, v in enumerate(self._bins):
+            lo, hi = self.bin_edges(i)
+            overlap = min(hi, t1) - max(lo, t0)
+            if overlap > 0:
+                total += v * overlap / self.bin_width
+        return total
+
+    def rate_series(self) -> List[Tuple[float, float]]:
+        """(bin midpoint, value/second) pairs for plotting."""
+        return [
+            (self.bin_edges(i)[0] + self.bin_width / 2, v / self.bin_width)
+            for i, v in enumerate(self._bins)
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"TimeHistogram(bins={self.n_bins}, width={self.bin_width:g}s, "
+            f"folds={self.folds}, total={self.total:g})"
+        )

@@ -1,0 +1,63 @@
+"""Discrete-event simulation substrate standing in for ASCI Blue Pacific."""
+
+from .clocks import BLUE_PACIFIC_CLOCKS, ClockSimParams, JitteredLink, SkewedClock
+from .cluster import BLUE_PACIFIC, ClusterParams
+from .collectives import CollectiveResult, CollectiveSim
+from .colocation import ColocationParams, ColocationResult, simulate_colocation
+from .engine import FifoResource, Simulator
+from .frontend_load import (
+    PARADYN_LOAD,
+    LoadModelParams,
+    frontend_load_fraction,
+    load_curve,
+    offered_rate,
+)
+from .instantiation import InstantiationResult, simulate_instantiation
+from .trace import MessageEvent, SimTrace
+from .logp import (
+    BLUE_PACIFIC_LOGP,
+    LogGPParams,
+    balanced_kary_broadcast_closed_form,
+    broadcast_latency,
+    injection_gap,
+    message_cost,
+    pipelined_gap,
+    pipelined_throughput,
+    reduction_latency,
+    roundtrip_latency,
+)
+
+__all__ = [
+    "Simulator",
+    "FifoResource",
+    "LogGPParams",
+    "BLUE_PACIFIC_LOGP",
+    "message_cost",
+    "broadcast_latency",
+    "reduction_latency",
+    "roundtrip_latency",
+    "injection_gap",
+    "pipelined_gap",
+    "pipelined_throughput",
+    "balanced_kary_broadcast_closed_form",
+    "ClusterParams",
+    "BLUE_PACIFIC",
+    "CollectiveSim",
+    "CollectiveResult",
+    "ColocationParams",
+    "ColocationResult",
+    "simulate_colocation",
+    "InstantiationResult",
+    "simulate_instantiation",
+    "MessageEvent",
+    "SimTrace",
+    "LoadModelParams",
+    "PARADYN_LOAD",
+    "frontend_load_fraction",
+    "load_curve",
+    "offered_rate",
+    "SkewedClock",
+    "JitteredLink",
+    "ClockSimParams",
+    "BLUE_PACIFIC_CLOCKS",
+]

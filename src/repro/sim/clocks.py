@@ -1,0 +1,105 @@
+"""Simulated host clocks with skew and message-latency jitter.
+
+The clock-skew experiment (§4.2.1) needs three things the real testbed
+provided: per-host clocks with unknown offsets, message exchanges whose
+one-way latencies are asymmetric and jittery, and a
+globally-synchronous oracle (Blue Pacific's SP switch clock) to grade
+the detected skews against.  This module simulates all three.
+
+A :class:`SkewedClock` reads ``true_time + offset`` (drift over the
+few seconds of a start-up phase is negligible and the paper's
+algorithm measures *offset*, i.e. skew, not drift — so offsets are
+constant).  :class:`JitteredLink` draws one-way latencies from a
+shifted exponential: ``base + Exp(jitter)``, the classic heavy-tail
+model for switch/OS-induced delay where the *minimum* observed RTT is
+the cleanest sample — which is why both the paper's schemes take the
+smallest-|skew| observation over repeated trials.
+
+Calibration: links between tree neighbours (same switch hop count,
+uncontended during the local phase) get lower jitter than front-end ↔
+daemon "direct" paths, whose packets cross the whole fabric while 512
+daemons are all talking to the same front-end.  That contention
+asymmetry is what makes the tree-based scheme's errors (≈ 10.5 %)
+smaller than the direct scheme's (≈ 17.5 %) in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SkewedClock", "JitteredLink", "ClockSimParams", "BLUE_PACIFIC_CLOCKS"]
+
+
+@dataclass(frozen=True)
+class ClockSimParams:
+    """Calibrated latency/skew magnitudes, in seconds."""
+
+    #: Standard deviation of per-host clock offsets.
+    skew_sigma: float = 5e-3
+    #: Deterministic one-way latency between tree neighbours.
+    local_base: float = 300e-6
+    #: Exponential jitter scale between tree neighbours.
+    local_jitter: float = 120e-6
+    #: Deterministic one-way latency front-end ↔ daemon (direct scheme).
+    direct_base: float = 350e-6
+    #: Exponential jitter scale on direct paths (fabric + contention).
+    direct_jitter: float = 150e-6
+    #: Asymmetry: fraction of the base by which forward and return
+    #: one-way latencies differ (what round-trip halving mis-estimates).
+    asymmetry: float = 0.35
+
+
+BLUE_PACIFIC_CLOCKS = ClockSimParams()
+
+
+class SkewedClock:
+    """A host clock with a fixed offset from true (oracle) time."""
+
+    __slots__ = ("offset",)
+
+    def __init__(self, offset: float):
+        self.offset = float(offset)
+
+    def read(self, true_time: float) -> float:
+        """This host's clock value at oracle time *true_time*."""
+        return true_time + self.offset
+
+    @classmethod
+    def random(cls, rng: np.random.Generator, sigma: float) -> "SkewedClock":
+        return cls(rng.normal(0.0, sigma))
+
+
+class JitteredLink:
+    """A link with asymmetric, jittered one-way latencies.
+
+    The forward and return directions have different deterministic
+    bases (``base·(1 ± asymmetry/2)``), plus independent exponential
+    jitter per message.  Round-trip halving therefore carries a
+    systematic error of ``±base·asymmetry/2`` on top of jitter noise —
+    exactly the error source both skew-detection schemes fight.
+    """
+
+    __slots__ = ("_fwd_base", "_ret_base", "_jitter", "_rng")
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        base: float,
+        jitter: float,
+        asymmetry: float,
+    ):
+        direction = rng.choice([-1.0, 1.0])
+        self._fwd_base = base * (1.0 + direction * asymmetry / 2.0)
+        self._ret_base = base * (1.0 - direction * asymmetry / 2.0)
+        self._jitter = jitter
+        self._rng = rng
+
+    def forward_delay(self) -> float:
+        """One-way latency for a request (parent→child / FE→daemon)."""
+        return self._fwd_base + self._rng.exponential(self._jitter)
+
+    def return_delay(self) -> float:
+        """One-way latency for the response."""
+        return self._ret_base + self._rng.exponential(self._jitter)

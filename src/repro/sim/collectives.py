@@ -1,0 +1,265 @@
+"""Discrete-event simulation of tree collectives (Figures 7b and 7c).
+
+Each process in the topology gets two FIFO resources: a *send path*
+(successive sends serialize at LogP gap ``g``) and a *CPU* (receive
+overheads and filter execution serialize at ``o``/``filter_cost``).
+Messages move between processes through LogGP wire cost
+``L + bytes·G``.  On top of that, three experiments:
+
+* :meth:`CollectiveSim.broadcast` — one root-to-leaves multicast;
+* :meth:`CollectiveSim.roundtrip` — a broadcast where every leaf
+  replies on receipt and every interior node reduces its children's
+  replies before forwarding (Figure 7b's "broadcast followed by a
+  reduction");
+* :meth:`CollectiveSim.pipelined_reductions` — leaves emit *n* waves
+  back to back and the simulator measures the steady-state rate at
+  which aggregated results emerge at the front-end (Figure 7c).
+
+The flat topology reproduces the serialized point-to-point behaviour
+of MRNet-less tools: the front-end's own resources become the
+bottleneck and latency grows linearly while throughput collapses.
+Multi-level trees spread the same per-message costs over interior
+processes, which is the entire point of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..topology.spec import TopologyNode, TopologySpec
+from .cluster import BLUE_PACIFIC, ClusterParams
+from .engine import FifoResource, Simulator
+
+__all__ = ["CollectiveSim", "CollectiveResult"]
+
+
+@dataclass
+class CollectiveResult:
+    """Outcome of one simulated experiment."""
+
+    latency: float
+    #: Per-wave front-end completion times (pipelined experiments).
+    completions: List[float] = field(default_factory=list)
+    events: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Sustained operations/second over the whole experiment.
+
+        Leaves start emitting at t=0, so ``waves / last_completion`` is
+        the offered-rate-matched service rate; with a saturated
+        pipeline (as in Figure 7c) it converges to the steady-state
+        rate as the wave count grows.
+        """
+        if not self.completions or self.completions[-1] <= 0:
+            return 0.0
+        return len(self.completions) / self.completions[-1]
+
+
+class _SimProc:
+    """Per-process simulation state."""
+
+    __slots__ = ("node", "parent", "send", "cpu", "arrived", "is_leaf")
+
+    def __init__(self, node: TopologyNode, parent: Optional["_SimProc"]):
+        self.node = node
+        self.parent = parent
+        self.send = FifoResource()
+        self.cpu = FifoResource()
+        self.arrived: Dict[int, int] = {}  # wave -> messages received
+        self.is_leaf = node.is_leaf
+
+
+class CollectiveSim:
+    """A simulated MRNet process tree ready to run collective ops."""
+
+    def __init__(
+        self,
+        spec: TopologySpec,
+        params: ClusterParams = BLUE_PACIFIC,
+        trace=None,
+    ):
+        self.spec = spec
+        self.params = params
+        self.sim = Simulator()
+        self.trace = trace  # Optional[repro.sim.trace.SimTrace]
+        self.procs: Dict[tuple, _SimProc] = {}
+        self._build(spec.root, None)
+        self.root = self.procs[spec.root.key]
+        self.leaves = [self.procs[leaf.key] for leaf in spec.leaves()]
+
+    def _build(self, node: TopologyNode, parent: Optional[_SimProc]) -> None:
+        proc = _SimProc(node, parent)
+        self.procs[node.key] = proc
+        for child in node.children:
+            self._build(child, proc)
+
+    def cpu_utilizations(self) -> Dict[str, float]:
+        """Per-process CPU utilization over the experiment just run.
+
+        §2.6 lists "CPU utilization of the MRNet internal processes" as
+        a configuration-quality measure; this reports it (plus the
+        front-end's) after any experiment method has completed.
+        """
+        horizon = self.sim.now
+        return {
+            f"{key[0]}:{key[1]}": proc.cpu.utilization(horizon)
+            for key, proc in self.procs.items()
+            if not proc.is_leaf
+        }
+
+    # -- message primitive ---------------------------------------------------
+
+    def _send(
+        self,
+        src: _SimProc,
+        dst: _SimProc,
+        t: float,
+        nbytes: int,
+        on_delivered: Callable[[float], None],
+    ) -> None:
+        """Schedule one message send; *on_delivered* gets the delivery time."""
+        p = self.params.logp
+        begin, _ = src.send.occupy(t, p.g)
+        departure = begin + p.o
+        wire = p.L + max(0, nbytes - 1) * p.G
+        arrival = departure + wire
+
+        def on_arrival():
+            _, done = dst.cpu.occupy(self.sim.now, p.o)
+            if self.trace is not None:
+                from .trace import MessageEvent
+
+                self.trace.record(
+                    MessageEvent(
+                        src=src.node.label,
+                        dst=dst.node.label,
+                        send_start=begin,
+                        departure=departure,
+                        arrival=arrival,
+                        delivered=done,
+                        nbytes=nbytes,
+                    )
+                )
+            self.sim.at(done, lambda: on_delivered(done))
+
+        self.sim.at(arrival, on_arrival)
+
+    # -- experiments -----------------------------------------------------------
+
+    def broadcast(self, nbytes: int = 64) -> CollectiveResult:
+        """One multicast from the front-end to every back-end."""
+        deliveries: List[float] = []
+        expected = len(self.leaves)
+
+        def down(proc: _SimProc, t: float) -> None:
+            for child_node in proc.node.children:
+                child = self.procs[child_node.key]
+
+                def deliver(when: float, child=child) -> None:
+                    if child.is_leaf:
+                        deliveries.append(when)
+                    else:
+                        down(child, when)
+
+                self._send(proc, child, t, nbytes, deliver)
+
+        start = self.params.frontend_op_cost
+        down(self.root, start)
+        self.sim.run()
+        assert len(deliveries) == expected, "broadcast missed some leaves"
+        return CollectiveResult(
+            latency=max(deliveries) - 0.0, events=self.sim.events_run
+        )
+
+    def roundtrip(self, nbytes: int = 64) -> CollectiveResult:
+        """Broadcast + reduction: Figure 7b's measured operation."""
+        finished: List[float] = []
+
+        def reduce_arrival(proc: _SimProc, wave: int = 0) -> None:
+            proc.arrived[wave] = proc.arrived.get(wave, 0) + 1
+            if proc.arrived[wave] == len(proc.node.children):
+                _, done = proc.cpu.occupy(self.sim.now, self.params.filter_cost)
+                if proc.parent is None:
+                    finished.append(done)
+                else:
+                    self._send(
+                        proc,
+                        proc.parent,
+                        done,
+                        nbytes,
+                        lambda when, p=proc.parent: reduce_arrival(p),
+                    )
+
+        def down(proc: _SimProc, t: float) -> None:
+            for child_node in proc.node.children:
+                child = self.procs[child_node.key]
+
+                def deliver(when: float, child=child) -> None:
+                    if child.is_leaf:
+                        # Leaf replies immediately with its contribution.
+                        self._send(
+                            child,
+                            child.parent,
+                            when,
+                            nbytes,
+                            lambda w, p=child.parent: reduce_arrival(p),
+                        )
+                    else:
+                        down(child, when)
+
+                self._send(proc, child, t, nbytes, deliver)
+
+        down(self.root, self.params.frontend_op_cost)
+        self.sim.run()
+        assert finished, "reduction never completed"
+        return CollectiveResult(latency=finished[0], events=self.sim.events_run)
+
+    def pipelined_reductions(self, waves: int = 50, nbytes: int = 64) -> CollectiveResult:
+        """Back-to-back reductions: Figure 7c's throughput experiment.
+
+        Every leaf emits *waves* messages as fast as its send path
+        allows; interior nodes aggregate per wave; the front-end pays
+        its per-operation cost for each aggregated wave it consumes.
+        """
+        completions: List[float] = []
+
+        def arrival(proc: _SimProc, wave: int) -> None:
+            proc.arrived[wave] = proc.arrived.get(wave, 0) + 1
+            if proc.arrived[wave] == len(proc.node.children):
+                del proc.arrived[wave]
+                if proc.parent is None:
+                    _, done = proc.cpu.occupy(
+                        self.sim.now, self.params.frontend_op_cost
+                    )
+                    self.sim.at(done, lambda: completions.append(done))
+                else:
+                    _, done = proc.cpu.occupy(self.sim.now, self.params.filter_cost)
+                    self._send(
+                        proc,
+                        proc.parent,
+                        done,
+                        nbytes,
+                        lambda w, p=proc.parent, wv=wave: arrival(p, wv),
+                    )
+
+        for leaf in self.leaves:
+            for wave in range(waves):
+                self._send(
+                    leaf,
+                    leaf.parent,
+                    0.0,
+                    nbytes,
+                    lambda w, p=leaf.parent, wv=wave: arrival(p, wv),
+                )
+        self.sim.run()
+        assert len(completions) == waves, (
+            f"only {len(completions)}/{waves} waves completed"
+        )
+        completions.sort()
+        return CollectiveResult(
+            latency=completions[-1],
+            completions=completions,
+            events=self.sim.events_run,
+        )

@@ -1,0 +1,119 @@
+"""Co-location analysis: internal processes vs. application processes
+(paper §2.6).
+
+The paper argues against co-locating MRNet internal processes with
+application processes on two grounds:
+
+1. **contention** — "the internal processes would contend with
+   application processes for CPU and network resources, perhaps
+   seriously impacting the application's performance"; and
+2. **imbalance** — "differing loads across MRNet internal processes
+   could create an imbalance among the application processes, skewing
+   their performance.  Because a parallel program's speed is often
+   limited by its slowest process, this performance skew would
+   increase the tool's impact on the application."
+
+This module quantifies both with a bulk-synchronous application model:
+every application process computes for ``iteration_compute`` seconds
+per iteration and then synchronizes, so the iteration time is the
+*maximum* per-process compute time.  A co-located internal process
+steals CPU from its host in proportion to the tool traffic it handles
+(fan-in × message rate × per-message cost), slowing exactly the
+application processes that share its host — contention *and*
+imbalance in one number.  The paper's recommended dedicated placement
+leaves every application host untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..topology.spec import TopologySpec
+
+__all__ = ["ColocationParams", "ColocationResult", "simulate_colocation"]
+
+
+@dataclass(frozen=True)
+class ColocationParams:
+    """Knobs of the co-location model."""
+
+    #: Application compute time per BSP iteration (seconds).
+    iteration_compute: float = 1.0
+    #: CPU cost an internal process pays per tool message handled.
+    per_message_cost: float = 120e-6
+    #: CPUs per host (Blue Pacific nodes had four 604e processors; one
+    #: is assumed to run the application process, so tool load on the
+    #: same CPU slows the app 1:1 while spare CPUs absorb nothing of
+    #: the app's share under the conservative single-CPU-share model).
+    contention: float = 1.0
+
+
+@dataclass
+class ColocationResult:
+    """Application-impact metrics for one placement."""
+
+    #: Per-application-process iteration time (seconds), indexed by rank.
+    per_process_time: Dict[int, float]
+    #: Tool CPU utilization of each host carrying an internal process.
+    tool_utilization: Dict[str, float]
+
+    @property
+    def iteration_time(self) -> float:
+        """BSP iteration time: the slowest process gates everyone."""
+        return max(self.per_process_time.values())
+
+    @property
+    def mean_process_time(self) -> float:
+        times = list(self.per_process_time.values())
+        return sum(times) / len(times)
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean process time: 1.0 means perfectly balanced."""
+        return self.iteration_time / self.mean_process_time
+
+    @property
+    def slowdown(self) -> float:
+        """Iteration time relative to an undisturbed application."""
+        base = min(self.per_process_time.values())
+        return self.iteration_time / base if base > 0 else float("inf")
+
+
+def simulate_colocation(
+    spec: TopologySpec,
+    messages_per_second: float,
+    params: ColocationParams = ColocationParams(),
+) -> ColocationResult:
+    """Application impact of the tool under the given placement.
+
+    ``spec`` encodes the placement through its host assignment: an
+    application process runs beside every *back-end* (leaf) host; an
+    internal process on the same host as some back-end steals CPU from
+    that host's application process.  With the dedicated placement
+    (distinct hosts everywhere) no application host carries tool load
+    and the result is perfectly balanced.
+
+    ``messages_per_second`` is the per-back-end upstream message rate
+    (e.g. ``5 * metrics`` for Paradyn's sampling); an internal process
+    with fan-in *k* handles ``k``× that rate plus one forward.
+    """
+    if messages_per_second < 0:
+        raise ValueError("message rate cannot be negative")
+    # Tool CPU utilization per host from internal processes.
+    tool_util: Dict[str, float] = {}
+    for node in spec.nodes():
+        if node.is_leaf or node is spec.root:
+            continue
+        fanin = len(node.children)
+        handled = messages_per_second * (fanin + 1)  # receives + forward
+        util = min(1.0, handled * params.per_message_cost)
+        tool_util[node.host] = tool_util.get(node.host, 0.0) + util
+
+    per_process: Dict[int, float] = {}
+    for rank, leaf in enumerate(spec.leaves()):
+        stolen = min(1.0, tool_util.get(leaf.host, 0.0) * params.contention)
+        # The app process keeps (1 - stolen) of its CPU.
+        remaining = max(1e-6, 1.0 - stolen)
+        per_process[rank] = params.iteration_compute / remaining
+    return ColocationResult(per_process, tool_util)

@@ -1,0 +1,116 @@
+"""Discrete-event simulation engine.
+
+The paper's evaluation ran on ASCI Blue Pacific with up to 600 tool
+back-ends.  We regenerate those experiments on a discrete-event
+simulator: virtual time, an event queue, and simple FIFO resources for
+per-process serialization (CPU / NIC send path).  The engine is
+deliberately minimal — events are ``(time, seq, callback)`` triples —
+because every model built on it (collectives, instantiation, start-up)
+is itself small.
+
+Determinism: ties in time break by scheduling order (a monotone
+sequence number), so runs are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+__all__ = ["Simulator", "FifoResource"]
+
+
+class Simulator:
+    """A minimal deterministic discrete-event simulator."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: List[Tuple[float, int, Callable[[], Any]]] = []
+        self._seq = itertools.count()
+        self._events_run = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_run(self) -> int:
+        return self._events_run
+
+    def at(self, when: float, callback: Callable[[], Any]) -> None:
+        """Schedule *callback* at absolute virtual time *when*."""
+        if when < self._now:
+            raise ValueError(
+                f"cannot schedule in the past ({when} < now {self._now})"
+            )
+        heapq.heappush(self._queue, (when, next(self._seq), callback))
+
+    def after(self, delay: float, callback: Callable[[], Any]) -> None:
+        """Schedule *callback* *delay* seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self.at(self._now + delay, callback)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run events until the queue drains (or virtual *until*).
+
+        Returns the finishing virtual time.
+        """
+        while self._queue:
+            when, _, callback = self._queue[0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._queue)
+            self._now = when
+            self._events_run += 1
+            callback()
+        return self._now
+
+    def step(self) -> bool:
+        """Run exactly one event; returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        when, _, callback = heapq.heappop(self._queue)
+        self._now = when
+        self._events_run += 1
+        callback()
+        return True
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+
+class FifoResource:
+    """A serially-reusable resource (a CPU, a NIC send path).
+
+    ``occupy(start, duration)`` books the resource no earlier than
+    *start*, queued FIFO behind earlier bookings, and returns the
+    ``(begin, end)`` interval granted.  This models LogP's requirement
+    that a process issues at most one send per gap ``g`` and serializes
+    receive overheads on a busy front-end.
+    """
+
+    __slots__ = ("free_at", "busy_time")
+
+    def __init__(self):
+        self.free_at = 0.0
+        self.busy_time = 0.0
+
+    def occupy(self, start: float, duration: float) -> Tuple[float, float]:
+        if duration < 0:
+            raise ValueError(f"negative duration {duration}")
+        begin = max(start, self.free_at)
+        end = begin + duration
+        self.free_at = end
+        self.busy_time += duration
+        return begin, end
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of [0, horizon] this resource was busy."""
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / horizon)

@@ -1,0 +1,165 @@
+"""Front-end data-processing load model (Figure 9, §4.2.2).
+
+The experiment: each of *D* Paradyn daemons samples *M* metrics at 5
+samples/second/metric, so the tool generates ``5·D·M`` samples per
+second.  Figure 9 plots "the ratio of the rate at which the Paradyn
+front-end processed performance data samples to the rate at which the
+daemons generated the samples" — the fraction of offered load.
+
+Model.  Daemons batch one message per sampling period containing all
+*M* metric samples ("as the number of metrics per daemon increases,
+Paradyn increases the size of its messages ... rather than the number
+of messages"), so a receiver of *D* daemons handles ``5·D`` messages
+per second, each costing ``per_message + M·per_sample`` seconds of CPU
+(header handling/dispatch plus per-sample alignment and reduction).
+
+* **Without MRNet** the front-end is that receiver *and* performs the
+  full pipeline per sample (alignment, aggregation, history/visi
+  delivery), so its service capacity is ``1 / (5·D·(a + M·b_fe))``
+  relative to offered load.  Past saturation the measured fraction
+  collapses faster than capacity/offered because the overloaded
+  front-end also pays for the growing backlog (kernel buffering,
+  socket reads it cannot keep up with, allocation churn) — we model
+  this receive-livelock effect with a quadratic overload penalty,
+  which matches the paper's two anchors (≈ 0.6 at D=64, M=32 and
+  < 0.05 at D=256, M=32).
+* **With MRNet** each internal process handles only its own fan-out
+  ``f`` daemons-worth of messages with the cheaper filter-only
+  per-sample cost, and the front-end sees one aggregated
+  message stream per wave through its root fan-out.  Every process
+  must keep up, so the fraction is the minimum over tree levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..topology.spec import TopologySpec
+
+__all__ = [
+    "LoadModelParams",
+    "PARADYN_LOAD",
+    "frontend_load_fraction",
+    "offered_rate",
+    "load_curve",
+]
+
+SAMPLES_PER_SEC_PER_METRIC = 5.0
+
+
+@dataclass(frozen=True)
+class LoadModelParams:
+    """Calibrated CPU costs, in seconds."""
+
+    #: Per-message fixed cost at the non-MRNet front-end (receive,
+    #: dispatch, bookkeeping).
+    fe_per_message: float = 300e-6
+    #: Per-sample cost of the full front-end pipeline (align, reduce,
+    #: histogram update, visi delivery).
+    fe_per_sample: float = 116e-6
+    #: Per-message fixed cost inside an MRNet internal process.
+    node_per_message: float = 60e-6
+    #: Per-sample cost of the Performance Data Aggregation filter.
+    node_per_sample: float = 25e-6
+    #: Overload exponent: fraction = (capacity/offered)**overload_exp
+    #: once offered exceeds capacity (receive-livelock collapse).
+    overload_exp: float = 2.0
+
+
+#: Calibration anchors (paper §4.2.2): without MRNet, D=64, M=32 →
+#: ≈ 60% of offered load; D=256, M=32 → < 5%; all MRNet fan-outs → 1.0.
+PARADYN_LOAD = LoadModelParams()
+
+
+def offered_rate(daemons: int, metrics: int) -> float:
+    """Samples/second generated tool-wide: ``5·D·M`` (§4.2.2)."""
+    return SAMPLES_PER_SEC_PER_METRIC * daemons * metrics
+
+
+def _station_fraction(
+    messages_per_sec: float, samples_per_message: float, per_message: float,
+    per_sample: float, overload_exp: float,
+) -> float:
+    """Fraction of offered load one processing station keeps up with."""
+    busy_per_sec = messages_per_sec * (
+        per_message + samples_per_message * per_sample
+    )
+    if busy_per_sec <= 1.0:
+        return 1.0
+    return (1.0 / busy_per_sec) ** overload_exp
+
+
+def frontend_load_fraction(
+    daemons: int,
+    metrics: int,
+    topology: Optional[TopologySpec] = None,
+    params: LoadModelParams = PARADYN_LOAD,
+) -> float:
+    """Fraction of offered load serviced (one Figure 9 data point).
+
+    ``topology=None`` is the "Flat"/no-MRNet configuration: the
+    front-end receives every daemon's messages directly and runs the
+    full pipeline.  Otherwise the fraction is limited by the busiest
+    process in the tree (interior processes run the aggregation
+    filter; the front-end consumes already-aggregated waves).
+    """
+    if daemons < 1 or metrics < 1:
+        raise ValueError("daemons and metrics must be >= 1")
+    msg_rate_per_daemon = SAMPLES_PER_SEC_PER_METRIC  # one msg per period
+    if topology is None:
+        return _station_fraction(
+            msg_rate_per_daemon * daemons,
+            metrics,
+            params.fe_per_message,
+            params.fe_per_sample,
+            params.overload_exp,
+        )
+    if topology.num_backends != daemons:
+        raise ValueError(
+            f"topology has {topology.num_backends} back-ends, expected {daemons}"
+        )
+    # Interior processes: one message per child per period, M samples each.
+    worst = 1.0
+    for node in topology.nodes():
+        if node.is_leaf:
+            continue
+        fanout = len(node.children)
+        if node is topology.root:
+            # The front-end consumes aggregated waves: per period it sees
+            # `fanout` messages and M samples total, at full-pipeline cost.
+            frac = _station_fraction(
+                msg_rate_per_daemon * fanout,
+                metrics / fanout,
+                params.fe_per_message,
+                params.fe_per_sample,
+                params.overload_exp,
+            )
+        else:
+            frac = _station_fraction(
+                msg_rate_per_daemon * fanout,
+                metrics,
+                params.node_per_message,
+                params.node_per_sample,
+                params.overload_exp,
+            )
+        worst = min(worst, frac)
+    return worst
+
+
+def load_curve(
+    daemon_counts: List[int],
+    metrics: int,
+    topology_factory=None,
+    params: LoadModelParams = PARADYN_LOAD,
+) -> List[float]:
+    """One Figure 9 curve: fraction vs daemon count.
+
+    ``topology_factory(d)`` builds the tree for *d* daemons (``None``
+    for the flat configuration).
+    """
+    out = []
+    for d in daemon_counts:
+        topo = topology_factory(d) if topology_factory is not None else None
+        out.append(frontend_load_fraction(d, metrics, topo, params))
+    return out

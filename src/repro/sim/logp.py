@@ -1,0 +1,180 @@
+"""LogP/LogGP cost model and the paper's Figure 4 topology analysis.
+
+Section 2.6 compares balanced and unbalanced topologies "assuming a
+LogP model with a minimum gap g between successive send operations in
+a process, an overhead o for each send and receive, and a message
+transfer latency L".  The paper's arithmetic for the 16-back-end
+balanced tree of Figure 4a — broadcast completes in ``8g + 4o + 2L``
+and a new broadcast can start every ``4g`` — corresponds to the
+following per-level model for a node with fan-out *k*:
+
+* the node occupies its send path for ``k`` gaps, so the last child's
+  message leaves after ``k·g``;
+* each hop then costs one send overhead + latency + one receive
+  overhead, which the paper folds into ``2o + L`` counted once per
+  level (the per-message ``o`` overlaps the gap except for the last
+  message on the level).
+
+Hence a fully-populated *k*-ary tree of depth *d* broadcasts in
+``d·(k·g + 2o + L)`` — for Figure 4a (k=4, d=2): ``8g + 4o + 2L`` — and
+the front-end can inject a new operation every ``k·g`` (``4g``),
+whereas the unbalanced Figure 4b root with six-way fan-out needs
+``6g``.  :func:`broadcast_latency` generalises the recursion to
+arbitrary trees (the i-th child of a node receives at
+``i·g + 2o + L``); :func:`reduction_latency` mirrors it for upward
+flows; :func:`pipelined_gap` gives the steady-state operation interval.
+
+LogGP's per-byte gap *G* extends the model to long messages
+(:func:`message_cost`), used by the start-up and data-volume models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from ..topology.spec import TopologyNode, TopologySpec
+
+__all__ = [
+    "LogGPParams",
+    "BLUE_PACIFIC_LOGP",
+    "message_cost",
+    "broadcast_latency",
+    "reduction_latency",
+    "roundtrip_latency",
+    "injection_gap",
+    "pipelined_gap",
+    "pipelined_throughput",
+    "balanced_kary_broadcast_closed_form",
+]
+
+
+@dataclass(frozen=True)
+class LogGPParams:
+    """LogGP parameters, all in seconds (G per byte).
+
+    ``L`` wire latency, ``o`` per-message CPU overhead (send and
+    receive each pay one ``o``), ``g`` minimum interval between
+    successive sends from one process, ``G`` per-byte gap for long
+    messages (LogGP extension; 0 recovers plain LogP).
+    """
+
+    L: float = 50e-6
+    o: float = 25e-6
+    g: float = 1.5e-3
+    G: float = 8e-9
+
+    def with_(self, **kwargs) -> "LogGPParams":
+        return replace(self, **kwargs)
+
+
+#: Calibrated against the paper's measured anchors on ASCI Blue Pacific
+#: (IBM SP switch, 332 MHz PowerPC 604e; see EXPERIMENTS.md):
+#: flat round-trip ≈ 1.3 s at 600 back-ends, tree round-trips ≈ 0.1 s.
+BLUE_PACIFIC_LOGP = LogGPParams(L=60e-6, o=250e-6, g=2.0e-3, G=9e-9)
+
+
+def message_cost(params: LogGPParams, nbytes: int = 0) -> float:
+    """End-to-end cost of one message: ``o + L + (n-1)·G + o``."""
+    wire = params.L + max(0, nbytes - 1) * params.G
+    return params.o + wire + params.o
+
+
+def broadcast_latency(
+    spec: TopologySpec, params: LogGPParams, nbytes: int = 0
+) -> float:
+    """Completion time of one root-to-leaves broadcast.
+
+    Child *i* (1-based) of a node receives at
+    ``parent_time + i·g + 2o + L (+ bytes·G)`` and recurses; the answer
+    is the max over leaves.
+    """
+    per_hop = message_cost(params, nbytes)
+
+    def down(node: TopologyNode, t: float) -> float:
+        if node.is_leaf:
+            return t
+        worst = t
+        for i, child in enumerate(node.children, start=1):
+            arrive = t + i * params.g + per_hop
+            worst = max(worst, down(child, arrive))
+        return worst
+
+    return down(spec.root, 0.0)
+
+
+def reduction_latency(
+    spec: TopologySpec, params: LogGPParams, nbytes: int = 0
+) -> float:
+    """Completion time of one leaves-to-root reduction.
+
+    Leaves send at t=0.  A parent's inbound processing is serialized:
+    messages are consumed at ``g`` intervals in arrival order, each
+    paying the per-hop cost; the node forwards once every child has
+    been consumed.
+    """
+    per_hop = message_cost(params, nbytes)
+
+    def up(node: TopologyNode) -> float:
+        if node.is_leaf:
+            return 0.0
+        arrivals = sorted(up(child) + per_hop for child in node.children)
+        t = 0.0
+        for a in arrivals:
+            t = max(t, a) + params.g
+        return t
+
+    return up(spec.root)
+
+
+def roundtrip_latency(
+    spec: TopologySpec, params: LogGPParams, nbytes: int = 0
+) -> float:
+    """Broadcast followed by a reduction (the Figure 7b operation).
+
+    An upper bound pairing: the reduction starts when the *last* leaf
+    has the broadcast (leaves reply on receipt, but the slowest leaf
+    dominates both phases on balanced trees, so the sum is tight
+    there and a mild over-estimate on unbalanced ones).
+    """
+    return broadcast_latency(spec, params, nbytes) + reduction_latency(
+        spec, params, nbytes
+    )
+
+
+def injection_gap(spec: TopologySpec, params: LogGPParams) -> float:
+    """Interval at which the front-end can inject new operations.
+
+    The root sends one message per child per operation, so it is free
+    again after ``root_fanout · g`` — the paper's "new broadcast each
+    4g cycles" for Figure 4a versus "at least 6g" for Figure 4b.
+    """
+    return len(spec.root.children) * params.g
+
+
+def pipelined_gap(spec: TopologySpec, params: LogGPParams) -> float:
+    """Steady-state interval between successive collective operations.
+
+    Each process handles ``(#children + (1 if it has a parent else 0))``
+    messages per operation, each costing one gap ``g``; the pipeline
+    rate is set by the busiest process.  For the Figure 4a root
+    (fan-out 4, no parent) this is the paper's ``4g``; for Figure 4b's
+    root it is ``6g``.
+    """
+    worst = 0.0
+    for node in spec.nodes():
+        msgs = len(node.children)
+        if node is not spec.root and node.children:
+            msgs += 1  # forwarding through an internal node
+        worst = max(worst, msgs * params.g)
+    return worst
+
+
+def pipelined_throughput(spec: TopologySpec, params: LogGPParams) -> float:
+    """Operations per second for back-to-back collectives."""
+    return 1.0 / pipelined_gap(spec, params)
+
+
+def balanced_kary_broadcast_closed_form(
+    fanout: int, depth: int, params: LogGPParams
+) -> float:
+    """The paper's closed form ``d·(k·g + 2o + L)`` (§2.6)."""
+    return depth * (fanout * params.g + 2 * params.o + params.L)

@@ -1,0 +1,178 @@
+"""Automatic configuration generation (paper §4.1).
+
+"Once we were given our partition, we determined the partition nodes'
+host names and used an automatic configuration generator program to
+build an MRNet configuration file with the desired topology within the
+partition."
+
+:func:`generate_config` is that program: given the partition's host
+list and a desired topology shape, it allocates processes to hosts and
+emits configuration text.  Host-assignment policies (§2.6):
+
+* ``"dedicated"`` — internal processes go on hosts *not* used by
+  back-ends (the paper's recommendation: "MRNet's internal processes
+  be located on resources distinct from those running the application
+  processes").  Requires enough hosts; the front-end gets the first
+  host, internal processes the next ones, back-ends the rest.
+* ``"colocated"`` — processes are packed round-robin across all hosts,
+  co-locating internal processes with back-ends (what the paper argues
+  *against*, provided for the co-location ablation).
+
+The module doubles as a script::
+
+   python -m repro.topology.autogen hostfile.txt --fanout 4 [--flat]
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .generators import HostAllocator, balanced_tree_for, flat_topology
+from .parser import serialize_config
+from .spec import TopologyError, TopologySpec
+
+__all__ = ["generate_topology", "generate_config"]
+
+
+def _tree_shape(fanout: int, n_backends: int) -> List[int]:
+    """Internal-level sizes (excluding front-end and back-ends)."""
+    shape = []
+    need = -(-n_backends // fanout)
+    while need > 1:
+        shape.append(need)
+        need = -(-need // fanout)
+    return list(reversed(shape))
+
+
+def generate_topology(
+    hosts: Sequence[str],
+    n_backends: Optional[int] = None,
+    fanout: int = 8,
+    flat: bool = False,
+    placement: str = "dedicated",
+) -> TopologySpec:
+    """Build a topology for a concrete partition.
+
+    ``n_backends`` defaults to one back-end per host beyond those the
+    dedicated placement reserves for the front-end and internal
+    processes (or ``len(hosts)`` when flat/colocated).
+    """
+    hosts = list(dict.fromkeys(hosts))  # dedupe, keep order
+    if not hosts:
+        raise TopologyError("need at least one host")
+    if placement not in ("dedicated", "colocated"):
+        raise TopologyError(f"unknown placement {placement!r}")
+
+    if flat:
+        if n_backends is None:
+            n_backends = len(hosts) - 1 if placement == "dedicated" else len(hosts)
+            n_backends = max(n_backends, 1)
+        if placement == "dedicated":
+            if len(hosts) < 2:
+                raise TopologyError("dedicated flat layout needs >= 2 hosts")
+            alloc = HostAllocator([hosts[0]])
+            root = alloc.next_slot()
+            be_alloc = HostAllocator(hosts[1:])
+            spec_root = root
+            for _ in range(n_backends):
+                spec_root.add_child(be_alloc.next_slot())
+            return TopologySpec(spec_root)
+        return flat_topology(n_backends, hosts=hosts)
+
+    if placement == "colocated":
+        if n_backends is None:
+            n_backends = len(hosts)
+        return balanced_tree_for(fanout, n_backends, hosts=hosts)
+
+    # Dedicated: compute how many internal hosts the tree shape needs,
+    # then split the partition.
+    if n_backends is None:
+        # Solve for the largest back-end count that still fits:
+        # 1 (front-end) + internals(n) + n <= len(hosts).
+        n_backends = max(1, len(hosts) - 1)
+        while (
+            1 + sum(_tree_shape(fanout, n_backends)) + n_backends > len(hosts)
+            and n_backends > 1
+        ):
+            n_backends -= 1
+    n_internal = sum(_tree_shape(fanout, n_backends))
+    needed = 1 + n_internal + n_backends
+    if needed > len(hosts):
+        raise TopologyError(
+            f"dedicated placement needs {needed} hosts "
+            f"(1 front-end + {n_internal} internal + {n_backends} "
+            f"back-ends) but the partition has {len(hosts)}"
+        )
+
+    # Allocate: front-end first, internal processes next, back-ends last —
+    # generation order of balanced_tree_for is front-end, internals
+    # level by level (interleaved with construction), so use a custom
+    # allocator that hands out host groups by role.
+    class _RoleAllocator(HostAllocator):
+        def __init__(self):
+            super().__init__(None)
+            self._order = iter(hosts)
+
+        def next_slot(self):
+            from .spec import TopologyNode
+
+            host = next(self._order)
+            return TopologyNode(host, 0)
+
+    spec = balanced_tree_for(fanout, n_backends, hosts=_RoleAllocator())
+    # balanced_tree_for created slots in preorder-ish order; verify the
+    # invariant that matters: no host carries two processes.
+    if len(spec.hosts()) != len(spec):
+        raise TopologyError("dedicated placement produced co-located slots")
+    return spec
+
+
+def generate_config(
+    hosts: Sequence[str],
+    n_backends: Optional[int] = None,
+    fanout: int = 8,
+    flat: bool = False,
+    placement: str = "dedicated",
+) -> str:
+    """The §4.1 generator: partition host list in, config text out."""
+    spec = generate_topology(hosts, n_backends, fanout, flat, placement)
+    kind = "flat" if flat else f"{fanout}-way"
+    header = (
+        f"auto-generated MRNet configuration: {kind}, {placement} placement, "
+        f"{spec.num_backends} back-ends, {spec.num_internal} internal "
+        f"processes over {len(spec.hosts())} hosts"
+    )
+    return serialize_config(spec, header=header)
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+    from pathlib import Path
+
+    parser = argparse.ArgumentParser(
+        description="Generate an MRNet configuration file for a partition."
+    )
+    parser.add_argument("hostfile", help="file with one host name per line")
+    parser.add_argument("--fanout", type=int, default=8)
+    parser.add_argument("--backends", type=int, default=None)
+    parser.add_argument("--flat", action="store_true")
+    parser.add_argument(
+        "--placement", choices=["dedicated", "colocated"], default="dedicated"
+    )
+    args = parser.parse_args(argv)
+    hosts = [
+        line.strip()
+        for line in Path(args.hostfile).read_text().splitlines()
+        if line.strip() and not line.startswith("#")
+    ]
+    print(
+        generate_config(
+            hosts, args.backends, args.fanout, args.flat, args.placement
+        ),
+        end="",
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(_main())

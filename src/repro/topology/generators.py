@@ -1,0 +1,225 @@
+"""Standard topology generators (paper §2.1: "common network layouts
+like k-ary and k-nomial trees").
+
+All generators return a :class:`~repro.topology.spec.TopologySpec`
+whose root is the front-end and whose leaves are back-end slots.
+Hosts are assigned by a :class:`HostAllocator`: by default every
+process gets its own synthetic host (the paper recommends running
+internal processes "on resources distinct from those running the
+application processes", §2.6), but a finite host list may be supplied
+to model co-location, in which case per-host indices count up.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence
+
+from .spec import TopologyError, TopologyNode, TopologySpec
+
+__all__ = [
+    "HostAllocator",
+    "flat_topology",
+    "balanced_tree",
+    "balanced_tree_for",
+    "binomial_tree",
+    "knomial_tree",
+    "unbalanced_fig4",
+]
+
+
+class HostAllocator:
+    """Hands out ``(host, index)`` slots for new processes.
+
+    With no host list, each call invents a fresh host
+    (``fe``, ``node0001``, ``node0002``, ...), i.e. one process per
+    host.  With a host list, hosts are used round-robin and the
+    per-host index increments on reuse, expressing co-location.
+    """
+
+    def __init__(self, hosts: Optional[Sequence[str]] = None, prefix: str = "node"):
+        self._hosts = list(hosts) if hosts else None
+        self._cycle = itertools.cycle(self._hosts) if self._hosts else None
+        self._counter = 0
+        self._indices: Dict[str, int] = {}
+        self._prefix = prefix
+
+    def next_slot(self) -> TopologyNode:
+        if self._cycle is not None:
+            host = next(self._cycle)
+        else:
+            host = f"{self._prefix}{self._counter:04d}"
+            self._counter += 1
+        index = self._indices.get(host, 0)
+        self._indices[host] = index + 1
+        return TopologyNode(host, index)
+
+
+def _allocator(hosts: Optional[Sequence[str]]) -> HostAllocator:
+    return hosts if isinstance(hosts, HostAllocator) else HostAllocator(hosts)
+
+
+def flat_topology(n_backends: int, hosts: Optional[Sequence[str]] = None) -> TopologySpec:
+    """Single-level tree: front-end directly parents every back-end.
+
+    This "closely approximates the architecture of many parallel
+    tools" (§4.1) and is the paper's "Flat"/"No MRNet" baseline.
+    """
+    if n_backends < 1:
+        raise TopologyError("need at least one back-end")
+    alloc = _allocator(hosts)
+    root = alloc.next_slot()
+    for _ in range(n_backends):
+        root.add_child(alloc.next_slot())
+    return TopologySpec(root)
+
+
+def balanced_tree(
+    fanout: int, depth: int, hosts: Optional[Sequence[str]] = None
+) -> TopologySpec:
+    """Fully-populated balanced k-ary tree.
+
+    ``depth`` counts edge levels below the front-end; leaves number
+    ``fanout ** depth``.  ``depth == 1`` degenerates to a flat tree.
+    """
+    if fanout < 2:
+        raise TopologyError("fanout must be >= 2")
+    if depth < 1:
+        raise TopologyError("depth must be >= 1")
+    alloc = _allocator(hosts)
+    root = alloc.next_slot()
+    frontier = [root]
+    for _ in range(depth):
+        next_frontier: List[TopologyNode] = []
+        for node in frontier:
+            for _ in range(fanout):
+                next_frontier.append(node.add_child(alloc.next_slot()))
+        frontier = next_frontier
+    return TopologySpec(root)
+
+
+def balanced_tree_for(
+    fanout: int, n_backends: int, hosts: Optional[Sequence[str]] = None
+) -> TopologySpec:
+    """Balanced tree with exactly *n_backends* leaves.
+
+    Uses the smallest depth ``d`` with ``fanout**d >= n_backends``,
+    builds the internal levels fully populated through depth ``d-1``,
+    and spreads the leaves over the deepest internal level as evenly
+    as possible (matching how the paper's sweeps use "fully-populated
+    balanced tree topologies" at round counts and near-balanced trees
+    elsewhere).
+    """
+    if fanout < 2:
+        raise TopologyError("fanout must be >= 2")
+    if n_backends < 1:
+        raise TopologyError("need at least one back-end")
+    if n_backends <= fanout:
+        return flat_topology(n_backends, hosts)
+    depth = 1
+    while fanout**depth < n_backends:
+        depth += 1
+    alloc = _allocator(hosts)
+    root = alloc.next_slot()
+    # Internal levels: enough parents at depth-1 to hold the leaves.
+    n_last_parents = -(-n_backends // fanout)  # ceil
+    frontier = [root]
+    for level in range(1, depth):
+        # How many nodes are needed at this level so that the deepest
+        # internal level has n_last_parents nodes?
+        needed = n_last_parents
+        for _ in range(depth - 1 - level):
+            needed = -(-needed // fanout)
+        next_frontier: List[TopologyNode] = []
+        for i in range(needed):
+            parent = frontier[i % len(frontier)]
+            next_frontier.append(parent.add_child(alloc.next_slot()))
+        # Keep child order stable per parent: regroup by parent order.
+        frontier = next_frontier
+    for i in range(n_backends):
+        parent = frontier[i % len(frontier)]
+        parent.add_child(alloc.next_slot())
+    return TopologySpec(root)
+
+
+def binomial_tree(order: int, hosts: Optional[Sequence[str]] = None) -> TopologySpec:
+    """Binomial tree B_k: ``2**order`` processes including the root."""
+    if order < 1:
+        raise TopologyError("order must be >= 1")
+    alloc = _allocator(hosts)
+
+    def build(k: int) -> TopologyNode:
+        node = alloc.next_slot()
+        # B_k's root has children B_{k-1}, ..., B_0.
+        for j in range(k - 1, -1, -1):
+            node.add_child(build(j))
+        return node
+
+    return TopologySpec(build(order))
+
+
+def knomial_tree(k: int, n_processes: int, hosts: Optional[Sequence[str]] = None) -> TopologySpec:
+    """k-nomial tree over *n_processes* total processes (root included).
+
+    Generalises the binomial tree: in round r the existing processes
+    each spawn ``k - 1`` children, so ``k**r`` processes exist after r
+    rounds.  Construction stops once *n_processes* slots exist.
+    """
+    if k < 2:
+        raise TopologyError("k must be >= 2")
+    if n_processes < 2:
+        raise TopologyError("need at least two processes")
+    alloc = _allocator(hosts)
+    root = alloc.next_slot()
+    nodes = [root]
+    while len(nodes) < n_processes:
+        for node in list(nodes):
+            for _ in range(k - 1):
+                if len(nodes) >= n_processes:
+                    break
+                child = node.add_child(alloc.next_slot())
+                nodes.append(child)
+            if len(nodes) >= n_processes:
+                break
+    return TopologySpec(root)
+
+
+def unbalanced_fig4(
+    n_groups: int = 4,
+    backends_per_group: int = 4,
+    hosts: Optional[Sequence[str]] = None,
+) -> TopologySpec:
+    """The paper's Figure 4b unbalanced topology.
+
+    A binomial tree over *n_groups* internal nodes (root included),
+    with *backends_per_group* back-ends attached to each internal
+    node.  With the defaults this reaches 16 back-ends and the root
+    has the six-way fan-out the paper discusses.
+    """
+    if n_groups < 1:
+        raise TopologyError("need at least one group")
+    if backends_per_group < 1:
+        raise TopologyError("need at least one back-end per group")
+    alloc = _allocator(hosts)
+    # Binomial tree over the group heads.
+    order = 0
+    while 2**order < n_groups:
+        order += 1
+    heads: List[TopologyNode] = []
+
+    def build(k: int) -> TopologyNode:
+        node = alloc.next_slot()
+        heads.append(node)
+        for j in range(k - 1, -1, -1):
+            if len(heads) >= n_groups:
+                break
+            node.add_child(build(j))
+        return node
+
+    root = build(order) if order > 0 else alloc.next_slot()
+    if order == 0:
+        heads.append(root)
+    for head in heads[:n_groups]:
+        for _ in range(backends_per_group):
+            head.add_child(alloc.next_slot())
+    return TopologySpec(root)

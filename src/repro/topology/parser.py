@@ -1,0 +1,125 @@
+"""MRNet configuration-file parsing and serialization.
+
+The on-disk format follows MRNet's topology files: one production per
+parent, listing its children, terminated by a semicolon::
+
+   # comment
+   frontend:0 => node01:0 node02:0 ;
+   node01:0  => be01:0 be02:0 ;
+   node02:0  => be03:0 be04:0 ;
+
+The root is the parent that never appears as a child.  Whitespace and
+line breaks are free-form; ``#`` starts a comment through end of line.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from .spec import TopologyError, TopologyNode, TopologySpec
+
+__all__ = ["parse_config", "parse_config_file", "serialize_config", "write_config_file"]
+
+_LABEL_RE = re.compile(r"^([A-Za-z0-9_.\-]+):(\d+)$")
+
+
+def _parse_label(token: str) -> Tuple[str, int]:
+    m = _LABEL_RE.match(token)
+    if not m:
+        raise TopologyError(f"malformed process label {token!r} (expected host:index)")
+    return m.group(1), int(m.group(2))
+
+
+def _strip_comments(text: str) -> str:
+    return re.sub(r"#[^\n]*", " ", text)
+
+
+def parse_config(text: str) -> TopologySpec:
+    """Parse configuration text into a :class:`TopologySpec`."""
+    tokens = _strip_comments(text).split()
+    productions: List[Tuple[Tuple[str, int], List[Tuple[str, int]]]] = []
+    i = 0
+    while i < len(tokens):
+        parent = _parse_label(tokens[i])
+        i += 1
+        if i >= len(tokens) or tokens[i] != "=>":
+            raise TopologyError(f"expected '=>' after {parent[0]}:{parent[1]}")
+        i += 1
+        children: List[Tuple[str, int]] = []
+        while i < len(tokens) and tokens[i] != ";":
+            children.append(_parse_label(tokens[i]))
+            i += 1
+        if i >= len(tokens):
+            raise TopologyError("unterminated production (missing ';')")
+        i += 1  # consume ';'
+        if not children:
+            raise TopologyError(
+                f"production for {parent[0]}:{parent[1]} lists no children"
+            )
+        productions.append((parent, children))
+    if not productions:
+        raise TopologyError("configuration contains no productions")
+
+    nodes: Dict[Tuple[str, int], TopologyNode] = {}
+
+    def get(key: Tuple[str, int]) -> TopologyNode:
+        if key not in nodes:
+            nodes[key] = TopologyNode(key[0], key[1])
+        return nodes[key]
+
+    child_keys = set()
+    parents_with_rules = set()
+    for parent_key, children in productions:
+        if parent_key in parents_with_rules:
+            raise TopologyError(
+                f"multiple productions for {parent_key[0]}:{parent_key[1]}"
+            )
+        parents_with_rules.add(parent_key)
+        parent = get(parent_key)
+        for child_key in children:
+            if child_key in child_keys:
+                raise TopologyError(
+                    f"{child_key[0]}:{child_key[1]} appears as a child twice"
+                )
+            child_keys.add(child_key)
+            parent.add_child(get(child_key))
+
+    roots = [k for k in parents_with_rules if k not in child_keys]
+    if len(roots) != 1:
+        raise TopologyError(
+            f"configuration must have exactly one root, found {len(roots)}"
+        )
+    return TopologySpec(nodes[roots[0]])
+
+
+def parse_config_file(path: str | Path) -> TopologySpec:
+    """Parse a topology configuration file."""
+    return parse_config(Path(path).read_text())
+
+
+def serialize_config(spec: TopologySpec, header: str | None = None) -> str:
+    """Render a topology back to configuration-file text.
+
+    Productions are emitted in breadth-first order so the file reads
+    top-down; ``parse_config(serialize_config(t))`` reproduces *t*.
+    """
+    lines: List[str] = []
+    if header:
+        for line in header.splitlines():
+            lines.append(f"# {line}")
+    queue = [spec.root]
+    while queue:
+        node = queue.pop(0)
+        if node.is_leaf:
+            continue
+        kids = " ".join(c.label for c in node.children)
+        lines.append(f"{node.label} => {kids} ;")
+        queue.extend(node.children)
+    return "\n".join(lines) + "\n"
+
+
+def write_config_file(spec: TopologySpec, path: str | Path, header: str | None = None) -> None:
+    """Serialize *spec* to *path*."""
+    Path(path).write_text(serialize_config(spec, header))

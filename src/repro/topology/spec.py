@@ -1,0 +1,167 @@
+"""Process-tree topology specification (paper §2.1, §2.6).
+
+"The connection topology and host assignment of these processes is
+determined by a configuration file, thus the geometry of MRNet's
+process tree can be customized to suit the physical topology of the
+underlying hardware."
+
+A topology is a rooted tree of :class:`TopologyNode` s.  The root is
+the tool front-end; leaves are tool back-ends; everything in between
+is an ``mrnet_commnode`` internal process.  Each node is placed on a
+host and numbered with a per-host index, matching MRNet's
+``host:index`` notation, so co-location (several processes per host)
+is expressible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["TopologyNode", "TopologySpec", "TopologyError"]
+
+
+class TopologyError(ValueError):
+    """Raised for malformed topologies."""
+
+
+@dataclass
+class TopologyNode:
+    """One process slot in the tree: a host, per-host index, children."""
+
+    host: str
+    index: int
+    children: List["TopologyNode"] = field(default_factory=list)
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        return (self.host, self.index)
+
+    @property
+    def label(self) -> str:
+        """The ``host:index`` notation used in configuration files."""
+        return f"{self.host}:{self.index}"
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def add_child(self, child: "TopologyNode") -> "TopologyNode":
+        self.children.append(child)
+        return child
+
+    def __repr__(self) -> str:
+        return f"TopologyNode({self.label}, children={len(self.children)})"
+
+
+class TopologySpec:
+    """A validated process tree.
+
+    Validation enforces: single root, every ``host:index`` unique, no
+    cycles (tree property follows from construction + uniqueness), at
+    least one leaf distinct from the root unless explicitly allowed
+    (a front-end with zero back-ends is useless).
+    """
+
+    def __init__(self, root: TopologyNode, allow_trivial: bool = False):
+        self.root = root
+        self._by_key: Dict[Tuple[str, int], TopologyNode] = {}
+        self._parent: Dict[Tuple[str, int], Optional[TopologyNode]] = {}
+        self._validate(allow_trivial)
+
+    def _validate(self, allow_trivial: bool) -> None:
+        stack: List[Tuple[TopologyNode, Optional[TopologyNode]]] = [(self.root, None)]
+        while stack:
+            node, parent = stack.pop()
+            if not node.host:
+                raise TopologyError("node host must be non-empty")
+            if node.index < 0:
+                raise TopologyError(f"negative index on {node.host}")
+            if node.key in self._by_key:
+                raise TopologyError(f"duplicate process slot {node.label}")
+            self._by_key[node.key] = node
+            self._parent[node.key] = parent
+            for child in node.children:
+                stack.append((child, node))
+        if not allow_trivial and len(self._by_key) < 2:
+            raise TopologyError("topology must contain at least one back-end")
+
+    # -- traversal --------------------------------------------------------
+
+    def nodes(self) -> Iterator[TopologyNode]:
+        """All nodes, preorder (root first)."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def leaves(self) -> List[TopologyNode]:
+        """The back-end slots, in left-to-right (rank) order."""
+        return [n for n in self.nodes() if n.is_leaf]
+
+    def internal_nodes(self) -> List[TopologyNode]:
+        """Comm-node slots: non-root, non-leaf processes."""
+        return [n for n in self.nodes() if n is not self.root and not n.is_leaf]
+
+    def parent_of(self, node: TopologyNode) -> Optional[TopologyNode]:
+        return self._parent[node.key]
+
+    def find(self, host: str, index: int) -> TopologyNode:
+        try:
+            return self._by_key[(host, index)]
+        except KeyError:
+            raise TopologyError(f"no process slot {host}:{index}") from None
+
+    def __contains__(self, key: Tuple[str, int]) -> bool:
+        return key in self._by_key
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    # -- metrics -----------------------------------------------------------
+
+    @property
+    def num_backends(self) -> int:
+        return len(self.leaves())
+
+    @property
+    def num_internal(self) -> int:
+        return len(self.internal_nodes())
+
+    @property
+    def depth(self) -> int:
+        """Edge count of the longest root-to-leaf path."""
+
+        def _depth(node: TopologyNode) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(_depth(c) for c in node.children)
+
+        return _depth(self.root)
+
+    @property
+    def max_fanout(self) -> int:
+        return max((len(n.children) for n in self.nodes()), default=0)
+
+    def level_of(self, node: TopologyNode) -> int:
+        """Distance (edges) from the root."""
+        level = 0
+        cur: Optional[TopologyNode] = self._parent[node.key]
+        while cur is not None:
+            level += 1
+            cur = self._parent[cur.key]
+        return level
+
+    def hosts(self) -> List[str]:
+        """Distinct hosts, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for node in self.nodes():
+            seen.setdefault(node.host, None)
+        return list(seen)
+
+    def __repr__(self) -> str:
+        return (
+            f"TopologySpec(processes={len(self)}, backends={self.num_backends}, "
+            f"depth={self.depth}, max_fanout={self.max_fanout})"
+        )

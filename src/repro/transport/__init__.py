@@ -1,0 +1,5 @@
+"""Transport substrate: channels between processes (threaded + TCP)."""
+
+from .channel import Channel, ChannelClosed, ChannelEnd, Inbox
+
+__all__ = ["Channel", "ChannelClosed", "ChannelEnd", "Inbox"]

@@ -1,0 +1,121 @@
+"""Point-to-point channels between MRNet processes.
+
+Real MRNet processes talk over TCP connections.  The threaded runtime
+models each parent↔child connection as a :class:`Channel`: a pair of
+one-directional mailboxes carrying *byte strings* (framed packet
+batches).  Keeping the inter-process payload as bytes — never Python
+objects — forces every hop through the packet codec, mirroring the
+serialize/deserialize boundary of the real system while staying
+in-process.
+
+Each process owns one :class:`Inbox`; all channels that terminate at a
+process deliver into that inbox tagged with the channel's id, so a
+process event loop blocks on a single queue (like ``select`` over its
+socket set).
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["ChannelClosed", "Inbox", "Channel", "ChannelEnd"]
+
+_channel_ids = itertools.count()
+
+
+class ChannelClosed(ConnectionError):
+    """Raised on send to / drain of a closed channel."""
+
+
+@dataclass(frozen=True)
+class _Delivery:
+    """One inbound message: which link it came from and its payload."""
+
+    link_id: int
+    payload: Optional[bytes]  # None signals the peer closed the link
+
+
+class Inbox:
+    """A process's single inbound mailbox, fed by many channels."""
+
+    def __init__(self):
+        self._q: "queue.Queue[_Delivery]" = queue.Queue()
+
+    def get(self, timeout: Optional[float] = None) -> Tuple[int, Optional[bytes]]:
+        """Block for the next delivery; ``(link_id, payload)``.
+
+        ``payload`` of ``None`` means the link closed.  Raises
+        :class:`queue.Empty` on timeout.
+        """
+        d = self._q.get(timeout=timeout)
+        return d.link_id, d.payload
+
+    def get_nowait(self) -> Tuple[int, Optional[bytes]]:
+        d = self._q.get_nowait()
+        return d.link_id, d.payload
+
+    def empty(self) -> bool:
+        return self._q.empty()
+
+    def _deliver(self, link_id: int, payload: Optional[bytes]) -> None:
+        self._q.put(_Delivery(link_id, payload))
+
+
+class ChannelEnd:
+    """One end of a channel: sends to the peer's inbox."""
+
+    def __init__(self, link_id: int, peer_inbox: Inbox, state: "_ChannelState"):
+        self.link_id = link_id
+        self._peer_inbox = peer_inbox
+        self._state = state
+
+    def send(self, payload: bytes) -> None:
+        """Deliver *payload* to the peer process."""
+        if self._state.closed:
+            raise ChannelClosed(f"channel {self.link_id} is closed")
+        if not isinstance(payload, (bytes, bytearray, memoryview)):
+            raise TypeError("channel payloads must be bytes")
+        self._peer_inbox._deliver(self.link_id, bytes(payload))
+
+    def close(self) -> None:
+        """Close the channel; the peer sees an end-of-link delivery."""
+        with self._state.lock:
+            if self._state.closed:
+                return
+            self._state.closed = True
+        self._peer_inbox._deliver(self.link_id, None)
+
+    @property
+    def closed(self) -> bool:
+        return self._state.closed
+
+
+class _ChannelState:
+    """Shared closed-flag between the two ends."""
+
+    def __init__(self):
+        self.closed = False
+        self.lock = threading.Lock()
+
+
+class Channel:
+    """A bidirectional link between two processes.
+
+    Both directions share one ``link_id`` so that each side can key
+    its routing tables consistently (a node's "child link 3" and that
+    child's "parent link 3" are the same connection).
+    """
+
+    def __init__(self, inbox_a: Inbox, inbox_b: Inbox, link_id: Optional[int] = None):
+        self.link_id = next(_channel_ids) if link_id is None else link_id
+        state = _ChannelState()
+        # End A sends into B's inbox and vice versa.
+        self.end_a = ChannelEnd(self.link_id, inbox_b, state)
+        self.end_b = ChannelEnd(self.link_id, inbox_a, state)
+
+    def __repr__(self) -> str:
+        return f"Channel(id={self.link_id})"

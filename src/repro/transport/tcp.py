@@ -1,0 +1,164 @@
+"""TCP transport: channel ends over real sockets.
+
+Real MRNet links are TCP connections.  This module provides
+:class:`TcpChannelEnd` objects that are drop-in compatible with
+:class:`~repro.transport.channel.ChannelEnd` — they ``send`` byte
+payloads and deliver inbound payloads into an
+:class:`~repro.transport.channel.Inbox` — but move the bytes through a
+socket with a 4-byte big-endian length frame.
+
+Use :func:`tcp_pair` for an in-process connected pair (tests, single
+host), or :class:`TcpListener` + :func:`tcp_connect` for genuinely
+separate endpoints (e.g. one process tree per terminal on localhost).
+Each end runs a small reader thread that feeds its inbox, mirroring
+how a comm node's event loop owns its socket set.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+from typing import Optional, Tuple
+
+from .channel import Inbox
+
+__all__ = ["TcpChannelEnd", "TcpListener", "tcp_pair", "tcp_connect"]
+
+_LEN = struct.Struct(">I")
+_MAX_FRAME = 1 << 30
+
+
+class TcpChannelEnd:
+    """One end of a TCP link, presenting the ChannelEnd interface."""
+
+    def __init__(self, sock: socket.socket, link_id: int, inbox: Inbox):
+        self.link_id = link_id
+        self._sock = sock
+        self._inbox = inbox
+        self._send_lock = threading.Lock()
+        self._closed = False
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"tcp-reader-{link_id}", daemon=True
+        )
+        self._reader.start()
+
+    def send(self, payload: bytes) -> None:
+        if self._closed:
+            raise ConnectionError(f"tcp link {self.link_id} is closed")
+        if not isinstance(payload, (bytes, bytearray, memoryview)):
+            raise TypeError("channel payloads must be bytes")
+        frame = _LEN.pack(len(payload)) + bytes(payload)
+        with self._send_lock:
+            try:
+                self._sock.sendall(frame)
+            except OSError as exc:
+                self._closed = True
+                raise ConnectionError(str(exc)) from exc
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._sock.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- reader -----------------------------------------------------------
+
+    def _read_exact(self, n: int) -> Optional[bytes]:
+        buf = bytearray()
+        while len(buf) < n:
+            try:
+                chunk = self._sock.recv(n - len(buf))
+            except OSError:
+                return None
+            if not chunk:
+                return None
+            buf.extend(chunk)
+        return bytes(buf)
+
+    def _read_loop(self) -> None:
+        while True:
+            header = self._read_exact(_LEN.size)
+            if header is None:
+                break
+            (length,) = _LEN.unpack(header)
+            if length > _MAX_FRAME:
+                break
+            payload = self._read_exact(length)
+            if payload is None:
+                break
+            self._inbox._deliver(self.link_id, payload)
+        self._closed = True
+        self._inbox._deliver(self.link_id, None)
+
+
+_link_lock = threading.Lock()
+_next_link_id = 1_000_000  # distinct range from in-memory channels
+
+
+def _alloc_link_id() -> int:
+    global _next_link_id
+    with _link_lock:
+        _next_link_id += 1
+        return _next_link_id
+
+
+def tcp_pair(inbox_a: Inbox, inbox_b: Inbox) -> Tuple[TcpChannelEnd, TcpChannelEnd]:
+    """A connected pair of TCP ends sharing one link id."""
+    sock_a, sock_b = socket.socketpair()
+    link_id = _alloc_link_id()
+    return (
+        TcpChannelEnd(sock_a, link_id, inbox_a),
+        TcpChannelEnd(sock_b, link_id, inbox_b),
+    )
+
+
+class TcpListener:
+    """Accepts connections, producing TcpChannelEnds for a local inbox."""
+
+    def __init__(self, inbox: Inbox, host: str = "127.0.0.1", port: int = 0):
+        self._inbox = inbox
+        self._server = socket.create_server((host, port))
+        self.address = self._server.getsockname()
+
+    def accept(self, timeout: Optional[float] = None) -> TcpChannelEnd:
+        """Accept one connection, assigning it a fresh *local* link id.
+
+        Link ids are local names for connections (routing tables and
+        buffers key on them), so the two ends of one socket may use
+        different ids.  The connector's hello id is consumed from the
+        wire but deliberately not reused: distinct processes allocate
+        ids independently, so trusting the remote id could collide
+        with this process's existing links.
+        """
+        self._server.settimeout(timeout)
+        sock, _ = self._server.accept()
+        raw = b""
+        while len(raw) < _LEN.size:
+            chunk = sock.recv(_LEN.size - len(raw))
+            if not chunk:
+                raise ConnectionError("peer closed during link handshake")
+            raw += chunk
+        _LEN.unpack(raw)  # hello consumed; see docstring
+        return TcpChannelEnd(sock, _alloc_link_id(), self._inbox)
+
+    def close(self) -> None:
+        self._server.close()
+
+
+def tcp_connect(
+    address: Tuple[str, int], inbox: Inbox, timeout: Optional[float] = None
+) -> TcpChannelEnd:
+    """Connect to a :class:`TcpListener` and build this side's end."""
+    sock = socket.create_connection(address, timeout=timeout)
+    sock.settimeout(None)
+    link_id = _alloc_link_id()
+    sock.sendall(_LEN.pack(link_id))
+    return TcpChannelEnd(sock, link_id, inbox)

@@ -1,0 +1,91 @@
+"""Tests for packet batching/unbatching."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.batching import PacketBuffer, decode_batch, encode_batch
+from repro.core.packet import Packet, PacketDecodeError
+
+
+def pkt(i: int) -> Packet:
+    return Packet(i % 4, i, "%d %s", (i, f"payload{i}"), origin_rank=i)
+
+
+class TestBatchCodec:
+    def test_roundtrip(self):
+        packets = [pkt(i) for i in range(5)]
+        assert decode_batch(encode_batch(packets)) == packets
+
+    def test_empty_batch(self):
+        assert decode_batch(encode_batch([])) == []
+
+    def test_order_preserved(self):
+        packets = [pkt(i) for i in range(20)]
+        assert [p.tag for p in decode_batch(encode_batch(packets))] == list(range(20))
+
+    def test_truncated_rejected(self):
+        data = encode_batch([pkt(0), pkt(1)])
+        with pytest.raises(PacketDecodeError):
+            decode_batch(data[: len(data) - 3])
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(PacketDecodeError):
+            decode_batch(encode_batch([pkt(0)]) + b"zz")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(PacketDecodeError):
+            decode_batch(b"")
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 1000), max_size=30))
+    def test_roundtrip_property(self, tags):
+        packets = [pkt(t) for t in tags]
+        assert decode_batch(encode_batch(packets)) == packets
+
+
+class TestPacketBuffer:
+    def test_accumulate_and_drain(self):
+        buf = PacketBuffer("child0")
+        buf.add(pkt(1))
+        buf.extend([pkt(2), pkt(3)])
+        assert len(buf) == 3
+        assert buf.nbytes > 0
+        drained = buf.drain()
+        assert [p.tag for p in drained] == [1, 2, 3]
+        assert len(buf) == 0 and buf.nbytes == 0
+
+    def test_encode_clears(self):
+        buf = PacketBuffer("x")
+        buf.add(pkt(7))
+        data = buf.encode()
+        assert decode_batch(data) == [pkt(7)]
+        assert len(buf) == 0
+
+    def test_should_flush_on_packet_count(self):
+        buf = PacketBuffer("x", max_packets=2)
+        buf.add(pkt(0))
+        assert not buf.should_flush()
+        buf.add(pkt(1))
+        assert buf.should_flush()
+
+    def test_should_flush_on_bytes(self):
+        buf = PacketBuffer("x", max_bytes=10)
+        buf.add(pkt(0))
+        assert buf.should_flush()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PacketBuffer("x", max_packets=0)
+        with pytest.raises(ValueError):
+            PacketBuffer("x", max_bytes=0)
+
+    def test_destination_kept(self):
+        assert PacketBuffer("child7").destination == "child7"
+
+    def test_packets_held_by_reference(self):
+        """Zero-copy: the buffer holds the same objects it was given."""
+        p = pkt(0)
+        buf = PacketBuffer("x")
+        buf.add(p)
+        assert buf.drain()[0] is p

@@ -1,0 +1,110 @@
+"""Unit tests for format-string parsing."""
+
+import pytest
+
+from repro.core.formats import (
+    FieldSpec,
+    FormatError,
+    FormatString,
+    TypeCode,
+    parse_format,
+)
+
+
+class TestParsing:
+    def test_single_int(self):
+        fmt = parse_format("%d")
+        assert len(fmt) == 1
+        assert fmt.fields[0] == FieldSpec(TypeCode.INT32, False)
+
+    def test_paper_example(self):
+        """The paper's example: '%d %f %s' is int, float, string."""
+        fmt = parse_format("%d %f %s")
+        assert [f.code for f in fmt] == [
+            TypeCode.INT32,
+            TypeCode.FLOAT32,
+            TypeCode.STRING,
+        ]
+        assert not any(f.is_array for f in fmt)
+
+    def test_all_scalars(self):
+        fmt = parse_format("%c %d %ud %ld %uld %f %lf %s %b")
+        codes = [f.code for f in fmt]
+        assert codes == [
+            TypeCode.CHAR,
+            TypeCode.INT32,
+            TypeCode.UINT32,
+            TypeCode.INT64,
+            TypeCode.UINT64,
+            TypeCode.FLOAT32,
+            TypeCode.FLOAT64,
+            TypeCode.STRING,
+            TypeCode.BYTES,
+        ]
+
+    def test_arrays(self):
+        fmt = parse_format("%ad %af %as %auld")
+        assert all(f.is_array for f in fmt)
+        assert [f.code for f in fmt] == [
+            TypeCode.INT32,
+            TypeCode.FLOAT32,
+            TypeCode.STRING,
+            TypeCode.UINT64,
+        ]
+
+    def test_whitespace_insensitive(self):
+        assert parse_format("%d%f") == parse_format("  %d   %f ")
+
+    def test_canonical_form(self):
+        assert parse_format("%d%af  %s").canonical == "%d %af %s"
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "   ", "%", "%x", "%dd", "%ab", "%aa", "d", "%d junk", "%d %"],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(FormatError):
+            FormatString(bad)
+
+    def test_rejects_non_string(self):
+        with pytest.raises(FormatError):
+            FormatString(42)  # type: ignore[arg-type]
+
+    def test_longest_match_uld(self):
+        fmt = parse_format("%uld")
+        assert fmt.fields[0].code is TypeCode.UINT64
+
+    def test_equality_and_hash(self):
+        a = parse_format("%d %f")
+        b = FormatString("%d    %f")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a == "%d %f"
+        assert a != parse_format("%f %d")
+
+    def test_cache_returns_same_object(self):
+        assert parse_format("%d %s") is parse_format("%d %s")
+
+    def test_spec_roundtrip(self):
+        for text in ["%d", "%ad", "%uld", "%auld", "%s", "%as", "%lf %c %b"]:
+            fmt = parse_format(text)
+            assert parse_format(fmt.canonical) == fmt
+
+
+class TestTypeCode:
+    def test_integral_bounds(self):
+        assert TypeCode.INT32.bounds == (-(2**31), 2**31 - 1)
+        assert TypeCode.UINT32.bounds == (0, 2**32 - 1)
+        assert TypeCode.CHAR.bounds == (0, 255)
+        assert TypeCode.FLOAT64.bounds is None
+
+    def test_struct_char_for_strings_raises(self):
+        with pytest.raises(FormatError):
+            TypeCode.STRING.struct_char
+        with pytest.raises(FormatError):
+            TypeCode.BYTES.struct_char
+
+    def test_classification(self):
+        assert TypeCode.INT64.is_integral and not TypeCode.INT64.is_float
+        assert TypeCode.FLOAT32.is_float and not TypeCode.FLOAT32.is_integral
+        assert not TypeCode.STRING.is_integral and not TypeCode.STRING.is_float

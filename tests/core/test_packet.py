@@ -1,0 +1,331 @@
+"""Unit + property tests for the packet codec."""
+
+import math
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.formats import FormatError, parse_format
+from repro.core.packet import Packet, PacketDecodeError
+
+
+class TestConstruction:
+    def test_basic(self):
+        p = Packet(1, 7, "%d %f %s", (42, 2.5, "hello"))
+        assert p.stream_id == 1
+        assert p.tag == 7
+        assert p.unpack() == (42, 2.5, "hello")
+
+    def test_value_count_mismatch(self):
+        with pytest.raises(FormatError):
+            Packet(0, 0, "%d %d", (1,))
+        with pytest.raises(FormatError):
+            Packet(0, 0, "%d", (1, 2))
+
+    def test_type_enforcement(self):
+        with pytest.raises(FormatError):
+            Packet(0, 0, "%d", ("nope",))
+        with pytest.raises(FormatError):
+            Packet(0, 0, "%s", (3,))
+        with pytest.raises(FormatError):
+            Packet(0, 0, "%f", ("x",))
+        with pytest.raises(FormatError):
+            Packet(0, 0, "%b", ("str not bytes",))
+
+    def test_bool_is_not_int(self):
+        with pytest.raises(FormatError):
+            Packet(0, 0, "%d", (True,))
+
+    def test_int_range_enforced(self):
+        with pytest.raises(FormatError):
+            Packet(0, 0, "%d", (2**31,))
+        with pytest.raises(FormatError):
+            Packet(0, 0, "%ud", (-1,))
+        Packet(0, 0, "%ld", (2**31,))  # fits in int64
+
+    def test_char_accepts_single_char_str(self):
+        assert Packet(0, 0, "%c", ("A",)).values == (65,)
+        with pytest.raises(FormatError):
+            Packet(0, 0, "%c", ("AB",))
+
+    def test_array_normalised_to_tuple(self):
+        p = Packet(0, 0, "%ad", ([1, 2, 3],))
+        assert p.values == ((1, 2, 3),)
+
+    def test_array_rejects_scalar(self):
+        with pytest.raises(FormatError):
+            Packet(0, 0, "%ad", (5,))
+
+    def test_array_rejects_str(self):
+        with pytest.raises(FormatError):
+            Packet(0, 0, "%ad", ("123",))
+
+    def test_string_array(self):
+        p = Packet(0, 0, "%as", (["a", "b"],))
+        assert p.values == (("a", "b"),)
+        with pytest.raises(FormatError):
+            Packet(0, 0, "%as", ([1, 2],))
+
+    def test_char_array_from_bytes(self):
+        p = Packet(0, 0, "%ac", (b"hi",))
+        assert p.values == ((104, 105),)
+
+    def test_header_ranges(self):
+        with pytest.raises(ValueError):
+            Packet(-1, 0, "%d", (0,))
+        with pytest.raises(ValueError):
+            Packet(0, 2**31, "%d", (0,))
+        with pytest.raises(ValueError):
+            Packet(0, 0, "%d", (0,), origin_rank=-1)
+
+    def test_int_coerced_to_float_fields(self):
+        p = Packet(0, 0, "%lf", (3,))
+        assert p.values == (3.0,)
+        assert isinstance(p.values[0], float)
+
+
+class TestAccessors:
+    def test_sequence_protocol(self):
+        p = Packet(0, 0, "%d %s", (1, "x"))
+        assert len(p) == 2
+        assert p[0] == 1 and p[1] == "x"
+        assert list(p) == [1, "x"]
+
+    def test_equality(self):
+        a = Packet(1, 2, "%d", (3,), origin_rank=4)
+        b = Packet(1, 2, "%d", (3,), origin_rank=4)
+        assert a == b and hash(a) == hash(b)
+        assert a != Packet(1, 2, "%d", (5,), origin_rank=4)
+        assert a != Packet(1, 2, "%d", (3,), origin_rank=0)
+
+    def test_replace(self):
+        p = Packet(1, 2, "%d", (3,))
+        q = p.replace(values=(9,))
+        assert q.values == (9,) and q.stream_id == 1 and p.values == (3,)
+
+    def test_repr_truncates(self):
+        p = Packet(0, 0, "%d %d %d %d %d %d", tuple(range(6)))
+        assert "..." in repr(p)
+
+
+class TestCodec:
+    def test_roundtrip_simple(self):
+        p = Packet(3, -5, "%d %f %s", (1, 0.5, "héllo"), origin_rank=9)
+        q = Packet.from_bytes(p.to_bytes())
+        assert q == p
+
+    def test_roundtrip_all_types(self):
+        p = Packet(
+            1,
+            2,
+            "%c %d %ud %ld %uld %f %lf %s %b %ad %af %as",
+            (
+                7,
+                -1,
+                2**32 - 1,
+                -(2**62),
+                2**63,
+                0.25,
+                math.pi,
+                "string ✓",
+                b"\x00\xffbytes",
+                (1, -2, 3),
+                (0.5, 1.5),
+                ("x", "", "yz"),
+            ),
+        )
+        assert Packet.from_bytes(p.to_bytes()) == p
+
+    def test_empty_arrays(self):
+        p = Packet(0, 0, "%ad %as", ((), ()))
+        assert Packet.from_bytes(p.to_bytes()) == p
+
+    def test_encoding_cached(self):
+        p = Packet(0, 0, "%d", (1,))
+        assert p.to_bytes() is p.to_bytes()
+
+    def test_nbytes(self):
+        p = Packet(0, 0, "%d", (1,))
+        assert p.nbytes == len(p.to_bytes())
+
+    def test_float32_precision_loss_is_consistent(self):
+        value = 1.1  # not representable in binary32
+        p = Packet(0, 0, "%f", (value,))
+        q = Packet.from_bytes(p.to_bytes())
+        assert q.values[0] == struct.unpack(">f", struct.pack(">f", value))[0]
+
+    def test_trailing_garbage_rejected(self):
+        data = Packet(0, 0, "%d", (1,)).to_bytes() + b"x"
+        with pytest.raises(PacketDecodeError):
+            Packet.from_bytes(data)
+
+    def test_truncation_rejected(self):
+        data = Packet(0, 0, "%d %s", (1, "hello world")).to_bytes()
+        for cut in (1, 5, len(data) // 2, len(data) - 1):
+            with pytest.raises(PacketDecodeError):
+                Packet.from_bytes(data[:cut])
+
+    def test_garbage_rejected(self):
+        with pytest.raises(PacketDecodeError):
+            Packet.from_bytes(b"\xff" * 40)
+
+    def test_decode_from_offset(self):
+        a = Packet(1, 0, "%d", (10,))
+        b = Packet(2, 0, "%s", ("x",))
+        blob = a.to_bytes() + b.to_bytes()
+        p1, off = Packet.decode_from(blob, 0)
+        p2, end = Packet.decode_from(blob, off)
+        assert (p1, p2) == (a, b)
+        assert end == len(blob)
+
+
+# -- property-based round-trip over arbitrary well-typed packets ----------
+
+_i32 = st.integers(-(2**31), 2**31 - 1)
+_u32 = st.integers(0, 2**32 - 1)
+_i64 = st.integers(-(2**63), 2**63 - 1)
+_u64 = st.integers(0, 2**64 - 1)
+_f64 = st.floats(allow_nan=False, width=64)
+_f32 = st.floats(allow_nan=False, width=32)
+_text = st.text(max_size=50)
+
+_field = st.sampled_from(
+    [
+        ("%c", st.integers(0, 255)),
+        ("%d", _i32),
+        ("%ud", _u32),
+        ("%ld", _i64),
+        ("%uld", _u64),
+        ("%f", _f32),
+        ("%lf", _f64),
+        ("%s", _text),
+        ("%b", st.binary(max_size=50)),
+        ("%ad", st.lists(_i32, max_size=20)),
+        ("%aud", st.lists(_u32, max_size=20)),
+        ("%ald", st.lists(_i64, max_size=20)),
+        ("%auld", st.lists(_u64, max_size=20)),
+        ("%af", st.lists(_f32, max_size=20)),
+        ("%alf", st.lists(_f64, max_size=20)),
+        ("%ac", st.lists(st.integers(0, 255), max_size=20)),
+        ("%as", st.lists(_text, max_size=10)),
+    ]
+)
+
+
+@st.composite
+def packets(draw):
+    fields = draw(st.lists(_field, min_size=1, max_size=8))
+    fmt = " ".join(spec for spec, _ in fields)
+    values = tuple(draw(strategy) for _, strategy in fields)
+    return Packet(
+        draw(st.integers(0, 2**32 - 1)),
+        draw(st.integers(-(2**31), 2**31 - 1)),
+        fmt,
+        values,
+        origin_rank=draw(st.integers(0, 2**32 - 1)),
+    )
+
+
+class TestCodecProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(packets())
+    def test_roundtrip(self, p):
+        q = Packet.from_bytes(p.to_bytes())
+        assert q == p
+
+    @settings(max_examples=50, deadline=None)
+    @given(packets(), packets())
+    def test_batave_concatenated_decode(self, a, b):
+        blob = a.to_bytes() + b.to_bytes()
+        p1, off = Packet.decode_from(blob, 0)
+        p2, end = Packet.decode_from(blob, off)
+        assert (p1, p2, end) == (a, b, len(blob))
+
+    @settings(max_examples=100, deadline=None)
+    @given(packets())
+    def test_encoding_deterministic(self, p):
+        q = Packet(p.stream_id, p.tag, p.fmt, p.values, p.origin_rank)
+        assert p.to_bytes() == q.to_bytes()
+
+
+class TestNumpyIntegration:
+    """The vectorized array fast paths (HPC guide: vectorize hot loops)."""
+
+    def test_ndarray_field_input(self):
+        import numpy as np
+
+        p = Packet(1, 0, "%ald", (np.arange(10, dtype=np.int64),))
+        assert p.values[0] == tuple(range(10))
+
+    def test_large_array_roundtrip_int(self):
+        import numpy as np
+
+        arr = np.arange(-5000, 5000, dtype=np.int32)
+        p = Packet(1, 0, "%ad", (arr,))
+        assert Packet.from_bytes(p.to_bytes()) == p
+
+    def test_large_array_roundtrip_float(self):
+        import numpy as np
+
+        arr = np.linspace(-1.0, 1.0, 4096)
+        p = Packet(1, 0, "%alf", (arr,))
+        q = Packet.from_bytes(p.to_bytes())
+        assert q.values[0] == pytest.approx(tuple(arr.tolist()))
+
+    def test_numpy_and_struct_paths_agree(self):
+        """Encodings are byte-identical either side of the threshold."""
+        import numpy as np
+
+        small = tuple(range(60))
+        big = tuple(range(70))
+        for vals in (small, big):
+            from_tuple = Packet(1, 0, "%aud", (vals,)).to_bytes()
+            from_array = Packet(
+                1, 0, "%aud", (np.array(vals, dtype=np.uint32),)
+            ).to_bytes()
+            assert from_tuple == from_array
+
+    def test_numpy_scalars_accepted(self):
+        import numpy as np
+
+        p = Packet(1, 0, "%d %ud %lf %f", (
+            np.int32(-3), np.uint64(7), np.float64(1.5), np.float32(0.25)
+        ))
+        assert p.values == (-3, 7, 1.5, 0.25)
+
+    def test_numpy_bool_rejected(self):
+        import numpy as np
+
+        with pytest.raises(FormatError):
+            Packet(1, 0, "%d", (np.True_,))
+
+    def test_ndarray_range_enforced(self):
+        import numpy as np
+
+        with pytest.raises(FormatError):
+            Packet(1, 0, "%ad", (np.array([2**40]),))
+        with pytest.raises(FormatError):
+            Packet(1, 0, "%aud", (np.array([-1]),))
+
+    def test_ndarray_kind_enforced(self):
+        import numpy as np
+
+        with pytest.raises(FormatError):
+            Packet(1, 0, "%ad", (np.array([1.5]),))
+        with pytest.raises(FormatError):
+            Packet(1, 0, "%alf", (np.array(["a"]),))
+
+    def test_ndarray_must_be_1d(self):
+        import numpy as np
+
+        with pytest.raises(FormatError):
+            Packet(1, 0, "%ad", (np.zeros((2, 2), dtype=np.int32),))
+
+    def test_float_array_from_int_ndarray(self):
+        import numpy as np
+
+        p = Packet(1, 0, "%alf", (np.arange(3),))
+        assert p.values[0] == (0.0, 1.0, 2.0)
+        assert all(isinstance(v, float) for v in p.values[0])

@@ -1,0 +1,92 @@
+"""Tests for protocol control packets and the routing table."""
+
+import pytest
+
+from repro.core.packet import Packet
+from repro.core.protocol import (
+    CONTROL_STREAM_ID,
+    TAG_ENDPOINT_REPORT,
+    TAG_NEW_STREAM,
+    make_close_stream,
+    make_endpoint_report,
+    make_new_stream,
+    make_shutdown,
+    parse_new_stream,
+)
+from repro.core.routing import RoutingTable
+
+
+class TestControlPackets:
+    def test_endpoint_report(self):
+        p = make_endpoint_report([3, 1, 2])
+        assert p.stream_id == CONTROL_STREAM_ID
+        assert p.tag == TAG_ENDPOINT_REPORT
+        assert p.values == ((3, 1, 2),)
+        assert Packet.from_bytes(p.to_bytes()) == p
+
+    def test_new_stream_roundtrip(self):
+        p = make_new_stream(7, [0, 1, 2], 100, 3, sync_timeout=0.25,
+                            down_transform_filter_id=5)
+        assert p.tag == TAG_NEW_STREAM
+        sid, eps, sync, trans, timeout, down = parse_new_stream(
+            Packet.from_bytes(p.to_bytes())
+        )
+        assert (sid, eps, sync, trans, timeout, down) == (
+            7, (0, 1, 2), 100, 3, 0.25, 5,
+        )
+
+    def test_close_and_shutdown(self):
+        assert make_close_stream(9).values == (9,)
+        assert make_shutdown().stream_id == CONTROL_STREAM_ID
+
+
+class TestRoutingTable:
+    def test_add_and_query(self):
+        rt = RoutingTable()
+        rt.add_report(10, [0, 1])
+        rt.add_report(11, [2, 3])
+        assert rt.ranks_behind(10) == {0, 1}
+        assert rt.all_ranks() == {0, 1, 2, 3}
+        assert rt.link_of(2) == 11
+
+    def test_links_for_intersection(self):
+        rt = RoutingTable()
+        rt.add_report(10, [0, 1])
+        rt.add_report(11, [2, 3])
+        rt.add_report(12, [4])
+        assert rt.links_for({1, 4}) == [10, 12]
+        assert rt.links_for({2}) == [11]
+        assert rt.links_for({99}) == []
+
+    def test_links_for_rank_ordered(self):
+        """Links come back ordered by smallest reachable rank, not by
+        report arrival order — this keeps concatenation rank-ordered."""
+        rt = RoutingTable()
+        rt.add_report(20, [4, 5])
+        rt.add_report(21, [0, 1])
+        rt.add_report(22, [2, 3])
+        assert rt.links_for({0, 1, 2, 3, 4, 5}) == [21, 22, 20]
+
+    def test_incremental_reports_merge(self):
+        rt = RoutingTable()
+        rt.add_report(10, [0])
+        rt.add_report(10, [1])
+        assert rt.ranks_behind(10) == {0, 1}
+        assert len(rt) == 1
+
+    def test_remove_link(self):
+        rt = RoutingTable()
+        rt.add_report(10, [0, 1])
+        assert rt.remove_link(10) == {0, 1}
+        assert rt.links_for({0}) == []
+        assert rt.remove_link(10) == set()
+
+    def test_link_of_unknown_rank(self):
+        with pytest.raises(KeyError):
+            RoutingTable().link_of(0)
+
+    def test_links_property(self):
+        rt = RoutingTable()
+        rt.add_report(5, [0])
+        rt.add_report(6, [1])
+        assert set(rt.links) == {5, 6}

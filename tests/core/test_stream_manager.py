@@ -1,0 +1,157 @@
+"""Tests for per-node stream managers."""
+
+import pytest
+
+from repro.core.packet import Packet
+from repro.core.stream_manager import StreamManager
+from repro.filters.registry import (
+    SFILTER_DONTWAIT,
+    SFILTER_TIMEOUT,
+    SFILTER_WAITFORALL,
+    TFILTER_CONCAT,
+    TFILTER_NULL,
+    TFILTER_SUM,
+    default_registry,
+)
+
+
+def ipkt(v, stream=5, origin=0):
+    return Packet(stream, 0, "%d", (v,), origin_rank=origin)
+
+
+@pytest.fixture
+def registry():
+    return default_registry()
+
+
+class TestUpstream:
+    def test_wait_for_all_plus_sum(self, registry):
+        mgr = StreamManager.create(
+            5, [0, 1], [10, 11], registry, SFILTER_WAITFORALL, TFILTER_SUM
+        )
+        assert mgr.push_upstream(10, ipkt(3)) == []
+        out = mgr.push_upstream(11, ipkt(4))
+        assert len(out) == 1 and out[0].values == (7,)
+
+    def test_do_not_wait_null_passthrough(self, registry):
+        mgr = StreamManager.create(
+            5, [0], [10], registry, SFILTER_DONTWAIT, TFILTER_NULL
+        )
+        out = mgr.push_upstream(10, ipkt(9))
+        assert [p.values for p in out] == [(9,)]
+
+    def test_timeout_sync_uses_param(self, registry):
+        clock_value = [0.0]
+        mgr = StreamManager.create(
+            5,
+            [0, 1],
+            [10, 11],
+            registry,
+            SFILTER_TIMEOUT,
+            TFILTER_SUM,
+            sync_timeout=2.0,
+            clock=lambda: clock_value[0],
+        )
+        mgr.push_upstream(10, ipkt(1))
+        assert mgr.poll_upstream() == []
+        clock_value[0] = 2.5
+        out = mgr.poll_upstream()
+        assert len(out) == 1 and out[0].values == (1,)
+
+    def test_state_persists_across_waves(self, registry):
+        from repro.filters.base import make_filter
+
+        def running_sum(packets, state):
+            state["acc"] = state.get("acc", 0) + sum(p.values[0] for p in packets)
+            return [packets[0].replace(values=(state["acc"],))]
+
+        fid = registry.register_transform(make_filter(running_sum, "rsum"))
+        mgr = StreamManager.create(5, [0], [10], registry, SFILTER_DONTWAIT, fid)
+        assert mgr.push_upstream(10, ipkt(5))[0].values == (5,)
+        assert mgr.push_upstream(10, ipkt(2))[0].values == (7,)
+
+    def test_closed_manager_drops(self, registry):
+        mgr = StreamManager.create(
+            5, [0], [10], registry, SFILTER_DONTWAIT, TFILTER_NULL
+        )
+        mgr.close()
+        assert mgr.push_upstream(10, ipkt(1)) == []
+        assert mgr.poll_upstream() == []
+
+    def test_flush_pushes_partial_waves_through_filter(self, registry):
+        mgr = StreamManager.create(
+            5, [0, 1], [10, 11], registry, SFILTER_WAITFORALL, TFILTER_SUM
+        )
+        mgr.push_upstream(10, ipkt(3))
+        out = mgr.flush_upstream()
+        assert len(out) == 1 and out[0].values == (3,)
+
+    def test_drop_link_releases_backlog_and_unblocks(self, registry):
+        mgr = StreamManager.create(
+            5, [0, 1], [10, 11], registry, SFILTER_WAITFORALL, TFILTER_SUM
+        )
+        mgr.push_upstream(10, ipkt(3))
+        out = mgr.drop_link(10)
+        assert out and out[0].values == (3,)
+        assert 10 not in mgr.child_links
+        # Remaining child completes waves alone now.
+        out = mgr.push_upstream(11, ipkt(4))
+        assert out and out[0].values == (4,)
+
+    def test_pending_counts(self, registry):
+        mgr = StreamManager.create(
+            5, [0, 1], [10, 11], registry, SFILTER_WAITFORALL, TFILTER_SUM
+        )
+        mgr.push_upstream(10, ipkt(3))
+        assert mgr.pending == 1
+
+
+class TestDownstream:
+    def test_no_downstream_filter_is_identity(self, registry):
+        mgr = StreamManager.create(
+            5, [0], [10], registry, SFILTER_WAITFORALL, TFILTER_NULL
+        )
+        p = ipkt(1)
+        assert mgr.transform_downstream(p) == [p]
+
+    def test_downstream_filter_applied(self, registry):
+        from repro.filters.base import make_filter
+
+        def double(packets, state):
+            return [p.replace(values=(p.values[0] * 2,)) for p in packets]
+
+        fid = registry.register_transform(make_filter(double, "double"))
+        mgr = StreamManager.create(
+            5,
+            [0],
+            [10],
+            registry,
+            SFILTER_WAITFORALL,
+            TFILTER_NULL,
+            down_transform_filter_id=fid,
+        )
+        out = mgr.transform_downstream(ipkt(21))
+        assert out[0].values == (42,)
+
+
+class TestCreation:
+    def test_concat_manager(self, registry):
+        mgr = StreamManager.create(
+            7, [0, 1, 2], [10, 11, 12], registry, SFILTER_WAITFORALL, TFILTER_CONCAT
+        )
+        mgr.push_upstream(10, ipkt(1, stream=7))
+        mgr.push_upstream(11, ipkt(2, stream=7))
+        out = mgr.push_upstream(12, ipkt(3, stream=7))
+        assert out[0].values == ((1, 2, 3),)
+
+    def test_endpoints_frozen(self, registry):
+        mgr = StreamManager.create(
+            5, [3, 1], [10], registry, SFILTER_WAITFORALL, TFILTER_NULL
+        )
+        assert mgr.endpoints == frozenset({1, 3})
+
+    def test_repr(self, registry):
+        mgr = StreamManager.create(
+            5, [0], [10], registry, SFILTER_WAITFORALL, TFILTER_SUM
+        )
+        assert "stream=5" in repr(mgr) and "sum" in repr(mgr)

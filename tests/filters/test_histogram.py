@@ -1,0 +1,79 @@
+"""Tests for the histogram custom filter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.packet import Packet
+from repro.filters.base import FilterError, FilterState
+from repro.filters.histogram import HistogramFilter
+
+
+def sample(v):
+    return Packet(1, 0, "%lf", (float(v),))
+
+
+class TestHistogram:
+    def test_basic_binning(self):
+        h = HistogramFilter([0.0, 1.0, 2.0])
+        out = h([sample(-1), sample(0.5), sample(1.5), sample(5)], FilterState())
+        # slots: under, [0,1), [1,2), over
+        assert out[0].values == ((1, 1, 1, 1),)
+        assert out[0].fmt.canonical == "%auld"
+
+    def test_edge_values_go_right(self):
+        h = HistogramFilter([0.0, 1.0])
+        out = h([sample(0.0), sample(1.0)], FilterState())
+        assert out[0].values == ((0, 1, 1),)
+
+    def test_merge_partials(self):
+        h = HistogramFilter([0.0, 10.0])
+        left = h([sample(1), sample(2)], FilterState())
+        right = h([sample(-5), sample(20)], FilterState())
+        out = h(left + right, FilterState())
+        assert out[0].values == ((1, 2, 1),)
+
+    def test_mixed_scalars_and_partials(self):
+        h = HistogramFilter([0.0, 10.0])
+        partial = h([sample(5)], FilterState())
+        out = h(partial + [sample(3)], FilterState())
+        assert out[0].values == ((0, 2, 0),)
+
+    def test_wrong_partial_size_rejected(self):
+        h2 = HistogramFilter([0.0, 10.0])
+        h3 = HistogramFilter([0.0, 5.0, 10.0])
+        partial = h3([sample(1)], FilterState())
+        with pytest.raises(FilterError):
+            h2(partial, FilterState())
+
+    def test_wrong_format_rejected(self):
+        h = HistogramFilter([0.0, 1.0])
+        with pytest.raises(FilterError):
+            h([Packet(1, 0, "%d", (1,))], FilterState())
+
+    def test_construction_validation(self):
+        with pytest.raises(FilterError):
+            HistogramFilter([1.0])
+        with pytest.raises(FilterError):
+            HistogramFilter([1.0, 1.0])
+        with pytest.raises(FilterError):
+            HistogramFilter([2.0, 1.0])
+
+    def test_empty_wave(self):
+        h = HistogramFilter([0.0, 1.0])
+        assert h([], FilterState()) == []
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.floats(-100, 100, allow_nan=False), min_size=1, max_size=50))
+    def test_count_conservation_over_tree(self, values):
+        """Total count equals sample count however the tree splits."""
+        h = HistogramFilter([-50.0, 0.0, 50.0])
+        third = max(1, len(values) // 3)
+        chunks = [values[i : i + third] for i in range(0, len(values), third)]
+        partials = [
+            h([sample(v) for v in chunk], FilterState())[0] for chunk in chunks
+        ]
+        merged = h(partials, FilterState())[0]
+        assert sum(merged.values[0]) == len(values)
+        flat = h([sample(v) for v in values], FilterState())[0]
+        assert merged.values == flat.values

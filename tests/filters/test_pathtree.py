@@ -1,0 +1,153 @@
+"""Tests for the call-path prefix-tree merge filter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.packet import Packet
+from repro.filters.base import FilterError, FilterState
+from repro.filters.pathtree import PathTree, PathTreeFilter
+
+filt = PathTreeFilter()
+
+
+def path_pkt(*frames, origin=0):
+    return Packet(1, 0, "%as", (frames,), origin_rank=origin)
+
+
+class TestPathTree:
+    def test_single_path(self):
+        t = PathTree()
+        t.add_path(["main", "solve", "waitall"])
+        assert t.num_nodes == 3
+        assert t.num_processes == 1
+        assert t.paths() == [(("main", "solve", "waitall"), 1)]
+
+    def test_shared_prefix_counts(self):
+        t = PathTree()
+        t.add_path(["main", "solve", "waitall"])
+        t.add_path(["main", "solve", "compute"])
+        t.add_path(["main", "io"])
+        assert t.children["main"].count == 3
+        assert t.children["main"].children["solve"].count == 2
+        assert t.num_processes == 3
+
+    def test_path_ending_at_interior_node(self):
+        t = PathTree()
+        t.add_path(["main", "solve"])
+        t.add_path(["main", "solve", "deeper"])
+        assert (("main", "solve"), 1) in t.paths()
+        assert (("main", "solve", "deeper"), 1) in t.paths()
+
+    def test_merge_equals_bulk_insert(self):
+        a, b, bulk = PathTree(), PathTree(), PathTree()
+        paths = [["m", "x"], ["m", "y"], ["m", "x", "z"], ["other"]]
+        for p in paths[:2]:
+            a.add_path(p)
+            bulk.add_path(p)
+        for p in paths[2:]:
+            b.add_path(p)
+            bulk.add_path(p)
+        a.merge(b)
+        assert a == bulk
+
+    def test_arrays_roundtrip(self):
+        t = PathTree()
+        t.add_path(["main", "a", "b"])
+        t.add_path(["main", "c"])
+        t.add_path(["init"])
+        assert PathTree.from_arrays(*t.to_arrays()) == t
+
+    def test_from_arrays_validation(self):
+        with pytest.raises(FilterError):
+            PathTree.from_arrays(("a",), (0, 1), (1,))
+        with pytest.raises(FilterError):
+            PathTree.from_arrays(("a", "b"), (0, 5), (1, 1))
+        with pytest.raises(FilterError):
+            PathTree.from_arrays(("a", "a"), (0, 0), (1, 1))
+
+    def test_render(self):
+        t = PathTree()
+        t.add_path(["main", "solve"])
+        t.add_path(["main", "solve"])
+        text = t.render()
+        assert "main [2]" in text and "  solve [2]" in text
+
+    def test_add_path_count_validation(self):
+        with pytest.raises(ValueError):
+            PathTree().add_path(["x"], count=0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.lists(st.sampled_from("abcdef"), min_size=1, max_size=5),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_process_count_conserved(self, raw_paths):
+        t = PathTree()
+        for p in raw_paths:
+            t.add_path(p)
+        assert t.num_processes == len(raw_paths)
+        assert sum(c for _, c in t.paths()) == len(raw_paths)
+        # Serialization preserves everything.
+        assert PathTree.from_arrays(*t.to_arrays()) == t
+
+
+class TestPathTreeFilter:
+    def test_leaf_paths_merge(self):
+        out = filt(
+            [
+                path_pkt("main", "solve", "waitall"),
+                path_pkt("main", "solve", "waitall"),
+                path_pkt("main", "io"),
+            ],
+            FilterState(),
+        )
+        assert len(out) == 1
+        tree = PathTree.from_arrays(*out[0].unpack())
+        assert tree.num_processes == 3
+        assert (("main", "solve", "waitall"), 2) in tree.paths()
+
+    def test_tree_composition(self):
+        left = filt([path_pkt("m", "a"), path_pkt("m", "b")], FilterState())
+        right = filt([path_pkt("m", "a"), path_pkt("x")], FilterState())
+        merged = PathTree.from_arrays(
+            *filt(left + right, FilterState())[0].unpack()
+        )
+        flat = PathTree()
+        for p in (["m", "a"], ["m", "b"], ["m", "a"], ["x"]):
+            flat.add_path(p)
+        assert merged == flat
+
+    def test_rejects_other_formats(self):
+        with pytest.raises(FilterError):
+            filt([Packet(1, 0, "%d", (1,))], FilterState())
+
+    def test_empty_wave(self):
+        assert filt([], FilterState()) == []
+
+    def test_over_live_network(self):
+        """End-to-end: 8 back-ends' stacks merge into one tree."""
+        from repro.core import Network
+        from repro.topology import balanced_tree
+
+        stacks = {
+            rank: ("main", "solve", "mpi_waitall")
+            if rank != 5
+            else ("main", "solve", "compute_residual")
+            for rank in range(8)
+        }
+        with Network(balanced_tree(2, 3)) as net:
+            fid = net.registry.register_transform(PathTreeFilter())
+            comm = net.get_broadcast_communicator()
+            stream = net.new_stream(comm, transform=fid)
+            stream.send("%d", 0)
+            for rank in sorted(net.backends):
+                _, bstream = net.backends[rank].recv(timeout=10)
+                bstream.send("%as", stacks[rank])
+            tree = PathTree.from_arrays(*stream.recv(timeout=10).unpack())
+        assert tree.num_processes == 8
+        assert (("main", "solve", "mpi_waitall"), 7) in tree.paths()
+        assert (("main", "solve", "compute_residual"), 1) in tree.paths()

@@ -1,0 +1,175 @@
+"""Tests for the filter registry and dynamic loading."""
+
+import textwrap
+
+import pytest
+
+from repro.core.packet import Packet
+from repro.filters.base import FilterError, FilterState, make_filter
+from repro.filters.registry import (
+    SFILTER_DONTWAIT,
+    SFILTER_TIMEOUT,
+    SFILTER_WAITFORALL,
+    TFILTER_AVG,
+    TFILTER_CONCAT,
+    TFILTER_MAX,
+    TFILTER_MIN,
+    TFILTER_NULL,
+    TFILTER_SUM,
+    FilterRegistry,
+    default_registry,
+)
+from repro.filters.sync import DoNotWaitFilter, TimeOutFilter, WaitForAllFilter
+
+
+class TestBuiltins:
+    def test_all_builtin_transforms_present(self):
+        reg = default_registry()
+        for fid, name in [
+            (TFILTER_NULL, "null"),
+            (TFILTER_MIN, "min"),
+            (TFILTER_MAX, "max"),
+            (TFILTER_SUM, "sum"),
+            (TFILTER_AVG, "avg"),
+            (TFILTER_CONCAT, "concat"),
+        ]:
+            assert reg.get_transform(fid).name == name
+
+    def test_sync_factories(self):
+        reg = default_registry()
+        assert isinstance(reg.make_sync(SFILTER_WAITFORALL, ["a"]), WaitForAllFilter)
+        assert isinstance(
+            reg.make_sync(SFILTER_TIMEOUT, ["a"], timeout=0.5), TimeOutFilter
+        )
+        assert isinstance(reg.make_sync(SFILTER_DONTWAIT, ["a"]), DoNotWaitFilter)
+
+    def test_classification(self):
+        reg = default_registry()
+        assert reg.is_transform(TFILTER_SUM) and not reg.is_sync(TFILTER_SUM)
+        assert reg.is_sync(SFILTER_WAITFORALL) and not reg.is_transform(
+            SFILTER_WAITFORALL
+        )
+
+    def test_unknown_ids(self):
+        reg = default_registry()
+        with pytest.raises(FilterError):
+            reg.get_transform(9999)
+        with pytest.raises(FilterError):
+            reg.make_sync(9999, [])
+
+
+class TestRegistration:
+    def test_register_transform_assigns_unique_ids(self):
+        reg = FilterRegistry()
+        f1 = make_filter(lambda ps, st: list(ps), "f1")
+        f2 = make_filter(lambda ps, st: list(ps), "f2")
+        id1, id2 = reg.register_transform(f1), reg.register_transform(f2)
+        assert id1 != id2
+        assert id1 >= 1000  # user range
+        assert reg.get_transform(id1) is f1
+
+    def test_register_sync(self):
+        reg = FilterRegistry()
+        fid = reg.register_sync(WaitForAllFilter)
+        assert isinstance(reg.make_sync(fid, ["x"]), WaitForAllFilter)
+
+    def test_registries_independent(self):
+        r1, r2 = FilterRegistry(), FilterRegistry()
+        fid = r1.register_transform(make_filter(lambda ps, st: [], "only-in-r1"))
+        with pytest.raises(FilterError):
+            r2.get_transform(fid)
+
+
+class TestLoadFilterFunc:
+    """The paper's load_filterFunc flow via a Python file."""
+
+    def test_load_from_file(self, tmp_path):
+        mod = tmp_path / "myfilter.py"
+        mod.write_text(
+            textwrap.dedent(
+                """
+                def double(packets, state):
+                    return [p.replace(values=(p.values[0] * 2,)) for p in packets]
+                """
+            )
+        )
+        reg = FilterRegistry()
+        fid = reg.load_filter_func(str(mod), "double")
+        filt = reg.get_transform(fid)
+        out = filt([Packet(1, 0, "%d", (21,))], FilterState())
+        assert out[0].values == (42,)
+
+    def test_stateful_loaded_filter(self, tmp_path):
+        mod = tmp_path / "counter.py"
+        mod.write_text(
+            textwrap.dedent(
+                """
+                def running_count(packets, state):
+                    state['n'] = state.get('n', 0) + len(packets)
+                    return [packets[0].replace(values=(state['n'],))] if packets else []
+                """
+            )
+        )
+        reg = FilterRegistry()
+        fid = reg.load_filter_func(str(mod), "running_count")
+        filt = reg.get_transform(fid)
+        state = filt.make_state()
+        p = Packet(1, 0, "%d", (0,))
+        assert filt([p, p], state)[0].values == (2,)
+        assert filt([p], state)[0].values == (3,)
+
+    def test_missing_function(self, tmp_path):
+        mod = tmp_path / "empty.py"
+        mod.write_text("x = 1\n")
+        reg = FilterRegistry()
+        with pytest.raises(FilterError):
+            reg.load_filter_func(str(mod), "nope")
+
+    def test_missing_file(self):
+        reg = FilterRegistry()
+        with pytest.raises(FilterError):
+            reg.load_filter_func("/does/not/exist.py", "f")
+
+    def test_non_callable(self, tmp_path):
+        mod = tmp_path / "notfunc.py"
+        mod.write_text("thing = 3\n")
+        reg = FilterRegistry()
+        with pytest.raises(FilterError):
+            reg.load_filter_func(str(mod), "thing")
+
+    def test_module_cached_across_loads(self, tmp_path):
+        mod = tmp_path / "oncemod.py"
+        mod.write_text(
+            "import itertools\n"
+            "_c = itertools.count()\n"
+            "LOAD = next(_c)\n"
+            "def f(packets, state):\n"
+            "    return list(packets)\n"
+            "def g(packets, state):\n"
+            "    return []\n"
+        )
+        reg = FilterRegistry()
+        reg.load_filter_func(str(mod), "f")
+        reg.load_filter_func(str(mod), "g")  # same module, not re-executed
+        from repro.filters.loader import load_module
+
+        assert load_module(str(mod)).LOAD == 0
+
+    def test_broken_module_raises(self, tmp_path):
+        mod = tmp_path / "broken.py"
+        mod.write_text("raise RuntimeError('boom')\n")
+        reg = FilterRegistry()
+        with pytest.raises(FilterError):
+            reg.load_filter_func(str(mod), "f")
+
+
+class TestFormatEnforcement:
+    def test_filter_with_format_rejects_mismatched_packet(self):
+        filt = make_filter(lambda ps, st: list(ps), "typed", fmt="%d")
+        with pytest.raises(FilterError):
+            filt([Packet(1, 0, "%lf", (1.0,))], FilterState())
+
+    def test_filter_without_format_accepts_anything(self):
+        filt = make_filter(lambda ps, st: list(ps), "untyped")
+        out = filt([Packet(1, 0, "%s", ("x",))], FilterState())
+        assert len(out) == 1

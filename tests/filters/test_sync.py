@@ -1,0 +1,147 @@
+"""Tests for synchronization filters (waves, timeouts, pass-through)."""
+
+import pytest
+
+from repro.core.packet import Packet
+from repro.filters.sync import DoNotWaitFilter, TimeOutFilter, WaitForAllFilter
+
+
+def pkt(value: int, origin: int = 0) -> Packet:
+    return Packet(1, 0, "%d", (value,), origin_rank=origin)
+
+
+class FakeClock:
+    """Deterministic, manually-advanced clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class TestWaitForAll:
+    def test_holds_until_all_children_report(self):
+        f = WaitForAllFilter(["a", "b", "c"])
+        assert f.push("a", pkt(1)) == []
+        assert f.push("b", pkt(2)) == []
+        waves = f.push("c", pkt(3))
+        assert len(waves) == 1
+        assert sorted(p.values[0] for p in waves[0]) == [1, 2, 3]
+        assert f.pending == 0
+
+    def test_fifo_within_child(self):
+        f = WaitForAllFilter(["a", "b"])
+        f.push("a", pkt(1))
+        f.push("a", pkt(2))
+        w1 = f.push("b", pkt(10))
+        w2 = f.push("b", pkt(20))
+        assert [p.values[0] for p in w1[0]] == [1, 10]
+        assert [p.values[0] for p in w2[0]] == [2, 20]
+
+    def test_multiple_waves_released_at_once(self):
+        f = WaitForAllFilter(["a", "b"])
+        f.push("a", pkt(1))
+        f.push("a", pkt(2))
+        f.push("b", pkt(10))
+        waves = f.push("b", pkt(20))
+        # Second 'b' completes only the second wave; first was already out.
+        assert len(waves) == 1
+
+    def test_unknown_child_rejected(self):
+        f = WaitForAllFilter(["a"])
+        with pytest.raises(KeyError):
+            f.push("zz", pkt(1))
+
+    def test_add_child_mid_stream(self):
+        f = WaitForAllFilter(["a"])
+        f.add_child("b")
+        assert f.push("a", pkt(1)) == []
+        assert len(f.push("b", pkt(2))) == 1
+
+    def test_remove_child_returns_backlog(self):
+        f = WaitForAllFilter(["a", "b"])
+        f.push("a", pkt(1))
+        backlog = f.remove_child("a")
+        assert [p.values[0] for p in backlog] == [1]
+        # Remaining child can now complete waves alone.
+        assert len(f.push("b", pkt(2))) == 1
+
+    def test_flush_releases_everything(self):
+        f = WaitForAllFilter(["a", "b", "c"])
+        f.push("a", pkt(1))
+        f.push("a", pkt(2))
+        f.push("b", pkt(3))
+        waves = f.flush()
+        total = sum(len(w) for w in waves)
+        assert total == 3
+        assert f.pending == 0
+
+    def test_no_children_never_fires(self):
+        f = WaitForAllFilter([])
+        assert f.poll() == []
+
+
+class TestTimeOut:
+    def test_full_wave_before_timeout(self):
+        clock = FakeClock()
+        f = TimeOutFilter(["a", "b"], timeout=1.0, clock=clock)
+        f.push("a", pkt(1))
+        waves = f.push("b", pkt(2))
+        assert len(waves) == 1 and len(waves[0]) == 2
+
+    def test_partial_wave_after_timeout(self):
+        clock = FakeClock()
+        f = TimeOutFilter(["a", "b"], timeout=1.0, clock=clock)
+        f.push("a", pkt(1))
+        assert f.poll() == []
+        clock.advance(1.5)
+        waves = f.poll()
+        assert len(waves) == 1
+        assert [p.values[0] for p in waves[0]] == [1]
+
+    def test_timer_resets_after_release(self):
+        clock = FakeClock()
+        f = TimeOutFilter(["a", "b"], timeout=1.0, clock=clock)
+        f.push("a", pkt(1))
+        clock.advance(1.5)
+        assert len(f.poll()) == 1
+        # A new partial wave needs its own full timeout.
+        f.push("a", pkt(2))
+        clock.advance(0.5)
+        assert f.poll() == []
+        clock.advance(0.6)
+        assert len(f.poll()) == 1
+
+    def test_invalid_timeout(self):
+        with pytest.raises(ValueError):
+            TimeOutFilter(["a"], timeout=0)
+
+    def test_wave_then_pending_starts_new_timer(self):
+        clock = FakeClock()
+        f = TimeOutFilter(["a", "b"], timeout=1.0, clock=clock)
+        f.push("a", pkt(1))
+        f.push("a", pkt(2))  # second packet queued toward next wave
+        waves = f.push("b", pkt(3))
+        assert len(waves) == 1
+        clock.advance(1.1)
+        late = f.poll()
+        assert len(late) == 1
+        assert [p.values[0] for p in late[0]] == [2]
+
+
+class TestDoNotWait:
+    def test_immediate_passthrough(self):
+        f = DoNotWaitFilter(["a", "b"])
+        waves = f.push("a", pkt(1))
+        assert waves == [[pkt(1)]]
+        assert f.pending == 0
+
+    def test_each_packet_is_own_wave(self):
+        f = DoNotWaitFilter(["a"])
+        f._queues["a"].extend([pkt(1), pkt(2)])
+        waves = f.poll()
+        assert [w[0].values[0] for w in waves] == [1, 2]

@@ -1,0 +1,235 @@
+"""Tests for built-in transformation filters."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.packet import Packet
+from repro.filters.base import FilterError, FilterState
+from repro.filters.transform import (
+    avg_filter,
+    concat_filter,
+    max_filter,
+    min_filter,
+    sum_filter,
+    wavg_filter,
+)
+
+
+def ipkt(v, stream=1, tag=0, origin=0):
+    return Packet(stream, tag, "%d", (v,), origin_rank=origin)
+
+
+def fpkt(v):
+    return Packet(1, 0, "%lf", (v,))
+
+
+class TestReductions:
+    def test_sum(self):
+        out = sum_filter([ipkt(1), ipkt(2), ipkt(3)], FilterState())
+        assert len(out) == 1
+        assert out[0].values == (6,)
+        assert out[0].fmt.canonical == "%d"
+
+    def test_min_max(self):
+        wave = [ipkt(5), ipkt(-3), ipkt(9)]
+        assert min_filter(wave, FilterState())[0].values == (-3,)
+        assert max_filter(wave, FilterState())[0].values == (9,)
+
+    def test_float_sum(self):
+        out = sum_filter([fpkt(0.5), fpkt(1.25)], FilterState())
+        assert out[0].values == (1.75,)
+
+    def test_multi_field_reduces_fieldwise(self):
+        wave = [
+            Packet(1, 0, "%d %lf", (1, 10.0)),
+            Packet(1, 0, "%d %lf", (2, 20.0)),
+        ]
+        out = sum_filter(wave, FilterState())
+        assert out[0].values == (3, 30.0)
+
+    def test_array_fields_reduce_elementwise(self):
+        wave = [
+            Packet(1, 0, "%ad", ((1, 2, 3),)),
+            Packet(1, 0, "%ad", ((10, 20, 30),)),
+        ]
+        out = sum_filter(wave, FilterState())
+        assert out[0].values == ((11, 22, 33),)
+
+    def test_array_length_mismatch_rejected(self):
+        wave = [Packet(1, 0, "%ad", ((1,),)), Packet(1, 0, "%ad", ((1, 2),))]
+        with pytest.raises(FilterError):
+            sum_filter(wave, FilterState())
+
+    def test_mixed_formats_rejected(self):
+        with pytest.raises(FilterError):
+            sum_filter([ipkt(1), fpkt(1.0)], FilterState())
+
+    def test_string_fields_rejected(self):
+        wave = [Packet(1, 0, "%s", ("a",)), Packet(1, 0, "%s", ("b",))]
+        with pytest.raises(FilterError):
+            sum_filter(wave, FilterState())
+
+    def test_empty_wave(self):
+        assert sum_filter([], FilterState()) == []
+
+    def test_singleton_wave_identity(self):
+        out = sum_filter([ipkt(42)], FilterState())
+        assert out[0].values == (42,)
+
+    def test_output_keeps_stream_and_tag(self):
+        out = sum_filter([ipkt(5, stream=9, tag=77)], FilterState())
+        assert out[0].stream_id == 9 and out[0].tag == 77
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=20))
+    def test_sum_matches_python(self, values):
+        out = sum_filter([ipkt(v) for v in values], FilterState())
+        assert out[0].values == (sum(values),)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(-1000, 1000), min_size=2, max_size=20))
+    def test_tree_associativity(self, values):
+        """Reducing partials of a split equals reducing the whole wave.
+
+        This is the property that lets the same filter run at every
+        level of the MRNet tree.
+        """
+        mid = len(values) // 2
+        left = sum_filter([ipkt(v) for v in values[:mid]], FilterState())
+        right = sum_filter([ipkt(v) for v in values[mid:]], FilterState())
+        two_level = sum_filter(left + right, FilterState())
+        one_level = sum_filter([ipkt(v) for v in values], FilterState())
+        assert two_level[0].values == one_level[0].values
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(-1000, 1000), min_size=2, max_size=20))
+    def test_minmax_tree_associativity(self, values):
+        mid = len(values) // 2
+        for filt, ref in ((min_filter, min), (max_filter, max)):
+            left = filt([ipkt(v) for v in values[:mid]], FilterState())
+            right = filt([ipkt(v) for v in values[mid:]], FilterState())
+            two = filt(left + right, FilterState())
+            assert two[0].values == (ref(values),)
+
+
+class TestAverage:
+    def test_float_avg(self):
+        out = avg_filter([fpkt(1.0), fpkt(2.0), fpkt(6.0)], FilterState())
+        assert out[0].values == (3.0,)
+
+    def test_int_avg_floor_division(self):
+        out = avg_filter([ipkt(1), ipkt(2)], FilterState())
+        assert out[0].values == (1,)
+
+    def test_array_avg(self):
+        wave = [
+            Packet(1, 0, "%alf", ((2.0, 4.0),)),
+            Packet(1, 0, "%alf", ((4.0, 8.0),)),
+        ]
+        out = avg_filter(wave, FilterState())
+        assert out[0].values == ((3.0, 6.0),)
+
+    def test_avg_rejects_strings(self):
+        wave = [Packet(1, 0, "%s", ("a",))]
+        with pytest.raises(FilterError):
+            avg_filter(wave, FilterState())
+
+
+class TestWeightedAverage:
+    def wpkt(self, mean, count):
+        return Packet(1, 0, "%lf %ud", (mean, count))
+
+    def test_leaf_level(self):
+        out = wavg_filter([self.wpkt(2.0, 1), self.wpkt(4.0, 1)], FilterState())
+        assert out[0].values == (3.0, 2)
+
+    def test_weighted_combination(self):
+        out = wavg_filter([self.wpkt(1.0, 3), self.wpkt(5.0, 1)], FilterState())
+        assert out[0].values == (2.0, 4)
+
+    def test_zero_count(self):
+        out = wavg_filter([self.wpkt(0.0, 0)], FilterState())
+        assert out[0].values == (0.0, 0)
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(FilterError):
+            wavg_filter([fpkt(1.0)], FilterState())
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False), min_size=2, max_size=24
+        ),
+        st.integers(2, 5),
+    )
+    def test_exact_over_arbitrary_tree_split(self, values, nsplits):
+        """wavg over any partition equals the global mean (paper's reason
+        for carrying counts)."""
+        leaves = [self.wpkt(v, 1) for v in values]
+        # Uneven partition: chunk i gets i+1 leaves (roughly).
+        chunks, i = [], 0
+        size = 1
+        while i < len(leaves):
+            chunks.append(leaves[i : i + size])
+            i += size
+            size = (size % nsplits) + 1
+        partials = [
+            wavg_filter(chunk, FilterState())[0] for chunk in chunks if chunk
+        ]
+        out = wavg_filter(partials, FilterState())[0]
+        assert out.values[1] == len(values)
+        assert out.values[0] == pytest.approx(sum(values) / len(values), rel=1e-9)
+
+
+class TestConcat:
+    def test_scalars_to_vector(self):
+        """'inputs n scalars and outputs a vector of length n'."""
+        out = concat_filter([ipkt(1), ipkt(2), ipkt(3)], FilterState())
+        assert len(out) == 1
+        assert out[0].fmt.canonical == "%ad"
+        assert out[0].values == ((1, 2, 3),)
+
+    def test_flattens_arrays_at_upper_levels(self):
+        wave = [
+            Packet(1, 0, "%ad", ((1, 2),)),
+            Packet(1, 0, "%ad", ((3,),)),
+            ipkt(4),
+        ]
+        out = concat_filter(wave, FilterState())
+        assert out[0].values == ((1, 2, 3, 4),)
+
+    def test_string_concat(self):
+        wave = [Packet(1, 0, "%s", ("a",)), Packet(1, 0, "%s", ("b",))]
+        out = concat_filter(wave, FilterState())
+        assert out[0].fmt.canonical == "%as"
+        assert out[0].values == (("a", "b"),)
+
+    def test_mixed_base_types_rejected(self):
+        with pytest.raises(FilterError):
+            concat_filter([ipkt(1), fpkt(1.0)], FilterState())
+
+    def test_multi_field_rejected(self):
+        wave = [Packet(1, 0, "%d %d", (1, 2))]
+        with pytest.raises(FilterError):
+            concat_filter(wave, FilterState())
+
+    def test_empty_wave(self):
+        assert concat_filter([], FilterState()) == []
+
+    def test_order_preserved(self):
+        out = concat_filter([ipkt(i) for i in (5, 3, 9, 1)], FilterState())
+        assert out[0].values == ((5, 3, 9, 1),)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=30))
+    def test_concat_tree_flattening(self, values):
+        mid = len(values) // 2
+        state = FilterState()
+        parts = []
+        if values[:mid]:
+            parts += concat_filter([ipkt(v) for v in values[:mid]], state)
+        if values[mid:]:
+            parts += concat_filter([ipkt(v) for v in values[mid:]], state)
+        out = concat_filter(parts, FilterState())
+        assert out[0].values == (tuple(values),)

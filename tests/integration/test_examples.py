@@ -1,0 +1,45 @@
+"""Smoke tests: every shipped example runs green, end to end.
+
+Examples are the repository's public face; each one self-asserts its
+claims, so running them is a real (if coarse) integration test.  They
+execute in a temp directory so artifact-writing examples stay clean.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_example_inventory():
+    """The README promises these examples; renaming one should fail loudly."""
+    assert set(ALL_EXAMPLES) == {
+        "quickstart.py",
+        "perf_monitor.py",
+        "cluster_admin.py",
+        "clock_skew_demo.py",
+        "topology_explorer.py",
+        "stack_trace_merge.py",
+        "bottleneck_search.py",
+        "sim_playground.py",
+    }
+
+
+@pytest.mark.parametrize("script", ALL_EXAMPLES)
+def test_example_runs(script, tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        cwd=tmp_path,
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n--- stdout ---\n{result.stdout[-2000:]}"
+        f"\n--- stderr ---\n{result.stderr[-2000:]}"
+    )
+    assert "OK" in result.stdout

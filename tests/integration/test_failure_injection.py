@@ -1,0 +1,117 @@
+"""Failure-injection tests over the live runtime.
+
+The paper defers reliability to future work, but the implementation
+must at least degrade gracefully: a dying back-end closes its channel,
+its parent releases held packets, routes around the corpse, and the
+rest of the tool keeps working.
+"""
+
+import pytest
+
+from repro.core import Network, NetworkShutdown
+from repro.filters import TFILTER_CONCAT, TFILTER_SUM
+from repro.topology import balanced_tree, flat_topology
+
+RECV_TIMEOUT = 10.0
+
+
+def kill_backend(net, rank):
+    """Simulate a back-end process dying: its connection drops."""
+    net._slots[rank].parent_end.close()
+
+
+class TestBackendDeath:
+    def test_waiting_reduction_unblocks(self):
+        """A Wait-For-All reduction must not wedge when a contributor
+        dies: the survivors' partial aggregate reaches the front-end."""
+        net = Network(balanced_tree(2, 2))
+        try:
+            comm = net.get_broadcast_communicator()
+            stream = net.new_stream(comm, transform=TFILTER_SUM)
+            stream.send("%d", 0)
+            for rank in (0, 1, 2):
+                _, bstream = net.backends[rank].recv(timeout=RECV_TIMEOUT)
+                bstream.send("%d", 10)
+            net.backends[3].recv(timeout=RECV_TIMEOUT)
+            kill_backend(net, 3)
+            total = 0
+            while total < 30:
+                total += stream.recv(timeout=RECV_TIMEOUT).values[0]
+            assert total == 30
+        finally:
+            net.shutdown()
+
+    def test_subsequent_waves_work_without_the_dead(self):
+        net = Network(balanced_tree(2, 2))
+        try:
+            comm = net.get_broadcast_communicator()
+            stream = net.new_stream(comm, transform=TFILTER_SUM)
+            kill_backend(net, 0)
+            # Give the comm node a moment to process the closure, then run
+            # a full wave with the survivors.
+            stream.send("%d", 0)
+            for rank in (1, 2, 3):
+                got = net.backends[rank].recv(timeout=RECV_TIMEOUT)
+                assert got is not None
+                _, bstream = got
+                bstream.send("%d", rank)
+            total = 0
+            while total < 6:
+                total += stream.recv(timeout=RECV_TIMEOUT).values[0]
+            assert total == 6
+        finally:
+            net.shutdown()
+
+    def test_dead_backend_send_raises(self):
+        net = Network(flat_topology(3))
+        try:
+            comm = net.get_broadcast_communicator()
+            stream = net.new_stream(comm, transform=TFILTER_SUM)
+            stream.send("%d", 0)
+            _, bstream = net.backends[0].recv(timeout=RECV_TIMEOUT)
+            kill_backend(net, 0)
+            with pytest.raises(NetworkShutdown):
+                bstream.send("%d", 1)
+        finally:
+            net.shutdown()
+
+    def test_concat_skips_dead_contributor(self):
+        net = Network(balanced_tree(2, 2))
+        try:
+            comm = net.get_broadcast_communicator()
+            stream = net.new_stream(comm, transform=TFILTER_CONCAT)
+            kill_backend(net, 2)
+            stream.send("%d", 0)
+            for rank in (0, 1, 3):
+                _, bstream = net.backends[rank].recv(timeout=RECV_TIMEOUT)
+                bstream.send("%ud", rank)
+            collected = []
+            while len(collected) < 3:
+                (chunk,) = stream.recv(timeout=RECV_TIMEOUT).unpack()
+                collected.extend(chunk)
+            assert sorted(collected) == [0, 1, 3]
+        finally:
+            net.shutdown()
+
+
+class TestWholeSubtreeDeath:
+    def test_internal_node_parent_closure_cascades(self):
+        """Killing an internal process's parent link shuts its subtree."""
+        net = Network(balanced_tree(2, 2))
+        try:
+            victim = net._commnodes[0]
+            # The front-end's side of the victim's uplink dies.
+            net._core.children[victim.core.parent_link_id].close()
+            victim.join(timeout=5)
+            assert not victim.is_alive()
+            # Its two back-ends observe shutdown; the others stay alive.
+            dead_ranks = set()
+            for rank in sorted(net.backends):
+                try:
+                    if net.backends[rank].recv(timeout=0.5) is None:
+                        dead_ranks.add(rank)
+                except TimeoutError:
+                    pass  # healthy back-end with nothing to receive
+            assert len(dead_ranks) == 2
+        finally:
+            net.shutdown()

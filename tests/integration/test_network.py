@@ -1,0 +1,410 @@
+"""End-to-end tests of the threaded MRNet runtime.
+
+These exercise the full stack: Network → comm-node threads → channels
+→ back-ends, through the packet codec on every hop.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.core import Network, NetworkError, StreamClosed
+from repro.filters import (
+    SFILTER_DONTWAIT,
+    SFILTER_TIMEOUT,
+    TFILTER_AVG,
+    TFILTER_CONCAT,
+    TFILTER_MAX,
+    TFILTER_MIN,
+    TFILTER_NULL,
+    TFILTER_SUM,
+    TFILTER_WAVG,
+)
+from repro.topology import balanced_tree, balanced_tree_for, flat_topology, unbalanced_fig4
+
+RECV_TIMEOUT = 10.0
+
+
+def drive_backends(net, reply=None, expect_tag=None):
+    """Have every back-end receive one packet and optionally reply.
+
+    ``reply(rank, packet) -> (fmt, values)`` builds the response.
+    """
+    for rank in sorted(net.backends):
+        be = net.backends[rank]
+        got = be.recv(timeout=RECV_TIMEOUT)
+        assert got is not None, f"rank {rank} saw shutdown"
+        packet, stream = got
+        if expect_tag is not None:
+            assert packet.tag == expect_tag
+        if reply is not None:
+            fmt, values = reply(rank, packet)
+            stream.send(fmt, *values)
+
+
+@pytest.fixture(params=["flat", "tree4", "deep2", "unbalanced"])
+def net(request):
+    topo = {
+        "flat": lambda: flat_topology(8),
+        "tree4": lambda: balanced_tree(4, 2),
+        "deep2": lambda: balanced_tree(2, 3),
+        "unbalanced": lambda: unbalanced_fig4(),
+    }[request.param]()
+    network = Network(topo)
+    yield network
+    network.shutdown()
+
+
+class TestBroadcastReduce:
+    def test_fmax_example(self, net):
+        """Figure 2's float-maximum tool, verbatim flow."""
+        comm = net.get_broadcast_communicator()
+        stream = net.new_stream(comm, transform=TFILTER_MAX)
+        stream.send("%d", 17)
+        drive_backends(net, reply=lambda r, p: ("%lf", (float(r) * 1.5,)))
+        result = stream.recv(timeout=RECV_TIMEOUT)
+        n = len(net.backends)
+        assert result.values == ((n - 1) * 1.5,)
+
+    def test_sum(self, net):
+        comm = net.get_broadcast_communicator()
+        stream = net.new_stream(comm, transform=TFILTER_SUM)
+        stream.send("%d", 0)
+        drive_backends(net, reply=lambda r, p: ("%d", (r,)))
+        n = len(net.backends)
+        assert stream.recv_values(timeout=RECV_TIMEOUT) == (n * (n - 1) // 2,)
+
+    def test_min(self, net):
+        comm = net.get_broadcast_communicator()
+        stream = net.new_stream(comm, transform=TFILTER_MIN)
+        stream.send("%d", 0)
+        drive_backends(net, reply=lambda r, p: ("%d", (100 - r,)))
+        n = len(net.backends)
+        assert stream.recv_values(timeout=RECV_TIMEOUT) == (100 - (n - 1),)
+
+    def test_concat_rank_order(self, net):
+        comm = net.get_broadcast_communicator()
+        stream = net.new_stream(comm, transform=TFILTER_CONCAT)
+        stream.send("%d", 0)
+        drive_backends(net, reply=lambda r, p: ("%ud", (r,)))
+        (ranks,) = stream.recv_values(timeout=RECV_TIMEOUT)
+        assert ranks == tuple(range(len(net.backends)))
+
+    def test_weighted_average_exact(self, net):
+        comm = net.get_broadcast_communicator()
+        stream = net.new_stream(comm, transform=TFILTER_WAVG)
+        stream.send("%d", 0)
+        drive_backends(net, reply=lambda r, p: ("%lf %ud", (float(r), 1)))
+        mean, count = stream.recv_values(timeout=RECV_TIMEOUT)
+        n = len(net.backends)
+        assert count == n
+        assert mean == pytest.approx((n - 1) / 2)
+
+    def test_broadcast_payload_reaches_all(self, net):
+        comm = net.get_broadcast_communicator()
+        stream = net.new_stream(comm, transform=TFILTER_NULL, sync=SFILTER_DONTWAIT)
+        stream.send("%d %s %alf", 7, "config", (1.0, 2.0), tag=321)
+        seen = []
+        for rank in sorted(net.backends):
+            packet, _ = net.backends[rank].recv(timeout=RECV_TIMEOUT)
+            assert packet.tag == 321
+            assert packet.values == (7, "config", (1.0, 2.0))
+            seen.append(rank)
+        assert seen == sorted(net.backends)
+
+
+class TestMultipleStreams:
+    def test_concurrent_streams_demultiplexed(self, net):
+        """Two simultaneous reductions on the same components (§2.1)."""
+        comm = net.get_broadcast_communicator()
+        s_sum = net.new_stream(comm, transform=TFILTER_SUM)
+        s_max = net.new_stream(comm, transform=TFILTER_MAX)
+        s_sum.send("%d", 0, tag=201)
+        s_max.send("%d", 0, tag=202)
+        for rank in sorted(net.backends):
+            be = net.backends[rank]
+            for _ in range(2):
+                packet, stream = be.recv(timeout=RECV_TIMEOUT)
+                if packet.tag == 201:
+                    stream.send("%d", rank)
+                else:
+                    stream.send("%d", 1000 + rank)
+        n = len(net.backends)
+        assert s_sum.recv_values(timeout=RECV_TIMEOUT) == (n * (n - 1) // 2,)
+        assert s_max.recv_values(timeout=RECV_TIMEOUT) == (1000 + n - 1,)
+
+    def test_interleaved_waves_on_one_stream(self, net):
+        comm = net.get_broadcast_communicator()
+        stream = net.new_stream(comm, transform=TFILTER_SUM)
+        rounds = 3
+        for _ in range(rounds):
+            stream.send("%d", 0)
+        for rank in sorted(net.backends):
+            be = net.backends[rank]
+            for i in range(rounds):
+                _, bstream = be.recv(timeout=RECV_TIMEOUT)
+                bstream.send("%d", i)
+        results = [stream.recv_values(timeout=RECV_TIMEOUT) for _ in range(rounds)]
+        n = len(net.backends)
+        assert results == [(0,), (n,), (2 * n,)]
+
+    def test_stream_anonymous_frontend_recv(self, net):
+        comm = net.get_broadcast_communicator()
+        s1 = net.new_stream(comm, transform=TFILTER_SUM)
+        s1.send("%d", 0)
+        drive_backends(net, reply=lambda r, p: ("%d", (1,)))
+        packet, stream = net.recv(timeout=RECV_TIMEOUT)
+        assert stream.stream_id == s1.stream_id
+        assert packet.values == (len(net.backends),)
+
+
+class TestSubsetCommunicators:
+    def test_multicast_to_subset(self):
+        net = Network(balanced_tree(4, 2))
+        try:
+            all_comm = net.get_broadcast_communicator()
+            subset = all_comm.subset([1, 5, 9])
+            stream = net.new_stream(subset, transform=TFILTER_SUM)
+            stream.send("%d", 0)
+            # Only the subset receives.
+            for rank in (1, 5, 9):
+                packet, bstream = net.backends[rank].recv(timeout=RECV_TIMEOUT)
+                bstream.send("%d", rank)
+            for rank in (0, 2, 3, 15):
+                assert net.backends[rank].poll() is None
+            assert stream.recv_values(timeout=RECV_TIMEOUT) == (15,)
+        finally:
+            net.shutdown()
+
+    def test_single_endpoint_point_to_point(self):
+        net = Network(balanced_tree(2, 3))
+        try:
+            comm = net.new_communicator([5])
+            stream = net.new_stream(comm, transform=TFILTER_NULL,
+                                    sync=SFILTER_DONTWAIT)
+            stream.send("%s", "just you", tag=400)
+            packet, bstream = net.backends[5].recv(timeout=RECV_TIMEOUT)
+            assert packet.values == ("just you",)
+            bstream.send("%s", "ack")
+            assert stream.recv_values(timeout=RECV_TIMEOUT) == ("ack",)
+        finally:
+            net.shutdown()
+
+    def test_unknown_rank_rejected(self):
+        net = Network(flat_topology(4))
+        try:
+            with pytest.raises(ValueError):
+                net.new_communicator([99])
+            comm = net.get_broadcast_communicator()
+            with pytest.raises(ValueError):
+                comm.subset([99])
+        finally:
+            net.shutdown()
+
+
+class TestTimeoutSync:
+    def test_partial_wave_released(self):
+        net = Network(balanced_tree(2, 2))
+        try:
+            comm = net.get_broadcast_communicator()
+            stream = net.new_stream(
+                comm, transform=TFILTER_SUM, sync=SFILTER_TIMEOUT, sync_timeout=0.05
+            )
+            stream.send("%d", 0)
+            # Only half the back-ends answer.
+            for rank in (0, 1):
+                packet, bstream = net.backends[rank].recv(timeout=RECV_TIMEOUT)
+                bstream.send("%d", 10 + rank)
+            # Drain the rest so their packets are not pending.
+            for rank in (2, 3):
+                net.backends[rank].recv(timeout=RECV_TIMEOUT)
+            total = 0
+            deadline_packets = []
+            while total < 21:
+                p = stream.recv(timeout=RECV_TIMEOUT)
+                deadline_packets.append(p)
+                total += p.values[0]
+            assert total == 21
+        finally:
+            net.shutdown()
+
+
+class TestCustomFilters:
+    def test_network_wide_loaded_filter(self, tmp_path):
+        mod = tmp_path / "squares.py"
+        mod.write_text(
+            textwrap.dedent(
+                """
+                def sum_of_squares(packets, state):
+                    total = sum(p.values[0] ** 2 for p in packets)
+                    return [packets[0].replace(values=(total,))]
+                """
+            )
+        )
+        net = Network(balanced_tree(2, 2))
+        try:
+            fid = net.load_filter_func(str(mod), "sum_of_squares")
+            comm = net.get_broadcast_communicator()
+            stream = net.new_stream(comm, transform=fid)
+            stream.send("%d", 0)
+            drive_backends(net, reply=lambda r, p: ("%d", (r + 1,)))
+            # (1²+2²)² + (3²+4²)² summed at root... the filter squares at
+            # every level, so compute the two-level expectation explicitly.
+            level1 = [(1**2 + 2**2), (3**2 + 4**2)]
+            expected = sum(v**2 for v in level1)
+            assert stream.recv_values(timeout=RECV_TIMEOUT) == (expected,)
+        finally:
+            net.shutdown()
+
+    def test_downstream_transform(self, tmp_path):
+        mod = tmp_path / "downf.py"
+        mod.write_text(
+            textwrap.dedent(
+                """
+                def increment(packets, state):
+                    return [p.replace(values=(p.values[0] + 1,)) for p in packets]
+                """
+            )
+        )
+        net = Network(balanced_tree(2, 2))
+        try:
+            fid = net.load_filter_func(str(mod), "increment")
+            comm = net.get_broadcast_communicator()
+            stream = net.new_stream(
+                comm, transform=TFILTER_NULL, sync=SFILTER_DONTWAIT,
+                down_transform=fid,
+            )
+            stream.send("%d", 0)
+            # Depth 2: incremented once per internal level (front-end does
+            # not apply downstream filters to its own sends; internal
+            # processes do).
+            for rank in sorted(net.backends):
+                packet, _ = net.backends[rank].recv(timeout=RECV_TIMEOUT)
+                assert packet.values == (2,)
+        finally:
+            net.shutdown()
+
+
+class TestLifecycle:
+    def test_mode2_attach_backends(self):
+        net = Network(balanced_tree(2, 2), auto_backends=False)
+        try:
+            assert not net.ready
+            backends = [net.attach_backend(rank) for rank in range(4)]
+            net.wait_for_ready(timeout=10)
+            assert net.ready
+            comm = net.get_broadcast_communicator()
+            stream = net.new_stream(comm, transform=TFILTER_SUM)
+            stream.send("%d", 0)
+            for be in backends:
+                _, bstream = be.recv(timeout=RECV_TIMEOUT)
+                bstream.send("%d", 2)
+            assert stream.recv_values(timeout=RECV_TIMEOUT) == (8,)
+        finally:
+            net.shutdown()
+
+    def test_mode2_double_attach_rejected(self):
+        net = Network(flat_topology(2), auto_backends=False)
+        try:
+            net.attach_backend(0)
+            with pytest.raises(NetworkError):
+                net.attach_backend(0)
+            with pytest.raises(NetworkError):
+                net.attach_backend(99)
+        finally:
+            net.shutdown()
+
+    def test_broadcast_before_ready_rejected(self):
+        net = Network(flat_topology(2), auto_backends=False)
+        try:
+            with pytest.raises(NetworkError):
+                net.get_broadcast_communicator()
+        finally:
+            net.shutdown()
+
+    def test_stream_close_propagates(self):
+        net = Network(balanced_tree(2, 2))
+        try:
+            comm = net.get_broadcast_communicator()
+            stream = net.new_stream(comm, transform=TFILTER_SUM)
+            stream.close()
+            with pytest.raises(StreamClosed):
+                stream.send("%d", 1)
+            # Back-ends eventually observe the closure.
+            for rank in sorted(net.backends):
+                be = net.backends[rank]
+                be.poll()
+                assert stream.stream_id not in be.stream_ids
+        finally:
+            net.shutdown()
+
+    def test_shutdown_reaches_backends(self):
+        net = Network(balanced_tree(2, 2))
+        net.shutdown()
+        for be in net.backends.values():
+            assert be.recv(timeout=RECV_TIMEOUT) is None
+            assert be.shut_down
+
+    def test_context_manager(self):
+        with Network(flat_topology(2)) as net:
+            assert net.ready
+        assert net.is_down
+
+    def test_api_after_shutdown_raises(self):
+        net = Network(flat_topology(2))
+        net.shutdown()
+        with pytest.raises(NetworkError):
+            net.get_broadcast_communicator()
+
+    def test_shutdown_idempotent(self):
+        net = Network(flat_topology(2))
+        net.shutdown()
+        net.shutdown()
+
+    def test_invalid_filter_ids_rejected(self):
+        with Network(flat_topology(2)) as net:
+            comm = net.get_broadcast_communicator()
+            with pytest.raises(NetworkError):
+                net.new_stream(comm, transform=424242)
+            with pytest.raises(NetworkError):
+                net.new_stream(comm, sync=424242)
+            with pytest.raises(NetworkError):
+                net.new_stream(comm, down_transform=424242)
+
+    def test_config_text_topology(self):
+        text = "fe:0 => be0:0 be1:0 ;"
+        with Network(text) as net:
+            assert len(net.backends) == 2
+
+    def test_config_file_topology(self, tmp_path):
+        from repro.topology import serialize_config, write_config_file
+
+        path = tmp_path / "topo.cfg"
+        write_config_file(balanced_tree(2, 2), path, header="test")
+        with Network(str(path)) as net:
+            assert len(net.backends) == 4
+
+
+class TestScaleModest:
+    def test_64_backends_8way(self):
+        net = Network(balanced_tree_for(8, 64))
+        try:
+            comm = net.get_broadcast_communicator()
+            stream = net.new_stream(comm, transform=TFILTER_SUM)
+            stream.send("%d", 0)
+            drive_backends(net, reply=lambda r, p: ("%d", (1,)))
+            assert stream.recv_values(timeout=RECV_TIMEOUT) == (64,)
+        finally:
+            net.shutdown()
+
+    def test_avg_balanced_tree_exact(self):
+        # Balanced fan-in ⇒ plain avg is exact.
+        net = Network(balanced_tree(4, 2))
+        try:
+            comm = net.get_broadcast_communicator()
+            stream = net.new_stream(comm, transform=TFILTER_AVG)
+            stream.send("%d", 0)
+            drive_backends(net, reply=lambda r, p: ("%lf", (10.0,)))
+            assert stream.recv_values(timeout=RECV_TIMEOUT) == (10.0,)
+        finally:
+            net.shutdown()

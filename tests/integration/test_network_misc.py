@@ -1,0 +1,123 @@
+"""Network-layer edge cases: multiple instances, diagnostics, misuse."""
+
+import pytest
+
+from repro.core import Network, NetworkError, StreamClosed
+from repro.filters import SFILTER_DONTWAIT, TFILTER_NULL, TFILTER_SUM
+from repro.topology import balanced_tree, flat_topology
+
+RECV_TIMEOUT = 10.0
+
+
+class TestMultipleNetworks:
+    def test_two_instances_are_isolated(self):
+        """'each tool has its own MRNet network instantiation' (§2.1)."""
+        net_a = Network(flat_topology(2))
+        net_b = Network(flat_topology(3))
+        try:
+            comm_a = net_a.get_broadcast_communicator()
+            comm_b = net_b.get_broadcast_communicator()
+            assert len(comm_a) == 2 and len(comm_b) == 3
+            # Communicators are bound to their network.
+            with pytest.raises(NetworkError):
+                net_a.new_stream(comm_b, transform=TFILTER_SUM)
+            # Traffic in A is invisible in B.
+            sa = net_a.new_stream(comm_a, transform=TFILTER_SUM)
+            sa.send("%d", 1)
+            for rank in net_a.backends:
+                _, bs = net_a.backends[rank].recv(timeout=RECV_TIMEOUT)
+                bs.send("%d", 1)
+            assert sa.recv_values(timeout=RECV_TIMEOUT) == (2,)
+            for be in net_b.backends.values():
+                assert be.poll() is None
+        finally:
+            net_a.shutdown()
+            net_b.shutdown()
+
+    def test_stream_ids_independent_per_network(self):
+        with Network(flat_topology(2)) as a, Network(flat_topology(2)) as b:
+            sa = a.new_stream(a.get_broadcast_communicator())
+            sb = b.new_stream(b.get_broadcast_communicator())
+            assert sa.stream_id == sb.stream_id  # both start at 1
+
+
+class TestDiagnostics:
+    def test_unexpected_packets_drained(self):
+        with Network(flat_topology(2)) as net:
+            comm = net.get_broadcast_communicator()
+            stream = net.new_stream(comm, sync=SFILTER_DONTWAIT)
+            stream.send("%d", 0, tag=500)
+            # Back-end replies on a stream id the front-end never made.
+            _, bstream = net.backends[0].recv(timeout=RECV_TIMEOUT)
+            from repro.core.packet import Packet
+
+            rogue = Packet(777, 123, "%s", ("lost",), origin_rank=0)
+            net.backends[0]._send_upstream(rogue)
+            import time
+
+            deadline = time.monotonic() + RECV_TIMEOUT
+            found = []
+            while not found and time.monotonic() < deadline:
+                net.flush()
+                found = net.unexpected_packets()
+            assert found and found[0].stream_id == 777
+
+    def test_repr_states(self):
+        net = Network(flat_topology(2))
+        assert "ready" in repr(net)
+        net.shutdown()
+        assert "down" in repr(net)
+
+    def test_num_internal_nodes(self):
+        with Network(balanced_tree(2, 2)) as net:
+            assert net.num_internal_nodes == 2
+        with Network(flat_topology(4)) as net:
+            assert net.num_internal_nodes == 0
+
+
+class TestMisuse:
+    def test_recv_on_closed_stream_still_drains(self):
+        """Closing a stream flushes partials; the queue stays readable."""
+        with Network(flat_topology(2)) as net:
+            comm = net.get_broadcast_communicator()
+            stream = net.new_stream(comm, transform=TFILTER_SUM)
+            stream.send("%d", 0)
+            for rank in net.backends:
+                _, bs = net.backends[rank].recv(timeout=RECV_TIMEOUT)
+                bs.send("%d", 5)
+            result = stream.recv(timeout=RECV_TIMEOUT)
+            assert result.values == (10,)
+            stream.close()
+            with pytest.raises(StreamClosed):
+                stream.send("%d", 1)
+            assert stream.try_recv() is None
+
+    def test_send_packet_stream_mismatch(self):
+        from repro.core.packet import Packet
+
+        with Network(flat_topology(2)) as net:
+            comm = net.get_broadcast_communicator()
+            stream = net.new_stream(comm, transform=TFILTER_NULL)
+            with pytest.raises(ValueError):
+                stream.send_packet(Packet(999, 0, "%d", (1,)))
+
+    def test_backend_send_before_connect(self):
+        from repro.core import NetworkShutdown
+
+        net = Network(flat_topology(2), auto_backends=False)
+        try:
+            slot = net._slots[0]
+            from repro.core.backend import BackEnd
+
+            be = BackEnd(0, slot.label, slot.parent_end, slot.inbox)
+            from repro.core.packet import Packet
+
+            with pytest.raises(NetworkShutdown):
+                be._send_upstream(Packet(1, 0, "%d", (1,)))
+        finally:
+            net.shutdown()
+
+    def test_context_exit_after_manual_shutdown(self):
+        with Network(flat_topology(2)) as net:
+            net.shutdown()
+        assert net.is_down

@@ -1,0 +1,158 @@
+"""Integration tests: the full Paradyn tool over the live MRNet runtime.
+
+This is the paper's §3 exercised end to end — start-up protocol with
+concatenation and equivalence-class streams, representative requests,
+and distributed time-aligned performance data aggregation — all over
+real comm-node threads and the packet codec.
+"""
+
+import pytest
+
+from repro.core import Network
+from repro.paradyn import (
+    ParadynDaemon,
+    ParadynFrontEnd,
+    default_metrics,
+    synthetic_executable,
+)
+from repro.topology import balanced_tree, flat_topology
+
+
+def build_tool(topo, exe_for_rank=None, n_functions=40, offsets=None):
+    net = Network(topo)
+    default_exe = synthetic_executable(n_functions=n_functions)
+    daemons = []
+    for rank in sorted(net.backends):
+        exe = exe_for_rank(rank) if exe_for_rank else default_exe
+        offset = offsets[rank] if offsets else 0.0
+        daemons.append(
+            ParadynDaemon(net.backends[rank], exe, clock_offset=offset)
+        )
+    return net, ParadynFrontEnd(net), daemons
+
+
+class TestStartupProtocol:
+    def test_full_startup_homogeneous(self):
+        net, fe, daemons = build_tool(balanced_tree(2, 2))
+        try:
+            report = fe.run_startup(daemons, default_metrics(6))
+            assert len(report.daemons) == 4
+            assert report.done_count == 4
+            # Homogeneous executables collapse to one equivalence class,
+            # as on Blue Pacific (§3.1).
+            assert report.code_classes.num_classes == 1
+            assert report.callgraph_classes.num_classes == 1
+            assert report.metric_classes.num_classes == 1
+            # Full code data came from exactly one representative.
+            assert len(report.code_resources) == 1
+            (functions,) = report.code_resources.values()
+            assert len(functions) == 40
+            # Machine resources concatenated from every daemon.
+            assert len(report.machine_resources) == 4 * 3
+            assert len(report.metric_names) == 6
+        finally:
+            net.shutdown()
+
+    def test_heterogeneous_executables_make_two_classes(self):
+        exe_a = synthetic_executable(n_functions=40, variant=0)
+        exe_b = synthetic_executable(n_functions=40, variant=1)
+        net, fe, daemons = build_tool(
+            balanced_tree(2, 2),
+            exe_for_rank=lambda r: exe_a if r < 2 else exe_b,
+        )
+        try:
+            report = fe.run_startup(daemons, default_metrics(4))
+            assert report.code_classes.num_classes == 2
+            assert len(report.code_resources) == 2
+            members = sorted(
+                tuple(m) for m in report.code_classes.classes.values()
+            )
+            assert members == [(0, 1), (2, 3)]
+        finally:
+            net.shutdown()
+
+    def test_clock_skews_collected(self):
+        offsets = {0: 0.0, 1: 0.001, 2: -0.002, 3: 0.0035}
+        net, fe, daemons = build_tool(balanced_tree(2, 2), offsets=offsets)
+        try:
+            fe.find_clock_skew(daemons)
+            assert fe.report.clock_skews == pytest.approx(offsets)
+        finally:
+            net.shutdown()
+
+    def test_flat_topology_also_works(self):
+        """The protocol is topology-independent."""
+        net, fe, daemons = build_tool(flat_topology(5))
+        try:
+            report = fe.run_startup(daemons, default_metrics(3))
+            assert report.done_count == 5
+            assert report.code_classes.num_classes == 1
+        finally:
+            net.shutdown()
+
+    def test_daemon_rejects_unknown_tag(self):
+        net, fe, daemons = build_tool(flat_topology(2))
+        try:
+            comm = net.get_broadcast_communicator()
+            stream = net.new_stream(comm)
+            stream.send("%d", 0, tag=9999)
+            with pytest.raises(ValueError):
+                while True:
+                    for d in daemons:
+                        d.service()
+        finally:
+            net.shutdown()
+
+
+class TestMonitoringPhase:
+    def test_distributed_time_aligned_aggregation(self):
+        """§3.2 end-to-end: daemon samples with skewed clocks aggregate
+        into exact global samples through the tree of filters."""
+        offsets = {r: 0.01 * r for r in range(4)}
+        net, fe, daemons = build_tool(balanced_tree(2, 2), offsets=offsets)
+        try:
+            fe.run_startup(daemons, default_metrics(2))
+            fe.enable_metric(daemons, "cpu_time", interval=0.5)
+            # Each daemon reports rate-1.0 CPU over [0, 2) of *true* time
+            # in four 0.5 s samples; emit_sample applies the daemon's
+            # clock offset to the timestamps.
+            for d in daemons:
+                for k in range(4):
+                    d.emit_sample(
+                        "cpu_time",
+                        0.5,
+                        k * 0.5 - d.clock_offset,
+                        (k + 1) * 0.5 - d.clock_offset,
+                    )
+            samples = fe.collect_samples("cpu_time", 3)
+            for i, s in enumerate(samples):
+                assert s.start == pytest.approx(i * 0.5)
+                assert s.end == pytest.approx((i + 1) * 0.5)
+                assert s.value == pytest.approx(4 * 0.5)
+        finally:
+            net.shutdown()
+
+    def test_multiple_metrics_simultaneously(self):
+        """'multiple operations can be active simultaneously' (§1)."""
+        net, fe, daemons = build_tool(balanced_tree(2, 2))
+        try:
+            fe.run_startup(daemons, default_metrics(2))
+            fe.enable_metric(daemons, "cpu_time", interval=1.0, op="sum")
+            fe.enable_metric(daemons, "cpu_utilization", interval=1.0, op="avg")
+            for d in daemons:
+                d.emit_sample("cpu_time", 2.0, 0.0, 1.0)
+                d.emit_sample("cpu_utilization", 0.5, 0.0, 1.0)
+            (total,) = fe.collect_samples("cpu_time", 1)
+            (util,) = fe.collect_samples("cpu_utilization", 1)
+            assert total.value == pytest.approx(8.0)
+            assert util.value == pytest.approx(0.5)
+        finally:
+            net.shutdown()
+
+    def test_emit_before_enable_raises(self):
+        net, fe, daemons = build_tool(flat_topology(2))
+        try:
+            with pytest.raises(KeyError):
+                daemons[0].emit_sample("cpu_time", 1.0, 0.0, 1.0)
+        finally:
+            net.shutdown()

@@ -1,0 +1,100 @@
+"""Property-based end-to-end tests: random workloads through live trees.
+
+Hypothesis drives topology shape, filter choice, and back-end values;
+the assertions are the algebraic ground truths (sum/min/max/concat over
+whatever the back-ends sent).  Kept to few examples per property —
+every example boots a real threaded network.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Network
+from repro.filters import (
+    TFILTER_CONCAT,
+    TFILTER_MAX,
+    TFILTER_MIN,
+    TFILTER_SUM,
+    TFILTER_WAVG,
+)
+from repro.topology import balanced_tree_for, flat_topology
+
+RECV_TIMEOUT = 15.0
+
+_slow = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def run_reduction(topology, transform, fmt, values, combine):
+    with Network(topology) as net:
+        comm = net.get_broadcast_communicator()
+        stream = net.new_stream(comm, transform=transform)
+        stream.send("%d", 0)
+        for rank in sorted(net.backends):
+            _, bstream = net.backends[rank].recv(timeout=RECV_TIMEOUT)
+            bstream.send(fmt, values[rank])
+        result = stream.recv(timeout=RECV_TIMEOUT)
+    return result
+
+
+class TestReductionProperties:
+    @_slow
+    @given(
+        fanout=st.integers(2, 5),
+        values=st.lists(
+            st.integers(-(10**6), 10**6), min_size=2, max_size=24
+        ),
+    )
+    def test_sum_over_any_tree(self, fanout, values):
+        topo = balanced_tree_for(fanout, len(values))
+        result = run_reduction(topo, TFILTER_SUM, "%d", values, sum)
+        assert result.values == (sum(values),)
+
+    @_slow
+    @given(
+        values=st.lists(
+            st.integers(-(10**6), 10**6), min_size=2, max_size=20
+        )
+    )
+    def test_minmax_over_flat_and_tree(self, values):
+        for topo in (flat_topology(len(values)), balanced_tree_for(3, len(values))):
+            assert run_reduction(topo, TFILTER_MIN, "%d", values, min).values == (
+                min(values),
+            )
+        topo = balanced_tree_for(2, len(values))
+        assert run_reduction(topo, TFILTER_MAX, "%d", values, max).values == (
+            max(values),
+        )
+
+    @_slow
+    @given(
+        fanout=st.integers(2, 4),
+        values=st.lists(st.integers(0, 10**6), min_size=2, max_size=20),
+    )
+    def test_concat_preserves_rank_order(self, fanout, values):
+        topo = balanced_tree_for(fanout, len(values))
+        result = run_reduction(topo, TFILTER_CONCAT, "%ud", values, None)
+        assert result.values == (tuple(values),)
+
+    @_slow
+    @given(
+        fanout=st.integers(2, 4),
+        values=st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False), min_size=2, max_size=20
+        ),
+    )
+    def test_weighted_average_exact_over_any_tree(self, fanout, values):
+        with Network(balanced_tree_for(fanout, len(values))) as net:
+            comm = net.get_broadcast_communicator()
+            stream = net.new_stream(comm, transform=TFILTER_WAVG)
+            stream.send("%d", 0)
+            for rank in sorted(net.backends):
+                _, bstream = net.backends[rank].recv(timeout=RECV_TIMEOUT)
+                bstream.send("%lf %ud", values[rank], 1)
+            mean, count = stream.recv_values(timeout=RECV_TIMEOUT)
+        assert count == len(values)
+        assert mean == pytest.approx(sum(values) / len(values), rel=1e-9, abs=1e-9)

@@ -1,0 +1,99 @@
+"""Medium-scale live runs and library filters across process boundaries."""
+
+import pytest
+
+from repro.core import Network
+from repro.filters import TFILTER_SUM, TFILTER_WAVG
+from repro.filters.pathtree import PathTree
+from repro.topology import balanced_tree_for
+
+RECV_TIMEOUT = 30.0
+
+
+class TestMediumScaleLive:
+    def test_sum_over_256_backends(self):
+        """The live runtime at its intended laptop scale: a 256-leaf
+        8-way tree (289 processes' worth of slots, 37 comm-node
+        threads), one full reduction wave."""
+        net = Network(balanced_tree_for(8, 256))
+        try:
+            assert net.num_internal_nodes == 36  # 4 + 32 at two levels
+            comm = net.get_broadcast_communicator()
+            stream = net.new_stream(comm, transform=TFILTER_SUM)
+            stream.send("%d", 0)
+            for rank in sorted(net.backends):
+                _, bstream = net.backends[rank].recv(timeout=RECV_TIMEOUT)
+                bstream.send("%d", 1)
+            assert stream.recv_values(timeout=RECV_TIMEOUT) == (256,)
+        finally:
+            net.shutdown()
+
+    def test_wavg_over_100_backends_three_waves(self):
+        net = Network(balanced_tree_for(4, 100))
+        try:
+            comm = net.get_broadcast_communicator()
+            stream = net.new_stream(comm, transform=TFILTER_WAVG)
+            for _ in range(3):
+                stream.send("%d", 0)
+            for rank in sorted(net.backends):
+                be = net.backends[rank]
+                for _ in range(3):
+                    _, bstream = be.recv(timeout=RECV_TIMEOUT)
+                    bstream.send("%lf %ud", float(rank), 1)
+            for _ in range(3):
+                mean, count = stream.recv_values(timeout=RECV_TIMEOUT)
+                assert count == 100
+                assert mean == pytest.approx(49.5)
+        finally:
+            net.shutdown()
+
+
+class TestLibraryFiltersAcrossProcesses:
+    def test_eqclass_filter_over_process_transport(self):
+        import repro.paradyn.eqclass as eqmod
+        from repro.paradyn.eqclass import EquivalenceClasses
+
+        net = Network(
+            balanced_tree_for(2, 4),
+            transport="process",
+            filter_specs=[(eqmod.__file__, "eqclass_filter_func")],
+        )
+        try:
+            (fid,) = net.filter_ids
+            comm = net.get_broadcast_communicator()
+            stream = net.new_stream(comm, transform=fid)
+            stream.send("%d", 0)
+            for rank in sorted(net.backends):
+                _, bstream = net.backends[rank].recv(timeout=RECV_TIMEOUT)
+                checksum = 111 if rank < 2 else 222
+                bstream.send("%uld %ud", checksum, rank)
+            classes = EquivalenceClasses.from_packet(
+                stream.recv(timeout=RECV_TIMEOUT)
+            )
+            assert classes.classes == {111: (0, 1), 222: (2, 3)}
+        finally:
+            net.shutdown()
+
+    def test_pathtree_filter_over_process_transport(self):
+        import repro.filters.pathtree as ptmod
+
+        net = Network(
+            balanced_tree_for(2, 4),
+            transport="process",
+            filter_specs=[(ptmod.__file__, "pathtree_filter_func")],
+        )
+        try:
+            (fid,) = net.filter_ids
+            comm = net.get_broadcast_communicator()
+            stream = net.new_stream(comm, transform=fid)
+            stream.send("%d", 0)
+            for rank in sorted(net.backends):
+                _, bstream = net.backends[rank].recv(timeout=RECV_TIMEOUT)
+                bstream.send("%as", ("main", "work", f"phase{rank % 2}"))
+            tree = PathTree.from_arrays(
+                *stream.recv(timeout=RECV_TIMEOUT).unpack()
+            )
+            assert tree.num_processes == 4
+            assert (("main", "work", "phase0"), 2) in tree.paths()
+        finally:
+            net.shutdown()

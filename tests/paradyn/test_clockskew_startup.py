@@ -1,0 +1,147 @@
+"""Tests for clock-skew detection and the start-up latency model."""
+
+import numpy as np
+import pytest
+
+from repro.paradyn.clockskew import measure_local_skew, run_skew_experiment
+from repro.paradyn.startup import ACTIVITIES, simulate_startup
+from repro.sim.clocks import ClockSimParams, JitteredLink, SkewedClock
+from repro.topology import balanced_tree, balanced_tree_for
+
+
+class TestLocalSkewMeasurement:
+    def test_exact_in_noise_free_world(self):
+        """With symmetric, jitter-free links the estimate is exact."""
+        rng = np.random.default_rng(0)
+        link = JitteredLink(rng, base=100e-6, jitter=0.0, asymmetry=0.0)
+        parent, child = SkewedClock(0.002), SkewedClock(-0.003)
+        est = measure_local_skew(parent, child, link, trials=5)
+        assert est == pytest.approx(child.offset - parent.offset, abs=1e-12)
+
+    def test_asymmetry_bounds_error(self):
+        rng = np.random.default_rng(1)
+        base, asym = 100e-6, 0.5
+        link = JitteredLink(rng, base=base, jitter=0.0, asymmetry=asym)
+        parent, child = SkewedClock(0.0), SkewedClock(0.004)
+        est = measure_local_skew(parent, child, link, trials=3)
+        assert abs(est - 0.004) <= base * asym / 2 + 1e-12
+
+    def test_more_trials_no_worse_min_rtt(self):
+        rng = np.random.default_rng(2)
+        link = JitteredLink(rng, 100e-6, 200e-6, 0.0)
+        parent, child = SkewedClock(0.0), SkewedClock(0.005)
+        errs1 = abs(measure_local_skew(parent, child, link, 1) - 0.005)
+        errs50 = abs(measure_local_skew(parent, child, link, 50) - 0.005)
+        assert errs50 <= errs1 + 1e-4
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        link = JitteredLink(rng, 1e-4, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            measure_local_skew(SkewedClock(0), SkewedClock(0), link, trials=0)
+
+
+class TestSkewExperiment:
+    def test_paper_anchor_shape(self):
+        """§4.2.1 (64 daemons, 4-way/3-level): MRNet ≈ 10.5 % average
+        error vs ≈ 17.5 % for direct; MRNet wins."""
+        mrnet_means, direct_means = [], []
+        for seed in range(8):
+            res = run_skew_experiment(balanced_tree(4, 3), seed=seed)
+            mrnet_means.append(res.summary("mrnet")[0])
+            direct_means.append(res.summary("direct")[0])
+        m, d = np.mean(mrnet_means), np.mean(direct_means)
+        assert m < d, "tree-based scheme must beat direct communication"
+        assert 5 < m < 18
+        assert 10 < d < 26
+
+    def test_all_daemons_measured(self):
+        res = run_skew_experiment(balanced_tree(4, 3), seed=0)
+        assert len(res.true_skew) == 64
+        assert set(res.mrnet_skew) == set(res.direct_skew) == set(res.true_skew)
+
+    def test_noise_free_cumulative_sums_exact(self):
+        """Phase-2 induction recovers exact skews without jitter."""
+        params = ClockSimParams(
+            local_jitter=0.0, direct_jitter=0.0, asymmetry=0.0
+        )
+        res = run_skew_experiment(balanced_tree(2, 3), params=params, seed=3)
+        for rank, true in res.true_skew.items():
+            assert res.mrnet_skew[rank] == pytest.approx(true, abs=1e-12)
+            assert res.direct_skew[rank] == pytest.approx(true, abs=1e-12)
+
+    def test_deterministic_given_seed(self):
+        a = run_skew_experiment(balanced_tree(2, 2), seed=7)
+        b = run_skew_experiment(balanced_tree(2, 2), seed=7)
+        assert a.mrnet_skew == b.mrnet_skew
+        assert a.direct_skew == b.direct_skew
+
+
+class TestStartupModel:
+    def test_paper_512_anchors(self):
+        """≈ 70 s without MRNet, ≈ 20 s with 8-way (3.4× faster)."""
+        flat = simulate_startup(512).total
+        tree = simulate_startup(512, balanced_tree_for(8, 512)).total
+        assert 55 < flat < 85
+        assert 15 < tree < 28
+        assert 2.8 < flat / tree < 4.0
+
+    def test_benefit_grows_with_daemons(self):
+        """'the benefit of using MRNet increased as we increased the
+        number of tool daemons.'"""
+        ratios = []
+        for d in (16, 64, 256, 512):
+            flat = simulate_startup(d).total
+            tree = simulate_startup(d, balanced_tree_for(8, d)).total
+            ratios.append(flat / tree)
+        assert ratios == sorted(ratios)
+
+    def test_flat_superlinear(self):
+        t256 = simulate_startup(256).total
+        t512 = simulate_startup(512).total
+        assert t512 / t256 > 2.0  # grows faster than linearly
+
+    def test_mrnet_near_linear(self):
+        t256 = simulate_startup(256, balanced_tree_for(8, 256)).total
+        t512 = simulate_startup(512, balanced_tree_for(8, 512)).total
+        assert t512 / t256 < 2.0
+
+    def test_non_mrnet_activities_identical(self):
+        """'Parse Executable', 'Report Code Resources', 'Report
+        Callgraph' see no benefit (Figure 8b)."""
+        flat = simulate_startup(512)
+        tree = simulate_startup(512, balanced_tree_for(8, 512))
+        for name in ("Parse Executable", "Report Code Resources", "Report Callgraph"):
+            assert flat.per_activity[name] == pytest.approx(tree.per_activity[name])
+
+    def test_clock_skew_benefits_most(self):
+        """'Clock skew detection was the Paradyn start-up activity that
+        benefitted most from using MRNet.'"""
+        flat = simulate_startup(512)
+        tree = simulate_startup(512, balanced_tree_for(8, 512))
+        improvements = {
+            a.name: flat.per_activity[a.name] / max(tree.per_activity[a.name], 1e-9)
+            for a in ACTIVITIES
+            if a.uses_mrnet
+        }
+        best = max(improvements, key=improvements.get)
+        assert best == "Find Clock Skew"
+
+    def test_activity_list_matches_paper(self):
+        names = [a.name for a in ACTIVITIES]
+        assert names[0] == "Report Self"
+        assert names[-1] == "Report Done"
+        assert "Find Clock Skew" in names and "Parse Executable" in names
+        assert len(names) == 11
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_startup(0)
+        with pytest.raises(ValueError):
+            simulate_startup(8, balanced_tree_for(2, 16))
+
+    def test_fanout_ordering_mild(self):
+        """Fan-out matters little with MRNet (curves bunch in Fig 8a)."""
+        t4 = simulate_startup(256, balanced_tree_for(4, 256)).total
+        t16 = simulate_startup(256, balanced_tree_for(16, 256)).total
+        assert abs(t4 - t16) / t4 < 0.25

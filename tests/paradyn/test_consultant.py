@@ -1,0 +1,121 @@
+"""Tests for the mini Performance Consultant over MRNet subset streams."""
+
+import pytest
+
+from repro.core import Network
+from repro.paradyn import (
+    ParadynDaemon,
+    ParadynFrontEnd,
+    synthetic_executable,
+)
+from repro.paradyn.consultant import PerformanceConsultant
+from repro.topology import balanced_tree_for
+
+
+@pytest.fixture
+def tool():
+    net = Network(balanced_tree_for(4, 16))
+    exe = synthetic_executable(n_functions=20)
+    daemons = [
+        ParadynDaemon(net.backends[r], exe) for r in sorted(net.backends)
+    ]
+    fe = ParadynFrontEnd(net)
+    yield net, fe, daemons
+    net.shutdown()
+
+
+def plant(daemons, metric, culprits, hot=9.0, cold=0.5):
+    for d in daemons:
+        d.set_rate(metric, hot if d.rank in culprits else cold)
+
+
+class TestSearch:
+    def test_finds_single_culprit(self, tool):
+        net, fe, daemons = tool
+        plant(daemons, "cpu_time", {11})
+        pc = PerformanceConsultant(fe)
+        res = pc.find_culprits(daemons, "cpu_time", threshold=5.0)
+        assert res.culprits == [11]
+
+    def test_finds_multiple_culprits(self, tool):
+        net, fe, daemons = tool
+        plant(daemons, "sync_wait", {0, 7, 15})
+        pc = PerformanceConsultant(fe)
+        res = pc.find_culprits(daemons, "sync_wait", threshold=5.0)
+        assert res.culprits == [0, 7, 15]
+
+    def test_no_culprits_one_query(self, tool):
+        net, fe, daemons = tool
+        plant(daemons, "io_wait", set())
+        pc = PerformanceConsultant(fe)
+        res = pc.find_culprits(daemons, "io_wait", threshold=5.0)
+        assert res.culprits == []
+        # The whole machine tested negative with a single aggregate query.
+        assert res.queries == 1
+
+    def test_query_count_logarithmic_for_sparse_culprits(self, tool):
+        """The scalability point: k culprits cost O(k log n) aggregate
+        queries, far fewer than one per daemon."""
+        net, fe, daemons = tool
+        plant(daemons, "cpu_time", {5})
+        pc = PerformanceConsultant(fe)
+        res = pc.find_culprits(daemons, "cpu_time", threshold=5.0)
+        direct = pc.direct_scan(daemons, "cpu_time", threshold=5.0)
+        assert res.culprits == direct.culprits == [5]
+        assert res.queries <= 2 * 4 + 1  # ~2·log2(16) + root
+        assert direct.queries == 16
+        assert res.queries < direct.queries
+
+    def test_all_culprits_degenerates_gracefully(self, tool):
+        net, fe, daemons = tool
+        plant(daemons, "cpu_time", set(range(16)))
+        pc = PerformanceConsultant(fe)
+        res = pc.find_culprits(daemons, "cpu_time", threshold=5.0)
+        assert res.culprits == list(range(16))
+
+    def test_trace_records_refinement(self, tool):
+        net, fe, daemons = tool
+        plant(daemons, "cpu_time", {3})
+        pc = PerformanceConsultant(fe)
+        res = pc.find_culprits(daemons, "cpu_time", threshold=5.0)
+        ranks_tested, root_max = res.trace[0]
+        assert len(ranks_tested) == 16
+        assert root_max == pytest.approx(9.0)
+        # Groups shrink along the trace.
+        sizes = [len(r) for r, _ in res.trace]
+        assert sizes[0] == max(sizes)
+
+    def test_unqueried_metric_reads_zero(self, tool):
+        net, fe, daemons = tool
+        pc = PerformanceConsultant(fe)
+        res = pc.find_culprits(daemons, "never_set", threshold=0.1)
+        assert res.culprits == []
+
+
+class TestTwoAxisSearch:
+    def test_why_then_where(self, tool):
+        """Metric-axis triage first, machine-axis refinement only for
+        hypotheses that tested true."""
+        net, fe, daemons = tool
+        plant(daemons, "sync_wait", {4, 12})
+        plant(daemons, "io_wait", set())          # healthy everywhere
+        plant(daemons, "cpu_time", {7}, hot=9.0)  # one cpu hot spot
+        pc = PerformanceConsultant(fe)
+        results = pc.search_hypotheses(
+            daemons,
+            {"sync_wait": 5.0, "io_wait": 5.0, "cpu_time": 5.0},
+        )
+        assert results["sync_wait"].culprits == [4, 12]
+        assert results["io_wait"].culprits == []
+        assert results["cpu_time"].culprits == [7]
+        # The false hypothesis cost exactly one aggregate query.
+        assert results["io_wait"].queries == 1
+
+    def test_all_false_hypotheses_cost_one_query_each(self, tool):
+        net, fe, daemons = tool
+        pc = PerformanceConsultant(fe)
+        results = pc.search_hypotheses(
+            daemons, {"sync_wait": 5.0, "io_wait": 5.0}
+        )
+        assert all(r.culprits == [] for r in results.values())
+        assert all(r.queries == 1 for r in results.values())

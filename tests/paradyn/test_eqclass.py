@@ -1,0 +1,117 @@
+"""Tests for the equivalence-class binning filter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.packet import Packet
+from repro.filters.base import FilterError, FilterState
+from repro.paradyn.eqclass import EquivalenceClassFilter, EquivalenceClasses
+
+filt = EquivalenceClassFilter()
+
+
+def leaf(checksum, rank):
+    return Packet(1, 0, "%uld %ud", (checksum, rank), origin_rank=rank)
+
+
+class TestFilter:
+    def test_single_class(self):
+        out = filt([leaf(111, 0), leaf(111, 1), leaf(111, 2)], FilterState())
+        classes = EquivalenceClasses.from_packet(out[0])
+        assert classes.num_classes == 1
+        assert classes.classes[111] == (0, 1, 2)
+
+    def test_multiple_classes(self):
+        out = filt([leaf(1, 0), leaf(2, 1), leaf(1, 2)], FilterState())
+        classes = EquivalenceClasses.from_packet(out[0])
+        assert classes.num_classes == 2
+        assert classes.classes[1] == (0, 2)
+        assert classes.classes[2] == (1,)
+
+    def test_tree_composition(self):
+        """Merging partial class sets equals flat classification."""
+        left = filt([leaf(1, 0), leaf(2, 1)], FilterState())
+        right = filt([leaf(1, 2), leaf(3, 3)], FilterState())
+        merged = EquivalenceClasses.from_packet(
+            filt(left + right, FilterState())[0]
+        )
+        flat = EquivalenceClasses.from_packet(
+            filt([leaf(1, 0), leaf(2, 1), leaf(1, 2), leaf(3, 3)], FilterState())[0]
+        )
+        assert merged.classes == flat.classes
+
+    def test_mixed_leaf_and_partial_inputs(self):
+        partial = filt([leaf(5, 0)], FilterState())
+        out = filt(partial + [leaf(5, 1), leaf(6, 2)], FilterState())
+        classes = EquivalenceClasses.from_packet(out[0])
+        assert classes.classes == {5: (0, 1), 6: (2,)}
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(FilterError):
+            filt([Packet(1, 0, "%d", (1,))], FilterState())
+
+    def test_empty_wave(self):
+        assert filt([], FilterState()) == []
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 200)),
+            min_size=1,
+            max_size=40,
+            unique_by=lambda t: t[1],
+        ),
+        st.integers(1, 5),
+    )
+    def test_partition_property(self, pairs, chunks):
+        """Every rank lands in exactly the class of its checksum, no
+        matter how the tree splits the wave."""
+        size = max(1, len(pairs) // chunks)
+        partials = []
+        for i in range(0, len(pairs), size):
+            wave = [leaf(c, r) for c, r in pairs[i : i + size]]
+            partials.extend(filt(wave, FilterState()))
+        classes = EquivalenceClasses.from_packet(filt(partials, FilterState())[0])
+        assert classes.num_members == len(pairs)
+        for checksum, rank in pairs:
+            assert classes.class_of(rank) == checksum
+
+
+class TestEquivalenceClasses:
+    def test_representatives_lowest_rank(self):
+        ec = EquivalenceClasses({10: (3, 1, 7), 20: (5,)})
+        # N.B. construction via dict: members as given.
+        assert ec.representative(20) == 5
+
+    def test_representatives_ordered_by_checksum(self):
+        ec = EquivalenceClasses({30: (9,), 10: (2,), 20: (4,)})
+        assert ec.representatives() == [2, 4, 9]
+
+    def test_packet_values_roundtrip(self):
+        ec = EquivalenceClasses({7: (0, 3), 9: (1,)})
+        again = EquivalenceClasses.from_packet_values(*ec.to_packet_values())
+        assert again.classes == ec.classes
+
+    def test_codec_validation(self):
+        with pytest.raises(FilterError):
+            EquivalenceClasses.from_packet_values((1, 2), (1,), (0,))
+        with pytest.raises(FilterError):
+            EquivalenceClasses.from_packet_values((1,), (2,), (0,))
+        with pytest.raises(FilterError):
+            EquivalenceClasses.from_packet_values((1, 1), (1, 1), (0, 1))
+
+    def test_class_of_unknown(self):
+        with pytest.raises(KeyError):
+            EquivalenceClasses({1: (0,)}).class_of(99)
+
+    def test_merge_unions_members(self):
+        a = EquivalenceClasses({1: (0, 1)})
+        b = EquivalenceClasses({1: (1, 2), 2: (3,)})
+        merged = a.merged_with(b)
+        assert merged.classes == {1: (0, 1, 2), 2: (3,)}
+
+    def test_counts(self):
+        ec = EquivalenceClasses({1: (0, 1), 2: (2,)})
+        assert ec.num_classes == 2
+        assert ec.num_members == 3

@@ -1,0 +1,149 @@
+"""Tests for the synthetic executable model and the mini-MDL."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paradyn.mdl import (
+    MDLError,
+    MetricDefinition,
+    default_metrics,
+    parse_mdl,
+    serialize_mdl,
+)
+from repro.paradyn.resources import (
+    SMG2000_FUNCTIONS,
+    SMG2000_TEXT_BYTES,
+    ProcessResources,
+    synthetic_executable,
+)
+
+
+class TestSyntheticExecutable:
+    def test_smg2000_shape(self):
+        """The paper's workload: ≈ 434 functions in ≈ 290 KB."""
+        exe = synthetic_executable()
+        assert len(exe.functions) == SMG2000_FUNCTIONS == 434
+        assert exe.text_bytes == pytest.approx(SMG2000_TEXT_BYTES, rel=0.05)
+
+    def test_deterministic(self):
+        assert (
+            synthetic_executable().code_checksum()
+            == synthetic_executable().code_checksum()
+        )
+        assert (
+            synthetic_executable().callgraph_checksum()
+            == synthetic_executable().callgraph_checksum()
+        )
+
+    def test_variants_differ(self):
+        a = synthetic_executable(variant=0)
+        b = synthetic_executable(variant=1)
+        assert a.code_checksum() != b.code_checksum()
+        assert len(a.functions) == len(b.functions)
+
+    def test_unique_addresses(self):
+        exe = synthetic_executable()
+        addrs = [f.address for f in exe.functions]
+        assert len(set(addrs)) == len(addrs)
+
+    def test_call_graph_references_real_functions(self):
+        exe = synthetic_executable(n_functions=50)
+        names = {f.name for f in exe.functions}
+        for caller, callees in exe.call_graph.items():
+            assert caller in names
+            assert all(c in names for c in callees)
+
+    def test_resource_paths(self):
+        exe = synthetic_executable(n_functions=5, n_modules=1)
+        f = exe.functions[0]
+        assert f.resource_path.startswith("/Code/")
+        assert exe.modules[0].resource_path == f"/Code/{exe.modules[0].name}"
+
+    def test_module_partitioning(self):
+        exe = synthetic_executable(n_functions=10, n_modules=3)
+        assert len(exe.modules) == 3
+        assert sum(len(m.functions) for m in exe.modules) == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_executable(n_functions=0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 300), st.integers(1, 20))
+    def test_arbitrary_shapes(self, n_functions, n_modules):
+        exe = synthetic_executable(n_functions=n_functions, n_modules=n_modules)
+        assert len(exe.functions) == n_functions
+
+
+class TestProcessResources:
+    def test_report_roundtrip(self):
+        p = ProcessResources("nodeX", 4242, 7, "./smg2000 -n 64", False)
+        q = ProcessResources.decode_report(p.encode_report())
+        assert q == p
+
+    def test_machine_resource_paths(self):
+        p = ProcessResources("h", 1, 0, "cmd")
+        paths = p.machine_resource_paths()
+        assert paths[0] == "/Machine/h"
+        assert len(paths) == 3
+
+
+class TestMDL:
+    def test_parse_basic(self):
+        text = 'metric cpu_time { units "seconds"; style EventCounter; aggregate sum; }'
+        (m,) = parse_mdl(text)
+        assert m.name == "cpu_time"
+        assert m.units == "seconds"
+        assert not m.internal
+
+    def test_roundtrip(self):
+        metrics = default_metrics(10)
+        assert parse_mdl(serialize_mdl(metrics)) == metrics
+
+    def test_comments_and_whitespace(self):
+        text = """
+        # leading comment
+        metric io_wait {
+            units "seconds" ;   # trailing comment
+            aggregate max ;
+        }
+        """
+        (m,) = parse_mdl(text)
+        assert m.aggregate == "max"
+        assert m.style == "EventCounter"  # default
+
+    def test_internal_flag(self):
+        text = 'metric pause { units "s"; internal true; }'
+        (m,) = parse_mdl(text)
+        assert m.internal
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "metric {}",
+            'metric m { units "x" }',  # missing ;
+            'metric m { units "x"; bogus y; }',
+            "metric m { style EventCounter; }",  # missing units
+            'metric m { units "x"; } metric m { units "x"; }',  # duplicate
+            'metric m { units "x"; style Nope; }',
+            'metric m { units "x"; aggregate median; }',
+            "notmetric m {}",
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(MDLError):
+            parse_mdl(bad)
+
+    def test_metric_definition_validation(self):
+        with pytest.raises(MDLError):
+            MetricDefinition("bad name", "u")
+        with pytest.raises(MDLError):
+            MetricDefinition("ok", "u", style="Wrong")
+
+    def test_default_metrics_sized(self):
+        assert len(default_metrics(3)) == 3
+        assert len(default_metrics(15)) == 15
+        names = [m.name for m in default_metrics(15)]
+        assert len(set(names)) == 15

@@ -1,0 +1,153 @@
+"""Tests for Paradyn-style folding time histograms."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paradyn.perfdata import DataSample
+from repro.paradyn.timehist import TimeHistogram
+
+
+class TestBasics:
+    def test_single_bin_attribution(self):
+        h = TimeHistogram(n_bins=4, initial_bin_width=1.0)
+        h.add(5.0, 0.0, 1.0)
+        assert h.values == [5.0, 0.0, 0.0, 0.0]
+
+    def test_proportional_split_across_bins(self):
+        h = TimeHistogram(n_bins=4, initial_bin_width=1.0)
+        h.add(4.0, 0.5, 2.5)  # spans halves of bins 0 and 2, all of 1
+        assert h.values == pytest.approx([1.0, 2.0, 1.0, 0.0])
+
+    def test_total_conserved(self):
+        h = TimeHistogram(n_bins=8, initial_bin_width=0.5)
+        h.add(3.0, 0.1, 1.3)
+        h.add(2.0, 2.0, 3.9)
+        assert h.total == pytest.approx(5.0)
+
+    def test_pre_start_portion_dropped(self):
+        h = TimeHistogram(n_bins=4, initial_bin_width=1.0, start_time=1.0)
+        h.add(4.0, 0.0, 2.0)  # half before start
+        assert h.total == pytest.approx(2.0)
+        h2 = TimeHistogram(n_bins=4, initial_bin_width=1.0, start_time=10.0)
+        h2.add(4.0, 0.0, 2.0)  # entirely before start
+        assert h2.total == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimeHistogram(n_bins=3)
+        with pytest.raises(ValueError):
+            TimeHistogram(n_bins=0)
+        with pytest.raises(ValueError):
+            TimeHistogram(initial_bin_width=0.0)
+
+    def test_geometry(self):
+        h = TimeHistogram(n_bins=10, initial_bin_width=2.0, start_time=5.0)
+        assert h.horizon == 25.0
+        assert h.bin_edges(0) == (5.0, 7.0)
+        assert h.bin_edges(9) == (23.0, 25.0)
+
+
+class TestFolding:
+    def test_fold_merges_pairs(self):
+        h = TimeHistogram(n_bins=4, initial_bin_width=1.0)
+        for i in range(4):
+            h.add(float(i + 1), i, i + 1)
+        h.fold()
+        assert h.values == pytest.approx([3.0, 7.0, 0.0, 0.0])
+        assert h.bin_width == 2.0
+        assert h.folds == 1
+
+    def test_automatic_fold_on_overflow(self):
+        h = TimeHistogram(n_bins=4, initial_bin_width=1.0)
+        h.add(1.0, 0.0, 1.0)
+        assert h.folds == 0
+        h.add(1.0, 6.0, 7.0)  # beyond horizon 4 → folds to width 2
+        assert h.folds == 1
+        assert h.horizon == 8.0
+        assert h.total == pytest.approx(2.0)
+
+    def test_multiple_folds(self):
+        h = TimeHistogram(n_bins=4, initial_bin_width=1.0)
+        h.add(1.0, 100.0, 101.0)
+        assert h.horizon >= 101.0
+        assert h.folds >= 5
+        assert h.total == pytest.approx(1.0)
+
+    def test_value_over_after_fold(self):
+        h = TimeHistogram(n_bins=4, initial_bin_width=1.0)
+        h.add(4.0, 0.0, 4.0)  # 1.0 per second
+        h.add(1.0, 7.0, 8.0)  # forces a fold to width 2
+        assert h.value_over(0.0, 4.0) == pytest.approx(4.0)
+        assert h.value_over(0.0, h.horizon) == pytest.approx(5.0)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0.0, 200.0, allow_nan=False),
+                st.floats(0.01, 20.0, allow_nan=False),
+                st.floats(0.0, 50.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_total_conserved_across_folds(self, triples):
+        """Folding never loses or invents value (Paradyn's guarantee)."""
+        h = TimeHistogram(n_bins=16, initial_bin_width=0.5)
+        fed = 0.0
+        for start, dur, value in triples:
+            h.add(value, start, start + dur)
+            fed += value
+        assert h.total == pytest.approx(fed, rel=1e-9, abs=1e-9)
+
+
+class TestQueriesAndSeries:
+    def test_value_over_partial_bins(self):
+        h = TimeHistogram(n_bins=4, initial_bin_width=1.0)
+        h.add(2.0, 0.0, 2.0)
+        assert h.value_over(0.5, 1.5) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            h.value_over(1.0, 1.0)
+
+    def test_rate_series(self):
+        h = TimeHistogram(n_bins=2, initial_bin_width=2.0)
+        h.add(4.0, 0.0, 2.0)
+        series = h.rate_series()
+        assert series[0] == (1.0, 2.0)  # midpoint 1.0, rate 2/s
+        assert series[1] == (3.0, 0.0)
+
+    def test_from_datasample(self):
+        h = TimeHistogram(n_bins=4, initial_bin_width=1.0)
+        h.add_sample(DataSample(3.0, 0.0, 3.0))
+        assert h.total == pytest.approx(3.0)
+        assert h.samples_added == 1
+
+    def test_repr(self):
+        assert "folds=0" in repr(TimeHistogram(n_bins=4))
+
+
+class TestFloatEdgeRegression:
+    def test_samples_on_exact_bin_edges_terminate(self):
+        """Regression: intervals hitting k·width edges exactly used to
+        stall the edge-walking attribution loop."""
+        h = TimeHistogram(n_bins=240, initial_bin_width=0.2)
+        # The §3.2 integration workload that exposed the hang.
+        for k in range(4):
+            h.add(0.5, k * 0.5, (k + 1) * 0.5)
+        assert h.total == pytest.approx(2.0)
+
+    def test_many_adversarial_edges(self):
+        h = TimeHistogram(n_bins=16, initial_bin_width=0.1)
+        fed = 0.0
+        for k in range(50):
+            start = k * 0.1
+            h.add(1.0, start, start + 0.1)
+            fed += 1.0
+        assert h.total == pytest.approx(fed)
+
+    def test_tiny_sample_within_bin(self):
+        h = TimeHistogram(n_bins=4, initial_bin_width=1.0)
+        h.add(1.0, 0.5, 0.5 + 1e-9)
+        assert h.total == pytest.approx(1.0)

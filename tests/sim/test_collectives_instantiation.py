@@ -1,0 +1,127 @@
+"""Tests for the DES collective and instantiation simulators."""
+
+import pytest
+
+from repro.sim.cluster import BLUE_PACIFIC, ClusterParams
+from repro.sim.collectives import CollectiveSim
+from repro.sim.instantiation import simulate_instantiation
+from repro.sim.logp import LogGPParams
+from repro.topology import balanced_tree, balanced_tree_for, flat_topology
+
+
+class TestCollectiveBroadcast:
+    def test_reaches_all_leaves(self):
+        res = CollectiveSim(balanced_tree(4, 2)).broadcast()
+        assert res.latency > 0
+        assert res.events > 0
+
+    def test_flat_broadcast_scales_linearly(self):
+        l100 = CollectiveSim(flat_topology(100)).broadcast().latency
+        l200 = CollectiveSim(flat_topology(200)).broadcast().latency
+        # Dominated by 100 vs 200 serialized gaps.
+        assert l200 / l100 == pytest.approx(2.0, rel=0.15)
+
+    def test_tree_broadcast_beats_flat_at_scale(self):
+        n = 256
+        flat = CollectiveSim(flat_topology(n)).broadcast().latency
+        tree = CollectiveSim(balanced_tree(4, 4)).broadcast().latency
+        assert tree < flat / 5
+
+
+class TestRoundtrip:
+    def test_fig7b_shape(self):
+        """Flat grows ~linearly; trees stay nearly level (Figure 7b)."""
+        ns = [50, 200, 600]
+        flat = [CollectiveSim(flat_topology(n)).roundtrip().latency for n in ns]
+        tree8 = [
+            CollectiveSim(balanced_tree_for(8, n)).roundtrip().latency for n in ns
+        ]
+        # Flat roughly linear in n.
+        assert flat[2] / flat[0] == pytest.approx(ns[2] / ns[0], rel=0.3)
+        # Tree grows far slower than flat.
+        assert tree8[2] < flat[2] / 10
+        assert tree8[2] / tree8[0] < 3
+
+    def test_flat_600_near_paper_anchor(self):
+        """Paper Figure 7b: flat round-trip ≈ 1.2–1.4 s at 600 back-ends."""
+        lat = CollectiveSim(flat_topology(600)).roundtrip().latency
+        assert 0.9 < lat < 1.7
+
+    def test_tree_roundtrip_modest(self):
+        lat = CollectiveSim(balanced_tree_for(8, 512)).roundtrip().latency
+        assert lat < 0.25  # paper: tree curves stay ≈ 0.1–0.2 s
+
+
+class TestPipelinedThroughput:
+    def test_peak_near_80_ops(self):
+        """Paper Figure 7c: ≈ 80 ops/s peak (front-end turn-around bound)."""
+        thr = CollectiveSim(flat_topology(4)).pipelined_reductions(waves=80).throughput
+        assert 55 < thr < 90
+
+    def test_fig7c_shape(self):
+        """Flat collapses with back-ends; trees hold throughput."""
+        flat600 = CollectiveSim(flat_topology(600)).pipelined_reductions(
+            waves=40
+        ).throughput
+        tree600 = CollectiveSim(balanced_tree_for(8, 600)).pipelined_reductions(
+            waves=40
+        ).throughput
+        assert flat600 < 12
+        assert tree600 > 55
+
+    def test_all_waves_complete(self):
+        res = CollectiveSim(balanced_tree(2, 3)).pipelined_reductions(waves=25)
+        assert len(res.completions) == 25
+        assert res.completions == sorted(res.completions)
+
+    def test_throughput_zero_when_empty(self):
+        from repro.sim.collectives import CollectiveResult
+
+        assert CollectiveResult(latency=0.0).throughput == 0.0
+
+
+class TestInstantiation:
+    def test_flat_is_serial_rsh(self):
+        n = 100
+        res = simulate_instantiation(flat_topology(n))
+        assert res.latency == pytest.approx(
+            n * BLUE_PACIFIC.rsh_cost, rel=0.05
+        )
+        assert res.launches_on_critical_path == n
+
+    def test_fig7a_shape(self):
+        """Flat ≈ 850 s at 600; trees a few tens of seconds (Figure 7a)."""
+        flat = simulate_instantiation(flat_topology(600)).latency
+        t4 = simulate_instantiation(balanced_tree_for(4, 600)).latency
+        t8 = simulate_instantiation(balanced_tree_for(8, 600)).latency
+        assert 750 < flat < 1000
+        assert t4 < 60 and t8 < 60
+        assert t4 < flat / 15 and t8 < flat / 15
+
+    def test_tree_critical_path(self):
+        # Fully-populated k-ary: critical path = depth * fanout launches.
+        res = simulate_instantiation(balanced_tree(4, 3))
+        assert res.launches_on_critical_path == 12
+        assert res.processes == 1 + 4 + 16 + 64
+
+    def test_custom_params(self):
+        params = ClusterParams(rsh_cost=0.1, boot_delay=0.0)
+        res = simulate_instantiation(flat_topology(10), params)
+        assert res.latency == pytest.approx(1.0, rel=0.1)
+
+    def test_tree_growth_sublinear(self):
+        lat_150 = simulate_instantiation(balanced_tree_for(4, 150)).latency
+        lat_600 = simulate_instantiation(balanced_tree_for(4, 600)).latency
+        assert lat_600 / lat_150 < 2.0  # 4x back-ends, < 2x latency
+
+
+class TestDeterminism:
+    def test_collectives_reproducible(self):
+        a = CollectiveSim(balanced_tree(4, 2)).roundtrip().latency
+        b = CollectiveSim(balanced_tree(4, 2)).roundtrip().latency
+        assert a == b
+
+    def test_instantiation_reproducible(self):
+        a = simulate_instantiation(balanced_tree_for(8, 100)).latency
+        b = simulate_instantiation(balanced_tree_for(8, 100)).latency
+        assert a == b

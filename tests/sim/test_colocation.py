@@ -1,0 +1,93 @@
+"""Tests for the co-location model and CPU-utilization reporting."""
+
+import pytest
+
+from repro.sim.collectives import CollectiveSim
+from repro.sim.colocation import ColocationParams, simulate_colocation
+from repro.topology import balanced_tree, balanced_tree_for
+
+
+def dedicated_tree(fanout, n):
+    """One process per host: the paper's recommended placement."""
+    return balanced_tree_for(fanout, n)
+
+
+def colocated_tree(fanout, n, n_hosts):
+    """Processes packed over n_hosts: internal + back-ends share."""
+    hosts = [f"app{i:03d}" for i in range(n_hosts)]
+    return balanced_tree_for(fanout, n, hosts=hosts)
+
+
+class TestColocation:
+    def test_dedicated_placement_is_balanced_and_unslowed(self):
+        spec = dedicated_tree(4, 64)
+        res = simulate_colocation(spec, messages_per_second=160)
+        assert res.slowdown == pytest.approx(1.0)
+        assert res.imbalance == pytest.approx(1.0)
+        assert res.iteration_time == pytest.approx(1.0)
+
+    def test_colocated_placement_slows_the_application(self):
+        spec = colocated_tree(4, 64, 64)
+        res = simulate_colocation(spec, messages_per_second=160)
+        assert res.slowdown > 1.05
+        # Only hosts carrying internal processes are slowed → imbalance.
+        assert res.imbalance > 1.0
+
+    def test_slowdown_grows_with_tool_load(self):
+        spec = colocated_tree(4, 64, 64)
+        slowdowns = [
+            simulate_colocation(spec, messages_per_second=rate).slowdown
+            for rate in (0, 40, 160, 640)
+        ]
+        assert slowdowns[0] == pytest.approx(1.0)
+        assert slowdowns == sorted(slowdowns)
+
+    def test_imbalance_is_the_barrier_effect(self):
+        """mean time is barely affected; the max gates the iteration
+        ('a parallel program's speed is often limited by its slowest
+        process')."""
+        spec = colocated_tree(8, 64, 64)
+        res = simulate_colocation(spec, messages_per_second=160)
+        assert res.iteration_time > res.mean_process_time
+        # A minority of hosts carry internal processes.
+        assert len(res.tool_utilization) < 64
+
+    def test_utilization_capped(self):
+        spec = colocated_tree(4, 16, 4)
+        res = simulate_colocation(
+            spec,
+            messages_per_second=1e9,
+            params=ColocationParams(per_message_cost=1.0),
+        )
+        assert all(u <= len(spec) for u in res.tool_utilization.values())
+        assert res.iteration_time < float("inf")
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_colocation(dedicated_tree(2, 4), -1.0)
+
+
+class TestCpuUtilization:
+    def test_reported_after_experiment(self):
+        sim = CollectiveSim(balanced_tree(4, 2))
+        sim.pipelined_reductions(waves=40)
+        utils = sim.cpu_utilizations()
+        # Front-end + 4 internal processes, none of the 16 leaves.
+        assert len(utils) == 5
+        assert all(0.0 <= u <= 1.0 for u in utils.values())
+        # The front-end (op-cost bound) is the busiest process.
+        fe_label = f"{sim.spec.root.host}:{sim.spec.root.index}"
+        assert utils[fe_label] == max(utils.values())
+
+    def test_flat_frontend_utilization_grows_with_backends(self):
+        from repro.topology import flat_topology
+
+        def fe_util(n):
+            sim = CollectiveSim(flat_topology(n))
+            sim.pipelined_reductions(waves=30)
+            return sim.cpu_utilizations()[
+                f"{sim.spec.root.host}:{sim.spec.root.index}"
+            ]
+
+        assert fe_util(400) > fe_util(16) * 0.9
+        assert fe_util(400) > 0.9  # saturated: the Figure 7c collapse

@@ -1,0 +1,134 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import FifoResource, Simulator
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.at(3.0, lambda: log.append(3))
+        sim.at(1.0, lambda: log.append(1))
+        sim.at(2.0, lambda: log.append(2))
+        sim.run()
+        assert log == [1, 2, 3]
+        assert sim.now == 3.0
+
+    def test_ties_break_by_schedule_order(self):
+        sim = Simulator()
+        log = []
+        for i in range(5):
+            sim.at(1.0, lambda i=i: log.append(i))
+        sim.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_after_is_relative(self):
+        sim = Simulator()
+        times = []
+        sim.at(2.0, lambda: sim.after(0.5, lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [2.5]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.at(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.at(1.0, lambda: None)
+        with pytest.raises(ValueError):
+            sim.after(-1.0, lambda: None)
+
+    def test_run_until(self):
+        sim = Simulator()
+        log = []
+        sim.at(1.0, lambda: log.append(1))
+        sim.at(10.0, lambda: log.append(10))
+        sim.run(until=5.0)
+        assert log == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert log == [1, 10]
+
+    def test_cascading_events(self):
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 100:
+                sim.after(1.0, tick)
+
+        sim.at(0.0, tick)
+        sim.run()
+        assert count[0] == 100
+        assert sim.now == 99.0
+        assert sim.events_run == 100
+
+    def test_step(self):
+        sim = Simulator()
+        sim.at(1.0, lambda: None)
+        assert sim.step() is True
+        assert sim.step() is False
+
+    def test_pending(self):
+        sim = Simulator()
+        assert sim.pending == 0
+        sim.at(1.0, lambda: None)
+        assert sim.pending == 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(0, 1000, allow_nan=False), min_size=1, max_size=50))
+    def test_monotone_time_property(self, times):
+        sim = Simulator()
+        seen = []
+        for t in times:
+            sim.at(t, lambda t=t: seen.append(sim.now))
+        sim.run()
+        assert seen == sorted(seen)
+        assert len(seen) == len(times)
+
+
+class TestFifoResource:
+    def test_sequential_occupancy(self):
+        r = FifoResource()
+        assert r.occupy(0.0, 2.0) == (0.0, 2.0)
+        assert r.occupy(0.0, 3.0) == (2.0, 5.0)  # queued behind
+        assert r.occupy(10.0, 1.0) == (10.0, 11.0)  # idle gap
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            FifoResource().occupy(0.0, -1.0)
+
+    def test_zero_duration(self):
+        r = FifoResource()
+        assert r.occupy(1.0, 0.0) == (1.0, 1.0)
+
+    def test_busy_time_and_utilization(self):
+        r = FifoResource()
+        r.occupy(0.0, 2.0)
+        r.occupy(5.0, 3.0)
+        assert r.busy_time == 5.0
+        assert r.utilization(10.0) == 0.5
+        assert r.utilization(0.0) == 0.0
+        assert r.utilization(1.0) == 1.0  # clamped
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 100, allow_nan=False), st.floats(0, 10, allow_nan=False)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_no_overlap_property(self, jobs):
+        """Granted intervals never overlap and respect request times."""
+        r = FifoResource()
+        granted = [r.occupy(start, dur) for start, dur in jobs]
+        for (s, e), (start, dur) in zip(granted, jobs):
+            assert s >= start and e == s + dur
+        for (s1, e1), (s2, e2) in zip(granted, granted[1:]):
+            assert s2 >= e1

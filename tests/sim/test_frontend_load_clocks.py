@@ -1,0 +1,100 @@
+"""Tests for the Figure 9 load model and the clock simulation."""
+
+import numpy as np
+import pytest
+
+from repro.sim.clocks import BLUE_PACIFIC_CLOCKS, ClockSimParams, JitteredLink, SkewedClock
+from repro.sim.frontend_load import (
+    PARADYN_LOAD,
+    frontend_load_fraction,
+    load_curve,
+    offered_rate,
+)
+from repro.topology import balanced_tree_for
+
+
+class TestOfferedRate:
+    def test_5dm(self):
+        assert offered_rate(64, 32) == 5 * 64 * 32
+        assert offered_rate(1, 1) == 5.0
+
+
+class TestFrontendLoad:
+    def test_paper_anchor_64x32(self):
+        """§4.2.2: 'only about 60% of the rate' at 64 daemons, 32 metrics."""
+        frac = frontend_load_fraction(64, 32)
+        assert 0.5 < frac < 0.7
+
+    def test_paper_anchor_256x32(self):
+        """§4.2.2: 'less than 5% of the offered load' at 256 × 32."""
+        assert frontend_load_fraction(256, 32) < 0.05
+
+    def test_light_load_is_full_fraction(self):
+        assert frontend_load_fraction(4, 1) == 1.0
+        assert frontend_load_fraction(16, 1) == 1.0
+
+    def test_mrnet_holds_full_load_all_paper_configs(self):
+        """Figure 9: every MRNet fan-out processed the entire offered load."""
+        for fanout in (4, 8, 16):
+            for daemons in (4, 16, 64, 128, 256):
+                for metrics in (1, 8, 16, 32):
+                    topo = balanced_tree_for(fanout, daemons)
+                    assert frontend_load_fraction(daemons, metrics, topo) == 1.0
+
+    def test_fraction_monotone_decreasing_in_daemons(self):
+        fracs = [frontend_load_fraction(d, 32) for d in (16, 64, 128, 256, 512)]
+        assert all(a >= b for a, b in zip(fracs, fracs[1:]))
+
+    def test_fraction_monotone_decreasing_in_metrics(self):
+        fracs = [frontend_load_fraction(128, m) for m in (1, 8, 16, 32)]
+        assert all(a >= b for a, b in zip(fracs, fracs[1:]))
+
+    def test_topology_backend_count_checked(self):
+        with pytest.raises(ValueError):
+            frontend_load_fraction(64, 8, balanced_tree_for(4, 32))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            frontend_load_fraction(0, 1)
+        with pytest.raises(ValueError):
+            frontend_load_fraction(1, 0)
+
+    def test_load_curve_helper(self):
+        curve = load_curve([4, 64, 256], 32)
+        assert len(curve) == 3
+        assert curve[0] == 1.0 and curve[-1] < 0.05
+        tree_curve = load_curve([4, 64, 256], 32, lambda d: balanced_tree_for(8, d))
+        assert tree_curve == [1.0, 1.0, 1.0]
+
+
+class TestClocks:
+    def test_skewed_clock_reads(self):
+        c = SkewedClock(0.5)
+        assert c.read(10.0) == 10.5
+
+    def test_random_clock_distribution(self):
+        rng = np.random.default_rng(0)
+        offsets = [SkewedClock.random(rng, 1e-3).offset for _ in range(2000)]
+        assert abs(np.mean(offsets)) < 1e-4
+        assert np.std(offsets) == pytest.approx(1e-3, rel=0.1)
+
+    def test_link_latencies_positive_and_jittered(self):
+        rng = np.random.default_rng(1)
+        link = JitteredLink(rng, 100e-6, 50e-6, 0.3)
+        fwd = [link.forward_delay() for _ in range(500)]
+        ret = [link.return_delay() for _ in range(500)]
+        assert min(fwd) > 0 and min(ret) > 0
+        assert np.std(fwd) > 0
+
+    def test_link_asymmetry(self):
+        """Forward/return bases differ by base·asymmetry."""
+        rng = np.random.default_rng(2)
+        link = JitteredLink(rng, 100e-6, 0.0, 0.4)  # no jitter
+        fwd, ret = link.forward_delay(), link.return_delay()
+        assert abs(fwd - ret) == pytest.approx(100e-6 * 0.4, rel=1e-9)
+        assert fwd + ret == pytest.approx(2 * 100e-6, rel=1e-9)
+
+    def test_default_params_local_less_jittered_than_direct(self):
+        p = BLUE_PACIFIC_CLOCKS
+        assert p.local_jitter < p.direct_jitter or p.local_base > 0
+        assert isinstance(p, ClockSimParams)

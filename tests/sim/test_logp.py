@@ -1,0 +1,107 @@
+"""Tests for the LogP/LogGP model and Figure 4 analysis."""
+
+import pytest
+
+from repro.sim.logp import (
+    LogGPParams,
+    balanced_kary_broadcast_closed_form,
+    broadcast_latency,
+    injection_gap,
+    message_cost,
+    pipelined_gap,
+    pipelined_throughput,
+    reduction_latency,
+    roundtrip_latency,
+)
+from repro.topology import balanced_tree, flat_topology, unbalanced_fig4
+
+P = LogGPParams(L=50e-6, o=25e-6, g=1e-3, G=10e-9)
+
+
+class TestMessageCost:
+    def test_zero_bytes(self):
+        assert message_cost(P, 0) == pytest.approx(2 * P.o + P.L)
+
+    def test_bytes_add_per_byte_gap(self):
+        assert message_cost(P, 1001) - message_cost(P, 1) == pytest.approx(1000 * P.G)
+
+    def test_params_with(self):
+        assert P.with_(g=5e-3).g == 5e-3
+        assert P.g == 1e-3  # original untouched
+
+
+class TestBroadcast:
+    def test_matches_paper_closed_form(self):
+        """Recursive model == d·(k·g + 2o + L) on fully-populated trees."""
+        for fanout, depth in [(2, 1), (2, 4), (4, 2), (8, 2), (4, 3)]:
+            spec = balanced_tree(fanout, depth)
+            assert broadcast_latency(spec, P) == pytest.approx(
+                balanced_kary_broadcast_closed_form(fanout, depth, P)
+            )
+
+    def test_fig4a_is_8g_4o_2L(self):
+        """The paper's Figure 4a arithmetic: 8g + 4o + 2L."""
+        spec = balanced_tree(4, 2)  # 16 back-ends
+        expected = 8 * P.g + 4 * P.o + 2 * P.L
+        assert broadcast_latency(spec, P) == pytest.approx(expected)
+
+    def test_flat_serializes(self):
+        lat = broadcast_latency(flat_topology(100), P)
+        assert lat == pytest.approx(100 * P.g + 2 * P.o + P.L)
+
+    def test_monotone_in_backends(self):
+        lats = [broadcast_latency(flat_topology(n), P) for n in (10, 50, 200)]
+        assert lats == sorted(lats)
+
+
+class TestFigure4Claims:
+    def test_unbalanced_may_win_single_op_latency(self):
+        """With gap-dominated costs the Figure 4b tree broadcasts faster."""
+        gap_heavy = LogGPParams(L=1e-6, o=1e-6, g=1e-3, G=0.0)
+        bal = balanced_tree(4, 2)
+        unbal = unbalanced_fig4()
+        assert bal.num_backends == unbal.num_backends == 16
+        assert broadcast_latency(unbal, gap_heavy) < broadcast_latency(
+            bal, gap_heavy
+        )
+
+    def test_injection_gap_4g_vs_6g(self):
+        """'new broadcast each 4g' vs 'at least 6g' (paper §2.6)."""
+        assert injection_gap(balanced_tree(4, 2), P) == pytest.approx(4 * P.g)
+        assert injection_gap(unbalanced_fig4(), P) == pytest.approx(6 * P.g)
+
+    def test_balanced_has_better_pipelined_throughput(self):
+        bal = balanced_tree(4, 2)
+        unbal = unbalanced_fig4()
+        assert pipelined_throughput(bal, P) > pipelined_throughput(unbal, P)
+
+    def test_pipelined_gap_busiest_process(self):
+        # Interior node of the 4-ary tree: 4 children + 1 parent = 5 msgs.
+        assert pipelined_gap(balanced_tree(4, 2), P) == pytest.approx(5 * P.g)
+        # Flat: the root's fan-out dominates.
+        assert pipelined_gap(flat_topology(64), P) == pytest.approx(64 * P.g)
+
+
+class TestReduction:
+    def test_flat_reduction_serializes_at_root(self):
+        lat = reduction_latency(flat_topology(100), P)
+        # 100 arrivals consumed at g intervals after the common arrival.
+        assert lat >= 100 * P.g
+
+    def test_tree_reduction_faster_than_flat_at_scale(self):
+        n = 256
+        assert reduction_latency(balanced_tree(4, 4), P) < reduction_latency(
+            flat_topology(n), P
+        )
+
+    def test_leaf_only_tree(self):
+        # Depth-1 tree == flat.
+        assert reduction_latency(balanced_tree(4, 1), P) == pytest.approx(
+            reduction_latency(flat_topology(4), P)
+        )
+
+    def test_roundtrip_is_sum(self):
+        spec = balanced_tree(2, 3)
+        assert roundtrip_latency(spec, P) == pytest.approx(
+            broadcast_latency(spec, P) + reduction_latency(spec, P)
+        )

@@ -1,0 +1,78 @@
+"""Tests for simulated-collective event tracing."""
+
+import json
+
+import pytest
+
+from repro.sim.collectives import CollectiveSim
+from repro.sim.trace import MessageEvent, SimTrace
+from repro.topology import balanced_tree, flat_topology
+
+
+class TestMessageEvent:
+    def test_latency(self):
+        e = MessageEvent("a:0", "b:0", 0.0, 0.001, 0.002, 0.003, 64)
+        assert e.latency == pytest.approx(0.003)
+
+
+class TestTraceRecording:
+    def test_broadcast_message_count(self):
+        trace = SimTrace()
+        CollectiveSim(balanced_tree(2, 2), trace=trace).broadcast()
+        # Edges: 2 root->internal + 4 internal->leaf = 6 messages.
+        assert len(trace) == 6
+        assert trace.summary()["messages"] == 6
+
+    def test_roundtrip_counts_both_directions(self):
+        trace = SimTrace()
+        CollectiveSim(balanced_tree(2, 2), trace=trace).roundtrip()
+        assert len(trace) == 12  # 6 down + 6 up
+
+    def test_flat_frontend_is_busiest_receiver(self):
+        trace = SimTrace()
+        sim = CollectiveSim(flat_topology(16), trace=trace)
+        sim.pipelined_reductions(waves=5)
+        name, count = trace.busiest_receiver()
+        assert name == sim.spec.root.label
+        assert count == 16 * 5
+
+    def test_tree_spreads_receives(self):
+        trace = SimTrace()
+        sim = CollectiveSim(balanced_tree(4, 2), trace=trace)
+        sim.pipelined_reductions(waves=5)
+        per_proc = trace.messages_per_process()
+        _, fe_received = per_proc[sim.spec.root.label]
+        # The front-end receives only its fan-out per wave, not 16.
+        assert fe_received == 4 * 5
+
+    def test_timestamps_ordered(self):
+        trace = SimTrace()
+        CollectiveSim(balanced_tree(2, 3), trace=trace).roundtrip()
+        for e in trace.events:
+            assert e.send_start <= e.departure <= e.arrival <= e.delivered
+
+    def test_no_trace_by_default(self):
+        sim = CollectiveSim(balanced_tree(2, 2))
+        sim.broadcast()
+        assert sim.trace is None
+
+
+class TestChromeExport:
+    def test_valid_json_with_tracks(self):
+        trace = SimTrace()
+        CollectiveSim(balanced_tree(2, 2), trace=trace).roundtrip()
+        doc = json.loads(trace.to_chrome_trace())
+        events = doc["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert {"M", "X", "s", "f"} <= phases
+        # One metadata track per process (7 processes in a 2x2 tree).
+        assert sum(1 for e in events if e["ph"] == "M") == 7
+        # Flow arrows pair up.
+        assert sum(1 for e in events if e["ph"] == "s") == len(trace)
+        assert sum(1 for e in events if e["ph"] == "f") == len(trace)
+
+    def test_empty_trace_exports(self):
+        doc = json.loads(SimTrace().to_chrome_trace())
+        assert doc["traceEvents"] == []
+        assert SimTrace().busiest_receiver() == ("", 0)
+        assert SimTrace().summary()["makespan"] == 0.0

@@ -1,0 +1,90 @@
+"""Tests for the evaluation module and the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.evaluation import (
+    fig4_topologies,
+    fig7a_instantiation,
+    fig7b_roundtrip,
+    fig7c_throughput,
+    fig8a_startup,
+    fig8b_activities,
+    fig9_frontend_load,
+    skew_accuracy,
+)
+
+
+class TestEvaluationFunctions:
+    def test_fig7a_shape(self):
+        header, rows = fig7a_instantiation(backends=[4, 64])
+        assert header[0] == "back-ends"
+        assert [r[0] for r in rows] == [4, 64]
+        assert all(len(r) == len(header) for r in rows)
+
+    def test_fig7b_shape(self):
+        header, rows = fig7b_roundtrip(backends=[8])
+        assert len(rows) == 1 and rows[0][0] == 8
+
+    def test_fig7c_shape(self):
+        header, rows = fig7c_throughput(backends=[8], waves=10)
+        assert rows[0][1] > 0
+
+    def test_fig8a_shape(self):
+        header, rows = fig8a_startup(daemons=[4, 16])
+        assert len(header) == 5
+        assert rows[0][1] > 0
+
+    def test_fig8b_totals_row(self):
+        header, rows = fig8b_activities(daemons=64)
+        assert rows[-1][0] == "TOTAL"
+        assert rows[-1][1] == pytest.approx(sum(r[1] for r in rows[:-1]))
+
+    def test_fig9_panels(self):
+        panels = fig9_frontend_load(daemons=[4, 64], metrics=[1, 32])
+        assert set(panels) == {1, 32}
+        header, rows = panels[32]
+        assert header[-1] == "offered/s"
+        assert rows[1][-1] == 5 * 64 * 32
+
+    def test_fig4(self):
+        header, rows = fig4_topologies()
+        names = [r[0] for r in rows]
+        assert names == ["balanced-4a", "unbalanced-4b"]
+
+    def test_skew(self):
+        header, rows = skew_accuracy(seeds=[0, 1])
+        assert rows[-1][0] == "mean"
+        assert len(rows) == 3
+
+
+class TestCli:
+    def test_figures_subset(self, capsys, tmp_path):
+        from repro.__main__ import main
+
+        assert main(["figures", "fig4", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert (tmp_path / "fig4.txt").exists()
+
+    def test_figures_unknown_id(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["figures", "fig99"]) == 2
+
+    def test_demo(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["demo"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_topology(self, capsys, tmp_path):
+        from repro.__main__ import main
+
+        hostfile = tmp_path / "hosts"
+        hostfile.write_text("\n".join(f"n{i}" for i in range(20)))
+        assert main(["topology", str(hostfile), "--fanout", "4",
+                     "--backends", "12"]) == 0
+        out = capsys.readouterr().out
+        from repro.topology import parse_config
+
+        assert parse_config(out).num_backends == 12

@@ -1,0 +1,90 @@
+"""Tests for the automatic configuration generator (§4.1)."""
+
+import pytest
+
+from repro.topology import TopologyError, parse_config
+from repro.topology.autogen import generate_config, generate_topology
+
+
+def hosts(n, prefix="h"):
+    return [f"{prefix}{i:03d}" for i in range(n)]
+
+
+class TestDedicatedPlacement:
+    def test_one_process_per_host(self):
+        spec = generate_topology(hosts(100), n_backends=64, fanout=8)
+        assert spec.num_backends == 64
+        assert len(spec.hosts()) == len(spec)  # nothing co-located
+
+    def test_front_end_gets_first_host(self):
+        spec = generate_topology(hosts(30), n_backends=16, fanout=4)
+        assert spec.root.host == "h000"
+
+    def test_auto_backend_count_fits_partition(self):
+        spec = generate_topology(hosts(64), fanout=8)
+        assert 1 + spec.num_internal + spec.num_backends <= 64
+        # Uses most of the partition.
+        assert spec.num_backends >= 48
+
+    def test_insufficient_hosts_rejected(self):
+        with pytest.raises(TopologyError):
+            generate_topology(hosts(10), n_backends=64, fanout=4)
+
+    def test_flat_dedicated(self):
+        spec = generate_topology(hosts(10), flat=True)
+        assert spec.depth == 1
+        assert spec.num_backends == 9
+        assert spec.root.host == "h000"
+        assert all(leaf.host != "h000" for leaf in spec.leaves())
+
+    def test_flat_dedicated_needs_two_hosts(self):
+        with pytest.raises(TopologyError):
+            generate_topology(hosts(1), flat=True)
+
+
+class TestColocatedPlacement:
+    def test_packs_round_robin(self):
+        spec = generate_topology(
+            hosts(8), n_backends=32, fanout=4, placement="colocated"
+        )
+        assert spec.num_backends == 32
+        assert set(spec.hosts()) <= set(hosts(8))
+        # More processes than hosts: some host carries several.
+        assert len(spec) > 8
+
+    def test_flat_colocated(self):
+        spec = generate_topology(hosts(4), flat=True, placement="colocated")
+        assert spec.num_backends == 4
+
+
+class TestValidation:
+    def test_empty_hosts(self):
+        with pytest.raises(TopologyError):
+            generate_topology([])
+
+    def test_duplicate_hosts_deduped(self):
+        spec = generate_topology(["a", "a", "b", "b", "c"], flat=True)
+        assert spec.num_backends == 2
+
+    def test_unknown_placement(self):
+        with pytest.raises(TopologyError):
+            generate_topology(hosts(4), placement="somewhere")
+
+
+class TestConfigOutput:
+    def test_config_parses_back(self):
+        text = generate_config(hosts(40), n_backends=25, fanout=5)
+        spec = parse_config(text)
+        assert spec.num_backends == 25
+        assert "auto-generated" in text
+
+    def test_cli_entry(self, tmp_path, capsys):
+        from repro.topology.autogen import _main
+
+        hostfile = tmp_path / "hosts.txt"
+        hostfile.write_text("# partition\n" + "\n".join(hosts(20)) + "\n")
+        assert _main([str(hostfile), "--fanout", "4", "--backends", "12"]) == 0
+        out = capsys.readouterr().out
+        spec = parse_config(out)
+        assert spec.num_backends == 12
+        assert spec.max_fanout <= 4

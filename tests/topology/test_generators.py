@@ -1,0 +1,176 @@
+"""Tests for topology generators and analysis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import (
+    HostAllocator,
+    TopologyError,
+    analyze,
+    balanced_tree,
+    balanced_tree_for,
+    binomial_tree,
+    flat_topology,
+    is_balanced,
+    knomial_tree,
+    levels,
+    to_networkx,
+    unbalanced_fig4,
+)
+
+
+class TestFlat:
+    def test_shape(self):
+        spec = flat_topology(16)
+        assert spec.depth == 1
+        assert spec.num_backends == 16
+        assert spec.num_internal == 0
+        assert len(spec.root.children) == 16
+
+    def test_minimum(self):
+        assert flat_topology(1).num_backends == 1
+        with pytest.raises(TopologyError):
+            flat_topology(0)
+
+
+class TestBalanced:
+    def test_fully_populated(self):
+        spec = balanced_tree(4, 2)
+        assert spec.num_backends == 16
+        assert spec.num_internal == 4
+        assert spec.depth == 2
+        assert is_balanced(spec)
+
+    def test_paper_fig4a(self):
+        """Figure 4a: fan-out-2 depth-4 tree reaching 16 back-ends."""
+        spec = balanced_tree(2, 4)
+        assert spec.num_backends == 16
+        assert spec.max_fanout == 2
+        assert spec.depth == 4
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            balanced_tree(1, 2)
+        with pytest.raises(TopologyError):
+            balanced_tree(2, 0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(2, 6), st.integers(1, 3))
+    def test_leaf_count(self, fanout, depth):
+        spec = balanced_tree(fanout, depth)
+        assert spec.num_backends == fanout**depth
+        assert is_balanced(spec)
+        assert all(len(n.children) in (0, fanout) for n in spec.nodes())
+
+
+class TestBalancedFor:
+    def test_exact_power(self):
+        spec = balanced_tree_for(4, 64)
+        assert spec.num_backends == 64
+        assert spec.max_fanout == 4
+
+    def test_small_goes_flat(self):
+        spec = balanced_tree_for(8, 5)
+        assert spec.depth == 1 and spec.num_backends == 5
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(2, 8), st.integers(1, 600))
+    def test_arbitrary_counts(self, fanout, n):
+        spec = balanced_tree_for(fanout, n)
+        assert spec.num_backends == n
+        assert spec.max_fanout <= fanout
+        # All leaves at the same depth.
+        depths = {spec.level_of(leaf) for leaf in spec.leaves()}
+        assert len(depths) == 1
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            balanced_tree_for(1, 4)
+        with pytest.raises(TopologyError):
+            balanced_tree_for(2, 0)
+
+
+class TestBinomialKnomial:
+    def test_binomial_sizes(self):
+        for order in range(1, 6):
+            assert len(binomial_tree(order)) == 2**order
+
+    def test_binomial_root_degree(self):
+        assert len(binomial_tree(3).root.children) == 3
+
+    def test_knomial(self):
+        spec = knomial_tree(3, 27)
+        assert len(spec) == 27
+
+    def test_knomial_exact_count(self):
+        for n in (2, 5, 16, 100):
+            assert len(knomial_tree(2, n)) == n
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            binomial_tree(0)
+        with pytest.raises(TopologyError):
+            knomial_tree(1, 4)
+        with pytest.raises(TopologyError):
+            knomial_tree(2, 1)
+
+
+class TestFig4b:
+    def test_paper_shape(self):
+        spec = unbalanced_fig4()
+        assert spec.num_backends == 16
+        # Root parents two internal heads + four back-ends = six-way.
+        assert len(spec.root.children) == 6
+        assert not is_balanced(spec)
+
+
+class TestHostAllocator:
+    def test_synthetic_hosts_unique(self):
+        alloc = HostAllocator()
+        slots = [alloc.next_slot() for _ in range(5)]
+        assert len({s.host for s in slots}) == 5
+        assert all(s.index == 0 for s in slots)
+
+    def test_round_robin_with_indices(self):
+        alloc = HostAllocator(["h1", "h2"])
+        slots = [alloc.next_slot() for _ in range(4)]
+        assert [(s.host, s.index) for s in slots] == [
+            ("h1", 0),
+            ("h2", 0),
+            ("h1", 1),
+            ("h2", 1),
+        ]
+
+    def test_generators_accept_host_list(self):
+        spec = flat_topology(6, hosts=["a", "b", "c"])
+        assert set(spec.hosts()) == {"a", "b", "c"}
+
+
+class TestAnalysis:
+    def test_stats(self):
+        stats = analyze(balanced_tree(4, 2))
+        assert stats.num_processes == 21
+        assert stats.num_backends == 16
+        assert stats.num_internal == 4
+        assert stats.balanced
+        assert stats.root_fanout == 4
+        assert stats.fanout_histogram == {4: 5}
+        assert "balanced" in stats.describe()
+
+    def test_unbalanced_detected(self):
+        assert not analyze(unbalanced_fig4()).balanced
+
+    def test_levels(self):
+        lv = levels(balanced_tree(2, 2))
+        assert [len(x) for x in lv] == [1, 2, 4]
+
+    def test_networkx_export(self):
+        g = to_networkx(balanced_tree(2, 2))
+        assert g.number_of_nodes() == 7
+        assert g.number_of_edges() == 6
+        roles = {d["role"] for _, d in g.nodes(data=True)}
+        assert roles == {"frontend", "internal", "backend"}
+        import networkx as nx
+
+        assert nx.is_tree(g.to_undirected())

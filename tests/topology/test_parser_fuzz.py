@@ -1,0 +1,90 @@
+"""Fuzz tests: the configuration parser must never crash unexpectedly.
+
+Arbitrary text either parses to a valid tree or raises
+:class:`TopologyError` — no other exception type escapes (tool
+front-ends hand these files to users, so crash hygiene matters).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import TopologyError, parse_config, serialize_config
+
+_config_alphabet = st.sampled_from(
+    list("abcxyz012 :;=>#\n\t") + ["=>", " ; ", "h:0 ", "# c\n"]
+)
+
+
+class TestParserFuzz:
+    @settings(max_examples=300, deadline=None)
+    @given(st.lists(_config_alphabet, max_size=40).map("".join))
+    def test_config_like_soup(self, text):
+        try:
+            spec = parse_config(text)
+        except TopologyError:
+            return
+        # Anything that parses must be a sane tree that round-trips.
+        assert len(spec) >= 2
+        again = parse_config(serialize_config(spec))
+        assert [n.label for n in again.nodes()] == [
+            n.label for n in spec.nodes()
+        ]
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.text(max_size=60))
+    def test_arbitrary_unicode(self, text):
+        try:
+            parse_config(text)
+        except TopologyError:
+            pass
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.text(alphabet="ab", min_size=1, max_size=3),
+                st.integers(0, 3),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_structured_productions(self, labels):
+        """Even structurally plausible productions with repeated labels
+        fail cleanly (duplicates, cycles, multiple roots → TopologyError)."""
+        lines = []
+        for i, (host, idx) in enumerate(labels):
+            child_host, child_idx = labels[(i + 1) % len(labels)]
+            lines.append(f"{host}:{idx} => {child_host}:{child_idx} ;")
+        try:
+            parse_config("\n".join(lines))
+        except TopologyError:
+            pass
+
+
+class TestMDLFuzz:
+    @settings(max_examples=200, deadline=None)
+    @given(st.text(max_size=80))
+    def test_mdl_never_crashes(self, text):
+        from repro.paradyn.mdl import MDLError, parse_mdl
+
+        try:
+            metrics = parse_mdl(text)
+        except MDLError:
+            return
+        assert metrics  # successful parses yield at least one metric
+
+
+class TestFormatFuzz:
+    @settings(max_examples=300, deadline=None)
+    @given(st.text(alphabet="%audlfscb ax", max_size=20))
+    def test_format_strings_never_crash(self, text):
+        from repro.core.formats import FormatError, parse_format
+
+        try:
+            fmt = parse_format(text)
+        except FormatError:
+            return
+        # Valid formats round-trip through their canonical form.
+        assert parse_format(fmt.canonical) == fmt

@@ -1,0 +1,150 @@
+"""Tests for topology spec, config parsing, and serialization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import (
+    TopologyError,
+    TopologyNode,
+    TopologySpec,
+    balanced_tree,
+    flat_topology,
+    parse_config,
+    serialize_config,
+)
+
+
+def small_tree() -> TopologySpec:
+    root = TopologyNode("fe", 0)
+    a = root.add_child(TopologyNode("n1", 0))
+    b = root.add_child(TopologyNode("n2", 0))
+    a.add_child(TopologyNode("be1", 0))
+    a.add_child(TopologyNode("be2", 0))
+    b.add_child(TopologyNode("be3", 0))
+    return TopologySpec(root)
+
+
+class TestSpec:
+    def test_leaves_in_rank_order(self):
+        spec = small_tree()
+        assert [n.host for n in spec.leaves()] == ["be1", "be2", "be3"]
+
+    def test_counts(self):
+        spec = small_tree()
+        assert len(spec) == 6
+        assert spec.num_backends == 3
+        assert spec.num_internal == 2
+        assert spec.depth == 2
+        assert spec.max_fanout == 2
+
+    def test_parent_and_level(self):
+        spec = small_tree()
+        be1 = spec.find("be1", 0)
+        assert spec.parent_of(be1).host == "n1"
+        assert spec.level_of(be1) == 2
+        assert spec.level_of(spec.root) == 0
+        assert spec.parent_of(spec.root) is None
+
+    def test_duplicate_slot_rejected(self):
+        root = TopologyNode("h", 0)
+        root.add_child(TopologyNode("h", 0))
+        with pytest.raises(TopologyError):
+            TopologySpec(root)
+
+    def test_trivial_rejected_by_default(self):
+        with pytest.raises(TopologyError):
+            TopologySpec(TopologyNode("solo", 0))
+        TopologySpec(TopologyNode("solo", 0), allow_trivial=True)
+
+    def test_find_unknown_raises(self):
+        with pytest.raises(TopologyError):
+            small_tree().find("nope", 0)
+
+    def test_contains(self):
+        spec = small_tree()
+        assert ("fe", 0) in spec
+        assert ("fe", 1) not in spec
+
+    def test_hosts_order(self):
+        assert small_tree().hosts() == ["fe", "n1", "be1", "be2", "n2", "be3"]
+
+    def test_empty_host_rejected(self):
+        root = TopologyNode("", 0)
+        root.add_child(TopologyNode("x", 0))
+        with pytest.raises(TopologyError):
+            TopologySpec(root)
+
+    def test_negative_index_rejected(self):
+        root = TopologyNode("a", 0)
+        root.add_child(TopologyNode("b", -1))
+        with pytest.raises(TopologyError):
+            TopologySpec(root)
+
+
+class TestParser:
+    CONFIG = """
+    # example topology
+    fe:0 => n1:0 n2:0 ;
+    n1:0 => be1:0 be2:0 ;
+    n2:0 => be3:0 ;
+    """
+
+    def test_parse(self):
+        spec = parse_config(self.CONFIG)
+        assert spec.root.label == "fe:0"
+        assert spec.num_backends == 3
+        assert [n.label for n in spec.leaves()] == ["be1:0", "be2:0", "be3:0"]
+
+    def test_comments_stripped(self):
+        spec = parse_config("a:0 => b:0 ; # trailing comment\n# whole line\n")
+        assert len(spec) == 2
+
+    def test_colocated_indices(self):
+        spec = parse_config("host:0 => host:1 host:2 ;")
+        assert spec.num_backends == 2
+        assert spec.root.key == ("host", 0)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "a:0 b:0 ;",  # missing =>
+            "a:0 => ;",  # no children
+            "a:0 => b:0",  # missing ;
+            "a:0 => b:0 ; a:0 => c:0 ;",  # duplicate production
+            "a:0 => b:0 ; c:0 => b:0 ;",  # child claimed twice
+            "a:0 => b:0 ; c:0 => d:0 ;",  # two roots
+            "a => b:0 ;",  # malformed label
+            "a:x => b:0 ;",
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(TopologyError):
+            parse_config(bad)
+
+    def test_cycle_rejected(self):
+        # a => b, b => a has no root (both appear as children).
+        with pytest.raises(TopologyError):
+            parse_config("a:0 => b:0 ; b:0 => a:0 ;")
+
+    def test_serialize_roundtrip(self):
+        spec = small_tree()
+        text = serialize_config(spec, header="generated")
+        again = parse_config(text)
+        assert [n.label for n in again.nodes()] == [n.label for n in spec.nodes()]
+        assert "# generated" in text
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(2, 5), st.integers(1, 3))
+    def test_serialize_roundtrip_generated(self, fanout, depth):
+        spec = balanced_tree(fanout, depth)
+        again = parse_config(serialize_config(spec))
+        assert again.num_backends == spec.num_backends
+        assert again.depth == spec.depth
+        assert [n.label for n in again.leaves()] == [n.label for n in spec.leaves()]
+
+    def test_flat_roundtrip(self):
+        spec = flat_topology(10)
+        again = parse_config(serialize_config(spec))
+        assert again.num_backends == 10 and again.depth == 1

@@ -1,0 +1,114 @@
+"""Tests for in-memory channels and inboxes."""
+
+import queue
+import threading
+
+import pytest
+
+from repro.transport.channel import Channel, ChannelClosed, Inbox
+
+
+class TestChannel:
+    def test_bidirectional_delivery(self):
+        a, b = Inbox(), Inbox()
+        ch = Channel(a, b)
+        ch.end_a.send(b"to-b")
+        ch.end_b.send(b"to-a")
+        assert b.get(timeout=1) == (ch.link_id, b"to-b")
+        assert a.get(timeout=1) == (ch.link_id, b"to-a")
+
+    def test_shared_link_id(self):
+        a, b = Inbox(), Inbox()
+        ch = Channel(a, b)
+        assert ch.end_a.link_id == ch.end_b.link_id == ch.link_id
+
+    def test_unique_link_ids(self):
+        a, b = Inbox(), Inbox()
+        ids = {Channel(a, b).link_id for _ in range(10)}
+        assert len(ids) == 10
+
+    def test_fifo_order(self):
+        a, b = Inbox(), Inbox()
+        ch = Channel(a, b)
+        for i in range(50):
+            ch.end_a.send(bytes([i]))
+        got = [b.get(timeout=1)[1][0] for _ in range(50)]
+        assert got == list(range(50))
+
+    def test_close_notifies_peer(self):
+        a, b = Inbox(), Inbox()
+        ch = Channel(a, b)
+        ch.end_a.close()
+        link, payload = b.get(timeout=1)
+        assert link == ch.link_id and payload is None
+
+    def test_send_after_close_raises(self):
+        a, b = Inbox(), Inbox()
+        ch = Channel(a, b)
+        ch.end_a.close()
+        with pytest.raises(ChannelClosed):
+            ch.end_a.send(b"x")
+        with pytest.raises(ChannelClosed):
+            ch.end_b.send(b"y")
+
+    def test_close_idempotent(self):
+        a, b = Inbox(), Inbox()
+        ch = Channel(a, b)
+        ch.end_a.close()
+        ch.end_a.close()
+        assert b.get(timeout=1)[1] is None
+        assert b.empty()
+
+    def test_rejects_non_bytes(self):
+        a, b = Inbox(), Inbox()
+        ch = Channel(a, b)
+        with pytest.raises(TypeError):
+            ch.end_a.send("not bytes")  # type: ignore[arg-type]
+
+    def test_payload_copied_to_bytes(self):
+        a, b = Inbox(), Inbox()
+        ch = Channel(a, b)
+        buf = bytearray(b"abc")
+        ch.end_a.send(buf)
+        buf[0] = 0
+        assert b.get(timeout=1)[1] == b"abc"
+
+
+class TestInbox:
+    def test_multiplexes_many_channels(self):
+        hub = Inbox()
+        others = [Inbox() for _ in range(4)]
+        channels = [Channel(o, hub) for o in others]
+        for i, ch in enumerate(channels):
+            ch.end_a.send(bytes([i]))
+        got = {hub.get(timeout=1) for _ in range(4)}
+        assert got == {(ch.link_id, bytes([i])) for i, ch in enumerate(channels)}
+
+    def test_get_timeout(self):
+        with pytest.raises(queue.Empty):
+            Inbox().get(timeout=0.01)
+
+    def test_get_nowait(self):
+        inbox = Inbox()
+        with pytest.raises(queue.Empty):
+            inbox.get_nowait()
+
+    def test_threaded_producers(self):
+        hub = Inbox()
+        other = Inbox()
+        ch = Channel(other, hub)
+
+        def produce(n):
+            for _ in range(n):
+                ch.end_a.send(b"m")
+
+        threads = [threading.Thread(target=produce, args=(100,)) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        count = 0
+        while not hub.empty():
+            hub.get_nowait()
+            count += 1
+        assert count == 400
