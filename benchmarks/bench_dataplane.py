@@ -1,0 +1,240 @@
+"""Data-plane microbenchmark: lazy zero-copy vs. eager decode/re-encode.
+
+Measures the three hop patterns the zero-copy lazy data plane targets
+(paper §2.3: internal processes forward packets "by reference whenever
+possible"):
+
+1. **relay hop** — a comm node receives a batched message for a stream
+   it holds no state for and forwards it unchanged.  Baseline: full
+   eager decode (per-field parse + per-element validation, as the seed
+   tree did) followed by a from-scratch re-encode.  New: header-only
+   lazy decode, re-batching the original wire frames.
+2. **8-ary fan-out** — one inbound downstream message flooded to eight
+   children (eight `PacketBuffer`s, eight encodes).
+3. **10k-element float reduction** — one wave of eight ``%alf`` packets
+   summed by ``TFILTER_SUM``.  Baseline: tuple-decoded values and the
+   per-element Python fold.  New: read-only ndarray views off the wire
+   and a vectorized ``np.add`` reduction.
+
+Writes ``BENCH_dataplane.json`` (repo root by default) with baseline
+and new numbers plus speedups.  ``--smoke`` runs a fast sanity pass
+(used by CI); it still checks that the lazy relay path wins, just with
+fewer iterations.
+
+Usage::
+
+   PYTHONPATH=src python benchmarks/bench_dataplane.py [--smoke] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import struct
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.batching import PacketBuffer, decode_batch, encode_batch  # noqa: E402
+from repro.core.packet import Packet, PacketDecodeError  # noqa: E402
+from repro.filters.base import FilterState  # noqa: E402
+from repro.filters.transform import sum_filter  # noqa: E402
+
+_U32 = struct.Struct(">I")
+
+
+def decode_batch_validating(data):
+    """The seed-equivalent eager path: full decode + value revalidation."""
+    view = memoryview(data)
+    (count,) = _U32.unpack_from(view, 0)
+    offset = _U32.size
+    packets = []
+    for _ in range(count):
+        (length,) = _U32.unpack_from(view, offset)
+        offset += _U32.size
+        end = offset + length
+        if end > len(view):
+            raise PacketDecodeError("truncated packet body")
+        packet, consumed = Packet.decode_from(view[offset:end], 0, trusted=False)
+        if consumed != length:
+            raise PacketDecodeError("packet frame length mismatch")
+        packets.append(packet)
+        offset = end
+    return packets
+
+
+def _bench(fn, rounds: int, repeats: int = 3) -> float:
+    """Best-of-N wall time for *rounds* calls of *fn* (seconds)."""
+    timings = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(rounds):
+            fn()
+        timings.append(time.perf_counter() - start)
+    return min(timings)
+
+
+def make_relay_payload(n_packets: int) -> bytes:
+    return encode_batch(
+        [
+            Packet(50, i, "%d %lf %s", (i, i * 0.5, f"metric-{i}"), origin_rank=i)
+            for i in range(n_packets)
+        ]
+    )
+
+
+def bench_relay(payload: bytes, n_packets: int, rounds: int) -> dict:
+    """One relay hop: unbatch, queue toward parent, re-batch."""
+
+    def eager():
+        encode_batch(decode_batch_validating(payload))
+
+    def lazy():
+        encode_batch(decode_batch(payload))
+
+    assert lazy_output_matches(payload)
+    t_eager = _bench(eager, rounds)
+    t_lazy = _bench(lazy, rounds)
+    pps = lambda t: n_packets * rounds / t  # noqa: E731
+    return {
+        "packets_per_message": n_packets,
+        "rounds": rounds,
+        "baseline_pps": round(pps(t_eager), 1),
+        "lazy_pps": round(pps(t_lazy), 1),
+        "speedup": round(t_eager / t_lazy, 2),
+    }
+
+
+def lazy_output_matches(payload: bytes) -> bool:
+    """The lazy relay must forward byte-identical messages."""
+    return encode_batch(decode_batch(payload)) == payload
+
+
+def bench_fanout(payload: bytes, n_packets: int, fanout: int, rounds: int) -> dict:
+    """One inbound message flooded to *fanout* children."""
+
+    def run(decoder):
+        packets = decoder(payload)
+        buffers = [PacketBuffer(i) for i in range(fanout)]
+        for p in packets:
+            for buf in buffers:
+                buf.add(p)
+        for buf in buffers:
+            buf.encode()
+
+    t_eager = _bench(lambda: run(decode_batch_validating), rounds)
+    t_lazy = _bench(lambda: run(decode_batch), rounds)
+    pps = lambda t: n_packets * fanout * rounds / t  # noqa: E731
+    return {
+        "packets_per_message": n_packets,
+        "fanout": fanout,
+        "rounds": rounds,
+        "baseline_pps": round(pps(t_eager), 1),
+        "lazy_pps": round(pps(t_lazy), 1),
+        "speedup": round(t_eager / t_lazy, 2),
+    }
+
+
+def bench_reduction(n_elements: int, wave_size: int, rounds: int) -> dict:
+    """A TFILTER_SUM wave of %alf packets, one per child."""
+    frames = [
+        encode_batch(
+            [
+                Packet(
+                    60,
+                    1,
+                    "%alf",
+                    (tuple(float(i + c) for i in range(n_elements)),),
+                    origin_rank=c,
+                )
+            ]
+        )
+        for c in range(wave_size)
+    ]
+
+    def run(decoder):
+        wave = [decoder(f)[0] for f in frames]
+        (out,) = sum_filter(wave, FilterState())
+        out.to_bytes()
+
+    # sanity: both paths agree
+    eager_wave = [decode_batch_validating(f)[0] for f in frames]
+    lazy_wave = [decode_batch(f)[0] for f in frames]
+    (ref,) = sum_filter(eager_wave, FilterState())
+    (vec,) = sum_filter(lazy_wave, FilterState())
+    assert all(
+        abs(a - b) < 1e-6 for a, b in zip(ref.values[0], vec.values[0])
+    ), "vectorized reduction disagrees with scalar fold"
+
+    t_eager = _bench(lambda: run(decode_batch_validating), rounds)
+    t_lazy = _bench(lambda: run(decode_batch), rounds)
+    ops = lambda t: rounds / t  # noqa: E731
+    return {
+        "elements": n_elements,
+        "wave_size": wave_size,
+        "rounds": rounds,
+        "baseline_ops_per_s": round(ops(t_eager), 2),
+        "vectorized_ops_per_s": round(ops(t_lazy), 2),
+        "speedup": round(t_eager / t_lazy, 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="fast sanity pass (CI)"
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_dataplane.json",
+        help="where to write the JSON results",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        relay_rounds, fanout_rounds, reduce_rounds = 20, 10, 5
+    else:
+        relay_rounds, fanout_rounds, reduce_rounds = 300, 100, 60
+
+    n_packets = 256
+    payload = make_relay_payload(n_packets)
+
+    results = {
+        "relay_hop": bench_relay(payload, n_packets, relay_rounds),
+        "fanout_8ary": bench_fanout(payload, n_packets, 8, fanout_rounds),
+        "reduction_10k_lf": bench_reduction(10_000, 8, reduce_rounds),
+    }
+
+    doc = {
+        "benchmark": "bench_dataplane",
+        "description": (
+            "Per-hop data-plane cost: eager decode/validate/re-encode "
+            "(seed baseline) vs. zero-copy lazy decode (new)"
+        ),
+        "mode": "smoke" if args.smoke else "full",
+        "python": sys.version.split()[0],
+        "results": results,
+    }
+    args.out.write_text(json.dumps(doc, indent=2) + "\n")
+
+    print(f"{'scenario':<20} {'baseline':>14} {'lazy/vector':>14} {'speedup':>9}")
+    for name, row in results.items():
+        base = row.get("baseline_pps", row.get("baseline_ops_per_s"))
+        new = row.get("lazy_pps", row.get("vectorized_ops_per_s"))
+        print(f"{name:<20} {base:>14,.1f} {new:>14,.1f} {row['speedup']:>8.2f}x")
+    print(f"\nresults written to {args.out}")
+
+    if results["relay_hop"]["speedup"] < (1.5 if args.smoke else 3.0):
+        print("FAIL: relay-hop speedup below threshold", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

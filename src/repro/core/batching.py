@@ -15,6 +15,13 @@ encodes them into a single framed message:
 Packets are held *by reference* until :meth:`PacketBuffer.encode` is
 called, so fan-out to several children never copies payloads (the
 zero-copy path the paper calls out).
+
+Unbatching is *lazy* by default: :func:`decode_batch` validates the
+framing eagerly (counts, lengths, no trailing bytes) but yields
+:meth:`~repro.core.packet.Packet.lazy_from_wire` packets whose payload
+stays an undecoded ``memoryview`` slice of the inbound message.  A
+relay hop that re-batches such a packet forwards the original frame
+bytes untouched — no field decode, no validation, no re-encode.
 """
 
 from __future__ import annotations
@@ -30,8 +37,13 @@ _U32 = struct.Struct(">I")
 
 
 def encode_batch(packets: Iterable[Packet]) -> bytes:
-    """Encode an iterable of packets into one framed message."""
-    bodies = [p.to_bytes() for p in packets]
+    """Encode an iterable of packets into one framed message.
+
+    Uses :meth:`Packet.encoded_view`, so an undecoded lazy packet
+    contributes its original wire frame without a private copy; the
+    only copy is the final join into the outgoing message.
+    """
+    bodies = [p.encoded_view() for p in packets]
     parts = [_U32.pack(len(bodies))]
     for body in bodies:
         parts.append(_U32.pack(len(body)))
@@ -39,8 +51,16 @@ def encode_batch(packets: Iterable[Packet]) -> bytes:
     return b"".join(parts)
 
 
-def decode_batch(data: bytes | memoryview) -> List[Packet]:
-    """Decode a framed message back into its packets."""
+def decode_batch(data: bytes | memoryview, *, lazy: bool = True) -> List[Packet]:
+    """Decode a framed message back into its packets.
+
+    Framing (count, per-packet lengths, trailing bytes) is validated
+    eagerly either way.  With ``lazy=True`` (the default) each packet
+    is a header-only :meth:`Packet.lazy_from_wire` over a zero-copy
+    slice of *data*; its field values decode on first access, and a
+    truncated/corrupt *body* raises :class:`PacketDecodeError` at that
+    point instead of here.  ``lazy=False`` restores eager full decode.
+    """
     view = memoryview(data)
     try:
         (count,) = _U32.unpack_from(view, 0)
@@ -57,10 +77,13 @@ def decode_batch(data: bytes | memoryview) -> List[Packet]:
         end = offset + length
         if end > len(view):
             raise PacketDecodeError("truncated packet body")
-        packet, consumed = Packet.decode_from(view[offset:end], 0)
-        if consumed != length:
-            raise PacketDecodeError("packet frame length mismatch")
-        packets.append(packet)
+        if lazy:
+            packets.append(Packet.lazy_from_wire(view[offset:end]))
+        else:
+            packet, consumed = Packet.decode_from(view[offset:end], 0)
+            if consumed != length:
+                raise PacketDecodeError("packet frame length mismatch")
+            packets.append(packet)
         offset = end
     if offset != len(view):
         raise PacketDecodeError(f"{len(view) - offset} trailing bytes after batch")
@@ -74,6 +97,10 @@ class PacketBuffer:
     before :meth:`should_flush` reports it is ready to send; a comm
     node flushes all buffers at the end of each processing round
     regardless, so these are upper bounds, not delays.
+
+    Byte accounting uses :attr:`Packet.nbytes`, which for an undecoded
+    lazy packet is the length of its wire frame — tracking size never
+    forces a decode or an eager encode of a lazy packet.
     """
 
     __slots__ = ("destination", "max_packets", "max_bytes", "_packets", "_nbytes")

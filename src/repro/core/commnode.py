@@ -15,7 +15,13 @@ functional layers of Figure 3 map onto :class:`NodeCore` methods:
 Packets are "manipulated by reference whenever possible": a packet
 fanned out to several children is appended to each child's buffer as
 the same object, and its encoded bytes are produced once
-(``Packet.to_bytes`` caches).
+(``Packet.to_bytes`` caches).  Inbound packets arrive *lazy*
+(:meth:`~repro.core.packet.Packet.lazy_from_wire`): only the 12-byte
+header is parsed, so a hop that merely relays — unknown stream,
+downstream flood, ``TFILTER_NULL`` — forwards the original wire frame
+without ever decoding or re-validating field values.  The
+``packets_relayed_zero_copy`` stat counts packets that left this node
+on that fast path.
 
 :class:`CommNode` wraps a :class:`NodeCore` in a daemon thread with a
 ``select``-style loop over the node's inbox.  The tool front-end
@@ -93,11 +99,18 @@ class NodeCore:
             self._parent_buffer = PacketBuffer(parent.link_id)
         self._child_buffers: Dict[int, PacketBuffer] = {}
         # Stats used by tests and ablation benches.
+        # ``packets_relayed_zero_copy`` counts packets appended to an
+        # outbound buffer while still undecoded lazy wire frames: the
+        # §2.3 forward-by-reference fast path, taken by pure relays
+        # (no stream manager), downstream floods, and TFILTER_NULL
+        # streams.  Each such packet is re-sent as its original bytes
+        # without any field decode, validation, or re-encode.
         self.stats = {
             "packets_up": 0,
             "packets_down": 0,
             "messages_sent": 0,
             "waves_aggregated": 0,
+            "packets_relayed_zero_copy": 0,
         }
 
     # -- wiring -----------------------------------------------------------
@@ -251,6 +264,8 @@ class NodeCore:
 
     def _queue_up(self, packet: Packet) -> None:
         if self._parent_buffer is not None:
+            if not packet.values_decoded:
+                self.stats["packets_relayed_zero_copy"] += 1
             self._parent_buffer.add(packet)
         else:
             self.deliver_local(packet)
@@ -258,6 +273,8 @@ class NodeCore:
     def _queue_down(self, link_id: int, packet: Packet) -> None:
         buf = self._child_buffers.get(link_id)
         if buf is not None:
+            if not packet.values_decoded:
+                self.stats["packets_relayed_zero_copy"] += 1
             buf.add(packet)
 
     def deliver_local(self, packet: Packet) -> None:

@@ -257,9 +257,9 @@ class Network:
                 text += f":{spec[2]}"
             filter_args += ["--filter", text]
 
-        queue_ = [self.topology.root]
+        queue_: Deque[TopologyNode] = deque([self.topology.root])
         while queue_:
-            node = queue_.pop(0)
+            node = queue_.popleft()
             for child in node.children:
                 if child.is_leaf:
                     rank = rank_of[child.key]

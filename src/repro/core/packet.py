@@ -20,10 +20,37 @@ The wire encoding ("efficient, packed binary representation", §1) is:
    uint32 fmt_len | fmt bytes (UTF-8, canonical) |
    packed fields ...
 
-All multi-byte quantities are big-endian ("network order").  Inside a
-process packets are passed by reference and never re-encoded
-(zero-copy path, §2.3); :meth:`Packet.to_bytes` caches its result so a
-packet fanned out to many children is serialized once.
+All multi-byte quantities are big-endian ("network order").
+
+Zero-copy lazy data plane
+-------------------------
+
+The paper's internal processes forward packets "by reference whenever
+possible" (§2.3).  Three constructors with different trust/laziness
+levels make that literal:
+
+* ``Packet(...)`` — the user-facing constructor: validates and
+  normalises every value (``_normalise``).
+* :meth:`Packet.trusted` — skips validation for values whose typing is
+  already guaranteed (decoded off the wire, or computed by a built-in
+  filter from decoded inputs).
+* :meth:`Packet.lazy_from_wire` — parses *only* the fixed 12-byte
+  header and keeps the rest of the frame as an undecoded
+  ``bytes``/``memoryview`` slice.  ``fmt`` and ``values`` decode on
+  first access; :meth:`to_bytes` returns the original frame
+  byte-identically.  A relay hop that never touches ``values``
+  therefore never decodes, validates, or re-encodes anything.
+
+Large array fields (``> _NUMPY_THRESHOLD`` elements) decode to
+read-only numpy views over the wire buffer instead of Python tuples;
+:attr:`raw_values` exposes them for vectorized filters, while the
+public :attr:`values` materialises plain tuples on demand (and caches
+the result), so user-visible semantics — equality, hashing, indexing —
+are unchanged.
+
+Inside a process packets are passed by reference and never re-encoded;
+:meth:`Packet.to_bytes` caches its result so a packet fanned out to
+many children is serialized once (zero-copy path, §2.3).
 """
 
 from __future__ import annotations
@@ -43,8 +70,10 @@ _U32 = struct.Struct(">I")
 # Above this element count, array fields go through numpy's vectorized
 # byte-swap/copy instead of struct.pack(*values) — an order of magnitude
 # faster for the multi-thousand-element vectors concatenation builds.
+# The same threshold gates decoding to an ndarray view vs. a tuple.
 _NUMPY_THRESHOLD = 64
 
+# Big-endian (wire) dtypes, used on the encode path.
 _NP_DTYPE = {
     TypeCode.CHAR: np.dtype(">u1"),
     TypeCode.INT32: np.dtype(">i4"),
@@ -53,6 +82,17 @@ _NP_DTYPE = {
     TypeCode.UINT64: np.dtype(">u8"),
     TypeCode.FLOAT32: np.dtype(">f4"),
     TypeCode.FLOAT64: np.dtype(">f8"),
+}
+
+# Native-order dtypes, used for in-memory vectorized computation.
+NATIVE_DTYPE = {
+    TypeCode.CHAR: np.dtype("u1"),
+    TypeCode.INT32: np.dtype("i4"),
+    TypeCode.UINT32: np.dtype("u4"),
+    TypeCode.INT64: np.dtype("i8"),
+    TypeCode.UINT64: np.dtype("u8"),
+    TypeCode.FLOAT32: np.dtype("f4"),
+    TypeCode.FLOAT64: np.dtype("f8"),
 }
 
 
@@ -131,8 +171,13 @@ def _normalise(fields: Tuple[FieldSpec, ...], values: Sequence[Any]) -> Tuple[An
     return tuple(out)
 
 
-def _normalise_ndarray(code: TypeCode, arr: np.ndarray) -> Tuple[Any, ...]:
-    """Vectorized validation + conversion of a numpy array field."""
+def _normalise_ndarray(code: TypeCode, arr: np.ndarray) -> np.ndarray:
+    """Vectorized validation of a numpy array field.
+
+    Returns a *read-only private copy* in the field's native dtype, so
+    later mutation by the caller cannot change the packet, and the
+    encode path is a single byteswap copy.
+    """
     if arr.ndim != 1:
         raise FormatError(f"array fields must be 1-D, got shape {arr.shape}")
     if code.is_integral:
@@ -148,10 +193,20 @@ def _normalise_ndarray(code: TypeCode, arr: np.ndarray) -> Tuple[Any, ...]:
             raise FormatError(
                 f"expected numeric array for {code}, got dtype {arr.dtype}"
             )
-        return tuple(arr.astype(float).tolist())
     else:
         raise FormatError(f"ndarray not supported for {code}")
-    return tuple(arr.tolist())
+    out = np.array(arr, dtype=NATIVE_DTYPE[code])
+    out.setflags(write=False)
+    return out
+
+
+def _materialize(raw: Tuple[Any, ...]) -> Tuple[Any, ...]:
+    """Convert any ndarray-backed fields to plain tuples."""
+    if any(isinstance(v, np.ndarray) for v in raw):
+        return tuple(
+            tuple(v.tolist()) if isinstance(v, np.ndarray) else v for v in raw
+        )
+    return raw
 
 
 class Packet:
@@ -171,7 +226,16 @@ class Packet:
         Rank of the producing end-point (0 for the front-end).
     """
 
-    __slots__ = ("stream_id", "tag", "fmt", "values", "origin_rank", "_encoded")
+    __slots__ = (
+        "stream_id",
+        "tag",
+        "origin_rank",
+        "_fmt",
+        "_values",
+        "_public",
+        "_encoded",
+        "_body",
+    )
 
     def __init__(
         self,
@@ -189,10 +253,146 @@ class Packet:
             raise ValueError(f"origin_rank {origin_rank} out of uint32 range")
         self.stream_id = int(stream_id)
         self.tag = int(tag)
-        self.fmt = fmt if isinstance(fmt, FormatString) else parse_format(fmt)
-        self.values = _normalise(self.fmt.fields, values)
+        self._fmt = fmt if isinstance(fmt, FormatString) else parse_format(fmt)
+        self._values = _normalise(self._fmt.fields, values)
+        self._public = None
         self.origin_rank = int(origin_rank)
-        self._encoded: bytes | None = None
+        self._encoded: bytes | memoryview | None = None
+        self._body: int | None = None
+
+    # -- alternate constructors ------------------------------------------
+
+    @classmethod
+    def trusted(
+        cls,
+        stream_id: int,
+        tag: int,
+        fmt: FormatString | str,
+        values: Sequence[Any],
+        origin_rank: int = 0,
+    ) -> "Packet":
+        """Construct without value validation or normalisation.
+
+        For values whose typing is already guaranteed: they were just
+        decoded from the wire (the sender validated them), or computed
+        by a built-in filter from decoded inputs.  ``values`` may
+        contain read-only ndarrays for array fields; these stay
+        vectorized until user code materialises :attr:`values`.
+        """
+        p = object.__new__(cls)
+        p.stream_id = stream_id
+        p.tag = tag
+        p.origin_rank = origin_rank
+        p._fmt = fmt if isinstance(fmt, FormatString) else parse_format(fmt)
+        p._values = tuple(values)
+        p._public = None
+        p._encoded = None
+        p._body = None
+        return p
+
+    @classmethod
+    def lazy_from_wire(cls, frame: bytes | memoryview) -> "Packet":
+        """Deferred decode: parse only the fixed header, keep the frame.
+
+        The returned packet knows its ``stream_id``/``tag``/
+        ``origin_rank`` (enough to demultiplex and route); ``fmt`` and
+        ``values`` decode lazily on first access.  :meth:`to_bytes`
+        returns *frame* byte-identically, so relay hops forward the
+        inbound bytes without any decode/re-encode round trip.
+
+        Raises :class:`PacketDecodeError` if *frame* is too short to
+        hold a packet header; payload truncation is detected lazily,
+        when (if ever) the values are first decoded.
+        """
+        try:
+            stream_id, tag, origin = _HEADER.unpack_from(frame, 0)
+        except struct.error as exc:
+            raise PacketDecodeError(str(exc)) from exc
+        p = object.__new__(cls)
+        p.stream_id = stream_id
+        p.tag = tag
+        p.origin_rank = origin
+        p._fmt = None
+        p._values = None
+        p._public = None
+        p._encoded = frame if isinstance(frame, (bytes, memoryview)) else bytes(frame)
+        p._body = None
+        return p
+
+    # -- lazy attributes --------------------------------------------------
+
+    @property
+    def fmt(self) -> FormatString:
+        """The packet format (parsed from the wire frame on demand)."""
+        if self._fmt is None:
+            self._parse_wire_fmt()
+        return self._fmt
+
+    @property
+    def values(self) -> Tuple[Any, ...]:
+        """Field values as plain tuples (decoded/materialised on demand)."""
+        public = self._public
+        if public is None:
+            raw = self._values
+            if raw is None:
+                raw = self._decode_values()
+            public = self._public = _materialize(raw)
+        return public
+
+    @property
+    def raw_values(self) -> Tuple[Any, ...]:
+        """Field values without tuple materialisation.
+
+        Array fields decoded from large wire frames (or produced by
+        vectorized filters) appear as read-only 1-D ndarrays; everything
+        else is the same objects :attr:`values` would contain.  Filters
+        use this to reduce vectorized without paying for ``tolist``.
+        """
+        raw = self._values
+        if raw is None:
+            raw = self._decode_values()
+        return raw
+
+    @property
+    def values_decoded(self) -> bool:
+        """False while this is an undecoded lazy wire packet."""
+        return self._values is not None
+
+    def _parse_wire_fmt(self) -> None:
+        view = self._encoded
+        try:
+            (fmt_len,) = _U32.unpack_from(view, _HEADER.size)
+        except struct.error as exc:
+            raise PacketDecodeError(str(exc)) from exc
+        start = _HEADER.size + _U32.size
+        raw = bytes(view[start : start + fmt_len])
+        if len(raw) != fmt_len:
+            raise PacketDecodeError("truncated format string")
+        try:
+            self._fmt = parse_format(raw.decode("utf-8"))
+        except (UnicodeDecodeError, FormatError) as exc:
+            raise PacketDecodeError(str(exc)) from exc
+        self._body = start + fmt_len
+
+    def _decode_values(self) -> Tuple[Any, ...]:
+        fmt = self.fmt  # parses the wire fmt, setting _body
+        view = self._encoded
+        if isinstance(view, bytes):
+            view = memoryview(view)
+        offset = self._body
+        values = []
+        try:
+            for spec in fmt.fields:
+                value, offset = _decode_field(view, offset, spec)
+                values.append(value)
+        except struct.error as exc:
+            raise PacketDecodeError(str(exc)) from exc
+        if offset != len(view):
+            raise PacketDecodeError(
+                f"{len(view) - offset} trailing bytes after packet"
+            )
+        self._values = tuple(values)
+        return self._values
 
     # -- value access ---------------------------------------------------
 
@@ -208,6 +408,23 @@ class Packet:
     def unpack(self) -> Tuple[Any, ...]:
         """Return all field values as a tuple (scanf-style receive)."""
         return self.values
+
+    def array(self, idx: int) -> np.ndarray:
+        """Field *idx* as a (read-only) 1-D ndarray, without tuple cost.
+
+        Only valid for numeric array fields; the cheap path when the
+        packet was decoded from a large wire frame (the ndarray is a
+        view over the frame), a conversion otherwise.
+        """
+        spec = self.fmt.fields[idx]
+        if not spec.is_array or spec.code is TypeCode.STRING:
+            raise FormatError(f"field {idx} ({spec.spec}) is not a numeric array")
+        value = self.raw_values[idx]
+        if isinstance(value, np.ndarray):
+            return value
+        arr = np.asarray(value, dtype=NATIVE_DTYPE[spec.code])
+        arr.setflags(write=False)
+        return arr
 
     # -- identity --------------------------------------------------------
 
@@ -226,6 +443,12 @@ class Packet:
         return hash((self.stream_id, self.tag, self.fmt, self.values, self.origin_rank))
 
     def __repr__(self) -> str:
+        if self._values is None and self._public is None:
+            return (
+                f"Packet(stream={self.stream_id}, tag={self.tag}, "
+                f"<undecoded {len(self._encoded)}B frame>, "
+                f"origin={self.origin_rank})"
+            )
         vals = ", ".join(repr(v) for v in self.values[:4])
         if len(self.values) > 4:
             vals += ", ..."
@@ -252,27 +475,50 @@ class Packet:
     # -- codec -----------------------------------------------------------
 
     def to_bytes(self) -> bytes:
-        """Encode to the packed wire representation (cached)."""
-        if self._encoded is None:
+        """Encode to the packed wire representation (cached).
+
+        For a packet built by :meth:`lazy_from_wire` this returns the
+        original inbound frame byte-identically — even if its format
+        text was non-canonical — so a relayed packet is bit-exact.
+        """
+        enc = self._encoded
+        if enc is None:
             parts = [
                 _HEADER.pack(self.stream_id, self.tag, self.origin_rank),
             ]
             fmt_bytes = self.fmt.canonical.encode("utf-8")
             parts.append(_U32.pack(len(fmt_bytes)))
             parts.append(fmt_bytes)
-            for spec, value in zip(self.fmt.fields, self.values):
+            for spec, value in zip(self.fmt.fields, self._values):
                 _encode_field(parts, spec, value)
-            self._encoded = b"".join(parts)
-        return self._encoded
+            enc = self._encoded = b"".join(parts)
+        elif not isinstance(enc, bytes):
+            enc = self._encoded = bytes(enc)
+        return enc
+
+    def encoded_view(self) -> bytes | memoryview:
+        """Wire bytes without forcing a copy of a lazy packet's frame.
+
+        Returns the raw ``memoryview`` slice for an undecoded wire
+        packet (zero-copy relay path), else the cached/computed
+        :meth:`to_bytes` result.  Callers must treat it as read-only.
+        """
+        enc = self._encoded
+        if enc is not None:
+            return enc
+        return self.to_bytes()
 
     @property
     def nbytes(self) -> int:
-        """Encoded size in bytes."""
+        """Encoded size in bytes (never decodes a lazy packet)."""
+        enc = self._encoded
+        if enc is not None:
+            return len(enc)
         return len(self.to_bytes())
 
     @classmethod
     def from_bytes(cls, data: bytes | memoryview) -> "Packet":
-        """Decode a packet from its wire representation."""
+        """Decode a packet from its wire representation (eagerly)."""
         packet, offset = cls.decode_from(data, 0)
         if offset != len(data):
             raise PacketDecodeError(
@@ -281,8 +527,17 @@ class Packet:
         return packet
 
     @classmethod
-    def decode_from(cls, data: bytes | memoryview, offset: int) -> Tuple["Packet", int]:
-        """Decode one packet starting at *offset*; return (packet, end)."""
+    def decode_from(
+        cls, data: bytes | memoryview, offset: int, *, trusted: bool = True
+    ) -> Tuple["Packet", int]:
+        """Decode one packet starting at *offset*; return (packet, end).
+
+        With ``trusted=True`` (the default) the decoded values skip
+        re-validation: they came off the wire, where only well-typed
+        values can be represented, so the per-element ``_check_scalar``
+        pass is pure overhead.  ``trusted=False`` restores the
+        validating constructor for frames from untrusted producers.
+        """
         view = memoryview(data)
         try:
             stream_id, tag, origin = _HEADER.unpack_from(view, offset)
@@ -300,7 +555,9 @@ class Packet:
                 values.append(value)
         except (struct.error, UnicodeDecodeError, FormatError) as exc:
             raise PacketDecodeError(str(exc)) from exc
-        return cls(stream_id, tag, fmt, values, origin), offset
+        if trusted:
+            return cls.trusted(stream_id, tag, fmt, values, origin), offset
+        return cls(stream_id, tag, fmt, _materialize(tuple(values)), origin), offset
 
 
 def _encode_field(parts: list, spec: FieldSpec, value: Any) -> None:
@@ -314,11 +571,14 @@ def _encode_field(parts: list, spec: FieldSpec, value: Any) -> None:
                 parts.append(raw)
         else:
             parts.append(_U32.pack(len(value)))
-            if len(value) > _NUMPY_THRESHOLD:
+            if isinstance(value, np.ndarray) or len(value) > _NUMPY_THRESHOLD:
                 # Vectorized encode: one big-endian copy, no per-element
                 # Python work.
-                parts.append(np.asarray(value, dtype=_NP_DTYPE[code]).tobytes())
-            elif value:
+                if len(value):
+                    parts.append(
+                        np.asarray(value, dtype=_NP_DTYPE[code]).tobytes()
+                    )
+            elif len(value):
                 parts.append(
                     struct.pack(f">{len(value)}{code.struct_char}", *value)
                 )
@@ -355,9 +615,15 @@ def _decode_field(view: memoryview, offset: int, spec: FieldSpec):
         if offset + size > len(view):
             raise PacketDecodeError("truncated array field")
         if count > _NUMPY_THRESHOLD:
+            # Zero-copy: a read-only big-endian view over the wire
+            # buffer.  Stays an ndarray through vectorized filters;
+            # Packet.values materialises a tuple only if user code
+            # asks for one.
             arr = np.frombuffer(view, dtype=_NP_DTYPE[code], count=count,
                                 offset=offset)
-            return tuple(arr.tolist()), offset + size
+            if arr.flags.writeable:  # e.g. the buffer is a bytearray
+                arr.setflags(write=False)
+            return arr, offset + size
         values = struct.unpack_from(fmt, view, offset)
         return tuple(values), offset + size
     if code is TypeCode.STRING:

@@ -18,6 +18,14 @@ The upstream path is ``push_upstream`` (packet in, zero or more
 aggregated packets out); downstream fan-out is resolved by the node's
 routing table, with ``transform_downstream`` applied first when a
 downstream filter is bound.
+
+Lazy-packet invariant: synchronization filters never inspect payloads
+(they queue and release whole packets), and the null transformation
+filter passes packets through by reference, so a ``TFILTER_NULL``
+stream propagates undecoded lazy wire packets end-to-end — the node
+relays the original frame bytes without ever touching field values.
+Any value-inspecting filter (sum, concat, ...) triggers the deferred
+decode on first access via ``Packet.raw_values``.
 """
 
 from __future__ import annotations

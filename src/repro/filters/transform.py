@@ -13,6 +13,16 @@ a wave of packets with format ``"%d %f"`` reduces to a single packet
 ``"%d %f"`` whose first field is the reduction of all first fields and
 so on.  Array fields reduce element-wise and must agree in length.
 
+Array fields that arrived as numpy views (large wire arrays decode to
+read-only ndarrays — see :mod:`repro.core.packet`) reduce *vectorized*:
+one ufunc call per input instead of a Python-level loop per element,
+and the output packet carries the result ndarray via
+:meth:`Packet.trusted` so it re-encodes with a single byteswap copy.
+Sums of 64-bit integer arrays keep the exact Python fold (numpy would
+wrap on overflow where the scalar path raises); 32-bit-and-narrower
+sums accumulate in int64, which cannot overflow, and are bounds-checked
+against the field type exactly like the eager path.
+
 Every filter here is associative in the tree sense: reducing partial
 results of disjoint waves equals reducing the union (for ``avg`` this
 holds only for balanced fan-in; use ``wavg`` otherwise), which is what
@@ -21,10 +31,12 @@ makes them usable at every level of the MRNet tree.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Sequence
+from typing import Any, Callable, List, Optional, Sequence
 
-from ..core.formats import FormatString, parse_format
-from ..core.packet import Packet
+import numpy as np
+
+from ..core.formats import FormatError, FormatString, TypeCode, parse_format
+from ..core.packet import NATIVE_DTYPE, Packet
 from .base import FilterError, FilterState, FunctionFilter
 
 __all__ = [
@@ -40,10 +52,15 @@ __all__ = [
     "wavg_filter",
 ]
 
+# 64-bit integer sums stay on the exact Python fold: an int64/uint64
+# accumulator could silently wrap where Python ints cannot.
+_WIDE_INTS = (TypeCode.INT64, TypeCode.UINT64)
+
 
 def _reduce_field(op: Callable[[Any, Any], Any], values: Sequence[Any], is_array: bool):
-    """Fold *op* over one field position of a wave."""
+    """Fold *op* over one field position of a wave (exact scalar path)."""
     if is_array:
+        values = [v.tolist() if isinstance(v, np.ndarray) else v for v in values]
         lengths = {len(v) for v in values}
         if len(lengths) > 1:
             raise FilterError(
@@ -62,6 +79,51 @@ def _reduce_field(op: Callable[[Any, Any], Any], values: Sequence[Any], is_array
     return acc
 
 
+def _check_lengths(values: Sequence[Any]) -> None:
+    lengths = {len(v) for v in values}
+    if len(lengths) > 1:
+        raise FilterError(
+            f"array fields must agree in length to reduce, got {sorted(lengths)}"
+        )
+
+
+def _reduce_field_vector(
+    ufunc: np.ufunc, code: TypeCode, values: Sequence[Any]
+) -> np.ndarray:
+    """Vectorized element-wise reduction of one ndarray-backed field."""
+    _check_lengths(values)
+    if code.is_float:
+        dtype = np.dtype(np.float64)
+    elif ufunc is np.add:
+        dtype = np.dtype(np.int64)  # cannot overflow for <= 32-bit elements
+    else:
+        dtype = NATIVE_DTYPE[code]  # min/max stay in-type
+    arrs = [np.asarray(v, dtype=dtype) for v in values]
+    acc = arrs[0]
+    for arr in arrs[1:]:
+        acc = ufunc(acc, arr)
+    if code.is_integral and ufunc is np.add and acc.size:
+        lo, hi = code.bounds
+        if int(acc.min()) < lo or int(acc.max()) > hi:
+            raise FormatError(f"array values out of range for {code}")
+    if acc is arrs[0] and acc.flags.writeable is False:
+        return acc
+    acc.setflags(write=False)
+    return acc
+
+
+def _emit(first: Packet, values: Sequence[Any]) -> List[Packet]:
+    """Re-stamp *first* with computed *values*, keeping ndarrays lazy."""
+    values = tuple(values)
+    if any(isinstance(v, np.ndarray) for v in values):
+        return [
+            Packet.trusted(
+                first.stream_id, first.tag, first.fmt, values, first.origin_rank
+            )
+        ]
+    return [first.replace(values=values)]
+
+
 class ReductionFilter(FunctionFilter):
     """Field-wise reduction of a wave into a single packet.
 
@@ -74,11 +136,21 @@ class ReductionFilter(FunctionFilter):
     fmt:
         Optional required format; ``None`` accepts any numeric format
         (the wave itself must still be format-homogeneous).
+    ufunc:
+        Optional numpy equivalent of *op*; when given, array fields
+        that arrived as ndarrays reduce vectorized.
     """
 
-    def __init__(self, op: Callable[[Any, Any], Any], name: str, fmt=None):
+    def __init__(
+        self,
+        op: Callable[[Any, Any], Any],
+        name: str,
+        fmt=None,
+        ufunc: Optional[np.ufunc] = None,
+    ):
         super().__init__(self._run, name, fmt)
         self._op = op
+        self._ufunc = ufunc
 
     def _check_numeric(self, fmt: FormatString) -> None:
         for field in fmt.fields:
@@ -86,6 +158,14 @@ class ReductionFilter(FunctionFilter):
                 raise FilterError(
                     f"filter {self.name!r} cannot reduce field {field.spec}"
                 )
+
+    def _vectorizable(self, field, vals: Sequence[Any]) -> bool:
+        return (
+            field.is_array
+            and self._ufunc is not None
+            and not (self._ufunc is np.add and field.code in _WIDE_INTS)
+            and any(isinstance(v, np.ndarray) for v in vals)
+        )
 
     def _run(self, packets: Sequence[Packet], state: FilterState) -> List[Packet]:
         if not packets:
@@ -98,13 +178,16 @@ class ReductionFilter(FunctionFilter):
                     f"{p.fmt.canonical!r}"
                 )
         self._check_numeric(first.fmt)
-        values = tuple(
-            _reduce_field(
-                self._op, [p.values[i] for p in packets], field.is_array
-            )
-            for i, field in enumerate(first.fmt.fields)
-        )
-        return [first.replace(values=values)]
+        out_values = []
+        for i, field in enumerate(first.fmt.fields):
+            vals = [p.raw_values[i] for p in packets]
+            if self._vectorizable(field, vals):
+                out_values.append(
+                    _reduce_field_vector(self._ufunc, field.code, vals)
+                )
+            else:
+                out_values.append(_reduce_field(self._op, vals, field.is_array))
+        return _emit(first, out_values)
 
 
 class AverageFilter(FunctionFilter):
@@ -132,9 +215,27 @@ class AverageFilter(FunctionFilter):
         for i, field in enumerate(first.fmt.fields):
             if not (field.code.is_integral or field.code.is_float):
                 raise FilterError(f"avg cannot reduce field {field.spec}")
-            total = _reduce_field(
-                lambda a, b: a + b, [p.values[i] for p in packets], field.is_array
-            )
+            vals = [p.raw_values[i] for p in packets]
+            if (
+                field.is_array
+                and field.code not in _WIDE_INTS
+                and any(isinstance(v, np.ndarray) for v in vals)
+            ):
+                # Vectorized: sum then divide element-wise.  The mean
+                # of in-range values is in-range, so no bounds check.
+                _check_lengths(vals)
+                if field.code.is_float:
+                    arrs = [np.asarray(v, dtype=np.float64) for v in vals]
+                else:
+                    arrs = [np.asarray(v, dtype=np.int64) for v in vals]
+                total = arrs[0]
+                for arr in arrs[1:]:
+                    total = total + arr
+                avg = total // n if field.code.is_integral else total / n
+                avg.setflags(write=False)
+                out_values.append(avg)
+                continue
+            total = _reduce_field(lambda a, b: a + b, vals, field.is_array)
             if field.is_array:
                 if field.code.is_integral:
                     out_values.append(tuple(t // n for t in total))
@@ -142,7 +243,7 @@ class AverageFilter(FunctionFilter):
                     out_values.append(tuple(t / n for t in total))
             else:
                 out_values.append(total // n if field.code.is_integral else total / n)
-        return [first.replace(values=tuple(out_values))]
+        return _emit(first, out_values)
 
 
 class WeightedAverageFilter(FunctionFilter):
@@ -177,7 +278,8 @@ class ConcatenationFilter(FunctionFilter):
     array inputs are accepted and flattened; ordering follows the wave
     order (i.e. child order), which preserves back-end rank order when
     used with a Wait-For-All synchronizer over an order-preserving
-    tree.
+    tree.  Numeric inputs that arrived as ndarray views concatenate
+    with one ``np.concatenate`` call and stay an ndarray end-to-end.
     """
 
     def __init__(self, name: str = "concat"):
@@ -190,18 +292,41 @@ class ConcatenationFilter(FunctionFilter):
         if len(first.fmt.fields) != 1:
             raise FilterError("concat requires single-field packets")
         code = first.fmt.fields[0].code
-        out: List[Any] = []
         for p in packets:
             if len(p.fmt.fields) != 1 or p.fmt.fields[0].code is not code:
                 raise FilterError(
                     f"concat wave mixes base types "
                     f"({first.fmt.canonical!r} vs {p.fmt.canonical!r})"
                 )
-            if p.fmt.fields[0].is_array:
-                out.extend(p.values[0])
-            else:
-                out.append(p.values[0])
         out_fmt = parse_format(f"%a{code.value}")
+        vals = [p.raw_values[0] for p in packets]
+        if code is not TypeCode.STRING and any(
+            isinstance(v, np.ndarray) for v in vals
+        ):
+            dtype = NATIVE_DTYPE[code]
+            parts = [
+                np.asarray(v, dtype=dtype)
+                if p.fmt.fields[0].is_array
+                else np.asarray([v], dtype=dtype)
+                for p, v in zip(packets, vals)
+            ]
+            out_arr = np.concatenate(parts)
+            out_arr.setflags(write=False)
+            return [
+                Packet.trusted(
+                    first.stream_id,
+                    first.tag,
+                    out_fmt,
+                    (out_arr,),
+                    first.origin_rank,
+                )
+            ]
+        out: List[Any] = []
+        for p, v in zip(packets, vals):
+            if p.fmt.fields[0].is_array:
+                out.extend(v.tolist() if isinstance(v, np.ndarray) else v)
+            else:
+                out.append(v)
         return [
             Packet(
                 first.stream_id,
@@ -213,9 +338,9 @@ class ConcatenationFilter(FunctionFilter):
         ]
 
 
-min_filter = ReductionFilter(min, "min")
-max_filter = ReductionFilter(max, "max")
-sum_filter = ReductionFilter(lambda a, b: a + b, "sum")
+min_filter = ReductionFilter(min, "min", ufunc=np.minimum)
+max_filter = ReductionFilter(max, "max", ufunc=np.maximum)
+sum_filter = ReductionFilter(lambda a, b: a + b, "sum", ufunc=np.add)
 avg_filter = AverageFilter()
 wavg_filter = WeightedAverageFilter()
 concat_filter = ConcatenationFilter()

@@ -15,6 +15,7 @@ line breaks are free-form; ``#`` starts a comment through end of line.
 from __future__ import annotations
 
 import re
+from collections import deque
 from pathlib import Path
 from typing import Dict, List, Tuple
 
@@ -109,9 +110,9 @@ def serialize_config(spec: TopologySpec, header: str | None = None) -> str:
     if header:
         for line in header.splitlines():
             lines.append(f"# {line}")
-    queue = [spec.root]
+    queue = deque([spec.root])
     while queue:
-        node = queue.pop(0)
+        node = queue.popleft()
         if node.is_leaf:
             continue
         kids = " ".join(c.label for c in node.children)

@@ -74,12 +74,19 @@ class ChannelEnd:
         self._state = state
 
     def send(self, payload: bytes) -> None:
-        """Deliver *payload* to the peer process."""
+        """Deliver *payload* to the peer process.
+
+        ``bytes`` payloads (the normal case — ``PacketBuffer.encode``
+        output) are delivered as-is with no copy; other buffer types
+        are snapshotted so the receiver owns immutable bytes.
+        """
         if self._state.closed:
             raise ChannelClosed(f"channel {self.link_id} is closed")
-        if not isinstance(payload, (bytes, bytearray, memoryview)):
-            raise TypeError("channel payloads must be bytes")
-        self._peer_inbox._deliver(self.link_id, bytes(payload))
+        if not isinstance(payload, bytes):
+            if not isinstance(payload, (bytearray, memoryview)):
+                raise TypeError("channel payloads must be bytes")
+            payload = bytes(payload)
+        self._peer_inbox._deliver(self.link_id, payload)
 
     def close(self) -> None:
         """Close the channel; the peer sees an end-of-link delivery."""

@@ -48,7 +48,9 @@ class TcpChannelEnd:
             raise ConnectionError(f"tcp link {self.link_id} is closed")
         if not isinstance(payload, (bytes, bytearray, memoryview)):
             raise TypeError("channel payloads must be bytes")
-        frame = _LEN.pack(len(payload)) + bytes(payload)
+        # One gather-join builds the frame; no second copy for payloads
+        # that are already bytes (the PacketBuffer.encode output).
+        frame = b"".join((_LEN.pack(len(payload)), payload))
         with self._send_lock:
             try:
                 self._sock.sendall(frame)

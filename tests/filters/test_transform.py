@@ -233,3 +233,103 @@ class TestConcat:
             parts += concat_filter([ipkt(v) for v in values[mid:]], state)
         out = concat_filter(parts, FilterState())
         assert out[0].values == (tuple(values),)
+
+
+class TestVectorizedPaths:
+    """ndarray-backed waves (large wire arrays) reduce vectorized and
+    must agree exactly with the scalar tuple path."""
+
+    def _wire(self, fmt, values, tag=0):
+        """A lazy packet as a comm node would see it: ndarray-backed."""
+        from repro.core.packet import Packet as P
+
+        return P.lazy_from_wire(P(1, tag, fmt, values).to_bytes())
+
+    def _vals(self, seed, n=300):
+        return tuple((seed * 31 + i * 7) % 1000 - 500 for i in range(n))
+
+    @pytest.mark.parametrize("filt", [sum_filter, min_filter, max_filter])
+    def test_reduction_matches_scalar_path(self, filt):
+        import numpy as np
+
+        waves = [self._vals(s) for s in range(4)]
+        wire_wave = [self._wire("%ad", (v,)) for v in waves]
+        tuple_wave = [Packet(1, 0, "%ad", (v,)) for v in waves]
+        assert all(
+            isinstance(p.raw_values[0], np.ndarray) for p in wire_wave
+        )
+        out_vec = filt(wire_wave, FilterState())
+        out_ref = filt(tuple_wave, FilterState())
+        assert out_vec[0].values == out_ref[0].values
+        # the vectorized output carries an ndarray until materialised
+        assert isinstance(out_vec[0].raw_values[0], np.ndarray)
+
+    def test_float_reduction_matches(self):
+        waves = [tuple(float(v) / 3 for v in self._vals(s)) for s in range(3)]
+        wire_wave = [self._wire("%alf", (v,)) for v in waves]
+        tuple_wave = [Packet(1, 0, "%alf", (v,)) for v in waves]
+        out_vec = sum_filter(wire_wave, FilterState())
+        out_ref = sum_filter(tuple_wave, FilterState())
+        assert out_vec[0].values[0] == pytest.approx(out_ref[0].values[0])
+
+    def test_avg_matches_scalar_path(self):
+        waves = [self._vals(s) for s in range(4)]
+        out_vec = avg_filter(
+            [self._wire("%ad", (v,)) for v in waves], FilterState()
+        )
+        out_ref = avg_filter(
+            [Packet(1, 0, "%ad", (v,)) for v in waves], FilterState()
+        )
+        assert out_vec[0].values == out_ref[0].values
+
+    def test_concat_matches_scalar_path(self):
+        waves = [self._vals(s, n=200) for s in range(3)]
+        out_vec = concat_filter(
+            [self._wire("%ad", (v,)) for v in waves], FilterState()
+        )
+        out_ref = concat_filter(
+            [Packet(1, 0, "%ad", (v,)) for v in waves], FilterState()
+        )
+        assert out_vec[0].values == out_ref[0].values
+        assert out_vec[0].fmt.canonical == "%ad"
+
+    def test_concat_mixed_scalar_and_vector(self):
+        import numpy as np
+
+        big = self._vals(1, n=100)
+        wave = [self._wire("%d", (7,)), self._wire("%ad", (big,))]
+        assert isinstance(wave[1].raw_values[0], np.ndarray)
+        out = concat_filter(wave, FilterState())
+        assert out[0].values == ((7,) + big,)
+
+    def test_mismatched_lengths_rejected(self):
+        wave = [
+            self._wire("%ad", (self._vals(0, n=100),)),
+            self._wire("%ad", (self._vals(1, n=101),)),
+        ]
+        with pytest.raises(FilterError):
+            sum_filter(wave, FilterState())
+
+    def test_vector_sum_overflow_raises_like_scalar_path(self):
+        from repro.core.formats import FormatError
+
+        big = tuple([2**31 - 1] * 100)
+        wave = [self._wire("%ad", (big,)) for _ in range(2)]
+        with pytest.raises(FormatError):
+            sum_filter(wave, FilterState())
+
+    def test_wide_int_sum_stays_exact(self):
+        """%ald sums use the exact path (no int64 wraparound)."""
+        from repro.core.formats import FormatError
+
+        big = tuple([2**62] * 100)
+        wave = [self._wire("%ald", (big,)) for _ in range(2)]
+        with pytest.raises(FormatError):
+            # 2**63 is out of int64 range: must raise, not wrap
+            sum_filter(wave, FilterState())
+
+    def test_reduction_output_reencodes_correctly(self):
+        waves = [self._vals(s) for s in range(3)]
+        out = sum_filter([self._wire("%ad", (v,)) for v in waves], FilterState())[0]
+        decoded = Packet.from_bytes(out.to_bytes())
+        assert decoded.values == out.values

@@ -5,14 +5,25 @@ claims, so running them is a real (if coarse) integration test.  They
 execute in a temp directory so artifact-writing examples stay clean.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
 
 import pytest
 
-EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES_DIR = REPO_ROOT / "examples"
 ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _example_env() -> dict:
+    """Subprocess env with ``src`` on PYTHONPATH so ``import repro`` works."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    return env
 
 
 def test_example_inventory():
@@ -34,6 +45,7 @@ def test_example_runs(script, tmp_path):
     result = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / script)],
         cwd=tmp_path,
+        env=_example_env(),
         capture_output=True,
         text=True,
         timeout=180,
