@@ -1,0 +1,86 @@
+"""Compare a fresh bench_dataplane run against the committed baseline.
+
+CI guard for the data-plane fast paths: fails (exit 1) if the
+``relay_hop`` or ``tree_fanin`` *speedup ratio* of a fresh run drops
+more than 30% below the committed ``BENCH_dataplane.json`` reference.
+Ratios (new/baseline on the same machine, same run) are compared
+rather than absolute throughput so the check is portable across CI
+hardware.
+
+The committed file records per-mode references under
+``reference_speedups`` (smoke runs use far fewer rounds and a smaller
+tree, so their ratios are not comparable to full-mode ones).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py \
+        --fresh /tmp/bench_dataplane_smoke.json \
+        [--committed BENCH_dataplane.json] [--tolerance 0.3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+GUARDED_SCENARIOS = ("relay_hop", "tree_fanin")
+
+
+def reference_speedups(committed: dict, mode: str) -> dict:
+    """The committed speedup ratios comparable to a *mode* run."""
+    per_mode = committed.get("reference_speedups", {})
+    if mode in per_mode:
+        return per_mode[mode]
+    if committed.get("mode") == mode:
+        return {
+            name: row["speedup"] for name, row in committed["results"].items()
+        }
+    raise SystemExit(
+        f"committed benchmark has no reference for mode {mode!r} "
+        f"(has: {sorted(per_mode) or committed.get('mode')!r})"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", type=Path, required=True)
+    parser.add_argument(
+        "--committed", type=Path, default=REPO_ROOT / "BENCH_dataplane.json"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.3,
+        help="allowed fractional drop in speedup ratio (default 0.3 = 30%%)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = json.loads(args.fresh.read_text())
+    committed = json.loads(args.committed.read_text())
+    reference = reference_speedups(committed, fresh.get("mode", "full"))
+
+    failed = False
+    print(f"{'scenario':<20} {'committed':>10} {'fresh':>10} {'floor':>10}")
+    for name in GUARDED_SCENARIOS:
+        ref = reference[name]
+        got = fresh["results"][name]["speedup"]
+        floor = (1.0 - args.tolerance) * ref
+        status = "ok" if got >= floor else "REGRESSED"
+        print(f"{name:<20} {ref:>9.2f}x {got:>9.2f}x {floor:>9.2f}x  {status}")
+        if got < floor:
+            failed = True
+
+    if failed:
+        print("FAIL: data-plane speedup regressed >30% vs committed baseline",
+              file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -46,14 +46,25 @@ class BackEndStream:
         self.stream_id = stream_id
         self.closed = False
 
-    def send(self, fmt: str, *values: Any, tag: int = FIRST_APP_TAG) -> None:
-        """Send a packet upstream toward the front-end."""
+    def send(
+        self, fmt: str, *values: Any, tag: int = FIRST_APP_TAG, flush: bool = True
+    ) -> None:
+        """Send a packet upstream toward the front-end.
+
+        With ``flush=False`` the packet is buffered locally (MRNet's
+        ``Stream::Send``/``Stream::Flush`` split): a later
+        :meth:`BackEnd.flush` ships everything buffered as one batched
+        message, one syscall instead of one per packet.
+        """
         if self.closed:
             raise NetworkShutdown(f"stream {self.stream_id} is closed")
         packet = Packet(
             self.stream_id, tag, fmt, values, origin_rank=self._backend.rank
         )
-        self._backend._send_upstream(packet)
+        if flush:
+            self._backend._send_upstream(packet)
+        else:
+            self._backend._buffer_upstream(packet)
 
     def send_packet(self, packet: Packet) -> None:
         if self.closed:
@@ -76,6 +87,7 @@ class BackEnd:
         self._inbox = inbox
         self._streams: Dict[int, BackEndStream] = {}
         self._pending: deque[Tuple[Packet, BackEndStream]] = deque()
+        self._out: list[Packet] = []
         self.connected = False
         self.shut_down = False
 
@@ -180,17 +192,38 @@ class BackEnd:
             stream.closed = True
 
     def _send_upstream(self, packet: Packet) -> None:
+        self._check_sendable()
+        self._send_raw(packet)
+
+    def _buffer_upstream(self, packet: Packet) -> None:
+        self._check_sendable()
+        self._out.append(packet)
+
+    def flush(self) -> None:
+        """Ship all packets buffered by ``send(..., flush=False)``.
+
+        Everything buffered since the last flush leaves as one batched
+        message regardless of stream, preserving per-stream FIFO order.
+        """
+        if not self._out:
+            return
+        packets, self._out = self._out, []
+        self._send_batch(packets)
+
+    def _check_sendable(self) -> None:
         if self.shut_down:
             raise NetworkShutdown(f"back-end {self.rank}: network is down")
         if not self.connected:
             raise NetworkShutdown(
                 f"back-end {self.rank} must connect() before sending"
             )
-        self._send_raw(packet)
 
     def _send_raw(self, packet: Packet) -> None:
+        self._send_batch([packet])
+
+    def _send_batch(self, packets: list[Packet]) -> None:
         try:
-            self._parent.send(encode_batch([packet]))
+            self._parent.send(encode_batch(packets))
         except ConnectionError:
             self._mark_shutdown()
             raise NetworkShutdown(

@@ -31,9 +31,28 @@ from typing import Iterable, List
 
 from .packet import Packet, PacketDecodeError
 
-__all__ = ["PacketBuffer", "encode_batch", "decode_batch"]
+__all__ = [
+    "PacketBuffer",
+    "encode_batch",
+    "decode_batch",
+    "FLUSH_MAX_PACKETS",
+    "FLUSH_MAX_BYTES",
+    "FLUSH_MAX_DELAY",
+]
 
 _U32 = struct.Struct(">I")
+
+# Adaptive flush policy knobs (see docs/architecture.md).  A node's
+# output buffers are transmitted when any of these trips: the buffer
+# holds FLUSH_MAX_PACKETS packets or FLUSH_MAX_BYTES payload bytes, or
+# FLUSH_MAX_DELAY seconds have passed since the first packet queued
+# after the previous flush.  Event loops additionally flush whenever
+# they are about to go idle, so the delay is only ever paid under
+# sustained load — exactly when batching into "fewer larger messages
+# over busy connections" (§2.3) pays for itself.
+FLUSH_MAX_PACKETS = 128
+FLUSH_MAX_BYTES = 1 << 16
+FLUSH_MAX_DELAY = 0.001
 
 
 def encode_batch(packets: Iterable[Packet]) -> bytes:
@@ -142,6 +161,16 @@ class PacketBuffer:
         packets, self._packets = self._packets, []
         self._nbytes = 0
         return packets
+
+    def requeue(self, packets: List[Packet]) -> None:
+        """Put drained packets back at the *front* of the buffer.
+
+        Used when a send attempt fails recoverably (e.g. the link's
+        bounded send queue is full) so backpressure never reorders or
+        drops packets.
+        """
+        self._packets[:0] = packets
+        self._nbytes += sum(p.nbytes for p in packets)
 
     def encode(self) -> bytes:
         """Encode and clear the buffer; returns the framed message."""

@@ -23,22 +23,48 @@ without ever decoding or re-validating field values.  The
 ``packets_relayed_zero_copy`` stat counts packets that left this node
 on that fast path.
 
-:class:`CommNode` wraps a :class:`NodeCore` in a daemon thread with a
-``select``-style loop over the node's inbox.  The tool front-end
-reuses :class:`NodeCore` directly (see :mod:`repro.core.network`) and
-pumps it from API calls instead of a thread.
+:class:`CommNode` wraps a :class:`NodeCore` in a daemon thread.  By
+default (``io_mode="eventloop"``) that thread runs one
+:class:`~repro.transport.eventloop.EventLoop`: a ``selectors`` loop
+multiplexing every socket the node owns plus a wakeup for in-process
+channel deliveries — one I/O thread per node, however many links.
+``io_mode="threads"`` keeps the original inbox-polling loop (each TCP
+link then needs its own reader thread).  The tool front-end reuses
+:class:`NodeCore` directly (see :mod:`repro.core.network`) and pumps
+it from API calls instead of a thread.
+
+Output buffering is adaptive (§2.3's "fewer larger messages over busy
+connections"): ``flush()`` force-drains every buffer, while
+``maybe_flush()`` lets buffers accumulate until a size bound
+(``FLUSH_MAX_PACKETS``/``FLUSH_MAX_BYTES``) or a short time window
+(``FLUSH_MAX_DELAY``) trips.  Links with bounded send queues are never
+overfilled: when a link reports insufficient ``send_capacity``, its
+packets stay parked in their ``PacketBuffer`` and the ``send_queue_full``
+stat counts the deferral.  A link that turns out to be *dead* at flush
+time drops its packets with accounting (``messages_dropped_on_close``),
+logs once, and propagates the closure through ``_handle_link_closed``
+so waiting streams release instead of hanging.
 """
 
 from __future__ import annotations
 
+import logging
 import queue
 import threading
 import time
 from typing import Callable, Dict, Optional
 
 from ..filters.registry import FilterRegistry
-from .batching import PacketBuffer, decode_batch
+from .batching import (
+    FLUSH_MAX_BYTES,
+    FLUSH_MAX_DELAY,
+    FLUSH_MAX_PACKETS,
+    PacketBuffer,
+    decode_batch,
+    encode_batch,
+)
 from ..transport.channel import ChannelEnd, Inbox
+from ..transport.eventloop import SendQueueFull
 from .packet import Packet
 from .protocol import (
     CONTROL_STREAM_ID,
@@ -53,6 +79,8 @@ from .routing import RoutingTable
 from .stream_manager import StreamManager
 
 __all__ = ["NodeCore", "CommNode"]
+
+log = logging.getLogger(__name__)
 
 
 class NodeCore:
@@ -94,9 +122,12 @@ class NodeCore:
         self.reported_ranks: set[int] = set()
         self.sent_report = False
         self.shutting_down = False
+        self.flush_max_delay = FLUSH_MAX_DELAY
+        self._flush_deadline: Optional[float] = None
+        self._drop_logged: set[int] = set()
         self._parent_buffer: Optional[PacketBuffer] = None
         if parent is not None:
-            self._parent_buffer = PacketBuffer(parent.link_id)
+            self._parent_buffer = self._make_buffer(parent.link_id)
         self._child_buffers: Dict[int, PacketBuffer] = {}
         # Stats used by tests and ablation benches.
         # ``packets_relayed_zero_copy`` counts packets appended to an
@@ -105,20 +136,33 @@ class NodeCore:
         # (no stream manager), downstream floods, and TFILTER_NULL
         # streams.  Each such packet is re-sent as its original bytes
         # without any field decode, validation, or re-encode.
+        # ``send_queue_full`` counts flushes deferred by a bounded link
+        # send queue (backpressure, lossless); ``messages_dropped_on_close``
+        # counts packets dropped because their link was already dead.
         self.stats = {
             "packets_up": 0,
             "packets_down": 0,
+            "messages_in": 0,
+            "packets_in": 0,
             "messages_sent": 0,
             "waves_aggregated": 0,
             "packets_relayed_zero_copy": 0,
+            "send_queue_full": 0,
+            "messages_dropped_on_close": 0,
         }
 
     # -- wiring -----------------------------------------------------------
 
+    @staticmethod
+    def _make_buffer(link_id: int) -> PacketBuffer:
+        return PacketBuffer(
+            link_id, max_packets=FLUSH_MAX_PACKETS, max_bytes=FLUSH_MAX_BYTES
+        )
+
     def add_child(self, end: ChannelEnd) -> None:
         """Attach a downstream connection (to a child node or back-end)."""
         self.children[end.link_id] = end
-        self._child_buffers[end.link_id] = PacketBuffer(end.link_id)
+        self._child_buffers[end.link_id] = self._make_buffer(end.link_id)
 
     @property
     def parent_link_id(self) -> Optional[int]:
@@ -136,7 +180,9 @@ class NodeCore:
         if payload is None:
             self._handle_link_closed(link_id)
             return
+        self.stats["messages_in"] += 1
         for packet in decode_batch(payload):
+            self.stats["packets_in"] += 1
             self.dispatch(link_id, packet)
 
     def dispatch(self, link_id: int, packet: Packet) -> None:
@@ -153,6 +199,11 @@ class NodeCore:
                 self.handle_control_down(packet)
             else:
                 self.handle_control_up(link_id, packet)
+            # Control traffic (stream creation/closure, shutdown,
+            # endpoint reports) is latency-sensitive: expire the
+            # adaptive flush window so the next maybe_flush ships it
+            # without waiting out FLUSH_MAX_DELAY.
+            self._note_urgent()
             return
         if from_parent:
             self._handle_data_down(packet)
@@ -221,6 +272,12 @@ class NodeCore:
             # relay behaviour (§4.2.1).
             self._queue_up(packet)
             return
+        if manager.passthrough:
+            # DONTWAIT + null transform: the wave machinery is an
+            # identity function, so relay directly (§4.2.1).
+            if not manager.closed:
+                self._queue_up(packet)
+            return
         outputs = manager.push_upstream(link_id, packet)
         if outputs:
             self.stats["waves_aggregated"] += 1
@@ -246,6 +303,7 @@ class NodeCore:
                 self._queue_up(out)
 
     def _handle_link_closed(self, link_id: int) -> None:
+        self._note_urgent()
         if self.parent is not None and link_id == self.parent_link_id:
             # Parent vanished: treat as shutdown.
             self.shutting_down = True
@@ -267,6 +325,7 @@ class NodeCore:
             if not packet.values_decoded:
                 self.stats["packets_relayed_zero_copy"] += 1
             self._parent_buffer.add(packet)
+            self._note_pending()
         else:
             self.deliver_local(packet)
 
@@ -276,6 +335,16 @@ class NodeCore:
             if not packet.values_decoded:
                 self.stats["packets_relayed_zero_copy"] += 1
             buf.add(packet)
+            self._note_pending()
+
+    def _note_pending(self) -> None:
+        """Arm the adaptive flush window on the first packet queued."""
+        if self._flush_deadline is None:
+            self._flush_deadline = self.clock() + self.flush_max_delay
+
+    def _note_urgent(self) -> None:
+        """Expire the flush window: pending output should go now."""
+        self._flush_deadline = self.clock()
 
     def deliver_local(self, packet: Packet) -> None:
         """Upstream output at the tree root; overridden by the front-end."""
@@ -284,24 +353,104 @@ class NodeCore:
         )  # pragma: no cover
 
     def flush(self) -> None:
-        """Encode and transmit all non-empty output buffers."""
+        """Encode and transmit all non-empty output buffers (forced)."""
         if self._parent_buffer is not None and len(self._parent_buffer):
-            try:
-                self.parent.send(self._parent_buffer.encode())
-                self.stats["messages_sent"] += 1
-            except ConnectionError:
-                self._parent_buffer.drain()
+            self._flush_buffer(self.parent_link_id, self.parent, self._parent_buffer)
         for link_id, buf in list(self._child_buffers.items()):
             if len(buf):
-                end = self.children.get(link_id)
-                if end is None:
-                    buf.drain()
-                    continue
-                try:
-                    end.send(buf.encode())
-                    self.stats["messages_sent"] += 1
-                except ConnectionError:
-                    buf.drain()
+                self._flush_buffer(link_id, self.children.get(link_id), buf)
+        if not self.has_pending_output:
+            self._flush_deadline = None
+
+    def maybe_flush(self) -> None:
+        """Adaptive flush: transmit only what the policy says is due.
+
+        Buffers past their size bound go immediately; everything goes
+        once the time window armed by the first queued packet expires.
+        Event loops call this while busy and :meth:`flush` when idle.
+        """
+        if (
+            self._flush_deadline is not None
+            and self.clock() >= self._flush_deadline
+        ):
+            self.flush()
+            return
+        if (
+            self._parent_buffer is not None
+            and self._parent_buffer.should_flush()
+        ):
+            self._flush_buffer(self.parent_link_id, self.parent, self._parent_buffer)
+        for link_id, buf in list(self._child_buffers.items()):
+            if buf.should_flush():
+                self._flush_buffer(link_id, self.children.get(link_id), buf)
+        if not self.has_pending_output:
+            self._flush_deadline = None
+
+    def _flush_buffer(
+        self, link_id: Optional[int], end: Optional[ChannelEnd], buf: PacketBuffer
+    ) -> None:
+        """Transmit one buffer with backpressure and loss accounting."""
+        if end is None:
+            # Link already torn down; nothing left to notify.
+            self._drop_buffer(link_id, buf)
+            return
+        if getattr(end, "closed", False):
+            self._drop_buffer(link_id, buf)
+            if link_id is not None:
+                self._handle_link_closed(link_id)
+            return
+        capacity = getattr(end, "send_capacity", None)
+        if capacity is not None:
+            # Framing overhead: 4-byte count plus 4 bytes per packet.
+            needed = buf.nbytes + 4 * (len(buf) + 1)
+            # An *empty* send queue accepts any single message (else an
+            # oversized batch could never leave); a non-empty queue
+            # defers anything it cannot fit.
+            if needed > capacity() and getattr(end, "send_backlog", 1) > 0:
+                self.stats["send_queue_full"] += 1
+                return  # backpressure: packets stay buffered, retried later
+        packets = buf.drain()
+        try:
+            end.send(encode_batch(packets))
+            self.stats["messages_sent"] += 1
+        except SendQueueFull:
+            # Bound hit despite the capacity check (concurrent writer):
+            # keep the packets, count the deferral.
+            buf.requeue(packets)
+            self.stats["send_queue_full"] += 1
+        except ConnectionError:
+            self._drop_packets(link_id, len(packets))
+            if link_id is not None:
+                self._handle_link_closed(link_id)
+
+    def _drop_buffer(self, link_id: Optional[int], buf: PacketBuffer) -> None:
+        self._drop_packets(link_id, len(buf.drain()))
+
+    def _drop_packets(self, link_id: Optional[int], count: int) -> None:
+        if not count:
+            return
+        self.stats["messages_dropped_on_close"] += count
+        key = -1 if link_id is None else link_id
+        if key not in self._drop_logged:
+            self._drop_logged.add(key)
+            log.warning(
+                "%s: link %s closed; dropped %d queued packet(s)",
+                self.name,
+                "parent" if link_id == self.parent_link_id else link_id,
+                count,
+            )
+
+    @property
+    def has_pending_output(self) -> bool:
+        """True while any output buffer still holds packets."""
+        if self._parent_buffer is not None and len(self._parent_buffer):
+            return True
+        return any(len(b) for b in self._child_buffers.values())
+
+    @property
+    def next_flush_deadline(self) -> Optional[float]:
+        """Clock time the adaptive flush window expires (None if unarmed)."""
+        return self._flush_deadline
 
     def close_all(self) -> None:
         """Close every channel this node owns an end of."""
@@ -315,35 +464,107 @@ class NodeCore:
         """True when any stream needs time-based polling."""
         return any(m.sync.name == "sync-timeout" for m in self.streams.values())
 
+    def next_timeout_deadline(self) -> Optional[float]:
+        """Earliest clock time a TimeOut stream could release a wave.
+
+        ``None`` when no stream holds a timed wave — the caller may
+        then block indefinitely on I/O.  This is what replaced the old
+        2 ms ``TIMEOUT_POLL`` spin: loops sleep until this instant.
+        """
+        deadline = None
+        for manager in self.streams.values():
+            d = manager.next_deadline()
+            if d is not None and (deadline is None or d < deadline):
+                deadline = d
+        return deadline
+
 
 class CommNode(threading.Thread):
-    """An internal process: a :class:`NodeCore` driven by its own thread."""
+    """An internal process: a :class:`NodeCore` driven by its own thread.
+
+    ``io_mode`` selects the driver:
+
+    * ``"eventloop"`` (default) — one selector-based
+      :class:`~repro.transport.eventloop.EventLoop` owns every socket
+      handed over via ``parent_socket``/:meth:`add_child_socket` plus
+      the in-process inbox; the node runs with exactly one I/O thread.
+    * ``"threads"`` — the legacy inbox-polling loop; TCP links must
+      then be :class:`~repro.transport.tcp.TcpChannelEnd` objects,
+      each with its own reader thread.
+    """
 
     IDLE_POLL = 0.05
-    TIMEOUT_POLL = 0.002
 
     def __init__(
         self,
         name: str,
         registry: FilterRegistry,
         expected_ranks: int,
-        parent: ChannelEnd,
+        parent: Optional[ChannelEnd] = None,
         clock: Callable[[], float] = time.monotonic,
         inbox: Optional[Inbox] = None,
+        io_mode: str = "eventloop",
+        parent_socket=None,
     ):
         super().__init__(name=f"commnode-{name}", daemon=True)
+        if io_mode not in ("eventloop", "threads"):
+            raise ValueError(f"unknown io_mode {io_mode!r}")
+        if parent is None and parent_socket is None:
+            raise ValueError("CommNode needs a parent end or parent_socket")
+        self.io_mode = io_mode
+        self.loop = None
+        if io_mode == "eventloop":
+            from ..transport.eventloop import EventLoop
+
+            self.loop = EventLoop(clock=clock)
+            if parent_socket is not None:
+                parent = self.loop.add_socket(parent_socket)
+        elif parent_socket is not None:
+            raise ValueError("parent_socket requires io_mode='eventloop'")
         self.core = NodeCore(name, registry, expected_ranks, parent, clock, inbox)
+        if self.loop is not None:
+            self.loop.bind(self.core)
 
     @property
     def inbox(self) -> Inbox:
         return self.core.inbox
 
+    def add_child_socket(self, sock, **link_kwargs) -> ChannelEnd:
+        """Register a connected child socket with this node's event loop.
+
+        Must be called before :meth:`start`.  Returns the loop-managed
+        link (usable wherever a ``ChannelEnd`` is expected).
+        """
+        if self.loop is None:
+            raise RuntimeError("add_child_socket requires io_mode='eventloop'")
+        end = self.loop.add_socket(sock, **link_kwargs)
+        self.core.add_child(end)
+        return end
+
     def run(self) -> None:  # pragma: no branch - loop structure
+        if self.loop is not None:
+            self.loop.run()
+        else:
+            self._run_inbox_loop()
+
+    def _poll_interval(self) -> float:
+        """How long the inbox loop may block before time-based work.
+
+        Sleeps all the way to the next TimeOut-stream deadline (any
+        inbound delivery interrupts the wait), or ``IDLE_POLL`` when no
+        deadline is pending — never the old fixed 2 ms spin.
+        """
+        deadline = self.core.next_timeout_deadline()
+        if deadline is None:
+            return self.IDLE_POLL
+        return max(deadline - self.core.clock(), 0.0)
+
+    def _run_inbox_loop(self) -> None:
+        """Legacy driver: block on the inbox, flush once per drain."""
         core = self.core
         while not core.shutting_down:
-            poll = self.TIMEOUT_POLL if core.has_timeout_streams else self.IDLE_POLL
             try:
-                link_id, payload = core.inbox.get(timeout=poll)
+                link_id, payload = core.inbox.get(timeout=self._poll_interval())
             except queue.Empty:
                 core.poll_streams()
                 core.flush()

@@ -39,9 +39,10 @@ every packet they carry.
 from __future__ import annotations
 
 import functools
+import struct
 from dataclasses import dataclass
 from enum import Enum
-from typing import Tuple
+from typing import Optional, Tuple
 
 __all__ = [
     "TypeCode",
@@ -69,51 +70,52 @@ class TypeCode(Enum):
     STRING = "s"
     BYTES = "b"
 
+    # These look up precomputed module tables: they sit on the
+    # per-field packet encode/decode hot path, where rebuilding the
+    # table per call is measurable.
+
     @property
     def is_integral(self) -> bool:
-        return self in (
-            TypeCode.CHAR,
-            TypeCode.INT32,
-            TypeCode.UINT32,
-            TypeCode.INT64,
-            TypeCode.UINT64,
-        )
+        return self in _INTEGRAL_CODES
 
     @property
     def is_float(self) -> bool:
-        return self in (TypeCode.FLOAT32, TypeCode.FLOAT64)
+        return self in _FLOAT_CODES
 
     @property
     def struct_char(self) -> str:
         """The :mod:`struct` code for fixed-width scalar types."""
-        table = {
-            TypeCode.CHAR: "B",
-            TypeCode.INT32: "i",
-            TypeCode.UINT32: "I",
-            TypeCode.INT64: "q",
-            TypeCode.UINT64: "Q",
-            TypeCode.FLOAT32: "f",
-            TypeCode.FLOAT64: "d",
-        }
         try:
-            return table[self]
+            return _STRUCT_CHAR[self]
         except KeyError:  # STRING / BYTES are length-prefixed
             raise FormatError(f"{self} has no fixed-width struct code") from None
 
     @property
     def bounds(self) -> Tuple[int, int] | None:
         """Inclusive (lo, hi) range for integral types, else ``None``."""
-        if self is TypeCode.CHAR:
-            return (0, 0xFF)
-        if self is TypeCode.INT32:
-            return (-(2**31), 2**31 - 1)
-        if self is TypeCode.UINT32:
-            return (0, 2**32 - 1)
-        if self is TypeCode.INT64:
-            return (-(2**63), 2**63 - 1)
-        if self is TypeCode.UINT64:
-            return (0, 2**64 - 1)
-        return None
+        return _BOUNDS.get(self)
+
+
+_INTEGRAL_CODES = frozenset(
+    (TypeCode.CHAR, TypeCode.INT32, TypeCode.UINT32, TypeCode.INT64, TypeCode.UINT64)
+)
+_FLOAT_CODES = frozenset((TypeCode.FLOAT32, TypeCode.FLOAT64))
+_STRUCT_CHAR = {
+    TypeCode.CHAR: "B",
+    TypeCode.INT32: "i",
+    TypeCode.UINT32: "I",
+    TypeCode.INT64: "q",
+    TypeCode.UINT64: "Q",
+    TypeCode.FLOAT32: "f",
+    TypeCode.FLOAT64: "d",
+}
+_BOUNDS = {
+    TypeCode.CHAR: (0, 0xFF),
+    TypeCode.INT32: (-(2**31), 2**31 - 1),
+    TypeCode.UINT32: (0, 2**32 - 1),
+    TypeCode.INT64: (-(2**63), 2**63 - 1),
+    TypeCode.UINT64: (0, 2**64 - 1),
+}
 
 
 # Longest-match ordering matters: "uld" before "ud"/"ld"/"d", etc.
@@ -157,11 +159,21 @@ class FormatString:
     is not significant).
     """
 
-    __slots__ = ("_fields", "_canonical")
+    __slots__ = ("_fields", "_canonical", "_canonical_bytes", "_scalar_struct")
 
     def __init__(self, fmt: str):
         self._fields = _parse_fields(fmt)
         self._canonical = " ".join(f.spec for f in self._fields)
+        self._canonical_bytes = self._canonical.encode("utf-8")
+        # Formats made only of fixed-width scalars (the overwhelmingly
+        # common case for small control/tool packets) pack their whole
+        # value tuple with one precompiled Struct instead of a
+        # per-field encode loop.
+        self._scalar_struct: Optional[struct.Struct] = None
+        if all(not f.is_array and f.code in _STRUCT_CHAR for f in self._fields):
+            self._scalar_struct = struct.Struct(
+                ">" + "".join(_STRUCT_CHAR[f.code] for f in self._fields)
+            )
 
     @property
     def fields(self) -> Tuple[FieldSpec, ...]:
@@ -171,6 +183,16 @@ class FormatString:
     def canonical(self) -> str:
         """Canonical text: single-space-separated specifiers."""
         return self._canonical
+
+    @property
+    def canonical_bytes(self) -> bytes:
+        """UTF-8 encoding of :attr:`canonical` (cached; wire hot path)."""
+        return self._canonical_bytes
+
+    @property
+    def scalar_struct(self) -> Optional[struct.Struct]:
+        """Whole-tuple Struct for all-fixed-scalar formats, else None."""
+        return self._scalar_struct
 
     def __len__(self) -> int:
         return len(self._fields)

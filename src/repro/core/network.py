@@ -125,6 +125,7 @@ class Network:
         clock: Callable[[], float] = time.monotonic,
         transport: str = "local",
         filter_specs: Optional[List[tuple]] = None,
+        io_mode: str = "eventloop",
     ):
         """Instantiate the network.
 
@@ -140,10 +141,20 @@ class Network:
           process loads them in the same order (the shared-object
           shipping model of §2.4); they are also loaded into this
           front-end's registry, ids assigned in list order.
+
+        ``io_mode`` selects how each internal process drives its I/O:
+        ``"eventloop"`` (default) runs one selector loop per comm node
+        — a TCP comm node owns all its sockets with a single thread —
+        while ``"threads"`` keeps the legacy inbox-polling loop with
+        one reader thread per TCP link.  The front-end and back-ends
+        are passive either way.
         """
         if transport not in ("local", "tcp", "process"):
             raise NetworkError(f"unknown transport {transport!r}")
+        if io_mode not in ("eventloop", "threads"):
+            raise NetworkError(f"unknown io_mode {io_mode!r}")
         self.transport = transport
+        self.io_mode = io_mode
         self.topology = self._resolve_topology(topology)
         self.registry = registry if registry is not None else default_registry()
         self.filter_specs = [tuple(s) for s in (filter_specs or [])]
@@ -195,9 +206,57 @@ class Network:
             if node is not self.topology.root:
                 inboxes[node.key] = Inbox()
 
+        # With the event loop, comm-node ends of TCP edges are raw
+        # sockets owned by the node's selector — only the passive
+        # processes (front-end, back-ends) keep reader-thread ends.
+        selector_tcp = self.transport == "tcp" and self.io_mode == "eventloop"
         cores: Dict[Tuple[str, int], NodeCore] = {self.topology.root.key: self._core}
+        comms: Dict[Tuple[str, int], CommNode] = {}
         for node in self.topology.nodes():
             for child in node.children:
+                subtree_leaves = sum(
+                    1 for n in _iter_subtree(child) if n.is_leaf
+                )
+                if selector_tcp:
+                    import socket as socket_mod
+
+                    from ..transport.tcp import TcpChannelEnd, _alloc_link_id
+
+                    sock_parent, sock_child = socket_mod.socketpair()
+                    # Parent attach: the front-end stays inbox-driven
+                    # (reader thread); a comm-node parent registers the
+                    # raw socket with its own event loop.
+                    parent_comm = comms.get(node.key)
+                    if parent_comm is None:
+                        cores[node.key].add_child(
+                            TcpChannelEnd(
+                                sock_parent, _alloc_link_id(), inboxes[node.key]
+                            )
+                        )
+                    else:
+                        parent_comm.add_child_socket(sock_parent)
+                    if child.is_leaf:
+                        rank = rank_of[child.key]
+                        child_side = TcpChannelEnd(
+                            sock_child, _alloc_link_id(), inboxes[child.key]
+                        )
+                        self._slots[rank] = _LeafSlot(
+                            rank, child.label, child_side, inboxes[child.key]
+                        )
+                    else:
+                        comm = CommNode(
+                            child.label,
+                            self.registry,
+                            subtree_leaves,
+                            parent_socket=sock_child,
+                            clock=self._clock,
+                            inbox=inboxes[child.key],
+                            io_mode="eventloop",
+                        )
+                        cores[child.key] = comm.core
+                        comms[child.key] = comm
+                        self._commnodes.append(comm)
+                    continue
                 if self.transport == "tcp":
                     from ..transport.tcp import tcp_pair
 
@@ -218,9 +277,6 @@ class Network:
                         rank, child.label, child_side, inboxes[child.key]
                     )
                 else:
-                    subtree_leaves = sum(
-                        1 for n in _iter_subtree(child) if n.is_leaf
-                    )
                     comm = CommNode(
                         child.label,
                         self.registry,
@@ -228,8 +284,10 @@ class Network:
                         parent=child_side,
                         clock=self._clock,
                         inbox=inboxes[child.key],
+                        io_mode=self.io_mode,
                     )
                     cores[child.key] = comm.core
+                    comms[child.key] = comm
                     self._commnodes.append(comm)
 
     def _build_tree_process(self, leaves: List[TopologyNode]) -> None:
@@ -283,6 +341,8 @@ class Network:
                     str(subtree_leaves),
                     "--name",
                     child.label,
+                    "--io-mode",
+                    self.io_mode,
                 ] + filter_args
                 proc = subprocess.Popen(
                     cmd, stdout=subprocess.PIPE, text=True
@@ -356,7 +416,7 @@ class Network:
                     f"{len(self._core.reported_ranks)}/"
                     f"{self._core.expected_ranks} back-ends reported"
                 )
-            self._pump(self.PUMP_QUANTUM)
+            self._pump(self._pump_quantum())
 
     @property
     def ready(self) -> bool:
@@ -443,7 +503,8 @@ class Network:
                 return q.popleft()
             if deadline is not None and time.monotonic() > deadline:
                 raise TimeoutError(f"recv on stream {stream_id} timed out")
-            self._pump(self.PUMP_QUANTUM)
+            remaining = None if deadline is None else deadline - time.monotonic()
+            self._pump(self._pump_quantum(remaining))
 
     def _try_recv_on_stream(self, stream_id: int) -> Optional[Packet]:
         self._pump(0.0)
@@ -461,7 +522,8 @@ class Network:
                     return q.popleft(), self._streams[stream_id]
             if deadline is not None and time.monotonic() > deadline:
                 raise TimeoutError("front-end recv timed out")
-            self._pump(self.PUMP_QUANTUM)
+            remaining = None if deadline is None else deadline - time.monotonic()
+            self._pump(self._pump_quantum(remaining))
 
     def stats(self) -> Dict[str, Dict[str, int]]:
         """Per-process packet/message counters (diagnostics, ablations).
@@ -489,6 +551,23 @@ class Network:
         self._core.flush()
 
     # -- pumping ----------------------------------------------------------
+
+    def _pump_quantum(self, remaining: Optional[float] = None) -> float:
+        """How long one blocking pump may wait.
+
+        Sleeps up to ``PUMP_QUANTUM`` but never past the next
+        TimeOut-stream deadline held at the front-end (so partial
+        waves release on time, without a short fixed poll) nor past
+        *remaining* (a caller's own deadline).  Any inbound delivery
+        interrupts the wait regardless.
+        """
+        quantum = self.PUMP_QUANTUM
+        deadline = self._core.next_timeout_deadline()
+        if deadline is not None:
+            quantum = min(quantum, max(deadline - self._clock(), 0.0))
+        if remaining is not None:
+            quantum = min(quantum, max(remaining, 0.0))
+        return quantum
 
     def _pump(self, timeout: float) -> bool:
         """Process inbound traffic for up to one blocking receive."""

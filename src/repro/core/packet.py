@@ -61,6 +61,8 @@ from typing import Any, Iterator, Sequence, Tuple
 import numpy as np
 
 from .formats import FieldSpec, FormatError, FormatString, TypeCode, parse_format
+from .formats import _BOUNDS as _INT_BOUNDS
+from .formats import _FLOAT_CODES
 
 __all__ = ["Packet", "PacketDecodeError"]
 
@@ -102,6 +104,19 @@ class PacketDecodeError(ValueError):
 
 def _check_scalar(code: TypeCode, value: Any) -> Any:
     """Validate and normalise one scalar against its type code."""
+    # Fast path for exact builtin types (note ``type(...) is int``
+    # rejects bool, which is an int subclass we must not accept).
+    kind = type(value)
+    if kind is int:
+        bounds = _INT_BOUNDS.get(code)
+        if bounds is not None:
+            if bounds[0] <= value <= bounds[1]:
+                return value
+            raise FormatError(f"value {value} out of range for {code}")
+    elif kind is float and code in _FLOAT_CODES:
+        return value
+    elif kind is str and code is TypeCode.STRING:
+        return value
     if isinstance(value, np.generic):
         # numpy scalars normalise to native Python numbers first.
         if isinstance(value, np.bool_):
@@ -245,18 +260,21 @@ class Packet:
         values: Sequence[Any],
         origin_rank: int = 0,
     ):
-        if not 0 <= int(stream_id) < 2**32:
+        stream_id = int(stream_id)
+        tag = int(tag)
+        origin_rank = int(origin_rank)
+        if not 0 <= stream_id < 2**32:
             raise ValueError(f"stream_id {stream_id} out of uint32 range")
-        if not -(2**31) <= int(tag) < 2**31:
+        if not -(2**31) <= tag < 2**31:
             raise ValueError(f"tag {tag} out of int32 range")
-        if not 0 <= int(origin_rank) < 2**32:
+        if not 0 <= origin_rank < 2**32:
             raise ValueError(f"origin_rank {origin_rank} out of uint32 range")
-        self.stream_id = int(stream_id)
-        self.tag = int(tag)
+        self.stream_id = stream_id
+        self.tag = tag
         self._fmt = fmt if isinstance(fmt, FormatString) else parse_format(fmt)
         self._values = _normalise(self._fmt.fields, values)
         self._public = None
-        self.origin_rank = int(origin_rank)
+        self.origin_rank = origin_rank
         self._encoded: bytes | memoryview | None = None
         self._body: int | None = None
 
@@ -483,13 +501,27 @@ class Packet:
         """
         enc = self._encoded
         if enc is None:
+            fmt = self.fmt
+            fmt_bytes = fmt.canonical_bytes
+            scalar_struct = fmt.scalar_struct
+            if scalar_struct is not None:
+                # All-fixed-scalar format: one precompiled pack of the
+                # whole value tuple instead of the per-field loop.
+                enc = self._encoded = b"".join(
+                    (
+                        _HEADER.pack(self.stream_id, self.tag, self.origin_rank),
+                        _U32.pack(len(fmt_bytes)),
+                        fmt_bytes,
+                        scalar_struct.pack(*self._values),
+                    )
+                )
+                return enc
             parts = [
                 _HEADER.pack(self.stream_id, self.tag, self.origin_rank),
             ]
-            fmt_bytes = self.fmt.canonical.encode("utf-8")
             parts.append(_U32.pack(len(fmt_bytes)))
             parts.append(fmt_bytes)
-            for spec, value in zip(self.fmt.fields, self._values):
+            for spec, value in zip(fmt.fields, self._values):
                 _encode_field(parts, spec, value)
             enc = self._encoded = b"".join(parts)
         elif not isinstance(enc, bytes):

@@ -33,7 +33,12 @@ from __future__ import annotations
 from typing import Callable, FrozenSet, List, Optional, Sequence
 
 from ..filters.base import FunctionFilter
-from ..filters.registry import FilterRegistry, SFILTER_TIMEOUT
+from ..filters.registry import (
+    SFILTER_DONTWAIT,
+    SFILTER_TIMEOUT,
+    TFILTER_NULL,
+    FilterRegistry,
+)
 from ..filters.sync import SynchronizationFilter
 from .packet import Packet
 
@@ -64,6 +69,11 @@ class StreamManager:
         self.down_transform = down_transform
         self.down_state = down_transform.make_state() if down_transform else None
         self.closed = False
+        # Pure pass-through streams (DONTWAIT sync, null transform, no
+        # downstream filter) take the §4.2.1 negligible-overhead relay
+        # path: the node forwards each packet without running the wave
+        # machinery at all.  Set by :meth:`create` from the filter ids.
+        self.passthrough = False
 
     @classmethod
     def create(
@@ -92,7 +102,13 @@ class StreamManager:
             if down_transform_filter_id
             else None
         )
-        return cls(stream_id, endpoints, child_links, sync, transform, down)
+        manager = cls(stream_id, endpoints, child_links, sync, transform, down)
+        manager.passthrough = (
+            sync_filter_id == SFILTER_DONTWAIT
+            and transform_filter_id == TFILTER_NULL
+            and down_transform_filter_id == 0
+        )
+        return manager
 
     # -- upstream ----------------------------------------------------------
 
@@ -149,6 +165,12 @@ class StreamManager:
     def pending(self) -> int:
         """Packets currently held by the synchronization filter."""
         return self.sync.pending
+
+    def next_deadline(self) -> Optional[float]:
+        """Earliest clock time a time-based criterion could fire."""
+        if self.closed:
+            return None
+        return self.sync.next_deadline()
 
     def close(self) -> None:
         self.closed = True

@@ -115,6 +115,15 @@ class SynchronizationFilter:
         """Number of packets currently held back."""
         return sum(len(q) for q in self._queues.values())
 
+    def next_deadline(self) -> Optional[float]:
+        """Clock time at which :meth:`poll` could release a wave.
+
+        ``None`` for criteria with no time component.  Event loops use
+        this to sleep exactly until the earliest release instead of
+        polling on a fixed short interval.
+        """
+        return None
+
     # -- criterion ----------------------------------------------------------
 
     def _ready_waves(self) -> List[Wave]:
@@ -174,6 +183,11 @@ class TimeOutFilter(SynchronizationFilter):
     def _reset_criterion(self) -> None:
         self._wave_started = None
 
+    def next_deadline(self) -> Optional[float]:
+        if self._wave_started is None or not self.pending:
+            return None
+        return self._wave_started + self.timeout
+
     def _ready_waves(self) -> List[Wave]:
         waves: List[Wave] = []
         while True:
@@ -200,6 +214,14 @@ class DoNotWaitFilter(SynchronizationFilter):
     """Pass every packet through immediately as a singleton wave."""
 
     name = "sync-do-not-wait"
+
+    def push(self, child: object, packet: Packet) -> List[Wave]:
+        # Nothing is ever held back, so skip the queue round-trip (an
+        # append + pop + full scan of every child queue per packet —
+        # measurable on the relay hot path).
+        if child not in self._queues:
+            raise KeyError(f"unknown child {child!r}")
+        return [[packet]]
 
     def _ready_waves(self) -> List[Wave]:
         waves: List[Wave] = []

@@ -27,6 +27,13 @@ Bootstrap protocol (replacing rsh + the parent's config message of
 3. it accepts exactly ``--children`` connections;
 4. it runs the standard NodeCore event loop until shutdown.
 
+With the default ``--io-mode eventloop`` the process multiplexes all
+of its sockets through one ``selectors`` loop on the main thread — no
+per-link reader threads, non-blocking vectored writes, and timer
+deadlines instead of polling.  ``--io-mode threads`` restores the
+legacy architecture (one reader thread per link feeding an inbox
+drained on a poll interval).
+
 Custom filters cross the process boundary the same way real MRNet
 ships shared objects: as a file path + function name, loaded on every
 process in the same order so registry ids agree network-wide.
@@ -73,6 +80,7 @@ def run_commnode(
     name: str = "commnode",
     announce=print,
     accept_timeout: float = 60.0,
+    io_mode: str = "eventloop",
 ) -> int:
     """The program body; returns a process exit code."""
     registry = default_registry()
@@ -83,6 +91,49 @@ def run_commnode(
     listener = TcpListener(inbox)
     announce(f"LISTENING {listener.address[1]}", flush=True)
 
+    if io_mode == "eventloop":
+        return _run_eventloop(
+            listener, parent_addr, n_children, expected_ranks,
+            registry, name, inbox, accept_timeout,
+        )
+    return _run_threads(
+        listener, parent_addr, n_children, expected_ranks,
+        registry, name, inbox, accept_timeout,
+    )
+
+
+def _run_eventloop(
+    listener, parent_addr, n_children, expected_ranks,
+    registry, name, inbox, accept_timeout,
+) -> int:
+    """Selector-driven body: every socket on one loop, zero I/O threads."""
+    from .transport.eventloop import EventLoop
+    from .transport.tcp import tcp_connect_socket
+
+    loop = EventLoop()
+    parent_end = loop.add_socket(
+        tcp_connect_socket(parent_addr, timeout=accept_timeout)
+    )
+    core = NodeCore(
+        name, registry, expected_ranks, parent=parent_end, inbox=inbox
+    )
+    try:
+        for _ in range(n_children):
+            core.add_child(
+                loop.add_socket(listener.accept_socket(timeout=accept_timeout))
+            )
+    finally:
+        listener.close()
+    loop.bind(core)
+    loop.run()
+    return 0
+
+
+def _run_threads(
+    listener, parent_addr, n_children, expected_ranks,
+    registry, name, inbox, accept_timeout,
+) -> int:
+    """Legacy body: reader thread per link, inbox drained on a timer."""
     parent_end = tcp_connect(parent_addr, inbox, timeout=accept_timeout)
     core = NodeCore(
         name, registry, expected_ranks, parent=parent_end, inbox=inbox
@@ -93,9 +144,13 @@ def run_commnode(
     finally:
         listener.close()
 
-    # The standard internal-process event loop (see CommNode.run).
+    # The standard internal-process inbox loop (see CommNode).
     while not core.shutting_down:
-        poll = 0.002 if core.has_timeout_streams else 0.05
+        deadline = core.next_timeout_deadline()
+        if deadline is None:
+            poll = 0.05
+        else:
+            poll = max(deadline - core.clock(), 0.0)
         try:
             link_id, payload = core.inbox.get(timeout=poll)
         except queue.Empty:
@@ -141,6 +196,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--name", default="commnode")
     parser.add_argument("--accept-timeout", type=float, default=60.0)
+    parser.add_argument(
+        "--io-mode", choices=("eventloop", "threads"), default="eventloop",
+        help="selector event loop (default) or legacy reader threads",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -155,6 +214,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         specs,
         name=args.name,
         accept_timeout=args.accept_timeout,
+        io_mode=args.io_mode,
     )
 
 

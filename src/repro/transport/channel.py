@@ -20,7 +20,7 @@ import itertools
 import queue
 import threading
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 __all__ = ["ChannelClosed", "Inbox", "Channel", "ChannelEnd"]
 
@@ -40,10 +40,17 @@ class _Delivery:
 
 
 class Inbox:
-    """A process's single inbound mailbox, fed by many channels."""
+    """A process's single inbound mailbox, fed by many channels.
+
+    ``on_deliver`` (when set) is invoked after every delivery, from the
+    *sender's* thread.  An event loop blocked in ``select`` installs
+    its wakeup here so in-process channel traffic interrupts the wait
+    exactly like socket readiness does.
+    """
 
     def __init__(self):
         self._q: "queue.Queue[_Delivery]" = queue.Queue()
+        self.on_deliver: Optional[Callable[[], None]] = None
 
     def get(self, timeout: Optional[float] = None) -> Tuple[int, Optional[bytes]]:
         """Block for the next delivery; ``(link_id, payload)``.
@@ -63,6 +70,9 @@ class Inbox:
 
     def _deliver(self, link_id: int, payload: Optional[bytes]) -> None:
         self._q.put(_Delivery(link_id, payload))
+        callback = self.on_deliver
+        if callback is not None:
+            callback()
 
 
 class ChannelEnd:

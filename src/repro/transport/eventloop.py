@@ -1,0 +1,492 @@
+"""Selector-driven event loop for comm-node processes.
+
+One internal process owns many links — its parent, every child, plus
+in-process channels under the threaded runtime.  The original runtime
+spent one reader thread per TCP link and drove :class:`NodeCore` from
+a polled ``queue.Queue``; this module replaces all of that with a
+single ``selectors.DefaultSelector`` loop per process, mirroring how
+the real ``mrnet_commnode`` multiplexes its socket set with
+``select``:
+
+* every TCP link is a non-blocking socket registered with the
+  selector (:class:`SelectorLink`), read incrementally into a frame
+  reassembly buffer and written through a bounded send queue with
+  vectored ``sendmsg`` writes — no frame-join copy, no per-link
+  thread;
+* in-process :class:`~repro.transport.channel.Channel` deliveries
+  interrupt the selector through a wakeup socketpair hooked onto the
+  node's :class:`~repro.transport.channel.Inbox`;
+* time-based work (TimeOut synchronization filters, the adaptive
+  flush window) is scheduled by deadline: the selector sleeps exactly
+  until the earliest one instead of spinning on a short poll.
+
+The loop applies the adaptive flush policy (see
+:mod:`repro.core.batching`): while inbound events keep arriving,
+output buffers are allowed to accumulate up to the size/delay bounds
+so bursty fan-in produces genuinely larger upstream messages; the
+moment the loop would go idle, everything flushes, so light traffic
+never waits on a batching timer.
+
+Backpressure: each link's send queue is bounded
+(``SEND_QUEUE_MAX_BYTES``).  :meth:`SelectorLink.send_capacity` lets
+``NodeCore.flush`` *check before encoding* and keep packets parked in
+their ``PacketBuffer`` (counted in the ``send_queue_full`` stat)
+rather than buffering unboundedly toward a slow consumer.
+"""
+
+from __future__ import annotations
+
+import collections
+import errno
+import itertools
+import logging
+import queue
+import selectors
+import socket
+import struct
+import threading
+import time
+from typing import Deque, Dict, List, Optional
+
+from .tcp import _alloc_link_id
+
+__all__ = ["EventLoop", "SelectorLink", "SendQueueFull", "SEND_QUEUE_MAX_BYTES"]
+
+log = logging.getLogger(__name__)
+
+_LEN = struct.Struct(">I")
+_MAX_FRAME = 1 << 30
+_RECV_CHUNK = 1 << 18
+# One sendmsg call gathers at most this many buffers (IOV_MAX safety).
+_SENDMSG_MAX_BUFFERS = 128
+
+SEND_QUEUE_MAX_BYTES = 4 << 20
+
+
+class SendQueueFull(RuntimeError):
+    """A bounded per-link send queue refused a payload.
+
+    Deliberately *not* a ``ConnectionError``: the link is healthy,
+    just congested — callers should keep the data and retry, not drop
+    it or tear the link down.
+    """
+
+
+class SelectorLink:
+    """One non-blocking socket owned by an :class:`EventLoop`.
+
+    Presents the ``ChannelEnd`` interface (``link_id`` / ``send`` /
+    ``close`` / ``closed``) so a :class:`~repro.core.commnode.NodeCore`
+    can use it as a parent or child link unchanged.
+    """
+
+    __slots__ = (
+        "link_id",
+        "max_send_bytes",
+        "_loop",
+        "_sock",
+        "_out",
+        "_out_nbytes",
+        "_rbuf",
+        "_closed",
+        "_writing",
+    )
+
+    def __init__(
+        self,
+        loop: "EventLoop",
+        sock: socket.socket,
+        link_id: int,
+        max_send_bytes: int = SEND_QUEUE_MAX_BYTES,
+    ):
+        sock.setblocking(False)
+        self.link_id = link_id
+        self.max_send_bytes = max_send_bytes
+        self._loop = loop
+        self._sock = sock
+        self._out: Deque[memoryview] = collections.deque()
+        self._out_nbytes = 0
+        self._rbuf = bytearray()
+        self._closed = False
+        self._writing = False
+
+    # -- ChannelEnd interface ---------------------------------------------
+
+    def send(self, payload: bytes) -> None:
+        """Queue one framed payload for non-blocking transmission.
+
+        An empty queue accepts any single payload (so a message larger
+        than the bound can still leave); a non-empty queue refuses
+        payloads that would exceed ``max_send_bytes`` with
+        :class:`SendQueueFull`.
+
+        When the queue is empty and we are on the loop thread, the
+        frame is written to the socket *inline* (optimistic vectored
+        send).  The common case — an uncongested link — then costs one
+        ``sendmsg`` and never touches the selector; write interest is
+        registered only for whatever the kernel would not take.
+        """
+        if self._closed:
+            raise ConnectionError(f"link {self.link_id} is closed")
+        if not isinstance(payload, (bytes, bytearray, memoryview)):
+            raise TypeError("channel payloads must be bytes")
+        n = len(payload)
+        if self._out_nbytes and self._out_nbytes + n + _LEN.size > self.max_send_bytes:
+            raise SendQueueFull(
+                f"link {self.link_id}: send queue holds {self._out_nbytes} "
+                f"bytes, refusing {n} more (bound {self.max_send_bytes})"
+            )
+        self._out.append(memoryview(_LEN.pack(n)))
+        self._out.append(memoryview(payload))
+        self._out_nbytes += n + _LEN.size
+        loop = self._loop
+        if self._out_nbytes == n + _LEN.size and (
+            loop._thread_id is None or threading.get_ident() == loop._thread_id
+        ):
+            try:
+                loop._pump_out(self)
+            except OSError:
+                # Leave the frames queued; the selector's write/read
+                # handling will surface the dead link.
+                pass
+            if not self._out:
+                return
+        loop._request_write(self)
+
+    def send_capacity(self) -> int:
+        """Bytes the send queue can still accept without refusing.
+
+        An empty queue reports its full bound; callers compare the
+        encoded message size against this *before* encoding, which is
+        how ``NodeCore.flush`` applies backpressure losslessly.
+        """
+        if self._out_nbytes == 0:
+            return self.max_send_bytes
+        return max(0, self.max_send_bytes - self._out_nbytes)
+
+    @property
+    def send_backlog(self) -> int:
+        """Bytes currently queued toward the socket."""
+        return self._out_nbytes
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._loop._forget(self)
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __repr__(self) -> str:
+        return (
+            f"SelectorLink(id={self.link_id}, backlog={self._out_nbytes}B"
+            f"{', closed' if self._closed else ''})"
+        )
+
+
+class EventLoop:
+    """One selector multiplexing all of a node's links and timers.
+
+    Usage::
+
+        loop = EventLoop()
+        parent = loop.add_socket(parent_sock)        # SelectorLink
+        core = NodeCore(..., parent=parent, inbox=loop_inbox)
+        for sock in child_socks:
+            core.add_child(loop.add_socket(sock))
+        loop.bind(core)
+        loop.run()        # until core.shutting_down
+
+    ``iterations`` counts selector wakeups — tests use it to prove the
+    loop sleeps until real deadlines instead of spinning.
+    """
+
+    # Safety cap on one select sleep: bounds the damage of any missed
+    # wakeup to 50 ms without ever busy-waiting.
+    IDLE_TIMEOUT = 0.05
+
+    def __init__(self, clock=None):
+        self.clock = clock or time.monotonic
+        self.core = None
+        self.iterations = 0
+        self.stats: Dict[str, int] = {
+            "frames_in": 0,
+            "bytes_in": 0,
+            "writes": 0,
+            "bytes_out": 0,
+            "wakeups": 0,
+        }
+        self._selector = selectors.DefaultSelector()
+        self._links: Dict[int, SelectorLink] = {}
+        self._thread_id: Optional[int] = None
+        self._wake_lock = threading.Lock()
+        self._wake_pending = False
+        self._deferred_writes: List[SelectorLink] = []
+        wake_recv, wake_send = socket.socketpair()
+        wake_recv.setblocking(False)
+        wake_send.setblocking(False)
+        self._wake_recv = wake_recv
+        self._wake_send = wake_send
+        self._selector.register(wake_recv, selectors.EVENT_READ, None)
+
+    # -- wiring -----------------------------------------------------------
+
+    def add_socket(
+        self,
+        sock: socket.socket,
+        max_send_bytes: int = SEND_QUEUE_MAX_BYTES,
+    ) -> SelectorLink:
+        """Register a connected socket; returns its ChannelEnd-like link."""
+        link = SelectorLink(self, sock, _alloc_link_id(), max_send_bytes)
+        self._links[link.link_id] = link
+        self._selector.register(sock, selectors.EVENT_READ, link)
+        return link
+
+    def bind(self, core) -> None:
+        """Attach the NodeCore this loop drives; hooks its inbox wakeup."""
+        self.core = core
+        core.inbox.on_deliver = self.wake
+
+    def wake(self) -> None:
+        """Interrupt a blocked ``select`` (thread-safe, coalescing)."""
+        with self._wake_lock:
+            if self._wake_pending:
+                return
+            self._wake_pending = True
+        try:
+            self._wake_send.send(b"\0")
+        except (BlockingIOError, OSError):  # pragma: no cover - full pipe
+            pass
+
+    # -- write-interest management ----------------------------------------
+
+    def _request_write(self, link: SelectorLink) -> None:
+        if link._writing or link._closed:
+            return
+        if self._thread_id is None or threading.get_ident() == self._thread_id:
+            self._enable_write(link)
+        else:
+            # Another thread queued data: the selector set is not safe
+            # to mutate mid-select, so defer to the loop thread.
+            with self._wake_lock:
+                self._deferred_writes.append(link)
+            self.wake()
+
+    def _enable_write(self, link: SelectorLink) -> None:
+        if link._writing or link._closed:
+            return
+        link._writing = True
+        self._selector.modify(
+            link._sock, selectors.EVENT_READ | selectors.EVENT_WRITE, link
+        )
+
+    def _disable_write(self, link: SelectorLink) -> None:
+        if not link._writing or link._closed:
+            return
+        link._writing = False
+        self._selector.modify(link._sock, selectors.EVENT_READ, link)
+
+    def _forget(self, link: SelectorLink) -> None:
+        self._links.pop(link.link_id, None)
+        try:
+            self._selector.unregister(link._sock)
+        except (KeyError, ValueError, OSError):
+            pass
+
+    # -- the loop ---------------------------------------------------------
+
+    def run(self) -> None:
+        """Drive the bound core until it begins shutting down."""
+        core = self.core
+        if core is None:
+            raise RuntimeError("EventLoop.run before bind(core)")
+        self._thread_id = threading.get_ident()
+        busy = False
+        try:
+            while not core.shutting_down:
+                self.iterations += 1
+                timeout = 0.0 if busy else self._select_timeout()
+                events = self._selector.select(timeout)
+                worked = False
+                for key, mask in events:
+                    link = key.data
+                    if link is None:
+                        self._on_wakeup()
+                        continue
+                    if mask & selectors.EVENT_READ:
+                        worked |= self._handle_read(link)
+                    if mask & selectors.EVENT_WRITE and not link._closed:
+                        self._handle_write(link)
+                worked |= self._drain_inbox()
+                core.poll_streams()
+                if worked:
+                    busy = True
+                    core.maybe_flush()
+                else:
+                    # Going idle: ship everything, batching window over.
+                    core.flush()
+                    busy = False
+        finally:
+            core.flush()
+            self._drain_outbound()
+            core.close_all()
+            self._shutdown_selector()
+
+    def _select_timeout(self) -> float:
+        deadline = None
+        core = self.core
+        for candidate in (core.next_timeout_deadline(), core.next_flush_deadline):
+            if candidate is not None and (deadline is None or candidate < deadline):
+                deadline = candidate
+        if deadline is None:
+            return self.IDLE_TIMEOUT
+        return min(max(deadline - self.clock(), 0.0), self.IDLE_TIMEOUT)
+
+    def _on_wakeup(self) -> None:
+        self.stats["wakeups"] += 1
+        with self._wake_lock:
+            self._wake_pending = False
+            deferred, self._deferred_writes = self._deferred_writes, []
+        try:
+            while self._wake_recv.recv(4096):
+                pass
+        except (BlockingIOError, OSError):
+            pass
+        for link in deferred:
+            self._enable_write(link)
+
+    def _drain_inbox(self) -> bool:
+        """Dispatch in-process channel deliveries queued on the inbox."""
+        core = self.core
+        worked = False
+        while not core.shutting_down:
+            try:
+                link_id, payload = core.inbox.get_nowait()
+            except queue.Empty:
+                break
+            core.handle_payload(link_id, payload)
+            worked = True
+        return worked
+
+    # -- socket reads -----------------------------------------------------
+
+    def _handle_read(self, link: SelectorLink) -> bool:
+        try:
+            data = link._sock.recv(_RECV_CHUNK)
+        except BlockingIOError:
+            return False
+        except OSError:
+            data = b""
+        if not data:
+            self._link_dead(link)
+            return True
+        self.stats["bytes_in"] += len(data)
+        rbuf = link._rbuf
+        rbuf += data
+        offset = 0
+        view = memoryview(rbuf)
+        try:
+            while len(rbuf) - offset >= _LEN.size:
+                (length,) = _LEN.unpack_from(rbuf, offset)
+                if length > _MAX_FRAME:
+                    log.warning(
+                        "link %d: oversized frame (%d bytes); closing",
+                        link.link_id,
+                        length,
+                    )
+                    self._link_dead(link)
+                    return True
+                end = offset + _LEN.size + length
+                if len(rbuf) < end:
+                    break
+                frame = bytes(view[offset + _LEN.size : end])
+                offset = end
+                self.core.handle_payload(link.link_id, frame)
+                self.stats["frames_in"] += 1
+        finally:
+            view.release()
+            if offset:
+                del rbuf[:offset]
+        return True
+
+    def _link_dead(self, link: SelectorLink) -> None:
+        """EOF / error on a socket: unregister and tell the core."""
+        self._forget(link)
+        if not link._closed:
+            link._closed = True
+            try:
+                link._sock.close()
+            except OSError:  # pragma: no cover
+                pass
+        self.core.handle_payload(link.link_id, None)
+
+    # -- socket writes ----------------------------------------------------
+
+    def _handle_write(self, link: SelectorLink) -> None:
+        try:
+            self._pump_out(link)
+        except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+            if getattr(exc, "errno", None) in (errno.EAGAIN, errno.EWOULDBLOCK):
+                return
+            self._link_dead(link)
+            return
+        if not link._out:
+            self._disable_write(link)
+
+    def _pump_out(self, link: SelectorLink) -> None:
+        """Vectored non-blocking writes until the queue or socket is done."""
+        out = link._out
+        while out:
+            bufs = list(itertools.islice(out, _SENDMSG_MAX_BUFFERS))
+            try:
+                sent = link._sock.sendmsg(bufs)
+            except BlockingIOError:
+                return
+            self.stats["writes"] += 1
+            self.stats["bytes_out"] += sent
+            link._out_nbytes -= sent
+            while sent:
+                head = out[0]
+                if sent >= len(head):
+                    sent -= len(head)
+                    out.popleft()
+                else:
+                    out[0] = head[sent:]
+                    sent = 0
+
+    def _drain_outbound(self, timeout: float = 1.0) -> None:
+        """Best-effort blocking flush of send queues at shutdown.
+
+        The SHUTDOWN broadcast to children is queued right before the
+        loop exits; give the sockets a bounded window to take it.
+        """
+        deadline = self.clock() + timeout
+        for link in list(self._links.values()):
+            if link._closed or not link._out:
+                continue
+            try:
+                link._sock.setblocking(True)
+                link._sock.settimeout(max(deadline - self.clock(), 0.01))
+                self._pump_out(link)
+            except OSError:
+                pass
+
+    def _shutdown_selector(self) -> None:
+        for link in list(self._links.values()):
+            link.close()
+        try:
+            self._selector.unregister(self._wake_recv)
+        except (KeyError, ValueError, OSError):  # pragma: no cover
+            pass
+        self._wake_recv.close()
+        self._wake_send.close()
+        self._selector.close()
+        if self.core is not None:
+            self.core.inbox.on_deliver = None

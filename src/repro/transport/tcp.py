@@ -23,10 +23,55 @@ from typing import Optional, Tuple
 
 from .channel import Inbox
 
-__all__ = ["TcpChannelEnd", "TcpListener", "tcp_pair", "tcp_connect"]
+__all__ = [
+    "TcpChannelEnd",
+    "TcpListener",
+    "tcp_pair",
+    "tcp_connect",
+    "tcp_connect_socket",
+]
 
 _LEN = struct.Struct(">I")
 _MAX_FRAME = 1 << 30
+_HAS_SENDMSG = hasattr(socket.socket, "sendmsg")
+
+
+def sendmsg_all(sock: socket.socket, buffers) -> None:
+    """Write *buffers* to a blocking socket as one vectored send.
+
+    ``sendmsg`` gathers the length prefix and payload frames straight
+    from their owning buffers — no join copy.  Short writes (small
+    ``SO_SNDBUF``) are continued from the partial offset.
+    """
+    if _HAS_SENDMSG:
+        # Common case: the whole frame fits the socket buffer in one
+        # vectored write — no memoryview wrapping, no continuation.
+        sent = sock.sendmsg(buffers)
+        total = 0
+        for b in buffers:
+            total += len(b)
+        if sent == total:
+            return
+        views = [memoryview(b) for b in buffers if len(b)]
+    else:  # pragma: no cover - non-POSIX fallback
+        sock.sendall(b"".join(buffers))
+        return
+    while sent:
+        if sent >= len(views[0]):
+            sent -= len(views[0])
+            views.pop(0)
+        else:
+            views[0] = views[0][sent:]
+            sent = 0
+    while views:
+        sent = sock.sendmsg(views)
+        while sent:
+            if sent >= len(views[0]):
+                sent -= len(views[0])
+                views.pop(0)
+            else:
+                views[0] = views[0][sent:]
+                sent = 0
 
 
 class TcpChannelEnd:
@@ -48,12 +93,11 @@ class TcpChannelEnd:
             raise ConnectionError(f"tcp link {self.link_id} is closed")
         if not isinstance(payload, (bytes, bytearray, memoryview)):
             raise TypeError("channel payloads must be bytes")
-        # One gather-join builds the frame; no second copy for payloads
-        # that are already bytes (the PacketBuffer.encode output).
-        frame = b"".join((_LEN.pack(len(payload)), payload))
+        # Vectored write: the kernel gathers prefix + payload, so the
+        # frame is never joined into a transient Python bytes object.
         with self._send_lock:
             try:
-                self._sock.sendall(frame)
+                sendmsg_all(self._sock, (_LEN.pack(len(payload)), payload))
             except OSError as exc:
                 self._closed = True
                 raise ConnectionError(str(exc)) from exc
@@ -140,6 +184,17 @@ class TcpListener:
         ids independently, so trusting the remote id could collide
         with this process's existing links.
         """
+        return TcpChannelEnd(
+            self.accept_socket(timeout), _alloc_link_id(), self._inbox
+        )
+
+    def accept_socket(self, timeout: Optional[float] = None) -> socket.socket:
+        """Accept one connection and return the raw connected socket.
+
+        The link handshake is consumed, but no reader thread is
+        started — callers that register the socket with an event loop
+        use this instead of :meth:`accept`.
+        """
         self._server.settimeout(timeout)
         sock, _ = self._server.accept()
         raw = b""
@@ -148,19 +203,31 @@ class TcpListener:
             if not chunk:
                 raise ConnectionError("peer closed during link handshake")
             raw += chunk
-        _LEN.unpack(raw)  # hello consumed; see docstring
-        return TcpChannelEnd(sock, _alloc_link_id(), self._inbox)
+        _LEN.unpack(raw)  # hello consumed; see accept()
+        return sock
 
     def close(self) -> None:
         self._server.close()
+
+
+def tcp_connect_socket(
+    address: Tuple[str, int], timeout: Optional[float] = None
+) -> socket.socket:
+    """Connect to a :class:`TcpListener`, returning the raw socket.
+
+    Performs the hello handshake but starts no reader thread; pair
+    with an event loop (or wrap in :class:`TcpChannelEnd` manually).
+    """
+    sock = socket.create_connection(address, timeout=timeout)
+    sock.settimeout(None)
+    sock.sendall(_LEN.pack(_alloc_link_id()))
+    return sock
 
 
 def tcp_connect(
     address: Tuple[str, int], inbox: Inbox, timeout: Optional[float] = None
 ) -> TcpChannelEnd:
     """Connect to a :class:`TcpListener` and build this side's end."""
-    sock = socket.create_connection(address, timeout=timeout)
-    sock.settimeout(None)
-    link_id = _alloc_link_id()
-    sock.sendall(_LEN.pack(link_id))
-    return TcpChannelEnd(sock, link_id, inbox)
+    return TcpChannelEnd(
+        tcp_connect_socket(address, timeout), _alloc_link_id(), inbox
+    )

@@ -5,6 +5,7 @@ These exercise the full stack: Network → comm-node threads → channels
 """
 
 import textwrap
+import time
 
 import pytest
 
@@ -330,11 +331,19 @@ class TestLifecycle:
             stream.close()
             with pytest.raises(StreamClosed):
                 stream.send("%d", 1)
-            # Back-ends eventually observe the closure.
+            # Back-ends eventually observe the closure.  The comm-node
+            # threads forward the close asynchronously, so poll with a
+            # bounded wait instead of racing their schedulers.
+            deadline = time.monotonic() + RECV_TIMEOUT
             for rank in sorted(net.backends):
                 be = net.backends[rank]
                 be.poll()
-                assert stream.stream_id not in be.stream_ids
+                while stream.stream_id in be.stream_ids:
+                    assert time.monotonic() < deadline, (
+                        f"rank {rank} never saw stream closure"
+                    )
+                    time.sleep(0.001)
+                    be.poll()
         finally:
             net.shutdown()
 

@@ -1,0 +1,320 @@
+"""Tests for the selector-driven event loop (one I/O thread per node).
+
+Covers the PR's acceptance points: a comm node with many links runs on
+exactly one thread, wide fan-in relays correctly, bounded send queues
+produce observable lossless backpressure, TimeOut-stream deadlines are
+honoured without busy-spinning, and abrupt peer death mid-frame tears
+the link down cleanly instead of wedging the loop.
+"""
+
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.core.batching import decode_batch, encode_batch
+from repro.core.commnode import CommNode, NodeCore
+from repro.core.packet import Packet
+from repro.core.protocol import (
+    make_endpoint_report,
+    make_new_stream,
+    make_shutdown,
+)
+from repro.filters.registry import SFILTER_TIMEOUT, TFILTER_SUM, default_registry
+from repro.transport.eventloop import EventLoop, SendQueueFull
+
+_LEN = struct.Struct(">I")
+RECV_TIMEOUT = 10.0
+
+
+def send_frame(sock, packets):
+    """Write one framed batch message to a raw socket."""
+    payload = encode_batch(packets)
+    sock.sendall(_LEN.pack(len(payload)) + payload)
+
+
+def _read_exact(sock, n, deadline):
+    buf = b""
+    while len(buf) < n:
+        sock.settimeout(max(deadline - time.monotonic(), 0.01))
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise ConnectionError("peer closed while reading frame")
+        buf += chunk
+    return buf
+
+
+def recv_frames(sock, n, timeout=RECV_TIMEOUT):
+    """Read *n* raw framed payloads from a socket."""
+    deadline = time.monotonic() + timeout
+    frames = []
+    for _ in range(n):
+        (length,) = _LEN.unpack(_read_exact(sock, _LEN.size, deadline))
+        frames.append(_read_exact(sock, length, deadline))
+    return frames
+
+
+def recv_packets(sock, n, timeout=RECV_TIMEOUT):
+    """Read batch frames off a socket until *n* packets have arrived."""
+    deadline = time.monotonic() + timeout
+    packets = []
+    while len(packets) < n:
+        (frame,) = recv_frames(sock, 1, timeout=deadline - time.monotonic())
+        packets.extend(decode_batch(frame))
+    return packets
+
+
+def make_node(n_children, expected_ranks=None, name="node"):
+    """A CommNode driven by one event loop over raw socketpairs.
+
+    Returns ``(node, parent_sock, child_socks)`` — our test-side ends.
+    """
+    parent_ours, parent_theirs = socket.socketpair()
+    node = CommNode(
+        name,
+        default_registry(),
+        expected_ranks if expected_ranks is not None else n_children,
+        parent_socket=parent_theirs,
+    )
+    child_socks = []
+    for _ in range(n_children):
+        ours, theirs = socket.socketpair()
+        node.add_child_socket(theirs)
+        child_socks.append(ours)
+    return node, parent_ours, child_socks
+
+
+def stop_node(node, parent_sock, child_socks):
+    try:
+        send_frame(parent_sock, [make_shutdown()])
+    except OSError:
+        pass
+    node.join(timeout=5)
+    for s in child_socks:
+        s.close()
+    parent_sock.close()
+    assert not node.is_alive()
+
+
+class TestSingleThread:
+    def test_16_children_one_io_thread(self):
+        """A comm node with 17 links (parent + 16 children) adds ONE thread."""
+        before = set(threading.enumerate())
+        node, parent, children = make_node(16)
+        node.start()
+        try:
+            added = [t for t in threading.enumerate() if t not in before]
+            assert added == [node]
+            # The node is live: aggregate endpoint reports from all 16
+            # children into one report at the parent.
+            for i, sock in enumerate(children):
+                send_frame(sock, [make_endpoint_report([i])])
+            (report,) = recv_packets(parent, 1)
+            (ranks,) = report.unpack()
+            assert tuple(ranks) == tuple(range(16))
+            assert [t for t in threading.enumerate() if t not in before] == [node]
+        finally:
+            stop_node(node, parent, children)
+
+    def test_shutdown_reaches_children(self):
+        node, parent, children = make_node(2)
+        node.start()
+        send_frame(parent, [make_shutdown()])
+        for sock in children:
+            (pkt,) = recv_packets(sock, 1)
+            assert pkt.tag == make_shutdown().tag
+        node.join(timeout=5)
+        assert not node.is_alive()
+        for s in children:
+            s.close()
+        parent.close()
+
+
+class TestWideFanIn:
+    def test_64_links_relay_up(self):
+        """64 children funnel packets through one selector thread."""
+        node, parent, children = make_node(64)
+        node.start()
+        try:
+            for i, sock in enumerate(children):
+                # Unknown stream: the node relays upstream unchanged.
+                send_frame(sock, [Packet(77, 100, "%d", (i,), origin_rank=i)])
+            packets = recv_packets(parent, 64)
+            values = sorted(p.unpack()[0] for p in packets)
+            assert values == list(range(64))
+            assert node.loop.stats["frames_in"] >= 64
+        finally:
+            stop_node(node, parent, children)
+
+    def test_fanin_batches_into_fewer_messages(self):
+        """Bursty fan-in leaves as fewer, larger upstream messages."""
+        node, parent, children = make_node(32)
+        node.start()
+        try:
+            for i, sock in enumerate(children):
+                send_frame(sock, [Packet(77, 100, "%d", (i,), origin_rank=i)])
+            recv_packets(parent, 32)
+            # Adaptive flushing must have coalesced at least some of
+            # the 32 inbound packets into shared upstream messages.
+            assert node.core.stats["messages_sent"] < 32
+        finally:
+            stop_node(node, parent, children)
+
+
+class TestBackpressure:
+    def test_send_queue_bound_raises(self):
+        loop = EventLoop()
+        a, b = socket.socketpair()
+        # Tiny kernel buffers so the opportunistic inline write cannot
+        # swallow the whole payload: a remainder must stay queued.
+        a.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, 4096)
+        b.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 4096)
+        link = loop.add_socket(a, max_send_bytes=1024)
+        try:
+            link.send(b"x" * (256 * 1024))  # empty queue accepts any one payload
+            assert link.send_capacity() < 1024
+            with pytest.raises(SendQueueFull):
+                link.send(b"x" * 600)
+        finally:
+            b.close()
+            loop._shutdown_selector()
+
+    def test_flush_defers_then_recovers(self):
+        """NodeCore.flush parks packets on a full link, then retries."""
+        loop = EventLoop()
+        a, b = socket.socketpair()
+        a.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, 4096)
+        b.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 4096)
+        link = loop.add_socket(a, max_send_bytes=2048)
+        core = NodeCore("bp", default_registry(), 1)
+        core.add_child(link)
+        # Pre-fill the send queue past the kernel buffers (the inline
+        # write takes a few KB; the rest stays queued) and queue a
+        # downstream flood behind it.
+        prefill = b"y" * (256 * 1024)
+        link.send(prefill)
+        core._handle_data_down(Packet(9, 100, "%s", ("z" * 600,)))
+        core.flush()
+        assert core.stats["send_queue_full"] == 1
+        assert core.has_pending_output  # parked, not dropped
+        assert core.stats["messages_dropped_on_close"] == 0
+        # Start the loop: the queue drains into the socket, the parked
+        # buffer flushes on the next idle pass — lossless backpressure.
+        loop.bind(core)
+        t = threading.Thread(target=loop.run, daemon=True)
+        t.start()
+        try:
+            raw, batch = recv_frames(b, 2)
+            assert raw == prefill
+            (pkt,) = decode_batch(batch)
+            assert pkt.unpack() == ("z" * 600,)
+        finally:
+            core.shutting_down = True
+            loop.wake()
+            t.join(timeout=5)
+            b.close()
+        assert not t.is_alive()
+        assert not core.has_pending_output
+
+    def test_oversized_message_still_leaves_empty_queue(self):
+        """One message bigger than the bound departs when the queue is empty."""
+        loop = EventLoop()
+        a, b = socket.socketpair()
+        link = loop.add_socket(a, max_send_bytes=1024)
+        core = NodeCore("big", default_registry(), 1)
+        core.add_child(link)
+        core._handle_data_down(Packet(9, 100, "%s", ("w" * 5000,)))
+        core.flush()
+        assert core.stats["send_queue_full"] == 0
+        assert not core.has_pending_output
+        loop.bind(core)
+        t = threading.Thread(target=loop.run, daemon=True)
+        t.start()
+        try:
+            (pkt,) = recv_packets(b, 1)
+            assert pkt.unpack() == ("w" * 5000,)
+        finally:
+            core.shutting_down = True
+            loop.wake()
+            t.join(timeout=5)
+            b.close()
+
+
+class TestTimeOutDeadline:
+    def test_partial_wave_releases_on_deadline_without_spin(self):
+        """A TimeOut stream fires at its deadline; the loop sleeps, not spins."""
+        node, parent, children = make_node(2)
+        node.start()
+        try:
+            for i, sock in enumerate(children):
+                send_frame(sock, [make_endpoint_report([i])])
+            recv_packets(parent, 1)  # aggregated endpoint report
+            sync_timeout = 0.25
+            send_frame(
+                parent,
+                [make_new_stream(5, [0, 1], SFILTER_TIMEOUT, TFILTER_SUM, sync_timeout)],
+            )
+            # The data frame below travels on a different socket than the
+            # new_stream above; wait until the stream is registered so the
+            # packet isn't relayed as unknown-stream traffic.
+            reg_deadline = time.monotonic() + RECV_TIMEOUT
+            while 5 not in node.core.streams:
+                assert time.monotonic() < reg_deadline, "stream never registered"
+                time.sleep(0.002)
+            iters_before = node.loop.iterations
+            start = time.monotonic()
+            # Only child 0 contributes, so the wave can never complete:
+            # the TimeOut criterion must release it at the deadline.
+            send_frame(children[0], [Packet(5, 100, "%d", (3,), origin_rank=0)])
+            (pkt,) = recv_packets(parent, 1)
+            elapsed = time.monotonic() - start
+            assert pkt.unpack() == (3,)
+            # Never early (the wave clock starts at/after `start`), and
+            # not meaningfully late either.
+            assert elapsed >= sync_timeout - 0.01
+            assert elapsed < sync_timeout + 0.5
+            # The loop slept until the deadline: a 2 ms poll would need
+            # ~125 iterations to cross 0.25 s.
+            assert node.loop.iterations - iters_before < 40
+        finally:
+            stop_node(node, parent, children)
+
+
+class TestAbruptClose:
+    def test_peer_dies_mid_frame(self):
+        """EOF halfway through a frame drops the link, not the node."""
+        node, parent, children = make_node(2)
+        node.start()
+        try:
+            dying, surviving = children
+            # A frame header promising 100 bytes, but only 10 arrive.
+            dying.sendall(_LEN.pack(100) + b"0123456789")
+            time.sleep(0.05)
+            dying.close()
+            deadline = time.monotonic() + 5
+            while len(node.core.children) != 1:
+                assert time.monotonic() < deadline, "dead link never removed"
+                time.sleep(0.01)
+            # The surviving link still relays.
+            send_frame(surviving, [Packet(7, 100, "%d", (42,))])
+            (pkt,) = recv_packets(parent, 1)
+            assert pkt.unpack() == (42,)
+        finally:
+            stop_node(node, parent, [s for s in children if s.fileno() != -1])
+
+    def test_oversized_frame_header_closes_link(self):
+        node, parent, children = make_node(1)
+        node.start()
+        try:
+            children[0].sendall(_LEN.pack((1 << 30) + 1))
+            # The node closes the poisoned link; we observe EOF.
+            children[0].settimeout(5)
+            assert children[0].recv(1) == b""
+            deadline = time.monotonic() + 5
+            while len(node.core.children) != 0:
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+        finally:
+            stop_node(node, parent, children)
