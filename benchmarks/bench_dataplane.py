@@ -291,17 +291,30 @@ def main(argv=None) -> int:
     # Per-mode speedup references (smoke ratios are not comparable to
     # full-mode ones).  Preserve the other mode's reference when
     # regenerating, so CI's check_regression.py always has a baseline
-    # matching its run mode.
+    # matching its run mode.  Other benchmarks (bench_recovery.py)
+    # merge their own result entries into the same file; preserve
+    # those too, and never assume a foreign entry has a "speedup".
     mode = "smoke" if args.smoke else "full"
     reference = {}
+    prior_results = {}
     if args.out.exists():
         try:
-            reference = json.loads(args.out.read_text()).get(
-                "reference_speedups", {}
-            )
+            prior = json.loads(args.out.read_text())
+            reference = prior.get("reference_speedups", {})
+            prior_results = prior.get("results", {})
         except (json.JSONDecodeError, OSError):
-            reference = {}
-    reference[mode] = {name: row["speedup"] for name, row in results.items()}
+            reference, prior_results = {}, {}
+    reference[mode] = {
+        name: row["speedup"]
+        for name, row in results.items()
+        if "speedup" in row
+    }
+    merged_results = {
+        name: row
+        for name, row in prior_results.items()
+        if name not in results
+    }
+    merged_results.update(results)
 
     doc = {
         "benchmark": "bench_dataplane",
@@ -311,13 +324,15 @@ def main(argv=None) -> int:
         ),
         "mode": mode,
         "python": sys.version.split()[0],
-        "results": results,
+        "results": merged_results,
         "reference_speedups": reference,
     }
     args.out.write_text(json.dumps(doc, indent=2) + "\n")
 
     print(f"{'scenario':<20} {'baseline':>14} {'new':>14} {'speedup':>9}")
     for name, row in results.items():
+        if "speedup" not in row:
+            continue
         base = row.get(
             "baseline_pps",
             row.get("baseline_ops_per_s", row.get("baseline_wave_ms")),

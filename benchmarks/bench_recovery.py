@@ -1,0 +1,253 @@
+"""Chaos benchmark: recovery latency and steady-state heartbeat cost.
+
+Two questions the fault-tolerance layer must answer with numbers:
+
+1. **Recovery latency** — kill one internal node of a live
+   fan-out-4 × depth-2 TCP tree (seeded
+   :class:`repro.faultinject.FaultSchedule`, so every run kills the
+   same node at the same point) and measure
+
+   * ``degraded_wave_ms``: kill → the in-flight Wait-For-All wave
+     completes over the survivors, and
+   * ``repair_ms``: kill → a wave again covers the *full* rank set
+     (orphans re-adopted, routing and stream membership rebuilt).
+
+2. **Heartbeat overhead** — the steady-state price of liveness
+   probing: wave latency on an identical tree and workload with
+   heartbeats off vs. probing at ``--hb-interval``.  The acceptance
+   bar is < 10% regression (``overhead_ratio < 1.10``).
+
+Results are merged into ``BENCH_dataplane.json`` (new keys beside the
+data-plane scenarios; entries carry no ``speedup`` field and are
+skipped by the speedup regression guard)::
+
+   PYTHONPATH=src python benchmarks/bench_recovery.py [--smoke] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import REPAIR, Network  # noqa: E402
+from repro.faultinject import FaultInjector, FaultSchedule  # noqa: E402
+from repro.filters import TFILTER_NULL, TFILTER_SUM  # noqa: E402
+from repro.filters.registry import SFILTER_DONTWAIT  # noqa: E402
+from repro.topology import balanced_tree  # noqa: E402
+
+
+def _poll_backends(net, replied):
+    for rank, be in net.backends.items():
+        if be.shut_down or rank in replied:
+            continue
+        try:
+            got = be.poll()
+        except Exception:
+            replied.add(rank)
+            continue
+        if got is None:
+            continue
+        _, bstream = got
+        try:
+            bstream.send("%d", 1)
+        except Exception:
+            pass
+        replied.add(rank)
+
+
+def _drive_wave(net, stream, timeout=30.0):
+    """Broadcast-and-reduce one wave; returns the aggregated sum."""
+    stream.send("%d", 0)
+    net.flush()
+    deadline = time.monotonic() + timeout
+    replied = set()
+    while time.monotonic() < deadline:
+        _poll_backends(net, replied)
+        try:
+            return stream.recv(timeout=0.02).values[0]
+        except TimeoutError:
+            continue
+    raise TimeoutError("wave did not complete")
+
+
+def bench_recovery_latency(fanout: int, depth: int, rounds: int, seed: int) -> dict:
+    n = fanout**depth
+    degraded, repaired, adopted = [], [], []
+    for r in range(rounds):
+        net = Network(balanced_tree(fanout, depth), transport="tcp", policy=REPAIR)
+        try:
+            stream = net.new_stream(
+                net.get_broadcast_communicator(), transform=TFILTER_SUM
+            )
+            assert _drive_wave(net, stream) == n
+
+            # Broadcast a wave, let it reach the leaves, then fire the
+            # seeded kill while the wave is in flight.
+            stream.send("%d", 0)
+            net.flush()
+            time.sleep(0.05)
+            sched = FaultSchedule.random(
+                FaultInjector(net), seed=seed + r, n_faults=1, horizon=0.0
+            )
+            sched.arm()
+            sched.poll()  # horizon 0: the kill fires immediately
+            t_kill = time.monotonic()
+
+            replied = set()
+            while True:
+                _poll_backends(net, replied)
+                try:
+                    stream.recv(timeout=0.02)
+                    break
+                except TimeoutError:
+                    if time.monotonic() - t_kill > 30.0:
+                        raise TimeoutError("degraded wave never completed")
+            degraded.append((time.monotonic() - t_kill) * 1e3)
+
+            # Drive waves until full membership returns.
+            while True:
+                if _drive_wave(net, stream) == n:
+                    break
+                if time.monotonic() - t_kill > 30.0:
+                    raise TimeoutError("membership never recovered")
+            repaired.append((time.monotonic() - t_kill) * 1e3)
+            adopted.append(net.stats()["recovery"]["orphans_adopted"])
+        finally:
+            net.shutdown()
+    return {
+        "fanout": fanout,
+        "depth": depth,
+        "rounds": rounds,
+        "seed": seed,
+        "degraded_wave_ms": round(statistics.median(degraded), 2),
+        "repair_ms": round(statistics.median(repaired), 2),
+        "orphans_adopted_per_round": round(statistics.mean(adopted), 2),
+    }
+
+
+def _wave_latency(hb_interval: float, fanout: int, depth: int, burst: int, rounds: int):
+    """Best-of-N burst fan-in wave latency (mirrors bench_dataplane's
+    tree_fanin workload) at the given heartbeat setting."""
+    net = Network(
+        balanced_tree(fanout, depth),
+        transport="tcp",
+        heartbeat_interval=hb_interval,
+    )
+    try:
+        stream = net.new_stream(
+            net.get_broadcast_communicator(),
+            transform=TFILTER_NULL,
+            sync=SFILTER_DONTWAIT,
+        )
+        backends = [net.backends[r] for r in sorted(net.backends)]
+        n = len(backends)
+
+        def one_wave():
+            stream.send("%d", 0)
+            for be in backends:
+                _, bstream = be.recv(timeout=60)
+                for _ in range(burst):
+                    bstream.send("%d", 1)
+            got = 0
+            while got < n * burst:
+                stream.recv(timeout=60)
+                got += 1
+
+        one_wave()  # warmup
+        timings = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            one_wave()
+            timings.append(time.perf_counter() - start)
+    finally:
+        net.shutdown()
+    return min(timings)
+
+
+def bench_heartbeat_overhead(
+    fanout: int, depth: int, burst: int, rounds: int, interval: float
+) -> dict:
+    t_off = _wave_latency(0.0, fanout, depth, burst, rounds)
+    t_on = _wave_latency(interval, fanout, depth, burst, rounds)
+    return {
+        "fanout": fanout,
+        "depth": depth,
+        "burst_per_backend": burst,
+        "rounds": rounds,
+        "heartbeat_interval_s": interval,
+        "wave_ms_heartbeats_off": round(t_off * 1e3, 2),
+        "wave_ms_heartbeats_on": round(t_on * 1e3, 2),
+        "overhead_ratio": round(t_on / t_off, 3),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="fast sanity pass (CI)")
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_dataplane.json",
+        help="benchmark JSON to merge results into",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--hb-interval", type=float, default=0.05, help="probe period (s)"
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        rec_rounds, hb_rounds, burst, fanout = 2, 3, 4, 4
+    else:
+        rec_rounds, hb_rounds, burst, fanout = 5, 8, 8, 4
+
+    recovery = bench_recovery_latency(fanout, 2, rec_rounds, args.seed)
+    overhead = bench_heartbeat_overhead(fanout, 2, burst, hb_rounds, args.hb_interval)
+
+    doc = {}
+    if args.out.exists():
+        try:
+            doc = json.loads(args.out.read_text())
+        except (json.JSONDecodeError, OSError):
+            doc = {}
+    doc.setdefault("benchmark", "bench_dataplane")
+    doc.setdefault("results", {})
+    doc["results"]["recovery_latency"] = recovery
+    doc["results"]["heartbeat_overhead"] = overhead
+    args.out.write_text(json.dumps(doc, indent=2) + "\n")
+
+    print(
+        f"recovery ({fanout}-ary depth-2, {rec_rounds} rounds): "
+        f"degraded wave {recovery['degraded_wave_ms']:.1f} ms, "
+        f"full repair {recovery['repair_ms']:.1f} ms, "
+        f"{recovery['orphans_adopted_per_round']:.1f} orphans/round"
+    )
+    print(
+        f"heartbeats @ {args.hb_interval}s: wave "
+        f"{overhead['wave_ms_heartbeats_off']:.2f} ms -> "
+        f"{overhead['wave_ms_heartbeats_on']:.2f} ms "
+        f"(ratio {overhead['overhead_ratio']:.3f})"
+    )
+    print(f"results merged into {args.out}")
+
+    if recovery["repair_ms"] >= 5000.0:
+        print("FAIL: full repair took >= 5 s", file=sys.stderr)
+        return 1
+    # The wave-latency comparison is noise-prone at smoke scale;
+    # enforce the <10% acceptance bar only on full runs.
+    if not args.smoke and overhead["overhead_ratio"] >= 1.10:
+        print("FAIL: heartbeat overhead >= 10%", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,18 +31,46 @@ GUARDED_SCENARIOS = ("relay_hop", "tree_fanin")
 
 
 def reference_speedups(committed: dict, mode: str) -> dict:
-    """The committed speedup ratios comparable to a *mode* run."""
+    """The committed speedup ratios comparable to a *mode* run.
+
+    Entries without a ``speedup`` field (e.g. bench_recovery.py's
+    recovery-latency and heartbeat-overhead rows, merged into the same
+    file) are not speedup scenarios and are skipped.
+    """
     per_mode = committed.get("reference_speedups", {})
     if mode in per_mode:
         return per_mode[mode]
     if committed.get("mode") == mode:
         return {
-            name: row["speedup"] for name, row in committed["results"].items()
+            name: row["speedup"]
+            for name, row in committed["results"].items()
+            if "speedup" in row
         }
     raise SystemExit(
         f"committed benchmark has no reference for mode {mode!r} "
         f"(has: {sorted(per_mode) or committed.get('mode')!r})"
     )
+
+
+def check_heartbeat_overhead(fresh: dict, committed: dict, ceiling: float) -> bool:
+    """Enforce the steady-state heartbeat cost bar, if measured.
+
+    Prefers a fresh ``heartbeat_overhead`` entry (a bench_recovery.py
+    run on this machine); falls back to the committed one.  Returns
+    True when the gate fails.
+    """
+    row = fresh.get("results", {}).get("heartbeat_overhead") or committed.get(
+        "results", {}
+    ).get("heartbeat_overhead")
+    if row is None or "overhead_ratio" not in row:
+        return False
+    ratio = row["overhead_ratio"]
+    status = "ok" if ratio < ceiling else "REGRESSED"
+    print(
+        f"{'heartbeat_overhead':<20} {'':>10} {ratio:>9.3f}x "
+        f"{ceiling:>9.2f}x  {status}"
+    )
+    return ratio >= ceiling
 
 
 def main(argv=None) -> int:
@@ -57,6 +85,12 @@ def main(argv=None) -> int:
         default=0.3,
         help="allowed fractional drop in speedup ratio (default 0.3 = 30%%)",
     )
+    parser.add_argument(
+        "--hb-ceiling",
+        type=float,
+        default=1.10,
+        help="max heartbeat-on/off wave-latency ratio (default 1.10)",
+    )
     args = parser.parse_args(argv)
 
     fresh = json.loads(args.fresh.read_text())
@@ -66,14 +100,24 @@ def main(argv=None) -> int:
     failed = False
     print(f"{'scenario':<20} {'committed':>10} {'fresh':>10} {'floor':>10}")
     for name in GUARDED_SCENARIOS:
-        ref = reference[name]
-        got = fresh["results"][name]["speedup"]
+        ref = reference.get(name)
+        row = fresh.get("results", {}).get(name)
+        if ref is None or row is None or "speedup" not in row:
+            # Unknown or non-speedup entries (recovery-latency rows,
+            # scenarios added after the baseline was committed) are
+            # not comparable; skip rather than crash.
+            print(f"{name:<20} {'-':>10} {'-':>10} {'-':>10}  skipped")
+            continue
+        got = row["speedup"]
         floor = (1.0 - args.tolerance) * ref
         status = "ok" if got >= floor else "REGRESSED"
         print(f"{name:<20} {ref:>9.2f}x {got:>9.2f}x {floor:>9.2f}x  {status}")
         if got < floor:
             failed = True
 
+    if check_heartbeat_overhead(fresh, committed, args.hb_ceiling):
+        print("FAIL: heartbeat overhead exceeds ceiling", file=sys.stderr)
+        failed = True
     if failed:
         print("FAIL: data-plane speedup regressed >30% vs committed baseline",
               file=sys.stderr)

@@ -4,8 +4,17 @@ from .backend import BackEnd, BackEndStream, NetworkShutdown
 from .batching import PacketBuffer, decode_batch, encode_batch
 from .commnode import CommNode, NodeCore
 from .communicator import Communicator
+from .failure import (
+    DEGRADE,
+    FAIL_FAST,
+    REPAIR,
+    HeartbeatConfig,
+    InstantiationError,
+    RanksChanged,
+    RecoveryCoordinator,
+)
 from .formats import FormatError, FormatString, TypeCode, parse_format
-from .network import Network, NetworkError
+from .network import Network, NetworkDownError, NetworkError
 from .packet import Packet, PacketDecodeError
 from .protocol import (
     CONTROL_STREAM_ID,
@@ -13,7 +22,9 @@ from .protocol import (
     FIRST_STREAM_ID,
     TAG_CLOSE_STREAM,
     TAG_ENDPOINT_REPORT,
+    TAG_HEARTBEAT,
     TAG_NEW_STREAM,
+    TAG_RANKS_CHANGED,
     TAG_SHUTDOWN,
 )
 from .routing import RoutingTable
@@ -32,6 +43,14 @@ __all__ = [
     "decode_batch",
     "Network",
     "NetworkError",
+    "NetworkDownError",
+    "FAIL_FAST",
+    "DEGRADE",
+    "REPAIR",
+    "HeartbeatConfig",
+    "InstantiationError",
+    "RanksChanged",
+    "RecoveryCoordinator",
     "Communicator",
     "Stream",
     "StreamClosed",
@@ -49,4 +68,6 @@ __all__ = [
     "TAG_NEW_STREAM",
     "TAG_CLOSE_STREAM",
     "TAG_SHUTDOWN",
+    "TAG_HEARTBEAT",
+    "TAG_RANKS_CHANGED",
 ]

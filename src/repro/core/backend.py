@@ -90,6 +90,12 @@ class BackEnd:
         self._out: list[Packet] = []
         self.connected = False
         self.shut_down = False
+        # Tree repair (repair policy only): invoked when the parent
+        # link dies without a preceding SHUTDOWN; returns a new parent
+        # ChannelEnd toward a live ancestor, or None to give up.
+        self.repair_fn = None
+        self.reconnects = 0
+        self._repairing = False
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -125,7 +131,7 @@ class BackEnd:
                 link_id, payload = self._inbox.get(timeout=remaining)
             except queue.Empty:
                 raise TimeoutError(f"back-end {self.rank} recv timed out") from None
-            self._ingest(payload)
+            self._ingest(link_id, payload)
 
     def poll(self) -> Optional[Tuple[Packet, BackEndStream]]:
         """Non-blocking receive; drains the inbox, returns next packet or None."""
@@ -135,10 +141,10 @@ class BackEnd:
             if self.shut_down:
                 return None
             try:
-                _, payload = self._inbox.get_nowait()
+                link_id, payload = self._inbox.get_nowait()
             except queue.Empty:
                 return None
-            self._ingest(payload)
+            self._ingest(link_id, payload)
 
     def get_stream(self, stream_id: int) -> BackEndStream:
         """The handle for a stream already announced to this back-end."""
@@ -155,8 +161,18 @@ class BackEnd:
 
     # -- internals ------------------------------------------------------------
 
-    def _ingest(self, payload: Optional[bytes]) -> None:
+    def _ingest(self, link_id: int, payload: Optional[bytes]) -> None:
         if payload is None:
+            if link_id != self._parent.link_id:
+                # EOF from a link that is no longer our parent — a
+                # stale delivery from before a repair.  Ignore it.
+                return
+            # Parent link died.  An orderly teardown announces itself
+            # with TAG_SHUTDOWN first, so an unannounced EOF here means
+            # the parent *crashed* — reconnect to a live ancestor if a
+            # repair path was configured.
+            if not self.shut_down and self._repair_parent():
+                return
             self._mark_shutdown()
             return
         for packet in decode_batch(payload):
@@ -185,6 +201,34 @@ class BackEnd:
                 stream.closed = True
         elif packet.tag == TAG_SHUTDOWN:
             self._mark_shutdown()
+        # Other control traffic (e.g. TAG_HEARTBEAT probes from a
+        # liveness-enabled parent) is consumed silently: back-ends are
+        # passive and answer liveness with their data traffic.
+
+    def _repair_parent(self) -> bool:
+        """Reconnect to a live ancestor after an unannounced EOF."""
+        if self.repair_fn is None or self._repairing:
+            return False
+        self._repairing = True
+        try:
+            try:
+                new_parent = self.repair_fn()
+            except Exception:
+                new_parent = None
+            if new_parent is None:
+                return False
+            self._parent = new_parent
+            self.reconnects += 1
+            try:
+                # Re-announce this end-point through the new edge: the
+                # adopter's routing table and stream membership update
+                # from this report (the §2.5 protocol reused for repair).
+                self._send_raw(make_endpoint_report([self.rank]))
+            except NetworkShutdown:
+                return False
+            return True
+        finally:
+            self._repairing = False
 
     def _mark_shutdown(self) -> None:
         self.shut_down = True
@@ -224,11 +268,23 @@ class BackEnd:
     def _send_batch(self, packets: list[Packet]) -> None:
         try:
             self._parent.send(encode_batch(packets))
+            return
         except ConnectionError:
-            self._mark_shutdown()
-            raise NetworkShutdown(
-                f"back-end {self.rank}: connection closed"
-            ) from None
+            pass
+        # The EOF that announces a crashed parent can be queued behind
+        # data, so the first sign of death may be this send failing.
+        # Repair (if configured) and retry the batch once on the new
+        # edge before declaring the network down.
+        if not self.shut_down and not self._repairing and self._repair_parent():
+            try:
+                self._parent.send(encode_batch(packets))
+                return
+            except ConnectionError:
+                pass
+        self._mark_shutdown()
+        raise NetworkShutdown(
+            f"back-end {self.rank}: connection closed"
+        ) from None
 
     def __repr__(self) -> str:
         return f"BackEnd(rank={self.rank}, name={self.name!r})"

@@ -52,7 +52,7 @@ import logging
 import queue
 import threading
 import time
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..filters.registry import FilterRegistry
 from .batching import (
@@ -65,14 +65,19 @@ from .batching import (
 )
 from ..transport.channel import ChannelEnd, Inbox
 from ..transport.eventloop import SendQueueFull
+from .failure import DEGRADE, REPAIR, HeartbeatConfig
 from .packet import Packet
 from .protocol import (
     CONTROL_STREAM_ID,
     TAG_CLOSE_STREAM,
     TAG_ENDPOINT_REPORT,
+    TAG_HEARTBEAT,
     TAG_NEW_STREAM,
+    TAG_RANKS_CHANGED,
     TAG_SHUTDOWN,
     make_endpoint_report,
+    make_heartbeat,
+    make_ranks_changed,
     parse_new_stream,
 )
 from .routing import RoutingTable
@@ -129,6 +134,25 @@ class NodeCore:
         if parent is not None:
             self._parent_buffer = self._make_buffer(parent.link_id)
         self._child_buffers: Dict[int, PacketBuffer] = {}
+        # -- fault-tolerance state (see repro.core.failure) -----------
+        # ``policy`` governs what link death means; ``heartbeat``
+        # enables liveness probing; ``recovery`` aggregates stats and
+        # brokers adoption network-wide; ``repair_fn`` (orphans only)
+        # produces a replacement parent end; ``topo_key`` names this
+        # process slot for the coordinator.
+        self.policy = DEGRADE
+        self.heartbeat = HeartbeatConfig()
+        self.recovery = None
+        self.repair_fn: Optional[Callable[[], Optional[ChannelEnd]]] = None
+        self.topo_key = None
+        self.crashed = False  # abrupt kill (fault injection): no goodbye
+        self.wedged = False  # alive at TCP level, processing nothing
+        self._last_seen: Dict[int, float] = {}
+        self._hb_peers: set[int] = set()  # links whose peer heartbeats
+        self._hb_seq = 0
+        self._last_beat: Optional[float] = None
+        self._pending_children: List[ChannelEnd] = []
+        self._pending_lock = threading.Lock()
         # Stats used by tests and ablation benches.
         # ``packets_relayed_zero_copy`` counts packets appended to an
         # outbound buffer while still undecoded lazy wire frames: the
@@ -149,6 +173,10 @@ class NodeCore:
             "packets_relayed_zero_copy": 0,
             "send_queue_full": 0,
             "messages_dropped_on_close": 0,
+            "heartbeats_sent": 0,
+            "heartbeats_missed": 0,
+            "orphans_adopted": 0,
+            "waves_reconfigured": 0,
         }
 
     # -- wiring -----------------------------------------------------------
@@ -163,6 +191,50 @@ class NodeCore:
         """Attach a downstream connection (to a child node or back-end)."""
         self.children[end.link_id] = end
         self._child_buffers[end.link_id] = self._make_buffer(end.link_id)
+        self._last_seen[end.link_id] = self.clock()
+
+    def configure_failure(
+        self,
+        policy: str = DEGRADE,
+        heartbeat: Optional[HeartbeatConfig] = None,
+        recovery=None,
+        topo_key=None,
+        repair_fn: Optional[Callable[[], Optional[ChannelEnd]]] = None,
+    ) -> None:
+        """Install this node's fault-tolerance configuration."""
+        self.policy = policy
+        if heartbeat is not None:
+            self.heartbeat = heartbeat
+        self.recovery = recovery
+        self.topo_key = topo_key
+        self.repair_fn = repair_fn
+
+    # -- adoption admission (tree repair) ---------------------------------
+
+    def offer_child(self, end: ChannelEnd) -> None:
+        """Queue a new child connection for admission (thread-safe).
+
+        Used by the recovery coordinator to hand an orphan's uplink to
+        its adopting ancestor: the attachment itself happens on the
+        adopter's own processing thread (see
+        :meth:`admit_pending_children`), never concurrently with it.
+        """
+        with self._pending_lock:
+            self._pending_children.append(end)
+        wake = self.inbox.on_deliver
+        if wake is not None:
+            wake()
+
+    def admit_pending_children(self) -> None:
+        """Attach any queued adoptions (called from the owning loop)."""
+        if not self._pending_children:
+            return
+        with self._pending_lock:
+            pending, self._pending_children = self._pending_children, []
+        for end in pending:
+            self.add_child(end)
+            self.stats["orphans_adopted"] += 1
+            log.info("%s: adopted orphan link %d", self.name, end.link_id)
 
     @property
     def parent_link_id(self) -> Optional[int]:
@@ -177,9 +249,22 @@ class NodeCore:
 
     def handle_payload(self, link_id: int, payload: Optional[bytes]) -> None:
         """Unbatch one inbound message and dispatch its packets."""
+        if self.wedged:
+            # Fault injection: the process is "alive" at the transport
+            # level but its loop no longer makes progress.  Dropping
+            # input (rather than pausing the thread) keeps the wedge
+            # deterministic and lets heartbeat deadlines catch it.
+            return
+        # Attach adopted orphans first so a report travelling through a
+        # brand-new link never beats the link's own admission.
+        if self._pending_children:
+            self.admit_pending_children()
         if payload is None:
             self._handle_link_closed(link_id)
             return
+        # Any traffic counts as liveness — probes only matter on links
+        # that would otherwise be silent (see HeartbeatConfig).
+        self._last_seen[link_id] = self.clock()
         self.stats["messages_in"] += 1
         for packet in decode_batch(payload):
             self.stats["packets_in"] += 1
@@ -189,6 +274,14 @@ class NodeCore:
         """Demultiplex one packet (Figure 3's demux layer)."""
         from_parent = self.parent is not None and link_id == self.parent_link_id
         if packet.stream_id == CONTROL_STREAM_ID:
+            if packet.tag == TAG_HEARTBEAT:
+                # Consumed at the first hop; never forwarded.  Remember
+                # that this peer speaks heartbeats: only such links are
+                # subject to liveness deadlines (a peer that never
+                # probes — e.g. a passive tool thread — is not falsely
+                # declared dead for being quiet).
+                self._hb_peers.add(link_id)
+                return
             if from_parent or self.parent is None and packet.tag in (
                 TAG_NEW_STREAM,
                 TAG_CLOSE_STREAM,
@@ -220,6 +313,31 @@ class NodeCore:
             if self.ready and not self.sent_report and self.parent is not None:
                 self.sent_report = True
                 self._queue_up(make_endpoint_report(sorted(self.reported_ranks)))
+            # Tree repair: a report arriving on a link that existing
+            # streams don't know about is an adopted orphan announcing
+            # its subtree.  Splice the link into every stream whose
+            # endpoint set intersects the reported ranks — with
+            # *joining* wave semantics — and tell the front-end which
+            # ranks just (re)joined each stream.
+            for manager in self.streams.values():
+                gained = manager.endpoints & frozenset(ranks)
+                if gained and link_id not in manager.child_links:
+                    manager.add_link(link_id)
+                    self.stats["waves_reconfigured"] += 1
+                    if self.recovery is not None:
+                        self.recovery.bump("waves_reconfigured")
+                    self._emit_ranks_changed(
+                        manager.stream_id,
+                        manager.membership_epoch,
+                        gained=sorted(gained),
+                    )
+        elif packet.tag == TAG_RANKS_CHANGED:
+            # Travels upstream to the front-end (which overrides
+            # _note_ranks_changed to record it for the tool).
+            if self.parent is None:
+                self._note_ranks_changed(packet)
+            else:
+                self._queue_up(packet)
         else:
             # Unknown upstream control: forward toward the front-end.
             self._queue_up(packet)
@@ -304,19 +422,165 @@ class NodeCore:
 
     def _handle_link_closed(self, link_id: int) -> None:
         self._note_urgent()
+        self._last_seen.pop(link_id, None)
+        self._hb_peers.discard(link_id)
         if self.parent is not None and link_id == self.parent_link_id:
-            # Parent vanished: treat as shutdown.
+            if self.policy == REPAIR and self.repair_fn is not None:
+                if self._repair_parent():
+                    return
+            # Parent vanished and no repair: treat as shutdown.
             self.shutting_down = True
             for link in list(self.children):
                 self._queue_down(link, Packet(CONTROL_STREAM_ID, TAG_SHUTDOWN, "%d", (0,)))
             return
+        lost = self.routing.ranks_behind(link_id)
         self.children.pop(link_id, None)
-        self._child_buffers.pop(link_id, None)
+        buf = self._child_buffers.pop(link_id, None)
+        if buf is not None:
+            # Packets still parked for the dead link (e.g. held back by
+            # backpressure) are lost; account for them the same way a
+            # failed flush would.
+            self._drop_buffer(link_id, buf)
         self.routing.remove_link(link_id)
         for manager in self.streams.values():
             if link_id in manager.child_links:
                 for out in manager.drop_link(link_id):
                     self._queue_up(out)
+                self.stats["waves_reconfigured"] += 1
+                if self.recovery is not None:
+                    self.recovery.bump("waves_reconfigured")
+                gone = manager.endpoints & frozenset(lost)
+                if gone:
+                    self._emit_ranks_changed(
+                        manager.stream_id,
+                        manager.membership_epoch,
+                        lost=sorted(gone),
+                    )
+
+    def _repair_parent(self) -> bool:
+        """Replace a dead parent link via the recovery coordinator.
+
+        Returns ``True`` if a new parent end was installed.  Pending
+        upstream packets carry over to the new link, and the node
+        re-sends its endpoint report — the §2.5 protocol doubling as
+        the repair announcement that rebuilds routing and wave
+        membership at the adopter.
+        """
+        try:
+            new_parent = self.repair_fn()
+        except Exception:  # repair must never take the node down
+            log.exception("%s: parent repair attempt raised", self.name)
+            new_parent = None
+        if new_parent is None:
+            log.warning("%s: parent died and repair failed; shutting down", self.name)
+            return False
+        old_buffer = self._parent_buffer
+        self.parent = new_parent
+        self._parent_buffer = self._make_buffer(new_parent.link_id)
+        if old_buffer is not None:
+            for pkt in old_buffer.drain():
+                self._parent_buffer.add(pkt)
+        self._last_seen[new_parent.link_id] = self.clock()
+        ranks = self.routing.all_ranks() or self.reported_ranks
+        self._queue_up(make_endpoint_report(sorted(ranks)))
+        self._note_urgent()
+        log.info(
+            "%s: parent link repaired -> link %d", self.name, new_parent.link_id
+        )
+        return True
+
+    # -- membership-change notification -----------------------------------
+
+    def _emit_ranks_changed(
+        self, stream_id: int, epoch: int, lost=(), gained=()
+    ) -> None:
+        packet = make_ranks_changed(stream_id, epoch, lost, gained)
+        if self.parent is None:
+            self._note_ranks_changed(packet)
+        else:
+            self._queue_up(packet)
+
+    def _note_ranks_changed(self, packet: Packet) -> None:
+        """Root-level sink for membership changes; the front-end
+        overrides this to surface events to the tool."""
+
+    # -- liveness (heartbeats) ---------------------------------------------
+
+    def heartbeat_tick(self) -> None:
+        """Emit due probes and enforce liveness deadlines.
+
+        Called periodically by whichever loop drives this core.  A
+        no-op unless :class:`HeartbeatConfig` enables probing.  Only
+        links whose peer has *ever* sent a probe are subject to the
+        silence deadline, so a heartbeat-enabled node interoperates
+        with passive peers (the tool's back-end thread, a front-end
+        pumped only by API calls) without false positives.
+        """
+        if (
+            not self.heartbeat.enabled
+            or self.shutting_down
+            or self.crashed
+            or self.wedged
+        ):
+            # A wedged node must also stop probing: its links stay
+            # open, so silent probes are the only way peers notice.
+            return
+        now = self.clock()
+        if self._last_beat is None or now - self._last_beat >= self.heartbeat.interval:
+            self._last_beat = now
+            self._hb_seq += 1
+            probe = make_heartbeat(self._hb_seq)
+            if self.parent is not None:
+                self._queue_up(probe)
+                self.stats["heartbeats_sent"] += 1
+            for link in list(self.children):
+                self._queue_down(link, probe)
+                self.stats["heartbeats_sent"] += 1
+            self._note_urgent()
+        deadline = self.heartbeat.deadline
+        for link_id in list(self._hb_peers):
+            last = self._last_seen.get(link_id)
+            if last is None or now - last < deadline:
+                continue
+            self.stats["heartbeats_missed"] += 1
+            if self.recovery is not None:
+                self.recovery.bump("heartbeats_missed")
+            log.warning(
+                "%s: link %s silent for %.2fs (deadline %.2fs); declaring dead",
+                self.name,
+                "parent" if link_id == self.parent_link_id else link_id,
+                now - last,
+                deadline,
+            )
+            end = (
+                self.parent
+                if link_id == self.parent_link_id
+                else self.children.get(link_id)
+            )
+            if end is not None:
+                try:
+                    end.close()
+                except Exception:
+                    pass
+            self._handle_link_closed(link_id)
+
+    def next_heartbeat_deadline(self) -> Optional[float]:
+        """Earliest clock time :meth:`heartbeat_tick` has work to do."""
+        if not self.heartbeat.enabled or self.shutting_down:
+            return None
+        if self._last_beat is None:
+            return self.clock()
+        next_emit = self._last_beat + self.heartbeat.interval
+        deadline = self.heartbeat.deadline
+        soonest = next_emit
+        for link_id in self._hb_peers:
+            last = self._last_seen.get(link_id)
+            if last is None:
+                continue
+            check = last + deadline
+            if check < soonest:
+                soonest = check
+        return soonest
 
     # -- outbound ----------------------------------------------------------
 
@@ -547,14 +811,34 @@ class CommNode(threading.Thread):
         else:
             self._run_inbox_loop()
 
+    def kill(self) -> None:
+        """Crash this node abruptly (fault injection).
+
+        Unlike shutdown there is no goodbye broadcast: the loop exits
+        and closes its channel ends, so peers see EOF (or, for a
+        wedged node, heartbeat silence) exactly as they would for a
+        killed OS process.
+        """
+        self.core.crashed = True
+        if self.loop is not None:
+            self.loop.wake()
+        else:
+            wake = self.core.inbox.on_deliver
+            if wake is not None:
+                wake()
+
     def _poll_interval(self) -> float:
         """How long the inbox loop may block before time-based work.
 
-        Sleeps all the way to the next TimeOut-stream deadline (any
-        inbound delivery interrupts the wait), or ``IDLE_POLL`` when no
-        deadline is pending — never the old fixed 2 ms spin.
+        Sleeps all the way to the next TimeOut-stream deadline or
+        heartbeat instant (any inbound delivery interrupts the wait),
+        or ``IDLE_POLL`` when no deadline is pending — never the old
+        fixed 2 ms spin.
         """
         deadline = self.core.next_timeout_deadline()
+        hb = self.core.next_heartbeat_deadline()
+        if hb is not None and (deadline is None or hb < deadline):
+            deadline = hb
         if deadline is None:
             return self.IDLE_POLL
         return max(deadline - self.core.clock(), 0.0)
@@ -562,13 +846,17 @@ class CommNode(threading.Thread):
     def _run_inbox_loop(self) -> None:
         """Legacy driver: block on the inbox, flush once per drain."""
         core = self.core
-        while not core.shutting_down:
+        while not (core.shutting_down or core.crashed):
+            core.admit_pending_children()
             try:
                 link_id, payload = core.inbox.get(timeout=self._poll_interval())
             except queue.Empty:
                 core.poll_streams()
+                core.heartbeat_tick()
                 core.flush()
                 continue
+            if core.crashed:
+                break
             core.handle_payload(link_id, payload)
             # Drain whatever else is already queued so one flush batches
             # an entire burst (Figure 3's batching layer earning its keep).
@@ -578,9 +866,14 @@ class CommNode(threading.Thread):
                 except queue.Empty:
                     break
                 core.handle_payload(link_id, payload)
-                if core.shutting_down:
+                if core.shutting_down or core.crashed:
                     break
             core.poll_streams()
+            core.heartbeat_tick()
             core.flush()
+        if core.crashed:
+            # Abrupt death: drop all pending output on the floor.
+            core.close_all()
+            return
         core.flush()
         core.close_all()

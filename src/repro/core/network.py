@@ -49,20 +49,46 @@ from ..transport.channel import Channel, ChannelEnd, Inbox
 from .backend import BackEnd
 from .commnode import CommNode, NodeCore
 from .communicator import Communicator
+from .failure import (
+    DEGRADE,
+    FAIL_FAST,
+    POLICIES,
+    REPAIR,
+    HeartbeatConfig,
+    RanksChanged,
+    RecoveryCoordinator,
+)
 from .packet import Packet
 from .protocol import (
     FIRST_STREAM_ID,
     make_close_stream,
     make_new_stream,
     make_shutdown,
+    parse_ranks_changed,
 )
 from .stream import Stream
 
-__all__ = ["Network", "NetworkError"]
+__all__ = ["Network", "NetworkError", "NetworkDownError"]
 
 
 class NetworkError(RuntimeError):
     """Raised for network life-cycle errors."""
+
+
+class NetworkDownError(NetworkError):
+    """The network is unusable: shut down, or poisoned under
+    ``fail_fast`` by an observed failure.
+
+    ``cause`` carries a description of the *first* root-cause failure
+    (e.g. which link died), so a tool's error report can name the
+    culprit rather than the symptom.
+    """
+
+    def __init__(self, message: str, cause: Optional[str] = None):
+        if cause:
+            message = f"{message} (first failure: {cause})"
+        super().__init__(message)
+        self.cause = cause
 
 
 class _FrontEndCore(NodeCore):
@@ -72,9 +98,26 @@ class _FrontEndCore(NodeCore):
         super().__init__("front-end", registry, expected_ranks, None, clock)
         self.stream_queues: Dict[int, Deque[Packet]] = {}
         self.default_queue: Deque[Packet] = deque()
+        # Fault-tolerance bookkeeping surfaced through the Network API:
+        # RANKS_CHANGED notifications (see Network.recovery_events) and
+        # the first observed failure (fail_fast poisoning).
+        self.recovery_events: List[RanksChanged] = []
+        self.first_failure: Optional[str] = None
 
     def deliver_local(self, packet: Packet) -> None:
         self.stream_queues.get(packet.stream_id, self.default_queue).append(packet)
+
+    def _note_ranks_changed(self, packet: Packet) -> None:
+        stream_id, epoch, lost, gained = parse_ranks_changed(packet)
+        self.recovery_events.append(RanksChanged(stream_id, epoch, lost, gained))
+
+    def _note_failure(self, description: str) -> None:
+        if self.first_failure is None:
+            self.first_failure = description
+
+    def _handle_link_closed(self, link_id: int) -> None:
+        self._note_failure(f"link {link_id} closed at front-end")
+        super()._handle_link_closed(link_id)
 
 
 class _LeafSlot:
@@ -99,15 +142,26 @@ class _LeafSlot:
         self.inbox = inbox
         self.parent_addr = parent_addr
         self.backend: Optional[BackEnd] = None
+        self.topo_key: Optional[tuple] = None  # set for thread-hosted nets
 
     def connect(self) -> tuple:
-        """Materialize (parent_end, inbox) for this slot."""
+        """Materialize (parent_end, inbox) for this slot.
+
+        TCP attachment retries with capped exponential backoff: one
+        long blocking connect would stall the whole instantiation on a
+        parent that is still coming up, and a parent that never comes
+        up surfaces as an
+        :class:`~repro.core.failure.InstantiationError` naming the
+        unreachable address instead of a bare socket timeout.
+        """
         if self.parent_end is not None:
             return self.parent_end, self.inbox
-        from ..transport.tcp import tcp_connect
+        from ..transport.tcp import tcp_connect_retry
 
         self.inbox = Inbox()
-        self.parent_end = tcp_connect(self.parent_addr, self.inbox, timeout=30)
+        self.parent_end = tcp_connect_retry(
+            self.parent_addr, self.inbox, attempts=6, timeout=5.0
+        )
         return self.parent_end, self.inbox
 
 
@@ -126,6 +180,9 @@ class Network:
         transport: str = "local",
         filter_specs: Optional[List[tuple]] = None,
         io_mode: str = "eventloop",
+        policy: str = DEGRADE,
+        heartbeat_interval: float = 0.0,
+        heartbeat_miss_threshold: int = 3,
     ):
         """Instantiate the network.
 
@@ -148,13 +205,36 @@ class Network:
         while ``"threads"`` keeps the legacy inbox-polling loop with
         one reader thread per TCP link.  The front-end and back-ends
         are passive either way.
+
+        ``policy`` selects what a process failure means (see
+        :mod:`repro.core.failure`): ``"fail_fast"`` poisons the
+        network on the first failure, ``"degrade"`` (default) shrinks
+        the tree and reconfigures in-flight waves over the survivors,
+        ``"repair"`` additionally re-attaches orphans to their
+        grandparent (thread-hosted transports only).
+        ``heartbeat_interval`` > 0 enables liveness probes between
+        internal processes with the given period;
+        ``heartbeat_miss_threshold`` intervals of total silence
+        declare a peer dead.
         """
         if transport not in ("local", "tcp", "process"):
             raise NetworkError(f"unknown transport {transport!r}")
         if io_mode not in ("eventloop", "threads"):
             raise NetworkError(f"unknown io_mode {io_mode!r}")
+        if policy not in POLICIES:
+            raise NetworkError(f"unknown failure policy {policy!r}")
+        if policy == REPAIR and transport == "process":
+            raise NetworkError(
+                "repair policy requires a thread-hosted transport "
+                "('local' or 'tcp'): separate OS processes have no "
+                "in-process recovery coordinator"
+            )
         self.transport = transport
         self.io_mode = io_mode
+        self.policy = policy
+        self.heartbeat = HeartbeatConfig(
+            interval=heartbeat_interval, miss_threshold=heartbeat_miss_threshold
+        )
         self.topology = self._resolve_topology(topology)
         self.registry = registry if registry is not None else default_registry()
         self.filter_specs = [tuple(s) for s in (filter_specs or [])]
@@ -175,16 +255,40 @@ class Network:
         self._next_stream_id = FIRST_STREAM_ID
         self._streams: Dict[int, Stream] = {}
         self._down = False
-        if transport == "process":
-            self._build_tree_process(leaves)
-        else:
-            self._build_tree(leaves)
-        for node in self._commnodes:
-            node.start()
-        if auto_backends:
-            for rank in sorted(self._slots):
-                self.attach_backend(rank)
-            self.wait_for_ready(startup_timeout)
+        # Thread-hosted transports get a per-network recovery
+        # coordinator (stats aggregation always; adoption brokering
+        # under the repair policy).  The process transport's internal
+        # nodes live in other address spaces, so no coordinator.
+        self._recovery: Optional[RecoveryCoordinator] = None
+        if transport != "process":
+            self._recovery = RecoveryCoordinator(transport=transport, clock=clock)
+            self._recovery.register_frontend(self.topology.root.key, self._core)
+        # The front-end never emits probes itself (it is pumped only by
+        # API calls, so probe cadence could not be guaranteed); it still
+        # consumes probes from children and reacts to EOFs.
+        self._core.configure_failure(
+            policy=policy, recovery=self._recovery, topo_key=self.topology.root.key
+        )
+        try:
+            if transport == "process":
+                self._build_tree_process(leaves)
+            else:
+                self._build_tree(leaves)
+            for node in self._commnodes:
+                node.start()
+            if auto_backends:
+                for rank in sorted(self._slots):
+                    self.attach_backend(rank)
+                self.wait_for_ready(startup_timeout)
+        except BaseException:
+            # Failed startup must not leak threads/processes/sockets —
+            # and a later shutdown() call on the half-built network
+            # must be a safe no-op.
+            try:
+                self.shutdown(join_timeout=1.0)
+            except Exception:
+                pass
+            raise
 
     # -- construction -----------------------------------------------------
 
@@ -290,6 +394,43 @@ class Network:
                     comms[child.key] = comm
                     self._commnodes.append(comm)
 
+        # Fault-tolerance wiring: register every process slot with the
+        # recovery coordinator and push the network's policy/heartbeat
+        # configuration into each comm node.  Orphans repair through a
+        # closure onto the coordinator (their grandparent lookup and
+        # edge construction happen there).
+        if self._recovery is not None:
+            for node in self.topology.nodes():
+                for child in node.children:
+                    if child.is_leaf:
+                        slot = self._slots[rank_of[child.key]]
+                        slot.topo_key = child.key
+                        self._recovery.register_backend(child.key, node.key, slot)
+                    else:
+                        comm = comms[child.key]
+                        repair_fn = None
+                        if self.policy == REPAIR:
+                            repair_fn = self._make_repair_fn(
+                                child.key, comm.inbox
+                            )
+                        comm.core.configure_failure(
+                            policy=self.policy,
+                            heartbeat=self.heartbeat,
+                            recovery=self._recovery,
+                            topo_key=child.key,
+                            repair_fn=repair_fn,
+                        )
+                        self._recovery.register_commnode(child.key, node.key, comm)
+
+    def _make_repair_fn(self, key: tuple, inbox: Inbox):
+        """An orphan's path back into the tree: adopt via coordinator."""
+        recovery = self._recovery
+
+        def repair():
+            return recovery.adopt(key, inbox)
+
+        return repair
+
     def _build_tree_process(self, leaves: List[TopologyNode]) -> None:
         """Launch internal processes as real ``mrnet_commnode`` programs.
 
@@ -343,7 +484,15 @@ class Network:
                     child.label,
                     "--io-mode",
                     self.io_mode,
-                ] + filter_args
+                ]
+                if self.heartbeat.enabled:
+                    cmd += [
+                        "--heartbeat-interval",
+                        str(self.heartbeat.interval),
+                        "--heartbeat-miss",
+                        str(self.heartbeat.miss_threshold),
+                    ]
+                cmd += filter_args
                 proc = subprocess.Popen(
                     cmd, stdout=subprocess.PIPE, text=True
                 )
@@ -393,6 +542,12 @@ class Network:
             # the TCP accept on our own listener.
             self._accept_root_leaf()
         backend = BackEnd(rank, slot.label, parent_end, inbox)
+        if (
+            self.policy == REPAIR
+            and self._recovery is not None
+            and slot.topo_key is not None
+        ):
+            backend.repair_fn = self._make_repair_fn(slot.topo_key, inbox)
         backend.connect()
         slot.backend = backend
         return backend
@@ -536,7 +691,23 @@ class Network:
         out = {"front-end": dict(self._core.stats)}
         for node in self._commnodes:
             out[node.core.name] = dict(node.core.stats)
+        if self._recovery is not None:
+            # Network-wide recovery counters (nodes_failed,
+            # orphans_adopted, waves_reconfigured, heartbeats_missed)
+            # under a reserved pseudo-process key.
+            out["recovery"] = self._recovery.snapshot()
         return out
+
+    def recovery_events(self) -> List[RanksChanged]:
+        """Wave-membership changes observed by the front-end so far.
+
+        Each entry records one stream's epoch bump with the ranks lost
+        (a subtree died) or gained (an orphan was adopted back).  The
+        list is cumulative; pending inbound traffic is drained first so
+        the answer is current.
+        """
+        self.flush()
+        return list(self._core.recovery_events)
 
     def unexpected_packets(self) -> List[Packet]:
         """Drain packets that arrived for unknown streams (diagnostics)."""
@@ -572,6 +743,10 @@ class Network:
     def _pump(self, timeout: float) -> bool:
         """Process inbound traffic for up to one blocking receive."""
         worked = False
+        # Attach any orphan adopted by the front-end since the last
+        # pump, *before* draining the inbox: its endpoint report may
+        # already be queued behind the admission.
+        self._core.admit_pending_children()
         if timeout > 0:
             try:
                 link_id, payload = self._core.inbox.get(timeout=timeout)
@@ -598,28 +773,59 @@ class Network:
 
     def _check_up(self) -> None:
         if self._down:
-            raise NetworkError("network has been shut down")
+            raise NetworkDownError("network has been shut down")
+        if self.policy == FAIL_FAST and self._core.first_failure is not None:
+            raise NetworkDownError(
+                "network poisoned under fail_fast policy",
+                cause=self._core.first_failure,
+            )
 
     def shutdown(self, join_timeout: float = 5.0) -> None:
-        """Tear down the tree: broadcast shutdown, join internal threads."""
-        if self._down:
+        """Tear down the tree: broadcast shutdown, join internal threads.
+
+        Idempotent and hang-proof: safe to call twice, safe after a
+        failed startup (every step tolerates half-built state), and a
+        comm node that ignores the SHUTDOWN broadcast — wedged, or its
+        link already dead — is force-killed after ``join_timeout``
+        rather than hanging the caller.
+        """
+        if getattr(self, "_down", False):
             return
         self._down = True
-        self._core.handle_control_down(make_shutdown())
-        self._core.flush()
-        for node in self._commnodes:
+        core = getattr(self, "_core", None)
+        if core is not None:
+            try:
+                core.handle_control_down(make_shutdown())
+                core.flush()
+            except Exception:
+                pass  # half-built tree: some links may be dead already
+        for node in getattr(self, "_commnodes", ()):
+            if not node.is_alive():
+                continue
             node.join(timeout=join_timeout)
-        for proc in self._procs:
+            if node.is_alive():
+                # The goodbye never reached it (wedged node, dead
+                # link): crash it out so shutdown always terminates.
+                node.kill()
+                node.join(timeout=1.0)
+        for proc in getattr(self, "_procs", ()):
             try:
                 proc.wait(timeout=join_timeout)
             except Exception:
                 proc.kill()
-        if self._listener is not None:
-            self._listener.close()
+        listener = getattr(self, "_listener", None)
+        if listener is not None:
+            try:
+                listener.close()
+            except Exception:
+                pass
         # Wake any passive back-end that never polls again.
-        for slot in self._slots.values():
+        for slot in getattr(self, "_slots", {}).values():
             if slot.backend is not None:
-                slot.backend.poll()
+                try:
+                    slot.backend.poll()
+                except Exception:
+                    pass
 
     @property
     def is_down(self) -> bool:

@@ -13,6 +13,17 @@ id 0 as the *control stream*; packets on it drive network life-cycle:
   downstream transformation filter id.
 * ``TAG_CLOSE_STREAM`` (downstream) — payload ``"%ud"``: stream id.
 * ``TAG_SHUTDOWN`` (downstream) — tears the tree down.
+* ``TAG_HEARTBEAT`` (both directions) — liveness probe, consumed at
+  the first hop; payload ``"%ud"``: a per-sender sequence number.
+  Heartbeats let a node detect a *wedged* peer — one whose TCP
+  connection is still open but whose loop stopped processing — which
+  EOF detection alone can never see.
+* ``TAG_RANKS_CHANGED`` (upstream) — a stream's wave membership
+  changed at some node (a child link died or an orphan was adopted).
+  Payload ``"%ud %ud %aud %aud"``: stream id, the emitting node's
+  membership epoch after the change, ranks lost, ranks gained.  The
+  front-end surfaces these so a tool can distinguish "sum over 1023
+  ranks" from "sum over 1024".
 
 Application packets use non-negative tags; tags below
 ``FIRST_APP_TAG`` are reserved for the protocol.
@@ -31,15 +42,22 @@ __all__ = [
     "TAG_NEW_STREAM",
     "TAG_CLOSE_STREAM",
     "TAG_SHUTDOWN",
+    "TAG_HEARTBEAT",
+    "TAG_RANKS_CHANGED",
     "FIRST_APP_TAG",
     "FMT_ENDPOINT_REPORT",
     "FMT_NEW_STREAM",
     "FMT_CLOSE_STREAM",
+    "FMT_HEARTBEAT",
+    "FMT_RANKS_CHANGED",
     "make_endpoint_report",
     "make_new_stream",
     "make_close_stream",
     "make_shutdown",
+    "make_heartbeat",
+    "make_ranks_changed",
     "parse_new_stream",
+    "parse_ranks_changed",
 ]
 
 CONTROL_STREAM_ID = 0
@@ -49,6 +67,8 @@ TAG_ENDPOINT_REPORT = -1
 TAG_NEW_STREAM = -2
 TAG_CLOSE_STREAM = -3
 TAG_SHUTDOWN = -4
+TAG_HEARTBEAT = -5
+TAG_RANKS_CHANGED = -6
 
 FIRST_APP_TAG = 100
 
@@ -56,6 +76,8 @@ FMT_ENDPOINT_REPORT = "%aud"
 FMT_NEW_STREAM = "%ud %aud %d %d %lf %d"
 FMT_CLOSE_STREAM = "%ud"
 FMT_SHUTDOWN = "%d"
+FMT_HEARTBEAT = "%ud"
+FMT_RANKS_CHANGED = "%ud %ud %aud %aud"
 
 
 def make_endpoint_report(ranks: Sequence[int]) -> Packet:
@@ -101,3 +123,31 @@ def make_close_stream(stream_id: int) -> Packet:
 
 def make_shutdown() -> Packet:
     return Packet(CONTROL_STREAM_ID, TAG_SHUTDOWN, FMT_SHUTDOWN, (0,))
+
+
+def make_heartbeat(seq: int) -> Packet:
+    """Build a liveness probe (consumed at the receiving hop)."""
+    return Packet(CONTROL_STREAM_ID, TAG_HEARTBEAT, FMT_HEARTBEAT, (seq,))
+
+
+def make_ranks_changed(
+    stream_id: int,
+    epoch: int,
+    lost: Sequence[int] = (),
+    gained: Sequence[int] = (),
+) -> Packet:
+    """Build the upstream wave-membership-change notification."""
+    return Packet(
+        CONTROL_STREAM_ID,
+        TAG_RANKS_CHANGED,
+        FMT_RANKS_CHANGED,
+        (stream_id, epoch, tuple(lost), tuple(gained)),
+    )
+
+
+def parse_ranks_changed(
+    packet: Packet,
+) -> Tuple[int, int, Tuple[int, ...], Tuple[int, ...]]:
+    """Unpack a ``TAG_RANKS_CHANGED`` control packet."""
+    stream_id, epoch, lost, gained = packet.unpack()
+    return stream_id, epoch, tuple(lost), tuple(gained)

@@ -76,6 +76,17 @@ class Stream:
         """Non-blocking receive: the next packet, or ``None``."""
         return self._network._try_recv_on_stream(self.stream_id)
 
+    @property
+    def membership_epoch(self) -> int:
+        """The front-end's wave-membership epoch for this stream.
+
+        Starts at 0 and bumps on every membership change at the root
+        (a child link died, an orphan was adopted); lets a tool
+        correlate an aggregate with the rank set that produced it.
+        """
+        manager = self._network._core.streams.get(self.stream_id)
+        return manager.membership_epoch if manager is not None else 0
+
     # -- lifecycle ------------------------------------------------------------
 
     def close(self) -> None:

@@ -69,6 +69,10 @@ class StreamManager:
         self.down_transform = down_transform
         self.down_state = down_transform.make_state() if down_transform else None
         self.closed = False
+        # Bumped on every wave-membership change (a child link dropped
+        # or adopted); lets tools correlate aggregates with the rank
+        # set that produced them (see TAG_RANKS_CHANGED).
+        self.membership_epoch = 0
         # Pure pass-through streams (DONTWAIT sync, null transform, no
         # downstream filter) take the §4.2.1 negligible-overhead relay
         # path: the node forwards each packet without running the wave
@@ -130,11 +134,26 @@ class StreamManager:
         backlog = self.sync.remove_child(link_id)
         if link_id in self.child_links:
             self.child_links.remove(link_id)
+        self.membership_epoch += 1
         out: List[Packet] = []
         if backlog:
             out.extend(self.transform(backlog, self.transform_state))
         out.extend(self._run_waves(self.sync.poll()))
         return out
+
+    def add_link(self, link_id: int) -> None:
+        """Adopt a child link mid-stream (tree repair).
+
+        The link joins wave alignment with *joining* semantics: an
+        in-flight wave completes over the pre-adoption membership; the
+        new link participates from its first contribution (or the next
+        wave) onward.
+        """
+        if link_id in self.child_links:
+            return
+        self.child_links.append(link_id)
+        self.sync.add_child(link_id, joining=True)
+        self.membership_epoch += 1
 
     def flush_upstream(self) -> List[Packet]:
         """Stream teardown: push every held packet through the filter."""

@@ -67,6 +67,13 @@ class SynchronizationFilter:
     ):
         self._queues: Dict[object, Deque[Packet]] = {c: deque() for c in children}
         self._clock = clock
+        # Children adopted mid-stream (tree repair): they join the
+        # *next* wave, so an in-flight wave still completes over the
+        # pre-adoption membership instead of blocking on a child that
+        # never saw the wave's multicast.  A joining child graduates
+        # to full membership when it contributes its first packet or
+        # when any wave releases, whichever happens first.
+        self._joining: set = set()
 
     # -- membership -------------------------------------------------------
 
@@ -74,13 +81,23 @@ class SynchronizationFilter:
     def children(self) -> List[object]:
         return list(self._queues)
 
-    def add_child(self, child: object) -> None:
-        """Register a new downstream connection."""
-        self._queues.setdefault(child, deque())
+    def add_child(self, child: object, joining: bool = False) -> None:
+        """Register a new downstream connection.
+
+        With ``joining=True`` (an orphan adopted while waves may be in
+        flight) the child is exempt from wave-completeness checks
+        until it first contributes or a wave releases.
+        """
+        if child in self._queues:
+            return
+        self._queues[child] = deque()
+        if joining:
+            self._joining.add(child)
 
     def remove_child(self, child: object) -> List[Packet]:
         """Drop a connection (e.g. a closed child); return its backlog."""
         backlog = self._queues.pop(child, deque())
+        self._joining.discard(child)
         return list(backlog)
 
     # -- data path ---------------------------------------------------------
@@ -89,6 +106,7 @@ class SynchronizationFilter:
         """Offer one packet from *child*; return any waves now complete."""
         if child not in self._queues:
             raise KeyError(f"unknown child {child!r}")
+        self._joining.discard(child)  # first contribution: full member
         self._queues[child].append(packet)
         return self._ready_waves()
 
@@ -133,10 +151,21 @@ class SynchronizationFilter:
         """Hook for subclasses holding extra criterion state."""
 
     def _pop_full_wave(self) -> Optional[Wave]:
-        """Pop one packet per child if every queue is non-empty."""
-        if self._queues and all(self._queues.values()):
-            return [q.popleft() for q in self._queues.values()]
-        return None
+        """Pop one packet per contributing child once every *full*
+        member's queue is non-empty (joining children never block; any
+        queued packet of theirs still rides along)."""
+        if not self._queues:
+            return None
+        required = [
+            q for c, q in self._queues.items() if c not in self._joining
+        ]
+        if not required or not all(required):
+            return None
+        wave = [q.popleft() for q in self._queues.values() if q]
+        # A released wave ends the joining grace period: from the next
+        # wave on, adopted children are full members.
+        self._joining.clear()
+        return wave
 
 
 class WaitForAllFilter(SynchronizationFilter):
@@ -206,6 +235,7 @@ class TimeOutFilter(SynchronizationFilter):
         ):
             partial = [q.popleft() for q in self._queues.values() if q]
             waves.append(partial)
+            self._joining.clear()
             self._wave_started = self._clock() if self.pending else None
         return waves
 

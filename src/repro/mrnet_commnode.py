@@ -47,9 +47,10 @@ import sys
 from typing import List, Optional, Tuple
 
 from .core.commnode import NodeCore
+from .core.failure import HeartbeatConfig
 from .filters.registry import default_registry
 from .transport.channel import Inbox
-from .transport.tcp import TcpListener, tcp_connect
+from .transport.tcp import TcpListener, tcp_connect_retry
 
 __all__ = ["main", "parse_filter_spec"]
 
@@ -81,6 +82,7 @@ def run_commnode(
     announce=print,
     accept_timeout: float = 60.0,
     io_mode: str = "eventloop",
+    heartbeat: Optional["HeartbeatConfig"] = None,
 ) -> int:
     """The program body; returns a process exit code."""
     registry = default_registry()
@@ -94,29 +96,31 @@ def run_commnode(
     if io_mode == "eventloop":
         return _run_eventloop(
             listener, parent_addr, n_children, expected_ranks,
-            registry, name, inbox, accept_timeout,
+            registry, name, inbox, accept_timeout, heartbeat,
         )
     return _run_threads(
         listener, parent_addr, n_children, expected_ranks,
-        registry, name, inbox, accept_timeout,
+        registry, name, inbox, accept_timeout, heartbeat,
     )
 
 
 def _run_eventloop(
     listener, parent_addr, n_children, expected_ranks,
-    registry, name, inbox, accept_timeout,
+    registry, name, inbox, accept_timeout, heartbeat=None,
 ) -> int:
     """Selector-driven body: every socket on one loop, zero I/O threads."""
     from .transport.eventloop import EventLoop
-    from .transport.tcp import tcp_connect_socket
+    from .transport.tcp import tcp_connect_socket_retry
 
     loop = EventLoop()
     parent_end = loop.add_socket(
-        tcp_connect_socket(parent_addr, timeout=accept_timeout)
+        tcp_connect_socket_retry(parent_addr, attempts=6, timeout=accept_timeout)
     )
     core = NodeCore(
         name, registry, expected_ranks, parent=parent_end, inbox=inbox
     )
+    if heartbeat is not None:
+        core.configure_failure(heartbeat=heartbeat)
     try:
         for _ in range(n_children):
             core.add_child(
@@ -131,13 +135,17 @@ def _run_eventloop(
 
 def _run_threads(
     listener, parent_addr, n_children, expected_ranks,
-    registry, name, inbox, accept_timeout,
+    registry, name, inbox, accept_timeout, heartbeat=None,
 ) -> int:
     """Legacy body: reader thread per link, inbox drained on a timer."""
-    parent_end = tcp_connect(parent_addr, inbox, timeout=accept_timeout)
+    parent_end = tcp_connect_retry(
+        parent_addr, inbox, attempts=6, timeout=accept_timeout
+    )
     core = NodeCore(
         name, registry, expected_ranks, parent=parent_end, inbox=inbox
     )
+    if heartbeat is not None:
+        core.configure_failure(heartbeat=heartbeat)
     try:
         for _ in range(n_children):
             core.add_child(listener.accept(timeout=accept_timeout))
@@ -147,6 +155,9 @@ def _run_threads(
     # The standard internal-process inbox loop (see CommNode).
     while not core.shutting_down:
         deadline = core.next_timeout_deadline()
+        hb = core.next_heartbeat_deadline()
+        if hb is not None and (deadline is None or hb < deadline):
+            deadline = hb
         if deadline is None:
             poll = 0.05
         else:
@@ -155,6 +166,7 @@ def _run_threads(
             link_id, payload = core.inbox.get(timeout=poll)
         except queue.Empty:
             core.poll_streams()
+            core.heartbeat_tick()
             core.flush()
             continue
         core.handle_payload(link_id, payload)
@@ -167,6 +179,7 @@ def _run_threads(
             if core.shutting_down:
                 break
         core.poll_streams()
+        core.heartbeat_tick()
         core.flush()
     core.flush()
     core.close_all()
@@ -200,6 +213,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--io-mode", choices=("eventloop", "threads"), default="eventloop",
         help="selector event loop (default) or legacy reader threads",
     )
+    parser.add_argument(
+        "--heartbeat-interval", type=float, default=0.0,
+        help="liveness probe period in seconds (0 disables heartbeats)",
+    )
+    parser.add_argument(
+        "--heartbeat-miss", type=int, default=3,
+        help="silent intervals before a peer is declared dead",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -207,6 +228,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         parent_addr = _parse_host_port(args.parent)
     except ValueError as exc:
         parser.error(str(exc))
+    heartbeat = None
+    if args.heartbeat_interval > 0:
+        heartbeat = HeartbeatConfig(
+            interval=args.heartbeat_interval,
+            miss_threshold=args.heartbeat_miss,
+        )
     return run_commnode(
         parent_addr,
         args.children,
@@ -215,6 +242,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         name=args.name,
         accept_timeout=args.accept_timeout,
         io_mode=args.io_mode,
+        heartbeat=heartbeat,
     )
 
 

@@ -22,9 +22,11 @@ curve flattens to roughly (critical-path fan-outs)·rsh_cost.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Dict
 
+from ..core.failure import backoff_delays
 from ..topology.spec import TopologyNode, TopologySpec
 from .cluster import BLUE_PACIFIC, ClusterParams
 from .engine import FifoResource, Simulator
@@ -43,21 +45,53 @@ class InstantiationResult:
     processes: int
     launches_on_critical_path: int
     events: int
+    launch_failures: int = 0
 
 
 def simulate_instantiation(
-    spec: TopologySpec, params: ClusterParams = BLUE_PACIFIC
+    spec: TopologySpec,
+    params: ClusterParams = BLUE_PACIFIC,
+    launch_failure_rate: float = 0.0,
+    launch_attempts: int = 5,
+    seed: int = 0,
 ) -> InstantiationResult:
-    """Simulate creating the whole MRNet process tree."""
+    """Simulate creating the whole MRNet process tree.
+
+    ``launch_failure_rate`` models flaky process creation (the runtime
+    counterpart is :func:`~repro.transport.tcp.tcp_connect_socket_retry`):
+    each launch attempt independently fails with that probability on a
+    ``seed``-determined schedule, and the launcher retries with the
+    same capped-backoff policy the real transport uses, up to
+    ``launch_attempts`` tries.  A slot that exhausts its attempts
+    still comes up on one final forced try (mode-1 instantiation has
+    no partial-tree semantics) — the cost model simply charges the
+    full retry schedule.
+    """
     sim = Simulator()
     launchers: Dict[tuple, FifoResource] = {
         node.key: FifoResource() for node in spec.nodes()
     }
     report_cost = message_cost(params.logp, _REPORT_BYTES)
+    rng = random.Random(seed)
+    failures = 0
 
     alive_at: Dict[tuple, float] = {spec.root.key: 0.0}
     reported_at: Dict[tuple, float] = {}
     critical_launches: Dict[tuple, int] = {spec.root.key: 0}
+
+    def launch_cost() -> float:
+        """One child's launcher occupancy including seeded retries."""
+        nonlocal failures
+        if launch_failure_rate <= 0.0:
+            return params.rsh_cost
+        cost = params.rsh_cost
+        delays = backoff_delays(launch_attempts, rng=rng)
+        for delay in delays:
+            if rng.random() >= launch_failure_rate:
+                return cost
+            failures += 1
+            cost += delay + params.rsh_cost
+        return cost
 
     # Launch times resolve bottom-up deterministically; a DES is still
     # used so launcher serialization and report messages share one
@@ -66,7 +100,7 @@ def simulate_instantiation(
         parent_ready = alive_at[node.key]
         launcher = launchers[node.key]
         for child in node.children:
-            _, launch_done = launcher.occupy(parent_ready, params.rsh_cost)
+            _, launch_done = launcher.occupy(parent_ready, launch_cost())
             child_alive = launch_done + params.boot_delay
             alive_at[child.key] = child_alive
             critical_launches[child.key] = critical_launches[node.key] + int(
@@ -100,4 +134,5 @@ def simulate_instantiation(
         processes=len(spec),
         launches_on_critical_path=max(critical_launches.values()),
         events=sim.events_run,
+        launch_failures=failures,
     )

@@ -107,6 +107,31 @@ class TopologySpec:
     def parent_of(self, node: TopologyNode) -> Optional[TopologyNode]:
         return self._parent[node.key]
 
+    def grandparent_of(self, node: TopologyNode) -> Optional[TopologyNode]:
+        """The node two levels up — an orphan's first repair target.
+
+        Tree repair reconnects the children of a dead internal process
+        to its parent; ``None`` for the root and its direct children.
+        """
+        parent = self._parent[node.key]
+        if parent is None:
+            return None
+        return self._parent[parent.key]
+
+    def ancestors_of(self, node: TopologyNode) -> List[TopologyNode]:
+        """Proper ancestors, nearest first (parent, grandparent, ...).
+
+        The repair escalation order: if the grandparent is also dead,
+        an orphan walks further up, ending at the front-end (which is
+        always alive while the network is).
+        """
+        out: List[TopologyNode] = []
+        cur = self._parent[node.key]
+        while cur is not None:
+            out.append(cur)
+            cur = self._parent[cur.key]
+        return out
+
     def find(self, host: str, index: int) -> TopologyNode:
         try:
             return self._by_key[(host, index)]

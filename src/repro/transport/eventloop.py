@@ -229,6 +229,7 @@ class EventLoop:
         self._wake_lock = threading.Lock()
         self._wake_pending = False
         self._deferred_writes: List[SelectorLink] = []
+        self._pending_adoptions: List[socket.socket] = []
         wake_recv, wake_send = socket.socketpair()
         wake_recv.setblocking(False)
         wake_send.setblocking(False)
@@ -241,13 +242,28 @@ class EventLoop:
     def add_socket(
         self,
         sock: socket.socket,
-        max_send_bytes: int = SEND_QUEUE_MAX_BYTES,
+        max_send_bytes: Optional[int] = None,
     ) -> SelectorLink:
         """Register a connected socket; returns its ChannelEnd-like link."""
+        if max_send_bytes is None:
+            max_send_bytes = SEND_QUEUE_MAX_BYTES
         link = SelectorLink(self, sock, _alloc_link_id(), max_send_bytes)
         self._links[link.link_id] = link
         self._selector.register(sock, selectors.EVENT_READ, link)
         return link
+
+    def adopt_socket(self, sock: socket.socket) -> None:
+        """Hand this loop a new *child* socket from another thread.
+
+        Tree repair: the recovery coordinator connects an orphan to
+        this node and delivers the adopter-side socket here.  Selector
+        registration and ``core.add_child`` happen on the loop thread
+        (selector sets are not safe to mutate mid-``select``), at the
+        next wakeup.
+        """
+        with self._wake_lock:
+            self._pending_adoptions.append(sock)
+        self.wake()
 
     def bind(self, core) -> None:
         """Attach the NodeCore this loop drives; hooks its inbox wakeup."""
@@ -310,7 +326,7 @@ class EventLoop:
         self._thread_id = threading.get_ident()
         busy = False
         try:
-            while not core.shutting_down:
+            while not (core.shutting_down or core.crashed):
                 self.iterations += 1
                 timeout = 0.0 if busy else self._select_timeout()
                 events = self._selector.select(timeout)
@@ -324,8 +340,12 @@ class EventLoop:
                         worked |= self._handle_read(link)
                     if mask & selectors.EVENT_WRITE and not link._closed:
                         self._handle_write(link)
+                if core.crashed:
+                    break
+                core.admit_pending_children()
                 worked |= self._drain_inbox()
                 core.poll_streams()
+                core.heartbeat_tick()
                 if worked:
                     busy = True
                     core.maybe_flush()
@@ -334,15 +354,25 @@ class EventLoop:
                     core.flush()
                     busy = False
         finally:
-            core.flush()
-            self._drain_outbound()
-            core.close_all()
-            self._shutdown_selector()
+            if core.crashed:
+                # Abrupt death (fault injection): no flush, no goodbye —
+                # peers find out via EOF, exactly like a SIGKILLed process.
+                core.close_all()
+                self._shutdown_selector()
+            else:
+                core.flush()
+                self._drain_outbound()
+                core.close_all()
+                self._shutdown_selector()
 
     def _select_timeout(self) -> float:
         deadline = None
         core = self.core
-        for candidate in (core.next_timeout_deadline(), core.next_flush_deadline):
+        for candidate in (
+            core.next_timeout_deadline(),
+            core.next_flush_deadline,
+            core.next_heartbeat_deadline(),
+        ):
             if candidate is not None and (deadline is None or candidate < deadline):
                 deadline = candidate
         if deadline is None:
@@ -354,6 +384,7 @@ class EventLoop:
         with self._wake_lock:
             self._wake_pending = False
             deferred, self._deferred_writes = self._deferred_writes, []
+            adoptions, self._pending_adoptions = self._pending_adoptions, []
         try:
             while self._wake_recv.recv(4096):
                 pass
@@ -361,12 +392,21 @@ class EventLoop:
             pass
         for link in deferred:
             self._enable_write(link)
+        for sock in adoptions:
+            link = self.add_socket(sock)
+            self.core.add_child(link)
+            self.core.stats["orphans_adopted"] += 1
+            log.info(
+                "%s: adopted orphan socket as link %d",
+                self.core.name,
+                link.link_id,
+            )
 
     def _drain_inbox(self) -> bool:
         """Dispatch in-process channel deliveries queued on the inbox."""
         core = self.core
         worked = False
-        while not core.shutting_down:
+        while not (core.shutting_down or core.crashed):
             try:
                 link_id, payload = core.inbox.get_nowait()
             except queue.Empty:

@@ -19,7 +19,8 @@ from __future__ import annotations
 import socket
 import struct
 import threading
-from typing import Optional, Tuple
+import time
+from typing import Callable, Optional, Tuple
 
 from .channel import Inbox
 
@@ -29,6 +30,8 @@ __all__ = [
     "tcp_pair",
     "tcp_connect",
     "tcp_connect_socket",
+    "tcp_connect_socket_retry",
+    "tcp_connect_retry",
 ]
 
 _LEN = struct.Struct(">I")
@@ -83,10 +86,21 @@ class TcpChannelEnd:
         self._inbox = inbox
         self._send_lock = threading.Lock()
         self._closed = False
+        # Cleared to stall the reader between frames (fault injection:
+        # a consumer that stops draining, so peer send queues back up).
+        self._reading = threading.Event()
+        self._reading.set()
         self._reader = threading.Thread(
             target=self._read_loop, name=f"tcp-reader-{link_id}", daemon=True
         )
         self._reader.start()
+
+    def pause_reading(self) -> None:
+        """Stall the reader thread before its next frame (fault injection)."""
+        self._reading.clear()
+
+    def resume_reading(self) -> None:
+        self._reading.set()
 
     def send(self, payload: bytes) -> None:
         if self._closed:
@@ -131,6 +145,7 @@ class TcpChannelEnd:
 
     def _read_loop(self) -> None:
         while True:
+            self._reading.wait()
             header = self._read_exact(_LEN.size)
             if header is None:
                 break
@@ -231,3 +246,50 @@ def tcp_connect(
     return TcpChannelEnd(
         tcp_connect_socket(address, timeout), _alloc_link_id(), inbox
     )
+
+
+def tcp_connect_socket_retry(
+    address: Tuple[str, int],
+    attempts: int = 5,
+    timeout: Optional[float] = 5.0,
+    base: float = 0.1,
+    cap: float = 2.0,
+    sleep: Callable[[float], None] = time.sleep,
+) -> socket.socket:
+    """Connect with capped exponential backoff (tree instantiation).
+
+    One long blocking connect penalizes the common failure (the peer
+    is simply not listening *yet* — launch races during §2.5
+    instantiation) with a full connect timeout per try and gives the
+    caller a bare ``OSError`` with no MRNet context.  Retrying with
+    short per-attempt timeouts and jittered backoff converges fast
+    when the peer comes up, and a final failure raises
+    :class:`~repro.core.failure.InstantiationError` naming the
+    unreachable address and attempt count.
+    """
+    from ..core.failure import InstantiationError, backoff_delays
+
+    if attempts < 1:
+        raise ValueError("attempts must be >= 1")
+    delays = backoff_delays(attempts, base=base, cap=cap)
+    last: Optional[Exception] = None
+    for k in range(attempts):
+        try:
+            return tcp_connect_socket(address, timeout=timeout)
+        except OSError as exc:
+            last = exc
+            if k < len(delays):
+                sleep(delays[k])
+    raise InstantiationError(address, attempts, str(last))
+
+
+def tcp_connect_retry(
+    address: Tuple[str, int],
+    inbox: Inbox,
+    attempts: int = 5,
+    timeout: Optional[float] = 5.0,
+    **kwargs,
+) -> TcpChannelEnd:
+    """Retrying variant of :func:`tcp_connect` (same backoff policy)."""
+    sock = tcp_connect_socket_retry(address, attempts=attempts, timeout=timeout, **kwargs)
+    return TcpChannelEnd(sock, _alloc_link_id(), inbox)

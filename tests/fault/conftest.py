@@ -1,0 +1,82 @@
+"""Shared drivers for the fault-tolerance suite.
+
+Back-ends and the front-end are passive (pumped by API calls), so the
+tests drive the whole tool from one thread: broadcast, poll every
+live back-end, echo a reply, pump the front-end.  Fault recovery is
+likewise driven by these polls — a back-end only notices its dead
+parent (and reconnects) when the tool thread touches it, exactly like
+a real tool's receive loop.
+"""
+
+import time
+
+import pytest
+
+
+def poll_backends(net, replied=None, value=1):
+    """One polling sweep: every live back-end answers pending packets."""
+    replied = set() if replied is None else replied
+    for rank, be in net.backends.items():
+        if be.shut_down or rank in replied:
+            continue
+        try:
+            got = be.poll()
+        except Exception:
+            replied.add(rank)
+            continue
+        if got is None:
+            if be.shut_down:
+                replied.add(rank)
+            continue
+        _, bstream = got
+        try:
+            bstream.send("%d", value)
+        except Exception:
+            pass
+        replied.add(rank)
+    return replied
+
+
+def drive_wave(net, stream, timeout=10.0, value=1):
+    """Broadcast-and-reduce one wave; returns the front-end's packet.
+
+    Every live back-end replies *value*; the returned packet is the
+    aggregated wave the front-end releases.
+    """
+    stream.send("%d", 0)
+    net.flush()
+    deadline = time.monotonic() + timeout
+    replied = set()
+    while time.monotonic() < deadline:
+        poll_backends(net, replied, value=value)
+        try:
+            return stream.recv(timeout=0.05)
+        except TimeoutError:
+            continue
+    raise TimeoutError("wave did not complete")
+
+
+def wait_until(pred, net=None, timeout=5.0, poll=True):
+    """Pump the network (and back-ends) until *pred* goes true."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if net is not None:
+            if poll:
+                poll_backends(net, replied=set())
+            net.flush()
+        if pred():
+            return True
+        time.sleep(0.02)
+    return False
+
+
+@pytest.fixture
+def shutdown_nets():
+    """Register networks for teardown even when an assertion fires."""
+    nets = []
+    yield nets
+    for net in nets:
+        try:
+            net.shutdown(join_timeout=2.0)
+        except Exception:
+            pass

@@ -1,0 +1,98 @@
+"""The fault-injection harness itself: determinism and frame safety."""
+
+import time
+
+import pytest
+
+from repro.core import Network
+from repro.faultinject import FaultEvent, FaultInjector, FaultSchedule
+from repro.filters import TFILTER_SUM
+from repro.topology import balanced_tree
+
+from .conftest import drive_wave, wait_until
+
+WAVE_TIMEOUT = 10.0
+
+
+class TestScheduleDeterminism:
+    def test_same_seed_same_plan(self, shutdown_nets):
+        net = Network(balanced_tree(2, 2), transport="tcp")
+        shutdown_nets.append(net)
+        inj = FaultInjector(net)
+        plans = [
+            FaultSchedule.random(inj, seed=42, n_faults=2, horizon=1.0).events
+            for _ in range(2)
+        ]
+        assert plans[0] == plans[1]
+        different = FaultSchedule.random(
+            inj, seed=43, n_faults=2, horizon=1.0
+        ).events
+        assert plans[0] != different
+
+    def test_poll_fires_in_time_order_and_logs(self, shutdown_nets):
+        net = Network(balanced_tree(2, 2), transport="tcp")
+        shutdown_nets.append(net)
+        inj = FaultInjector(net)
+        labels = inj.commnode_labels()
+        sched = FaultSchedule(
+            inj,
+            [
+                FaultEvent(0.0, "wedge_commnode", (labels[0],)),
+                FaultEvent(0.05, "unwedge_commnode", (labels[0],)),
+            ],
+        )
+        with pytest.raises(RuntimeError):
+            sched.poll()  # must arm() first
+        sched.arm()
+        deadline = time.monotonic() + 5.0
+        while not sched.done and time.monotonic() < deadline:
+            sched.poll()
+            time.sleep(0.01)
+        assert sched.done
+        assert [e.action for e in sched.fired] == [
+            "wedge_commnode",
+            "unwedge_commnode",
+        ]
+        assert [entry[0] for entry in inj.log] == [
+            "wedge_commnode",
+            "unwedge_commnode",
+        ]
+        assert not net._commnodes[0].core.wedged
+
+
+class TestSeverLink:
+    def test_mid_frame_truncation_never_delivers_garbage(self, shutdown_nets):
+        """A link cut inside a frame (length prefix promising bytes
+        that never arrive) must surface as link death, not as a
+        corrupt packet."""
+        net = Network(balanced_tree(2, 2), transport="tcp")
+        shutdown_nets.append(net)
+        stream = net.new_stream(
+            net.get_broadcast_communicator(), transform=TFILTER_SUM
+        )
+        assert drive_wave(net, stream, WAVE_TIMEOUT).values == (4,)
+
+        inj = FaultInjector(net)
+        inj.sever_link(0, child_index=0, mid_frame=True)
+
+        # The orphaned back-end sees EOF (no partial-frame garbage) and
+        # the next wave completes over the survivors.
+        assert wait_until(
+            lambda: any(be.shut_down for be in net.backends.values()),
+            net=net,
+            timeout=5.0,
+        )
+        assert drive_wave(net, stream, WAVE_TIMEOUT).values == (3,)
+        assert not net.unexpected_packets()
+
+
+class TestTargeting:
+    def test_commnode_by_label_and_bad_names(self, shutdown_nets):
+        net = Network(balanced_tree(2, 2), transport="tcp")
+        shutdown_nets.append(net)
+        inj = FaultInjector(net)
+        labels = inj.commnode_labels()
+        assert len(labels) == 2
+        assert inj.commnode(labels[1]) is net._commnodes[1]
+        with pytest.raises(KeyError):
+            inj.commnode("no-such-node")

@@ -1,0 +1,110 @@
+"""Liveness probing: wedged-but-connected peers must be detected.
+
+A crashed process closes its sockets — EOF is the detector.  A
+*wedged* process keeps its connections open and processes nothing;
+only the heartbeat deadline catches that.  Probing is strictly
+pairwise-consensual: a node applies the silence deadline only to
+links whose peer has itself probed, so passive peers (back-ends, the
+front-end) are never falsely declared dead.
+"""
+
+import time
+
+import pytest
+
+from repro.core import DEGRADE, Network
+from repro.faultinject import FaultInjector
+from repro.filters import TFILTER_SUM
+from repro.topology import balanced_tree
+
+from .conftest import drive_wave, wait_until
+
+WAVE_TIMEOUT = 10.0
+INTERVAL = 0.05
+
+
+def heartbeat_net(shutdown_nets, depth=3, fanout=2, **kwargs):
+    net = Network(
+        balanced_tree(fanout, depth),
+        transport="tcp",
+        heartbeat_interval=INTERVAL,
+        heartbeat_miss_threshold=3,
+        **kwargs,
+    )
+    shutdown_nets.append(net)
+    return net
+
+
+class TestWedgeDetection:
+    def test_wedged_node_declared_dead_by_parent(self, shutdown_nets):
+        """Depth-3 tree so comm nodes probe each other; wedging a
+        level-2 node leaves its sockets open, yet its parent's
+        deadline fires and the front-end learns which ranks died."""
+        net = heartbeat_net(shutdown_nets)
+        stream = net.new_stream(
+            net.get_broadcast_communicator(), transform=TFILTER_SUM
+        )
+        assert drive_wave(net, stream, WAVE_TIMEOUT).values == (8,)
+
+        # Let probes establish the mutual-monitoring sets.
+        time.sleep(4 * INTERVAL)
+        inj = FaultInjector(net)
+        # Last-built comm node is on the deepest internal level; its
+        # parent is another comm node (not the passive front-end).
+        label = inj.commnode_labels()[-1]
+        inj.wedge_commnode(label)
+
+        assert wait_until(
+            lambda: any(e.lost for e in net.recovery_events()),
+            net=net,
+            timeout=8.0,
+        ), "wedged node was never declared dead"
+        lost = set()
+        for event in net.recovery_events():
+            lost.update(event.lost)
+        assert len(lost) == 2  # the wedged node's two back-ends
+        missed = sum(
+            s.get("heartbeats_missed", 0)
+            for name, s in net.stats().items()
+            if name != "recovery"
+        )
+        assert missed >= 1
+        # Survivors keep working.
+        assert drive_wave(net, stream, WAVE_TIMEOUT).values == (6,)
+
+    def test_wedged_node_stops_probing(self, shutdown_nets):
+        net = heartbeat_net(shutdown_nets, depth=2)
+        time.sleep(4 * INTERVAL)
+        inj = FaultInjector(net)
+        core = inj.commnode(0).core
+        inj.wedge_commnode(0)
+        sent = core.stats["heartbeats_sent"]
+        time.sleep(4 * INTERVAL)
+        assert core.stats["heartbeats_sent"] == sent
+
+
+class TestNoFalsePositives:
+    def test_passive_peers_survive_long_silence(self, shutdown_nets):
+        """Back-ends and the front-end never probe, so an idle network
+        with heartbeats on must not declare anyone dead."""
+        net = heartbeat_net(shutdown_nets, depth=2)
+        stream = net.new_stream(
+            net.get_broadcast_communicator(), transform=TFILTER_SUM
+        )
+        assert drive_wave(net, stream, WAVE_TIMEOUT).values == (4,)
+        # Far past the deadline (3 * INTERVAL) with all tool threads idle.
+        time.sleep(10 * INTERVAL)
+        assert net.stats()["recovery"]["heartbeats_missed"] == 0
+        assert not any(e.lost for e in net.recovery_events())
+        assert drive_wave(net, stream, WAVE_TIMEOUT).values == (4,)
+
+    def test_heartbeats_disabled_by_default(self, shutdown_nets):
+        net = Network(balanced_tree(2, 2), transport="tcp")
+        shutdown_nets.append(net)
+        assert not net.heartbeat.enabled
+        time.sleep(0.2)
+        assert all(
+            s.get("heartbeats_sent", 0) == 0
+            for name, s in net.stats().items()
+            if name != "recovery"
+        )

@@ -1,0 +1,64 @@
+"""Network.shutdown must be idempotent and hang-proof, and a downed
+network must answer API calls with a typed error, not a hang."""
+
+import time
+
+import pytest
+
+from repro.core import Network, NetworkDownError
+from repro.core.network import NetworkError
+from repro.faultinject import FaultInjector
+from repro.filters import TFILTER_SUM
+from repro.topology import balanced_tree
+
+from .conftest import drive_wave
+
+WAVE_TIMEOUT = 10.0
+
+
+class TestIdempotentShutdown:
+    def test_shutdown_twice_is_safe(self):
+        net = Network(balanced_tree(2, 2), transport="tcp")
+        net.shutdown()
+        net.shutdown()  # second call is a no-op, not an error
+        assert not any(node.is_alive() for node in net._commnodes)
+
+    def test_api_after_shutdown_raises_typed_error(self):
+        net = Network(balanced_tree(2, 2))
+        net.shutdown()
+        with pytest.raises(NetworkDownError) as exc:
+            net.get_broadcast_communicator()
+        assert "shut down" in str(exc.value)
+        # NetworkDownError subclasses NetworkError: existing callers
+        # that catch the broad type keep working.
+        assert isinstance(exc.value, NetworkError)
+
+    def test_shutdown_after_failed_startup(self):
+        """A constructor that dies half-built must leave no stuck
+        threads behind (the constructor shuts itself down)."""
+        with pytest.raises(NetworkError):
+            Network(balanced_tree(2, 2), transport="no-such-transport")
+        # Unknown policy fails validation before any thread starts.
+        with pytest.raises(NetworkError):
+            Network(balanced_tree(2, 2), policy="no-such-policy")
+
+    def test_shutdown_with_wedged_node_does_not_hang(self):
+        """A node that ignores the SHUTDOWN broadcast is force-killed
+        after join_timeout instead of hanging the caller."""
+        net = Network(balanced_tree(2, 2), transport="tcp")
+        FaultInjector(net).wedge_commnode(0)
+        t0 = time.monotonic()
+        net.shutdown(join_timeout=1.0)
+        assert time.monotonic() - t0 < 8.0
+        assert not any(node.is_alive() for node in net._commnodes)
+
+    def test_shutdown_after_commnode_crash(self):
+        net = Network(balanced_tree(2, 2), transport="tcp")
+        stream = net.new_stream(
+            net.get_broadcast_communicator(), transform=TFILTER_SUM
+        )
+        assert drive_wave(net, stream, WAVE_TIMEOUT).values == (4,)
+        FaultInjector(net).kill_commnode(1)
+        time.sleep(0.1)
+        net.shutdown(join_timeout=2.0)
+        assert not any(node.is_alive() for node in net._commnodes)
