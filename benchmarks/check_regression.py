@@ -73,6 +73,35 @@ def check_heartbeat_overhead(fresh: dict, committed: dict, ceiling: float) -> bo
     return ratio >= ceiling
 
 
+def check_obs_overhead(fresh: dict, committed: dict) -> bool:
+    """Enforce the observability-layer overhead bars, if measured.
+
+    The ``obs_relay_overhead`` entry (bench_observability.py) records
+    the relay-hop cost of the metrics layer relative to an
+    instrumentation-stripped twin.  Full-mode ceilings: <5% with
+    tracing off, <15% with tracing on.  Smoke runs use far fewer
+    rounds/repeats, so their ratios get proportionally looser bars
+    (the full-mode numbers are the committed evidence).  Returns True
+    when a gate fails.
+    """
+    row = fresh.get("results", {}).get("obs_relay_overhead") or committed.get(
+        "results", {}
+    ).get("obs_relay_overhead")
+    if row is None or "overhead_off_ratio" not in row:
+        return False
+    smoke = row.get("mode") == "smoke"
+    gates = (
+        ("obs overhead (off)", row["overhead_off_ratio"], 1.15 if smoke else 1.05),
+        ("obs overhead (on)", row["overhead_on_ratio"], 1.30 if smoke else 1.15),
+    )
+    failed = False
+    for label, ratio, ceiling in gates:
+        status = "ok" if ratio < ceiling else "REGRESSED"
+        print(f"{label:<20} {'':>10} {ratio:>9.3f}x {ceiling:>9.2f}x  {status}")
+        failed |= ratio >= ceiling
+    return failed
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--fresh", type=Path, required=True)
@@ -117,6 +146,9 @@ def main(argv=None) -> int:
 
     if check_heartbeat_overhead(fresh, committed, args.hb_ceiling):
         print("FAIL: heartbeat overhead exceeds ceiling", file=sys.stderr)
+        failed = True
+    if check_obs_overhead(fresh, committed):
+        print("FAIL: observability overhead exceeds ceiling", file=sys.stderr)
         failed = True
     if failed:
         print("FAIL: data-plane speedup regressed >30% vs committed baseline",

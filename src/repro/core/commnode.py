@@ -63,6 +63,8 @@ from .batching import (
     decode_batch,
     encode_batch,
 )
+from ..obs.metrics import DEFAULT_SIZE_BUCKETS, MetricsRegistry, StatsView
+from ..obs.snapshot import dumps_snapshot
 from ..transport.channel import ChannelEnd, Inbox
 from ..transport.eventloop import SendQueueFull
 from .failure import DEGRADE, REPAIR, HeartbeatConfig
@@ -75,10 +77,14 @@ from .protocol import (
     TAG_NEW_STREAM,
     TAG_RANKS_CHANGED,
     TAG_SHUTDOWN,
+    TAG_STATS_REPLY,
+    TAG_STATS_REQUEST,
     make_endpoint_report,
     make_heartbeat,
     make_ranks_changed,
+    make_stats_reply,
     parse_new_stream,
+    parse_stats_request,
 )
 from .routing import RoutingTable
 from .stream_manager import StreamManager
@@ -153,7 +159,11 @@ class NodeCore:
         self._last_beat: Optional[float] = None
         self._pending_children: List[ChannelEnd] = []
         self._pending_lock = threading.Lock()
-        # Stats used by tests and ablation benches.
+        # -- observability (see repro.obs) ----------------------------
+        # Typed registry behind the legacy ``stats`` mapping.  Hot-path
+        # sites bump pre-bound Counter objects (one attribute add, same
+        # cost as the dicts they replaced); ``self.stats`` is a live
+        # view kept for tests and callers that read by name.
         # ``packets_relayed_zero_copy`` counts packets appended to an
         # outbound buffer while still undecoded lazy wire frames: the
         # §2.3 forward-by-reference fast path, taken by pure relays
@@ -163,21 +173,40 @@ class NodeCore:
         # ``send_queue_full`` counts flushes deferred by a bounded link
         # send queue (backpressure, lossless); ``messages_dropped_on_close``
         # counts packets dropped because their link was already dead.
-        self.stats = {
-            "packets_up": 0,
-            "packets_down": 0,
-            "messages_in": 0,
-            "packets_in": 0,
-            "messages_sent": 0,
-            "waves_aggregated": 0,
-            "packets_relayed_zero_copy": 0,
-            "send_queue_full": 0,
-            "messages_dropped_on_close": 0,
-            "heartbeats_sent": 0,
-            "heartbeats_missed": 0,
-            "orphans_adopted": 0,
-            "waves_reconfigured": 0,
-        }
+        self.metrics = MetricsRegistry()
+        _c = self.metrics.counter
+        self._c_packets_up = _c("packets_up", "Data packets received from children")
+        self._c_packets_down = _c("packets_down", "Data packets received from the parent")
+        self._c_messages_in = _c("messages_in", "Framed messages received")
+        self._c_packets_in = _c("packets_in", "Packets decoded from inbound messages")
+        self._c_messages_sent = _c("messages_sent", "Framed messages transmitted")
+        self._c_waves_aggregated = _c("waves_aggregated", "Synchronization waves released and aggregated")
+        self._c_relayed_zero_copy = _c("packets_relayed_zero_copy", "Packets forwarded without decoding (lazy fast path)")
+        self._c_send_queue_full = _c("send_queue_full", "Flushes deferred by link backpressure")
+        self._c_dropped_on_close = _c("messages_dropped_on_close", "Packets dropped because their link was dead")
+        self._c_heartbeats_sent = _c("heartbeats_sent", "Liveness probes emitted")
+        self._c_heartbeats_missed = _c("heartbeats_missed", "Liveness deadlines expired (peer declared dead)")
+        self._c_orphans_adopted = _c("orphans_adopted", "Orphan child links adopted during repair")
+        self._c_waves_reconfigured = _c("waves_reconfigured", "Stream membership changes (links dropped/spliced)")
+        self._c_stats_replies_relayed = _c("stats_replies_relayed", "STATS_SNAPSHOT replies answered or relayed upstream")
+        self._h_flush_batch = self.metrics.histogram(
+            "flush_batch_packets",
+            "Packets per flushed outbound message (adaptive batching)",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
+        self.metrics.gauge("streams_open", "Streams with live state at this node", fn=lambda: len(self.streams))
+        self.metrics.gauge("children_connected", "Downstream links currently attached", fn=lambda: len(self.children))
+        self.stats = StatsView(self.metrics)
+        #: Extra snapshot providers merged into :meth:`metrics_snapshot`
+        #: (the event loop registers its transport registry here).
+        self.extra_metrics: List[Callable[[], dict]] = []
+        #: Rank used in STATS_SNAPSHOT identities; the network assigns
+        #: 0 to the front-end and 1..N to comm nodes.
+        self.obs_rank = -1
+        #: Optional :class:`repro.obs.tracing.TraceRecorder`.  ``None``
+        #: (the default) disables every tracing hook; sites guard with
+        #: a single ``is not None`` test.
+        self.tracer = None
 
     # -- wiring -----------------------------------------------------------
 
@@ -233,7 +262,7 @@ class NodeCore:
             pending, self._pending_children = self._pending_children, []
         for end in pending:
             self.add_child(end)
-            self.stats["orphans_adopted"] += 1
+            self._c_orphans_adopted.value += 1
             log.info("%s: adopted orphan link %d", self.name, end.link_id)
 
     @property
@@ -244,6 +273,33 @@ class NodeCore:
     def ready(self) -> bool:
         """All expected back-end ranks have reported through this node."""
         return len(self.reported_ranks) >= self.expected_ranks
+
+    # -- observability -----------------------------------------------------
+
+    @property
+    def obs_identity(self) -> str:
+        """The ``rank:hostname`` key this node reports under."""
+        return f"{self.obs_rank}:{self.name}"
+
+    def metrics_snapshot(self) -> dict:
+        """This process's full metrics snapshot (JSON-able).
+
+        Merges the node registry with every provider in
+        :attr:`extra_metrics` (the event loop contributes its
+        ``loop_*`` transport series this way).  The result is the
+        ``metrics`` document carried in ``STATS_SNAPSHOT`` replies —
+        see :meth:`repro.obs.metrics.MetricsRegistry.snapshot` for the
+        shape.
+        """
+        snap = self.metrics.snapshot()
+        for provider in self.extra_metrics:
+            try:
+                extra = provider()
+            except Exception:  # a broken provider must not break gathers
+                continue
+            for kind in ("counters", "gauges", "histograms"):
+                snap[kind].update(extra.get(kind, {}))
+        return snap
 
     # -- inbound ------------------------------------------------------------
 
@@ -265,10 +321,64 @@ class NodeCore:
         # Any traffic counts as liveness — probes only matter on links
         # that would otherwise be silent (see HeartbeatConfig).
         self._last_seen[link_id] = self.clock()
-        self.stats["messages_in"] += 1
-        for packet in decode_batch(payload):
-            self.stats["packets_in"] += 1
-            self.dispatch(link_id, packet)
+        self._c_messages_in.value += 1
+        tracer = self.tracer
+        if tracer is None:
+            self._dispatch_batch(link_id, decode_batch(payload))
+            return
+        # Tracing attached: one recv span per message (the unbatch) and
+        # one demux span covering the dispatch loop.  Spans are
+        # per-message, not per-packet — the recorder costs two clock
+        # reads per span, which is negligible per message but would
+        # dominate the §4.2.1 relay path if paid per packet.
+        t0 = tracer.span_start()
+        packets = list(decode_batch(payload))
+        tracer.span_end("recv", t0, detail=f"link={link_id}")
+        t0 = tracer.span_start()
+        self._dispatch_batch(link_id, packets)
+        if packets:
+            tracer.span_end(
+                "demux", t0, packets[0].stream_id, detail=f"n={len(packets)}"
+            )
+
+    def _dispatch_batch(self, link_id: int, packets) -> None:
+        """Dispatch one inbound message's packets.
+
+        Inlines the §4.2.1 relay fast path: a data packet arriving
+        from a child for a stream this node holds no state on goes
+        straight to the parent buffer.  Counting rides local
+        accumulators folded into the registry once per message, so
+        per-packet instrumentation cost is two integer adds and one
+        slot read (the inline ``Packet.values_decoded`` check) —
+        measured <5% of the hop by ``benchmarks/bench_observability.py``.
+        """
+        n = 0
+        if self.parent is not None and link_id == self.parent_link_id:
+            for packet in packets:
+                n += 1
+                self.dispatch(link_id, packet)
+        else:
+            streams = self.streams
+            pbuf = self._parent_buffer
+            up = 0
+            for packet in packets:
+                sid = packet.stream_id
+                if sid == CONTROL_STREAM_ID or pbuf is None or sid in streams:
+                    n += 1
+                    self.dispatch(link_id, packet)
+                else:
+                    # Packets from decode_batch are lazy wire frames by
+                    # construction and nothing on this path touches
+                    # their values, so every one counts as a zero-copy
+                    # relay — no per-packet values_decoded check.
+                    up += 1
+                    pbuf.add(packet)
+            if up:
+                self._c_packets_up.value += up
+                self._c_relayed_zero_copy.value += up
+                self._note_pending()
+            n += up
+        self._c_packets_in.value += n
 
     def dispatch(self, link_id: int, packet: Packet) -> None:
         """Demultiplex one packet (Figure 3's demux layer)."""
@@ -323,7 +433,7 @@ class NodeCore:
                 gained = manager.endpoints & frozenset(ranks)
                 if gained and link_id not in manager.child_links:
                     manager.add_link(link_id)
-                    self.stats["waves_reconfigured"] += 1
+                    self._c_waves_reconfigured.value += 1
                     if self.recovery is not None:
                         self.recovery.bump("waves_reconfigured")
                     self._emit_ranks_changed(
@@ -336,6 +446,14 @@ class NodeCore:
             # _note_ranks_changed to record it for the tool).
             if self.parent is None:
                 self._note_ranks_changed(packet)
+            else:
+                self._queue_up(packet)
+        elif packet.tag == TAG_STATS_REPLY:
+            # A descendant's metrics snapshot travelling to the root
+            # (the front-end overrides _note_stats_reply to collect it).
+            self._c_stats_replies_relayed.value += 1
+            if self.parent is None:
+                self._note_stats_reply(packet)
             else:
                 self._queue_up(packet)
         else:
@@ -358,6 +476,7 @@ class NodeCore:
                 sync_timeout=timeout,
                 down_transform_filter_id=down_id,
                 clock=self.clock,
+                owner=self,
             )
             for link in links:
                 self._queue_down(link, packet)
@@ -374,6 +493,21 @@ class NodeCore:
             self.shutting_down = True
             for link in list(self.children):
                 self._queue_down(link, packet)
+        elif packet.tag == TAG_STATS_REQUEST:
+            # Metrics gather: answer with this node's registry, then
+            # keep flooding the request toward the leaves.  The
+            # front-end never answers itself over the wire (the network
+            # reads its registry locally); back-ends consume the
+            # request silently, so only internal nodes reply.
+            if self.parent is not None:
+                request_id = parse_stats_request(packet)
+                payload = dumps_snapshot(
+                    self.obs_identity, self.obs_rank, self.metrics_snapshot()
+                )
+                self._c_stats_replies_relayed.value += 1
+                self._queue_up(make_stats_reply(request_id, payload))
+            for link in list(self.children):
+                self._queue_down(link, packet)
         else:
             # Unknown downstream control: flood to every child.
             for link in list(self.children):
@@ -382,7 +516,7 @@ class NodeCore:
     # -- data ------------------------------------------------------------
 
     def _handle_data_up(self, link_id: int, packet: Packet) -> None:
-        self.stats["packets_up"] += 1
+        self._c_packets_up.value += 1
         manager = self.streams.get(packet.stream_id)
         if manager is None:
             # Stream unknown here (e.g. point-to-point pass-through):
@@ -398,12 +532,12 @@ class NodeCore:
             return
         outputs = manager.push_upstream(link_id, packet)
         if outputs:
-            self.stats["waves_aggregated"] += 1
+            self._c_waves_aggregated.value += 1
         for out in outputs:
             self._queue_up(out)
 
     def _handle_data_down(self, packet: Packet) -> None:
-        self.stats["packets_down"] += 1
+        self._c_packets_down.value += 1
         manager = self.streams.get(packet.stream_id)
         if manager is None:
             # No stream state: flood to all children.
@@ -446,7 +580,7 @@ class NodeCore:
             if link_id in manager.child_links:
                 for out in manager.drop_link(link_id):
                     self._queue_up(out)
-                self.stats["waves_reconfigured"] += 1
+                self._c_waves_reconfigured.value += 1
                 if self.recovery is not None:
                     self.recovery.bump("waves_reconfigured")
                 gone = manager.endpoints & frozenset(lost)
@@ -504,6 +638,10 @@ class NodeCore:
         """Root-level sink for membership changes; the front-end
         overrides this to surface events to the tool."""
 
+    def _note_stats_reply(self, packet: Packet) -> None:
+        """Root-level sink for ``TAG_STATS_REPLY`` packets; the
+        front-end overrides this to collect gathered snapshots."""
+
     # -- liveness (heartbeats) ---------------------------------------------
 
     def heartbeat_tick(self) -> None:
@@ -532,17 +670,17 @@ class NodeCore:
             probe = make_heartbeat(self._hb_seq)
             if self.parent is not None:
                 self._queue_up(probe)
-                self.stats["heartbeats_sent"] += 1
+                self._c_heartbeats_sent.value += 1
             for link in list(self.children):
                 self._queue_down(link, probe)
-                self.stats["heartbeats_sent"] += 1
+                self._c_heartbeats_sent.value += 1
             self._note_urgent()
         deadline = self.heartbeat.deadline
         for link_id in list(self._hb_peers):
             last = self._last_seen.get(link_id)
             if last is None or now - last < deadline:
                 continue
-            self.stats["heartbeats_missed"] += 1
+            self._c_heartbeats_missed.value += 1
             if self.recovery is not None:
                 self.recovery.bump("heartbeats_missed")
             log.warning(
@@ -586,8 +724,11 @@ class NodeCore:
 
     def _queue_up(self, packet: Packet) -> None:
         if self._parent_buffer is not None:
-            if not packet.values_decoded:
-                self.stats["packets_relayed_zero_copy"] += 1
+            # Inline Packet.values_decoded: the relay path runs this
+            # per packet, and the slot read is ~3x cheaper than the
+            # property call.
+            if packet._values is None:
+                self._c_relayed_zero_copy.value += 1
             self._parent_buffer.add(packet)
             self._note_pending()
         else:
@@ -596,8 +737,8 @@ class NodeCore:
     def _queue_down(self, link_id: int, packet: Packet) -> None:
         buf = self._child_buffers.get(link_id)
         if buf is not None:
-            if not packet.values_decoded:
-                self.stats["packets_relayed_zero_copy"] += 1
+            if packet._values is None:
+                self._c_relayed_zero_copy.value += 1
             buf.add(packet)
             self._note_pending()
 
@@ -671,17 +812,35 @@ class NodeCore:
             # oversized batch could never leave); a non-empty queue
             # defers anything it cannot fit.
             if needed > capacity() and getattr(end, "send_backlog", 1) > 0:
-                self.stats["send_queue_full"] += 1
+                self._c_send_queue_full.value += 1
                 return  # backpressure: packets stay buffered, retried later
         packets = buf.drain()
+        tracer = self.tracer
+        if tracer is None:
+            data = encode_batch(packets)
+            t0 = 0.0
+        else:
+            # The rebatch stage (Figure 3): queued packets become one
+            # outbound framed message.  Timed here — at the encode —
+            # rather than per buffered packet, so tracing costs two
+            # spans per flush instead of one per relayed packet.
+            t0 = tracer.span_start()
+            data = encode_batch(packets)
+            tracer.span_end(
+                "rebatch", t0, detail=f"link={link_id} n={len(packets)}"
+            )
+            t0 = tracer.span_start()
         try:
-            end.send(encode_batch(packets))
-            self.stats["messages_sent"] += 1
+            end.send(data)
+            self._c_messages_sent.value += 1
+            self._h_flush_batch.observe(len(packets))
+            if tracer is not None:
+                tracer.span_end("send", t0, detail=f"link={link_id} n={len(packets)}")
         except SendQueueFull:
             # Bound hit despite the capacity check (concurrent writer):
             # keep the packets, count the deferral.
             buf.requeue(packets)
-            self.stats["send_queue_full"] += 1
+            self._c_send_queue_full.value += 1
         except ConnectionError:
             self._drop_packets(link_id, len(packets))
             if link_id is not None:
@@ -693,7 +852,7 @@ class NodeCore:
     def _drop_packets(self, link_id: Optional[int], count: int) -> None:
         if not count:
             return
-        self.stats["messages_dropped_on_close"] += count
+        self._c_dropped_on_close.value += count
         key = -1 if link_id is None else link_id
         if key not in self._drop_logged:
             self._drop_logged.add(key)

@@ -45,6 +45,8 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..obs.metrics import MetricsRegistry
+
 __all__ = [
     "FAIL_FAST",
     "DEGRADE",
@@ -164,12 +166,16 @@ class RecoveryCoordinator:
         self._lock = threading.Lock()
         self._members: Dict[tuple, _Member] = {}
         self._failed_nodes: set = set()
-        self._stats = {
-            "nodes_failed": 0,
-            "orphans_adopted": 0,
-            "waves_reconfigured": 0,
-            "heartbeats_missed": 0,
-        }
+        # Typed registry (see repro.obs.metrics); bump()/snapshot()
+        # keep their historical plain-dict API on top of it.
+        self.metrics = MetricsRegistry()
+        for name, help_text in (
+            ("nodes_failed", "Distinct processes declared failed"),
+            ("orphans_adopted", "Orphan adoptions brokered network-wide"),
+            ("waves_reconfigured", "Stream membership changes network-wide"),
+            ("heartbeats_missed", "Liveness deadlines expired network-wide"),
+        ):
+            self.metrics.counter(name, help_text)
 
     # -- registration (Network construction) -------------------------------
 
@@ -191,8 +197,9 @@ class RecoveryCoordinator:
     # -- stats -------------------------------------------------------------
 
     def bump(self, counter: str, n: int = 1) -> None:
+        """Add *n* to the named recovery counter (thread-safe)."""
         with self._lock:
-            self._stats[counter] = self._stats.get(counter, 0) + n
+            self.metrics.counter(counter).value += n
 
     def note_node_failure(self, key: Optional[tuple]) -> None:
         """Record one failed process (idempotent per topology key)."""
@@ -200,11 +207,12 @@ class RecoveryCoordinator:
             if key in self._failed_nodes:
                 return
             self._failed_nodes.add(key)
-            self._stats["nodes_failed"] += 1
+            self.metrics.counter("nodes_failed").value += 1
 
     def snapshot(self) -> Dict[str, int]:
+        """Plain ``name -> count`` dump of the recovery counters."""
         with self._lock:
-            return dict(self._stats)
+            return {k: c.value for k, c in self.metrics.counters().items()}
 
     # -- liveness ----------------------------------------------------------
 
@@ -296,8 +304,7 @@ class RecoveryCoordinator:
         return channel.end_b
 
     def __repr__(self) -> str:
-        with self._lock:
-            return (
-                f"RecoveryCoordinator(members={len(self._members)}, "
-                f"stats={self._stats})"
-            )
+        return (
+            f"RecoveryCoordinator(members={len(self._members)}, "
+            f"stats={self.snapshot()})"
+        )

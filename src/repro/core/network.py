@@ -31,6 +31,7 @@ front-end methods must be called from one thread.
 
 from __future__ import annotations
 
+import json
 import queue
 import time
 from collections import deque
@@ -43,6 +44,9 @@ from ..filters.registry import (
     FilterRegistry,
     default_registry,
 )
+from ..obs.metrics import prometheus_text
+from ..obs.snapshot import STATS_SCHEMA, loads_snapshot
+from ..obs.tracing import TraceRecorder, to_chrome_trace
 from ..topology.parser import parse_config, parse_config_file
 from ..topology.spec import TopologyNode, TopologySpec
 from ..transport.channel import Channel, ChannelEnd, Inbox
@@ -64,7 +68,9 @@ from .protocol import (
     make_close_stream,
     make_new_stream,
     make_shutdown,
+    make_stats_request,
     parse_ranks_changed,
+    parse_stats_reply,
 )
 from .stream import Stream
 
@@ -96,6 +102,7 @@ class _FrontEndCore(NodeCore):
 
     def __init__(self, registry: FilterRegistry, expected_ranks: int, clock):
         super().__init__("front-end", registry, expected_ranks, None, clock)
+        self.obs_rank = 0
         self.stream_queues: Dict[int, Deque[Packet]] = {}
         self.default_queue: Deque[Packet] = deque()
         # Fault-tolerance bookkeeping surfaced through the Network API:
@@ -103,13 +110,25 @@ class _FrontEndCore(NodeCore):
         # the first observed failure (fail_fast poisoning).
         self.recovery_events: List[RanksChanged] = []
         self.first_failure: Optional[str] = None
+        # In-flight STATS_SNAPSHOT gathers: request id -> {node: metrics}.
+        self.stats_replies: Dict[int, Dict[str, dict]] = {}
 
     def deliver_local(self, packet: Packet) -> None:
+        """Root upstream sink: route to the stream's delivery queue."""
         self.stream_queues.get(packet.stream_id, self.default_queue).append(packet)
 
     def _note_ranks_changed(self, packet: Packet) -> None:
         stream_id, epoch, lost, gained = parse_ranks_changed(packet)
         self.recovery_events.append(RanksChanged(stream_id, epoch, lost, gained))
+
+    def _note_stats_reply(self, packet: Packet) -> None:
+        request_id, payload = parse_stats_reply(packet)
+        doc = loads_snapshot(payload)
+        if doc is None:
+            return
+        bucket = self.stats_replies.get(request_id)
+        if bucket is not None:
+            bucket[str(doc["node"])] = doc["metrics"]
 
     def _note_failure(self, description: str) -> None:
         if self.first_failure is None:
@@ -183,6 +202,7 @@ class Network:
         policy: str = DEGRADE,
         heartbeat_interval: float = 0.0,
         heartbeat_miss_threshold: int = 3,
+        trace: bool = False,
     ):
         """Instantiate the network.
 
@@ -216,9 +236,20 @@ class Network:
         internal processes with the given period;
         ``heartbeat_miss_threshold`` intervals of total silence
         declare a peer dead.
+
+        ``trace=True`` attaches a Figure 3 span recorder to every
+        thread-hosted process before the tree starts (equivalent to
+        calling :meth:`start_trace` immediately); export with
+        :meth:`trace_chrome_json`.
         """
         if transport not in ("local", "tcp", "process"):
             raise NetworkError(f"unknown transport {transport!r}")
+        if trace and transport == "process":
+            raise NetworkError(
+                "trace=True requires a thread-hosted transport ('local' or "
+                "'tcp'): process-transport span rings live in other "
+                "address spaces"
+            )
         if io_mode not in ("eventloop", "threads"):
             raise NetworkError(f"unknown io_mode {io_mode!r}")
         if policy not in POLICIES:
@@ -255,6 +286,8 @@ class Network:
         self._next_stream_id = FIRST_STREAM_ID
         self._streams: Dict[int, Stream] = {}
         self._down = False
+        self._tracers: List[TraceRecorder] = []
+        self._stats_seq = 0
         # Thread-hosted transports get a per-network recovery
         # coordinator (stats aggregation always; adoption brokering
         # under the repair policy).  The process transport's internal
@@ -274,6 +307,14 @@ class Network:
                 self._build_tree_process(leaves)
             else:
                 self._build_tree(leaves)
+            # Observability identities: the front-end is rank 0, comm
+            # nodes take 1..N in construction order (process transport:
+            # spawn order, passed on the command line).
+            self._core.obs_rank = 0
+            for i, node in enumerate(self._commnodes, start=1):
+                node.core.obs_rank = i
+            if trace:
+                self.start_trace()
             for node in self._commnodes:
                 node.start()
             if auto_backends:
@@ -482,6 +523,8 @@ class Network:
                     str(subtree_leaves),
                     "--name",
                     child.label,
+                    "--rank",
+                    str(len(self._procs) + 1),
                     "--io-mode",
                     self.io_mode,
                 ]
@@ -575,6 +618,7 @@ class Network:
 
     @property
     def ready(self) -> bool:
+        """True once every expected back-end has reported in."""
         return self._core.ready
 
     @property
@@ -584,6 +628,7 @@ class Network:
 
     @property
     def num_internal_nodes(self) -> int:
+        """Comm nodes between the front-end and the leaves."""
         return len(self._commnodes)
 
     # -- communicators & streams ----------------------------------------------
@@ -596,6 +641,7 @@ class Network:
         return Communicator(self, self._core.reported_ranks)
 
     def new_communicator(self, ranks: Iterable[int]) -> Communicator:
+        """A communicator over an arbitrary subset of end-points."""
         self._check_up()
         return Communicator(self, ranks)
 
@@ -680,23 +726,229 @@ class Network:
             remaining = None if deadline is None else deadline - time.monotonic()
             self._pump(self._pump_quantum(remaining))
 
-    def stats(self) -> Dict[str, Dict[str, int]]:
-        """Per-process packet/message counters (diagnostics, ablations).
+    # -- observability -----------------------------------------------------
 
-        Keys are process labels (``"front-end"`` plus each comm node's
-        topology label); values are the NodeCore counter dicts.  Only
-        thread-hosted comm nodes are visible (the process transport's
-        counters live in other address spaces).
+    @staticmethod
+    def _flatten_snapshot(snapshot: dict) -> Dict[str, object]:
+        """One process's typed snapshot as a flat series dict.
+
+        Counters and gauges become ``series-key -> number`` entries
+        (the historical ``stats()`` value shape); histograms, which
+        have structure, are grouped under a single ``"histograms"``
+        key.  See ``docs/observability.md`` for the full schema.
         """
-        out = {"front-end": dict(self._core.stats)}
+        flat: Dict[str, object] = dict(snapshot.get("counters", {}))
+        flat.update(snapshot.get("gauges", {}))
+        histograms = snapshot.get("histograms", {})
+        if histograms:
+            flat["histograms"] = dict(histograms)
+        return flat
+
+    def _expected_stats_repliers(self) -> int:
+        """Internal processes a STATS_SNAPSHOT gather should hear from.
+
+        Crashed, shutting-down and wedged nodes are excluded — the two
+        former cannot answer, and a wedged node drops input by
+        definition, so waiting for it would always cost the full
+        gather timeout.
+        """
+        if self.transport == "process":
+            return sum(1 for proc in self._procs if proc.poll() is None)
+        expected = 0
         for node in self._commnodes:
-            out[node.core.name] = dict(node.core.stats)
+            core = node.core
+            if core.crashed or core.shutting_down or core.wedged:
+                continue
+            if not node.is_alive():
+                continue
+            expected += 1
+        return expected
+
+    def _gather_snapshots(self, timeout: float, meta: dict) -> Dict[str, dict]:
+        """Broadcast a STATS_SNAPSHOT request and pump until all
+        expected replies arrive (or *timeout* elapses).
+
+        Returns ``node-identity -> metrics snapshot`` for every reply
+        received; *meta* is updated in place with gather accounting.
+        """
+        self._stats_seq += 1
+        request_id = self._stats_seq
+        expected = self._expected_stats_repliers()
+        meta.update(gathered=True, expected=expected, request_id=request_id)
+        replies = self._core.stats_replies.setdefault(request_id, {})
+        try:
+            self._core.handle_control_down(make_stats_request(request_id))
+            self._core.flush()
+            deadline = self._clock() + timeout
+            while len(replies) < expected:
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    break
+                self._pump(min(self._pump_quantum(remaining), remaining))
+        finally:
+            self._core.stats_replies.pop(request_id, None)
+        meta["replies"] = len(replies)
+        return replies
+
+    def _collect_snapshots(
+        self, gather: bool, timeout: float
+    ) -> Tuple[Dict[str, dict], dict]:
+        """Per-process typed snapshots plus gather metadata.
+
+        The front-end is always read locally.  Internal nodes are
+        gathered over the wire via ``STATS_SNAPSHOT`` when *gather* is
+        true and the network is up; thread-hosted nodes that did not
+        reply (or when not gathering) are read from their in-process
+        registries, except crashed ones — a dead node's counters are
+        deliberately absent, exactly as they would be with real
+        separate processes.
+        """
+        meta = {
+            "schema": STATS_SCHEMA,
+            "transport": self.transport,
+            "policy": self.policy,
+            "gathered": False,
+            "expected": 0,
+            "replies": 0,
+        }
+        snapshots: Dict[str, dict] = {
+            self._core.obs_identity: self._core.metrics_snapshot()
+        }
+        if gather and not self._down:
+            try:
+                snapshots.update(self._gather_snapshots(timeout, meta))
+            except Exception:
+                pass  # degraded tree mid-repair: fall back to local reads
+        for node in self._commnodes:
+            core = node.core
+            if core.obs_identity in snapshots or core.crashed:
+                continue
+            snapshots[core.obs_identity] = core.metrics_snapshot()
+        return snapshots, meta
+
+    def stats(self, gather: bool = True, timeout: float = 0.5) -> Dict[str, dict]:
+        """Per-process metric series, gathered through the tree.
+
+        With ``gather=True`` (default) the front-end broadcasts a
+        ``STATS_SNAPSHOT`` request down the control stream; every live
+        internal node replies with its serialized registry, relayed up
+        through the same links and packet buffers that carry tool
+        data.  Thread-hosted nodes that cannot answer over the wire
+        are read locally; crashed nodes are absent.  ``gather=False``
+        skips the wire round-trip entirely (thread-hosted registries
+        are read in-process; process-transport internals then do not
+        appear).
+
+        Returns one entry per process keyed ``"rank:hostname"``
+        (``"0:front-end"``, then comm nodes in construction order).
+        Each value maps counter and gauge series keys — plain names,
+        or ``name{label="v"}`` for labelled series such as per-stream
+        wave counters — to numbers, with histogram series grouped
+        under the value's ``"histograms"`` key.  Two reserved
+        top-level keys: ``"recovery"`` (network-wide recovery
+        counters) and ``"meta"`` (schema/gather accounting).
+
+        .. deprecated:: PR4
+            Each process also appears under its bare label (the
+            front-end as ``"front-end"``, comm nodes as their topology
+            label) aliasing the same value dict.  These keys will be
+            removed one release after PR 4; key on ``rank:hostname``.
+        """
+        snapshots, meta = self._collect_snapshots(gather, timeout)
+        out: Dict[str, dict] = {
+            key: self._flatten_snapshot(snap) for key, snap in snapshots.items()
+        }
+        # Deprecated bare-label aliases (same dict objects, one release).
+        out["front-end"] = out[self._core.obs_identity]
+        for node in self._commnodes:
+            identity = node.core.obs_identity
+            if identity in out:
+                out.setdefault(node.core.name, out[identity])
         if self._recovery is not None:
             # Network-wide recovery counters (nodes_failed,
             # orphans_adopted, waves_reconfigured, heartbeats_missed)
             # under a reserved pseudo-process key.
             out["recovery"] = self._recovery.snapshot()
+        out["meta"] = meta
         return out
+
+    def stats_json(self, gather: bool = True, timeout: float = 0.5) -> str:
+        """The full typed snapshot set as one JSON document.
+
+        Unlike :meth:`stats` this keeps the registry shape —
+        ``{"meta": {...}, "processes": {identity: {"counters": ...,
+        "gauges": ..., "histograms": ...}}, "recovery": {...}}`` — and
+        carries no deprecated aliases.
+        """
+        snapshots, meta = self._collect_snapshots(gather, timeout)
+        doc = {"meta": meta, "processes": snapshots}
+        if self._recovery is not None:
+            doc["recovery"] = self._recovery.snapshot()
+        return json.dumps(doc)
+
+    def stats_prometheus(self, gather: bool = True, timeout: float = 0.5) -> str:
+        """Every process's metrics as Prometheus exposition text.
+
+        Series gain a ``process`` label carrying the ``rank:hostname``
+        identity; recovery counters appear under process
+        ``"recovery"``.  Histograms are exported cumulatively with the
+        standard ``_bucket``/``_sum``/``_count`` series.
+        """
+        snapshots, meta = self._collect_snapshots(gather, timeout)
+        processes: Dict[str, dict] = dict(snapshots)
+        if self._recovery is not None:
+            processes["recovery"] = {"counters": self._recovery.snapshot()}
+        return prometheus_text(processes)
+
+    def start_trace(self, maxlen: int = 100_000) -> None:
+        """Attach a Figure 3 span recorder to every thread-hosted process.
+
+        Each recorder shares its core's clock so all spans land on one
+        time base; rings are bounded at *maxlen* spans per process.
+        Restarting an active trace raises — call :meth:`stop_trace`
+        first.  Process transport is rejected (the span rings would
+        live in other address spaces).
+        """
+        if self.transport == "process":
+            raise NetworkError(
+                "tracing requires a thread-hosted transport ('local' or 'tcp')"
+            )
+        if self._tracers and any(
+            core.tracer is not None
+            for core in [self._core] + [n.core for n in self._commnodes]
+        ):
+            raise NetworkError("trace already active; call stop_trace() first")
+        self._tracers = []
+        for core in [self._core] + [node.core for node in self._commnodes]:
+            recorder = TraceRecorder(
+                core.obs_identity, maxlen=maxlen, clock=core.clock
+            )
+            core.tracer = recorder
+            self._tracers.append(recorder)
+
+    def stop_trace(self) -> None:
+        """Detach all span recorders (recorded spans stay exportable)."""
+        for core in [self._core] + [node.core for node in self._commnodes]:
+            core.tracer = None
+
+    def trace_chrome_json(self) -> str:
+        """The recorded trace as Chrome/Perfetto trace-event JSON.
+
+        Same format as
+        :meth:`repro.sim.trace.SimTrace.to_chrome_trace`, so a live
+        run and a simulated run load side by side in one Perfetto
+        session.  Raises unless :meth:`start_trace` (or
+        ``Network(trace=True)``) ran first.
+        """
+        if not self._tracers:
+            raise NetworkError("no trace recorded: call start_trace() first")
+        return to_chrome_trace(self._tracers)
+
+    def write_trace(self, path) -> Path:
+        """Write :meth:`trace_chrome_json` to *path*; returns the Path."""
+        target = Path(path)
+        target.write_text(self.trace_chrome_json())
+        return target
 
     def recovery_events(self) -> List[RanksChanged]:
         """Wave-membership changes observed by the front-end so far.
@@ -829,6 +1081,7 @@ class Network:
 
     @property
     def is_down(self) -> bool:
+        """True after :meth:`shutdown` or a fail-fast teardown."""
         return self._down
 
     def __enter__(self) -> "Network":

@@ -24,6 +24,15 @@ id 0 as the *control stream*; packets on it drive network life-cycle:
   membership epoch after the change, ranks lost, ranks gained.  The
   front-end surfaces these so a tool can distinguish "sum over 1023
   ranks" from "sum over 1024".
+* ``TAG_STATS_REQUEST`` (downstream) — the front-end asks every
+  internal node for its metrics registry.  Payload ``"%ud"``: a
+  request id echoed in replies, letting the front-end discard stale
+  replies from an earlier gather.
+* ``TAG_STATS_REPLY`` (upstream) — one node's answer.  Payload
+  ``"%ud %s"``: the echoed request id and a JSON document in the
+  ``mrnet.stats/1`` schema (see :mod:`repro.obs.snapshot`).  Replies
+  are relayed hop by hop toward the root on the ordinary upstream
+  control path, through the same packet buffers that batch tool data.
 
 Application packets use non-negative tags; tags below
 ``FIRST_APP_TAG`` are reserved for the protocol.
@@ -44,20 +53,28 @@ __all__ = [
     "TAG_SHUTDOWN",
     "TAG_HEARTBEAT",
     "TAG_RANKS_CHANGED",
+    "TAG_STATS_REQUEST",
+    "TAG_STATS_REPLY",
     "FIRST_APP_TAG",
     "FMT_ENDPOINT_REPORT",
     "FMT_NEW_STREAM",
     "FMT_CLOSE_STREAM",
     "FMT_HEARTBEAT",
     "FMT_RANKS_CHANGED",
+    "FMT_STATS_REQUEST",
+    "FMT_STATS_REPLY",
     "make_endpoint_report",
     "make_new_stream",
     "make_close_stream",
     "make_shutdown",
     "make_heartbeat",
     "make_ranks_changed",
+    "make_stats_request",
+    "make_stats_reply",
     "parse_new_stream",
     "parse_ranks_changed",
+    "parse_stats_request",
+    "parse_stats_reply",
 ]
 
 CONTROL_STREAM_ID = 0
@@ -69,6 +86,8 @@ TAG_CLOSE_STREAM = -3
 TAG_SHUTDOWN = -4
 TAG_HEARTBEAT = -5
 TAG_RANKS_CHANGED = -6
+TAG_STATS_REQUEST = -7
+TAG_STATS_REPLY = -8
 
 FIRST_APP_TAG = 100
 
@@ -78,6 +97,8 @@ FMT_CLOSE_STREAM = "%ud"
 FMT_SHUTDOWN = "%d"
 FMT_HEARTBEAT = "%ud"
 FMT_RANKS_CHANGED = "%ud %ud %aud %aud"
+FMT_STATS_REQUEST = "%ud"
+FMT_STATS_REPLY = "%ud %s"
 
 
 def make_endpoint_report(ranks: Sequence[int]) -> Packet:
@@ -151,3 +172,33 @@ def parse_ranks_changed(
     """Unpack a ``TAG_RANKS_CHANGED`` control packet."""
     stream_id, epoch, lost, gained = packet.unpack()
     return stream_id, epoch, tuple(lost), tuple(gained)
+
+
+def make_stats_request(request_id: int) -> Packet:
+    """Build the downstream metrics-gather broadcast."""
+    return Packet(
+        CONTROL_STREAM_ID, TAG_STATS_REQUEST, FMT_STATS_REQUEST, (request_id,)
+    )
+
+
+def parse_stats_request(packet: Packet) -> int:
+    """Unpack a ``TAG_STATS_REQUEST`` control packet → request id."""
+    (request_id,) = packet.unpack()
+    return request_id
+
+
+def make_stats_reply(request_id: int, payload: str) -> Packet:
+    """Build one node's upstream metrics reply.
+
+    *payload* is the ``mrnet.stats/1`` JSON produced by
+    :func:`repro.obs.snapshot.dumps_snapshot`.
+    """
+    return Packet(
+        CONTROL_STREAM_ID, TAG_STATS_REPLY, FMT_STATS_REPLY, (request_id, payload)
+    )
+
+
+def parse_stats_reply(packet: Packet) -> Tuple[int, str]:
+    """Unpack a ``TAG_STATS_REPLY`` control packet → (request id, JSON)."""
+    request_id, payload = packet.unpack()
+    return request_id, payload

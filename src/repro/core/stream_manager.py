@@ -30,6 +30,7 @@ decode on first access via ``Packet.raw_values``.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, FrozenSet, List, Optional, Sequence
 
 from ..filters.base import FunctionFilter
@@ -40,13 +41,25 @@ from ..filters.registry import (
     FilterRegistry,
 )
 from ..filters.sync import SynchronizationFilter
+from ..obs.metrics import MetricsRegistry
 from .packet import Packet
 
 __all__ = ["StreamManager"]
 
 
 class StreamManager:
-    """Per-stream packet processing at one tree node."""
+    """Per-stream packet processing at one tree node.
+
+    When *owner* (the hosting :class:`~repro.core.commnode.NodeCore`)
+    is given, the manager binds per-stream labelled instruments into
+    the owner's metrics registry — ``waves_released{stream,filter}``
+    and the ``wave_latency_seconds{stream}`` histogram — and emits
+    ``sync_wait`` / ``filter`` trace spans whenever the owner has a
+    tracer attached.  Wave latency is measured from the first packet
+    that opens a wave to the instant the synchronization filter
+    releases it: exactly the Figure 3 synchronization-layer dwell the
+    paper's wave experiments time externally.
+    """
 
     def __init__(
         self,
@@ -56,6 +69,8 @@ class StreamManager:
         sync_filter: SynchronizationFilter,
         transform: FunctionFilter,
         down_transform: Optional[FunctionFilter] = None,
+        clock: Optional[Callable[[], float]] = None,
+        owner=None,
     ):
         self.stream_id = stream_id
         self.endpoints: FrozenSet[int] = frozenset(endpoints)
@@ -78,6 +93,32 @@ class StreamManager:
         # path: the node forwards each packet without running the wave
         # machinery at all.  Set by :meth:`create` from the filter ids.
         self.passthrough = False
+        # -- observability --------------------------------------------
+        self._owner = owner
+        self._clock = clock or (owner.clock if owner is not None else time.monotonic)
+        registry = owner.metrics if owner is not None else MetricsRegistry()
+        self._c_waves_released = registry.counter(
+            "waves_released",
+            "Waves released by this stream's synchronization filter",
+            stream=stream_id,
+            filter=transform.name,
+        )
+        self._h_wave_latency = registry.histogram(
+            "wave_latency_seconds",
+            "First packet in to wave released (sync-layer dwell)",
+            stream=stream_id,
+        )
+        registry.gauge(
+            "membership_epoch",
+            "Wave-membership generation for this stream (bumps on every "
+            "child link drop or adoption; see TAG_RANKS_CHANGED)",
+            fn=lambda: self.membership_epoch,
+            stream=stream_id,
+        )
+        # Armed by the first packet that opens a wave; cleared when a
+        # wave releases.  One attribute test per pushed packet, one
+        # clock read per wave — cheap enough to stay always-on.
+        self._wave_t0: Optional[float] = None
 
     @classmethod
     def create(
@@ -91,10 +132,9 @@ class StreamManager:
         sync_timeout: float = 0.0,
         down_transform_filter_id: int = 0,
         clock: Callable[[], float] = None,
+        owner=None,
     ) -> "StreamManager":
         """Instantiate filters from registry ids (the NEW_STREAM path)."""
-        import time
-
         clock = clock or time.monotonic
         kwargs = {}
         if sync_filter_id == SFILTER_TIMEOUT:
@@ -106,7 +146,10 @@ class StreamManager:
             if down_transform_filter_id
             else None
         )
-        manager = cls(stream_id, endpoints, child_links, sync, transform, down)
+        manager = cls(
+            stream_id, endpoints, child_links, sync, transform, down,
+            clock=clock, owner=owner,
+        )
         manager.passthrough = (
             sync_filter_id == SFILTER_DONTWAIT
             and transform_filter_id == TFILTER_NULL
@@ -120,6 +163,8 @@ class StreamManager:
         """Process one packet arriving from a child; return outputs."""
         if self.closed:
             return []
+        if self._wave_t0 is None:
+            self._wave_t0 = self._clock()
         waves = self.sync.push(link_id, packet)
         return self._run_waves(waves)
 
@@ -161,8 +206,29 @@ class StreamManager:
 
     def _run_waves(self, waves) -> List[Packet]:
         out: List[Packet] = []
+        tracer = self._owner.tracer if self._owner is not None else None
         for wave in waves:
-            out.extend(self.transform(wave, self.transform_state))
+            released = self._clock()
+            if self._wave_t0 is not None:
+                self._h_wave_latency.observe(released - self._wave_t0)
+                if tracer is not None:
+                    tracer.span(
+                        "sync_wait",
+                        self._wave_t0,
+                        released,
+                        self.stream_id,
+                        detail=self.sync.name,
+                    )
+                self._wave_t0 = None
+            if tracer is None:
+                out.extend(self.transform(wave, self.transform_state))
+            else:
+                t0 = tracer.span_start()
+                out.extend(self.transform(wave, self.transform_state))
+                tracer.span_end(
+                    "filter", t0, self.stream_id, detail=self.transform.name
+                )
+            self._c_waves_released.value += 1
         return out
 
     # -- downstream --------------------------------------------------------

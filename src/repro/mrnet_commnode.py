@@ -83,8 +83,14 @@ def run_commnode(
     accept_timeout: float = 60.0,
     io_mode: str = "eventloop",
     heartbeat: Optional["HeartbeatConfig"] = None,
+    rank: int = -1,
 ) -> int:
-    """The program body; returns a process exit code."""
+    """The program body; returns a process exit code.
+
+    ``rank`` is this process's observability rank (the launcher's
+    spawn order), used only to form the ``rank:hostname`` identity in
+    ``STATS_SNAPSHOT`` replies.
+    """
     registry = default_registry()
     for path, func, fmt in filter_specs:
         registry.load_filter_func(path, func, fmt)
@@ -96,17 +102,17 @@ def run_commnode(
     if io_mode == "eventloop":
         return _run_eventloop(
             listener, parent_addr, n_children, expected_ranks,
-            registry, name, inbox, accept_timeout, heartbeat,
+            registry, name, inbox, accept_timeout, heartbeat, rank,
         )
     return _run_threads(
         listener, parent_addr, n_children, expected_ranks,
-        registry, name, inbox, accept_timeout, heartbeat,
+        registry, name, inbox, accept_timeout, heartbeat, rank,
     )
 
 
 def _run_eventloop(
     listener, parent_addr, n_children, expected_ranks,
-    registry, name, inbox, accept_timeout, heartbeat=None,
+    registry, name, inbox, accept_timeout, heartbeat=None, rank=-1,
 ) -> int:
     """Selector-driven body: every socket on one loop, zero I/O threads."""
     from .transport.eventloop import EventLoop
@@ -119,6 +125,7 @@ def _run_eventloop(
     core = NodeCore(
         name, registry, expected_ranks, parent=parent_end, inbox=inbox
     )
+    core.obs_rank = rank
     if heartbeat is not None:
         core.configure_failure(heartbeat=heartbeat)
     try:
@@ -135,7 +142,7 @@ def _run_eventloop(
 
 def _run_threads(
     listener, parent_addr, n_children, expected_ranks,
-    registry, name, inbox, accept_timeout, heartbeat=None,
+    registry, name, inbox, accept_timeout, heartbeat=None, rank=-1,
 ) -> int:
     """Legacy body: reader thread per link, inbox drained on a timer."""
     parent_end = tcp_connect_retry(
@@ -144,6 +151,7 @@ def _run_threads(
     core = NodeCore(
         name, registry, expected_ranks, parent=parent_end, inbox=inbox
     )
+    core.obs_rank = rank
     if heartbeat is not None:
         core.configure_failure(heartbeat=heartbeat)
     try:
@@ -208,6 +216,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="custom filter to load (repeatable; order defines ids)",
     )
     parser.add_argument("--name", default="commnode")
+    parser.add_argument(
+        "--rank", type=int, default=-1,
+        help="observability rank used in STATS_SNAPSHOT identities",
+    )
     parser.add_argument("--accept-timeout", type=float, default=60.0)
     parser.add_argument(
         "--io-mode", choices=("eventloop", "threads"), default="eventloop",
@@ -243,6 +255,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         accept_timeout=args.accept_timeout,
         io_mode=args.io_mode,
         heartbeat=heartbeat,
+        rank=args.rank,
     )
 
 

@@ -48,6 +48,7 @@ import threading
 import time
 from typing import Deque, Dict, List, Optional
 
+from ..obs.metrics import MetricsRegistry, StatsView
 from .tcp import _alloc_link_id
 
 __all__ = ["EventLoop", "SelectorLink", "SendQueueFull", "SEND_QUEUE_MAX_BYTES"]
@@ -169,6 +170,14 @@ class SelectorLink:
         """Bytes currently queued toward the socket."""
         return self._out_nbytes
 
+    def link_metrics(self) -> dict:
+        """Point-in-time transport numbers for this link (JSON-able)."""
+        return {
+            "link_id": self.link_id,
+            "send_backlog_bytes": self._out_nbytes,
+            "closed": self._closed,
+        }
+
     def close(self) -> None:
         if self._closed:
             return
@@ -216,13 +225,21 @@ class EventLoop:
         self.clock = clock or time.monotonic
         self.core = None
         self.iterations = 0
-        self.stats: Dict[str, int] = {
-            "frames_in": 0,
-            "bytes_in": 0,
-            "writes": 0,
-            "bytes_out": 0,
-            "wakeups": 0,
-        }
+        # Typed transport registry behind the legacy ``stats`` mapping;
+        # the hot read/write paths bump pre-bound counters.
+        self.metrics = MetricsRegistry()
+        self._c_frames_in = self.metrics.counter("frames_in", "Framed messages read off sockets")
+        self._c_bytes_in = self.metrics.counter("bytes_in", "Bytes read off sockets")
+        self._c_writes = self.metrics.counter("writes", "sendmsg calls issued")
+        self._c_bytes_out = self.metrics.counter("bytes_out", "Bytes written to sockets")
+        self._c_wakeups = self.metrics.counter("wakeups", "Wakeup-pipe interrupts handled")
+        self.metrics.gauge("links_registered", "Sockets currently owned by this loop", fn=lambda: len(self._links))
+        self.metrics.gauge(
+            "send_backlog_bytes",
+            "Bytes parked in all link send queues",
+            fn=lambda: sum(l._out_nbytes for l in self._links.values()),
+        )
+        self.stats = StatsView(self.metrics)
         self._selector = selectors.DefaultSelector()
         self._links: Dict[int, SelectorLink] = {}
         self._thread_id: Optional[int] = None
@@ -266,9 +283,25 @@ class EventLoop:
         self.wake()
 
     def bind(self, core) -> None:
-        """Attach the NodeCore this loop drives; hooks its inbox wakeup."""
+        """Attach the NodeCore this loop drives; hooks its inbox wakeup.
+
+        Also registers this loop's transport metrics as an extra
+        snapshot provider on the core (series gain a ``loop_`` prefix),
+        so one ``STATS_SNAPSHOT`` reply carries both layers.
+        """
         self.core = core
         core.inbox.on_deliver = self.wake
+        extra = getattr(core, "extra_metrics", None)
+        if extra is not None:
+            extra.append(self._prefixed_snapshot)
+
+    def _prefixed_snapshot(self) -> dict:
+        """This loop's registry snapshot with every key ``loop_``-prefixed."""
+        snap = self.metrics.snapshot()
+        return {
+            kind: {f"loop_{key}": value for key, value in series.items()}
+            for kind, series in snap.items()
+        }
 
     def wake(self) -> None:
         """Interrupt a blocked ``select`` (thread-safe, coalescing)."""
@@ -380,7 +413,7 @@ class EventLoop:
         return min(max(deadline - self.clock(), 0.0), self.IDLE_TIMEOUT)
 
     def _on_wakeup(self) -> None:
-        self.stats["wakeups"] += 1
+        self._c_wakeups.value += 1
         with self._wake_lock:
             self._wake_pending = False
             deferred, self._deferred_writes = self._deferred_writes, []
@@ -427,7 +460,7 @@ class EventLoop:
         if not data:
             self._link_dead(link)
             return True
-        self.stats["bytes_in"] += len(data)
+        self._c_bytes_in.value += len(data)
         rbuf = link._rbuf
         rbuf += data
         offset = 0
@@ -449,7 +482,7 @@ class EventLoop:
                 frame = bytes(view[offset + _LEN.size : end])
                 offset = end
                 self.core.handle_payload(link.link_id, frame)
-                self.stats["frames_in"] += 1
+                self._c_frames_in.value += 1
         finally:
             view.release()
             if offset:
@@ -489,8 +522,8 @@ class EventLoop:
                 sent = link._sock.sendmsg(bufs)
             except BlockingIOError:
                 return
-            self.stats["writes"] += 1
-            self.stats["bytes_out"] += sent
+            self._c_writes.value += 1
+            self._c_bytes_out.value += sent
             link._out_nbytes -= sent
             while sent:
                 head = out[0]

@@ -78,7 +78,12 @@ def sendmsg_all(sock: socket.socket, buffers) -> None:
 
 
 class TcpChannelEnd:
-    """One end of a TCP link, presenting the ChannelEnd interface."""
+    """One end of a TCP link, presenting the ChannelEnd interface.
+
+    Keeps plain-int transport counters (frames/bytes in each
+    direction), exposed via :meth:`link_metrics` — integer adds on the
+    send/read paths, no registry lookups on the hot path.
+    """
 
     def __init__(self, sock: socket.socket, link_id: int, inbox: Inbox):
         self.link_id = link_id
@@ -86,6 +91,10 @@ class TcpChannelEnd:
         self._inbox = inbox
         self._send_lock = threading.Lock()
         self._closed = False
+        self.frames_out = 0
+        self.bytes_out = 0
+        self.frames_in = 0
+        self.bytes_in = 0
         # Cleared to stall the reader between frames (fault injection:
         # a consumer that stops draining, so peer send queues back up).
         self._reading = threading.Event()
@@ -112,9 +121,22 @@ class TcpChannelEnd:
         with self._send_lock:
             try:
                 sendmsg_all(self._sock, (_LEN.pack(len(payload)), payload))
+                self.frames_out += 1
+                self.bytes_out += len(payload) + _LEN.size
             except OSError as exc:
                 self._closed = True
                 raise ConnectionError(str(exc)) from exc
+
+    def link_metrics(self) -> dict:
+        """Point-in-time transport numbers for this link (JSON-able)."""
+        return {
+            "link_id": self.link_id,
+            "frames_in": self.frames_in,
+            "bytes_in": self.bytes_in,
+            "frames_out": self.frames_out,
+            "bytes_out": self.bytes_out,
+            "closed": self._closed,
+        }
 
     def close(self) -> None:
         if not self._closed:
@@ -155,6 +177,8 @@ class TcpChannelEnd:
             payload = self._read_exact(length)
             if payload is None:
                 break
+            self.frames_in += 1
+            self.bytes_in += length + _LEN.size
             self._inbox._deliver(self.link_id, payload)
         self._closed = True
         self._inbox._deliver(self.link_id, None)

@@ -1,0 +1,160 @@
+"""Documentation lint: intra-doc links and public-API docstrings.
+
+Two checks, both cheap enough for every CI run:
+
+1. **Links** — every relative Markdown link in ``README.md`` and
+   ``docs/*.md`` must resolve to a file in the repo, and a ``#anchor``
+   fragment must match a heading in the target document (GitHub's
+   slug rules: lowercase, punctuation stripped, spaces to dashes).
+   External (``http(s)://``, ``mailto:``) links are not fetched.
+
+2. **Docstrings** — every public module, class, function and method in
+   the modules listed in ``DOCSTRING_MODULES`` (the observability
+   surface this repo documents in ``docs/observability.md`` and
+   ``docs/api.md``) must carry a docstring.  "Public" means the name
+   and every enclosing scope avoid a leading underscore; ``__init__``
+   is exempt when its class is documented.
+
+Usage::
+
+    python tools/check_docs.py
+
+Exits 1 with one line per violation, 0 when clean.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Markdown files (repo-relative) whose relative links must resolve.
+DOC_FILES = [
+    "README.md",
+    "ROADMAP.md",
+    *sorted(
+        str(p.relative_to(REPO_ROOT)) for p in (REPO_ROOT / "docs").glob("*.md")
+    ),
+]
+
+#: Modules (repo-relative) whose public API must be docstring-complete.
+DOCSTRING_MODULES = [
+    "src/repro/obs/__init__.py",
+    "src/repro/obs/metrics.py",
+    "src/repro/obs/snapshot.py",
+    "src/repro/obs/tracing.py",
+    "src/repro/core/network.py",
+]
+
+# [text](target) — excludes images (![alt](...)) via the lookbehind.
+_LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading → anchor slug transform (close enough: strip
+    Markdown emphasis/code ticks, lowercase, drop punctuation, dash
+    the spaces)."""
+    text = re.sub(r"[`*_]", "", heading.strip())
+    text = re.sub(r"[^\w\- ]", "", text.lower())
+    return text.replace(" ", "-")
+
+
+def heading_anchors(markdown: str) -> set:
+    """All anchor slugs a Markdown document exposes."""
+    body = _CODE_FENCE_RE.sub("", markdown)
+    return {github_slug(m.group(1)) for m in _HEADING_RE.finditer(body)}
+
+
+def iter_links(markdown: str) -> Iterator[str]:
+    """Every non-image link target, with code fences masked out."""
+    body = _CODE_FENCE_RE.sub("", markdown)
+    for m in _LINK_RE.finditer(body):
+        yield m.group(1)
+
+
+def check_links(repo: Path) -> List[str]:
+    """Broken-link report lines for every tracked doc file."""
+    problems: List[str] = []
+    for rel in DOC_FILES:
+        doc = repo / rel
+        if not doc.exists():
+            continue
+        text = doc.read_text()
+        for target in iter_links(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, anchor = target.partition("#")
+            if path_part:
+                resolved = (doc.parent / path_part).resolve()
+                if not resolved.exists():
+                    problems.append(f"{rel}: broken link -> {target}")
+                    continue
+                if anchor and resolved.suffix == ".md":
+                    if github_slug(anchor) not in heading_anchors(
+                        resolved.read_text()
+                    ):
+                        problems.append(f"{rel}: missing anchor -> {target}")
+            elif anchor:  # same-document fragment
+                if github_slug(anchor) not in heading_anchors(text):
+                    problems.append(f"{rel}: missing anchor -> {target}")
+    return problems
+
+
+def _public_defs(
+    tree: ast.Module,
+) -> Iterator[Tuple[str, ast.AST]]:
+    """Yield (dotted name, node) for every public def/class, including
+    methods of public classes."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if node.name.startswith("_"):
+                continue
+            yield node.name, node
+            if isinstance(node, ast.ClassDef):
+                for sub in node.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        if sub.name.startswith("_"):
+                            continue
+                        yield f"{node.name}.{sub.name}", sub
+
+
+def check_docstrings(repo: Path) -> List[str]:
+    """Missing-docstring report lines for the listed modules."""
+    problems: List[str] = []
+    for rel in DOCSTRING_MODULES:
+        path = repo / rel
+        if not path.exists():
+            problems.append(f"{rel}: module listed in check_docs.py is missing")
+            continue
+        tree = ast.parse(path.read_text(), filename=str(path))
+        if ast.get_docstring(tree) is None:
+            problems.append(f"{rel}: missing module docstring")
+        for name, node in _public_defs(tree):
+            if ast.get_docstring(node) is None:
+                problems.append(
+                    f"{rel}:{node.lineno}: missing docstring on {name}"
+                )
+    return problems
+
+
+def main() -> int:
+    """Run both checks; print violations; exit non-zero on any."""
+    problems = check_links(REPO_ROOT) + check_docstrings(REPO_ROOT)
+    for line in problems:
+        print(line)
+    if problems:
+        print(f"FAIL: {len(problems)} documentation problem(s)", file=sys.stderr)
+        return 1
+    print(f"OK: links + docstrings clean across {len(DOC_FILES)} docs, "
+          f"{len(DOCSTRING_MODULES)} modules")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
