@@ -11,10 +11,15 @@ The committed file records per-mode references under
 ``reference_speedups`` (smoke runs use far fewer rounds and a smaller
 tree, so their ratios are not comparable to full-mode ones).
 
+With ``--fresh-startup`` the same ratio gate also covers the
+bench_startup.py scenarios (recursive-instantiation speedup and
+shm-vs-loopback link throughput) against ``BENCH_startup.json``.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py \
         --fresh /tmp/bench_dataplane_smoke.json \
+        [--fresh-startup /tmp/bench_startup_smoke.json] \
         [--committed BENCH_dataplane.json] [--tolerance 0.3]
 """
 
@@ -28,6 +33,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
 GUARDED_SCENARIOS = ("relay_hop", "tree_fanin")
+STARTUP_SCENARIOS = ("startup_64leaf_depth3", "shm_relay_hop")
 
 
 def reference_speedups(committed: dict, mode: str) -> dict:
@@ -102,11 +108,50 @@ def check_obs_overhead(fresh: dict, committed: dict) -> bool:
     return failed
 
 
+def check_speedups(
+    fresh: dict, committed: dict, scenarios, tolerance: float
+) -> bool:
+    """Ratio-vs-committed gate shared by both benchmark files.
+
+    Returns True when any guarded scenario's fresh speedup drops more
+    than *tolerance* below the committed reference for the same mode.
+    """
+    reference = reference_speedups(committed, fresh.get("mode", "full"))
+    failed = False
+    print(f"{'scenario':<22} {'committed':>10} {'fresh':>10} {'floor':>10}")
+    for name in scenarios:
+        ref = reference.get(name)
+        row = fresh.get("results", {}).get(name)
+        if ref is None or row is None or "speedup" not in row:
+            # Unknown or non-speedup entries (recovery-latency rows,
+            # scenarios added after the baseline was committed) are
+            # not comparable; skip rather than crash.
+            print(f"{name:<22} {'-':>10} {'-':>10} {'-':>10}  skipped")
+            continue
+        got = row["speedup"]
+        floor = (1.0 - tolerance) * ref
+        status = "ok" if got >= floor else "REGRESSED"
+        print(f"{name:<22} {ref:>9.2f}x {got:>9.2f}x {floor:>9.2f}x  {status}")
+        failed |= got < floor
+    return failed
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--fresh", type=Path, required=True)
     parser.add_argument(
         "--committed", type=Path, default=REPO_ROOT / "BENCH_dataplane.json"
+    )
+    parser.add_argument(
+        "--fresh-startup",
+        type=Path,
+        default=None,
+        help="fresh bench_startup.py output to gate (omit to skip)",
+    )
+    parser.add_argument(
+        "--committed-startup",
+        type=Path,
+        default=REPO_ROOT / "BENCH_startup.json",
     )
     parser.add_argument(
         "--tolerance",
@@ -124,25 +169,19 @@ def main(argv=None) -> int:
 
     fresh = json.loads(args.fresh.read_text())
     committed = json.loads(args.committed.read_text())
-    reference = reference_speedups(committed, fresh.get("mode", "full"))
 
-    failed = False
-    print(f"{'scenario':<20} {'committed':>10} {'fresh':>10} {'floor':>10}")
-    for name in GUARDED_SCENARIOS:
-        ref = reference.get(name)
-        row = fresh.get("results", {}).get(name)
-        if ref is None or row is None or "speedup" not in row:
-            # Unknown or non-speedup entries (recovery-latency rows,
-            # scenarios added after the baseline was committed) are
-            # not comparable; skip rather than crash.
-            print(f"{name:<20} {'-':>10} {'-':>10} {'-':>10}  skipped")
-            continue
-        got = row["speedup"]
-        floor = (1.0 - args.tolerance) * ref
-        status = "ok" if got >= floor else "REGRESSED"
-        print(f"{name:<20} {ref:>9.2f}x {got:>9.2f}x {floor:>9.2f}x  {status}")
-        if got < floor:
-            failed = True
+    failed = check_speedups(fresh, committed, GUARDED_SCENARIOS, args.tolerance)
+
+    if args.fresh_startup is not None:
+        if args.committed_startup.exists():
+            failed |= check_speedups(
+                json.loads(args.fresh_startup.read_text()),
+                json.loads(args.committed_startup.read_text()),
+                STARTUP_SCENARIOS,
+                args.tolerance,
+            )
+        else:
+            print("startup baseline absent; skipping startup gates")
 
     if check_heartbeat_overhead(fresh, committed, args.hb_ceiling):
         print("FAIL: heartbeat overhead exceeds ceiling", file=sys.stderr)
@@ -151,7 +190,7 @@ def main(argv=None) -> int:
         print("FAIL: observability overhead exceeds ceiling", file=sys.stderr)
         failed = True
     if failed:
-        print("FAIL: data-plane speedup regressed >30% vs committed baseline",
+        print("FAIL: benchmark speedup regressed >30% vs committed baseline",
               file=sys.stderr)
         return 1
     print("OK")

@@ -234,6 +234,13 @@ class BackEnd:
         self.shut_down = True
         for stream in self._streams.values():
             stream.closed = True
+        # Release the uplink eagerly: a shared-memory end holds kernel
+        # segments that only disappear when some process closes them,
+        # and after SHUTDOWN nobody else will.
+        try:
+            self._parent.close()
+        except Exception:
+            pass
 
     def _send_upstream(self, packet: Packet) -> None:
         self._check_sendable()

@@ -52,7 +52,7 @@ import logging
 import queue
 import threading
 import time
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..filters.registry import FilterRegistry
 from .batching import (
@@ -71,6 +71,7 @@ from .failure import DEGRADE, REPAIR, HeartbeatConfig
 from .packet import Packet
 from .protocol import (
     CONTROL_STREAM_ID,
+    TAG_ADDR_REPORT,
     TAG_CLOSE_STREAM,
     TAG_ENDPOINT_REPORT,
     TAG_HEARTBEAT,
@@ -157,7 +158,7 @@ class NodeCore:
         self._hb_peers: set[int] = set()  # links whose peer heartbeats
         self._hb_seq = 0
         self._last_beat: Optional[float] = None
-        self._pending_children: List[ChannelEnd] = []
+        self._pending_children: List[Tuple[ChannelEnd, bool]] = []
         self._pending_lock = threading.Lock()
         # -- observability (see repro.obs) ----------------------------
         # Typed registry behind the legacy ``stats`` mapping.  Hot-path
@@ -196,6 +197,17 @@ class NodeCore:
         )
         self.metrics.gauge("streams_open", "Streams with live state at this node", fn=lambda: len(self.streams))
         self.metrics.gauge("children_connected", "Downstream links currently attached", fn=lambda: len(self.children))
+        # Per-transport link census: every ChannelEnd-like object
+        # advertises a ``transport_kind`` class attribute ("channel",
+        # "tcp" or "shm"); snapshots then show which links negotiated
+        # the shared-memory upgrade vs fell back to TCP.
+        for _kind in ("channel", "tcp", "shm"):
+            self.metrics.gauge(
+                "links",
+                "Attached links (parent + children) by transport kind",
+                fn=(lambda k=_kind: self._count_transport(k)),
+                kind=_kind,
+            )
         self.stats = StatsView(self.metrics)
         #: Extra snapshot providers merged into :meth:`metrics_snapshot`
         #: (the event loop registers its transport registry here).
@@ -240,16 +252,19 @@ class NodeCore:
 
     # -- adoption admission (tree repair) ---------------------------------
 
-    def offer_child(self, end: ChannelEnd) -> None:
+    def offer_child(self, end: ChannelEnd, adopted: bool = True) -> None:
         """Queue a new child connection for admission (thread-safe).
 
         Used by the recovery coordinator to hand an orphan's uplink to
-        its adopting ancestor: the attachment itself happens on the
-        adopter's own processing thread (see
+        its adopting ancestor, and by off-thread acceptors (concurrent
+        back-end attaches) to hand over fresh links: the attachment
+        itself happens on the owner's own processing thread (see
         :meth:`admit_pending_children`), never concurrently with it.
+        ``adopted=False`` marks an ordinary first-time connection so it
+        is not counted as an orphan adoption.
         """
         with self._pending_lock:
-            self._pending_children.append(end)
+            self._pending_children.append((end, adopted))
         wake = self.inbox.on_deliver
         if wake is not None:
             wake()
@@ -260,10 +275,13 @@ class NodeCore:
             return
         with self._pending_lock:
             pending, self._pending_children = self._pending_children, []
-        for end in pending:
+        for end, adopted in pending:
             self.add_child(end)
-            self._c_orphans_adopted.value += 1
-            log.info("%s: adopted orphan link %d", self.name, end.link_id)
+            if adopted:
+                self._c_orphans_adopted.value += 1
+                log.info(
+                    "%s: adopted orphan link %d", self.name, end.link_id
+                )
 
     @property
     def parent_link_id(self) -> Optional[int]:
@@ -280,6 +298,18 @@ class NodeCore:
     def obs_identity(self) -> str:
         """The ``rank:hostname`` key this node reports under."""
         return f"{self.obs_rank}:{self.name}"
+
+    def _count_transport(self, kind: str) -> int:
+        """Live links (parent + children) using transport *kind*."""
+        count = sum(
+            1
+            for end in self.children.values()
+            if getattr(end, "transport_kind", "channel") == kind
+        )
+        if self.parent is not None:
+            if getattr(self.parent, "transport_kind", "channel") == kind:
+                count += 1
+        return count
 
     def metrics_snapshot(self) -> dict:
         """This process's full metrics snapshot (JSON-able).
@@ -454,6 +484,14 @@ class NodeCore:
             self._c_stats_replies_relayed.value += 1
             if self.parent is None:
                 self._note_stats_reply(packet)
+            else:
+                self._queue_up(packet)
+        elif packet.tag == TAG_ADDR_REPORT:
+            # Recursive instantiation: a descendant announcing its
+            # listener address to the front-end (which overrides
+            # _note_addr_report to record it).
+            if self.parent is None:
+                self._note_addr_report(packet)
             else:
                 self._queue_up(packet)
         else:
@@ -641,6 +679,11 @@ class NodeCore:
     def _note_stats_reply(self, packet: Packet) -> None:
         """Root-level sink for ``TAG_STATS_REPLY`` packets; the
         front-end overrides this to collect gathered snapshots."""
+
+    def _note_addr_report(self, packet: Packet) -> None:
+        """Root-level sink for ``TAG_ADDR_REPORT`` packets; the
+        front-end overrides this to record listener addresses during
+        recursive instantiation."""
 
     # -- liveness (heartbeats) ---------------------------------------------
 

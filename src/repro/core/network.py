@@ -32,7 +32,9 @@ front-end methods must be called from one thread.
 from __future__ import annotations
 
 import json
+import os
 import queue
+import threading
 import time
 from collections import deque
 from pathlib import Path
@@ -69,6 +71,7 @@ from .protocol import (
     make_new_stream,
     make_shutdown,
     make_stats_request,
+    parse_addr_report,
     parse_ranks_changed,
     parse_stats_reply,
 )
@@ -112,6 +115,13 @@ class _FrontEndCore(NodeCore):
         self.first_failure: Optional[str] = None
         # In-flight STATS_SNAPSHOT gathers: request id -> {node: metrics}.
         self.stats_replies: Dict[int, Dict[str, dict]] = {}
+        # Recursive instantiation: internal nodes announce their
+        # listener addresses up the tree (label -> (host, port)).
+        self.addr_reports: Dict[str, Tuple[str, int]] = {}
+
+    def _note_addr_report(self, packet: Packet) -> None:
+        label, host, port = parse_addr_report(packet)
+        self.addr_reports[label] = (host, port)
 
     def deliver_local(self, packet: Packet) -> None:
         """Root upstream sink: route to the stream's delivery queue."""
@@ -139,6 +149,64 @@ class _FrontEndCore(NodeCore):
         super()._handle_link_closed(link_id)
 
 
+def _read_listening_line(proc, timeout: float) -> Optional[str]:
+    """Read a child's ``LISTENING <port>`` announcement with a deadline.
+
+    A child that dies before announcing (bad import, port exhaustion)
+    must not hang instantiation on a pipe read forever — ``None``
+    comes back on timeout, EOF, or child death, and the caller raises
+    with the captured stderr.  Reads are single bytes so nothing past
+    the announcement line is consumed (the drain thread owns the pipe
+    afterwards).
+    """
+    import select
+
+    fd = proc.stdout.fileno()
+    deadline = time.monotonic() + timeout
+    buf = bytearray()
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            return None
+        try:
+            ready, _, _ = select.select([fd], [], [], min(remaining, 0.1))
+        except (OSError, ValueError):
+            return None
+        if not ready:
+            if proc.poll() is not None:
+                return None
+            continue
+        chunk = os.read(fd, 1)
+        if not chunk:
+            return None
+        if chunk == b"\n":
+            return buf.decode("ascii", "replace").strip()
+        buf += chunk
+
+
+def _spawn_drain(stream, tail: Deque[str], name: str) -> None:
+    """Drain a child pipe forever, retaining a bounded tail.
+
+    Without this, a child that logs after bootstrap eventually fills
+    the pipe buffer and blocks inside its event loop; with it, the
+    last lines are available for start-up error diagnostics.
+    """
+
+    def drain():
+        try:
+            for raw in iter(stream.readline, b""):
+                tail.append(raw.decode("utf-8", "replace").rstrip())
+        except (OSError, ValueError):
+            pass
+        finally:
+            try:
+                stream.close()
+            except Exception:
+                pass
+
+    threading.Thread(target=drain, name=f"drain-{name}", daemon=True).start()
+
+
 class _LeafSlot:
     """A reserved attachment point for one back-end (mode 2 support).
 
@@ -154,14 +222,17 @@ class _LeafSlot:
         parent_end: Optional[ChannelEnd] = None,
         inbox: Optional[Inbox] = None,
         parent_addr: Optional[tuple] = None,
+        shm: bool = False,
     ):
         self.rank = rank
         self.label = label
         self.parent_end = parent_end
         self.inbox = inbox
         self.parent_addr = parent_addr
+        self.shm = shm  # offer the shared-memory upgrade at attach
         self.backend: Optional[BackEnd] = None
         self.topo_key: Optional[tuple] = None  # set for thread-hosted nets
+        self.claimed = False  # attach_backend in flight (thread safety)
 
     def connect(self) -> tuple:
         """Materialize (parent_end, inbox) for this slot.
@@ -179,7 +250,8 @@ class _LeafSlot:
 
         self.inbox = Inbox()
         self.parent_end = tcp_connect_retry(
-            self.parent_addr, self.inbox, attempts=6, timeout=5.0
+            self.parent_addr, self.inbox, attempts=6, timeout=5.0,
+            shm=self.shm,
         )
         return self.parent_end, self.inbox
 
@@ -203,6 +275,9 @@ class Network:
         heartbeat_interval: float = 0.0,
         heartbeat_miss_threshold: int = 3,
         trace: bool = False,
+        instantiation: str = "recursive",
+        shm: str = "auto",
+        spawn: str = "fork",
     ):
         """Instantiate the network.
 
@@ -241,6 +316,31 @@ class Network:
         thread-hosted process before the tree starts (equivalent to
         calling :meth:`start_trace` immediately); export with
         :meth:`trace_chrome_json`.
+
+        The remaining parameters shape *process-transport* start-up
+        (paper §2.5, Figure 5) and are ignored by thread-hosted
+        transports:
+
+        * ``instantiation="recursive"`` (default) hands each direct
+          child of the front-end its whole subtree spec; every
+          internal process then creates its own children, so the tree
+          builds in O(depth) spawn rounds and back-end attach points
+          arrive via ``TAG_ADDR_REPORT`` control packets.
+          ``"sequential"`` restores the one-process-at-a-time
+          front-end spawn loop (mode 1's serial strawman — the
+          paper's Figure 7a baseline).
+        * ``shm="auto"`` (default) upgrades links whose two endpoints
+          share a *topology host* to the shared-memory ring transport
+          (:mod:`repro.transport.shm`); with the default generators
+          every process gets its own synthetic host, so nothing
+          upgrades unless the topology expresses co-location.
+          ``"off"`` keeps every link on TCP.  Negotiation failure
+          always falls back to TCP transparently.
+        * ``spawn="fork"`` (default) lets recursive instantiation
+          ``os.fork()`` grandchildren from the already-imported
+          interpreter; ``"popen"`` execs each one as a fresh
+          ``mrnet_commnode`` with its subtree spec on the command
+          line.
         """
         if transport not in ("local", "tcp", "process"):
             raise NetworkError(f"unknown transport {transport!r}")
@@ -260,9 +360,19 @@ class Network:
                 "('local' or 'tcp'): separate OS processes have no "
                 "in-process recovery coordinator"
             )
+        if instantiation not in ("recursive", "sequential"):
+            raise NetworkError(f"unknown instantiation {instantiation!r}")
+        if shm not in ("auto", "off"):
+            raise NetworkError(f"unknown shm mode {shm!r}")
+        if spawn not in ("fork", "popen"):
+            raise NetworkError(f"unknown spawn mode {spawn!r}")
         self.transport = transport
         self.io_mode = io_mode
         self.policy = policy
+        self.instantiation = instantiation
+        self.shm = shm
+        self.spawn = spawn
+        self._startup_timeout = startup_timeout
         self.heartbeat = HeartbeatConfig(
             interval=heartbeat_interval, miss_threshold=heartbeat_miss_threshold
         )
@@ -286,6 +396,10 @@ class Network:
         self._next_stream_id = FIRST_STREAM_ID
         self._streams: Dict[int, Stream] = {}
         self._down = False
+        # attach_backend claim serialization (mode-2 callers may race
+        # from several threads); the pump itself stays single-threaded.
+        self._attach_lock = threading.Lock()
+        self._home_thread = threading.get_ident()
         self._tracers: List[TraceRecorder] = []
         self._stats_seq = 0
         # Thread-hosted transports get a per-network recovery
@@ -304,7 +418,10 @@ class Network:
         )
         try:
             if transport == "process":
-                self._build_tree_process(leaves)
+                if instantiation == "recursive":
+                    self._build_tree_recursive(leaves)
+                else:
+                    self._build_tree_process(leaves)
             else:
                 self._build_tree(leaves)
             # Observability identities: the front-end is rank 0, comm
@@ -318,8 +435,15 @@ class Network:
             for node in self._commnodes:
                 node.start()
             if auto_backends:
-                for rank in sorted(self._slots):
-                    self.attach_backend(rank)
+                if (
+                    transport == "process"
+                    and instantiation == "recursive"
+                    and len(self._slots) > 1
+                ):
+                    self._attach_all_backends()
+                else:
+                    for rank in sorted(self._slots):
+                        self.attach_backend(rank)
                 self.wait_for_ready(startup_timeout)
         except BaseException:
             # Failed startup must not leak threads/processes/sockets —
@@ -537,17 +661,37 @@ class Network:
                     ]
                 cmd += filter_args
                 proc = subprocess.Popen(
-                    cmd, stdout=subprocess.PIPE, text=True
+                    cmd,
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.PIPE,
+                    bufsize=0,
                 )
-                line = proc.stdout.readline().strip()
-                if not line.startswith("LISTENING "):
+                proc.label = child.label
+                proc.stderr_tail = deque(maxlen=20)
+                _spawn_drain(
+                    proc.stderr, proc.stderr_tail, f"stderr-{child.label}"
+                )
+                self._procs.append(proc)
+                line = _read_listening_line(proc, timeout=30.0)
+                if line is None or not line.startswith("LISTENING "):
                     proc.kill()
+                    try:
+                        proc.wait(timeout=2.0)
+                    except Exception:
+                        pass
+                    time.sleep(0.05)  # let the stderr drain catch up
                     raise NetworkError(
                         f"mrnet_commnode {child.label} failed to start: "
-                        f"{line!r}"
+                        f"{line!r} ({self._proc_diagnostics()})"
                     )
+                # Bootstrap chatter after the announcement must keep
+                # flowing somewhere or the child eventually blocks on
+                # a full pipe; nobody reads it, so discard via a
+                # bounded drain.
+                _spawn_drain(
+                    proc.stdout, deque(maxlen=5), f"stdout-{child.label}"
+                )
                 addr_of[child.key] = ("127.0.0.1", int(line.split()[1]))
-                self._procs.append(proc)
                 queue_.append(child)
 
         # Accept the root's direct children (internal processes connect
@@ -560,40 +704,242 @@ class Network:
         for _ in range(internal_children):
             self._core.add_child(self._listener.accept(timeout=30))
 
-    def _accept_root_leaf(self) -> None:
-        """Accept one direct-leaf connection at the front-end."""
-        self._core.add_child(self._listener.accept(timeout=30))
+    def _build_tree_recursive(self, leaves: List[TopologyNode]) -> None:
+        """Parallel recursive instantiation (paper §2.5, Figure 5).
+
+        The front-end launches only the root's direct internal
+        children, handing each its *entire subtree* as a JSON spec on
+        the command line; every internal process then creates its own
+        children concurrently (``mrnet_commnode --subtree``), so the
+        tree builds in O(depth) sequential spawn rounds instead of the
+        sequential builder's O(internal nodes).
+
+        The front-end cannot read grandchildren's listener ports from
+        their stdout (they are other processes' children), so every
+        internal node announces ``label host port`` up the data plane
+        via ``TAG_ADDR_REPORT``; instantiation completes when all
+        announcements arrived, and back-end slots aim at their
+        parent's announced address.
+        """
+        import subprocess
+        import sys
+
+        from ..mrnet_commnode import RecursiveOpts, subtree_spec
+        from ..transport.tcp import TcpListener
+
+        rank_of = {leaf.key: i for i, leaf in enumerate(leaves)}
+        self._listener = TcpListener(self._core.inbox)
+        root = self.topology.root
+
+        # Breadth-first observability ranks: identical numbering to
+        # the sequential builder's spawn order, so process identities
+        # are stable across instantiation modes.
+        obs_rank: Dict[tuple, int] = {}
+        expected_labels = set()
+        bfs: Deque[TopologyNode] = deque([root])
+        while bfs:
+            node = bfs.popleft()
+            for child in node.children:
+                if not child.is_leaf:
+                    obs_rank[child.key] = len(obs_rank) + 1
+                    expected_labels.add(child.label)
+                    bfs.append(child)
+
+        opts = RecursiveOpts(
+            filter_specs=self.filter_specs,
+            io_mode=self.io_mode,
+            heartbeat=self.heartbeat,
+            shm=self.shm,
+            spawn=self.spawn,
+        )
+        direct_internal = [c for c in root.children if not c.is_leaf]
+        for child in direct_internal:
+            cmd = [
+                sys.executable,
+                "-m",
+                "repro.mrnet_commnode",
+                "--parent",
+                f"127.0.0.1:{self._listener.address[1]}",
+                "--parent-host",
+                root.host,
+                "--subtree",
+                json.dumps(
+                    subtree_spec(child, obs_rank), separators=(",", ":")
+                ),
+            ] + opts.command_line()
+            proc = subprocess.Popen(
+                cmd,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.PIPE,
+                bufsize=0,
+            )
+            proc.label = child.label
+            proc.stderr_tail = deque(maxlen=20)
+            _spawn_drain(
+                proc.stderr, proc.stderr_tail, f"stderr-{child.label}"
+            )
+            self._procs.append(proc)
+
+        # Accept the root's direct internal children as they dial in.
+        for _ in direct_internal:
+            try:
+                end = self._listener.accept(timeout=self._startup_timeout)
+            except Exception as exc:
+                raise NetworkError(
+                    f"recursive instantiation: a root child never "
+                    f"connected ({exc}; {self._proc_diagnostics()})"
+                ) from None
+            self._core.add_child(end)
+
+        # Pump until every internal node announced its listener.
+        deadline = time.monotonic() + self._startup_timeout
+        while not expected_labels <= self._core.addr_reports.keys():
+            dead = [p for p in self._procs if p.poll() is not None]
+            if dead:
+                raise NetworkError(
+                    "recursive instantiation: child process died before "
+                    f"the tree was up ({self._proc_diagnostics()})"
+                )
+            if time.monotonic() > deadline:
+                missing = sorted(
+                    expected_labels - self._core.addr_reports.keys()
+                )
+                raise NetworkError(
+                    f"recursive instantiation timed out: no address "
+                    f"report from {missing} ({self._proc_diagnostics()})"
+                )
+            self._pump(self._pump_quantum())
+
+        # Back-end slots aim at their parent's announced address; links
+        # whose endpoints share a topology host are marked for the
+        # shared-memory upgrade at attach time.
+        for leaf in leaves:
+            parent = self.topology.parent_of(leaf)
+            if parent is root:
+                addr = self._listener.address
+            else:
+                addr = self._core.addr_reports[parent.label]
+            self._slots[rank_of[leaf.key]] = _LeafSlot(
+                rank_of[leaf.key],
+                leaf.label,
+                parent_addr=addr,
+                shm=(self.shm == "auto" and leaf.host == parent.host),
+            )
+
+    def _proc_diagnostics(self) -> str:
+        """One line of post-mortem per spawned child process."""
+        parts = []
+        for proc in self._procs:
+            label = getattr(proc, "label", "?")
+            code = proc.poll()
+            state = "alive" if code is None else f"exit={code}"
+            tail = list(getattr(proc, "stderr_tail", ()))
+            if tail:
+                state += " | " + " / ".join(tail[-3:])
+            parts.append(f"{label}: {state}")
+        return "; ".join(parts) if parts else "no children spawned"
+
+    def _connect_accept_root_leaf(self, slot: _LeafSlot) -> tuple:
+        """Connect a front-end-parented back-end, accepting in parallel.
+
+        The accept must overlap the connect: a shared-memory offer
+        blocks the connector until the acceptor answers, so a serial
+        connect-then-accept would deadlock.  The accepted end is
+        admitted immediately on the front-end's home thread, otherwise
+        parked for the next pump (NodeCore admission is
+        single-threaded).
+        """
+        box: Dict[str, object] = {}
+
+        def do_accept():
+            try:
+                box["end"] = self._listener.accept(timeout=30)
+            except Exception as exc:
+                box["err"] = exc
+
+        acceptor = threading.Thread(
+            target=do_accept, name=f"accept-rank{slot.rank}", daemon=True
+        )
+        acceptor.start()
+        try:
+            parent_end, inbox = slot.connect()
+        finally:
+            acceptor.join(timeout=35.0)
+        end = box.get("end")
+        if end is None:
+            raise NetworkError(
+                f"front-end accept for back-end rank {slot.rank} failed: "
+                f"{box.get('err')!r}"
+            )
+        if threading.get_ident() == self._home_thread:
+            self._core.add_child(end)
+        else:
+            self._core.offer_child(end, adopted=False)
+        return parent_end, inbox
 
     # -- back-end management ------------------------------------------------
 
     def attach_backend(self, rank: int) -> BackEnd:
-        """Create and connect the back-end for leaf *rank* (mode 2 API)."""
+        """Create and connect the back-end for leaf *rank* (mode 2 API).
+
+        Thread-safe: concurrent callers attaching *different* ranks
+        proceed in parallel (each slot is claimed under a lock), which
+        is how a process-management system would bring up many tool
+        back-ends at once.  Attaching the same rank twice raises.
+        """
         try:
             slot = self._slots[rank]
         except KeyError:
             raise NetworkError(f"no leaf slot for rank {rank}") from None
-        if slot.backend is not None:
-            raise NetworkError(f"back-end rank {rank} already attached")
-        root_leaf = (
-            self.transport == "process"
-            and self._listener is not None
-            and slot.parent_addr == self._listener.address
-        )
-        parent_end, inbox = slot.connect()
-        if root_leaf:
-            # A back-end parented directly by the front-end: complete
-            # the TCP accept on our own listener.
-            self._accept_root_leaf()
-        backend = BackEnd(rank, slot.label, parent_end, inbox)
-        if (
-            self.policy == REPAIR
-            and self._recovery is not None
-            and slot.topo_key is not None
-        ):
-            backend.repair_fn = self._make_repair_fn(slot.topo_key, inbox)
-        backend.connect()
+        with self._attach_lock:
+            if slot.backend is not None or slot.claimed:
+                raise NetworkError(f"back-end rank {rank} already attached")
+            slot.claimed = True
+        try:
+            root_leaf = (
+                self.transport == "process"
+                and self._listener is not None
+                and slot.parent_addr == self._listener.address
+            )
+            if root_leaf:
+                # A back-end parented directly by the front-end:
+                # complete the TCP accept on our own listener while
+                # the connect is in flight.
+                parent_end, inbox = self._connect_accept_root_leaf(slot)
+            else:
+                parent_end, inbox = slot.connect()
+            backend = BackEnd(rank, slot.label, parent_end, inbox)
+            if (
+                self.policy == REPAIR
+                and self._recovery is not None
+                and slot.topo_key is not None
+            ):
+                backend.repair_fn = self._make_repair_fn(slot.topo_key, inbox)
+            backend.connect()
+        except BaseException:
+            with self._attach_lock:
+                slot.claimed = False
+            raise
         slot.backend = backend
         return backend
+
+    def _attach_all_backends(self) -> None:
+        """Mode-1 attach, concurrently (paper §2.5, Figure 5).
+
+        Every leaf's TCP connect — and optional shared-memory upgrade
+        handshake — runs in its own worker; the serial loop pays one
+        connection round-trip per back-end, which dominates start-up
+        once the internal tree builds in O(depth).
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        ranks = sorted(self._slots)
+        with ThreadPoolExecutor(
+            max_workers=min(32, len(ranks)), thread_name_prefix="attach"
+        ) as pool:
+            futures = [(r, pool.submit(self.attach_backend, r)) for r in ranks]
+            for _rank, fut in futures:
+                fut.result()
 
     @property
     def backends(self) -> Dict[int, BackEnd]:
@@ -753,6 +1099,12 @@ class Network:
         gather timeout.
         """
         if self.transport == "process":
+            if self.instantiation == "recursive":
+                # Grandchildren are other processes' children — no
+                # Popen handle to poll — but every internal node that
+                # came up announced an address, so that census is the
+                # replier set.
+                return len(self._core.addr_reports)
             return sum(1 for proc in self._procs if proc.poll() is None)
         expected = 0
         for node in self._commnodes:
@@ -1065,6 +1417,14 @@ class Network:
                 proc.wait(timeout=join_timeout)
             except Exception:
                 proc.kill()
+        if core is not None:
+            # Release the front-end's own link ends: shared-memory
+            # children hold kernel segments that survive until every
+            # attached process closes them.
+            try:
+                core.close_all()
+            except Exception:
+                pass
         listener = getattr(self, "_listener", None)
         if listener is not None:
             try:

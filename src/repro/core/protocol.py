@@ -33,6 +33,12 @@ id 0 as the *control stream*; packets on it drive network life-cycle:
   ``mrnet.stats/1`` schema (see :mod:`repro.obs.snapshot`).  Replies
   are relayed hop by hop toward the root on the ordinary upstream
   control path, through the same packet buffers that batch tool data.
+* ``TAG_ADDR_REPORT`` (upstream) — parallel recursive instantiation
+  (paper §2.5, mode 1): an internal process announces its listener
+  address to the front-end so back-end attach points can be resolved
+  without the launcher reading each child's stdout.  Payload
+  ``"%s %s %ud"``: the node's topology label, listener host, listener
+  port.  Reports relay hop by hop like any upstream control packet.
 
 Application packets use non-negative tags; tags below
 ``FIRST_APP_TAG`` are reserved for the protocol.
@@ -55,6 +61,7 @@ __all__ = [
     "TAG_RANKS_CHANGED",
     "TAG_STATS_REQUEST",
     "TAG_STATS_REPLY",
+    "TAG_ADDR_REPORT",
     "FIRST_APP_TAG",
     "FMT_ENDPOINT_REPORT",
     "FMT_NEW_STREAM",
@@ -63,6 +70,7 @@ __all__ = [
     "FMT_RANKS_CHANGED",
     "FMT_STATS_REQUEST",
     "FMT_STATS_REPLY",
+    "FMT_ADDR_REPORT",
     "make_endpoint_report",
     "make_new_stream",
     "make_close_stream",
@@ -71,10 +79,12 @@ __all__ = [
     "make_ranks_changed",
     "make_stats_request",
     "make_stats_reply",
+    "make_addr_report",
     "parse_new_stream",
     "parse_ranks_changed",
     "parse_stats_request",
     "parse_stats_reply",
+    "parse_addr_report",
 ]
 
 CONTROL_STREAM_ID = 0
@@ -88,6 +98,7 @@ TAG_HEARTBEAT = -5
 TAG_RANKS_CHANGED = -6
 TAG_STATS_REQUEST = -7
 TAG_STATS_REPLY = -8
+TAG_ADDR_REPORT = -9
 
 FIRST_APP_TAG = 100
 
@@ -99,6 +110,7 @@ FMT_HEARTBEAT = "%ud"
 FMT_RANKS_CHANGED = "%ud %ud %aud %aud"
 FMT_STATS_REQUEST = "%ud"
 FMT_STATS_REPLY = "%ud %s"
+FMT_ADDR_REPORT = "%s %s %ud"
 
 
 def make_endpoint_report(ranks: Sequence[int]) -> Packet:
@@ -202,3 +214,16 @@ def parse_stats_reply(packet: Packet) -> Tuple[int, str]:
     """Unpack a ``TAG_STATS_REPLY`` control packet → (request id, JSON)."""
     request_id, payload = packet.unpack()
     return request_id, payload
+
+
+def make_addr_report(label: str, host: str, port: int) -> Packet:
+    """Build an internal node's upstream listener-address announcement."""
+    return Packet(
+        CONTROL_STREAM_ID, TAG_ADDR_REPORT, FMT_ADDR_REPORT, (label, host, port)
+    )
+
+
+def parse_addr_report(packet: Packet) -> Tuple[str, str, int]:
+    """Unpack a ``TAG_ADDR_REPORT`` control packet → (label, host, port)."""
+    label, host, port = packet.unpack()
+    return label, host, port

@@ -27,6 +27,24 @@ Bootstrap protocol (replacing rsh + the parent's config message of
 3. it accepts exactly ``--children`` connections;
 4. it runs the standard NodeCore event loop until shutdown.
 
+**Recursive instantiation** (``--subtree``, paper §2.5 / Figure 5):
+instead of the front-end serially spawning every internal process,
+each process receives its whole *subtree* specification and creates
+its own internal children — the tree builds itself in O(depth) spawn
+rounds instead of O(nodes).  The child's config travels with the
+spawn (as a ``fork()`` argument, or JSON on the command line with
+``--spawn popen``), and every internal process announces its listener
+address to the front-end with a ``TAG_ADDR_REPORT`` control packet
+relayed up the data plane, so back-end leaf slots learn where to
+attach without any stdout plumbing.  Leaf-child connections are then
+accepted *lazily* by the node's event loop while the rest of the tree
+is still booting.
+
+Links whose two endpoints share a topology host may be upgraded to
+the shared-memory ring transport (``--shm auto``; see
+:mod:`repro.transport.shm`) during the connection hello — refusal or
+failure falls back to plain TCP transparently.
+
 With the default ``--io-mode eventloop`` the process multiplexes all
 of its sockets through one ``selectors`` loop on the main thread — no
 per-link reader threads, non-blocking vectored writes, and timer
@@ -42,17 +60,32 @@ process in the same order so registry ids agree network-wide.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import queue
+import signal
 import sys
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from .core.commnode import NodeCore
 from .core.failure import HeartbeatConfig
+from .core.protocol import make_addr_report
 from .filters.registry import default_registry
 from .transport.channel import Inbox
 from .transport.tcp import TcpListener, tcp_connect_retry
 
-__all__ = ["main", "parse_filter_spec"]
+__all__ = [
+    "main",
+    "parse_filter_spec",
+    "run_commnode",
+    "run_commnode_recursive",
+    "subtree_spec",
+    "RecursiveOpts",
+]
 
 
 def parse_filter_spec(spec: str) -> Tuple[str, str, Optional[str]]:
@@ -71,6 +104,316 @@ def _parse_host_port(text: str) -> Tuple[str, int]:
     if not host or not port.isdigit():
         raise ValueError(f"malformed address {text!r} (want host:port)")
     return host, int(port)
+
+
+# -- recursive instantiation (paper §2.5 mode 1, Figure 5) ------------------
+#
+# Subtree spec wire format (JSON): every node is an object with
+#   "l": "host:index" topology label (host = co-location domain)
+#   "r": observability rank          (internal nodes only)
+#   "c": [child specs...]            (present iff internal)
+# A leaf entry carries only "l" — its back-end attaches later, so the
+# node just counts it toward the lazy accept budget.
+
+
+def subtree_spec(node, obs_rank) -> dict:
+    """Serialize a topology node's subtree for recursive spawning.
+
+    *obs_rank* maps internal-node keys to observability ranks (the
+    front-end numbers them breadth-first, matching sequential spawn
+    order so identities are stable across instantiation modes).
+    """
+    if node.is_leaf:
+        return {"l": node.label}
+    return {
+        "l": node.label,
+        "r": obs_rank[node.key],
+        "c": [subtree_spec(c, obs_rank) for c in node.children],
+    }
+
+
+def _host_of(label: str) -> str:
+    """The co-location domain of a ``host:index`` topology label."""
+    return label.rsplit(":", 1)[0]
+
+
+def _count_leaves(spec: dict) -> int:
+    kids = spec.get("c")
+    if not kids:
+        return 1
+    return sum(_count_leaves(k) for k in kids)
+
+
+@dataclass
+class RecursiveOpts:
+    """Everything a subtree spawn must inherit from its parent."""
+
+    filter_specs: List[Tuple[str, str, Optional[str]]] = field(default_factory=list)
+    io_mode: str = "eventloop"
+    heartbeat: Optional[HeartbeatConfig] = None
+    accept_timeout: float = 60.0
+    shm: str = "off"  # "auto" upgrades same-host links to shared memory
+    spawn: str = "fork"  # how *this* node creates its internal children
+
+    def command_line(self) -> List[str]:
+        """The inheritable flags, as ``--spawn popen`` arguments."""
+        args = [
+            "--io-mode", self.io_mode,
+            "--shm", self.shm,
+            "--spawn", self.spawn,
+            "--accept-timeout", str(self.accept_timeout),
+        ]
+        if self.heartbeat is not None and self.heartbeat.enabled:
+            args += [
+                "--heartbeat-interval", str(self.heartbeat.interval),
+                "--heartbeat-miss", str(self.heartbeat.miss_threshold),
+            ]
+        for spec in self.filter_specs:
+            text = f"{spec[0]}:{spec[1]}"
+            if len(spec) > 2 and spec[2]:
+                text += f":{spec[2]}"
+            args += ["--filter", text]
+        return args
+
+
+class _ForkChild:
+    """A ``Popen``-shaped handle for an ``os.fork()`` child."""
+
+    def __init__(self, pid: int, label: str):
+        self.pid = pid
+        self.label = label
+        self._status: Optional[int] = None
+
+    def poll(self) -> Optional[int]:
+        if self._status is not None:
+            return self._status
+        try:
+            pid, status = os.waitpid(self.pid, os.WNOHANG)
+        except ChildProcessError:
+            self._status = 0
+            return self._status
+        if pid == 0:
+            return None
+        self._status = os.waitstatus_to_exitcode(status)
+        return self._status
+
+    def wait(self, timeout: Optional[float] = None) -> int:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while self.poll() is None:
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(f"fork child {self.label} did not exit")
+            time.sleep(0.01)
+        return self._status
+
+    def kill(self) -> None:
+        try:
+            os.kill(self.pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):
+            pass
+
+
+def _spawn_internal_children(
+    spec: dict, listener: TcpListener, my_host: str, opts: RecursiveOpts
+) -> list:
+    """Create this node's internal children, all at once (Figure 5).
+
+    With ``spawn="fork"`` each child is an ``os.fork()`` of this
+    already-initialized interpreter — the subtree spec travels as a
+    plain argument, and the fork costs milliseconds where a fresh
+    interpreter costs hundreds.  (Bootstrap is single-threaded at this
+    point: children are forked before any event loop, channel end, or
+    reader thread exists.)  ``spawn="popen"`` execs a new
+    ``mrnet_commnode`` with ``--subtree`` JSON on the command line —
+    the fully self-describing form, matching how rsh-launched MRNet
+    processes receive their configuration.
+    """
+    handles = []
+    addr = listener.address
+    for child in spec.get("c", ()):
+        if "c" not in child:
+            continue  # leaf slot: its back-end connects later
+        if opts.spawn == "fork":
+            pid = os.fork()
+            if pid == 0:
+                code = 1
+                try:
+                    # The parent's listener fd is not ours to hold:
+                    # keeping it open would hold its port half-alive
+                    # after the parent exits.
+                    listener.close()
+                    code = run_commnode_recursive(
+                        child, addr, my_host, opts, announce=_silent
+                    )
+                except BaseException:
+                    traceback.print_exc()
+                finally:
+                    os._exit(code)
+            handles.append(_ForkChild(pid, child["l"]))
+        else:
+            import subprocess
+
+            cmd = [
+                sys.executable, "-m", "repro.mrnet_commnode",
+                "--parent", f"127.0.0.1:{addr[1]}",
+                "--parent-host", my_host,
+                "--subtree", json.dumps(child, separators=(",", ":")),
+            ] + opts.command_line()
+            handles.append(
+                subprocess.Popen(cmd, stdout=subprocess.DEVNULL)
+            )
+    return handles
+
+
+def _silent(*args, **kwargs) -> None:
+    """announce sink for forked children (stdout belongs to the root)."""
+
+
+def _reap(handles, timeout: float = 5.0) -> None:
+    """Collect spawned children; force-kill any that outlive *timeout*."""
+    for handle in handles:
+        try:
+            handle.wait(timeout=timeout)
+        except Exception:
+            handle.kill()
+            try:
+                handle.wait(timeout=1.0)
+            except Exception:
+                pass
+
+
+def run_commnode_recursive(
+    spec: dict,
+    parent_addr: Tuple[str, int],
+    parent_host: str,
+    opts: RecursiveOpts,
+    announce=print,
+) -> int:
+    """Instantiate this node *and its whole subtree* (paper mode 1).
+
+    Ordering is the heart of the O(depth) claim:
+
+    1. open the listener;
+    2. spawn every internal child immediately — the next tree level
+       boots in parallel with everything below;
+    3. connect upward (offering the shared-memory upgrade when this
+       node and its parent share a topology host);
+    4. accept the internal children spawned in step 2;
+    5. announce ``label host port`` upstream via ``TAG_ADDR_REPORT``
+       so the front-end can aim back-end attaches at leaf parents;
+    6. run the event loop, accepting leaf (back-end) connections
+       lazily as they arrive.
+    """
+    registry = default_registry()
+    for path, func, fmt in opts.filter_specs:
+        registry.load_filter_func(path, func, fmt)
+
+    inbox = Inbox()
+    listener = TcpListener(inbox)
+    announce(f"LISTENING {listener.address[1]}", flush=True)
+    my_host = _host_of(spec["l"])
+    children = spec.get("c", [])
+    internal = [c for c in children if "c" in c]
+    n_leaves = len(children) - len(internal)
+    expected = sum(_count_leaves(c) for c in children)
+
+    handles = _spawn_internal_children(spec, listener, my_host, opts)
+    try:
+        if opts.io_mode == "eventloop":
+            return _run_recursive_eventloop(
+                spec, parent_addr, parent_host, my_host,
+                len(internal), n_leaves, expected, registry, inbox,
+                listener, opts,
+            )
+        return _run_recursive_threads(
+            spec, parent_addr, parent_host, my_host,
+            len(internal), n_leaves, expected, registry, inbox,
+            listener, opts,
+        )
+    finally:
+        listener.close()
+        _reap(handles)
+
+
+def _recursive_core(
+    spec, registry, expected, parent_end, inbox, opts
+) -> NodeCore:
+    core = NodeCore(
+        spec["l"], registry, expected, parent=parent_end, inbox=inbox
+    )
+    core.obs_rank = int(spec.get("r", -1))
+    if opts.heartbeat is not None:
+        core.configure_failure(heartbeat=opts.heartbeat)
+    return core
+
+
+def _run_recursive_eventloop(
+    spec, parent_addr, parent_host, my_host,
+    n_internal, n_leaves, expected, registry, inbox, listener, opts,
+) -> int:
+    from .transport.eventloop import EventLoop
+    from .transport.tcp import tcp_connect_socket_retry_ex
+
+    want_shm = opts.shm == "auto" and parent_host == my_host
+    allow_shm = opts.shm == "auto"
+    sock, pair = tcp_connect_socket_retry_ex(
+        parent_addr, attempts=6, timeout=opts.accept_timeout, shm=want_shm
+    )
+    loop = EventLoop()
+    if pair is not None:
+        parent_end = loop.add_shm_link(sock, pair[0], pair[1], owner=True)
+    else:
+        parent_end = loop.add_socket(sock)
+    core = _recursive_core(spec, registry, expected, parent_end, inbox, opts)
+    for _ in range(n_internal):
+        sock_c, pair_c = listener.accept_socket_ex(
+            timeout=opts.accept_timeout, allow_shm=allow_shm
+        )
+        if pair_c is not None:
+            core.add_child(loop.add_shm_link(sock_c, pair_c[0], pair_c[1]))
+        else:
+            core.add_child(loop.add_socket(sock_c))
+    core._queue_up(
+        make_addr_report(spec["l"], "127.0.0.1", listener.address[1])
+    )
+    if n_leaves:
+        # Back-ends attach whenever the front-end reaches them; the
+        # loop accepts them without blocking the rest of the subtree.
+        loop.add_acceptor(listener, remaining=n_leaves, allow_shm=allow_shm)
+    loop.bind(core)
+    loop.run()
+    return 0
+
+
+def _run_recursive_threads(
+    spec, parent_addr, parent_host, my_host,
+    n_internal, n_leaves, expected, registry, inbox, listener, opts,
+) -> int:
+    want_shm = opts.shm == "auto" and parent_host == my_host
+    parent_end = tcp_connect_retry(
+        parent_addr, inbox, attempts=6, timeout=opts.accept_timeout,
+        shm=want_shm,
+    )
+    core = _recursive_core(spec, registry, expected, parent_end, inbox, opts)
+    for _ in range(n_internal):
+        core.add_child(listener.accept(timeout=opts.accept_timeout))
+    core._queue_up(
+        make_addr_report(spec["l"], "127.0.0.1", listener.address[1])
+    )
+    if n_leaves:
+        def _accept_leaves():
+            for _ in range(n_leaves):
+                try:
+                    end = listener.accept(timeout=opts.accept_timeout)
+                except Exception:
+                    return
+                # Admitted on the drive loop; not an orphan adoption.
+                core.offer_child(end, adopted=False)
+
+        threading.Thread(
+            target=_accept_leaves, name="leaf-acceptor", daemon=True
+        ).start()
+    _drive_threads_loop(core)
+    return 0
 
 
 def run_commnode(
@@ -159,9 +502,14 @@ def _run_threads(
             core.add_child(listener.accept(timeout=accept_timeout))
     finally:
         listener.close()
+    _drive_threads_loop(core)
+    return 0
 
-    # The standard internal-process inbox loop (see CommNode).
+
+def _drive_threads_loop(core: NodeCore) -> None:
+    """The standard internal-process inbox loop (see CommNode)."""
     while not core.shutting_down:
+        core.admit_pending_children()
         deadline = core.next_timeout_deadline()
         hb = core.next_heartbeat_deadline()
         if hb is not None and (deadline is None or hb < deadline):
@@ -191,7 +539,6 @@ def _run_threads(
         core.flush()
     core.flush()
     core.close_all()
-    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -204,12 +551,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--parent", required=True, help="parent address, host:port"
     )
     parser.add_argument(
-        "--children", type=int, required=True,
-        help="number of child connections to accept",
+        "--children", type=int, default=None,
+        help="number of child connections to accept (sequential mode)",
     )
     parser.add_argument(
-        "--expected-ranks", type=int, required=True,
+        "--expected-ranks", type=int, default=None,
         help="back-end ranks in this subtree (gates the endpoint report)",
+    )
+    parser.add_argument(
+        "--subtree", default=None, metavar="JSON",
+        help="recursive instantiation: this node's whole subtree spec "
+        "(replaces --children/--expected-ranks/--name/--rank; the node "
+        "spawns its own internal children)",
+    )
+    parser.add_argument(
+        "--parent-host", default="",
+        help="parent's topology host (shared-memory co-location test)",
+    )
+    parser.add_argument(
+        "--shm", choices=("auto", "off"), default="off",
+        help="upgrade same-host links to shared-memory rings (auto) "
+        "or keep every link on TCP (off, default)",
+    )
+    parser.add_argument(
+        "--spawn", choices=("fork", "popen"), default="fork",
+        help="how recursive instantiation creates internal children: "
+        "fork this interpreter (default, fast) or exec fresh processes",
     )
     parser.add_argument(
         "--filter", action="append", default=[], metavar="PATH:FUNC[:FMT]",
@@ -246,6 +613,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             interval=args.heartbeat_interval,
             miss_threshold=args.heartbeat_miss,
         )
+    if args.subtree is not None:
+        try:
+            spec = json.loads(args.subtree)
+        except ValueError as exc:
+            parser.error(f"malformed --subtree JSON: {exc}")
+        opts = RecursiveOpts(
+            filter_specs=specs,
+            io_mode=args.io_mode,
+            heartbeat=heartbeat,
+            accept_timeout=args.accept_timeout,
+            shm=args.shm,
+            spawn=args.spawn,
+        )
+        return run_commnode_recursive(
+            spec, parent_addr, args.parent_host, opts
+        )
+    if args.children is None or args.expected_ranks is None:
+        parser.error("--children and --expected-ranks are required "
+                     "without --subtree")
     return run_commnode(
         parent_addr,
         args.children,

@@ -1,7 +1,14 @@
 """Process-tree topologies: spec, config files, generators, analysis."""
 
 from .autogen import generate_config, generate_topology
-from .analysis import TopologyStats, analyze, is_balanced, levels, to_networkx
+from .analysis import (
+    TopologyStats,
+    analyze,
+    is_balanced,
+    levels,
+    link_transports,
+    to_networkx,
+)
 from .generators import (
     HostAllocator,
     balanced_tree,
@@ -40,5 +47,6 @@ __all__ = [
     "analyze",
     "is_balanced",
     "levels",
+    "link_transports",
     "to_networkx",
 ]

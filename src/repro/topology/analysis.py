@@ -13,7 +13,14 @@ from typing import Dict, List
 
 from .spec import TopologyNode, TopologySpec
 
-__all__ = ["TopologyStats", "analyze", "to_networkx", "is_balanced", "levels"]
+__all__ = [
+    "TopologyStats",
+    "analyze",
+    "to_networkx",
+    "is_balanced",
+    "levels",
+    "link_transports",
+]
 
 
 @dataclass(frozen=True)
@@ -76,6 +83,36 @@ def analyze(spec: TopologySpec) -> TopologyStats:
         balanced=is_balanced(spec),
         fanout_histogram=dict(sorted(fanouts.items())),
     )
+
+
+def link_transports(
+    spec: TopologySpec, transport: str = "process", shm: str = "auto"
+) -> Dict[tuple, str]:
+    """Classify every tree edge by the transport it would be carried on.
+
+    Returns ``(parent_label, child_label) -> kind`` where *kind* is
+    ``"channel"`` (in-process mailboxes, thread-hosted transports),
+    ``"shm"`` (both endpoints share a topology host and the
+    shared-memory upgrade is enabled) or ``"tcp"``.  This is the
+    planning-time view of the runtime's negotiated outcome — the
+    actual upgrade can still fall back to TCP if a segment cannot be
+    created, which the per-link ``links{kind=...}`` gauges report.
+    """
+    kinds: Dict[tuple, str] = {}
+    for node in spec.nodes():
+        for child in node.children:
+            if transport == "local":
+                kind = "channel"
+            elif (
+                transport == "process"
+                and shm == "auto"
+                and node.host == child.host
+            ):
+                kind = "shm"
+            else:
+                kind = "tcp"
+            kinds[(node.label, child.label)] = kind
+    return kinds
 
 
 def to_networkx(spec: TopologySpec):

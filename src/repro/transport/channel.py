@@ -78,6 +78,9 @@ class Inbox:
 class ChannelEnd:
     """One end of a channel: sends to the peer's inbox."""
 
+    #: Transport classification for the obs ``links{kind=...}`` census.
+    transport_kind = "channel"
+
     def __init__(self, link_id: int, peer_inbox: Inbox, state: "_ChannelState"):
         self.link_id = link_id
         self._peer_inbox = peer_inbox

@@ -51,7 +51,13 @@ from typing import Deque, Dict, List, Optional
 from ..obs.metrics import MetricsRegistry, StatsView
 from .tcp import _alloc_link_id
 
-__all__ = ["EventLoop", "SelectorLink", "SendQueueFull", "SEND_QUEUE_MAX_BYTES"]
+__all__ = [
+    "EventLoop",
+    "SelectorLink",
+    "ShmLink",
+    "SendQueueFull",
+    "SEND_QUEUE_MAX_BYTES",
+]
 
 log = logging.getLogger(__name__)
 
@@ -80,6 +86,11 @@ class SelectorLink:
     ``close`` / ``closed``) so a :class:`~repro.core.commnode.NodeCore`
     can use it as a parent or child link unchanged.
     """
+
+    #: Transport classification for the obs ``links{kind=...}`` census.
+    transport_kind = "tcp"
+    #: Dispatch flag for the loop: False = framed socket reads.
+    _shm = False
 
     __slots__ = (
         "link_id",
@@ -200,6 +211,185 @@ class SelectorLink:
         )
 
 
+class ShmLink:
+    """A co-located link driven by the event loop over shared memory.
+
+    Payload frames move through a pair of SPSC rings (see
+    :mod:`repro.transport.shm`); the TCP socket the link was
+    negotiated on stays registered with the selector purely as a
+    *doorbell* — one byte wakes the consumer when the ring goes
+    non-empty, one byte credits a stalled producer when space frees,
+    and EOF reports peer death through the same selector path a TCP
+    link would use.
+
+    Presents the same ``ChannelEnd`` interface as
+    :class:`SelectorLink`.  When the transmit ring is full the frame
+    is parked in a bounded overflow deque (``SendQueueFull`` past the
+    bound, exactly like the TCP send queue) and pumped into the ring
+    as credit doorbells arrive.
+    """
+
+    #: Transport classification for the obs ``links{kind=...}`` census.
+    transport_kind = "shm"
+    #: Dispatch flag for the loop: True = ring reads, doorbell socket.
+    _shm = True
+
+    __slots__ = (
+        "link_id",
+        "max_send_bytes",
+        "_loop",
+        "_sock",
+        "_tx",
+        "_rx",
+        "_owner",
+        "_out",
+        "_out_nbytes",
+        "_closed",
+        "_writing",
+    )
+
+    def __init__(
+        self,
+        loop: "EventLoop",
+        sock: socket.socket,
+        tx,
+        rx,
+        link_id: int,
+        owner: bool = False,
+        max_send_bytes: int = SEND_QUEUE_MAX_BYTES,
+    ):
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass  # e.g. a socketpair doorbell in tests
+        sock.setblocking(False)
+        self.link_id = link_id
+        self.max_send_bytes = max_send_bytes
+        self._loop = loop
+        self._sock = sock
+        self._tx = tx
+        self._rx = rx
+        self._owner = owner
+        self._out: Deque[bytes] = collections.deque()
+        self._out_nbytes = 0
+        self._closed = False
+        self._writing = False  # parity with SelectorLink; never selector-armed
+
+    # -- ChannelEnd interface ---------------------------------------------
+
+    def send(self, payload) -> None:
+        """Write one framed payload into the ring, or park it.
+
+        The fast path is a single ``try_write`` into shared memory —
+        no syscall at all unless the ring was empty (doorbell).  A
+        full ring parks the frame in the overflow deque; the bound
+        semantics mirror :meth:`SelectorLink.send` (an empty queue
+        accepts any single payload).
+        """
+        if self._closed:
+            raise ConnectionError(f"link {self.link_id} is closed")
+        if not isinstance(payload, (bytes, bytearray, memoryview)):
+            raise TypeError("channel payloads must be bytes")
+        n = len(payload)
+        if self._out_nbytes and self._out_nbytes + n + _LEN.size > self.max_send_bytes:
+            raise SendQueueFull(
+                f"link {self.link_id}: send queue holds {self._out_nbytes} "
+                f"bytes, refusing {n} more (bound {self.max_send_bytes})"
+            )
+        if not self._out:
+            try:
+                ok, was_empty = self._tx.try_write(payload)
+            except ValueError as exc:
+                # Released mapping (concurrent close) or a frame larger
+                # than the ring: either way this link cannot carry it.
+                raise ConnectionError(str(exc)) from exc
+            if ok:
+                loop = self._loop
+                loop._c_writes.value += 1
+                loop._c_bytes_out.value += n + _LEN.size
+                if was_empty:
+                    self._doorbell()
+                return
+        # Ring full: try_write set the stalled flag, so the peer sends
+        # a credit doorbell once it drains; the loop pumps us then.
+        self._out.append(payload if isinstance(payload, bytes) else bytes(payload))
+        self._out_nbytes += n + _LEN.size
+
+    def send_capacity(self) -> int:
+        """Bytes the overflow queue can still accept without refusing."""
+        if self._out_nbytes == 0:
+            return self.max_send_bytes
+        return max(0, self.max_send_bytes - self._out_nbytes)
+
+    @property
+    def send_backlog(self) -> int:
+        """Bytes parked beyond the ring (overflow deque)."""
+        return self._out_nbytes
+
+    def link_metrics(self) -> dict:
+        """Point-in-time transport numbers for this link (JSON-able)."""
+        return {
+            "link_id": self.link_id,
+            "kind": "shm",
+            "send_backlog_bytes": self._out_nbytes,
+            "closed": self._closed,
+        }
+
+    def _doorbell(self) -> None:
+        try:
+            self._sock.send(b"\x01")
+        except (BlockingIOError, InterruptedError):
+            pass  # socket buffer full: doorbells are already pending
+        except OSError:
+            pass  # dying link: the selector surfaces it via EOF
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._loop._forget(self)
+        self._tx.mark_closed()
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+        self._release_rings()
+
+    def _release_rings(self) -> None:
+        for ring in (self._tx, self._rx):
+            ring.close()
+            # Both sides unlink (double unlink is caught): segments
+            # must not outlive the link when the creator was killed.
+            ring.unlink()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __repr__(self) -> str:
+        return (
+            f"ShmLink(id={self.link_id}, backlog={self._out_nbytes}B"
+            f"{', closed' if self._closed else ''})"
+        )
+
+
+class _Acceptor:
+    """Selector registration for a listening socket.
+
+    Late children — back-end leaf attaches during recursive
+    instantiation, repair reconnects — are accepted on the loop
+    thread and admitted as links without a dedicated accept thread.
+    """
+
+    __slots__ = ("listener", "remaining", "allow_shm")
+
+    def __init__(self, listener, remaining: Optional[int], allow_shm: bool):
+        self.listener = listener
+        self.remaining = remaining
+        self.allow_shm = allow_shm
+
+
 class EventLoop:
     """One selector multiplexing all of a node's links and timers.
 
@@ -242,6 +432,10 @@ class EventLoop:
         self.stats = StatsView(self.metrics)
         self._selector = selectors.DefaultSelector()
         self._links: Dict[int, SelectorLink] = {}
+        # Shm links are additionally kept here: their rings are polled
+        # once per iteration (doorbells are an optimization, not the
+        # only wakeup path).
+        self._shm_links: Dict[int, "ShmLink"] = {}
         self._thread_id: Optional[int] = None
         self._wake_lock = threading.Lock()
         self._wake_pending = False
@@ -268,6 +462,47 @@ class EventLoop:
         self._links[link.link_id] = link
         self._selector.register(sock, selectors.EVENT_READ, link)
         return link
+
+    def add_shm_link(
+        self,
+        sock: socket.socket,
+        tx,
+        rx,
+        owner: bool = False,
+        max_send_bytes: Optional[int] = None,
+    ) -> "ShmLink":
+        """Register a negotiated shared-memory link (see
+        :func:`repro.transport.shm.offer_shm`); *sock* becomes its
+        doorbell.  ``owner=True`` on the side that created the
+        segments — it unlinks them at close."""
+        if max_send_bytes is None:
+            max_send_bytes = SEND_QUEUE_MAX_BYTES
+        link = ShmLink(self, sock, tx, rx, _alloc_link_id(), owner, max_send_bytes)
+        self._links[link.link_id] = link
+        self._shm_links[link.link_id] = link
+        self._selector.register(sock, selectors.EVENT_READ, link)
+        return link
+
+    def add_acceptor(
+        self,
+        listener,
+        remaining: Optional[int] = None,
+        allow_shm: bool = True,
+    ) -> None:
+        """Accept inbound connections on the loop thread.
+
+        Each accepted connection (hello consumed, shm negotiation
+        honored when *allow_shm*) becomes a child link via
+        ``core.add_child``.  With *remaining* set, the listener is
+        unregistered after that many accepts (it stays open — the
+        owner closes it); ``None`` accepts forever, which is what
+        repair reconnection wants.
+        """
+        self._selector.register(
+            listener._server,
+            selectors.EVENT_READ,
+            _Acceptor(listener, remaining, allow_shm),
+        )
 
     def adopt_socket(self, sock: socket.socket) -> None:
         """Hand this loop a new *child* socket from another thread.
@@ -344,6 +579,7 @@ class EventLoop:
 
     def _forget(self, link: SelectorLink) -> None:
         self._links.pop(link.link_id, None)
+        self._shm_links.pop(link.link_id, None)
         try:
             self._selector.unregister(link._sock)
         except (KeyError, ValueError, OSError):
@@ -369,12 +605,21 @@ class EventLoop:
                     if link is None:
                         self._on_wakeup()
                         continue
+                    if isinstance(link, _Acceptor):
+                        worked |= self._handle_accept(link)
+                        continue
+                    if link._shm:
+                        if mask & selectors.EVENT_READ:
+                            worked |= self._handle_doorbell(link)
+                        continue
                     if mask & selectors.EVENT_READ:
                         worked |= self._handle_read(link)
                     if mask & selectors.EVENT_WRITE and not link._closed:
                         self._handle_write(link)
                 if core.crashed:
                     break
+                for link in list(self._shm_links.values()):
+                    worked |= self._poll_shm(link)
                 core.admit_pending_children()
                 worked |= self._drain_inbox()
                 core.poll_streams()
@@ -489,6 +734,124 @@ class EventLoop:
                 del rbuf[:offset]
         return True
 
+    # -- shared-memory links ----------------------------------------------
+
+    def _handle_accept(self, acc: _Acceptor) -> bool:
+        """Readable listener: accept + hello + (maybe) shm upgrade."""
+        try:
+            sock, pair = acc.listener.accept_socket_ex(
+                timeout=5.0, allow_shm=acc.allow_shm
+            )
+        except (OSError, ConnectionError, ValueError) as exc:
+            log.warning("acceptor: failed to admit connection: %s", exc)
+            return False
+        if pair is not None:
+            link = self.add_shm_link(sock, pair[0], pair[1])
+        else:
+            link = self.add_socket(sock)
+        self.core.add_child(link)
+        if acc.remaining is not None:
+            acc.remaining -= 1
+            if acc.remaining <= 0:
+                try:
+                    self._selector.unregister(acc.listener._server)
+                except (KeyError, ValueError, OSError):  # pragma: no cover
+                    pass
+        return True
+
+    def _handle_doorbell(self, link: "ShmLink") -> bool:
+        """Readable doorbell socket: drain bytes, then poll the rings.
+
+        Any byte may be a wakeup (ring went non-empty) or a credit (a
+        stalled write can now retry); both are answered by one poll.
+        EOF is peer death, exactly as for a TCP link.
+        """
+        eof = False
+        while True:
+            try:
+                data = link._sock.recv(4096)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                data = b""
+            if not data:
+                eof = True
+                break
+            if len(data) < 4096:
+                break
+        worked = self._poll_shm(link)
+        if eof and not link._closed:
+            self._shm_dead(link)
+            return True
+        return worked
+
+    def _poll_shm(self, link: "ShmLink") -> bool:
+        """Pump parked writes and drain inbound frames for one link."""
+        if link._closed:
+            return False
+        worked = False
+        if link._out:
+            worked |= self._pump_shm(link)
+            if link._closed:
+                return True
+        rx = link._rx
+        if rx.readable:
+            frames, credit = rx.read_frames()
+            if credit:
+                link._doorbell()
+            for frame in frames:
+                self._c_frames_in.value += 1
+                self._c_bytes_in.value += len(frame) + _LEN.size
+                self.core.handle_payload(link.link_id, frame)
+            worked |= bool(frames)
+        if rx.peer_closed and not rx.readable and not link._closed:
+            self._shm_dead(link)
+            worked = True
+        return worked
+
+    def _pump_shm(self, link: "ShmLink") -> bool:
+        """Move parked frames from the overflow deque into the ring."""
+        out = link._out
+        wrote = False
+        while out:
+            payload = out[0]
+            try:
+                ok, was_empty = link._tx.try_write(payload)
+            except ValueError:
+                self._shm_dead(link)
+                return True
+            if not ok:
+                break
+            out.popleft()
+            link._out_nbytes -= len(payload) + _LEN.size
+            self._c_writes.value += 1
+            self._c_bytes_out.value += len(payload) + _LEN.size
+            wrote = True
+            if was_empty:
+                link._doorbell()
+        return wrote
+
+    def _shm_dead(self, link: "ShmLink") -> None:
+        """EOF / ring failure on a co-located link: deliver what the
+        peer managed to write, then report the death to the core."""
+        self._forget(link)
+        if not link._closed:
+            link._closed = True
+            try:
+                frames, _ = link._rx.read_frames()
+            except Exception:
+                frames = []
+            for frame in frames:
+                self._c_frames_in.value += 1
+                self._c_bytes_in.value += len(frame) + _LEN.size
+                self.core.handle_payload(link.link_id, frame)
+            try:
+                link._sock.close()
+            except OSError:  # pragma: no cover
+                pass
+            link._release_rings()
+        self.core.handle_payload(link.link_id, None)
+
     def _link_dead(self, link: SelectorLink) -> None:
         """EOF / error on a socket: unregister and tell the core."""
         self._forget(link)
@@ -543,6 +906,13 @@ class EventLoop:
         deadline = self.clock() + timeout
         for link in list(self._links.values()):
             if link._closed or not link._out:
+                continue
+            if link._shm:
+                # Parked frames drain into the ring as the peer makes
+                # room; briefly poll rather than arming the selector.
+                while link._out and not link._closed and self.clock() < deadline:
+                    if not self._pump_shm(link):
+                        time.sleep(0.005)
                 continue
             try:
                 link._sock.setblocking(True)

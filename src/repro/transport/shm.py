@@ -1,0 +1,650 @@
+"""Shared-memory ring transport for co-located links.
+
+MRNet's links are TCP connections, but a link whose two endpoints run
+on the *same host* pays the full loopback stack — two syscalls per
+frame on the read side alone — for bytes that never leave the machine.
+Topology-aware systems (Karonis et al.'s multilevel collectives) treat
+intra-host edges as a different, cheaper medium; this module is that
+medium for the process runtime.
+
+Design
+------
+
+Each upgraded link owns **two single-producer/single-consumer byte
+rings** in POSIX shared memory (``multiprocessing.shared_memory``),
+one per direction, carrying exactly the same 4-byte-length-framed
+packet batches as the TCP transport — so
+:func:`repro.core.batching.decode_batch` and ``Packet.lazy_from_wire``
+work unchanged on frames read out of the ring (one copy out of shared
+memory, zero further copies).
+
+Ring layout (``HEADER`` = 64 bytes, then ``capacity`` data bytes)::
+
+    [0:8)   tail   u64 LE  monotonic bytes written (producer-owned)
+    [8:16)  head   u64 LE  monotonic bytes read    (consumer-owned)
+    [16]    closed         either side marks an orderly close
+    [17]    stalled        producer found no room; consumer credits
+
+Cursors are monotonic, so ``tail - head`` is the exact occupancy and
+the ring may be filled completely (no wasted slot).  The producer
+writes data before publishing ``tail``; the consumer reads data before
+publishing ``head`` — each cursor has exactly one writer, which is the
+whole SPSC correctness argument.
+
+The TCP socket the link was negotiated on is kept as a **doorbell**:
+one byte is sent when a write makes the ring non-empty (the consumer
+may be asleep in ``select``) and when the consumer frees space for a
+stalled producer.  Reusing the socket means liveness is unchanged —
+kill or sever the peer and the doorbell socket reports EOF through
+exactly the same code paths a TCP link would, so the fault-tolerance
+machinery (heartbeats, degrade/repair policies) needs no new cases.
+
+Negotiation rides the existing link hello (see
+:class:`repro.transport.tcp.TcpListener`): a connector that wants the
+upgrade sets the high bit of its hello id and follows it with a JSON
+offer naming the two segments; the acceptor attaches and answers one
+``ACK`` byte, or ``NAK`` — in which case both sides silently fall back
+to plain TCP on the already-connected socket.  Failure anywhere
+(segment creation, attach, an old peer) degrades to TCP, never to an
+error.
+"""
+
+from __future__ import annotations
+
+import json
+import select
+import socket
+import struct
+import threading
+import time
+from typing import List, Optional, Tuple
+
+from .channel import Inbox
+
+__all__ = [
+    "ShmRing",
+    "ShmChannelEnd",
+    "offer_shm",
+    "accept_shm_offer",
+    "shm_available",
+    "live_segments",
+    "DEFAULT_CAPACITY",
+]
+
+_LEN = struct.Struct(">I")
+_U64 = struct.Struct("<Q")
+
+#: Per-direction ring size.  Must exceed the largest single frame a
+#: node can emit (the adaptive flush bound is 64 KiB; oversized lone
+#: packets are rare and still fit with room to spare).
+DEFAULT_CAPACITY = 1 << 20
+
+_ACK = b"\x06"
+_NAK = b"\x15"
+_MAX_OFFER = 4096
+
+# Names of shared-memory segments this process currently has mapped.
+# The pytest leak guard asserts this drains to empty after each test,
+# turning a forgotten close()/unlink() into a hard failure instead of
+# an interpreter-exit ResourceWarning nobody reads.
+_live_lock = threading.Lock()
+_live_segments: set = set()
+# Segments *created* by this process — attaches to these must not
+# unregister from the resource tracker (the creator's unlink() will,
+# and a double-unregister makes the tracker daemon print a KeyError).
+_created_names: set = set()
+
+
+def live_segments() -> List[str]:
+    """Names of shm segments currently open in this process (leak guard)."""
+    with _live_lock:
+        return sorted(_live_segments)
+
+
+def shm_available() -> bool:
+    """True when POSIX shared memory works here (it may not in
+    minimal containers without /dev/shm)."""
+    try:
+        ring = ShmRing.create(4096)
+    except Exception:
+        return False
+    ring.close()
+    ring.unlink()
+    return True
+
+
+def _untrack(shm) -> None:
+    """Detach *shm* from the resource tracker (attach side only).
+
+    ``SharedMemory(name=...)`` registers even non-creating attaches
+    with the tracker (bpo-39959), so both processes would try to
+    unlink at exit and the second would warn.  The creator stays
+    registered — if it dies without cleanup, its tracker still
+    reclaims the segment.
+    """
+    with _live_lock:
+        # Note shm.name (no leading slash), not the raw _name.
+        if shm.name in _created_names:
+            return  # same-process attach: creator's unlink unregisters
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+class ShmRing:
+    """One direction of a co-located link: an SPSC byte ring in shm.
+
+    One process is the producer (:meth:`try_write`), the other the
+    consumer (:meth:`read_frames`); each instance is used in a single
+    role.  Frames are 4-byte-length-prefixed byte strings, identical
+    to the TCP wire framing.
+    """
+
+    HEADER = 64
+
+    def __init__(self, shm, capacity: int, created: bool):
+        self._shm = shm
+        self._buf = shm.buf
+        self.capacity = capacity
+        self.name = shm.name
+        self._created = created
+        self._open = True
+        self._tail = _U64.unpack_from(self._buf, 0)[0]  # producer cursor
+        self._head = _U64.unpack_from(self._buf, 8)[0]  # consumer cursor
+
+    @classmethod
+    def create(cls, capacity: int = DEFAULT_CAPACITY) -> "ShmRing":
+        """Create a fresh ring segment (the connector does this)."""
+        from multiprocessing.shared_memory import SharedMemory
+
+        if capacity <= cls.HEADER:
+            raise ValueError("ring capacity too small")
+        shm = SharedMemory(create=True, size=cls.HEADER + capacity)
+        shm.buf[: cls.HEADER] = b"\0" * cls.HEADER
+        with _live_lock:
+            _live_segments.add(shm.name)
+            _created_names.add(shm.name)
+        return cls(shm, capacity, created=True)
+
+    @classmethod
+    def attach(cls, name: str, capacity: int) -> "ShmRing":
+        """Map an existing ring by name (the acceptor does this)."""
+        from multiprocessing.shared_memory import SharedMemory
+
+        shm = SharedMemory(name=name)
+        _untrack(shm)
+        if shm.size < cls.HEADER + capacity:
+            shm.close()
+            raise ValueError(f"segment {name} smaller than offered capacity")
+        with _live_lock:
+            _live_segments.add(shm.name)
+        return cls(shm, capacity, created=False)
+
+    # -- producer side ------------------------------------------------------
+
+    def try_write(self, payload) -> Tuple[bool, bool]:
+        """Append one framed *payload* if it fits.
+
+        Returns ``(written, was_empty)``.  ``was_empty`` means the
+        consumer may be asleep and needs a doorbell.  A refusal sets
+        the ``stalled`` flag so the consumer knows to send a credit
+        doorbell once it frees space.  Frames larger than the ring can
+        never fit and raise ``ValueError``.
+        """
+        buf = self._buf
+        cap = self.capacity
+        n = len(payload)
+        need = 4 + n
+        if need > cap:
+            raise ValueError(
+                f"frame of {n} bytes exceeds shm ring capacity {cap}"
+            )
+        tail = self._tail
+        head = _U64.unpack_from(buf, 8)[0]
+        if need > cap - (tail - head):
+            buf[17] = 1  # stalled: consumer credits when space frees
+            return False, False
+        base = self.HEADER
+        pos = tail % cap
+        if pos + 4 <= cap:
+            _LEN.pack_into(buf, base + pos, n)
+        else:
+            pre = _LEN.pack(n)
+            k = cap - pos
+            buf[base + pos : base + cap] = pre[:k]
+            buf[base : base + 4 - k] = pre[k:]
+        pos = (pos + 4) % cap
+        if n:
+            if pos + n <= cap:
+                buf[base + pos : base + pos + n] = payload
+            else:
+                k = cap - pos
+                view = memoryview(payload)
+                buf[base + pos : base + cap] = view[:k]
+                buf[base : base + n - k] = view[k:]
+        was_empty = head == tail
+        self._tail = tail + need
+        _U64.pack_into(buf, 0, self._tail)  # publish after the data
+        return True, was_empty
+
+    # -- consumer side ------------------------------------------------------
+
+    def read_frames(self, limit: Optional[int] = None) -> Tuple[List[bytes], bool]:
+        """Drain complete frames; ``(frames, credit_due)``.
+
+        ``credit_due`` is True when the drain freed space a stalled
+        producer is waiting on — the caller must send a doorbell byte
+        so the producer retries.  Each frame is one copy out of shared
+        memory (``bytes``), which downstream lazy decoding wraps
+        without further copies.
+        """
+        buf = self._buf
+        cap = self.capacity
+        base = self.HEADER
+        head = self._head
+        frames: List[bytes] = []
+        while True:
+            tail = _U64.unpack_from(buf, 0)[0]
+            if head == tail:
+                break
+            pos = head % cap
+            if pos + 4 <= cap:
+                (n,) = _LEN.unpack_from(buf, base + pos)
+            else:
+                k = cap - pos
+                (n,) = _LEN.unpack(
+                    bytes(buf[base + pos : base + cap])
+                    + bytes(buf[base : base + 4 - k])
+                )
+            if tail - head < 4 + n:  # defensive: producer publishes last
+                break
+            pos = (pos + 4) % cap
+            if pos + n <= cap:
+                frames.append(bytes(buf[base + pos : base + pos + n]))
+            else:
+                k = cap - pos
+                frames.append(
+                    bytes(buf[base + pos : base + cap])
+                    + bytes(buf[base : base + n - k])
+                )
+            head += 4 + n
+            if limit is not None and len(frames) >= limit:
+                break
+        credit = False
+        if head != self._head:
+            self._head = head
+            _U64.pack_into(buf, 8, head)  # publish after the copy-out
+            if buf[17]:
+                buf[17] = 0
+                credit = True
+        return frames, credit
+
+    @property
+    def readable(self) -> bool:
+        """True when at least one unread byte is in the ring."""
+        if not self._open:
+            return False
+        return _U64.unpack_from(self._buf, 0)[0] != self._head
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def mark_closed(self) -> None:
+        """Set the shared orderly-close flag (peer sees it on drain)."""
+        try:
+            self._buf[16] = 1
+        except (ValueError, TypeError):
+            pass
+
+    @property
+    def peer_closed(self) -> bool:
+        try:
+            return bool(self._buf[16])
+        except (ValueError, TypeError):
+            return True
+
+    def close(self) -> None:
+        """Unmap the segment (idempotent)."""
+        if not self._open:
+            return
+        self._open = False
+        with _live_lock:
+            _live_segments.discard(self.name)
+        try:
+            self._shm.close()
+        except (BufferError, OSError):  # pragma: no cover - exported view
+            pass
+
+    def unlink(self) -> None:
+        """Remove the segment name (idempotent; either side may call).
+
+        Both ends of a dead link unlink so the segment cannot outlive
+        a SIGKILLed creator.  The attach side was already unregistered
+        from the resource tracker (see :func:`_untrack`), so it skips
+        ``SharedMemory.unlink``'s second unregister; the creator side
+        unregisters even when the peer removed the file first.
+        """
+        with _live_lock:
+            _created_names.discard(self.name)
+        if self._created:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                # The peer unlinked first; the file is gone but our
+                # tracker registration is not — drop it or the tracker
+                # warns about a "leaked" segment at interpreter exit.
+                try:
+                    from multiprocessing import resource_tracker
+
+                    resource_tracker.unregister(
+                        self._shm._name, "shared_memory"
+                    )
+                except Exception:
+                    pass
+            except OSError:
+                pass
+        else:
+            try:
+                from multiprocessing.shared_memory import _posixshmem
+
+                _posixshmem.shm_unlink(self._shm._name)
+            except (ImportError, FileNotFoundError, OSError):
+                pass
+
+
+# -- negotiation ------------------------------------------------------------
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    data = b""
+    while len(data) < n:
+        chunk = sock.recv(n - len(data))
+        if not chunk:
+            raise ConnectionError("peer closed during shm handshake")
+        data += chunk
+    return data
+
+
+def offer_shm(
+    sock: socket.socket, link_id: int, capacity: int = DEFAULT_CAPACITY
+) -> Optional[Tuple[ShmRing, ShmRing]]:
+    """Offer a shared-memory upgrade on a just-connected socket.
+
+    Sends the flagged hello plus the segment offer and waits for the
+    acceptor's verdict.  Returns ``(tx, rx)`` rings on ACK; on NAK —
+    or if this host cannot create segments at all — sends/settles a
+    plain hello and returns ``None`` so the caller proceeds over TCP.
+    """
+    from .tcp import HELLO_SHM_FLAG
+
+    tx = rx = None
+    try:
+        tx = ShmRing.create(capacity)
+        rx = ShmRing.create(capacity)
+    except Exception:
+        if tx is not None:
+            tx.close()
+            tx.unlink()
+        sock.sendall(_LEN.pack(link_id))
+        return None
+    offer = json.dumps(
+        {"tx": tx.name, "rx": rx.name, "cap": capacity}
+    ).encode("ascii")
+    try:
+        sock.sendall(
+            _LEN.pack(link_id | HELLO_SHM_FLAG) + _LEN.pack(len(offer)) + offer
+        )
+        verdict = _recv_exact(sock, 1)
+    except OSError:
+        _destroy(tx, rx)
+        raise
+    if verdict == _ACK:
+        return tx, rx
+    _destroy(tx, rx)
+    return None
+
+
+def accept_shm_offer(
+    sock: socket.socket, allow: bool = True
+) -> Optional[Tuple[ShmRing, ShmRing]]:
+    """Consume the offer frame following a flagged hello; ACK or NAK.
+
+    Returns the acceptor-perspective ``(tx, rx)`` rings on success
+    (the connector's ``rx`` is our ``tx``), or ``None`` after a NAK —
+    the socket then simply stays a plain TCP link, which is the
+    transparent-fallback contract.
+    """
+    (n,) = _LEN.unpack(_recv_exact(sock, 4))
+    if n > _MAX_OFFER:
+        raise ConnectionError(f"oversized shm offer ({n} bytes)")
+    doc = json.loads(_recv_exact(sock, n))
+    pair = None
+    if allow:
+        rx = tx = None
+        try:
+            capacity = int(doc["cap"])
+            rx = ShmRing.attach(doc["tx"], capacity)
+            tx = ShmRing.attach(doc["rx"], capacity)
+            pair = (tx, rx)
+        except Exception:
+            if rx is not None:
+                rx.close()
+            pair = None
+    sock.sendall(_ACK if pair else _NAK)
+    return pair
+
+
+def _destroy(*rings: ShmRing) -> None:
+    for ring in rings:
+        ring.close()
+        ring.unlink()
+
+
+# -- passive channel end ----------------------------------------------------
+
+
+class ShmChannelEnd:
+    """A co-located link end for passive processes (front-end,
+    back-ends): a reader thread selects on the doorbell socket and
+    drains the receive ring into an :class:`Inbox`, mirroring
+    :class:`~repro.transport.tcp.TcpChannelEnd`'s contract exactly
+    (payload deliveries, ``None`` on close, pause/resume hooks).
+
+    Event-loop processes use
+    :class:`repro.transport.eventloop.ShmLink` instead — same rings,
+    no thread.
+    """
+
+    #: Transport classification for the obs ``links{kind=...}`` census.
+    transport_kind = "shm"
+
+    #: A send blocked this long on a full ring means the peer stopped
+    #: draining entirely; surface it as a dead link, like a TCP send
+    #: that never completes.
+    SEND_TIMEOUT = 30.0
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        tx: ShmRing,
+        rx: ShmRing,
+        link_id: int,
+        inbox: Inbox,
+        owner: bool = False,
+    ):
+        self.link_id = link_id
+        self._sock = sock
+        self._tx = tx
+        self._rx = rx
+        self._inbox = inbox
+        self._owner = owner
+        self._send_lock = threading.Lock()
+        self._release_lock = threading.Lock()
+        self._released = False
+        self._closed = False
+        self.frames_out = 0
+        self.bytes_out = 0
+        self.frames_in = 0
+        self.bytes_in = 0
+        # Set whenever a doorbell arrives: any byte may be the credit
+        # a blocked sender is waiting on.
+        self._space = threading.Event()
+        self._reading = threading.Event()
+        self._reading.set()
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass  # e.g. a socketpair doorbell in tests
+        sock.setblocking(False)
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"shm-reader-{link_id}", daemon=True
+        )
+        self._reader.start()
+
+    def pause_reading(self) -> None:
+        """Stall ring drains before the next batch (fault injection)."""
+        self._reading.clear()
+
+    def resume_reading(self) -> None:
+        self._reading.set()
+
+    def send(self, payload) -> None:
+        if self._closed:
+            raise ConnectionError(f"shm link {self.link_id} is closed")
+        if not isinstance(payload, (bytes, bytearray, memoryview)):
+            raise TypeError("channel payloads must be bytes")
+        deadline = time.monotonic() + self.SEND_TIMEOUT
+        with self._send_lock:
+            while True:
+                if self._closed:
+                    raise ConnectionError(
+                        f"shm link {self.link_id} is closed"
+                    )
+                try:
+                    ok, was_empty = self._tx.try_write(payload)
+                except ValueError as exc:
+                    # Released mapping (concurrent close) or an
+                    # impossible frame: either way this link is done.
+                    raise ConnectionError(str(exc)) from exc
+                if ok:
+                    break
+                # Ring full: the peer credits us via doorbell once it
+                # drains (try_write set the stalled flag).  Short poll
+                # as a safety net against a lost credit.
+                self._space.clear()
+                self._space.wait(timeout=0.05)
+                if time.monotonic() > deadline:
+                    raise ConnectionError(
+                        f"shm link {self.link_id}: send timed out "
+                        f"(peer not draining)"
+                    )
+            self.frames_out += 1
+            self.bytes_out += len(payload) + _LEN.size
+            if was_empty:
+                self._doorbell()
+
+    def _doorbell(self) -> None:
+        try:
+            self._sock.send(b"\x01")
+        except (BlockingIOError, InterruptedError):
+            pass  # socket buffer full: doorbells are already pending
+        except OSError:
+            pass  # dying link: the reader surfaces it via EOF
+
+    def link_metrics(self) -> dict:
+        """Point-in-time transport numbers for this link (JSON-able)."""
+        return {
+            "link_id": self.link_id,
+            "kind": "shm",
+            "frames_in": self.frames_in,
+            "bytes_in": self.bytes_in,
+            "frames_out": self.frames_out,
+            "bytes_out": self.bytes_out,
+            "closed": self._closed,
+        }
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._tx.mark_closed()
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        # The reader thread notices EOF within one poll interval and
+        # performs the final drain + release; if it is already gone,
+        # release here.
+        if not self._reader.is_alive():
+            self._release()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- reader -------------------------------------------------------------
+
+    def _read_loop(self) -> None:
+        sock = self._sock
+        rx = self._rx
+        eof = False
+        while not eof and not self._closed:
+            try:
+                readable, _, _ = select.select([sock], [], [], 0.05)
+            except (OSError, ValueError):
+                break
+            if readable:
+                while True:
+                    try:
+                        data = sock.recv(4096)
+                    except (BlockingIOError, InterruptedError):
+                        break
+                    except OSError:
+                        data = b""
+                    if not data:
+                        eof = True
+                        break
+                    if len(data) < 4096:
+                        break
+                self._space.set()  # any doorbell may be a credit
+            self._reading.wait()
+            self._drain_rx(rx)
+            if rx.peer_closed and not rx.readable:
+                eof = True
+        # Final drain: frames the peer wrote before closing are valid.
+        try:
+            self._drain_rx(rx)
+        except Exception:
+            pass
+        self._closed = True
+        self._space.set()
+        self._release()
+        self._inbox._deliver(self.link_id, None)
+
+    def _drain_rx(self, rx: ShmRing) -> None:
+        frames, credit = rx.read_frames()
+        if credit:
+            self._doorbell()
+        for frame in frames:
+            self.frames_in += 1
+            self.bytes_in += len(frame) + _LEN.size
+            self._inbox._deliver(self.link_id, frame)
+
+    def _release(self) -> None:
+        with self._release_lock:
+            if self._released:
+                return
+            self._released = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        for ring in (self._tx, self._rx):
+            ring.close()
+            # Both sides unlink: if the creator was SIGKILLed its
+            # segments must not outlive the link, and a double unlink
+            # is a caught FileNotFoundError.  Existing mappings stay
+            # valid, so a peer still draining is unaffected.
+            ring.unlink()

@@ -30,13 +30,21 @@ __all__ = [
     "tcp_pair",
     "tcp_connect",
     "tcp_connect_socket",
+    "tcp_connect_socket_ex",
     "tcp_connect_socket_retry",
+    "tcp_connect_socket_retry_ex",
     "tcp_connect_retry",
+    "HELLO_SHM_FLAG",
 ]
 
 _LEN = struct.Struct(">I")
 _MAX_FRAME = 1 << 30
 _HAS_SENDMSG = hasattr(socket.socket, "sendmsg")
+
+#: High bit of the connection hello: the connector is offering a
+#: shared-memory upgrade and a JSON offer frame follows (see
+#: :mod:`repro.transport.shm`).  Link ids never reach this bit.
+HELLO_SHM_FLAG = 0x8000_0000
 
 
 def sendmsg_all(sock: socket.socket, buffers) -> None:
@@ -84,6 +92,9 @@ class TcpChannelEnd:
     direction), exposed via :meth:`link_metrics` — integer adds on the
     send/read paths, no registry lookups on the hot path.
     """
+
+    #: Transport classification for the obs ``links{kind=...}`` census.
+    transport_kind = "tcp"
 
     def __init__(self, sock: socket.socket, link_id: int, inbox: Inbox):
         self.link_id = link_id
@@ -213,7 +224,7 @@ class TcpListener:
         self._server = socket.create_server((host, port))
         self.address = self._server.getsockname()
 
-    def accept(self, timeout: Optional[float] = None) -> TcpChannelEnd:
+    def accept(self, timeout: Optional[float] = None):
         """Accept one connection, assigning it a fresh *local* link id.
 
         Link ids are local names for connections (routing tables and
@@ -222,28 +233,62 @@ class TcpListener:
         wire but deliberately not reused: distinct processes allocate
         ids independently, so trusting the remote id could collide
         with this process's existing links.
+
+        A connector offering the shared-memory upgrade (see
+        :mod:`repro.transport.shm`) gets it here: the returned end is
+        then a :class:`~repro.transport.shm.ShmChannelEnd` — same
+        interface, same inbox deliveries.
         """
-        return TcpChannelEnd(
-            self.accept_socket(timeout), _alloc_link_id(), self._inbox
-        )
+        sock, pair = self.accept_socket_ex(timeout)
+        if pair is not None:
+            from .shm import ShmChannelEnd
+
+            return ShmChannelEnd(
+                sock, pair[0], pair[1], _alloc_link_id(), self._inbox
+            )
+        return TcpChannelEnd(sock, _alloc_link_id(), self._inbox)
 
     def accept_socket(self, timeout: Optional[float] = None) -> socket.socket:
         """Accept one connection and return the raw connected socket.
 
         The link handshake is consumed, but no reader thread is
         started — callers that register the socket with an event loop
-        use this instead of :meth:`accept`.
+        use this instead of :meth:`accept`.  Shared-memory offers are
+        refused (NAK), so the connector transparently stays on TCP;
+        use :meth:`accept_socket_ex` to take the upgrade.
+        """
+        sock, _ = self.accept_socket_ex(timeout, allow_shm=False)
+        return sock
+
+    def accept_socket_ex(
+        self, timeout: Optional[float] = None, allow_shm: bool = True
+    ):
+        """Accept one connection; returns ``(socket, shm_rings_or_None)``.
+
+        Consumes the hello and, when the connector offered a
+        shared-memory upgrade, completes the negotiation: the second
+        element is the acceptor-side ``(tx, rx)`` ring pair on
+        success, ``None`` after a NAK or a plain hello.
         """
         self._server.settimeout(timeout)
         sock, _ = self._server.accept()
+        # Bound the hello exchange so a half-open connector cannot
+        # wedge the accept loop.
+        sock.settimeout(timeout if timeout else 30.0)
         raw = b""
         while len(raw) < _LEN.size:
             chunk = sock.recv(_LEN.size - len(raw))
             if not chunk:
                 raise ConnectionError("peer closed during link handshake")
             raw += chunk
-        _LEN.unpack(raw)  # hello consumed; see accept()
-        return sock
+        (hello,) = _LEN.unpack(raw)  # hello id consumed; see accept()
+        pair = None
+        if hello & HELLO_SHM_FLAG:
+            from .shm import accept_shm_offer
+
+            pair = accept_shm_offer(sock, allow=allow_shm)
+        sock.settimeout(None)
+        return sock, pair
 
     def close(self) -> None:
         self._server.close()
@@ -257,10 +302,41 @@ def tcp_connect_socket(
     Performs the hello handshake but starts no reader thread; pair
     with an event loop (or wrap in :class:`TcpChannelEnd` manually).
     """
-    sock = socket.create_connection(address, timeout=timeout)
-    sock.settimeout(None)
-    sock.sendall(_LEN.pack(_alloc_link_id()))
+    sock, _ = tcp_connect_socket_ex(address, timeout=timeout)
     return sock
+
+
+def tcp_connect_socket_ex(
+    address: Tuple[str, int],
+    timeout: Optional[float] = None,
+    shm: bool = False,
+    capacity: Optional[int] = None,
+):
+    """Connect with an optional shared-memory offer.
+
+    Returns ``(socket, shm_rings_or_None)``: the second element is the
+    connector-side ``(tx, rx)`` ring pair when ``shm=True`` and the
+    acceptor took the upgrade, else ``None`` (the socket is then an
+    ordinary framed TCP link — transparent fallback).
+    """
+    sock = socket.create_connection(address, timeout=timeout)
+    pair = None
+    try:
+        if shm:
+            from .shm import DEFAULT_CAPACITY, offer_shm
+
+            # Bound the negotiation round-trip too, not just connect.
+            sock.settimeout(timeout if timeout else 30.0)
+            pair = offer_shm(
+                sock, _alloc_link_id(), capacity or DEFAULT_CAPACITY
+            )
+        else:
+            sock.sendall(_LEN.pack(_alloc_link_id()))
+        sock.settimeout(None)
+    except BaseException:
+        sock.close()
+        raise
+    return sock, pair
 
 
 def tcp_connect(
@@ -291,6 +367,27 @@ def tcp_connect_socket_retry(
     :class:`~repro.core.failure.InstantiationError` naming the
     unreachable address and attempt count.
     """
+    sock, _ = tcp_connect_socket_retry_ex(
+        address, attempts=attempts, timeout=timeout, base=base, cap=cap,
+        sleep=sleep,
+    )
+    return sock
+
+
+def tcp_connect_socket_retry_ex(
+    address: Tuple[str, int],
+    attempts: int = 5,
+    timeout: Optional[float] = 5.0,
+    base: float = 0.1,
+    cap: float = 2.0,
+    sleep: Callable[[float], None] = time.sleep,
+    shm: bool = False,
+    capacity: Optional[int] = None,
+):
+    """Retrying :func:`tcp_connect_socket_ex`; same backoff policy.
+
+    Returns ``(socket, shm_rings_or_None)``.
+    """
     from ..core.failure import InstantiationError, backoff_delays
 
     if attempts < 1:
@@ -299,7 +396,9 @@ def tcp_connect_socket_retry(
     last: Optional[Exception] = None
     for k in range(attempts):
         try:
-            return tcp_connect_socket(address, timeout=timeout)
+            return tcp_connect_socket_ex(
+                address, timeout=timeout, shm=shm, capacity=capacity
+            )
         except OSError as exc:
             last = exc
             if k < len(delays):
@@ -312,8 +411,25 @@ def tcp_connect_retry(
     inbox: Inbox,
     attempts: int = 5,
     timeout: Optional[float] = 5.0,
+    shm: bool = False,
+    capacity: Optional[int] = None,
     **kwargs,
-) -> TcpChannelEnd:
-    """Retrying variant of :func:`tcp_connect` (same backoff policy)."""
-    sock = tcp_connect_socket_retry(address, attempts=attempts, timeout=timeout, **kwargs)
+):
+    """Retrying variant of :func:`tcp_connect` (same backoff policy).
+
+    With ``shm=True`` the connect offers the shared-memory upgrade;
+    the returned end is then a
+    :class:`~repro.transport.shm.ShmChannelEnd` when the peer accepts,
+    else a plain :class:`TcpChannelEnd`.
+    """
+    sock, pair = tcp_connect_socket_retry_ex(
+        address, attempts=attempts, timeout=timeout, shm=shm,
+        capacity=capacity, **kwargs,
+    )
+    if pair is not None:
+        from .shm import ShmChannelEnd
+
+        return ShmChannelEnd(
+            sock, pair[0], pair[1], _alloc_link_id(), inbox, owner=True
+        )
     return TcpChannelEnd(sock, _alloc_link_id(), inbox)

@@ -1,0 +1,24 @@
+"""Suite-wide guards.
+
+Every test must leave the process with zero mapped shared-memory
+segments: a forgotten ``close()``/``unlink()`` becomes a hard failure
+in the offending test, not an interpreter-exit ResourceWarning nobody
+reads.  The short grace poll lets reader threads finish releasing
+ends that were closed at the very end of a test.
+"""
+
+import time
+
+import pytest
+
+from repro.transport.shm import live_segments
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_shm_segments():
+    yield
+    deadline = time.monotonic() + 2.0
+    while live_segments() and time.monotonic() < deadline:
+        time.sleep(0.01)
+    leaked = live_segments()
+    assert not leaked, f"test leaked shared-memory segments: {leaked}"

@@ -1,0 +1,134 @@
+"""Fault tolerance over shared-memory links: kill and sever scenarios.
+
+The shm transport keeps the negotiated TCP socket as its doorbell, so
+peer death surfaces through exactly the TCP code paths — EOF on the
+socket — and the degrade machinery needs no shm-specific cases.  What
+*is* new is cleanup: killed or severed peers must not leave POSIX
+segments behind (both ends unlink on release), which these tests
+assert via the process-local leak census and /dev/shm itself.
+"""
+
+import glob
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core import Network
+from repro.filters import TFILTER_SUM
+from repro.topology import balanced_tree
+from repro.transport.shm import live_segments, shm_available
+
+from .conftest import wait_until
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="POSIX shared memory unavailable"
+)
+
+KILL_TIMEOUT = 10.0
+
+
+def co_located_net():
+    """A depth-2 process tree with every link upgraded to shm."""
+    return Network(balanced_tree(2, 2, hosts=["h0"]), transport="process")
+
+
+def segments_of(names):
+    """The subset of /dev/shm entries matching *names* (still linked)."""
+    present = {os.path.basename(p) for p in glob.glob("/dev/shm/*")}
+    return sorted(n for n in names if n in present)
+
+
+class TestShmKill:
+    def test_sigkill_commnode_is_noticed_and_leak_free(self, shutdown_nets):
+        net = co_located_net()
+        shutdown_nets.append(net)
+        stats = net.stats()
+        assert stats["0:front-end"]['links{kind="shm"}'] == 2
+
+        victim = net._procs[0]
+        os.kill(victim.pid, signal.SIGKILL)
+        # The doorbell socket EOFs; the front-end and the victim's
+        # back-ends observe link death through the ordinary paths.
+        assert wait_until(
+            lambda: net._core.first_failure is not None,
+            net=net,
+            timeout=KILL_TIMEOUT,
+        )
+        net.shutdown()
+        # Every ring this process had mapped must be released, and the
+        # killed creator's segments unlinked by the surviving side.
+        assert wait_until(lambda: not live_segments(), timeout=5.0)
+        assert segments_of(live_segments()) == []
+
+    def test_survivors_keep_reducing_after_kill(self, shutdown_nets):
+        net = co_located_net()
+        shutdown_nets.append(net)
+        stream = net.new_stream(
+            net.get_broadcast_communicator(), transform=TFILTER_SUM
+        )
+        os.kill(net._procs[0].pid, signal.SIGKILL)
+        assert wait_until(
+            lambda: net._core.first_failure is not None,
+            net=net,
+            timeout=KILL_TIMEOUT,
+        )
+        # Degrade policy: the next wave completes over the surviving
+        # subtree (ranks 2 and 3 behind the second comm node).
+        stream.send("%d", 0)
+        net.flush()
+        deadline = time.monotonic() + KILL_TIMEOUT
+        replied = set()
+        result = None
+        while time.monotonic() < deadline and result is None:
+            for rank, be in net.backends.items():
+                if be.shut_down or rank in replied:
+                    continue
+                try:
+                    got = be.poll()
+                except Exception:
+                    replied.add(rank)
+                    continue
+                if got is not None:
+                    got[1].send("%d", rank + 1)
+                    replied.add(rank)
+            try:
+                result = stream.recv(timeout=0.05)
+            except TimeoutError:
+                continue
+        assert result is not None, "post-kill wave never completed"
+        assert result.values == (3 + 4,)
+
+    def test_sever_doorbell_kills_link_cleanly(self, shutdown_nets):
+        """Severing just the doorbell socket (not the process) must
+        bring the link down like a TCP sever would."""
+        net = co_located_net()
+        shutdown_nets.append(net)
+        # The front-end's child ends are ShmChannelEnds holding the
+        # doorbell socket: shut one down at the socket level.
+        end = next(iter(net._core.children.values()))
+        assert end.transport_kind == "shm"
+        end._sock.shutdown(2)
+        assert wait_until(
+            lambda: net._core.first_failure is not None,
+            net=net,
+            timeout=KILL_TIMEOUT,
+        )
+        net.shutdown()
+        assert wait_until(lambda: not live_segments(), timeout=5.0)
+
+
+class TestShmShutdownHygiene:
+    def test_clean_shutdown_unlinks_everything(self, shutdown_nets):
+        before = {os.path.basename(p) for p in glob.glob("/dev/shm/psm_*")}
+        net = co_located_net()
+        created = {
+            os.path.basename(p) for p in glob.glob("/dev/shm/psm_*")
+        } - before
+        assert created  # the tree really did negotiate segments
+        net.shutdown()
+        assert wait_until(lambda: not live_segments(), timeout=5.0)
+        assert wait_until(
+            lambda: not segments_of(created), timeout=5.0
+        ), f"segments left in /dev/shm: {segments_of(created)}"

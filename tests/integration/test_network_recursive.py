@@ -1,0 +1,248 @@
+"""Integration tests: parallel recursive instantiation (paper §2.5,
+Figure 5) and the shared-memory transport on co-located links.
+
+``Network(transport="process")`` defaults to ``instantiation=
+"recursive"``: the front-end launches only the root's direct internal
+children, each of which builds its own subtree concurrently, and
+internal listener addresses travel up the data plane as
+``TAG_ADDR_REPORT`` packets.  Trees whose topology expresses
+co-location (a shared host list) upgrade intra-host links to
+shared-memory rings.
+"""
+
+import textwrap
+import threading
+import time
+
+import pytest
+
+from repro.core import Network, NetworkError
+from repro.filters import TFILTER_CONCAT, TFILTER_SUM
+from repro.topology import balanced_tree, flat_topology, link_transports
+
+RECV_TIMEOUT = 30.0
+
+
+def run_reduction(net, expected_sum):
+    comm = net.get_broadcast_communicator()
+    stream = net.new_stream(comm, transform=TFILTER_SUM)
+    stream.send("%d", 0)
+    for rank in sorted(net.backends):
+        _, bstream = net.backends[rank].recv(timeout=RECV_TIMEOUT)
+        bstream.send("%d", rank + 1)
+    assert stream.recv_values(timeout=RECV_TIMEOUT) == (expected_sum,)
+
+
+class TestRecursiveInstantiation:
+    def test_depth_three_tree_forks_grandchildren(self):
+        # 2-ary depth-3: 6 internal nodes but only 2 direct Popen
+        # children — the other 4 are forked by the subtree owners.
+        net = Network(balanced_tree(2, 3), transport="process")
+        try:
+            assert net.instantiation == "recursive"
+            assert len(net._procs) == 2
+            assert len(net._core.addr_reports) == 6
+            run_reduction(net, 36)  # 1+2+...+8
+        finally:
+            net.shutdown()
+        assert all(p.poll() is not None for p in net._procs)
+
+    def test_obs_ranks_match_sequential_numbering(self):
+        # Identities are stable across instantiation modes: breadth-
+        # first rank order, same as the sequential spawn loop.
+        net = Network(balanced_tree(2, 2), transport="process")
+        try:
+            stats = net.stats()
+            keys = {k for k in stats if ":" in k and not k.startswith("0:")}
+            assert keys == {"1:node0001:0", "2:node0002:0"}
+        finally:
+            net.shutdown()
+
+    def test_sequential_mode_still_available(self):
+        net = Network(
+            balanced_tree(2, 2),
+            transport="process",
+            instantiation="sequential",
+        )
+        try:
+            assert len(net._procs) == 2
+            run_reduction(net, 10)
+        finally:
+            net.shutdown()
+
+    def test_popen_spawn_round_trips_flags(self, tmp_path):
+        """Heartbeat and filter flags must survive the recursive spawn
+        command line: with ``--spawn popen`` every grandchild is a
+        fresh interpreter that knows only its argv."""
+        mod = tmp_path / "doubler.py"
+        mod.write_text(
+            textwrap.dedent(
+                """
+                def double_sum(packets, state):
+                    total = sum(p.values[0] for p in packets) * 2
+                    return [packets[0].replace(values=(total,))]
+                """
+            )
+        )
+        net = Network(
+            balanced_tree(2, 3),
+            transport="process",
+            spawn="popen",
+            filter_specs=[(str(mod), "double_sum")],
+            heartbeat_interval=0.2,
+        )
+        try:
+            (fid,) = net.filter_ids
+            comm = net.get_broadcast_communicator()
+            stream = net.new_stream(comm, transform=fid)
+            stream.send("%d", 0)
+            for rank in sorted(net.backends):
+                _, bstream = net.backends[rank].recv(timeout=RECV_TIMEOUT)
+                bstream.send("%d", rank + 1)
+            # Depth-3 doubling cascade: leaves pair-sum doubled at
+            # each of the three internal/front-end filter levels...
+            # level1: 2*(a+b); level2: 2*(l+r); fe applies the filter
+            # too.  1..8 pairwise: (1+2),(3+4),(5+6),(7+8) -> *2 =
+            # 6,14,22,30; level2: (6+14)*2=40, (22+30)*2=104; fe:
+            # (40+104)*2 = 288.
+            assert stream.recv_values(timeout=RECV_TIMEOUT) == (288,)
+        finally:
+            net.shutdown()
+
+    def test_concurrent_attach_backend_threads(self):
+        """Mode 2 from many threads at once: a process-management
+        system attaching all its tool daemons concurrently."""
+        net = Network(
+            balanced_tree(2, 2),
+            transport="process",
+            auto_backends=False,
+        )
+        try:
+            errors = []
+
+            def attach(rank):
+                try:
+                    net.attach_backend(rank)
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=attach, args=(rank,))
+                for rank in sorted(net._slots)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=RECV_TIMEOUT)
+            assert not errors
+            assert sorted(net.backends) == [0, 1, 2, 3]
+            net.wait_for_ready(RECV_TIMEOUT)
+            run_reduction(net, 10)
+        finally:
+            net.shutdown()
+
+    def test_double_attach_raises_even_concurrently(self):
+        net = Network(
+            flat_topology(2), transport="process", auto_backends=False
+        )
+        try:
+            net.attach_backend(0)
+            with pytest.raises(NetworkError):
+                net.attach_backend(0)
+            net.attach_backend(1)
+            net.wait_for_ready(RECV_TIMEOUT)
+        finally:
+            net.shutdown()
+
+    def test_invalid_mode_arguments_raise(self):
+        topo = balanced_tree(2, 2)
+        with pytest.raises(NetworkError):
+            Network(topo, transport="process", instantiation="magic")
+        with pytest.raises(NetworkError):
+            Network(topo, transport="process", shm="always")
+        with pytest.raises(NetworkError):
+            Network(topo, transport="process", spawn="rsh")
+
+
+class TestShmNetwork:
+    def test_co_located_tree_runs_on_shm(self):
+        from repro.transport.shm import live_segments
+
+        # One host for everything: every link in the plan is shm.
+        topo = balanced_tree(2, 2, hosts=["h0"])
+        plan = link_transports(topo)
+        assert set(plan.values()) == {"shm"}
+        net = Network(topo, transport="process")
+        try:
+            run_reduction(net, 10)
+            stats = net.stats()
+            fe = stats["0:front-end"]
+            assert fe['links{kind="shm"}'] == 2
+            assert fe['links{kind="tcp"}'] == 0
+            for key in ("1:h0:1", "2:h0:2"):
+                assert stats[key]['links{kind="shm"}'] == 3
+        finally:
+            net.shutdown()
+        deadline = time.monotonic() + 5
+        while live_segments() and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert live_segments() == []
+
+    def test_distinct_hosts_stay_on_tcp(self):
+        # Default generators give every process its own host: the shm
+        # auto mode must not upgrade anything.
+        topo = balanced_tree(2, 2)
+        assert set(link_transports(topo).values()) == {"tcp"}
+        net = Network(topo, transport="process")
+        try:
+            stats = net.stats()
+            fe = stats["0:front-end"]
+            assert fe['links{kind="shm"}'] == 0
+            assert fe['links{kind="tcp"}'] == 2
+        finally:
+            net.shutdown()
+
+    def test_shm_off_keeps_co_located_links_on_tcp(self):
+        topo = balanced_tree(2, 2, hosts=["h0"])
+        assert set(link_transports(topo, shm="off").values()) == {"tcp"}
+        net = Network(topo, transport="process", shm="off")
+        try:
+            stats = net.stats()
+            assert stats["0:front-end"]['links{kind="shm"}'] == 0
+            run_reduction(net, 10)
+        finally:
+            net.shutdown()
+
+    def test_segment_failure_falls_back_to_tcp(self, monkeypatch):
+        """If rings cannot be created the link silently stays TCP —
+        degradation, never an error (the negotiation contract)."""
+        from repro.transport import shm as shm_mod
+
+        def broken_create(cls, capacity=shm_mod.DEFAULT_CAPACITY):
+            raise OSError("no /dev/shm")
+
+        monkeypatch.setattr(
+            shm_mod.ShmRing, "create", classmethod(broken_create)
+        )
+        # Flat co-located topology: the back-ends (this process) are
+        # the connectors whose offers now fail.
+        net = Network(flat_topology(3, hosts=["h0"]), transport="process")
+        try:
+            assert all(slot.shm for slot in net._slots.values())
+            stats = net.stats()
+            fe = stats["0:front-end"]
+            assert fe['links{kind="shm"}'] == 0
+            assert fe['links{kind="tcp"}'] == 3
+            comm = net.get_broadcast_communicator()
+            stream = net.new_stream(comm, transform=TFILTER_CONCAT)
+            stream.send("%d", 0)
+            for rank in sorted(net.backends):
+                _, bstream = net.backends[rank].recv(timeout=RECV_TIMEOUT)
+                bstream.send("%ud", rank)
+            assert stream.recv_values(timeout=RECV_TIMEOUT) == ((0, 1, 2),)
+        finally:
+            net.shutdown()
+
+    def test_local_transport_plan_is_channel(self):
+        plan = link_transports(balanced_tree(2, 2), transport="local")
+        assert set(plan.values()) == {"channel"}
