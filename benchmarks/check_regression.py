@@ -32,7 +32,12 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
-GUARDED_SCENARIOS = ("relay_hop", "tree_fanin")
+GUARDED_SCENARIOS = (
+    "relay_hop",
+    "tree_fanin",
+    "pipelined_reduction",
+    "allreduce_tree",
+)
 STARTUP_SCENARIOS = ("startup_64leaf_depth3", "shm_relay_hop")
 
 

@@ -51,8 +51,10 @@ from .filters import (
     TFILTER_MAX,
     TFILTER_MIN,
     TFILTER_NULL,
+    TFILTER_SCAN,
     TFILTER_SUM,
     TFILTER_WAVG,
+    TFILTER_WINDOW,
     FilterError,
     FilterState,
     make_filter,
@@ -84,6 +86,8 @@ __all__ = [
     "TFILTER_AVG",
     "TFILTER_WAVG",
     "TFILTER_CONCAT",
+    "TFILTER_SCAN",
+    "TFILTER_WINDOW",
     "SFILTER_WAITFORALL",
     "SFILTER_TIMEOUT",
     "SFILTER_DONTWAIT",

@@ -19,11 +19,14 @@ from collections import deque
 from typing import Any, Dict, Optional, Tuple
 
 from ..transport.channel import ChannelEnd, Inbox
+from ..transport.eventloop import SendQueueFull
 from .batching import decode_batch, encode_batch
+from .chunking import ChunkReassembler, split_packet
 from .packet import Packet
 from .protocol import (
     CONTROL_STREAM_ID,
     FIRST_APP_TAG,
+    TAG_CHUNK,
     TAG_CLOSE_STREAM,
     TAG_NEW_STREAM,
     TAG_SHUTDOWN,
@@ -39,12 +42,20 @@ class NetworkShutdown(ConnectionError):
 
 
 class BackEndStream:
-    """Back-end-side handle for one stream."""
+    """Back-end-side handle for one stream.
 
-    def __init__(self, backend: "BackEnd", stream_id: int):
+    ``chunk_bytes`` is learned from the stream's NEW_STREAM
+    announcement: when set, array payloads above the threshold leave as
+    pipeline fragments, each in its own transport frame so upstream
+    hops can start reducing before the last fragment is even sent.
+    """
+
+    def __init__(self, backend: "BackEnd", stream_id: int, chunk_bytes: int = 0):
         self._backend = backend
         self.stream_id = stream_id
+        self.chunk_bytes = chunk_bytes
         self.closed = False
+        self._send_wave = 0  # wave ids for this sender's fragments
 
     def send(
         self, fmt: str, *values: Any, tag: int = FIRST_APP_TAG, flush: bool = True
@@ -62,16 +73,34 @@ class BackEndStream:
             self.stream_id, tag, fmt, values, origin_rank=self._backend.rank
         )
         if flush:
-            self._backend._send_upstream(packet)
+            self._send_maybe_chunked(packet, buffered=False)
         else:
-            self._backend._buffer_upstream(packet)
+            self._send_maybe_chunked(packet, buffered=True)
 
     def send_packet(self, packet: Packet) -> None:
         if self.closed:
             raise NetworkShutdown(f"stream {self.stream_id} is closed")
         if packet.stream_id != self.stream_id:
             raise ValueError("packet stream id mismatch")
-        self._backend._send_upstream(packet)
+        self._send_maybe_chunked(packet, buffered=False)
+
+    def _send_maybe_chunked(self, packet: Packet, buffered: bool) -> None:
+        if self.chunk_bytes:
+            chunks = split_packet(packet, self.chunk_bytes, self._send_wave)
+            if chunks is not None:
+                self._send_wave += 1
+                for chunk in chunks:
+                    if buffered:
+                        self._backend._buffer_upstream(chunk)
+                    else:
+                        # One frame per fragment: the parent starts on
+                        # fragment 0 while we are still encoding the rest.
+                        self._backend._send_upstream(chunk)
+                return
+        if buffered:
+            self._backend._buffer_upstream(packet)
+        else:
+            self._backend._send_upstream(packet)
 
     def __repr__(self) -> str:
         return f"BackEndStream(id={self.stream_id}, rank={self._backend.rank})"
@@ -86,6 +115,10 @@ class BackEnd:
         self._parent = parent
         self._inbox = inbox
         self._streams: Dict[int, BackEndStream] = {}
+        # Down-broadcast (reduce-to-all) fragments are reassembled into
+        # whole packets before delivery, keyed (stream, origin) since
+        # fragment order is only guaranteed per sender.
+        self._down_reassemblers: Dict[Tuple[int, int], ChunkReassembler] = {}
         self._pending: deque[Tuple[Packet, BackEndStream]] = deque()
         self._out: list[Packet] = []
         self.connected = False
@@ -185,20 +218,38 @@ class BackEnd:
                     # FIFO links, but stay safe): synthesise the handle.
                     stream = BackEndStream(self, packet.stream_id)
                     self._streams[packet.stream_id] = stream
-                self._pending.append((packet, stream))
+                if packet.tag == TAG_CHUNK:
+                    key = (packet.stream_id, packet.origin_rank)
+                    asm = self._down_reassemblers.get(key)
+                    if asm is None:
+                        asm = self._down_reassemblers[key] = ChunkReassembler()
+                    whole = asm.add(packet)
+                    if whole is None:
+                        continue
+                    packet = whole
+                self._pending.append((packet.materialize(), stream))
 
     def _handle_control(self, packet: Packet) -> None:
         if packet.tag == TAG_NEW_STREAM:
-            stream_id, endpoints, *_ = parse_new_stream(packet)
+            parsed = parse_new_stream(packet)
+            stream_id, endpoints = parsed[0], parsed[1]
+            chunk_bytes = parsed[6]
             if self.rank in endpoints:
-                self._streams.setdefault(
-                    stream_id, BackEndStream(self, stream_id)
-                )
+                stream = self._streams.get(stream_id)
+                if stream is None:
+                    self._streams[stream_id] = BackEndStream(
+                        self, stream_id, chunk_bytes=chunk_bytes
+                    )
+                else:
+                    # Handle synthesised by racing data: adopt the knob.
+                    stream.chunk_bytes = chunk_bytes
         elif packet.tag == TAG_CLOSE_STREAM:
             (stream_id,) = packet.unpack()
             stream = self._streams.pop(stream_id, None)
             if stream is not None:
                 stream.closed = True
+            for key in [k for k in self._down_reassemblers if k[0] == stream_id]:
+                del self._down_reassemblers[key]
         elif packet.tag == TAG_SHUTDOWN:
             self._mark_shutdown()
         # Other control traffic (e.g. TAG_HEARTBEAT probes from a
@@ -276,6 +327,15 @@ class BackEnd:
         try:
             self._parent.send(encode_batch(packets))
             return
+        except SendQueueFull as exc:
+            # The payload outgrew the link's bounded send queue.  With
+            # chunking enabled oversized sends are split before they get
+            # here, so point at the knob instead of just failing.
+            raise SendQueueFull(
+                f"{exc}; payload too large for the uplink's send-queue "
+                f"bound — create the stream with chunk_bytes=<n> to split "
+                f"large sends into pipeline fragments"
+            ) from exc
         except ConnectionError:
             pass
         # The EOF that announces a crashed parent can be queued behind

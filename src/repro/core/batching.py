@@ -136,8 +136,13 @@ class PacketBuffer:
         self._nbytes = 0
 
     def add(self, packet: Packet) -> None:
-        """Append *packet* (by reference) to the buffer."""
-        self._packets.append(packet)
+        """Append *packet* (by reference) to the buffer.
+
+        The buffer may outlive the receive cycle that produced the
+        packet, so a packet borrowing zero-copy shm ring memory is
+        materialised here (a no-op for owned frames).
+        """
+        self._packets.append(packet.materialize())
         self._nbytes += packet.nbytes
 
     def extend(self, packets: Iterable[Packet]) -> None:

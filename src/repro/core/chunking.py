@@ -1,0 +1,265 @@
+"""Chunked-wave framing: split big payloads into pipeline fragments.
+
+A data packet whose numeric array payload exceeds a stream's
+``chunk_bytes`` threshold is carried as ``n_chunks`` sub-packets on the
+same stream, tagged :data:`~repro.core.protocol.TAG_CHUNK`.  Each chunk
+prefixes the original field values with the framing fields of
+:data:`CHUNK_PREFIX_FMT`::
+
+    (wave_id, chunk_index, n_chunks, original_tag, *sliced values)
+
+Scalar (and string) fields are replicated into every chunk; numeric
+array fields are sliced into ``n_chunks`` contiguous ranges.  The
+original packet's tag rides along as ``original_tag`` so reassembly is
+lossless; ``wave_id`` is a per-sender sequence number used to detect
+wave restarts after a mid-wave fault.
+
+Chunking is what lets a depth-*d* tree overlap its hops: hop *k*
+reduces chunk *i* while hop *k−1* is still reducing chunk *i+1*
+(Träff's pipelined collectives, arXiv:2109.12626).  The codec here is
+pure — splitting then reassembling reproduces the original packet's
+values exactly — and every policy decision (when to split, when to run
+filters incrementally) lives in the callers
+(:class:`~repro.core.stream_manager.StreamManager`,
+:class:`~repro.core.backend.BackEndStream`, ``Stream.send``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .formats import FormatString, TypeCode, parse_format
+from .packet import NATIVE_DTYPE, Packet
+from .protocol import TAG_CHUNK
+
+__all__ = [
+    "CHUNK_PREFIX_FMT",
+    "N_PREFIX_FIELDS",
+    "chunkable_bytes",
+    "split_packet",
+    "wrap_chunk",
+    "is_chunk",
+    "chunk_meta",
+    "strip_chunk",
+    "reassemble",
+    "ChunkReassembler",
+]
+
+#: Framing fields prepended to every chunk's value tuple:
+#: wave id, chunk index, chunk count, original application tag.
+CHUNK_PREFIX_FMT = "%ud %ud %ud %d"
+
+#: Number of framing fields in :data:`CHUNK_PREFIX_FMT`.
+N_PREFIX_FIELDS = 4
+
+
+def _sliceable(spec) -> bool:
+    """True for fields that chunking may slice (numeric arrays)."""
+    return spec.is_array and spec.code is not TypeCode.STRING
+
+
+def chunkable_bytes(packet: Packet) -> int:
+    """Total payload bytes held in *packet*'s numeric array fields.
+
+    This — not the full frame size — is what chunking divides: scalars
+    and strings replicate into every fragment.  Returns 0 for packets
+    with no numeric array field, which are never split.
+    """
+    total = 0
+    fmt = packet.fmt
+    values = packet.raw_values
+    for spec, value in zip(fmt.fields, values):
+        if _sliceable(spec):
+            total += len(value) * NATIVE_DTYPE[spec.code].itemsize
+    return total
+
+
+def split_packet(
+    packet: Packet, chunk_bytes: int, wave_id: int
+) -> Optional[List[Packet]]:
+    """Split *packet* into ``TAG_CHUNK`` fragments of ≈``chunk_bytes``.
+
+    Returns ``None`` when the packet should travel whole: chunking
+    disabled (``chunk_bytes`` falsy), no numeric array payload, or the
+    payload already fits in one chunk.  Otherwise returns the ordered
+    fragment list; ``reassemble`` of that list reproduces the original
+    values exactly.
+    """
+    if not chunk_bytes:
+        return None
+    total = chunkable_bytes(packet)
+    if total <= chunk_bytes:
+        return None
+    n_chunks = -(-total // int(chunk_bytes))  # ceil division
+    fmt = packet.fmt
+    chunk_fmt = parse_format(f"{CHUNK_PREFIX_FMT} {fmt.canonical}")
+    values = packet.raw_values
+    chunks: List[Packet] = []
+    for i in range(n_chunks):
+        sliced = []
+        for spec, value in zip(fmt.fields, values):
+            if _sliceable(spec):
+                length = len(value)
+                sliced.append(value[i * length // n_chunks : (i + 1) * length // n_chunks])
+            else:
+                sliced.append(value)
+        chunks.append(
+            Packet.trusted(
+                packet.stream_id,
+                TAG_CHUNK,
+                chunk_fmt,
+                (wave_id, i, n_chunks, packet.tag, *sliced),
+                packet.origin_rank,
+            )
+        )
+    return chunks
+
+
+def wrap_chunk(packet: Packet, wave_id: int, index: int, n_chunks: int) -> Packet:
+    """Re-frame a whole packet as fragment *index* of an output wave.
+
+    The incremental (chunkwise) pipeline uses this to forward each
+    partial filter result upstream immediately: the filter's output for
+    one aligned chunk becomes one ``TAG_CHUNK`` fragment of the node's
+    own output wave, keeping the payload pipelined hop after hop.
+    """
+    fmt = packet.fmt
+    chunk_fmt = parse_format(f"{CHUNK_PREFIX_FMT} {fmt.canonical}")
+    return Packet.trusted(
+        packet.stream_id,
+        TAG_CHUNK,
+        chunk_fmt,
+        (wave_id, index, n_chunks, packet.tag, *packet.raw_values),
+        packet.origin_rank,
+    )
+
+
+def is_chunk(packet: Packet) -> bool:
+    """True if *packet* is a pipeline fragment (cheap header test)."""
+    return packet.tag == TAG_CHUNK
+
+
+def chunk_meta(packet: Packet) -> Tuple[int, int, int, int]:
+    """A chunk's ``(wave_id, chunk_index, n_chunks, original_tag)``."""
+    raw = packet.raw_values
+    return raw[0], raw[1], raw[2], raw[3]
+
+
+def strip_chunk(packet: Packet) -> Packet:
+    """Peel the framing off one chunk, restoring the original format.
+
+    The result carries the original tag and a payload whose array
+    fields hold just this fragment's slice — the unit incremental
+    (chunkwise) filters operate on.
+    """
+    fmt = packet.fmt
+    inner_fmt = parse_format(
+        " ".join(spec.spec for spec in fmt.fields[N_PREFIX_FIELDS:])
+    )
+    raw = packet.raw_values
+    return Packet.trusted(
+        packet.stream_id,
+        raw[3],
+        inner_fmt,
+        raw[N_PREFIX_FIELDS:],
+        packet.origin_rank,
+    )
+
+
+def reassemble(chunks: Sequence[Packet]) -> Packet:
+    """Rebuild the original whole packet from its ordered fragments.
+
+    Scalars come from the first fragment; numeric array slices are
+    concatenated in index order.  The inverse of :func:`split_packet`:
+    the rebuilt packet's values equal the original's.
+    """
+    if not chunks:
+        raise ValueError("cannot reassemble an empty chunk list")
+    first = chunks[0]
+    fmt = first.fmt
+    inner_fmt = parse_format(
+        " ".join(spec.spec for spec in fmt.fields[N_PREFIX_FIELDS:])
+    )
+    orig_tag = first.raw_values[3]
+    if len(chunks) == 1:
+        values: Tuple = first.raw_values[N_PREFIX_FIELDS:]
+        return Packet.trusted(
+            first.stream_id, orig_tag, inner_fmt, values, first.origin_rank
+        )
+    out = []
+    for field_idx, spec in enumerate(inner_fmt.fields):
+        raw_idx = N_PREFIX_FIELDS + field_idx
+        if _sliceable(spec):
+            parts = [c.raw_values[raw_idx] for c in chunks]
+            if all(isinstance(p, np.ndarray) for p in parts):
+                joined = np.concatenate(parts)
+                joined.setflags(write=False)
+                out.append(joined)
+            else:
+                merged: Tuple = ()
+                for p in parts:
+                    merged += tuple(p)
+                out.append(merged)
+        else:
+            out.append(first.raw_values[raw_idx])
+    return Packet.trusted(
+        first.stream_id, orig_tag, inner_fmt, tuple(out), first.origin_rank
+    )
+
+
+class ChunkReassembler:
+    """Accumulate one sender's in-order fragments into whole packets.
+
+    One instance per (link, stream) — fragment order is guaranteed only
+    per sender.  Feed every ``TAG_CHUNK`` packet to :meth:`add`; a
+    completed whole packet comes back on the final fragment, ``None``
+    otherwise.  A fragment that restarts the sequence (``chunk_index``
+    0 with a partial set pending, a new ``wave_id``, or an index gap)
+    silently discards the stale partial wave — exactly the recovery
+    behaviour a mid-wave sender fault requires — and the discard is
+    visible via :attr:`discarded_waves`.
+    """
+
+    __slots__ = ("_chunks", "_wave_id", "_next_index", "discarded_waves")
+
+    def __init__(self):
+        self._chunks: List[Packet] = []
+        self._wave_id: Optional[int] = None
+        self._next_index = 0
+        self.discarded_waves = 0
+
+    @property
+    def pending(self) -> int:
+        """Fragments of the in-progress wave buffered so far."""
+        return len(self._chunks)
+
+    def add(self, packet: Packet) -> Optional[Packet]:
+        """Feed one fragment; return the whole packet when complete."""
+        wave_id, index, n_chunks, _tag = chunk_meta(packet)
+        if self._chunks and (wave_id != self._wave_id or index != self._next_index):
+            self.discard()
+        if index != len(self._chunks):
+            # An out-of-sequence fragment with nothing buffered: a tail
+            # from a wave whose start we never saw.  Drop it.
+            return None
+        self._wave_id = wave_id
+        # Buffered fragments outlive the receive cycle: own the bytes.
+        self._chunks.append(packet.materialize())
+        self._next_index = index + 1
+        if len(self._chunks) == n_chunks:
+            whole = reassemble(self._chunks)
+            self._chunks = []
+            self._wave_id = None
+            self._next_index = 0
+            return whole
+        return None
+
+    def discard(self) -> None:
+        """Drop the in-progress partial wave (sender fault/restart)."""
+        if self._chunks:
+            self.discarded_waves += 1
+        self._chunks = []
+        self._wave_id = None
+        self._next_index = 0

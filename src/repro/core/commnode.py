@@ -72,6 +72,7 @@ from .packet import Packet
 from .protocol import (
     CONTROL_STREAM_ID,
     TAG_ADDR_REPORT,
+    TAG_CHUNK,
     TAG_CLOSE_STREAM,
     TAG_ENDPOINT_REPORT,
     TAG_HEARTBEAT,
@@ -80,6 +81,7 @@ from .protocol import (
     TAG_SHUTDOWN,
     TAG_STATS_REPLY,
     TAG_STATS_REQUEST,
+    WAVE_DUAL_ROOT,
     make_endpoint_report,
     make_heartbeat,
     make_ranks_changed,
@@ -500,9 +502,16 @@ class NodeCore:
 
     def handle_control_down(self, packet: Packet) -> None:
         if packet.tag == TAG_NEW_STREAM:
-            stream_id, endpoints, sync_id, trans_id, timeout, down_id = (
-                parse_new_stream(packet)
-            )
+            (
+                stream_id,
+                endpoints,
+                sync_id,
+                trans_id,
+                timeout,
+                down_id,
+                chunk_bytes,
+                wave_pattern,
+            ) = parse_new_stream(packet)
             links = self.routing.links_for(frozenset(endpoints))
             self.streams[stream_id] = StreamManager.create(
                 stream_id,
@@ -515,6 +524,8 @@ class NodeCore:
                 down_transform_filter_id=down_id,
                 clock=self.clock,
                 owner=self,
+                chunk_bytes=chunk_bytes,
+                wave_pattern=wave_pattern,
             )
             for link in links:
                 self._queue_down(link, packet)
@@ -583,7 +594,18 @@ class NodeCore:
                 self._queue_down(link, packet)
             return
         for out in manager.transform_downstream(packet):
-            for link in manager.child_links:
+            links = manager.child_links
+            if (
+                manager.wave_pattern == WAVE_DUAL_ROOT
+                and out.tag == TAG_CHUNK
+                and out.raw_values[1] & 1
+            ):
+                # Dual-root schedule: odd fragments fan out in reverse
+                # child order, interleaving two broadcast schedules that
+                # load the links in opposite order (Träff's dual-root
+                # reduce-to-all approximated on a single tree).
+                links = list(reversed(links))
+            for link in links:
                 self._queue_down(link, out)
 
     def poll_streams(self) -> None:

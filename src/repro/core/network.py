@@ -64,9 +64,15 @@ from .failure import (
     RanksChanged,
     RecoveryCoordinator,
 )
+from .chunking import ChunkReassembler
 from .packet import Packet
 from .protocol import (
     FIRST_STREAM_ID,
+    TAG_CHUNK,
+    WAVE_DUAL_ROOT,
+    WAVE_PATTERNS,
+    WAVE_REDUCE,
+    WAVE_REDUCE_TO_ALL,
     make_close_stream,
     make_new_stream,
     make_shutdown,
@@ -118,14 +124,43 @@ class _FrontEndCore(NodeCore):
         # Recursive instantiation: internal nodes announce their
         # listener addresses up the tree (label -> (host, port)).
         self.addr_reports: Dict[str, Tuple[str, int]] = {}
+        # Per-(stream, origin) fragment reassembly for local delivery:
+        # chunked results are rebuilt into whole packets before a tool
+        # ever sees them, keyed by origin because fragments relayed
+        # from distinct back-ends may interleave at the root.
+        self._delivery_reassemblers: Dict[Tuple[int, int], ChunkReassembler] = {}
 
     def _note_addr_report(self, packet: Packet) -> None:
         label, host, port = parse_addr_report(packet)
         self.addr_reports[label] = (host, port)
 
     def deliver_local(self, packet: Packet) -> None:
-        """Root upstream sink: route to the stream's delivery queue."""
-        self.stream_queues.get(packet.stream_id, self.default_queue).append(packet)
+        """Root upstream sink: route to the stream's delivery queue.
+
+        Reduce-to-all streams turn every arriving result around here —
+        broadcast back down the same stream, fragment by fragment, so
+        the down-multicast pipelines just like the up-reduction did.
+        Fragments are also reassembled into whole packets for the
+        tool-facing delivery queue.
+        """
+        manager = self.streams.get(packet.stream_id)
+        if manager is not None and manager.wave_pattern in (
+            WAVE_REDUCE_TO_ALL,
+            WAVE_DUAL_ROOT,
+        ):
+            self._handle_data_down(packet)
+        if packet.tag == TAG_CHUNK:
+            key = (packet.stream_id, packet.origin_rank)
+            ra = self._delivery_reassemblers.get(key)
+            if ra is None:
+                ra = self._delivery_reassemblers[key] = ChunkReassembler()
+            whole = ra.add(packet)
+            if whole is None:
+                return
+            packet = whole
+        self.stream_queues.get(packet.stream_id, self.default_queue).append(
+            packet.materialize()
+        )
 
     def _note_ranks_changed(self, packet: Packet) -> None:
         stream_id, epoch, lost, gained = parse_ranks_changed(packet)
@@ -998,11 +1033,23 @@ class Network:
         sync: int = SFILTER_WAITFORALL,
         sync_timeout: float = 0.0,
         down_transform: int = 0,
+        chunk_bytes: Optional[int] = None,
+        pattern: int = WAVE_REDUCE,
     ) -> Stream:
         """Create a stream over *communicator* with the given filters.
 
         ``transform``/``sync`` are filter ids from this network's
         registry (built-ins or ``load_filter_func`` results).
+
+        ``chunk_bytes`` enables pipelined waves: array payloads larger
+        than this many bytes travel as chunk fragments, and chunkwise
+        reductions (min/max/sum/avg under Wait-For-All) run
+        incrementally per fragment at every hop.  ``None`` (default)
+        preserves whole-wave behaviour byte-exactly.  ``pattern``
+        selects the wave pattern: ``WAVE_REDUCE`` (classic reduction),
+        ``WAVE_REDUCE_TO_ALL`` (result also broadcast back down to all
+        back-ends; see :meth:`Stream.allreduce`), or ``WAVE_DUAL_ROOT``
+        (reduce-to-all with the alternating dual-root down schedule).
         """
         self._check_up()
         if communicator.network is not self:
@@ -1013,6 +1060,10 @@ class Network:
             raise NetworkError(f"unknown synchronization filter id {sync}")
         if down_transform and not self.registry.is_transform(down_transform):
             raise NetworkError(f"unknown downstream filter id {down_transform}")
+        if chunk_bytes is not None and chunk_bytes <= 0:
+            raise NetworkError("chunk_bytes must be positive (or None)")
+        if pattern not in WAVE_PATTERNS:
+            raise NetworkError(f"unknown wave pattern {pattern}")
         stream_id = self._next_stream_id
         self._next_stream_id += 1
         self._core.stream_queues[stream_id] = deque()
@@ -1023,10 +1074,14 @@ class Network:
             transform,
             sync_timeout,
             down_transform,
+            chunk_bytes=chunk_bytes or 0,
+            wave_pattern=pattern,
         )
         self._core.handle_control_down(packet)
         self._core.flush()
-        stream = Stream(self, stream_id, communicator)
+        stream = Stream(
+            self, stream_id, communicator, chunk_bytes=chunk_bytes, pattern=pattern
+        )
         self._streams[stream_id] = stream
         return stream
 

@@ -102,6 +102,26 @@ class PacketDecodeError(ValueError):
     """Raised when a byte buffer cannot be decoded as a packet."""
 
 
+def _owns_buffer(value: np.ndarray) -> bool:
+    """True when *value*'s ultimate backing memory is immortal.
+
+    Walks the ``.base`` chain to the exporting object: arrays that own
+    their data (or view another owning array) are safe to keep forever;
+    so is a view over ``bytes``.  A view whose root exporter is
+    anything else — a shared-memory ring slice, an mmap, a bytearray —
+    borrows memory that may be reused or mutated, and must be copied
+    before the packet is parked (see :meth:`Packet.materialize`).
+    """
+    base = value.base
+    while isinstance(base, np.ndarray):
+        base = base.base
+    if base is None or isinstance(base, bytes):
+        return True
+    if isinstance(base, memoryview):
+        return isinstance(base.obj, bytes)
+    return False
+
+
 def _check_scalar(code: TypeCode, value: Any) -> Any:
     """Validate and normalise one scalar against its type code."""
     # Fast path for exact builtin types (note ``type(...) is int``
@@ -211,6 +231,12 @@ def _normalise_ndarray(code: TypeCode, arr: np.ndarray) -> np.ndarray:
     else:
         raise FormatError(f"ndarray not supported for {code}")
     out = np.array(arr, dtype=NATIVE_DTYPE[code])
+    out.setflags(write=False)
+    return out
+
+
+def _copy_readonly(arr: np.ndarray) -> np.ndarray:
+    out = arr.copy()
     out.setflags(write=False)
     return out
 
@@ -527,6 +553,41 @@ class Packet:
         elif not isinstance(enc, bytes):
             enc = self._encoded = bytes(enc)
         return enc
+
+    def materialize(self) -> "Packet":
+        """Ensure this packet owns every byte it references (in place).
+
+        The zero-copy shm receive path delivers frames as
+        ``memoryview`` slices aliasing the ring directly; once the read
+        is committed the producer may overwrite those bytes.  Any
+        packet that *parks* — output batching buffers, synchronization
+        queues, chunk reassembly — calls this first: a borrowed frame
+        is copied to owned ``bytes`` (decoded caches over the old
+        buffer are dropped to re-decode lazily), and decoded/computed
+        array values whose root exporter is not immortal are copied.
+        Packets that are consumed before parking never pay the copy —
+        that is the elision the ``shm_frames_zero_copy`` counter counts.
+        Returns ``self`` for call-site convenience.
+        """
+        enc = self._encoded
+        if isinstance(enc, memoryview) and not isinstance(enc.obj, bytes):
+            self._encoded = bytes(enc)
+            # Decoded ndarray fields were frombuffer views over the old
+            # frame; forget them so access re-decodes from the copy.
+            self._values = None
+            self._public = None
+            return self
+        values = self._values
+        if values is not None and any(
+            isinstance(v, np.ndarray) and not _owns_buffer(v) for v in values
+        ):
+            self._values = tuple(
+                _copy_readonly(v)
+                if isinstance(v, np.ndarray) and not _owns_buffer(v)
+                else v
+                for v in values
+            )
+        return self
 
     def encoded_view(self) -> bytes | memoryview:
         """Wire bytes without forcing a copy of a lazy packet's frame.

@@ -7,10 +7,11 @@ id 0 as the *control stream*; packets on it drive network life-cycle:
   sends a report to its parent containing the end-points accessible
   via that sub-tree" (§2.5).  Payload ``"%aud"``: back-end ranks.
 * ``TAG_NEW_STREAM`` (downstream) — stream creation announcement.
-  Payload ``"%ud %aud %d %d %lf %d"``: stream id, endpoint ranks,
-  synchronization filter id, upstream transformation filter id,
-  synchronization timeout (seconds; meaningful for TimeOut sync), and
-  downstream transformation filter id.
+  Payload ``"%ud %aud %d %d %lf %d %d %d"``: stream id, endpoint
+  ranks, synchronization filter id, upstream transformation filter id,
+  synchronization timeout (seconds; meaningful for TimeOut sync),
+  downstream transformation filter id, chunk size in bytes (0 =
+  chunking disabled), and wave pattern (see *Chunked waves* below).
 * ``TAG_CLOSE_STREAM`` (downstream) — payload ``"%ud"``: stream id.
 * ``TAG_SHUTDOWN`` (downstream) — tears the tree down.
 * ``TAG_HEARTBEAT`` (both directions) — liveness probe, consumed at
@@ -30,7 +31,7 @@ id 0 as the *control stream*; packets on it drive network life-cycle:
   replies from an earlier gather.
 * ``TAG_STATS_REPLY`` (upstream) — one node's answer.  Payload
   ``"%ud %s"``: the echoed request id and a JSON document in the
-  ``mrnet.stats/1`` schema (see :mod:`repro.obs.snapshot`).  Replies
+  ``mrnet.stats/2`` schema (see :mod:`repro.obs.snapshot`).  Replies
   are relayed hop by hop toward the root on the ordinary upstream
   control path, through the same packet buffers that batch tool data.
 * ``TAG_ADDR_REPORT`` (upstream) — parallel recursive instantiation
@@ -42,6 +43,27 @@ id 0 as the *control stream*; packets on it drive network life-cycle:
 
 Application packets use non-negative tags; tags below
 ``FIRST_APP_TAG`` are reserved for the protocol.
+
+Chunked waves
+-------------
+
+Data-stream payloads above a stream's ``chunk_bytes`` threshold travel
+as *pipeline fragments*: sub-packets on the same (non-control) stream
+carrying the reserved ``TAG_CHUNK`` tag.  A chunk's value tuple is the
+original packet's values with array fields sliced, prefixed by the
+framing fields of :data:`~repro.core.chunking.CHUNK_PREFIX_FMT`::
+
+    (wave_id, chunk_index, n_chunks, original_tag, *sliced values)
+
+``TAG_CHUNK`` is negative but never a *control* tag: control detection
+is ``stream_id == CONTROL_STREAM_ID``, so chunks route through the
+ordinary data plane.  See :mod:`repro.core.chunking` for the codec.
+
+``TAG_NEW_STREAM`` carries two trailing fields for this machinery:
+``chunk_bytes`` (0 disables chunking) and ``wave_pattern`` (one of
+:data:`WAVE_REDUCE`, :data:`WAVE_REDUCE_TO_ALL`, :data:`WAVE_DUAL_ROOT`).
+Parsers pad defaults for the historical six-field announcement so
+mixed-version trees interoperate.
 """
 
 from __future__ import annotations
@@ -62,7 +84,12 @@ __all__ = [
     "TAG_STATS_REQUEST",
     "TAG_STATS_REPLY",
     "TAG_ADDR_REPORT",
+    "TAG_CHUNK",
     "FIRST_APP_TAG",
+    "WAVE_REDUCE",
+    "WAVE_REDUCE_TO_ALL",
+    "WAVE_DUAL_ROOT",
+    "WAVE_PATTERNS",
     "FMT_ENDPOINT_REPORT",
     "FMT_NEW_STREAM",
     "FMT_CLOSE_STREAM",
@@ -100,10 +127,26 @@ TAG_STATS_REQUEST = -7
 TAG_STATS_REPLY = -8
 TAG_ADDR_REPORT = -9
 
+#: Reserved tag marking a pipeline fragment on a *data* stream.  Not a
+#: control tag — chunks never ride stream 0 — but kept below
+#: ``FIRST_APP_TAG`` so it can never collide with an application tag.
+TAG_CHUNK = -16
+
 FIRST_APP_TAG = 100
 
+#: Wave patterns (``TAG_NEW_STREAM`` trailing field).  ``WAVE_REDUCE``
+#: is the classic upstream reduction; ``WAVE_REDUCE_TO_ALL`` turns the
+#: reduced result around at the root and broadcasts it back down the
+#: same stream; ``WAVE_DUAL_ROOT`` additionally alternates the
+#: down-broadcast fan-out order per chunk (Träff's dual-root schedule
+#: approximated on a single tree — see docs/architecture.md).
+WAVE_REDUCE = 0
+WAVE_REDUCE_TO_ALL = 1
+WAVE_DUAL_ROOT = 2
+WAVE_PATTERNS = (WAVE_REDUCE, WAVE_REDUCE_TO_ALL, WAVE_DUAL_ROOT)
+
 FMT_ENDPOINT_REPORT = "%aud"
-FMT_NEW_STREAM = "%ud %aud %d %d %lf %d"
+FMT_NEW_STREAM = "%ud %aud %d %d %lf %d %d %d"
 FMT_CLOSE_STREAM = "%ud"
 FMT_SHUTDOWN = "%d"
 FMT_HEARTBEAT = "%ud"
@@ -127,8 +170,14 @@ def make_new_stream(
     transform_filter_id: int,
     sync_timeout: float = 0.0,
     down_transform_filter_id: int = 0,
+    chunk_bytes: int = 0,
+    wave_pattern: int = WAVE_REDUCE,
 ) -> Packet:
-    """Build the downstream stream-creation announcement."""
+    """Build the downstream stream-creation announcement.
+
+    ``chunk_bytes`` of 0 disables chunking for the stream;
+    ``wave_pattern`` is one of :data:`WAVE_PATTERNS`.
+    """
     return Packet(
         CONTROL_STREAM_ID,
         TAG_NEW_STREAM,
@@ -140,14 +189,34 @@ def make_new_stream(
             transform_filter_id,
             float(sync_timeout),
             down_transform_filter_id,
+            int(chunk_bytes),
+            int(wave_pattern),
         ),
     )
 
 
-def parse_new_stream(packet: Packet) -> Tuple[int, Tuple[int, ...], int, int, float, int]:
-    """Unpack a ``TAG_NEW_STREAM`` control packet."""
-    stream_id, endpoints, sync_id, trans_id, timeout, down_id = packet.unpack()
-    return stream_id, endpoints, sync_id, trans_id, timeout, down_id
+def parse_new_stream(
+    packet: Packet,
+) -> Tuple[int, Tuple[int, ...], int, int, float, int, int, int]:
+    """Unpack a ``TAG_NEW_STREAM`` control packet.
+
+    Tolerates the historical six-field announcement (pre-chunking
+    peers) by padding ``chunk_bytes=0`` / ``wave_pattern=WAVE_REDUCE``.
+    """
+    fields = packet.unpack()
+    stream_id, endpoints, sync_id, trans_id, timeout, down_id = fields[:6]
+    chunk_bytes = fields[6] if len(fields) > 6 else 0
+    wave_pattern = fields[7] if len(fields) > 7 else WAVE_REDUCE
+    return (
+        stream_id,
+        endpoints,
+        sync_id,
+        trans_id,
+        timeout,
+        down_id,
+        chunk_bytes,
+        wave_pattern,
+    )
 
 
 def make_close_stream(stream_id: int) -> Packet:
@@ -202,7 +271,7 @@ def parse_stats_request(packet: Packet) -> int:
 def make_stats_reply(request_id: int, payload: str) -> Packet:
     """Build one node's upstream metrics reply.
 
-    *payload* is the ``mrnet.stats/1`` JSON produced by
+    *payload* is the ``mrnet.stats/2`` JSON produced by
     :func:`repro.obs.snapshot.dumps_snapshot`.
     """
     return Packet(

@@ -11,6 +11,12 @@ MRNet from their event loop), so ``recv`` pumps the network while it
 waits; packets for *other* streams arriving meanwhile are queued on
 those streams, supporting the paper's "multiple simultaneous,
 asynchronous collective communication operations".
+
+Streams created with ``chunk_bytes`` split large array sends into
+pipeline fragments (see :mod:`repro.core.chunking`) so multi-level
+trees overlap their hops; streams created with a reduce-to-all wave
+pattern additionally broadcast each reduced wave back down to every
+back-end, and :meth:`Stream.allreduce` receives the front-end's copy.
 """
 
 from __future__ import annotations
@@ -18,9 +24,10 @@ from __future__ import annotations
 import time
 from typing import Any, Optional, Tuple
 
+from .chunking import split_packet
 from .communicator import Communicator
 from .packet import Packet
-from .protocol import FIRST_APP_TAG
+from .protocol import FIRST_APP_TAG, WAVE_DUAL_ROOT, WAVE_REDUCE, WAVE_REDUCE_TO_ALL
 
 __all__ = ["Stream", "StreamClosed"]
 
@@ -30,13 +37,29 @@ class StreamClosed(RuntimeError):
 
 
 class Stream:
-    """A logical data channel between the front-end and a communicator."""
+    """A logical data channel between the front-end and a communicator.
 
-    def __init__(self, network, stream_id: int, communicator: Communicator):
+    ``chunk_bytes`` (``None`` disables chunking — byte-exact legacy
+    behaviour) and ``pattern`` (a wave pattern from
+    :mod:`repro.core.protocol`) are fixed at creation by
+    :meth:`repro.core.network.Network.new_stream`.
+    """
+
+    def __init__(
+        self,
+        network,
+        stream_id: int,
+        communicator: Communicator,
+        chunk_bytes: Optional[int] = None,
+        pattern: int = WAVE_REDUCE,
+    ):
         self._network = network
         self.stream_id = stream_id
         self.communicator = communicator
+        self.chunk_bytes = chunk_bytes
+        self.pattern = pattern
         self.closed = False
+        self._send_wave = 0  # wave ids for front-end-originated fragments
 
     # -- sending -------------------------------------------------------------
 
@@ -44,10 +67,12 @@ class Stream:
         """Multicast a packet downstream to every stream end-point.
 
         Mirrors Figure 2's ``stream->send("%d", FLOAT_MAX_INIT)``.
+        Array payloads above the stream's ``chunk_bytes`` are split
+        into pipeline fragments that multicast hop-overlapped.
         """
         self._check_open()
         packet = Packet(self.stream_id, tag, fmt, values)
-        self._network._send_downstream(packet)
+        self._send_maybe_chunked(packet)
 
     def send_packet(self, packet: Packet) -> None:
         """Multicast a pre-built packet (must carry this stream's id)."""
@@ -56,6 +81,16 @@ class Stream:
             raise ValueError(
                 f"packet stream id {packet.stream_id} != {self.stream_id}"
             )
+        self._send_maybe_chunked(packet)
+
+    def _send_maybe_chunked(self, packet: Packet) -> None:
+        if self.chunk_bytes:
+            chunks = split_packet(packet, self.chunk_bytes, self._send_wave)
+            if chunks is not None:
+                self._send_wave += 1
+                for chunk in chunks:
+                    self._network._send_downstream(chunk)
+                return
         self._network._send_downstream(packet)
 
     # -- receiving ---------------------------------------------------------
@@ -75,6 +110,41 @@ class Stream:
     def try_recv(self) -> Optional[Packet]:
         """Non-blocking receive: the next packet, or ``None``."""
         return self._network._try_recv_on_stream(self.stream_id)
+
+    # -- collectives ---------------------------------------------------------
+
+    def allreduce(self, timeout: Optional[float] = None) -> Tuple[Any, ...]:
+        """Receive the next reduce-to-all result at the front-end.
+
+        Valid only on streams created with a reduce-to-all pattern
+        (``WAVE_REDUCE_TO_ALL`` or ``WAVE_DUAL_ROOT``): every back-end
+        contribution wave is reduced up the tree, and the result is
+        both delivered here and broadcast back down the same stream to
+        every back-end — the MPI ``Allreduce`` shape mapped onto the
+        overlay (Träff's pipelined reduce-to-all).  Returns the reduced
+        packet's values; raises ``TimeoutError`` after *timeout*
+        seconds and ``StreamClosed`` on a plain-reduction stream.
+        """
+        if self.pattern not in (WAVE_REDUCE_TO_ALL, WAVE_DUAL_ROOT):
+            raise StreamClosed(
+                f"stream {self.stream_id} is not a reduce-to-all stream "
+                f"(pattern={self.pattern})"
+            )
+        return self.recv_values(timeout)
+
+    def scan(self, timeout: Optional[float] = None) -> Tuple[Any, ...]:
+        """Receive the next prefix-scan result as a flat array.
+
+        Convenience receive for ``TFILTER_SCAN`` streams: strips the
+        filter's internal already-scanned flag and returns the running
+        per-rank prefix values in back-end rank order (the tree
+        formulation of ``MPI_Scan``).  On non-scan streams it simply
+        returns the packet's values unchanged.
+        """
+        values = self.recv_values(timeout)
+        if len(values) == 2 and values[0] == 1 and isinstance(values[1], tuple):
+            return values[1]
+        return values
 
     @property
     def membership_epoch(self) -> int:

@@ -26,25 +26,63 @@ stream propagates undecoded lazy wire packets end-to-end — the node
 relays the original frame bytes without ever touching field values.
 Any value-inspecting filter (sum, concat, ...) triggers the deferred
 decode on first access via ``Packet.raw_values``.
+
+Chunked waves (pipelined collectives)
+-------------------------------------
+
+Streams created with ``chunk_bytes > 0`` carry large array payloads as
+``TAG_CHUNK`` pipeline fragments (see :mod:`repro.core.chunking`).
+When the upstream transform is *chunkwise* (element-wise reductions:
+min/max/sum/avg) and the synchronizer is Wait-For-All, the manager
+runs the filter **incrementally**: one fragment from every child —
+heads aligned on ``(chunk_index, n_chunks)`` — triggers a partial
+filter invocation whose single output is immediately re-framed as a
+fragment of this node's own output wave and forwarded.  Hop *k* thus
+reduces chunk *i* while hop *k−1* reduces chunk *i+1*, which is what
+flattens Figure 7c's latency-vs-depth curve (Träff, arXiv:2109.12626).
+
+For every other configuration (non-chunkwise filters, TimeOut/DontWait
+sync) fragments are reassembled per child link before entering the
+classic synchronization path, so chunked and whole-wave results are
+byte-identical by construction.  A child that dies mid-wave leaves a
+truncated fragment sequence; the manager discards the poisoned
+partial wave at every affected level (``chunk_waves_aborted``) and
+realigns on the next wave boundary, under the bumped membership epoch.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Callable, FrozenSet, List, Optional, Sequence
+from collections import deque
+from typing import Callable, Deque, Dict, FrozenSet, List, Optional, Sequence
 
 from ..filters.base import FunctionFilter
 from ..filters.registry import (
     SFILTER_DONTWAIT,
     SFILTER_TIMEOUT,
+    SFILTER_WAITFORALL,
     TFILTER_NULL,
     FilterRegistry,
 )
-from ..filters.sync import SynchronizationFilter
+from ..filters.sync import SynchronizationFilter, WaitForAllFilter
 from ..obs.metrics import MetricsRegistry
+from .chunking import (
+    ChunkReassembler,
+    chunk_meta,
+    is_chunk,
+    reassemble,
+    split_packet,
+    strip_chunk,
+    wrap_chunk,
+)
 from .packet import Packet
+from .protocol import WAVE_REDUCE
 
-__all__ = ["StreamManager"]
+__all__ = ["StreamManager", "CHUNK_BYTE_BUCKETS"]
+
+#: Power-of-two byte buckets for the per-stream ``chunk_bytes``
+#: histogram (1 KiB .. 16 MiB covers every sane fragment size).
+CHUNK_BYTE_BUCKETS = tuple(1 << p for p in range(10, 25))
 
 
 class StreamManager:
@@ -71,12 +109,24 @@ class StreamManager:
         down_transform: Optional[FunctionFilter] = None,
         clock: Optional[Callable[[], float]] = None,
         owner=None,
+        chunk_bytes: int = 0,
+        wave_pattern: int = WAVE_REDUCE,
     ):
         self.stream_id = stream_id
         self.endpoints: FrozenSet[int] = frozenset(endpoints)
         self.child_links = list(child_links)
         self.sync = sync_filter
         self.transform = transform
+        self.chunk_bytes = int(chunk_bytes or 0)
+        self.wave_pattern = wave_pattern
+        # Incremental (per-chunk) filtering needs a reduction that
+        # commutes with slicing and alignment semantics with no time
+        # component; everything else reassembles fragments first.
+        self.incremental = (
+            self.chunk_bytes > 0
+            and getattr(transform, "chunkwise", False)
+            and isinstance(sync_filter, WaitForAllFilter)
+        )
         self.transform_state = transform.make_state()
         # Generic hint for filters that need their fan-in (e.g. the
         # Performance Data Aggregation filter aligns one queue per child).
@@ -119,6 +169,45 @@ class StreamManager:
         # wave releases.  One attribute test per pushed packet, one
         # clock read per wave — cheap enough to stay always-on.
         self._wave_t0: Optional[float] = None
+        # -- chunked-wave state ----------------------------------------
+        # Per-link fragment reassembly for the non-incremental path
+        # (created lazily; also catches fragments on streams whose own
+        # chunk_bytes is 0, e.g. from a newer peer).
+        self._reassemblers: Dict[object, ChunkReassembler] = {}
+        # Incremental mode: every data packet (fragment or whole) rides
+        # a per-link FIFO; release happens on aligned heads.
+        self._chunk_queues: Dict[object, Deque[Packet]] = (
+            {c: deque() for c in self.child_links} if self.incremental else {}
+        )
+        self._chunk_joining: set = set()
+        self._wave_links: List[object] = []  # fixed participant set mid-wave
+        self._wave_pos = 0  # next expected chunk index (0 = at a boundary)
+        self._wave_n = 0  # fragment count of the in-flight aligned wave
+        self._out_wave = 0  # this node's output wave sequence number
+        self._fill_t0: Optional[float] = None  # first fragment of a wave
+        if self.chunk_bytes > 0:
+            registry.gauge(
+                "chunks_in_flight",
+                "Pipeline fragments currently buffered for this stream "
+                "(aligned-release queues plus per-link reassembly)",
+                fn=self._count_chunks_in_flight,
+                stream=stream_id,
+            )
+            self._h_chunk_bytes = registry.histogram(
+                "chunk_bytes",
+                "Encoded size of pipeline fragments received on this stream",
+                stream=stream_id,
+                buckets=CHUNK_BYTE_BUCKETS,
+            )
+            self._c_chunk_aborts = registry.counter(
+                "chunk_waves_aborted",
+                "Partial chunked waves discarded (mid-wave fault or "
+                "fragment-sequence restart)",
+                stream=stream_id,
+            )
+        else:
+            self._h_chunk_bytes = None
+            self._c_chunk_aborts = None
 
     @classmethod
     def create(
@@ -133,6 +222,8 @@ class StreamManager:
         down_transform_filter_id: int = 0,
         clock: Callable[[], float] = None,
         owner=None,
+        chunk_bytes: int = 0,
+        wave_pattern: int = WAVE_REDUCE,
     ) -> "StreamManager":
         """Instantiate filters from registry ids (the NEW_STREAM path)."""
         clock = clock or time.monotonic
@@ -149,6 +240,7 @@ class StreamManager:
         manager = cls(
             stream_id, endpoints, child_links, sync, transform, down,
             clock=clock, owner=owner,
+            chunk_bytes=chunk_bytes, wave_pattern=wave_pattern,
         )
         manager.passthrough = (
             sync_filter_id == SFILTER_DONTWAIT
@@ -163,46 +255,331 @@ class StreamManager:
         """Process one packet arriving from a child; return outputs."""
         if self.closed:
             return []
+        if self.incremental:
+            return self._push_incremental(link_id, packet)
+        if is_chunk(packet):
+            # Non-incremental configuration: rebuild the whole packet
+            # from this child's fragment sequence, then run the classic
+            # wave path — chunked and whole-wave results are identical
+            # by construction.
+            if self._h_chunk_bytes is not None:
+                self._h_chunk_bytes.observe(packet.nbytes)
+            ra = self._reassemblers.get(link_id)
+            if ra is None:
+                ra = self._reassemblers[link_id] = ChunkReassembler()
+            discarded = ra.discarded_waves
+            whole = ra.add(packet)
+            if ra.discarded_waves != discarded and self._c_chunk_aborts is not None:
+                self._c_chunk_aborts.value += ra.discarded_waves - discarded
+            if whole is None:
+                return []
+            packet = whole
         if self._wave_t0 is None:
             self._wave_t0 = self._clock()
-        waves = self.sync.push(link_id, packet)
-        return self._run_waves(waves)
+        # The sync filter may park the packet across receive cycles.
+        waves = self.sync.push(link_id, packet.materialize())
+        return self._emit_up(self._run_waves(waves))
 
     def poll_upstream(self) -> List[Packet]:
         """Re-check time-based synchronization criteria."""
         if self.closed:
             return []
-        return self._run_waves(self.sync.poll())
+        if self.incremental:
+            return []  # no time-based criterion in aligned-chunk mode
+        return self._emit_up(self._run_waves(self.sync.poll()))
 
     def drop_link(self, link_id: int) -> List[Packet]:
-        """A child link closed: release its backlog through the filter."""
+        """A child link closed: discard its state, realign the rest.
+
+        Classic path: the dead child's backlog is released through the
+        filter best-effort.  Incremental path: its buffered fragments
+        are unusable partial state — they are discarded, and if the
+        child was mid-wave the whole in-flight wave is aborted (every
+        sibling's fragments for it are dropped too), so the next wave
+        realigns cleanly under the bumped membership epoch.
+        """
+        self.membership_epoch += 1
+        if self.incremental:
+            q = self._chunk_queues.pop(link_id, None)
+            self._chunk_joining.discard(link_id)
+            self.sync.remove_child(link_id)
+            if link_id in self.child_links:
+                self.child_links.remove(link_id)
+            if self._wave_pos > 0 and link_id in self._wave_links:
+                self._abort_wave()
+            elif q and self._c_chunk_aborts is not None and any(
+                is_chunk(p) for p in q
+            ):
+                self._c_chunk_aborts.value += 1
+            return self._release_aligned()
+        self._reassemblers.pop(link_id, None)
         backlog = self.sync.remove_child(link_id)
         if link_id in self.child_links:
             self.child_links.remove(link_id)
-        self.membership_epoch += 1
         out: List[Packet] = []
         if backlog:
-            out.extend(self.transform(backlog, self.transform_state))
+            backlog = [p for p in backlog if not is_chunk(p)]
+            if backlog:
+                out.extend(self.transform(backlog, self.transform_state))
         out.extend(self._run_waves(self.sync.poll()))
-        return out
+        return self._emit_up(out)
 
     def add_link(self, link_id: int) -> None:
         """Adopt a child link mid-stream (tree repair).
 
         The link joins wave alignment with *joining* semantics: an
         in-flight wave completes over the pre-adoption membership; the
-        new link participates from its first contribution (or the next
-        wave) onward.
+        new link participates from the next wave boundary onward.
         """
         if link_id in self.child_links:
             return
         self.child_links.append(link_id)
         self.sync.add_child(link_id, joining=True)
+        if self.incremental:
+            self._chunk_queues[link_id] = deque()
+            self._chunk_joining.add(link_id)
         self.membership_epoch += 1
 
     def flush_upstream(self) -> List[Packet]:
-        """Stream teardown: push every held packet through the filter."""
-        return self._run_waves(self.sync.flush())
+        """Stream teardown: push every held packet through the filter.
+
+        Fragments of incomplete waves are discarded (a partial array
+        slice is not a usable contribution); whole packets flush
+        positionally like the classic path.
+        """
+        if not self.incremental:
+            return self._emit_up(self._run_waves(self.sync.flush()))
+        if self._wave_pos > 0:
+            self._abort_wave()
+        waves: List[List[Packet]] = []
+        while True:
+            wave = []
+            for q in self._chunk_queues.values():
+                while q and is_chunk(q[0]):
+                    q.popleft()  # orphan fragments: discard
+                if q:
+                    wave.append(q.popleft())
+            if not wave:
+                break
+            waves.append(wave)
+        return self._emit_up(self._run_waves(waves))
+
+    # -- incremental (per-chunk) pipeline ---------------------------------
+
+    def _push_incremental(self, link_id: int, packet: Packet) -> List[Packet]:
+        """Queue one arrival and release every aligned fragment."""
+        q = self._chunk_queues.get(link_id)
+        if q is None:
+            raise KeyError(f"unknown child {link_id!r}")
+        if is_chunk(packet) and self._h_chunk_bytes is not None:
+            self._h_chunk_bytes.observe(packet.nbytes)
+        q.append(packet)
+        now = self._clock()
+        if self._wave_t0 is None:
+            self._wave_t0 = now
+        if self._fill_t0 is None:
+            self._fill_t0 = now
+        out = self._release_aligned()
+        if q and q[-1] is packet:
+            # Not consumed this cycle: the fragment parks until its
+            # siblings arrive, so it must own its bytes (zero-copy shm
+            # frames alias ring memory that is about to be recycled).
+            packet.materialize()
+        return out
+
+    def _release_aligned(self) -> List[Packet]:
+        """Drain every releasable aligned fragment / whole wave."""
+        out: List[Packet] = []
+        while True:
+            released = self._try_release()
+            if released is None:
+                return out
+            out.extend(released)
+
+    def _participants(self) -> Optional[List[object]]:
+        """Links taking part in the next wave, or ``None`` if not ready.
+
+        Mirrors Wait-For-All membership: every non-joining link must
+        have a packet queued; joining links ride along only if they
+        already have one.
+        """
+        required = [
+            lid for lid in self._chunk_queues if lid not in self._chunk_joining
+        ]
+        if not required:
+            return None
+        if any(not self._chunk_queues[lid] for lid in required):
+            return None
+        return [lid for lid, q in self._chunk_queues.items() if q]
+
+    def _try_release(self) -> Optional[List[Packet]]:
+        if self._wave_pos > 0:
+            return self._release_next_chunk()
+        # At a wave boundary: first drop stale fragment tails left by
+        # an aborted wave (a fragment sequence must start at index 0).
+        for q in self._chunk_queues.values():
+            while q and is_chunk(q[0]) and chunk_meta(q[0])[1] != 0:
+                q.popleft()
+        links = self._participants()
+        if links is None:
+            return None
+        heads = [self._chunk_queues[lid][0] for lid in links]
+        if all(is_chunk(h) for h in heads):
+            counts = {chunk_meta(h)[2] for h in heads}
+            if len(counts) == 1:
+                # Uniformly fragmented: open an aligned incremental wave.
+                self._wave_links = links
+                self._wave_n = counts.pop()
+                self._wave_pos = 0
+                return self._release_next_chunk()
+        return self._release_reassembled(links)
+
+    def _release_next_chunk(self) -> Optional[List[Packet]]:
+        """Release fragment ``_wave_pos`` of the in-flight aligned wave."""
+        index, n = self._wave_pos, self._wave_n
+        inner: List[Packet] = []
+        for lid in self._wave_links:
+            q = self._chunk_queues.get(lid)
+            if q is None:  # participant vanished: drop_link aborts first
+                self._abort_wave()
+                return []
+            if not q:
+                return None  # wait for this link's fragment
+            head = q[0]
+            if not is_chunk(head) or chunk_meta(head)[1:3] != (index, n):
+                # Truncated/restarted sequence (mid-wave fault below us):
+                # poison the whole in-flight wave and realign.
+                self._abort_wave()
+                return []
+            inner.append(strip_chunk(head))
+        for lid in self._wave_links:
+            self._chunk_queues[lid].popleft()
+        tracer = self._owner.tracer if self._owner is not None else None
+        if tracer is None:
+            outputs = self.transform(inner, self.transform_state)
+        else:
+            t0 = tracer.span_start()
+            outputs = self.transform(inner, self.transform_state)
+            tracer.span_end(
+                "filter", t0, self.stream_id, detail=f"{self.transform.name}#{index}"
+            )
+        if index == 0 and tracer is not None and self._fill_t0 is not None:
+            # The pipeline is primed: first partial result leaves while
+            # later fragments are still arriving (Figure 3 hop overlap).
+            tracer.span(
+                "pipeline_fill",
+                self._fill_t0,
+                self._clock(),
+                self.stream_id,
+                detail=f"n={n}",
+            )
+        out = [wrap_chunk(p, self._out_wave, index, n) for p in outputs]
+        if index + 1 >= n:
+            released = self._clock()
+            if self._wave_t0 is not None:
+                self._h_wave_latency.observe(released - self._wave_t0)
+                self._wave_t0 = None
+            self._c_waves_released.value += 1
+            self._out_wave += 1
+            self._wave_pos = 0
+            self._wave_n = 0
+            self._wave_links = []
+            self._fill_t0 = None
+            self._chunk_joining.clear()
+        else:
+            self._wave_pos = index + 1
+        return out
+
+    def _release_reassembled(self, links: List[object]) -> Optional[List[Packet]]:
+        """Boundary fallback: mixed whole/fragment (or unevenly
+        fragmented) heads.  Wait until every participant has one
+        complete unit queued, rebuild the fragmented ones, and run the
+        classic whole-wave path."""
+        units: List[Packet] = []
+        consume: List[int] = []
+        for lid in links:
+            q = self._chunk_queues[lid]
+            unit = None
+            while q:
+                head = q[0]
+                if not is_chunk(head):
+                    unit = head
+                    consume.append(1)
+                    break
+                wave_id, _index, n, _tag = chunk_meta(head)
+                # Queues are FIFO, so any already-arrived fragment that
+                # breaks the sequence means the sender restarted — the
+                # partial prefix can never complete.  Drop it eagerly
+                # (waiting on it would deadlock behind a finished new
+                # wave) and re-examine the new head.
+                broken_at = None
+                for pos in range(1, min(n, len(q))):
+                    p = q[pos]
+                    if not is_chunk(p) or chunk_meta(p)[:2] != (wave_id, pos):
+                        broken_at = pos
+                        break
+                if broken_at is not None:
+                    for _ in range(broken_at):
+                        q.popleft()
+                    if self._c_chunk_aborts is not None:
+                        self._c_chunk_aborts.value += 1
+                    continue
+                if len(q) < n:
+                    return None  # complete set not yet arrived
+                unit = reassemble([q[pos] for pos in range(n)])
+                consume.append(n)
+                break
+            if unit is None:
+                return None
+            units.append(unit)
+        for lid, count in zip(links, consume):
+            q = self._chunk_queues[lid]
+            for _ in range(count):
+                q.popleft()
+        self._chunk_joining.clear()
+        self._fill_t0 = None
+        return self._emit_up(self._run_waves([units]))
+
+    def _abort_wave(self) -> None:
+        """Poison the in-flight aligned wave: drop every participant's
+        remaining fragments for it and realign at the next boundary."""
+        if self._c_chunk_aborts is not None:
+            self._c_chunk_aborts.value += 1
+        for q in self._chunk_queues.values():
+            while q and is_chunk(q[0]) and chunk_meta(q[0])[1] != 0:
+                q.popleft()
+        self._wave_pos = 0
+        self._wave_n = 0
+        self._wave_links = []
+        self._wave_t0 = None
+        self._fill_t0 = None
+        # The node's own output sequence restarts too: bump the output
+        # wave id so downstream reassembly discards the truncated wave.
+        self._out_wave += 1
+
+    def _emit_up(self, packets: List[Packet]) -> List[Packet]:
+        """Split oversized whole outputs so upstream hops stay pipelined."""
+        if not self.chunk_bytes:
+            return packets
+        out: List[Packet] = []
+        for p in packets:
+            if is_chunk(p):
+                out.append(p)
+                continue
+            chunks = split_packet(p, self.chunk_bytes, self._out_wave)
+            if chunks is None:
+                out.append(p)
+            else:
+                self._out_wave += 1
+                out.extend(chunks)
+        return out
+
+    def _count_chunks_in_flight(self) -> int:
+        n = sum(
+            1 for q in self._chunk_queues.values() for p in q if is_chunk(p)
+        )
+        n += sum(ra.pending for ra in self._reassemblers.values())
+        return n
 
     def _run_waves(self, waves) -> List[Packet]:
         out: List[Packet] = []
@@ -248,8 +625,13 @@ class StreamManager:
 
     @property
     def pending(self) -> int:
-        """Packets currently held by the synchronization filter."""
-        return self.sync.pending
+        """Packets currently held back (sync filter, chunk queues and
+        per-link fragment reassembly)."""
+        if self.incremental:
+            return sum(len(q) for q in self._chunk_queues.values())
+        return self.sync.pending + sum(
+            ra.pending for ra in self._reassemblers.values()
+        )
 
     def next_deadline(self) -> Optional[float]:
         """Earliest clock time a time-based criterion could fire."""

@@ -82,7 +82,23 @@ class TransformationFilter(Protocol):
 
 
 class FunctionFilter:
-    """Adapter turning a plain filter function into a filter object."""
+    """Adapter turning a plain filter function into a filter object.
+
+    ``chunkwise`` marks filters whose reduction commutes with slicing
+    the wave's array payload: running the filter once per aligned chunk
+    (one fragment from every child) and concatenating the outputs
+    equals running it once on the whole wave.  Element-wise reductions
+    (min/max/sum/avg) qualify — chunks partition the element index
+    space, so the cross-child reduction of each element range is final.
+    Filters that mix elements across positions (concat, scan, window)
+    or emit more than one packet per wave (null) do not; their chunked
+    waves are reassembled before the filter runs.  Chunkwise filters
+    are what :class:`~repro.core.stream_manager.StreamManager` runs
+    *incrementally per chunk*, giving pipelined waves.
+    """
+
+    #: Default: reassemble chunked waves before running this filter.
+    chunkwise: bool = False
 
     def __init__(
         self,

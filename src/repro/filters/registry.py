@@ -29,8 +29,10 @@ from .transform import (
     concat_filter,
     max_filter,
     min_filter,
+    scan_filter,
     sum_filter,
     wavg_filter,
+    window_filter,
 )
 
 __all__ = [
@@ -41,6 +43,8 @@ __all__ = [
     "TFILTER_AVG",
     "TFILTER_WAVG",
     "TFILTER_CONCAT",
+    "TFILTER_SCAN",
+    "TFILTER_WINDOW",
     "SFILTER_WAITFORALL",
     "SFILTER_TIMEOUT",
     "SFILTER_DONTWAIT",
@@ -56,6 +60,8 @@ TFILTER_SUM = 3
 TFILTER_AVG = 4
 TFILTER_CONCAT = 5
 TFILTER_WAVG = 6
+TFILTER_SCAN = 7
+TFILTER_WINDOW = 8
 
 # Well-known synchronization filter ids.
 SFILTER_WAITFORALL = 100
@@ -90,6 +96,8 @@ class FilterRegistry:
         self._transform[TFILTER_AVG] = avg_filter
         self._transform[TFILTER_WAVG] = wavg_filter
         self._transform[TFILTER_CONCAT] = concat_filter
+        self._transform[TFILTER_SCAN] = scan_filter
+        self._transform[TFILTER_WINDOW] = window_filter
         self._sync[SFILTER_WAITFORALL] = WaitForAllFilter
         self._sync[SFILTER_TIMEOUT] = TimeOutFilter
         self._sync[SFILTER_DONTWAIT] = DoNotWaitFilter

@@ -44,12 +44,16 @@ __all__ = [
     "ConcatenationFilter",
     "AverageFilter",
     "WeightedAverageFilter",
+    "ScanFilter",
+    "WindowFilter",
     "min_filter",
     "max_filter",
     "sum_filter",
     "avg_filter",
     "concat_filter",
     "wavg_filter",
+    "scan_filter",
+    "window_filter",
 ]
 
 # 64-bit integer sums stay on the exact Python fold: an int64/uint64
@@ -338,9 +342,188 @@ class ConcatenationFilter(FunctionFilter):
         ]
 
 
+class ScanFilter(FunctionFilter):
+    """Prefix scan (running sum) across the wave, in child order.
+
+    The tree-collective formulation of ``MPI_Scan`` (NetFPGA scan,
+    arXiv:1408.4939): each back-end contributes one numeric block — a
+    scalar or a single array field — and the front-end receives the
+    element-by-element running sum over all contributions, ordered by
+    wave (i.e. child/rank) order.
+
+    Scan composes associatively across tree levels through a flagged
+    output convention.  Raw contributions are single-field packets
+    (``"%<code>"`` or ``"%a<code>"``); a node's output is
+    ``"%d %a<code>"`` whose leading flag is 1, meaning "this block is
+    already scanned".  When a node's inputs include flagged blocks
+    from lower levels, they are used as-is; raw blocks are cumsum'd;
+    then each block is offset by the running total of the blocks
+    before it — ``A ∥ (B + last(A))`` — which is exactly how partial
+    scans of disjoint rank ranges compose.
+
+    Per-node partial state rides :class:`FilterState`: after every
+    wave ``state["last_total"]`` holds the wave's final cumulative
+    value, so a tool-side filter stacked on top can build running
+    scans across waves.
+    """
+
+    #: Leading already-scanned flag prepended to every output block.
+    FLAG_SCANNED = 1
+
+    def __init__(self, name: str = "scan"):
+        super().__init__(self._run, name, None)
+
+    @staticmethod
+    def _block(packet: Packet):
+        """One input as ``(code, is_scanned, 1-D ndarray)``."""
+        fields = packet.fmt.fields
+        if (
+            len(fields) == 2
+            and not fields[0].is_array
+            and fields[0].code is TypeCode.INT32
+            and fields[1].is_array
+        ):
+            flag = packet.raw_values[0]
+            if flag == ScanFilter.FLAG_SCANNED:
+                return fields[1].code, True, packet.raw_values[1]
+        if len(fields) != 1:
+            raise FilterError(
+                f"scan requires single-field contributions, got "
+                f"{packet.fmt.canonical!r}"
+            )
+        spec = fields[0]
+        if spec.code is TypeCode.STRING or spec.code is TypeCode.BYTES:
+            raise FilterError(f"scan cannot scan field {spec.spec}")
+        value = packet.raw_values[0]
+        if not spec.is_array:
+            value = (value,)
+        return spec.code, False, value
+
+    def _run(self, packets: Sequence[Packet], state: FilterState) -> List[Packet]:
+        if not packets:
+            return []
+        blocks = [self._block(p) for p in packets]
+        code = blocks[0][0]
+        if any(b[0] is not code for b in blocks):
+            raise FilterError("scan wave mixes base types")
+        if code.is_float:
+            acc_dtype = np.dtype(np.float64)
+        elif code is TypeCode.UINT64:
+            acc_dtype = np.dtype(np.uint64)
+        else:
+            acc_dtype = np.dtype(np.int64)
+        out_parts: List[np.ndarray] = []
+        carry = acc_dtype.type(0)
+        for _code, scanned, value in blocks:
+            arr = np.asarray(value, dtype=acc_dtype)
+            if not scanned:
+                arr = np.cumsum(arr, dtype=acc_dtype)
+            if carry:
+                arr = arr + carry
+            if arr.size:
+                carry = arr[-1]
+            out_parts.append(arr)
+        out_arr = np.concatenate(out_parts) if out_parts else np.empty(0, acc_dtype)
+        if code.is_integral and out_arr.size:
+            lo, hi = code.bounds
+            if int(out_arr.min()) < lo or int(out_arr.max()) > hi:
+                raise FormatError(f"array values out of range for {code}")
+        out_arr = np.asarray(out_arr, dtype=NATIVE_DTYPE[code])
+        out_arr.setflags(write=False)
+        state["last_total"] = out_arr[-1].item() if out_arr.size else 0
+        first = packets[0]
+        out_fmt = parse_format(f"%d %a{code.value}")
+        return [
+            Packet.trusted(
+                first.stream_id,
+                first.tag,
+                out_fmt,
+                (self.FLAG_SCANNED, out_arr),
+                first.origin_rank,
+            )
+        ]
+
+
+class WindowFilter(FunctionFilter):
+    """Windowed aggregation: mean of the last *window* wave sums.
+
+    Each wave is first reduced element-wise across children (sum), and
+    that per-wave total is pushed into a sliding window riding
+    :class:`FilterState` (``state["window"]``, a bounded deque).  The
+    emitted packet is the element-wise mean over the window — a
+    smoothed time series of the tree-wide aggregate, one output per
+    wave.  Integer fields floor-divide to stay in-type, mirroring
+    :class:`AverageFilter`; contributions must be single numeric
+    fields of equal length.
+    """
+
+    def __init__(self, name: str = "window", window: int = 4):
+        super().__init__(self._run, name, None)
+        if window < 1:
+            raise FilterError("window must be >= 1")
+        self.window = window
+
+    def _run(self, packets: Sequence[Packet], state: FilterState) -> List[Packet]:
+        if not packets:
+            return []
+        first = packets[0]
+        fields = first.fmt.fields
+        if len(fields) != 1:
+            raise FilterError("window requires single-field contributions")
+        code = fields[0].code
+        if not (code.is_integral or code.is_float):
+            raise FilterError(f"window cannot aggregate field {fields[0].spec}")
+        for p in packets[1:]:
+            if p.fmt != first.fmt:
+                raise FilterError("wave mixes formats")
+        acc_dtype = np.dtype(np.float64 if code.is_float else np.int64)
+        vals = [
+            np.atleast_1d(np.asarray(p.raw_values[0], dtype=acc_dtype))
+            for p in packets
+        ]
+        _check_lengths(vals)
+        total = vals[0]
+        for arr in vals[1:]:
+            total = total + arr
+        window = state.get("window")
+        if window is None or window.maxlen != self.window:
+            from collections import deque
+
+            window = state["window"] = deque(maxlen=self.window)
+        window.append(total)
+        items = list(window)
+        mean = items[0].astype(acc_dtype)
+        for arr in items[1:]:
+            mean = mean + arr
+        n = len(items)
+        mean = mean // n if code.is_integral else mean / n
+        if code.is_integral:
+            lo, hi = code.bounds
+            if mean.size and (int(mean.min()) < lo or int(mean.max()) > hi):
+                raise FormatError(f"array values out of range for {code}")
+        out = np.asarray(mean, dtype=NATIVE_DTYPE[code])
+        out.setflags(write=False)
+        if fields[0].is_array:
+            return [
+                Packet.trusted(
+                    first.stream_id, first.tag, first.fmt, (out,), first.origin_rank
+                )
+            ]
+        return [first.replace(values=(out[0].item(),))]
+
+
 min_filter = ReductionFilter(min, "min", ufunc=np.minimum)
 max_filter = ReductionFilter(max, "max", ufunc=np.maximum)
 sum_filter = ReductionFilter(lambda a, b: a + b, "sum", ufunc=np.add)
 avg_filter = AverageFilter()
 wavg_filter = WeightedAverageFilter()
 concat_filter = ConcatenationFilter()
+scan_filter = ScanFilter()
+window_filter = WindowFilter()
+
+# Element-wise reductions commute with slicing the element index space,
+# so these four may run incrementally over aligned pipeline fragments.
+min_filter.chunkwise = True
+max_filter.chunkwise = True
+sum_filter.chunkwise = True
+avg_filter.chunkwise = True

@@ -13,7 +13,7 @@ The payload is deliberately tiny and versioned:
 .. code-block:: json
 
     {
-      "schema": "mrnet.stats/1",
+      "schema": "mrnet.stats/2",
       "node": "3:leaf-1",
       "rank": 3,
       "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}}
@@ -33,8 +33,15 @@ __all__ = ["STATS_SCHEMA", "dumps_snapshot", "loads_snapshot"]
 
 #: Version marker carried in every STATS_REPLY payload.  Bump the
 #: suffix when the snapshot shape changes incompatibly; readers reject
-#: unknown schemas rather than mis-parse them.
-STATS_SCHEMA = "mrnet.stats/1"
+#: unknown schemas rather than mis-parse them.  ``/2`` added the
+#: chunked-pipeline instruments (``chunks_in_flight``, ``chunk_bytes``,
+#: ``chunk_waves_aborted``, ``shm_frames_zero_copy``) — additive, so
+#: ``/1`` payloads from older nodes still load.
+STATS_SCHEMA = "mrnet.stats/2"
+
+#: Schemas this reader accepts: the current one plus older versions
+#: whose shape is a strict subset of it.
+_ACCEPTED_SCHEMAS = ("mrnet.stats/1", "mrnet.stats/2")
 
 
 def dumps_snapshot(node: str, rank: int, metrics: Mapping) -> str:
@@ -61,7 +68,7 @@ def loads_snapshot(payload: str) -> Optional[dict]:
         doc = json.loads(payload)
     except (ValueError, TypeError):
         return None
-    if not isinstance(doc, dict) or doc.get("schema") != STATS_SCHEMA:
+    if not isinstance(doc, dict) or doc.get("schema") not in _ACCEPTED_SCHEMAS:
         return None
     if "node" not in doc or "metrics" not in doc:
         return None

@@ -49,8 +49,12 @@ from typing import Deque, Dict, Iterable, List, Tuple
 
 __all__ = ["STAGES", "STAGE_TRACKS", "Span", "TraceRecorder", "to_chrome_trace"]
 
-#: The Figure 3 stage names, in pipeline order.
-STAGES: Tuple[str, ...] = ("recv", "demux", "sync_wait", "filter", "rebatch", "send")
+#: The Figure 3 stage names, in pipeline order.  ``pipeline_fill`` is
+#: the chunked-wave priming span: first fragment of a wave arriving to
+#: first partial result leaving (hop-overlap visible as short fills).
+STAGES: Tuple[str, ...] = (
+    "recv", "demux", "sync_wait", "pipeline_fill", "filter", "rebatch", "send",
+)
 
 #: Chrome-trace ``tid`` per stage: io stages on track 1, wave-scoped
 #: stages on track 2 (they overlap io activity by construction).
@@ -61,10 +65,11 @@ STAGE_TRACKS: Dict[str, int] = {
     "send": 1,
     "sync_wait": 2,
     "filter": 2,
+    "pipeline_fill": 3,
 }
 
 #: Human-readable track names shown in the Perfetto sidebar.
-TRACK_NAMES: Dict[int, str] = {1: "io", 2: "waves"}
+TRACK_NAMES: Dict[int, str] = {1: "io", 2: "waves", 3: "pipeline"}
 
 # A recorded span is a plain tuple — cheapest thing to append:
 #   (stage, t0, t1, stream_id, detail)

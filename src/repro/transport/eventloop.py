@@ -423,6 +423,11 @@ class EventLoop:
         self._c_writes = self.metrics.counter("writes", "sendmsg calls issued")
         self._c_bytes_out = self.metrics.counter("bytes_out", "Bytes written to sockets")
         self._c_wakeups = self.metrics.counter("wakeups", "Wakeup-pipe interrupts handled")
+        self._c_shm_zero_copy = self.metrics.counter(
+            "shm_frames_zero_copy",
+            "Inbound shm frames delivered as ring-aliasing memoryviews "
+            "(no copy out of shared memory)",
+        )
         self.metrics.gauge("links_registered", "Sockets currently owned by this loop", fn=lambda: len(self._links))
         self.metrics.gauge(
             "send_backlog_bytes",
@@ -796,13 +801,21 @@ class EventLoop:
                 return True
         rx = link._rx
         if rx.readable:
-            frames, credit = rx.read_frames()
-            if credit:
-                link._doorbell()
+            # Zero-copy drain: frames arrive as memoryviews aliasing
+            # the ring.  Anything the core keeps past this call parks
+            # through a materialize() guard (batching buffers, sync
+            # queues, chunk queues), so after delivery the consumer
+            # cursor can be published and the bytes recycled.  Frames
+            # consumed inline never get copied out of shared memory.
+            frames = rx.read_frames_inplace()
             for frame in frames:
                 self._c_frames_in.value += 1
                 self._c_bytes_in.value += len(frame) + _LEN.size
+                if type(frame) is memoryview:
+                    self._c_shm_zero_copy.value += 1
                 self.core.handle_payload(link.link_id, frame)
+            if rx.commit_read():
+                link._doorbell()
             worked |= bool(frames)
         if rx.peer_closed and not rx.readable and not link._closed:
             self._shm_dead(link)

@@ -282,6 +282,72 @@ class ShmRing:
                 credit = True
         return frames, credit
 
+    def read_frames_inplace(self, limit: Optional[int] = None) -> List[object]:
+        """Drain complete frames **without copying them out of the ring**.
+
+        Frames that sit contiguously in the ring come back as
+        ``memoryview`` slices aliasing shared memory directly — zero
+        copies; frames that wrap the ring edge are stitched into
+        ``bytes`` as before (rare: only the frame straddling the wrap
+        point).  The consumer cursor is advanced privately but **not
+        published**: the producer still sees the old head, so the
+        aliased bytes cannot be overwritten until the caller finishes
+        with the views and calls :meth:`commit_read`.  Interleaving a
+        plain :meth:`read_frames` between the two is not allowed.
+        """
+        buf = self._buf
+        cap = self.capacity
+        base = self.HEADER
+        head = self._head
+        frames: List[object] = []
+        while True:
+            tail = _U64.unpack_from(buf, 0)[0]
+            if head == tail:
+                break
+            pos = head % cap
+            if pos + 4 <= cap:
+                (n,) = _LEN.unpack_from(buf, base + pos)
+            else:
+                k = cap - pos
+                (n,) = _LEN.unpack(
+                    bytes(buf[base + pos : base + cap])
+                    + bytes(buf[base : base + 4 - k])
+                )
+            if tail - head < 4 + n:  # defensive: producer publishes last
+                break
+            pos = (pos + 4) % cap
+            if pos + n <= cap:
+                frames.append(buf[base + pos : base + pos + n])
+            else:
+                k = cap - pos
+                frames.append(
+                    bytes(buf[base + pos : base + cap])
+                    + bytes(buf[base : base + n - k])
+                )
+            head += 4 + n
+            if limit is not None and len(frames) >= limit:
+                break
+        self._head = head
+        return frames
+
+    def commit_read(self) -> bool:
+        """Publish the consumer cursor after an in-place read.
+
+        Returns True when the commit freed space a stalled producer is
+        waiting on (the caller owes it a credit doorbell).  Callers
+        must drop every ``memoryview`` obtained from
+        :meth:`read_frames_inplace` (or copy what they keep) before the
+        producer can reuse the bytes — i.e. before calling this.
+        """
+        buf = self._buf
+        if self._head == _U64.unpack_from(buf, 8)[0]:
+            return False
+        _U64.pack_into(buf, 8, self._head)
+        if buf[17]:
+            buf[17] = 0
+            return True
+        return False
+
     @property
     def readable(self) -> bool:
         """True when at least one unread byte is in the ring."""

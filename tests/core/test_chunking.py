@@ -1,0 +1,149 @@
+"""Unit tests for the chunked-wave framing codec (repro.core.chunking)."""
+
+import numpy as np
+import pytest
+
+from repro.core.chunking import (
+    CHUNK_PREFIX_FMT,
+    ChunkReassembler,
+    chunk_meta,
+    chunkable_bytes,
+    is_chunk,
+    reassemble,
+    split_packet,
+    strip_chunk,
+    wrap_chunk,
+)
+from repro.core.packet import Packet
+from repro.core.protocol import TAG_CHUNK
+
+
+def make_packet(n=1000, fmt="%alf", tag=105, origin=3):
+    values = (tuple(float(i) for i in range(n)),)
+    return Packet(9, tag, fmt, values, origin_rank=origin)
+
+
+class TestSplit:
+    def test_small_payload_travels_whole(self):
+        p = make_packet(4)
+        assert split_packet(p, 1 << 20, 0) is None
+
+    def test_disabled_chunking_returns_none(self):
+        assert split_packet(make_packet(), 0, 0) is None
+        assert split_packet(make_packet(), None, 0) is None
+
+    def test_no_array_payload_never_splits(self):
+        p = Packet(9, 100, "%d %s", (1, "x" * 10000))
+        assert chunkable_bytes(p) == 0
+        assert split_packet(p, 16, 0) is None
+
+    def test_split_fragments_are_chunks(self):
+        p = make_packet(1000)  # 8000 payload bytes
+        chunks = split_packet(p, 1024, wave_id=5)
+        assert chunks is not None and len(chunks) == 8
+        for i, c in enumerate(chunks):
+            assert is_chunk(c)
+            assert c.tag == TAG_CHUNK
+            assert c.stream_id == p.stream_id
+            assert c.origin_rank == p.origin_rank
+            assert chunk_meta(c) == (5, i, 8, p.tag)
+
+    def test_roundtrip_byte_identity(self):
+        """split → wire → reassemble reproduces the original exactly."""
+        p = make_packet(1000)
+        chunks = split_packet(p, 1024, 0)
+        # Simulate the wire hop for every fragment.
+        wired = [Packet.from_bytes(c.to_bytes()) for c in chunks]
+        whole = reassemble(wired)
+        assert whole.stream_id == p.stream_id
+        assert whole.tag == p.tag
+        assert whole.origin_rank == p.origin_rank
+        assert whole.values == p.values
+        assert whole.to_bytes() == p.to_bytes()
+
+    def test_scalars_replicate_arrays_slice(self):
+        arr = tuple(range(100))
+        p = Packet(9, 100, "%d %aud %s", (7, arr, "label"))
+        chunks = split_packet(p, 128, 0)
+        assert chunks is not None and len(chunks) > 1
+        for c in chunks:
+            inner = strip_chunk(c)
+            assert inner.values[0] == 7
+            assert inner.values[2] == "label"
+        whole = reassemble(chunks)
+        assert whole.values == p.values
+
+    def test_uneven_division_loses_nothing(self):
+        p = make_packet(997)  # prime length: uneven slices
+        chunks = split_packet(p, 1000, 0)
+        sizes = [len(strip_chunk(c).values[0]) for c in chunks]
+        assert sum(sizes) == 997
+        assert reassemble(chunks).values == p.values
+
+
+class TestStripWrap:
+    def test_strip_restores_format_and_tag(self):
+        p = make_packet(1000, tag=321)
+        c = split_packet(p, 1024, 0)[3]
+        inner = strip_chunk(c)
+        assert inner.tag == 321
+        assert inner.fmt.canonical == p.fmt.canonical
+
+    def test_wrap_reframes_whole_packet(self):
+        p = make_packet(100)
+        c = wrap_chunk(p, wave_id=2, index=1, n_chunks=4)
+        assert is_chunk(c)
+        assert chunk_meta(c) == (2, 1, 4, p.tag)
+        back = strip_chunk(c)
+        assert back.values == p.values
+        assert back.tag == p.tag
+
+
+class TestReassembler:
+    def test_in_order_completion(self):
+        p = make_packet(1000)
+        ra = ChunkReassembler()
+        outs = [ra.add(c) for c in split_packet(p, 1024, 0)]
+        assert outs[:-1] == [None] * 7
+        assert outs[-1].values == p.values
+        assert ra.pending == 0
+        assert ra.discarded_waves == 0
+
+    def test_restart_discards_stale_partial(self):
+        p = make_packet(1000)
+        first = split_packet(p, 1024, wave_id=0)
+        second = split_packet(p, 1024, wave_id=1)
+        ra = ChunkReassembler()
+        for c in first[:3]:  # truncated wave (sender died mid-wave)
+            assert ra.add(c) is None
+        out = None
+        for c in second:
+            out = ra.add(c)
+        assert out is not None and out.values == p.values
+        assert ra.discarded_waves == 1
+
+    def test_orphan_tail_dropped(self):
+        p = make_packet(1000)
+        chunks = split_packet(p, 1024, 0)
+        ra = ChunkReassembler()
+        assert ra.add(chunks[5]) is None  # start never seen
+        assert ra.pending == 0
+
+    def test_empty_reassemble_raises(self):
+        with pytest.raises(ValueError):
+            reassemble([])
+
+
+class TestPrefixFormat:
+    def test_prefix_field_count_matches(self):
+        from repro.core.formats import parse_format
+
+        assert len(parse_format(CHUNK_PREFIX_FMT).fields) == 4
+
+    def test_int_array_dtype_survives(self):
+        arr = np.arange(500, dtype=np.int64)
+        p = Packet(9, 100, "%ald", (arr,))
+        chunks = split_packet(p, 512, 0)
+        wired = [Packet.from_bytes(c.to_bytes()) for c in chunks]
+        whole = reassemble(wired)
+        assert whole.values == (tuple(range(500)),)

@@ -26,14 +26,25 @@ class TestControlPackets:
 
     def test_new_stream_roundtrip(self):
         p = make_new_stream(7, [0, 1, 2], 100, 3, sync_timeout=0.25,
-                            down_transform_filter_id=5)
+                            down_transform_filter_id=5, chunk_bytes=4096,
+                            wave_pattern=1)
         assert p.tag == TAG_NEW_STREAM
-        sid, eps, sync, trans, timeout, down = parse_new_stream(
+        sid, eps, sync, trans, timeout, down, chunk, pattern = parse_new_stream(
             Packet.from_bytes(p.to_bytes())
         )
-        assert (sid, eps, sync, trans, timeout, down) == (
-            7, (0, 1, 2), 100, 3, 0.25, 5,
+        assert (sid, eps, sync, trans, timeout, down, chunk, pattern) == (
+            7, (0, 1, 2), 100, 3, 0.25, 5, 4096, 1,
         )
+
+    def test_new_stream_parse_pads_legacy_fields(self):
+        """A 6-field NEW_STREAM from an older peer parses with defaults."""
+        p = Packet(
+            CONTROL_STREAM_ID, TAG_NEW_STREAM, "%ud %aud %d %d %lf %d",
+            (7, (0, 1), 100, 3, 0.0, 0),
+        )
+        parsed = parse_new_stream(Packet.from_bytes(p.to_bytes()))
+        assert parsed[6] == 0  # chunk_bytes defaults off
+        assert parsed[7] == 0  # WAVE_REDUCE
 
     def test_close_and_shutdown(self):
         assert make_close_stream(9).values == (9,)

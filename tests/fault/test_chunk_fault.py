@@ -1,0 +1,123 @@
+"""Mid-wave faults on chunked (pipelined) streams.
+
+A back-end that dies after shipping only a prefix of its fragment
+sequence must not poison the stream: its parent discards the partial
+wave (counted in ``chunk_waves_aborted``), bumps the membership epoch,
+and the next wave completes over the survivors.
+"""
+
+import time
+
+import pytest
+
+from repro.core import Network
+from repro.core.chunking import split_packet
+from repro.core.packet import Packet
+from repro.faultinject import FaultInjector
+from repro.filters import TFILTER_SUM
+from repro.topology import balanced_tree
+
+from .conftest import drive_wave, wait_until
+
+WAVE_TIMEOUT = 10.0
+CHUNK_BYTES = 2048
+N_ELEMS = 1024  # 8 KiB of float64 → 4 fragments per contribution
+
+
+def chunk_aborts(net, stream_id):
+    """Total aborted-wave count across every comm node's manager."""
+    total = 0
+    for node in net._commnodes:
+        mgr = node.core.streams.get(stream_id)
+        if mgr is not None and mgr._c_chunk_aborts is not None:
+            total += mgr._c_chunk_aborts.value
+    return total
+
+
+def max_epoch(net, stream_id):
+    epochs = [0]
+    for node in net._commnodes:
+        mgr = node.core.streams.get(stream_id)
+        if mgr is not None:
+            epochs.append(mgr.membership_epoch)
+    return max(epochs)
+
+
+class TestMidWaveBackendDeath:
+    def test_partial_fragments_discarded_and_stream_recovers(self, shutdown_nets):
+        net = Network(balanced_tree(2, 2), transport="tcp")
+        shutdown_nets.append(net)
+        inj = FaultInjector(net)
+        st = net.new_stream(
+            net.get_broadcast_communicator(),
+            transform=TFILTER_SUM,
+            chunk_bytes=CHUNK_BYTES,
+        )
+
+        # Wave 1: a complete chunked wave over all four back-ends.
+        payload = tuple(float(i % 97) for i in range(N_ELEMS))
+        st.send("%d", 0)
+        for rank in sorted(net.backends):
+            packet, bstream = net.backends[rank].recv(timeout=WAVE_TIMEOUT)
+            bstream.send("%alf", payload)
+        result = st.recv(timeout=WAVE_TIMEOUT)
+        assert result.values == (tuple(v * 4 for v in payload),)
+
+        # Wave 2: rank 0 ships only half its fragment sequence, then
+        # dies.  Survivors contribute in full.
+        st.send("%d", 0)
+        victims = {}
+        for rank in sorted(net.backends):
+            packet, bstream = net.backends[rank].recv(timeout=WAVE_TIMEOUT)
+            if rank == 0:
+                victims[rank] = bstream
+                whole = Packet(
+                    st.stream_id, packet.tag, "%alf", (payload,), origin_rank=0
+                )
+                frags = split_packet(whole, CHUNK_BYTES, bstream._send_wave)
+                assert frags is not None and len(frags) == 4
+                for frag in frags[:2]:
+                    bstream.send_packet(frag)
+            else:
+                bstream.send("%alf", payload)
+        inj.kill_backend(0)
+
+        # Rank 0's parent notices the dead link mid-wave: the partial
+        # wave is aborted and the membership epoch bumps.
+        assert wait_until(
+            lambda: chunk_aborts(net, st.stream_id) >= 1,
+            net=net,
+            timeout=WAVE_TIMEOUT,
+            poll=False,
+        ), "partial chunked wave never aborted"
+        assert max_epoch(net, st.stream_id) >= 1
+        assert inj.log == [("kill_backend", 0)]
+
+        # The truncated wave must never surface at the front-end.
+        deadline = time.monotonic() + 0.5
+        while time.monotonic() < deadline:
+            assert st.try_recv() is None
+            time.sleep(0.02)
+
+        # Wave 3 completes over the three survivors.
+        result = drive_wave(net, st, WAVE_TIMEOUT, value=5)
+        assert result.values == (15,)
+        assert not net.unexpected_packets()
+
+    def test_unchunked_stream_unaffected_by_chunk_plumbing(self, shutdown_nets):
+        """Control: the same fault on an unchunked stream still recovers
+        via the classic path (no abort counters exist to bump)."""
+        net = Network(balanced_tree(2, 2), transport="tcp")
+        shutdown_nets.append(net)
+        inj = FaultInjector(net)
+        st = net.new_stream(
+            net.get_broadcast_communicator(), transform=TFILTER_SUM
+        )
+        assert drive_wave(net, st, WAVE_TIMEOUT, value=1).values == (4,)
+        inj.kill_backend(0)
+        assert wait_until(
+            lambda: net.backends[0].shut_down, net=net, timeout=WAVE_TIMEOUT
+        )
+        assert drive_wave(net, st, WAVE_TIMEOUT, value=1).values == (3,)
+        mgr = net._core.streams.get(st.stream_id)
+        assert mgr is not None and mgr._c_chunk_aborts is None

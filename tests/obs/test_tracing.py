@@ -63,9 +63,9 @@ class TestChromeExport:
         meta = [e for e in events if e["ph"] == "M"]
         names = {e["args"]["name"] for e in meta if e["name"] == "process_name"}
         assert names == {"1:cn", "0:fe"}
-        # Two named tracks (io, waves) per process.
+        # Named tracks (io, waves, pipeline) per process.
         tracks = [e for e in meta if e["name"] == "thread_name"]
-        assert {e["args"]["name"] for e in tracks} == {"io", "waves"}
+        assert {e["args"]["name"] for e in tracks} == {"io", "waves", "pipeline"}
 
         complete = {e["name"]: e for e in events if e["ph"] == "X"}
         recv = complete["recv"]
@@ -116,6 +116,14 @@ def _run_sum_wave(net, value=7):
 class TestLiveTrace:
     def test_all_figure3_stages_recorded(self, traced_net):
         assert _run_sum_wave(traced_net) == 4 * 7 * 2
+        # pipeline_fill only fires on a chunked incremental wave.
+        comm = traced_net.get_broadcast_communicator()
+        st = traced_net.new_stream(comm, transform=TFILTER_SUM, chunk_bytes=1024)
+        st.send("%d", 0)
+        for be in traced_net.backends.values():
+            pkt, s = be.recv(timeout=5)
+            s.send("%alf", tuple(float(i) for i in range(1024)))
+        st.recv(timeout=5)
         doc = json.loads(traced_net.trace_chrome_json())
         events = doc["traceEvents"]
         seen = {e["name"] for e in events if e["ph"] == "X"}
