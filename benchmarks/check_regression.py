@@ -38,7 +38,11 @@ GUARDED_SCENARIOS = (
     "pipelined_reduction",
     "allreduce_tree",
 )
-STARTUP_SCENARIOS = ("startup_64leaf_depth3", "shm_relay_hop")
+STARTUP_SCENARIOS = (
+    "startup_64leaf_depth3",
+    "shm_relay_hop",
+    "colocated_1000node",
+)
 
 
 def reference_speedups(committed: dict, mode: str) -> dict:

@@ -52,6 +52,7 @@ import logging
 import queue
 import threading
 import time
+import warnings
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..filters.registry import FilterRegistry
@@ -92,7 +93,7 @@ from .protocol import (
 from .routing import RoutingTable
 from .stream_manager import StreamManager
 
-__all__ = ["NodeCore", "CommNode"]
+__all__ = ["NodeCore", "CommNode", "NodeHost", "ColocatedCommNode"]
 
 log = logging.getLogger(__name__)
 
@@ -201,9 +202,10 @@ class NodeCore:
         self.metrics.gauge("children_connected", "Downstream links currently attached", fn=lambda: len(self.children))
         # Per-transport link census: every ChannelEnd-like object
         # advertises a ``transport_kind`` class attribute ("channel",
-        # "tcp" or "shm"); snapshots then show which links negotiated
-        # the shared-memory upgrade vs fell back to TCP.
-        for _kind in ("channel", "tcp", "shm"):
+        # "tcp", "shm" or "inproc"); snapshots then show which links
+        # negotiated the shared-memory upgrade, fell back to TCP, or
+        # collapsed to a same-loop in-process hand-off.
+        for _kind in ("channel", "tcp", "shm", "inproc"):
             self.metrics.gauge(
                 "links",
                 "Attached links (parent + children) by transport kind",
@@ -214,6 +216,14 @@ class NodeCore:
         #: Extra snapshot providers merged into :meth:`metrics_snapshot`
         #: (the event loop registers its transport registry here).
         self.extra_metrics: List[Callable[[], dict]] = []
+        #: Optional :class:`~repro.transport.workers.FilterWorkerPool`
+        #: (set by ``EventLoop.bind`` when the loop has workers).
+        #: Stream managers offload big transform waves through it.
+        self.worker_pool = None
+        #: Loop-thread callable that fires parked pool completions;
+        #: stream managers use it to settle in-flight offloads before
+        #: membership changes or teardown.
+        self.drain_worker_completions: Optional[Callable[[], int]] = None
         #: Rank used in STATS_SNAPSHOT identities; the network assigns
         #: 0 to the front-end and 1..N to comm nodes.
         self.obs_rank = -1
@@ -671,12 +681,15 @@ class NodeCore:
         old_buffer = self._parent_buffer
         self.parent = new_parent
         self._parent_buffer = self._make_buffer(new_parent.link_id)
+        self._last_seen[new_parent.link_id] = self.clock()
+        # The report MUST precede any carried-over wave data on the new
+        # link: it is what splices this link into the adopter's stream
+        # managers — data arriving first would hit an unknown child.
+        ranks = self.routing.all_ranks() or self.reported_ranks
+        self._queue_up(make_endpoint_report(sorted(ranks)))
         if old_buffer is not None:
             for pkt in old_buffer.drain():
                 self._parent_buffer.add(pkt)
-        self._last_seen[new_parent.link_id] = self.clock()
-        ranks = self.routing.all_ranks() or self.reported_ranks
-        self._queue_up(make_endpoint_report(sorted(ranks)))
         self._note_urgent()
         log.info(
             "%s: parent link repaired -> link %d", self.name, new_parent.link_id
@@ -966,6 +979,22 @@ class NodeCore:
                 deadline = d
         return deadline
 
+    def next_wakeup_deadline(self) -> Optional[float]:
+        """Earliest clock time *any* timed concern needs this core.
+
+        The single source of liveness semantics for every driver —
+        the selector loop, the legacy inbox loop and the recursive
+        threads runner all sleep until exactly this instant (TimeOut
+        streams and heartbeat emission/deadlines), so the io modes
+        cannot silently diverge on when a silent peer is declared
+        dead.
+        """
+        deadline = self.next_timeout_deadline()
+        hb = self.next_heartbeat_deadline()
+        if hb is not None and (deadline is None or hb < deadline):
+            deadline = hb
+        return deadline
+
 
 class CommNode(threading.Thread):
     """An internal process: a :class:`NodeCore` driven by its own thread.
@@ -997,6 +1026,16 @@ class CommNode(threading.Thread):
         super().__init__(name=f"commnode-{name}", daemon=True)
         if io_mode not in ("eventloop", "threads"):
             raise ValueError(f"unknown io_mode {io_mode!r}")
+        if io_mode == "threads":
+            warnings.warn(
+                "io_mode='threads' is deprecated: the inbox-polling "
+                "driver costs one reader thread per TCP link and will "
+                "be removed once the event loop is the only runtime; "
+                "liveness timing is shared (NodeCore.next_wakeup_deadline) "
+                "but new transports (shm, inproc) are eventloop-only",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         if parent is None and parent_socket is None:
             raise ValueError("CommNode needs a parent end or parent_socket")
         self.io_mode = io_mode
@@ -1055,14 +1094,11 @@ class CommNode(threading.Thread):
         """How long the inbox loop may block before time-based work.
 
         Sleeps all the way to the next TimeOut-stream deadline or
-        heartbeat instant (any inbound delivery interrupts the wait),
-        or ``IDLE_POLL`` when no deadline is pending — never the old
-        fixed 2 ms spin.
+        heartbeat instant (any inbound delivery interrupts the wait;
+        see :meth:`NodeCore.next_wakeup_deadline`), or ``IDLE_POLL``
+        when no deadline is pending — never the old fixed 2 ms spin.
         """
-        deadline = self.core.next_timeout_deadline()
-        hb = self.core.next_heartbeat_deadline()
-        if hb is not None and (deadline is None or hb < deadline):
-            deadline = hb
+        deadline = self.core.next_wakeup_deadline()
         if deadline is None:
             return self.IDLE_POLL
         return max(deadline - self.core.clock(), 0.0)
@@ -1101,3 +1137,83 @@ class CommNode(threading.Thread):
             return
         core.flush()
         core.close_all()
+
+
+class NodeHost(threading.Thread):
+    """One thread, one event loop, many colocated comm nodes.
+
+    The colocated runtime: every :class:`NodeCore` added before
+    :meth:`start` is driven by the same selector loop, so an entire
+    internal tree costs exactly one steady-state thread (plus the
+    optional filter workers), however many nodes it hosts.  Links
+    between hosted nodes should be inproc pairs from
+    ``loop.add_inproc_pair``; links to the outside world (channels,
+    sockets, shm) register against the owning core as usual.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic, workers: int = 0):
+        super().__init__(name="colocated-host", daemon=True)
+        from ..transport.eventloop import EventLoop
+
+        self.loop = EventLoop(clock=clock, workers=workers)
+
+    def add_node(self, core: NodeCore) -> None:
+        """Bind one more core onto the shared loop (before start)."""
+        self.loop.bind(core)
+
+    def run(self) -> None:
+        self.loop.run()
+
+    def close(self) -> None:
+        """Free loop resources if the host thread never started."""
+        if self.ident is None:
+            self.loop.close()
+
+
+class ColocatedCommNode:
+    """A :class:`CommNode`-shaped handle for one core on a shared loop.
+
+    Duck-types the thread-per-node surface the network, fault
+    injector and recovery coordinator drive — ``core`` / ``loop`` /
+    ``inbox`` / ``start`` / ``is_alive`` / ``join`` / ``kill`` — so a
+    colocated node slots into every existing code path.  ``start``
+    launches the shared host exactly once; ``is_alive``/``join`` track
+    *this* core's lifetime on the loop, not the host thread's.
+    """
+
+    io_mode = "eventloop"
+
+    def __init__(self, host: NodeHost, core: NodeCore):
+        self._host = host
+        self.core = core
+        self.loop = host.loop
+
+    @property
+    def name(self) -> str:
+        return f"commnode-{self.core.name}"
+
+    @property
+    def inbox(self) -> Inbox:
+        return self.core.inbox
+
+    def start(self) -> None:
+        try:
+            self._host.start()
+        except RuntimeError:
+            pass  # a colocated sibling already started the host
+
+    def is_alive(self) -> bool:
+        return self._host.is_alive() and not self.loop.core_finished(self.core)
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Wait until the shared loop has torn this core down."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not self.loop.core_finished(self.core) and self._host.is_alive():
+            if deadline is not None and time.monotonic() >= deadline:
+                return
+            time.sleep(0.002)
+
+    def kill(self) -> None:
+        """Crash this node abruptly (fault injection), siblings live on."""
+        self.core.crashed = True
+        self.loop.wake()

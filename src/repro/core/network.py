@@ -184,15 +184,16 @@ class _FrontEndCore(NodeCore):
         super()._handle_link_closed(link_id)
 
 
-def _read_listening_line(proc, timeout: float) -> Optional[str]:
+def _read_listening_line(proc, timeout: float, drains=None) -> Optional[str]:
     """Read a child's ``LISTENING <port>`` announcement with a deadline.
 
     A child that dies before announcing (bad import, port exhaustion)
     must not hang instantiation on a pipe read forever — ``None``
     comes back on timeout, EOF, or child death, and the caller raises
     with the captured stderr.  Reads are single bytes so nothing past
-    the announcement line is consumed (the drain thread owns the pipe
-    afterwards).
+    the announcement line is consumed (the selector drain owns the
+    pipe afterwards).  ``drains`` is polled while waiting so a child
+    chatty on stderr cannot wedge against a full pipe mid-bootstrap.
     """
     import select
 
@@ -207,6 +208,8 @@ def _read_listening_line(proc, timeout: float) -> Optional[str]:
             ready, _, _ = select.select([fd], [], [], min(remaining, 0.1))
         except (OSError, ValueError):
             return None
+        if drains is not None:
+            drains.poll()
         if not ready:
             if proc.poll() is not None:
                 return None
@@ -219,27 +222,90 @@ def _read_listening_line(proc, timeout: float) -> Optional[str]:
         buf += chunk
 
 
-def _spawn_drain(stream, tail: Deque[str], name: str) -> None:
-    """Drain a child pipe forever, retaining a bounded tail.
+class _PipeDrains:
+    """Selector-registered non-blocking drains for child process pipes.
 
-    Without this, a child that logs after bootstrap eventually fills
-    the pipe buffer and blocks inside its event loop; with it, the
-    last lines are available for start-up error diagnostics.
+    Replaces the old thread-per-pipe drain: every registered child
+    stdout/stderr pipe is set non-blocking and emptied from the
+    front-end's pump (``poll``), retaining a bounded line tail for
+    start-up diagnostics.  Without draining, a child that logs after
+    bootstrap eventually fills the pipe buffer and blocks inside its
+    event loop; with this, no thread is spent on it — a network with
+    N child processes costs zero drain threads instead of up to 2N.
     """
 
-    def drain():
-        try:
-            for raw in iter(stream.readline, b""):
-                tail.append(raw.decode("utf-8", "replace").rstrip())
-        except (OSError, ValueError):
-            pass
-        finally:
-            try:
-                stream.close()
-            except Exception:
-                pass
+    def __init__(self):
+        import selectors
 
-    threading.Thread(target=drain, name=f"drain-{name}", daemon=True).start()
+        self._selector = selectors.DefaultSelector()
+        self._n = 0
+
+    def __bool__(self) -> bool:
+        return self._n > 0
+
+    def add(self, stream, tail: Deque[str], name: str) -> None:
+        """Register one child pipe; *tail* receives its trailing lines."""
+        os.set_blocking(stream.fileno(), False)
+        self._selector.register(stream, 1, (stream, tail, bytearray(), name))
+        self._n += 1
+
+    def poll(self) -> None:
+        """Drain every readable registered pipe (non-blocking)."""
+        if not self._n:
+            return
+        try:
+            events = self._selector.select(0)
+        except OSError:
+            return
+        for key, _ in events:
+            stream, tail, buf, _name = key.data
+            eof = False
+            while True:
+                try:
+                    chunk = os.read(stream.fileno(), 65536)
+                except (BlockingIOError, InterruptedError):
+                    break
+                except (OSError, ValueError):
+                    eof = True
+                    break
+                if not chunk:
+                    eof = True
+                    break
+                buf += chunk
+            self._take_lines(buf, tail)
+            if eof:
+                if buf:
+                    tail.append(bytes(buf).decode("utf-8", "replace").rstrip())
+                    del buf[:]
+                self._drop(stream)
+
+    @staticmethod
+    def _take_lines(buf: bytearray, tail: Deque[str]) -> None:
+        while True:
+            i = buf.find(b"\n")
+            if i < 0:
+                return
+            line = bytes(buf[:i])
+            del buf[: i + 1]
+            tail.append(line.decode("utf-8", "replace").rstrip())
+
+    def _drop(self, stream) -> None:
+        try:
+            self._selector.unregister(stream)
+            self._n -= 1
+        except (KeyError, ValueError, OSError):
+            pass
+        try:
+            stream.close()
+        except Exception:
+            pass
+
+    def close(self) -> None:
+        """Final drain, then release every pipe and the selector."""
+        self.poll()
+        for key in list(self._selector.get_map().values()):
+            self._drop(key.data[0])
+        self._selector.close()
 
 
 class _LeafSlot:
@@ -313,6 +379,8 @@ class Network:
         instantiation: str = "recursive",
         shm: str = "auto",
         spawn: str = "fork",
+        colocate: bool = False,
+        filter_workers: int = 0,
     ):
         """Instantiate the network.
 
@@ -376,6 +444,18 @@ class Network:
           interpreter; ``"popen"`` execs each one as a fresh
           ``mrnet_commnode`` with its subtree spec on the command
           line.
+
+        ``colocate=True`` hosts every internal process of a
+        ``transport="local"`` tree on ONE shared selector loop (a
+        single ``colocated-host`` thread) instead of one thread per
+        comm node; comm-to-comm edges become in-process
+        :class:`~repro.transport.inproc.InprocLink` hand-offs.  For
+        ``transport="process"`` it instead packs same-host subtree
+        members into one ``mrnet_commnode`` process per topology host
+        (recursive instantiation only).  ``filter_workers`` > 0 adds
+        that many ``filter-worker`` threads to the shared loop so
+        large synchronized-wave transformations run off-loop (see
+        :class:`~repro.transport.workers.FilterWorkerPool`).
         """
         if transport not in ("local", "tcp", "process"):
             raise NetworkError(f"unknown transport {transport!r}")
@@ -401,6 +481,28 @@ class Network:
             raise NetworkError(f"unknown shm mode {shm!r}")
         if spawn not in ("fork", "popen"):
             raise NetworkError(f"unknown spawn mode {spawn!r}")
+        if colocate:
+            if io_mode != "eventloop":
+                raise NetworkError(
+                    "colocate=True requires io_mode='eventloop': the legacy "
+                    "threaded driver cannot share one loop across nodes"
+                )
+            if transport == "tcp":
+                raise NetworkError(
+                    "colocate=True requires transport 'local' or 'process': "
+                    "thread-hosted TCP nodes already share the front-end "
+                    "address space via channels"
+                )
+            if transport == "process" and instantiation != "recursive":
+                raise NetworkError(
+                    "colocate=True with transport='process' requires "
+                    "instantiation='recursive' (subtree specs carry the "
+                    "co-location grouping)"
+                )
+        if filter_workers < 0:
+            raise NetworkError("filter_workers must be >= 0")
+        self.colocate = colocate
+        self.filter_workers = filter_workers
         self.transport = transport
         self.io_mode = io_mode
         self.policy = policy
@@ -426,6 +528,8 @@ class Network:
         self._core = _FrontEndCore(self.registry, len(leaves), clock)
         self._commnodes: List[CommNode] = []
         self._procs: List = []  # subprocess.Popen, process transport only
+        self._host = None  # shared NodeHost, colocate=True local transport
+        self._drains = _PipeDrains()  # child-pipe tails, process transport
         self._listener = None
         self._slots: Dict[int, _LeafSlot] = {}
         self._next_stream_id = FIRST_STREAM_ID
@@ -516,6 +620,10 @@ class Network:
         selector_tcp = self.transport == "tcp" and self.io_mode == "eventloop"
         cores: Dict[Tuple[str, int], NodeCore] = {self.topology.root.key: self._core}
         comms: Dict[Tuple[str, int], CommNode] = {}
+        if self.colocate:
+            comms = self._build_tree_colocated(rank_of, inboxes, cores)
+            self._wire_fault_tolerance(comms, rank_of)
+            return
         for node in self.topology.nodes():
             for child in node.children:
                 subtree_leaves = sum(
@@ -594,6 +702,77 @@ class Network:
                     comms[child.key] = comm
                     self._commnodes.append(comm)
 
+        self._wire_fault_tolerance(comms, rank_of)
+
+    def _build_tree_colocated(
+        self,
+        rank_of: Dict[Tuple[str, int], int],
+        inboxes: Dict[Tuple[str, int], Inbox],
+        cores: Dict[Tuple[str, int], NodeCore],
+    ) -> Dict[Tuple[str, int], "ColocatedCommNode"]:
+        """Host every internal process on ONE shared selector loop.
+
+        One ``NodeHost`` thread drives all comm-node cores; edges
+        touching the passive front-end or back-ends stay in-process
+        channels (their inboxes are drained by the shared loop /
+        pumped by the attach protocol as usual), while comm-to-comm
+        edges become :class:`~repro.transport.inproc.InprocLink`
+        pairs — a send is a deque append, delivery happens on the
+        next loop iteration, and the steady-state thread census for
+        the whole tree is 1 (+ ``filter_workers``).
+        """
+        from .commnode import ColocatedCommNode, NodeHost
+
+        host = self._host = NodeHost(
+            clock=self._clock, workers=self.filter_workers
+        )
+        loop = host.loop
+        comms: Dict[Tuple[str, int], ColocatedCommNode] = {}
+        for node in self.topology.nodes():
+            for child in node.children:
+                parent_core = cores[node.key]
+                if child.is_leaf:
+                    channel = Channel(inboxes[node.key], inboxes[child.key])
+                    parent_core.add_child(channel.end_a)
+                    rank = rank_of[child.key]
+                    self._slots[rank] = _LeafSlot(
+                        rank, child.label, channel.end_b, inboxes[child.key]
+                    )
+                    continue
+                subtree_leaves = sum(
+                    1 for n in _iter_subtree(child) if n.is_leaf
+                )
+                if node is self.topology.root:
+                    # The front-end is pumped by API calls, not the
+                    # shared loop — keep its edges on inbox channels.
+                    channel = Channel(inboxes[node.key], inboxes[child.key])
+                    parent_side, child_side = channel.end_a, channel.end_b
+                else:
+                    parent_side, child_side = loop.add_inproc_pair()
+                parent_core.add_child(parent_side)
+                core = NodeCore(
+                    child.label,
+                    self.registry,
+                    subtree_leaves,
+                    parent=child_side,
+                    clock=self._clock,
+                    inbox=inboxes[child.key],
+                )
+                if getattr(parent_side, "_inproc", False):
+                    parent_side._core = parent_core
+                    child_side._core = core
+                cores[child.key] = core
+                host.add_node(core)
+                comm = ColocatedCommNode(host, core)
+                comms[child.key] = comm
+                self._commnodes.append(comm)
+        return comms
+
+    def _wire_fault_tolerance(
+        self,
+        comms: Dict[Tuple[str, int], CommNode],
+        rank_of: Dict[Tuple[str, int], int],
+    ) -> None:
         # Fault-tolerance wiring: register every process slot with the
         # recovery coordinator and push the network's policy/heartbeat
         # configuration into each comm node.  Orphans repair through a
@@ -703,18 +882,20 @@ class Network:
                 )
                 proc.label = child.label
                 proc.stderr_tail = deque(maxlen=20)
-                _spawn_drain(
+                self._drains.add(
                     proc.stderr, proc.stderr_tail, f"stderr-{child.label}"
                 )
                 self._procs.append(proc)
-                line = _read_listening_line(proc, timeout=30.0)
+                line = _read_listening_line(
+                    proc, timeout=30.0, drains=self._drains
+                )
                 if line is None or not line.startswith("LISTENING "):
                     proc.kill()
                     try:
                         proc.wait(timeout=2.0)
                     except Exception:
                         pass
-                    time.sleep(0.05)  # let the stderr drain catch up
+                    time.sleep(0.05)  # let the stderr pipe fill in
                     raise NetworkError(
                         f"mrnet_commnode {child.label} failed to start: "
                         f"{line!r} ({self._proc_diagnostics()})"
@@ -723,7 +904,7 @@ class Network:
                 # flowing somewhere or the child eventually blocks on
                 # a full pipe; nobody reads it, so discard via a
                 # bounded drain.
-                _spawn_drain(
+                self._drains.add(
                     proc.stdout, deque(maxlen=5), f"stdout-{child.label}"
                 )
                 addr_of[child.key] = ("127.0.0.1", int(line.split()[1]))
@@ -786,6 +967,8 @@ class Network:
             heartbeat=self.heartbeat,
             shm=self.shm,
             spawn=self.spawn,
+            colocate=self.colocate,
+            workers=self.filter_workers,
         )
         direct_internal = [c for c in root.children if not c.is_leaf]
         for child in direct_internal:
@@ -810,7 +993,7 @@ class Network:
             )
             proc.label = child.label
             proc.stderr_tail = deque(maxlen=20)
-            _spawn_drain(
+            self._drains.add(
                 proc.stderr, proc.stderr_tail, f"stderr-{child.label}"
             )
             self._procs.append(proc)
@@ -863,6 +1046,7 @@ class Network:
 
     def _proc_diagnostics(self) -> str:
         """One line of post-mortem per spawned child process."""
+        self._drains.poll()  # pull in any last words before reporting
         parts = []
         for proc in self._procs:
             label = getattr(proc, "label", "?")
@@ -1406,6 +1590,8 @@ class Network:
         # pump, *before* draining the inbox: its endpoint report may
         # already be queued behind the admission.
         self._core.admit_pending_children()
+        if self._drains:
+            self._drains.poll()
         if timeout > 0:
             try:
                 link_id, payload = self._core.inbox.get(timeout=timeout)
@@ -1467,11 +1653,25 @@ class Network:
                 # link): crash it out so shutdown always terminates.
                 node.kill()
                 node.join(timeout=1.0)
+        host = getattr(self, "_host", None)
+        if host is not None:
+            # Colocated tree: every core finishing ends the shared
+            # loop; if the host thread never started (failed startup),
+            # release its selector/wake pipe directly.
+            if host.is_alive():
+                host.join(timeout=join_timeout)
+            host.close()
         for proc in getattr(self, "_procs", ()):
             try:
                 proc.wait(timeout=join_timeout)
             except Exception:
                 proc.kill()
+        drains = getattr(self, "_drains", None)
+        if drains is not None:
+            try:
+                drains.close()
+            except Exception:
+                pass
         if core is not None:
             # Release the front-end's own link ends: shared-memory
             # children hold kernel segments that survive until every

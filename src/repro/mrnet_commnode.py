@@ -154,6 +154,8 @@ class RecursiveOpts:
     accept_timeout: float = 60.0
     shm: str = "off"  # "auto" upgrades same-host links to shared memory
     spawn: str = "fork"  # how *this* node creates its internal children
+    colocate: bool = False  # host same-host internal subtrees in-process
+    workers: int = 0  # filter worker threads on a colocated loop
 
     def command_line(self) -> List[str]:
         """The inheritable flags, as ``--spawn popen`` arguments."""
@@ -163,6 +165,10 @@ class RecursiveOpts:
             "--spawn", self.spawn,
             "--accept-timeout", str(self.accept_timeout),
         ]
+        if self.colocate:
+            args += ["--colocate"]
+        if self.workers:
+            args += ["--filter-workers", str(self.workers)]
         if self.heartbeat is not None and self.heartbeat.enabled:
             args += [
                 "--heartbeat-interval", str(self.heartbeat.interval),
@@ -213,7 +219,11 @@ class _ForkChild:
 
 
 def _spawn_internal_children(
-    spec: dict, listener: TcpListener, my_host: str, opts: RecursiveOpts
+    spec: dict,
+    listener: TcpListener,
+    my_host: str,
+    opts: RecursiveOpts,
+    close_in_child: tuple = (),
 ) -> list:
     """Create this node's internal children, all at once (Figure 5).
 
@@ -237,10 +247,17 @@ def _spawn_internal_children(
             if pid == 0:
                 code = 1
                 try:
-                    # The parent's listener fd is not ours to hold:
-                    # keeping it open would hold its port half-alive
-                    # after the parent exits.
+                    # The parent's listener fds are not ours to hold:
+                    # keeping them open would hold their ports
+                    # half-alive after the parent exits.  (A colocated
+                    # parent hosts several members, hence several.)
                     listener.close()
+                    for other in close_in_child:
+                        if other is not listener:
+                            try:
+                                other.close()
+                            except Exception:
+                                pass
                     code = run_commnode_recursive(
                         child, addr, my_host, opts, announce=_silent
                     )
@@ -311,6 +328,17 @@ def run_commnode_recursive(
     listener = TcpListener(inbox)
     announce(f"LISTENING {listener.address[1]}", flush=True)
     my_host = _host_of(spec["l"])
+    if opts.colocate and opts.io_mode == "eventloop":
+        # Same-host internal descendants are hosted on this process's
+        # shared event loop instead of being spawned; the colocated
+        # runner spawns (and reaps) only the off-host ones.
+        try:
+            return _run_recursive_colocated(
+                spec, parent_addr, parent_host, my_host,
+                registry, inbox, listener, opts,
+            )
+        finally:
+            listener.close()
     children = spec.get("c", [])
     internal = [c for c in children if "c" in c]
     n_leaves = len(children) - len(internal)
@@ -382,6 +410,115 @@ def _run_recursive_eventloop(
     loop.bind(core)
     loop.run()
     return 0
+
+
+def _run_recursive_colocated(
+    spec, parent_addr, parent_host, my_host,
+    registry, inbox, listener, opts,
+) -> int:
+    """Host the whole same-host subtree group on ONE event loop.
+
+    Walking the subtree spec from this node, every internal descendant
+    reachable through a chain of *same-host* internal edges becomes a
+    core on this process's shared selector loop, wired to its parent
+    with an in-process :class:`~repro.transport.inproc.InprocLink`
+    (deque hand-off, no sockets).  Each hosted member still gets its
+    own TCP listener — off-host internal children and back-end leaves
+    attach to it exactly as in the plain recursive mode, and each
+    member announces its ``TAG_ADDR_REPORT`` upstream as usual — so
+    the rest of the tree cannot tell the group apart from N separate
+    processes, except that it costs one thread instead of N.
+    """
+    from .transport.eventloop import EventLoop
+    from .transport.tcp import tcp_connect_socket_retry_ex
+
+    allow_shm = opts.shm == "auto"
+    want_shm = allow_shm and parent_host == my_host
+    sock, pair = tcp_connect_socket_retry_ex(
+        parent_addr, attempts=6, timeout=opts.accept_timeout, shm=want_shm
+    )
+    loop = EventLoop(workers=opts.workers)
+    if pair is not None:
+        parent_end = loop.add_shm_link(sock, pair[0], pair[1], owner=True)
+    else:
+        parent_end = loop.add_socket(sock)
+
+    # members: (spec, core, listener, n_remote, n_leaves), preorder.
+    members: list = []
+
+    def build(node_spec, node_parent_end, node_inbox, node_listener):
+        children = node_spec.get("c", [])
+        internal = [c for c in children if "c" in c]
+        hosted = [c for c in internal if _host_of(c["l"]) == my_host]
+        remote = [c for c in internal if _host_of(c["l"]) != my_host]
+        n_leaves = len(children) - len(internal)
+        core = _recursive_core(
+            node_spec, registry, sum(_count_leaves(c) for c in children),
+            node_parent_end, node_inbox, opts,
+        )
+        if getattr(node_parent_end, "_inproc", False):
+            node_parent_end._core = core
+        members.append((node_spec, core, node_listener, len(remote), n_leaves))
+        for child in hosted:
+            p_end, c_end = loop.add_inproc_pair()
+            p_end._core = core
+            core.add_child(p_end)
+            build(child, c_end, Inbox(), TcpListener(Inbox()))
+        return core
+
+    build(spec, parent_end, inbox, listener)
+
+    # Spawn every member's off-host internal children in one burst —
+    # the whole next off-host level boots in parallel (Figure 5), and
+    # fork children close ALL group listeners, not just their parent's.
+    all_listeners = tuple(m[2] for m in members)
+    handles: list = []
+    for node_spec, _core, node_listener, n_remote, _n_leaves in members:
+        if not n_remote:
+            continue
+        remote = [
+            c for c in node_spec.get("c", ())
+            if "c" in c and _host_of(c["l"]) != my_host
+        ]
+        handles += _spawn_internal_children(
+            {"l": node_spec["l"], "c": remote}, node_listener, my_host,
+            opts, close_in_child=all_listeners,
+        )
+
+    try:
+        for node_spec, core, node_listener, n_remote, n_leaves in members:
+            for _ in range(n_remote):
+                sock_c, pair_c = node_listener.accept_socket_ex(
+                    timeout=opts.accept_timeout, allow_shm=allow_shm
+                )
+                if pair_c is not None:
+                    core.add_child(
+                        loop.add_shm_link(
+                            sock_c, pair_c[0], pair_c[1], core=core
+                        )
+                    )
+                else:
+                    core.add_child(loop.add_socket(sock_c, core=core))
+            core._queue_up(
+                make_addr_report(
+                    node_spec["l"], "127.0.0.1", node_listener.address[1]
+                )
+            )
+            if n_leaves:
+                loop.add_acceptor(
+                    node_listener, remaining=n_leaves,
+                    allow_shm=allow_shm, core=core,
+                )
+            loop.bind(core)
+        loop.run()
+        return 0
+    finally:
+        for node_listener in all_listeners:
+            try:
+                node_listener.close()
+            except Exception:
+                pass
+        _reap(handles)
 
 
 def _run_recursive_threads(
@@ -579,6 +716,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fork this interpreter (default, fast) or exec fresh processes",
     )
     parser.add_argument(
+        "--colocate", action="store_true",
+        help="recursive instantiation: host same-host internal subtree "
+        "members on this process's shared event loop (inproc links) "
+        "instead of spawning one process each",
+    )
+    parser.add_argument(
+        "--filter-workers", type=int, default=0,
+        help="worker threads for large filter reductions on a "
+        "colocated event loop (0 = run filters inline)",
+    )
+    parser.add_argument(
         "--filter", action="append", default=[], metavar="PATH:FUNC[:FMT]",
         help="custom filter to load (repeatable; order defines ids)",
     )
@@ -625,6 +773,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             accept_timeout=args.accept_timeout,
             shm=args.shm,
             spawn=args.spawn,
+            colocate=args.colocate,
+            workers=args.filter_workers,
         )
         return run_commnode_recursive(
             spec, parent_addr, args.parent_host, opts

@@ -32,6 +32,16 @@ Backpressure: each link's send queue is bounded
 ``NodeCore.flush`` *check before encoding* and keep packets parked in
 their ``PacketBuffer`` (counted in the ``send_queue_full`` stat)
 rather than buffering unboundedly toward a slow consumer.
+
+Colocation: one loop can host *many* NodeCores (``bind`` is additive).
+Every link records its owning core (``link._core``), the loop's timers
+take the minimum deadline across hosted cores, and links between two
+hosted cores can be :class:`~repro.transport.inproc.InprocLink` pairs
+(see :meth:`EventLoop.add_inproc_pair`) — a send is then a deque
+append, no syscall at all.  CPU-heavy filter transforms can be
+sharded to a :class:`~repro.transport.workers.FilterWorkerPool`
+(``workers=N``) so one big ndarray reduction never stalls colocated
+siblings; completions are re-entered on the loop thread.
 """
 
 from __future__ import annotations
@@ -91,11 +101,14 @@ class SelectorLink:
     transport_kind = "tcp"
     #: Dispatch flag for the loop: False = framed socket reads.
     _shm = False
+    #: Dispatch flag: True only for same-loop InprocLink pairs.
+    _inproc = False
 
     __slots__ = (
         "link_id",
         "max_send_bytes",
         "_loop",
+        "_core",
         "_sock",
         "_out",
         "_out_nbytes",
@@ -115,6 +128,7 @@ class SelectorLink:
         self.link_id = link_id
         self.max_send_bytes = max_send_bytes
         self._loop = loop
+        self._core = None  # owning NodeCore; claimed at bind if unset
         self._sock = sock
         self._out: Deque[memoryview] = collections.deque()
         self._out_nbytes = 0
@@ -233,11 +247,14 @@ class ShmLink:
     transport_kind = "shm"
     #: Dispatch flag for the loop: True = ring reads, doorbell socket.
     _shm = True
+    #: Dispatch flag: True only for same-loop InprocLink pairs.
+    _inproc = False
 
     __slots__ = (
         "link_id",
         "max_send_bytes",
         "_loop",
+        "_core",
         "_sock",
         "_tx",
         "_rx",
@@ -266,6 +283,7 @@ class ShmLink:
         self.link_id = link_id
         self.max_send_bytes = max_send_bytes
         self._loop = loop
+        self._core = None  # owning NodeCore; claimed at bind if unset
         self._sock = sock
         self._tx = tx
         self._rx = rx
@@ -382,12 +400,15 @@ class _Acceptor:
     thread and admitted as links without a dedicated accept thread.
     """
 
-    __slots__ = ("listener", "remaining", "allow_shm")
+    __slots__ = ("listener", "remaining", "allow_shm", "core")
 
-    def __init__(self, listener, remaining: Optional[int], allow_shm: bool):
+    def __init__(
+        self, listener, remaining: Optional[int], allow_shm: bool, core=None
+    ):
         self.listener = listener
         self.remaining = remaining
         self.allow_shm = allow_shm
+        self.core = core  # admitting NodeCore; the loop default if None
 
 
 class EventLoop:
@@ -411,9 +432,13 @@ class EventLoop:
     # wakeup to 50 ms without ever busy-waiting.
     IDLE_TIMEOUT = 0.05
 
-    def __init__(self, clock=None):
+    def __init__(self, clock=None, workers: int = 0):
         self.clock = clock or time.monotonic
+        #: First bound core (single-node back-compat alias).
         self.core = None
+        #: Every core hosted on this loop, in bind order.
+        self.cores: List = []
+        self._finished: set = set()  # id(core) of cores already torn down
         self.iterations = 0
         # Typed transport registry behind the legacy ``stats`` mapping;
         # the hot read/write paths bump pre-bound counters.
@@ -434,6 +459,25 @@ class EventLoop:
             "Bytes parked in all link send queues",
             fn=lambda: sum(l._out_nbytes for l in self._links.values()),
         )
+        self.metrics.gauge(
+            "cores_hosted",
+            "NodeCores multiplexed onto this loop (1 solo, >1 colocated)",
+            fn=lambda: len(self.cores),
+        )
+        self.metrics.gauge(
+            "threads_per_node",
+            "Steady-state OS threads (loop + filter workers) per hosted node",
+            fn=lambda: (1 + (self.worker_pool.n_workers if self.worker_pool else 0))
+            / max(1, len(self.cores)),
+        )
+        #: Optional pool CPU-heavy filter transforms are sharded to.
+        self.worker_pool = None
+        if workers:
+            from .workers import FilterWorkerPool
+
+            self.worker_pool = FilterWorkerPool(
+                workers, wake=self.wake, registry=self.metrics
+            )
         self.stats = StatsView(self.metrics)
         self._selector = selectors.DefaultSelector()
         self._links: Dict[int, SelectorLink] = {}
@@ -441,11 +485,15 @@ class EventLoop:
         # once per iteration (doorbells are an optimization, not the
         # only wakeup path).
         self._shm_links: Dict[int, "ShmLink"] = {}
+        # Inproc links whose receive deque went non-empty (or whose
+        # peer closed) since the last drain; single-thread list, only
+        # ever appended off-thread under the GIL followed by a wake.
+        self._inproc_ready: List = []
         self._thread_id: Optional[int] = None
         self._wake_lock = threading.Lock()
         self._wake_pending = False
         self._deferred_writes: List[SelectorLink] = []
-        self._pending_adoptions: List[socket.socket] = []
+        self._pending_adoptions: List[tuple] = []
         wake_recv, wake_send = socket.socketpair()
         wake_recv.setblocking(False)
         wake_send.setblocking(False)
@@ -459,11 +507,18 @@ class EventLoop:
         self,
         sock: socket.socket,
         max_send_bytes: Optional[int] = None,
+        core=None,
     ) -> SelectorLink:
-        """Register a connected socket; returns its ChannelEnd-like link."""
+        """Register a connected socket; returns its ChannelEnd-like link.
+
+        *core* names the hosted NodeCore inbound frames belong to; it
+        defaults to the loop's first bound core (links created before
+        ``bind`` are claimed by the first core bound).
+        """
         if max_send_bytes is None:
             max_send_bytes = SEND_QUEUE_MAX_BYTES
         link = SelectorLink(self, sock, _alloc_link_id(), max_send_bytes)
+        link._core = core if core is not None else self.core
         self._links[link.link_id] = link
         self._selector.register(sock, selectors.EVENT_READ, link)
         return link
@@ -475,6 +530,7 @@ class EventLoop:
         rx,
         owner: bool = False,
         max_send_bytes: Optional[int] = None,
+        core=None,
     ) -> "ShmLink":
         """Register a negotiated shared-memory link (see
         :func:`repro.transport.shm.offer_shm`); *sock* becomes its
@@ -483,16 +539,39 @@ class EventLoop:
         if max_send_bytes is None:
             max_send_bytes = SEND_QUEUE_MAX_BYTES
         link = ShmLink(self, sock, tx, rx, _alloc_link_id(), owner, max_send_bytes)
+        link._core = core if core is not None else self.core
         self._links[link.link_id] = link
         self._shm_links[link.link_id] = link
         self._selector.register(sock, selectors.EVENT_READ, link)
         return link
+
+    def add_inproc_pair(self, core_a=None, core_b=None, max_send_bytes=None):
+        """Create a same-loop in-process link pair (colocated edge).
+
+        Returns ``(end_a, end_b)`` — two
+        :class:`~repro.transport.inproc.InprocLink` ends whose sends
+        are deque appends delivered on the next loop iteration.  Both
+        ends live on *this* loop; *core_a* / *core_b* are the hosted
+        cores each end delivers to (claimable later via ``_core``).
+        """
+        from .inproc import InprocLink
+
+        if max_send_bytes is None:
+            max_send_bytes = SEND_QUEUE_MAX_BYTES
+        a = InprocLink(self, _alloc_link_id(), max_send_bytes)
+        b = InprocLink(self, _alloc_link_id(), max_send_bytes)
+        a._peer, b._peer = b, a
+        a._core, b._core = core_a, core_b
+        self._links[a.link_id] = a
+        self._links[b.link_id] = b
+        return a, b
 
     def add_acceptor(
         self,
         listener,
         remaining: Optional[int] = None,
         allow_shm: bool = True,
+        core=None,
     ) -> None:
         """Accept inbound connections on the loop thread.
 
@@ -506,10 +585,10 @@ class EventLoop:
         self._selector.register(
             listener._server,
             selectors.EVENT_READ,
-            _Acceptor(listener, remaining, allow_shm),
+            _Acceptor(listener, remaining, allow_shm, core),
         )
 
-    def adopt_socket(self, sock: socket.socket) -> None:
+    def adopt_socket(self, sock: socket.socket, core=None) -> None:
         """Hand this loop a new *child* socket from another thread.
 
         Tree repair: the recovery coordinator connects an orphan to
@@ -519,21 +598,36 @@ class EventLoop:
         next wakeup.
         """
         with self._wake_lock:
-            self._pending_adoptions.append(sock)
+            self._pending_adoptions.append((sock, core))
         self.wake()
 
     def bind(self, core) -> None:
-        """Attach the NodeCore this loop drives; hooks its inbox wakeup.
+        """Attach a NodeCore this loop drives; hooks its inbox wakeup.
 
-        Also registers this loop's transport metrics as an extra
-        snapshot provider on the core (series gain a ``loop_`` prefix),
-        so one ``STATS_SNAPSHOT`` reply carries both layers.
+        Additive: a colocated loop hosts many cores, one ``bind`` each.
+        The first bound core stays reachable as ``loop.core`` and
+        claims any links registered before binding.  Also registers
+        this loop's transport metrics as an extra snapshot provider on
+        the core (series gain a ``loop_`` prefix), so one
+        ``STATS_SNAPSHOT`` reply carries both layers.
         """
-        self.core = core
+        if self.core is None:
+            self.core = core
+            for link in self._links.values():
+                if link._core is None:
+                    link._core = core
+        self.cores.append(core)
         core.inbox.on_deliver = self.wake
+        if self.worker_pool is not None and getattr(core, "worker_pool", 1) is None:
+            core.worker_pool = self.worker_pool
+            core.drain_worker_completions = self._drain_completions
         extra = getattr(core, "extra_metrics", None)
         if extra is not None:
             extra.append(self._prefixed_snapshot)
+
+    def core_finished(self, core) -> bool:
+        """True once *core* has been torn down by this loop."""
+        return id(core) in self._finished
 
     def _prefixed_snapshot(self) -> dict:
         """This loop's registry snapshot with every key ``loop_``-prefixed."""
@@ -585,24 +679,33 @@ class EventLoop:
     def _forget(self, link: SelectorLink) -> None:
         self._links.pop(link.link_id, None)
         self._shm_links.pop(link.link_id, None)
+        sock = getattr(link, "_sock", None)  # InprocLink has none
+        if sock is None:
+            return
         try:
-            self._selector.unregister(link._sock)
+            self._selector.unregister(sock)
         except (KeyError, ValueError, OSError):
             pass
 
     # -- the loop ---------------------------------------------------------
 
     def run(self) -> None:
-        """Drive the bound core until it begins shutting down."""
-        core = self.core
-        if core is None:
+        """Drive every bound core until all have shut down or crashed."""
+        if not self.cores:
             raise RuntimeError("EventLoop.run before bind(core)")
         self._thread_id = threading.get_ident()
         busy = False
         try:
-            while not (core.shutting_down or core.crashed):
+            while True:
+                active = [c for c in self.cores if id(c) not in self._finished]
+                if not active:
+                    break
                 self.iterations += 1
-                timeout = 0.0 if busy else self._select_timeout()
+                timeout = (
+                    0.0
+                    if busy or self._inproc_ready
+                    else self._select_timeout(active)
+                )
                 events = self._selector.select(timeout)
                 worked = False
                 for key, mask in events:
@@ -621,43 +724,76 @@ class EventLoop:
                         worked |= self._handle_read(link)
                     if mask & selectors.EVENT_WRITE and not link._closed:
                         self._handle_write(link)
-                if core.crashed:
-                    break
                 for link in list(self._shm_links.values()):
                     worked |= self._poll_shm(link)
-                core.admit_pending_children()
-                worked |= self._drain_inbox()
-                core.poll_streams()
-                core.heartbeat_tick()
-                if worked:
-                    busy = True
-                    core.maybe_flush()
-                else:
-                    # Going idle: ship everything, batching window over.
-                    core.flush()
-                    busy = False
+                worked |= self._drain_inproc()
+                for core in active:
+                    if core.crashed or core.shutting_down:
+                        continue
+                    core.admit_pending_children()
+                    worked |= self._drain_inbox(core)
+                    core.poll_streams()
+                    core.heartbeat_tick()
+                worked |= self._drain_completions() > 0
+                for core in active:
+                    if core.crashed or core.shutting_down:
+                        # A finished core's inproc ends propagate EOF to
+                        # colocated peers through the ready list, so
+                        # survivors keep running on this same loop.
+                        self._finish_core(core)
+                    elif worked:
+                        core.maybe_flush()
+                    else:
+                        # Going idle: ship everything, batching window over.
+                        core.flush()
+                busy = worked
         finally:
-            if core.crashed:
-                # Abrupt death (fault injection): no flush, no goodbye —
-                # peers find out via EOF, exactly like a SIGKILLed process.
-                core.close_all()
-                self._shutdown_selector()
-            else:
-                core.flush()
-                self._drain_outbound()
-                core.close_all()
-                self._shutdown_selector()
+            for core in self.cores:
+                self._finish_core(core)
+            self._shutdown_selector()
 
-    def _select_timeout(self) -> float:
+    def _finish_core(self, core) -> None:
+        """Tear down one hosted core (idempotent).
+
+        A crashed core dies abruptly — no flush, no goodbye; peers
+        find out via EOF exactly like a SIGKILLed process.  A cleanly
+        shutting-down core flushes, gets a bounded window to drain its
+        socket send queues, then closes its ends.
+        """
+        if id(core) in self._finished:
+            return
+        self._finished.add(id(core))
+        if core.crashed:
+            core.close_all()
+        else:
+            core.flush()
+            self._drain_outbound(
+                [
+                    l
+                    for l in self._links.values()
+                    if l._core is core and not l._inproc
+                ]
+            )
+            core.close_all()
+        # Safety net: loop links still recorded against this core that
+        # close_all didn't know about (e.g. never attached).
+        for link in [l for l in list(self._links.values()) if l._core is core]:
+            link.close()
+        if core.inbox.on_deliver is self.wake:
+            core.inbox.on_deliver = None
+
+    def _select_timeout(self, cores=None) -> float:
         deadline = None
-        core = self.core
-        for candidate in (
-            core.next_timeout_deadline(),
-            core.next_flush_deadline,
-            core.next_heartbeat_deadline(),
-        ):
-            if candidate is not None and (deadline is None or candidate < deadline):
-                deadline = candidate
+        for core in cores if cores is not None else self.cores:
+            for candidate in (
+                core.next_timeout_deadline(),
+                core.next_flush_deadline,  # property
+                core.next_heartbeat_deadline(),
+            ):
+                if candidate is not None and (
+                    deadline is None or candidate < deadline
+                ):
+                    deadline = candidate
         if deadline is None:
             return self.IDLE_TIMEOUT
         return min(max(deadline - self.clock(), 0.0), self.IDLE_TIMEOUT)
@@ -675,19 +811,20 @@ class EventLoop:
             pass
         for link in deferred:
             self._enable_write(link)
-        for sock in adoptions:
-            link = self.add_socket(sock)
-            self.core.add_child(link)
-            self.core.stats["orphans_adopted"] += 1
+        for sock, core in adoptions:
+            core = core if core is not None else self.core
+            link = self.add_socket(sock, core=core)
+            core.add_child(link)
+            core.stats["orphans_adopted"] += 1
             log.info(
                 "%s: adopted orphan socket as link %d",
-                self.core.name,
+                core.name,
                 link.link_id,
             )
 
-    def _drain_inbox(self) -> bool:
+    def _drain_inbox(self, core=None) -> bool:
         """Dispatch in-process channel deliveries queued on the inbox."""
-        core = self.core
+        core = core if core is not None else self.core
         worked = False
         while not (core.shutting_down or core.crashed):
             try:
@@ -697,6 +834,61 @@ class EventLoop:
             core.handle_payload(link_id, payload)
             worked = True
         return worked
+
+    # -- in-process links (colocated peers) --------------------------------
+
+    def _note_inproc(self, link) -> None:
+        """Mark an inproc end ready (frames queued or peer closed)."""
+        if link._pending:
+            return
+        link._pending = True
+        self._inproc_ready.append(link)
+        if self._thread_id is not None and threading.get_ident() != self._thread_id:
+            self.wake()
+
+    def _drain_inproc(self) -> bool:
+        """Deliver queued inproc frames (and EOFs) to their cores.
+
+        Delivery can enqueue more inproc traffic (a reduction hop
+        forwarding to its colocated parent), so the ready list is
+        re-swapped until a pass produces nothing — one loop iteration
+        moves a whole colocated wave as far as it can go.
+        """
+        worked = False
+        while self._inproc_ready:
+            ready, self._inproc_ready = self._inproc_ready, []
+            for link in ready:
+                link._pending = False
+                if link._closed:
+                    link._rx.clear()
+                    link._rx_nbytes = 0
+                    continue
+                core = link._core if link._core is not None else self.core
+                dead = core is None or id(core) in self._finished
+                rx = link._rx
+                while rx:
+                    frame = rx.popleft()
+                    link._rx_nbytes -= len(frame) + _LEN.size
+                    if dead:
+                        continue
+                    self._c_frames_in.value += 1
+                    self._c_bytes_in.value += len(frame) + _LEN.size
+                    core.handle_payload(link.link_id, frame)
+                    worked = True
+                if link._peer_closed and not link._closed:
+                    link._closed = True
+                    self._forget(link)
+                    if not dead:
+                        core.handle_payload(link.link_id, None)
+                        worked = True
+        return worked
+
+    def _drain_completions(self) -> int:
+        """Run parked worker-pool completions on the loop thread."""
+        pool = self.worker_pool
+        if pool is None:
+            return 0
+        return pool.drain_completed()
 
     # -- socket reads -----------------------------------------------------
 
@@ -711,6 +903,7 @@ class EventLoop:
             self._link_dead(link)
             return True
         self._c_bytes_in.value += len(data)
+        core = link._core if link._core is not None else self.core
         rbuf = link._rbuf
         rbuf += data
         offset = 0
@@ -731,7 +924,7 @@ class EventLoop:
                     break
                 frame = bytes(view[offset + _LEN.size : end])
                 offset = end
-                self.core.handle_payload(link.link_id, frame)
+                core.handle_payload(link.link_id, frame)
                 self._c_frames_in.value += 1
         finally:
             view.release()
@@ -750,11 +943,12 @@ class EventLoop:
         except (OSError, ConnectionError, ValueError) as exc:
             log.warning("acceptor: failed to admit connection: %s", exc)
             return False
+        core = acc.core if acc.core is not None else self.core
         if pair is not None:
-            link = self.add_shm_link(sock, pair[0], pair[1])
+            link = self.add_shm_link(sock, pair[0], pair[1], core=core)
         else:
-            link = self.add_socket(sock)
-        self.core.add_child(link)
+            link = self.add_socket(sock, core=core)
+        core.add_child(link)
         if acc.remaining is not None:
             acc.remaining -= 1
             if acc.remaining <= 0:
@@ -808,12 +1002,13 @@ class EventLoop:
             # cursor can be published and the bytes recycled.  Frames
             # consumed inline never get copied out of shared memory.
             frames = rx.read_frames_inplace()
+            core = link._core if link._core is not None else self.core
             for frame in frames:
                 self._c_frames_in.value += 1
                 self._c_bytes_in.value += len(frame) + _LEN.size
                 if type(frame) is memoryview:
                     self._c_shm_zero_copy.value += 1
-                self.core.handle_payload(link.link_id, frame)
+                core.handle_payload(link.link_id, frame)
             if rx.commit_read():
                 link._doorbell()
             worked |= bool(frames)
@@ -848,6 +1043,7 @@ class EventLoop:
         """EOF / ring failure on a co-located link: deliver what the
         peer managed to write, then report the death to the core."""
         self._forget(link)
+        core = link._core if link._core is not None else self.core
         if not link._closed:
             link._closed = True
             try:
@@ -857,13 +1053,13 @@ class EventLoop:
             for frame in frames:
                 self._c_frames_in.value += 1
                 self._c_bytes_in.value += len(frame) + _LEN.size
-                self.core.handle_payload(link.link_id, frame)
+                core.handle_payload(link.link_id, frame)
             try:
                 link._sock.close()
             except OSError:  # pragma: no cover
                 pass
             link._release_rings()
-        self.core.handle_payload(link.link_id, None)
+        core.handle_payload(link.link_id, None)
 
     def _link_dead(self, link: SelectorLink) -> None:
         """EOF / error on a socket: unregister and tell the core."""
@@ -874,7 +1070,8 @@ class EventLoop:
                 link._sock.close()
             except OSError:  # pragma: no cover
                 pass
-        self.core.handle_payload(link.link_id, None)
+        core = link._core if link._core is not None else self.core
+        core.handle_payload(link.link_id, None)
 
     # -- socket writes ----------------------------------------------------
 
@@ -910,14 +1107,18 @@ class EventLoop:
                     out[0] = head[sent:]
                     sent = 0
 
-    def _drain_outbound(self, timeout: float = 1.0) -> None:
+    def _drain_outbound(self, links=None, timeout: float = 1.0) -> None:
         """Best-effort blocking flush of send queues at shutdown.
 
         The SHUTDOWN broadcast to children is queued right before the
         loop exits; give the sockets a bounded window to take it.
+        *links* restricts the drain to one core's ends (colocated
+        loops tear cores down one at a time).
         """
         deadline = self.clock() + timeout
-        for link in list(self._links.values()):
+        for link in list(self._links.values()) if links is None else links:
+            if link._inproc:
+                continue  # peer frames are already in its deque
             if link._closed or not link._out:
                 continue
             if link._shm:
@@ -934,6 +1135,17 @@ class EventLoop:
             except OSError:
                 pass
 
+    def close(self) -> None:
+        """Tear down a loop that never ran (failed or abandoned startup).
+
+        ``run`` owns teardown once started; this frees the selector,
+        wake pipe and worker pool of a loop whose thread was never
+        launched, so construction failures don't leak fds or threads.
+        """
+        if self._thread_id is not None:
+            return
+        self._shutdown_selector()
+
     def _shutdown_selector(self) -> None:
         for link in list(self._links.values()):
             link.close()
@@ -944,5 +1156,10 @@ class EventLoop:
         self._wake_recv.close()
         self._wake_send.close()
         self._selector.close()
-        if self.core is not None:
+        if self.worker_pool is not None:
+            self.worker_pool.shutdown()
+        for core in self.cores:
+            if core.inbox.on_deliver is self.wake:
+                core.inbox.on_deliver = None
+        if self.core is not None and self.core.inbox.on_deliver is self.wake:
             self.core.inbox.on_deliver = None

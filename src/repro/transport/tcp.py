@@ -157,6 +157,9 @@ class TcpChannelEnd:
             except OSError:
                 pass
             self._sock.close()
+            # Release a paused reader (fault injection) so it observes
+            # the dead socket and exits instead of waiting forever.
+            self._reading.set()
 
     @property
     def closed(self) -> bool:

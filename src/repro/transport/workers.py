@@ -1,0 +1,162 @@
+"""Worker pool for CPU-heavy filter stages.
+
+A colocated event loop hosts many comm nodes on one thread; a single
+big ndarray reduction would stall every sibling for its duration.
+:class:`FilterWorkerPool` lets a :class:`~repro.core.stream_manager.
+StreamManager` ship the transform call to a small pool of daemon
+threads and collect the result back *on the loop thread* at the next
+iteration, so the loop itself never blocks on filter CPU.
+
+Ordering is the whole contract: waves of one stream must pass through
+its transform in arrival order (the transform closure mutates
+per-stream ``transform_state``).  The pool therefore serializes tasks
+**per key** — tasks sharing a key run one at a time, FIFO, while tasks
+of different keys spread across the workers.  Completions are parked
+in a deque and handed back only through :meth:`drain_completed`,
+which the event loop calls on its own thread; callbacks thus never
+race the loop.
+"""
+
+from __future__ import annotations
+
+import collections
+import queue
+import threading
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+__all__ = ["FilterWorkerPool"]
+
+
+class FilterWorkerPool:
+    """N daemon threads running keyed, per-key-FIFO tasks.
+
+    Parameters
+    ----------
+    n_workers:
+        Thread count; ``0`` is allowed and makes :meth:`submit` refuse
+        (callers check :attr:`enabled` and run inline instead).
+    wake:
+        Called (from a worker thread) whenever a completion is parked,
+        so a sleeping event loop re-selects and drains it.
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` receiving
+        ``worker_tasks_offloaded`` / ``worker_tasks_completed``
+        counters and a ``worker_queue_depth`` gauge.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        wake: Optional[Callable[[], None]] = None,
+        registry=None,
+        name: str = "filter-worker",
+    ):
+        self.n_workers = max(0, int(n_workers))
+        self._wake = wake
+        self._lock = threading.Lock()
+        self._tasks: "queue.SimpleQueue" = queue.SimpleQueue()
+        # key -> deque of tasks waiting for the key's in-flight task.
+        # Presence of a key means a task for it is queued or running.
+        self._key_busy: Dict[object, Deque[Tuple[Callable, Callable]]] = {}
+        self._done: Deque[Tuple[Callable, object, Optional[BaseException]]] = (
+            collections.deque()
+        )
+        self._depth = 0
+        self._shutdown = False
+        self._c_offloaded = self._c_completed = None
+        if registry is not None:
+            self._c_offloaded = registry.counter(
+                "worker_tasks_offloaded", "Filter transforms shipped to the worker pool"
+            )
+            self._c_completed = registry.counter(
+                "worker_tasks_completed", "Offloaded transforms finished by workers"
+            )
+            registry.gauge(
+                "worker_queue_depth",
+                "Offloaded transforms queued or running",
+                fn=lambda: self._depth,
+            )
+        self._threads: List[threading.Thread] = []
+        for i in range(self.n_workers):
+            t = threading.Thread(target=self._run, name=f"{name}-{i}", daemon=True)
+            t.start()
+            self._threads.append(t)
+
+    @property
+    def enabled(self) -> bool:
+        return self.n_workers > 0 and not self._shutdown
+
+    @property
+    def queue_depth(self) -> int:
+        """Tasks currently queued or running."""
+        return self._depth
+
+    # -- producer side (loop thread) ---------------------------------------
+
+    def submit(self, key: object, fn: Callable[[], object], callback) -> None:
+        """Queue ``fn`` for a worker; ``callback(result, exc)`` later.
+
+        Tasks sharing *key* run strictly one at a time in submission
+        order.  The callback fires on the thread that calls
+        :meth:`drain_completed` — for an event loop, the loop thread.
+        """
+        if not self.enabled:
+            raise RuntimeError("worker pool is disabled or shut down")
+        with self._lock:
+            self._depth += 1
+            waiting = self._key_busy.get(key)
+            if waiting is None:
+                self._key_busy[key] = collections.deque()
+                self._tasks.put((key, fn, callback))
+            else:
+                waiting.append((fn, callback))
+        if self._c_offloaded is not None:
+            self._c_offloaded.value += 1
+
+    def drain_completed(self) -> int:
+        """Fire parked completion callbacks; returns how many ran."""
+        n = 0
+        while True:
+            try:
+                callback, result, exc = self._done.popleft()
+            except IndexError:
+                return n
+            n += 1
+            callback(result, exc)
+
+    # -- worker side --------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            task = self._tasks.get()
+            if task is None:
+                return
+            key, fn, callback = task
+            result = exc = None
+            try:
+                result = fn()
+            except BaseException as e:  # surface to the loop, don't die
+                exc = e
+            with self._lock:
+                self._depth -= 1
+                self._done.append((callback, result, exc))
+                if self._c_completed is not None:
+                    self._c_completed.value += 1
+                waiting = self._key_busy.get(key)
+                if waiting:
+                    next_fn, next_cb = waiting.popleft()
+                    self._tasks.put((key, next_fn, next_cb))
+                else:
+                    self._key_busy.pop(key, None)
+            wake = self._wake
+            if wake is not None:
+                wake()
+
+    def shutdown(self, join: bool = True) -> None:
+        self._shutdown = True
+        for _ in self._threads:
+            self._tasks.put(None)
+        if join:
+            for t in self._threads:
+                t.join(timeout=2.0)
+        self._threads.clear()

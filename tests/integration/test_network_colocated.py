@@ -1,0 +1,308 @@
+"""End-to-end tests for the colocated runtime (tentpole acceptance).
+
+``Network(colocate=True)`` hosts every internal process of a local
+tree on ONE shared selector loop: a single ``colocated-host`` thread,
+comm-to-comm edges on in-process deque links, optional filter workers
+for big reductions.  These tests pin the acceptance bars:
+
+* thread census per mode — solo eventloop (1 thread/node), colocated
+  (1 thread TOTAL, i.e. well under the <= 2/node bar), legacy threads
+  mode (deprecated, still 1 driver thread/node here);
+* wave correctness and byte-identity with the TCP transport,
+  including chunked (pipelined) waves over inproc hops;
+* observability — ``links{kind="inproc"}``, ``loop_cores_hosted``,
+  ``loop_threads_per_node``, worker-pool counters in ``stats()``;
+* the filter worker pool actually offloads big waves off the loop.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import Network
+from repro.core.network import NetworkError
+from repro.filters import TFILTER_CONCAT, TFILTER_SUM
+from repro.topology import balanced_tree
+
+RECV_TIMEOUT = 10.0
+CHUNK_BYTES = 4096
+N_ELEMS = 4096  # 32 KiB float64 per rank, forces several chunks
+
+
+def run_wave(net, stream, fmt="%d", payload=lambda rank: 2):
+    stream.send("%d", 0)
+    for rank in sorted(net.backends):
+        packet, s = net.backends[rank].recv(timeout=RECV_TIMEOUT)
+        s.send(fmt, payload(rank))
+    return stream.recv(timeout=RECV_TIMEOUT)
+
+
+def rank_array(rank, n=N_ELEMS):
+    base = np.arange(n, dtype=np.float64)
+    return tuple(((base * (rank + 1)) % 257 - 128.0).tolist())
+
+
+def new_threads(before):
+    return [t for t in threading.enumerate() if t not in before]
+
+
+class TestThreadCensus:
+    """Tentpole acceptance: steady-state thread census per comm node."""
+
+    def test_colocated_tree_costs_one_thread(self):
+        before = set(threading.enumerate())
+        net = Network(balanced_tree(4, 3), colocate=True)
+        try:
+            fresh = new_threads(before)
+            n_internal = len(net._commnodes)
+            assert n_internal == 4 + 16  # depth-3 fanout-4 internals
+            # ONE host thread for the whole tree: census 1/21 per node.
+            assert [t.name for t in fresh] == ["colocated-host"]
+            assert len(fresh) / n_internal <= 2
+            result = run_wave(
+                net,
+                net.new_stream(
+                    net.get_broadcast_communicator(), transform=TFILTER_SUM
+                ),
+            )
+            assert result.values == (2 * len(net.backends),)
+        finally:
+            net.shutdown()
+        deadline = time.monotonic() + 5.0
+        while new_threads(before) and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert not new_threads(before), "colocated host thread leaked"
+
+    def test_solo_eventloop_one_thread_per_node(self):
+        before = set(threading.enumerate())
+        net = Network(balanced_tree(2, 2))
+        try:
+            fresh = new_threads(before)
+            assert len(fresh) == len(net._commnodes) == 2
+            assert all(t.name.startswith("commnode-") for t in fresh)
+            assert len(fresh) / len(net._commnodes) <= 2
+        finally:
+            net.shutdown()
+
+    def test_legacy_threads_mode_deprecated_but_working(self):
+        before = set(threading.enumerate())
+        with pytest.warns(DeprecationWarning, match="io_mode='threads'"):
+            net = Network(balanced_tree(2, 2), io_mode="threads")
+        try:
+            fresh = new_threads(before)
+            # Local transport: still one driver thread per node (TCP
+            # would add reader threads — the census the event loop
+            # exists to avoid).
+            assert len(fresh) == len(net._commnodes) == 2
+            assert len(fresh) / len(net._commnodes) <= 2
+            result = run_wave(
+                net,
+                net.new_stream(
+                    net.get_broadcast_communicator(), transform=TFILTER_SUM
+                ),
+            )
+            assert result.values == (2 * len(net.backends),)
+        finally:
+            net.shutdown()
+
+    def test_colocated_with_workers_census(self):
+        before = set(threading.enumerate())
+        net = Network(balanced_tree(2, 3), colocate=True, filter_workers=2)
+        try:
+            names = sorted(t.name for t in new_threads(before))
+            assert names == [
+                "colocated-host", "filter-worker-0", "filter-worker-1"
+            ]
+            # 3 threads over 6 internal nodes: still <= 2 per node.
+            assert len(names) / len(net._commnodes) <= 2
+        finally:
+            net.shutdown()
+
+
+class TestColocationValidation:
+    def test_requires_eventloop(self):
+        with pytest.raises(NetworkError, match="colocate"):
+            Network(balanced_tree(2, 2), colocate=True, io_mode="threads")
+
+    def test_rejects_tcp(self):
+        with pytest.raises(NetworkError, match="colocate"):
+            Network(balanced_tree(2, 2), colocate=True, transport="tcp")
+
+    def test_rejects_sequential_process(self):
+        with pytest.raises(NetworkError, match="recursive"):
+            Network(
+                balanced_tree(2, 2),
+                colocate=True,
+                transport="process",
+                instantiation="sequential",
+            )
+
+    def test_rejects_negative_workers(self):
+        with pytest.raises(NetworkError, match="filter_workers"):
+            Network(balanced_tree(2, 2), filter_workers=-1)
+
+
+class TestColocatedObservability:
+    def test_inproc_links_and_loop_gauges_in_stats(self):
+        net = Network(balanced_tree(2, 3), colocate=True)
+        try:
+            stats = net.stats()
+            nodes = [
+                v for k, v in stats.items()
+                if isinstance(v, dict) and "links{kind=\"inproc\"}" in v
+            ]
+            assert nodes, "no per-node link census in stats"
+            # Depth-3: each depth-1 node parents 2 depth-2 nodes over
+            # inproc; each depth-2 node holds its inproc parent end.
+            assert sum(n["links{kind=\"inproc\"}"] for n in nodes) >= 8
+            # The loop-level gauges appear on every HOSTED core's
+            # snapshot (the passive front-end has no loop).
+            on_loop = [n for n in nodes if "loop_cores_hosted" in n]
+            assert on_loop
+            hosted = {n["loop_cores_hosted"] for n in on_loop}
+            assert hosted == {len(net._commnodes)}
+            per_node = {n["loop_threads_per_node"] for n in on_loop}
+            assert per_node == {1 / len(net._commnodes)}
+        finally:
+            net.shutdown()
+
+    def test_worker_pool_metrics_visible(self):
+        net = Network(balanced_tree(2, 2), colocate=True, filter_workers=2)
+        try:
+            stats = net.stats()
+            nodes = [
+                v for k, v in stats.items()
+                if isinstance(v, dict) and "loop_worker_queue_depth" in v
+            ]
+            assert nodes, "worker queue depth gauge missing from stats"
+            assert all(n["loop_worker_queue_depth"] == 0 for n in nodes)
+        finally:
+            net.shutdown()
+
+
+class TestColocatedCorrectness:
+    def test_sum_wave_matches_expectation(self):
+        net = Network(balanced_tree(4, 3), colocate=True)
+        try:
+            stream = net.new_stream(
+                net.get_broadcast_communicator(), transform=TFILTER_SUM
+            )
+            for round_no in range(3):
+                result = run_wave(
+                    net, stream, payload=lambda rank: rank + round_no
+                )
+                ranks = sorted(net.backends)
+                assert result.values == (
+                    sum(r + round_no for r in ranks),
+                )
+        finally:
+            net.shutdown()
+
+    def test_chunked_wave_byte_identical_to_tcp(self):
+        """Satellite bar: a chunked pipelined wave crossing inproc
+        hops must be byte-identical to the same wave over TCP."""
+        results = {}
+        for name, kwargs in (
+            ("tcp", dict(transport="tcp")),
+            ("colocated", dict(colocate=True)),
+        ):
+            net = Network(balanced_tree(2, 3), **kwargs)
+            try:
+                stream = net.new_stream(
+                    net.get_broadcast_communicator(),
+                    transform=TFILTER_SUM,
+                    chunk_bytes=CHUNK_BYTES,
+                )
+                results[name] = run_wave(
+                    net, stream, fmt="%alf", payload=rank_array
+                )
+            finally:
+                net.shutdown()
+        tcp, colo = results["tcp"], results["colocated"]
+        assert colo.fmt.canonical == tcp.fmt.canonical
+        assert colo.tag == tcp.tag
+        assert colo.values == tcp.values  # bit-for-bit
+
+    def test_concat_preserves_rank_order(self):
+        net = Network(balanced_tree(2, 3), colocate=True)
+        try:
+            stream = net.new_stream(
+                net.get_broadcast_communicator(), transform=TFILTER_CONCAT
+            )
+            result = run_wave(
+                net, stream, fmt="%s", payload=lambda r: f"r{r}"
+            )
+            assert result.values == (
+                tuple(f"r{r}" for r in sorted(net.backends)),
+            )
+        finally:
+            net.shutdown()
+
+
+class TestWorkerOffload:
+    def test_big_waves_run_on_worker_pool(self, monkeypatch):
+        from repro.core.stream_manager import StreamManager
+
+        monkeypatch.setattr(StreamManager, "OFFLOAD_MIN_BYTES", 0)
+        net = Network(balanced_tree(2, 3), colocate=True, filter_workers=2)
+        try:
+            stream = net.new_stream(
+                net.get_broadcast_communicator(), transform=TFILTER_SUM
+            )
+            expect = np.sum(
+                [np.asarray(rank_array(r)) for r in sorted(net.backends)],
+                axis=0,
+            )
+            for _ in range(2):
+                result = run_wave(net, stream, fmt="%alf", payload=rank_array)
+                assert np.allclose(np.asarray(result.values[0]), expect)
+            stats = net.stats()
+            completed = [
+                v.get("loop_worker_tasks_completed", 0)
+                for v in stats.values()
+                if isinstance(v, dict)
+            ]
+            assert max(completed) > 0, "no wave was offloaded to workers"
+        finally:
+            net.shutdown()
+
+    def test_small_waves_stay_inline(self):
+        net = Network(balanced_tree(2, 2), colocate=True, filter_workers=2)
+        try:
+            stream = net.new_stream(
+                net.get_broadcast_communicator(), transform=TFILTER_SUM
+            )
+            assert run_wave(net, stream).values == (2 * len(net.backends),)
+            stats = net.stats()
+            offloaded = [
+                v.get("loop_worker_tasks_offloaded", 0)
+                for v in stats.values()
+                if isinstance(v, dict)
+            ]
+            assert max(offloaded) == 0
+        finally:
+            net.shutdown()
+
+
+class TestProcessColocation:
+    def test_same_host_subtrees_share_processes(self):
+        """transport='process' + colocate packs same-host internal
+        subtree members into one OS process each (2 instead of 6)."""
+        hosts = ["fe", "hA", "hB", "hA", "hA", "hB", "hB"] + [
+            f"be{i}" for i in range(8)
+        ]
+        net = Network(
+            balanced_tree(2, 3, hosts=hosts),
+            transport="process",
+            colocate=True,
+        )
+        try:
+            assert len(net._procs) == 2  # one per co-location group
+            stream = net.new_stream(
+                net.get_broadcast_communicator(), transform=TFILTER_SUM
+            )
+            assert run_wave(net, stream).values == (2 * len(net.backends),)
+        finally:
+            net.shutdown()
