@@ -1,6 +1,6 @@
 """Chaos benchmark: recovery latency and steady-state heartbeat cost.
 
-Two questions the fault-tolerance layer must answer with numbers:
+Four questions the fault-tolerance layer must answer with numbers:
 
 1. **Recovery latency** — kill one internal node of a live
    fan-out-4 × depth-2 TCP tree (seeded
@@ -16,6 +16,17 @@ Two questions the fault-tolerance layer must answer with numbers:
    probing: wave latency on an identical tree and workload with
    heartbeats off vs. probing at ``--hb-interval``.  The acceptance
    bar is < 10% regression (``overhead_ratio < 1.10``).
+
+3. **Wave recovery** — kill an internal node mid-*chunked*-wave under
+   ``repair`` with checkpointing on, and measure ``wave_recovery_ms``:
+   kill → a wave completes **byte-identical** to the fault-free
+   result (orphan history replay deduplicated by checkpoint-seeded
+   watermarks; no contribution lost or doubled).
+
+4. **Checkpoint overhead** — the steady-state price of periodic
+   ``TAG_CHECKPOINT`` deposits: wave latency with
+   ``checkpoint_interval`` unset vs. set.  The acceptance bar is
+   < 15% with checkpointing on (``overhead_ratio < 1.15``).
 
 Results are merged into ``BENCH_dataplane.json`` (new keys beside the
 data-plane scenarios; entries carry no ``speedup`` field and are
@@ -132,50 +143,177 @@ def bench_recovery_latency(fanout: int, depth: int, rounds: int, seed: int) -> d
     }
 
 
-def _wave_latency(hb_interval: float, fanout: int, depth: int, burst: int, rounds: int):
-    """Best-of-N burst fan-in wave latency (mirrors bench_dataplane's
-    tree_fanin workload) at the given heartbeat setting."""
-    net = Network(
-        balanced_tree(fanout, depth),
-        transport="tcp",
-        heartbeat_interval=hb_interval,
-    )
-    try:
-        stream = net.new_stream(
-            net.get_broadcast_communicator(),
-            transform=TFILTER_NULL,
-            sync=SFILTER_DONTWAIT,
-        )
-        backends = [net.backends[r] for r in sorted(net.backends)]
-        n = len(backends)
+def bench_wave_recovery(rounds: int, checkpoint_interval: float) -> dict:
+    """Kill an internal node mid-chunked-wave; time to a byte-identical wave.
 
-        def one_wave():
+    A 2-ary depth-2 TCP tree under ``repair`` with checkpointing on
+    runs one fault-free chunked reference wave, then loses the comm
+    node parenting ranks 0-1 while rank 0's fragment sequence is in
+    flight.  The measured latency is kill → the first wave whose
+    reassembled array equals the fault-free result exactly (every
+    contribution once: replayed histories deduplicated by the
+    checkpoint-seeded watermark at the adopter).
+    """
+    n_elems, chunk_bytes = 1024, 2048
+    payload = tuple(float(i % 97) for i in range(n_elems))
+    expected = (tuple(v * 4 for v in payload),)
+    latencies, retransmitted = [], []
+
+    def drive_chunked_wave(net, stream, pending, timeout=30.0):
+        """Poll *pending* back-ends to contribute; return one wave."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            for rank in list(pending):
+                be = net.backends[rank]
+                try:
+                    got = be.poll()
+                except Exception:
+                    pending.discard(rank)
+                    continue
+                if got is None:
+                    continue
+                _, bstream = got
+                try:
+                    bstream.send("%alf", payload)
+                except Exception:
+                    pass
+                pending.discard(rank)
+            try:
+                return stream.recv(timeout=0.02).values
+            except TimeoutError:
+                continue
+        raise TimeoutError("chunked wave did not complete")
+
+    for r in range(rounds):
+        net = Network(
+            balanced_tree(2, 2),
+            transport="tcp",
+            policy=REPAIR,
+            checkpoint_interval=checkpoint_interval,
+        )
+        try:
+            stream = net.new_stream(
+                net.get_broadcast_communicator(),
+                transform=TFILTER_SUM,
+                chunk_bytes=chunk_bytes,
+            )
+            # Fault-free reference wave, then wait for the doomed
+            # node's checkpoint deposit to land at the front-end.
+            stream.send("%d", 0)
+            got = drive_chunked_wave(net, stream, set(net.backends))
+            assert got == expected
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                net.flush()
+                if net._core._checkpoints:
+                    break
+                time.sleep(0.005)
+
+            # Wave 2: rank 0's fragments are in flight when its parent
+            # (deterministically the first comm node) is killed.
+            stream.send("%d", 0)
+            for rank in sorted(net.backends):
+                _, bstream = net.backends[rank].recv(timeout=30.0)
+                if rank == 0:
+                    bstream.send("%alf", payload)
+            FaultInjector(net).kill_commnode(0)
+            t_kill = time.monotonic()
+
+            pending = set(net.backends) - {0}
+            recovered = None
+            while time.monotonic() - t_kill < 30.0:
+                try:
+                    values = drive_chunked_wave(net, stream, pending, timeout=2.0)
+                except TimeoutError:
+                    pass
+                else:
+                    if values == expected:
+                        recovered = (time.monotonic() - t_kill) * 1e3
+                        break
+                # Short (survivor-only) wave or timeout: run another.
+                stream.send("%d", 0)
+                pending = set(net.backends)
+            if recovered is None:
+                raise TimeoutError("no byte-identical wave within 30 s")
+            latencies.append(recovered)
+            retransmitted.append(
+                sum(be.chunks_retransmitted for be in net.backends.values())
+            )
+        finally:
+            net.shutdown()
+    return {
+        "rounds": rounds,
+        "elements": n_elems,
+        "chunk_bytes": chunk_bytes,
+        "checkpoint_interval_s": checkpoint_interval,
+        "wave_recovery_ms": round(statistics.median(latencies), 2),
+        "chunks_retransmitted_per_round": round(statistics.mean(retransmitted), 2),
+    }
+
+
+def _paired_wave_latency(
+    fanout: int,
+    depth: int,
+    burst: int,
+    rounds: int,
+    settings_a: dict,
+    settings_b: dict,
+):
+    """Best-of-N burst fan-in wave latency (mirrors bench_dataplane's
+    tree_fanin workload) for two network configurations at once.
+
+    The two trees are built side by side and their waves interleaved
+    round by round, so background-load drift hits both equally and the
+    overhead *ratio* stays meaningful even on a noisy machine — the
+    sequential measure-A-then-B layout this replaces conflated load
+    swings with the feature under test.
+    """
+    nets, setups = [], []
+    try:
+        for settings in (settings_a, settings_b):
+            net = Network(
+                balanced_tree(fanout, depth), transport="tcp", **settings
+            )
+            nets.append(net)
+            stream = net.new_stream(
+                net.get_broadcast_communicator(),
+                transform=TFILTER_NULL,
+                sync=SFILTER_DONTWAIT,
+            )
+            backends = [net.backends[r] for r in sorted(net.backends)]
+            setups.append((stream, backends))
+
+        def one_wave(stream, backends):
             stream.send("%d", 0)
             for be in backends:
                 _, bstream = be.recv(timeout=60)
                 for _ in range(burst):
                     bstream.send("%d", 1)
             got = 0
-            while got < n * burst:
+            while got < len(backends) * burst:
                 stream.recv(timeout=60)
                 got += 1
 
-        one_wave()  # warmup
-        timings = []
+        for setup in setups:
+            one_wave(*setup)  # warmup
+        timings = ([], [])
         for _ in range(rounds):
-            start = time.perf_counter()
-            one_wave()
-            timings.append(time.perf_counter() - start)
+            for i, setup in enumerate(setups):
+                start = time.perf_counter()
+                one_wave(*setup)
+                timings[i].append(time.perf_counter() - start)
     finally:
-        net.shutdown()
-    return min(timings)
+        for net in nets:
+            net.shutdown()
+    return min(timings[0]), min(timings[1])
 
 
 def bench_heartbeat_overhead(
     fanout: int, depth: int, burst: int, rounds: int, interval: float
 ) -> dict:
-    t_off = _wave_latency(0.0, fanout, depth, burst, rounds)
-    t_on = _wave_latency(interval, fanout, depth, burst, rounds)
+    t_off, t_on = _paired_wave_latency(
+        fanout, depth, burst, rounds, {}, {"heartbeat_interval": interval}
+    )
     return {
         "fanout": fanout,
         "depth": depth,
@@ -184,6 +322,24 @@ def bench_heartbeat_overhead(
         "heartbeat_interval_s": interval,
         "wave_ms_heartbeats_off": round(t_off * 1e3, 2),
         "wave_ms_heartbeats_on": round(t_on * 1e3, 2),
+        "overhead_ratio": round(t_on / t_off, 3),
+    }
+
+
+def bench_checkpoint_overhead(
+    fanout: int, depth: int, burst: int, rounds: int, interval: float
+) -> dict:
+    t_off, t_on = _paired_wave_latency(
+        fanout, depth, burst, rounds, {}, {"checkpoint_interval": interval}
+    )
+    return {
+        "fanout": fanout,
+        "depth": depth,
+        "burst_per_backend": burst,
+        "rounds": rounds,
+        "checkpoint_interval_s": interval,
+        "wave_ms_checkpoint_off": round(t_off * 1e3, 2),
+        "wave_ms_checkpoint_on": round(t_on * 1e3, 2),
         "overhead_ratio": round(t_on / t_off, 3),
     }
 
@@ -201,15 +357,26 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--hb-interval", type=float, default=0.05, help="probe period (s)"
     )
+    parser.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=0.02,
+        help="deposit period (s) for the checkpoint-overhead scenario",
+    )
     args = parser.parse_args(argv)
 
     if args.smoke:
-        rec_rounds, hb_rounds, burst, fanout = 2, 3, 4, 4
+        rec_rounds, hb_rounds, burst, fanout, wr_rounds = 2, 3, 4, 4, 2
     else:
-        rec_rounds, hb_rounds, burst, fanout = 5, 8, 8, 4
+        rec_rounds, hb_rounds, burst, fanout, wr_rounds = 5, 8, 8, 4, 5
+    mode = "smoke" if args.smoke else "full"
 
     recovery = bench_recovery_latency(fanout, 2, rec_rounds, args.seed)
     overhead = bench_heartbeat_overhead(fanout, 2, burst, hb_rounds, args.hb_interval)
+    wave_rec = bench_wave_recovery(wr_rounds, args.checkpoint_interval)
+    ckpt = bench_checkpoint_overhead(
+        fanout, 2, burst, hb_rounds, args.checkpoint_interval
+    )
 
     doc = {}
     if args.out.exists():
@@ -221,6 +388,8 @@ def main(argv=None) -> int:
     doc.setdefault("results", {})
     doc["results"]["recovery_latency"] = recovery
     doc["results"]["heartbeat_overhead"] = overhead
+    doc["results"]["wave_recovery"] = {**wave_rec, "mode": mode}
+    doc["results"]["checkpoint_overhead"] = {**ckpt, "mode": mode}
     args.out.write_text(json.dumps(doc, indent=2) + "\n")
 
     print(
@@ -235,15 +404,35 @@ def main(argv=None) -> int:
         f"{overhead['wave_ms_heartbeats_on']:.2f} ms "
         f"(ratio {overhead['overhead_ratio']:.3f})"
     )
+    print(
+        f"wave recovery (mid-chunk kill, {wr_rounds} rounds): "
+        f"byte-identical wave after {wave_rec['wave_recovery_ms']:.1f} ms, "
+        f"{wave_rec['chunks_retransmitted_per_round']:.1f} chunks replayed/round"
+    )
+    print(
+        f"checkpoints @ {args.checkpoint_interval}s: wave "
+        f"{ckpt['wave_ms_checkpoint_off']:.2f} ms -> "
+        f"{ckpt['wave_ms_checkpoint_on']:.2f} ms "
+        f"(ratio {ckpt['overhead_ratio']:.3f})"
+    )
     print(f"results merged into {args.out}")
 
+    failed = False
     if recovery["repair_ms"] >= 5000.0:
         print("FAIL: full repair took >= 5 s", file=sys.stderr)
-        return 1
-    # The wave-latency comparison is noise-prone at smoke scale;
-    # enforce the <10% acceptance bar only on full runs.
+        failed = True
+    if wave_rec["wave_recovery_ms"] >= 5000.0:
+        print("FAIL: byte-identical wave recovery took >= 5 s", file=sys.stderr)
+        failed = True
+    # The wave-latency comparisons are noise-prone at smoke scale;
+    # enforce the <10% / <15% acceptance bars only on full runs.
     if not args.smoke and overhead["overhead_ratio"] >= 1.10:
         print("FAIL: heartbeat overhead >= 10%", file=sys.stderr)
+        failed = True
+    if not args.smoke and ckpt["overhead_ratio"] >= 1.15:
+        print("FAIL: checkpoint overhead >= 15%", file=sys.stderr)
+        failed = True
+    if failed:
         return 1
     print("OK")
     return 0

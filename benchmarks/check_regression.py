@@ -117,6 +117,60 @@ def check_obs_overhead(fresh: dict, committed: dict) -> bool:
     return failed
 
 
+def check_recovery_latency(fresh: dict, committed: dict) -> bool:
+    """Enforce the repair-time bars, if measured.
+
+    Two absolute ceilings (wall-clock on any reasonable machine, so no
+    committed-ratio dance is needed): a plain kill must repair to full
+    membership in under 5 s (``recovery_latency.repair_ms``), and a
+    mid-chunked-wave kill with checkpointing on must reach a
+    byte-identical wave in under 5 s (``wave_recovery.wave_recovery_ms``).
+    Returns True when a gate fails.
+    """
+    gates = (
+        ("repair_latency", "recovery_latency", "repair_ms"),
+        ("wave_recovery", "wave_recovery", "wave_recovery_ms"),
+    )
+    failed = False
+    for label, scenario, field in gates:
+        row = fresh.get("results", {}).get(scenario) or committed.get(
+            "results", {}
+        ).get(scenario)
+        if row is None or field not in row:
+            continue
+        ms = row[field]
+        status = "ok" if ms < 5000.0 else "REGRESSED"
+        print(f"{label:<20} {'':>10} {ms:>8.1f}ms {'5000.00ms':>11}  {status}")
+        failed |= ms >= 5000.0
+    return failed
+
+
+def check_checkpoint_overhead(fresh: dict, committed: dict) -> bool:
+    """Enforce the steady-state checkpointing cost bar, if measured.
+
+    The ``checkpoint_overhead`` entry (bench_recovery.py) compares wave
+    latency with ``checkpoint_interval`` unset vs. set on an otherwise
+    identical tree.  Full-mode ceiling: <15% with checkpointing on
+    (the acceptance bar); smoke runs use far fewer rounds, so their
+    ratio gets a proportionally looser bar.  Returns True when the
+    gate fails.
+    """
+    row = fresh.get("results", {}).get("checkpoint_overhead") or committed.get(
+        "results", {}
+    ).get("checkpoint_overhead")
+    if row is None or "overhead_ratio" not in row:
+        return False
+    smoke = row.get("mode") == "smoke"
+    ceiling = 1.30 if smoke else 1.15
+    ratio = row["overhead_ratio"]
+    status = "ok" if ratio < ceiling else "REGRESSED"
+    print(
+        f"{'checkpoint_overhead':<20} {'':>10} {ratio:>9.3f}x "
+        f"{ceiling:>9.2f}x  {status}"
+    )
+    return ratio >= ceiling
+
+
 def check_speedups(
     fresh: dict, committed: dict, scenarios, tolerance: float
 ) -> bool:
@@ -197,6 +251,12 @@ def main(argv=None) -> int:
         failed = True
     if check_obs_overhead(fresh, committed):
         print("FAIL: observability overhead exceeds ceiling", file=sys.stderr)
+        failed = True
+    if check_recovery_latency(fresh, committed):
+        print("FAIL: fault recovery exceeds the 5 s ceiling", file=sys.stderr)
+        failed = True
+    if check_checkpoint_overhead(fresh, committed):
+        print("FAIL: checkpoint overhead exceeds ceiling", file=sys.stderr)
         failed = True
     if failed:
         print("FAIL: benchmark speedup regressed >30% vs committed baseline",

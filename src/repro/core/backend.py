@@ -21,7 +21,8 @@ from typing import Any, Dict, Optional, Tuple
 from ..transport.channel import ChannelEnd, Inbox
 from ..transport.eventloop import SendQueueFull
 from .batching import decode_batch, encode_batch
-from .chunking import ChunkReassembler, split_packet
+from .chunking import ChunkReassembler, chunk_meta, split_packet
+from .failure import RanksChanged
 from .packet import Packet
 from .protocol import (
     CONTROL_STREAM_ID,
@@ -29,10 +30,19 @@ from .protocol import (
     TAG_CHUNK,
     TAG_CLOSE_STREAM,
     TAG_NEW_STREAM,
+    TAG_RANKS_CHANGED,
     TAG_SHUTDOWN,
+    TAG_WAVE_ACK,
+    TAG_WAVE_NACK,
     make_endpoint_report,
+    make_join,
+    make_leave,
     parse_new_stream,
+    parse_ranks_changed,
+    parse_wave_ack,
+    parse_wave_nack,
 )
+from .stream_manager import HISTORY_MAX_BYTES, HISTORY_MAX_WAVES
 
 __all__ = ["BackEnd", "BackEndStream", "NetworkShutdown"]
 
@@ -56,6 +66,14 @@ class BackEndStream:
         self.chunk_bytes = chunk_bytes
         self.closed = False
         self._send_wave = 0  # wave ids for this sender's fragments
+        # Bounded replay history of sent fragment waves (crash
+        # consistency): pruned by the parent's TAG_WAVE_ACK, replayed
+        # after a parent repair or on TAG_WAVE_NACK.  A fragment is
+        # recorded only *after* its send succeeded, so a repair that
+        # fires mid-wave replays exactly the sent prefix and the retry
+        # of the failing fragment continues the sequence seamlessly.
+        self._history: deque = deque()
+        self._history_bytes = 0
 
     def send(
         self, fmt: str, *values: Any, tag: int = FIRST_APP_TAG, flush: bool = True
@@ -96,11 +114,43 @@ class BackEndStream:
                         # One frame per fragment: the parent starts on
                         # fragment 0 while we are still encoding the rest.
                         self._backend._send_upstream(chunk)
+                    self._record(chunk)
                 return
         if buffered:
             self._backend._buffer_upstream(packet)
         else:
             self._backend._send_upstream(packet)
+
+    # -- crash-consistent replay ------------------------------------------
+
+    def _record(self, chunk: Packet) -> None:
+        """Park one sent fragment in the bounded replay history."""
+        wave_id = chunk_meta(chunk)[0]
+        if self._history and self._history[-1][0] == wave_id:
+            self._history[-1][1].append(chunk)
+        else:
+            self._history.append((wave_id, [chunk]))
+        self._history_bytes += chunk.nbytes
+        while self._history and (
+            len(self._history) > HISTORY_MAX_WAVES
+            or self._history_bytes > HISTORY_MAX_BYTES
+        ):
+            _seq, chunks = self._history.popleft()
+            self._history_bytes -= sum(c.nbytes for c in chunks)
+
+    def ack_output(self, wave_seq: int) -> None:
+        """``TAG_WAVE_ACK`` from the parent: prune through *wave_seq*."""
+        while self._history and self._history[0][0] <= wave_seq:
+            _seq, chunks = self._history.popleft()
+            self._history_bytes -= sum(c.nbytes for c in chunks)
+
+    def resend_since(self, wave_seq: int = -1) -> list:
+        """Fragments of buffered waves newer than *wave_seq*, in order."""
+        out = []
+        for seq, chunks in self._history:
+            if seq > wave_seq:
+                out.extend(chunks)
+        return out
 
     def __repr__(self) -> str:
         return f"BackEndStream(id={self.stream_id}, rank={self._backend.rank})"
@@ -129,6 +179,15 @@ class BackEnd:
         self.repair_fn = None
         self.reconnects = 0
         self._repairing = False
+        # True after a voluntary leave(): the detach was announced, so
+        # teardown is expected rather than a network failure.
+        self.left = False
+        # Fragments replayed from stream histories (repair or NACK).
+        self.chunks_retransmitted = 0
+        # Down-flooded TAG_RANKS_CHANGED notifications, oldest first:
+        # elastic membership fires both directions, so surviving
+        # back-ends observe peers joining and leaving here.
+        self.membership_events: list[RanksChanged] = []
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -137,6 +196,38 @@ class BackEnd:
         if not self.connected:
             self.connected = True
             self._send_raw(make_endpoint_report([self.rank]))
+
+    def join(self, stream_ids=()) -> None:
+        """Join a *running* network as a brand-new rank.
+
+        Where :meth:`connect` replays the instantiation-time §2.5
+        end-point report for a topology-reserved leaf, ``join``
+        announces a rank the topology never knew: every ancestor hop
+        splices this back-end into its routing table and into the
+        listed streams with joining (grace) semantics, so the rank's
+        contributions enter reductions at the next wave-epoch boundary.
+        """
+        if not self.connected:
+            self.connected = True
+            self._send_raw(make_join(self.rank, sorted(stream_ids)))
+
+    def register_stream(self, stream_id: int, chunk_bytes: int = 0) -> BackEndStream:
+        """Pre-seed a stream handle without a NEW_STREAM announcement.
+
+        A joining back-end missed the broadcasts that created the
+        streams it is entering; the front-end knows their parameters
+        and seeds the handles before the join is announced.  If data
+        later races ahead and :meth:`_handle_control` sees the stream's
+        NEW_STREAM replayed, the existing handle just adopts the knob.
+        """
+        stream = self._streams.get(stream_id)
+        if stream is None:
+            stream = self._streams[stream_id] = BackEndStream(
+                self, stream_id, chunk_bytes=chunk_bytes
+            )
+        else:
+            stream.chunk_bytes = chunk_bytes
+        return stream
 
     # -- receiving ---------------------------------------------------------
 
@@ -252,6 +343,23 @@ class BackEnd:
                 del self._down_reassemblers[key]
         elif packet.tag == TAG_SHUTDOWN:
             self._mark_shutdown()
+        elif packet.tag == TAG_WAVE_ACK:
+            stream_id, wave_seq = parse_wave_ack(packet)
+            stream = self._streams.get(stream_id)
+            if stream is not None:
+                stream.ack_output(wave_seq)
+        elif packet.tag == TAG_RANKS_CHANGED:
+            stream_id, epoch, lost, gained = parse_ranks_changed(packet)
+            self.membership_events.append(
+                RanksChanged(stream_id, epoch, lost, gained)
+            )
+        elif packet.tag == TAG_WAVE_NACK:
+            # The parent is missing our output from wave_seq on:
+            # replay whatever the bounded history still holds.
+            stream_id, wave_seq = parse_wave_nack(packet)
+            stream = self._streams.get(stream_id)
+            if stream is not None:
+                self._replay([stream], since=wave_seq - 1)
         # Other control traffic (e.g. TAG_HEARTBEAT probes from a
         # liveness-enabled parent) is consumed silently: back-ends are
         # passive and answer liveness with their data traffic.
@@ -277,9 +385,50 @@ class BackEnd:
                 self._send_raw(make_endpoint_report([self.rank]))
             except NetworkShutdown:
                 return False
+            # Crash-consistent waves: replay every un-ACKed fragment
+            # wave after the report (report-before-data invariant).
+            # The new parent's dedup watermark — seeded from our dead
+            # parent's checkpoint when one exists — drops whatever the
+            # old parent already forwarded upstream.
+            self._replay(self._streams.values())
             return True
         finally:
             self._repairing = False
+
+    def _replay(self, streams, since: int = -1) -> None:
+        """Best-effort re-send of buffered fragment waves."""
+        for stream in streams:
+            for chunk in stream.resend_since(since):
+                try:
+                    self._send_raw(chunk)
+                except (NetworkShutdown, ConnectionError):
+                    return
+                self.chunks_retransmitted += 1
+
+    def leave(self) -> None:
+        """Gracefully detach from a running network (elastic membership).
+
+        Flushes any locally buffered sends, announces ``TAG_LEAVE`` so
+        every ancestor retires this rank at a wave-epoch boundary
+        (queued contributions still ride the next waves), then closes
+        the uplink.  The back-end is unusable afterwards; unlike a
+        crash, no repair or degrade accounting fires anywhere — the
+        EOF that follows the announcement is expected.
+        """
+        if self.left or self.shut_down:
+            self.left = True
+            return
+        self.left = True
+        try:
+            self.flush()
+        except (NetworkShutdown, ConnectionError):
+            pass
+        if self.connected:
+            try:
+                self._send_raw(make_leave(self.rank))
+            except (NetworkShutdown, ConnectionError):
+                pass
+        self._mark_shutdown()
 
     def _mark_shutdown(self) -> None:
         self.shut_down = True

@@ -48,11 +48,14 @@ so waiting streams release instead of hanging.
 
 from __future__ import annotations
 
+import json
 import logging
 import queue
+import random
 import threading
 import time
 import warnings
+import zlib
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..filters.registry import FilterRegistry
@@ -73,22 +76,35 @@ from .packet import Packet
 from .protocol import (
     CONTROL_STREAM_ID,
     TAG_ADDR_REPORT,
+    TAG_CHECKPOINT,
     TAG_CHUNK,
     TAG_CLOSE_STREAM,
     TAG_ENDPOINT_REPORT,
     TAG_HEARTBEAT,
+    TAG_JOIN,
+    TAG_LEAVE,
     TAG_NEW_STREAM,
     TAG_RANKS_CHANGED,
     TAG_SHUTDOWN,
     TAG_STATS_REPLY,
     TAG_STATS_REQUEST,
+    TAG_WAVE_ACK,
+    TAG_WAVE_NACK,
     WAVE_DUAL_ROOT,
+    make_checkpoint,
     make_endpoint_report,
     make_heartbeat,
     make_ranks_changed,
     make_stats_reply,
+    make_wave_ack,
+    make_wave_nack,
+    parse_checkpoint,
+    parse_join,
+    parse_leave,
     parse_new_stream,
     parse_stats_request,
+    parse_wave_ack,
+    parse_wave_nack,
 )
 from .routing import RoutingTable
 from .stream_manager import StreamManager
@@ -96,6 +112,16 @@ from .stream_manager import StreamManager
 __all__ = ["NodeCore", "CommNode", "NodeHost", "ColocatedCommNode"]
 
 log = logging.getLogger(__name__)
+
+
+def _rank_key(ranks) -> str:
+    """Canonical checkpoint key for a set of back-end ranks.
+
+    Link ids are process-local, so checkpoint maps are re-keyed by the
+    rank set behind each link before shipping — the one identity that
+    survives a node's death and re-parenting.
+    """
+    return ",".join(map(str, sorted(ranks)))
 
 
 class NodeCore:
@@ -163,6 +189,23 @@ class NodeCore:
         self._last_beat: Optional[float] = None
         self._pending_children: List[Tuple[ChannelEnd, bool]] = []
         self._pending_lock = threading.Lock()
+        # -- elastic membership + crash-consistent waves ---------------
+        # Links whose subtree announced a graceful TAG_LEAVE: their
+        # eventual EOF is expected, not a failure.
+        self._announced_leaving: set[int] = set()
+        # Child state deposits, keyed by (child link id, stream id):
+        # the most recent TAG_CHECKPOINT document each child shipped.
+        # Consulted when adopting that child's orphans after it dies.
+        self._checkpoints: Dict[Tuple[int, int], dict] = {}
+        #: Seconds between TAG_CHECKPOINT deposits to the parent
+        #: (0 disables; set via :meth:`configure_failure`).
+        self.checkpoint_interval = 0.0
+        self._last_checkpoint: Optional[float] = None
+        # Deterministic per-node jitter source for heartbeat de-sync:
+        # seeded from the node name (not the salted builtin hash) so a
+        # topology probes on the same staggered schedule every run.
+        self._hb_rng = random.Random(zlib.crc32(name.encode()))
+        self._hb_interval = self.heartbeat.interval
         # -- observability (see repro.obs) ----------------------------
         # Typed registry behind the legacy ``stats`` mapping.  Hot-path
         # sites bump pre-bound Counter objects (one attribute add, same
@@ -193,6 +236,9 @@ class NodeCore:
         self._c_orphans_adopted = _c("orphans_adopted", "Orphan child links adopted during repair")
         self._c_waves_reconfigured = _c("waves_reconfigured", "Stream membership changes (links dropped/spliced)")
         self._c_stats_replies_relayed = _c("stats_replies_relayed", "STATS_SNAPSHOT replies answered or relayed upstream")
+        self._c_members_joined = _c("members_joined", "Back-end ranks spliced in via TAG_JOIN")
+        self._c_members_left = _c("members_left", "Back-end ranks retired via TAG_LEAVE")
+        self._c_checkpoint_bytes = _c("checkpoint_bytes", "Bytes of TAG_CHECKPOINT state shipped to the parent")
         self._h_flush_batch = self.metrics.histogram(
             "flush_batch_packets",
             "Packets per flushed outbound message (adaptive batching)",
@@ -253,6 +299,7 @@ class NodeCore:
         recovery=None,
         topo_key=None,
         repair_fn: Optional[Callable[[], Optional[ChannelEnd]]] = None,
+        checkpoint_interval: Optional[float] = None,
     ) -> None:
         """Install this node's fault-tolerance configuration."""
         self.policy = policy
@@ -261,6 +308,9 @@ class NodeCore:
         self.recovery = recovery
         self.topo_key = topo_key
         self.repair_fn = repair_fn
+        if checkpoint_interval is not None:
+            self.checkpoint_interval = checkpoint_interval
+        self._hb_interval = self._draw_hb_interval()
 
     # -- adoption admission (tree repair) ---------------------------------
 
@@ -475,6 +525,7 @@ class NodeCore:
                 gained = manager.endpoints & frozenset(ranks)
                 if gained and link_id not in manager.child_links:
                     manager.add_link(link_id)
+                    self._seed_from_checkpoints(manager, link_id, gained)
                     self._c_waves_reconfigured.value += 1
                     if self.recovery is not None:
                         self.recovery.bump("waves_reconfigured")
@@ -506,9 +557,111 @@ class NodeCore:
                 self._note_addr_report(packet)
             else:
                 self._queue_up(packet)
+        elif packet.tag == TAG_JOIN:
+            self._handle_join(link_id, packet)
+        elif packet.tag == TAG_LEAVE:
+            self._handle_leave(link_id, packet)
+        elif packet.tag == TAG_CHECKPOINT:
+            # One-hop state deposit from a child: store the most recent
+            # document per (child link, stream); never relayed.
+            stream_id, _out_wave, payload = parse_checkpoint(packet)
+            try:
+                doc = json.loads(payload)
+            except ValueError:
+                doc = None
+            if isinstance(doc, dict):
+                self._checkpoints[(link_id, stream_id)] = doc
         else:
             # Unknown upstream control: forward toward the front-end.
             self._queue_up(packet)
+
+    def _handle_join(self, link_id: int, packet: Packet) -> None:
+        """Splice a joining back-end rank into this hop (``TAG_JOIN``).
+
+        The join packet doubles as the §2.5 endpoint report for
+        elastic membership: it installs routing for the new rank and
+        enters it into the named streams with *joining* wave semantics
+        (an in-flight wave completes over the old membership), then
+        continues toward the front-end so every ancestor splices too.
+        """
+        rank, stream_ids = parse_join(packet)
+        self.routing.add_report(link_id, [rank])
+        if rank not in self.reported_ranks:
+            self.reported_ranks.add(rank)
+            # The subtree grew: readiness stays an exact census.
+            self.expected_ranks += 1
+        self._c_members_joined.value += 1
+        if self.recovery is not None and self.parent is None:
+            self.recovery.bump("members_joined")
+        for sid in stream_ids:
+            manager = self.streams.get(sid)
+            if manager is None:
+                continue
+            manager.add_endpoints([rank])
+            if link_id not in manager.child_links:
+                manager.add_link(link_id)
+                self._c_waves_reconfigured.value += 1
+            self._emit_ranks_changed(
+                sid, manager.membership_epoch, gained=[rank]
+            )
+        if self.parent is not None:
+            self._queue_up(packet)
+
+    def _handle_leave(self, link_id: int, packet: Packet) -> None:
+        """Retire a departing back-end rank (``TAG_LEAVE``) at this hop.
+
+        The departing back-end flushed before announcing, so queued
+        contributions still ride; waves stop requiring the rank from
+        the next epoch, and when the whole subtree behind *link_id* is
+        the leaver the link is marked announced-leaving — its eventual
+        EOF is handled as an expected departure, not a failure.
+        """
+        rank = parse_leave(packet)
+        if rank in self.reported_ranks:
+            self.reported_ranks.discard(rank)
+            self.expected_ranks = max(self.expected_ranks - 1, 0)
+        self._c_members_left.value += 1
+        if self.recovery is not None and self.parent is None:
+            self.recovery.bump("members_left")
+        if self.parent is not None:
+            # Forward the announcement BEFORE the lost events it will
+            # trigger: the front-end must learn the departure is
+            # voluntary before any RANKS_CHANGED for this rank arrives,
+            # or fail_fast would poison on a clean leave.
+            self._queue_up(packet)
+        retire_link = self.routing.ranks_behind(link_id) <= {rank}
+        if retire_link:
+            self._announced_leaving.add(link_id)
+        for manager in self.streams.values():
+            if rank not in manager.endpoints:
+                continue
+            manager.remove_endpoints([rank])
+            if retire_link and link_id in manager.child_links:
+                manager.retire_link(link_id)
+                self._c_waves_reconfigured.value += 1
+            self._emit_ranks_changed(
+                manager.stream_id, manager.membership_epoch, lost=[rank]
+            )
+        self.routing.remove_rank(rank)
+
+    def _seed_from_checkpoints(self, manager, link_id: int, ranks) -> None:
+        """Apply a dead child's checkpoint to a freshly adopted link.
+
+        Orphans replay their un-ACKed output history after repair;
+        the dedup watermark their dead parent had reached — deposited
+        here via ``TAG_CHECKPOINT`` and keyed by rank set — makes that
+        replay duplicate-free for waves the dead node had already
+        forwarded upstream.  Resumable filter state restores only
+        while this node's own transform state is pristine.
+        """
+        key = _rank_key(ranks)
+        for (from_link, sid), doc in list(self._checkpoints.items()):
+            if sid != manager.stream_id or from_link in self.children:
+                continue  # only a *dead* depositor's state is authoritative
+            wm = doc.get("watermarks", {}).get(key)
+            if isinstance(wm, int):
+                manager.seed_watermark(link_id, wm)
+            manager.restore_state(doc)
 
     def handle_control_down(self, packet: Packet) -> None:
         if packet.tag == TAG_NEW_STREAM:
@@ -523,7 +676,7 @@ class NodeCore:
                 wave_pattern,
             ) = parse_new_stream(packet)
             links = self.routing.links_for(frozenset(endpoints))
-            self.streams[stream_id] = StreamManager.create(
+            manager = self.streams[stream_id] = StreamManager.create(
                 stream_id,
                 endpoints,
                 links,
@@ -537,6 +690,8 @@ class NodeCore:
                 chunk_bytes=chunk_bytes,
                 wave_pattern=wave_pattern,
             )
+            manager.ack_hook = self._send_wave_ack
+            manager.nack_hook = self._send_wave_nack
             for link in links:
                 self._queue_down(link, packet)
         elif packet.tag == TAG_CLOSE_STREAM:
@@ -567,6 +722,24 @@ class NodeCore:
                 self._queue_up(make_stats_reply(request_id, payload))
             for link in list(self.children):
                 self._queue_down(link, packet)
+        elif packet.tag == TAG_WAVE_ACK:
+            # Link-local (one hop): the parent delivered our output
+            # through wave_seq — prune the retransmit history.
+            stream_id, wave_seq = parse_wave_ack(packet)
+            manager = self.streams.get(stream_id)
+            if manager is not None:
+                manager.ack_output(wave_seq)
+        elif packet.tag == TAG_WAVE_NACK:
+            # Link-local (one hop): the parent is missing our output
+            # from wave_seq onward — replay what history still holds.
+            stream_id, wave_seq = parse_wave_nack(packet)
+            manager = self.streams.get(stream_id)
+            if manager is not None:
+                resent = manager.resend_since(wave_seq - 1)
+                for out in resent:
+                    self._queue_up(out)
+                if resent:
+                    self._note_urgent()
         else:
             # Unknown downstream control: flood to every child.
             for link in list(self.children):
@@ -637,6 +810,15 @@ class NodeCore:
             for link in list(self.children):
                 self._queue_down(link, Packet(CONTROL_STREAM_ID, TAG_SHUTDOWN, "%d", (0,)))
             return
+        announced = link_id in self._announced_leaving
+        self._announced_leaving.discard(link_id)
+        if announced:
+            # Graceful leave: endpoints and routing were already
+            # retired by the TAG_LEAVE handler, so this EOF is just the
+            # link winding down — drop its state deposits too (a leaver
+            # must never seed a future adoption).
+            for key in [k for k in self._checkpoints if k[0] == link_id]:
+                self._checkpoints.pop(key, None)
         lost = self.routing.ranks_behind(link_id)
         self.children.pop(link_id, None)
         buf = self._child_buffers.pop(link_id, None)
@@ -651,7 +833,7 @@ class NodeCore:
                 for out in manager.drop_link(link_id):
                     self._queue_up(out)
                 self._c_waves_reconfigured.value += 1
-                if self.recovery is not None:
+                if self.recovery is not None and not announced:
                     self.recovery.bump("waves_reconfigured")
                 gone = manager.endpoints & frozenset(lost)
                 if gone:
@@ -687,6 +869,14 @@ class NodeCore:
         # managers — data arriving first would hit an unknown child.
         ranks = self.routing.all_ranks() or self.reported_ranks
         self._queue_up(make_endpoint_report(sorted(ranks)))
+        # Crash-consistent waves: replay the un-ACKed output history
+        # before the carried-over (never-sent) packets — the adopter's
+        # per-link dedup watermark (seeded from our dead parent's
+        # checkpoint) drops whatever it already saw, and any overlap
+        # between history and the old buffer dedups the same way.
+        for manager in self.streams.values():
+            for pkt in manager.resend_since():
+                self._queue_up(pkt)
         if old_buffer is not None:
             for pkt in old_buffer.drain():
                 self._parent_buffer.add(pkt)
@@ -695,6 +885,17 @@ class NodeCore:
             "%s: parent link repaired -> link %d", self.name, new_parent.link_id
         )
         return True
+
+    # -- crash-consistency control emitters --------------------------------
+
+    def _send_wave_ack(self, link_id, stream_id: int, wave_seq: int) -> None:
+        """Stream-manager hook: confirm delivery through *wave_seq*."""
+        self._queue_down(link_id, make_wave_ack(stream_id, wave_seq))
+
+    def _send_wave_nack(self, link_id, stream_id: int, wave_seq: int) -> None:
+        """Stream-manager hook: request replay from *wave_seq* onward."""
+        self._queue_down(link_id, make_wave_nack(stream_id, wave_seq))
+        self._note_urgent()
 
     # -- membership-change notification -----------------------------------
 
@@ -725,13 +926,22 @@ class NodeCore:
     def heartbeat_tick(self) -> None:
         """Emit due probes and enforce liveness deadlines.
 
-        Called periodically by whichever loop drives this core.  A
-        no-op unless :class:`HeartbeatConfig` enables probing.  Only
-        links whose peer has *ever* sent a probe are subject to the
-        silence deadline, so a heartbeat-enabled node interoperates
-        with passive peers (the tool's back-end thread, a front-end
-        pumped only by API calls) without false positives.
+        Called periodically by whichever loop drives this core (it
+        also drives the periodic checkpoint deposit — see
+        :meth:`checkpoint_tick`).  A no-op unless
+        :class:`HeartbeatConfig` enables probing.  Only links whose
+        peer has *ever* sent a probe are subject to the silence
+        deadline, so a heartbeat-enabled node interoperates with
+        passive peers (the tool's back-end thread, a front-end pumped
+        only by API calls) without false positives.
+
+        Probe emission is jittered: each node draws its next interval
+        from ``interval * [1-jitter, 1+jitter]`` with a deterministic
+        per-node generator, de-syncing the probe bursts of a large
+        colocated tree.  The *detection* deadline is never jittered,
+        so liveness semantics are unchanged.
         """
+        self.checkpoint_tick()
         if (
             not self.heartbeat.enabled
             or self.shutting_down
@@ -742,8 +952,9 @@ class NodeCore:
             # open, so silent probes are the only way peers notice.
             return
         now = self.clock()
-        if self._last_beat is None or now - self._last_beat >= self.heartbeat.interval:
+        if self._last_beat is None or now - self._last_beat >= self._hb_interval:
             self._last_beat = now
+            self._hb_interval = self._draw_hb_interval()
             self._hb_seq += 1
             probe = make_heartbeat(self._hb_seq)
             if self.parent is not None:
@@ -780,15 +991,92 @@ class NodeCore:
                     pass
             self._handle_link_closed(link_id)
 
-    def next_heartbeat_deadline(self) -> Optional[float]:
-        """Earliest clock time :meth:`heartbeat_tick` has work to do."""
-        if not self.heartbeat.enabled or self.shutting_down:
+    def _draw_hb_interval(self) -> float:
+        """Next probe interval: base interval with deterministic jitter."""
+        jitter = getattr(self.heartbeat, "jitter", 0.0)
+        interval = self.heartbeat.interval
+        if not jitter:
+            return interval
+        return interval * (1.0 - jitter + 2.0 * jitter * self._hb_rng.random())
+
+    def checkpoint_tick(self) -> None:
+        """Ship one ``TAG_CHECKPOINT`` deposit per stream when due.
+
+        A no-op unless :attr:`checkpoint_interval` is set and this
+        node has a parent.  Each deposit carries the stream's output
+        wave sequence, its per-child dedup watermarks and — when the
+        filter's state serializes — the resumable transform/sync state,
+        with link-keyed maps re-keyed by the rank set behind each link
+        so the parent can match them to adopted orphans later.
+        """
+        if (
+            not self.checkpoint_interval
+            or self.parent is None
+            or self.shutting_down
+            or self.crashed
+            or self.wedged
+        ):
+            return
+        now = self.clock()
+        if (
+            self._last_checkpoint is not None
+            and now - self._last_checkpoint < self.checkpoint_interval
+        ):
+            return
+        self._last_checkpoint = now
+        for sid, manager in list(self.streams.items()):
+            if manager.passthrough or manager.closed:
+                continue
+            doc = manager.checkpoint_state()
+            doc["watermarks"] = self._rekey_by_ranks(doc.get("watermarks", {}))
+            sync = doc.get("sync")
+            if isinstance(sync, dict):
+                sync["pending"] = self._rekey_by_ranks(sync.get("pending", {}))
+            payload = json.dumps(doc, separators=(",", ":"))
+            self._c_checkpoint_bytes.value += len(payload)
+            self._queue_up(make_checkpoint(sid, doc.get("out_wave", 0), payload))
+
+    def _rekey_by_ranks(self, by_link: dict) -> dict:
+        """Re-key a per-link map by the rank set behind each link.
+
+        Entries for links with no known ranks (nothing reported yet)
+        are dropped — they could never be matched at the parent.
+        """
+        out = {}
+        for lid, value in by_link.items():
+            try:
+                link = int(lid)
+            except (TypeError, ValueError):
+                continue
+            ranks = self.routing.ranks_behind(link)
+            if ranks:
+                out[_rank_key(ranks)] = value
+        return out
+
+    def _next_checkpoint_deadline(self) -> Optional[float]:
+        """Clock time the next checkpoint deposit is due (None: off)."""
+        if (
+            not self.checkpoint_interval
+            or self.parent is None
+            or self.shutting_down
+        ):
             return None
+        if self._last_checkpoint is None:
+            return self.clock()
+        return self._last_checkpoint + self.checkpoint_interval
+
+    def next_heartbeat_deadline(self) -> Optional[float]:
+        """Earliest clock time :meth:`heartbeat_tick` has work to do
+        (probe emission, liveness deadlines, or a checkpoint deposit)."""
+        soonest = self._next_checkpoint_deadline()
+        if not self.heartbeat.enabled or self.shutting_down:
+            return soonest
         if self._last_beat is None:
             return self.clock()
-        next_emit = self._last_beat + self.heartbeat.interval
+        next_emit = self._last_beat + self._hb_interval
+        if soonest is None or next_emit < soonest:
+            soonest = next_emit
         deadline = self.heartbeat.deadline
-        soonest = next_emit
         for link_id in self._hb_peers:
             last = self._last_seen.get(link_id)
             if last is None:

@@ -92,6 +92,12 @@ class HeartbeatConfig:
 
     interval: float = 0.0
     miss_threshold: int = 3
+    #: Fractional probe-emission jitter: each node draws its next probe
+    #: interval uniformly from ``interval * [1 - jitter, 1 + jitter]``
+    #: (deterministically, seeded by the node name) so a large tree's
+    #: probes de-synchronize instead of bursting in lockstep.  Jitter
+    #: never affects the *detection* deadline below.
+    jitter: float = 0.2
 
     @property
     def enabled(self) -> bool:
@@ -99,7 +105,12 @@ class HeartbeatConfig:
 
     @property
     def deadline(self) -> float:
-        """Silence longer than this declares the peer dead."""
+        """Silence longer than this declares the peer dead.
+
+        Computed from the nominal interval: with jitter ``j <= 0.5``
+        and ``miss_threshold >= 2`` a live peer's probes always arrive
+        inside the deadline.
+        """
         return self.interval * max(self.miss_threshold, 1)
 
 
@@ -144,11 +155,13 @@ class _Member:
     """One registered process slot of a thread-hosted network."""
 
     key: tuple  # topology (host, index)
-    kind: str  # "frontend" | "commnode" | "backend"
+    kind: str  # "frontend" | "commnode" | "backend" | "remote"
     parent_key: Optional[tuple]
     core: object = None  # NodeCore (frontend/commnode)
     commnode: object = None  # CommNode wrapper (commnode only)
     slot: object = None  # _LeafSlot (backend only)
+    addr: object = None  # (host, port) listener address (remote only)
+    proc: object = None  # Popen-like handle (remote only)
 
 
 class RecoveryCoordinator:
@@ -174,6 +187,8 @@ class RecoveryCoordinator:
             ("orphans_adopted", "Orphan adoptions brokered network-wide"),
             ("waves_reconfigured", "Stream membership changes network-wide"),
             ("heartbeats_missed", "Liveness deadlines expired network-wide"),
+            ("members_joined", "Back-ends that joined the running network"),
+            ("members_left", "Back-ends that left the running network"),
         ):
             self.metrics.counter(name, help_text)
 
@@ -193,6 +208,19 @@ class RecoveryCoordinator:
 
     def register_backend(self, key: tuple, parent_key: tuple, slot) -> None:
         self.register(_Member(key, "backend", parent_key, slot=slot))
+
+    def register_remote(
+        self, key: tuple, parent_key: Optional[tuple], addr, proc=None
+    ) -> None:
+        """Register an out-of-process comm node by its listener address.
+
+        ``transport="process"`` trees keep their internal nodes in
+        separate OS processes; the coordinator tracks them by address
+        (and optionally a Popen-like handle for liveness) so orphaned
+        back-ends — which always live in the front-end process — can
+        still walk to a live ancestor and reconnect over TCP.
+        """
+        self.register(_Member(key, "remote", parent_key, addr=addr, proc=proc))
 
     # -- stats -------------------------------------------------------------
 
@@ -224,6 +252,9 @@ class RecoveryCoordinator:
             return not (
                 getattr(core, "crashed", False) or getattr(core, "shutting_down", False)
             )
+        if member.kind == "remote":
+            proc = member.proc
+            return proc is None or proc.poll() is None
         backend = getattr(member.slot, "backend", None)
         return backend is not None and not backend.shut_down
 
@@ -278,8 +309,64 @@ class RecoveryCoordinator:
                 me.parent_key = ancestor.key
         return end
 
-    def _make_edge(self, ancestor: _Member, orphan_inbox) -> Optional[object]:
+    # -- voluntary joins ----------------------------------------------------
+
+    def choose_adopter(self) -> Optional[_Member]:
+        """Pick a parent for a *joining* back-end (coordinator's choice).
+
+        Prefers the live registered comm node with the fewest children
+        (spreading join load across the tree); falls back to the
+        front-end when no comm node is live.  Remote (out-of-process)
+        members are chosen by address the same way, with an unknown
+        child count treated as infinite only relative to in-process
+        candidates.
+        """
+        with self._lock:
+            best = None
+            best_load = None
+            frontend = None
+            for member in self._members.values():
+                if member.kind == "frontend":
+                    frontend = member
+                    continue
+                if member.kind not in ("commnode", "remote"):
+                    continue
+                if not self._alive(member):
+                    continue
+                core = member.core
+                load = (
+                    len(getattr(core, "children", ()))
+                    if core is not None
+                    else 1 << 20
+                )
+                if best is None or load < best_load:
+                    best, best_load = member, load
+            return best or frontend
+
+    def make_join_edge(self, member: _Member, joiner_inbox) -> Optional[object]:
+        """Manufacture the joining back-end's parent edge under *member*.
+
+        Unlike :meth:`adopt` this is a voluntary join, not a repair —
+        the adopter's admission must not count it as an orphan
+        adoption.
+        """
+        return self._make_edge(member, joiner_inbox, adopted=False)
+
+    def _make_edge(
+        self, ancestor: _Member, orphan_inbox, adopted: bool = True
+    ) -> Optional[object]:
         """Manufacture one parent↔child edge toward *ancestor*."""
+        if ancestor.kind == "remote":
+            # Out-of-process adopter: dial its listener; its event
+            # loop's acceptor admits the connection as a child link.
+            from ..transport.tcp import tcp_connect_retry
+
+            try:
+                return tcp_connect_retry(
+                    ancestor.addr, orphan_inbox, attempts=3, timeout=5.0
+                )
+            except (OSError, ConnectionError, InstantiationError):
+                return None
         core = ancestor.core
         loop = getattr(ancestor.commnode, "loop", None) if ancestor.commnode else None
         if loop is not None:
@@ -290,7 +377,9 @@ class RecoveryCoordinator:
             from ..transport.tcp import TcpChannelEnd, _alloc_link_id
 
             sock_parent, sock_child = socket_mod.socketpair()
-            loop.adopt_socket(sock_parent)
+            # Name the adopting core explicitly: a colocated loop hosts
+            # many cores and must not default to the first bound one.
+            loop.adopt_socket(sock_parent, core=core, adopted=adopted)
             return TcpChannelEnd(sock_child, _alloc_link_id(), orphan_inbox)
         # Inbox-driven adopter (front-end, threads-mode comm node):
         # build an in-process channel and queue the parent end for
@@ -300,7 +389,7 @@ class RecoveryCoordinator:
         channel = Channel(core.inbox, orphan_inbox)
         # end_a sends toward the orphan (the adopter's child end);
         # end_b sends toward the adopter (the orphan's parent end).
-        core.offer_child(channel.end_a)
+        core.offer_child(channel.end_a, adopted=adopted)
         return channel.end_b
 
     def __repr__(self) -> str:

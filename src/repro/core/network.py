@@ -78,6 +78,7 @@ from .protocol import (
     make_shutdown,
     make_stats_request,
     parse_addr_report,
+    parse_leave,
     parse_ranks_changed,
     parse_stats_reply,
 )
@@ -119,6 +120,9 @@ class _FrontEndCore(NodeCore):
         # the first observed failure (fail_fast poisoning).
         self.recovery_events: List[RanksChanged] = []
         self.first_failure: Optional[str] = None
+        # Ranks that announced a voluntary TAG_LEAVE: their lost
+        # events are expected departures, not failures.
+        self._left_ranks: set = set()
         # In-flight STATS_SNAPSHOT gathers: request id -> {node: metrics}.
         self.stats_replies: Dict[int, Dict[str, dict]] = {}
         # Recursive instantiation: internal nodes announce their
@@ -162,9 +166,32 @@ class _FrontEndCore(NodeCore):
             packet.materialize()
         )
 
+    def _handle_leave(self, link_id: int, packet: Packet) -> None:
+        # Record the voluntary departure before any lost event for
+        # this rank (the handler's own, or a descendant's riding the
+        # same link) is processed.
+        self._left_ranks.add(parse_leave(packet))
+        super()._handle_leave(link_id, packet)
+
     def _note_ranks_changed(self, packet: Packet) -> None:
         stream_id, epoch, lost, gained = parse_ranks_changed(packet)
         self.recovery_events.append(RanksChanged(stream_id, epoch, lost, gained))
+        # A rank that rejoins sheds its "left" marker: a later loss of
+        # the reused rank is a failure again.
+        self._left_ranks.difference_update(gained)
+        failed = [r for r in lost if r not in self._left_ranks]
+        if failed:
+            # Deep failures reach the root only as membership loss
+            # (their EOF happened hops away); under fail_fast this is
+            # the poisoning signal.  A voluntary TAG_LEAVE always
+            # precedes its own lost event, so clean departures never
+            # land here.
+            self._note_failure(f"ranks {failed} lost from stream {stream_id}")
+        # Membership changes fire both directions: besides surfacing
+        # the event to the tool, flood it back down so surviving
+        # back-ends observe joins/leaves/failures too (they record
+        # them in ``BackEnd.membership_events``).
+        self.handle_control_down(packet)
 
     def _note_stats_reply(self, packet: Packet) -> None:
         request_id, payload = parse_stats_reply(packet)
@@ -180,7 +207,10 @@ class _FrontEndCore(NodeCore):
             self.first_failure = description
 
     def _handle_link_closed(self, link_id: int) -> None:
-        self._note_failure(f"link {link_id} closed at front-end")
+        if link_id not in self._announced_leaving:
+            # A voluntary leave's EOF is expected, not a failure — it
+            # must not poison a fail_fast network.
+            self._note_failure(f"link {link_id} closed at front-end")
         super()._handle_link_closed(link_id)
 
 
@@ -375,6 +405,7 @@ class Network:
         policy: str = DEGRADE,
         heartbeat_interval: float = 0.0,
         heartbeat_miss_threshold: int = 3,
+        checkpoint_interval: float = 0.0,
         trace: bool = False,
         instantiation: str = "recursive",
         shm: str = "auto",
@@ -409,11 +440,18 @@ class Network:
         network on the first failure, ``"degrade"`` (default) shrinks
         the tree and reconfigures in-flight waves over the survivors,
         ``"repair"`` additionally re-attaches orphans to their
-        grandparent (thread-hosted transports only).
+        grandparent.  Repair covers every transport: thread-hosted
+        trees (including ``colocate=True``) heal through the
+        in-process recovery coordinator, while ``transport="process"``
+        internal nodes receive their ancestor addresses at spawn time
+        and re-dial the nearest live one on parent death.
         ``heartbeat_interval`` > 0 enables liveness probes between
         internal processes with the given period;
         ``heartbeat_miss_threshold`` intervals of total silence
-        declare a peer dead.
+        declare a peer dead.  ``checkpoint_interval`` > 0 makes every
+        internal node periodically deposit per-stream filter-state
+        checkpoints with its parent (see ``docs/fault_tolerance.md``),
+        so an adopter can resume a dead node's partial reductions.
 
         ``trace=True`` attaches a Figure 3 span recorder to every
         thread-hosted process before the tree starts (equivalent to
@@ -469,12 +507,6 @@ class Network:
             raise NetworkError(f"unknown io_mode {io_mode!r}")
         if policy not in POLICIES:
             raise NetworkError(f"unknown failure policy {policy!r}")
-        if policy == REPAIR and transport == "process":
-            raise NetworkError(
-                "repair policy requires a thread-hosted transport "
-                "('local' or 'tcp'): separate OS processes have no "
-                "in-process recovery coordinator"
-            )
         if instantiation not in ("recursive", "sequential"):
             raise NetworkError(f"unknown instantiation {instantiation!r}")
         if shm not in ("auto", "off"):
@@ -513,6 +545,9 @@ class Network:
         self.heartbeat = HeartbeatConfig(
             interval=heartbeat_interval, miss_threshold=heartbeat_miss_threshold
         )
+        if checkpoint_interval < 0:
+            raise NetworkError("checkpoint_interval must be >= 0")
+        self.checkpoint_interval = checkpoint_interval
         self.topology = self._resolve_topology(topology)
         self.registry = registry if registry is not None else default_registry()
         self.filter_specs = [tuple(s) for s in (filter_specs or [])]
@@ -535,20 +570,28 @@ class Network:
         self._next_stream_id = FIRST_STREAM_ID
         self._streams: Dict[int, Stream] = {}
         self._down = False
+        # Process-transport repair: orphans whose nearest live
+        # ancestor is the front-end re-dial our listener; the pump
+        # then polls it for late accepts (set after startup so the
+        # bootstrap accepts stay blocking and counted).
+        self._accept_repairs = transport == "process" and policy == REPAIR
         # attach_backend claim serialization (mode-2 callers may race
         # from several threads); the pump itself stays single-threaded.
         self._attach_lock = threading.Lock()
         self._home_thread = threading.get_ident()
         self._tracers: List[TraceRecorder] = []
         self._stats_seq = 0
-        # Thread-hosted transports get a per-network recovery
-        # coordinator (stats aggregation always; adoption brokering
-        # under the repair policy).  The process transport's internal
-        # nodes live in other address spaces, so no coordinator.
-        self._recovery: Optional[RecoveryCoordinator] = None
-        if transport != "process":
-            self._recovery = RecoveryCoordinator(transport=transport, clock=clock)
-            self._recovery.register_frontend(self.topology.root.key, self._core)
+        # Every transport gets a per-network recovery coordinator:
+        # stats aggregation always, adoption brokering under the
+        # repair policy, and parent selection for elastic joins.  The
+        # process transport's internal nodes live in other address
+        # spaces, so they are registered by listener address
+        # (``register_remote``) and repaired by re-dialing; back-ends
+        # always live in this process either way.
+        self._recovery: Optional[RecoveryCoordinator] = RecoveryCoordinator(
+            transport=transport, clock=clock
+        )
+        self._recovery.register_frontend(self.topology.root.key, self._core)
         # The front-end never emits probes itself (it is pumped only by
         # API calls, so probe cadence could not be guaranteed); it still
         # consumes probes from children and reacts to EOFs.
@@ -798,6 +841,7 @@ class Network:
                             recovery=self._recovery,
                             topo_key=child.key,
                             repair_fn=repair_fn,
+                            checkpoint_interval=self.checkpoint_interval,
                         )
                         self._recovery.register_commnode(child.key, node.key, comm)
 
@@ -827,6 +871,11 @@ class Network:
         rank_of = {leaf.key: i for i, leaf in enumerate(leaves)}
         self._listener = TcpListener(self._core.inbox)
         addr_of = {self.topology.root.key: self._listener.address}
+        # Proper-ancestor address chains (root-first, excluding the
+        # node's own parent): under the repair policy each spawned
+        # commnode re-dials the nearest live entry when its parent
+        # dies, so orphan adoption needs no coordinator round-trip.
+        anc_of: Dict[tuple, tuple] = {self.topology.root.key: ()}
 
         filter_args: List[str] = []
         for spec in self.filter_specs:
@@ -841,9 +890,14 @@ class Network:
             for child in node.children:
                 if child.is_leaf:
                     rank = rank_of[child.key]
-                    self._slots[rank] = _LeafSlot(
+                    slot = self._slots[rank] = _LeafSlot(
                         rank, child.label, parent_addr=addr_of[node.key]
                     )
+                    slot.topo_key = child.key
+                    if self._recovery is not None:
+                        self._recovery.register_backend(
+                            child.key, node.key, slot
+                        )
                     continue
                 subtree_leaves = sum(
                     1 for n in _iter_subtree(child) if n.is_leaf
@@ -873,6 +927,20 @@ class Network:
                         "--heartbeat-miss",
                         str(self.heartbeat.miss_threshold),
                     ]
+                if self.checkpoint_interval > 0:
+                    cmd += [
+                        "--checkpoint-interval",
+                        str(self.checkpoint_interval),
+                    ]
+                if self.policy == REPAIR:
+                    cmd += ["--repair"]
+                    if anc_of[node.key]:
+                        cmd += [
+                            "--ancestors",
+                            ",".join(
+                                f"{h}:{p}" for h, p in anc_of[node.key]
+                            ),
+                        ]
                 cmd += filter_args
                 proc = subprocess.Popen(
                     cmd,
@@ -908,6 +976,11 @@ class Network:
                     proc.stdout, deque(maxlen=5), f"stdout-{child.label}"
                 )
                 addr_of[child.key] = ("127.0.0.1", int(line.split()[1]))
+                anc_of[child.key] = anc_of[node.key] + (addr_of[node.key],)
+                if self._recovery is not None:
+                    self._recovery.register_remote(
+                        child.key, node.key, addr_of[child.key], proc=proc
+                    )
                 queue_.append(child)
 
         # Accept the root's direct children (internal processes connect
@@ -969,6 +1042,8 @@ class Network:
             spawn=self.spawn,
             colocate=self.colocate,
             workers=self.filter_workers,
+            repair=self.policy == REPAIR,
+            checkpoint_interval=self.checkpoint_interval,
         )
         direct_internal = [c for c in root.children if not c.is_leaf]
         for child in direct_internal:
@@ -1028,6 +1103,27 @@ class Network:
                 )
             self._pump(self._pump_quantum())
 
+        # Every internal node that announced an address joins the
+        # coordinator's member registry (a Popen handle exists only
+        # for direct children; deeper nodes are other processes'
+        # children), so orphaned back-ends can walk to a live ancestor
+        # and elastic joins can pick an out-of-process parent.
+        if self._recovery is not None:
+            proc_of = {p.label: p for p in self._procs}
+            bfs = deque([root])
+            while bfs:
+                node = bfs.popleft()
+                for child in node.children:
+                    if child.is_leaf:
+                        continue
+                    addr = self._core.addr_reports.get(child.label)
+                    if addr is not None:
+                        self._recovery.register_remote(
+                            child.key, node.key, addr,
+                            proc=proc_of.get(child.label),
+                        )
+                    bfs.append(child)
+
         # Back-end slots aim at their parent's announced address; links
         # whose endpoints share a topology host are marked for the
         # shared-memory upgrade at attach time.
@@ -1037,12 +1133,14 @@ class Network:
                 addr = self._listener.address
             else:
                 addr = self._core.addr_reports[parent.label]
-            self._slots[rank_of[leaf.key]] = _LeafSlot(
+            slot = self._slots[rank_of[leaf.key]] = _LeafSlot(
                 rank_of[leaf.key],
                 leaf.label,
                 parent_addr=addr,
                 shm=(self.shm == "auto" and leaf.host == parent.host),
             )
+            slot.topo_key = leaf.key
+            self._recovery.register_backend(leaf.key, parent.key, slot)
 
     def _proc_diagnostics(self) -> str:
         """One line of post-mortem per spawned child process."""
@@ -1098,18 +1196,30 @@ class Network:
 
     # -- back-end management ------------------------------------------------
 
-    def attach_backend(self, rank: int) -> BackEnd:
-        """Create and connect the back-end for leaf *rank* (mode 2 API).
+    def attach_backend(self, rank: Optional[int] = None) -> BackEnd:
+        """Create and connect a back-end (mode 2 API + elastic joins).
+
+        With *rank* naming a reserved leaf slot, this is the classic
+        mode-2 attach: the back-end connects through the slot wired at
+        instantiation.  With ``rank=None`` (or a rank the topology
+        never reserved) the back-end *joins the running network*
+        elastically: the recovery coordinator picks a parent (the live
+        comm node with the fewest children, or the front-end), a fresh
+        edge is manufactured, and the back-end announces itself with a
+        ``TAG_JOIN`` control packet that doubles as its §2.5 endpoint
+        report — every ancestor splices the new rank into routing and
+        into the currently open streams at a wave-epoch boundary, and
+        ``RanksChanged`` events fire both up (to the tool) and down
+        (to the surviving back-ends).
 
         Thread-safe: concurrent callers attaching *different* ranks
         proceed in parallel (each slot is claimed under a lock), which
         is how a process-management system would bring up many tool
         back-ends at once.  Attaching the same rank twice raises.
         """
-        try:
-            slot = self._slots[rank]
-        except KeyError:
-            raise NetworkError(f"no leaf slot for rank {rank}") from None
+        if rank is None or rank not in self._slots:
+            return self._attach_joining(rank)
+        slot = self._slots[rank]
         with self._attach_lock:
             if slot.backend is not None or slot.claimed:
                 raise NetworkError(f"back-end rank {rank} already attached")
@@ -1141,6 +1251,82 @@ class Network:
             raise
         slot.backend = backend
         return backend
+
+    def _attach_joining(self, rank: Optional[int]) -> BackEnd:
+        """Join a brand-new back-end rank to the *running* network.
+
+        See :meth:`attach_backend`; this is the elastic-membership
+        path for ranks the topology never reserved.
+        """
+        self._check_up()
+        if not self._core.ready:
+            raise NetworkError(
+                f"cannot join rank {rank}: network is not ready yet "
+                "(elastic joins extend a running network)"
+            )
+        with self._attach_lock:
+            if rank is None:
+                used = set(self._slots) | set(self._core.reported_ranks)
+                rank = max(used, default=-1) + 1
+            elif rank in self._slots or rank in self._core.reported_ranks:
+                raise NetworkError(f"back-end rank {rank} already attached")
+            slot = _LeafSlot(rank, f"joined:{rank}")
+            slot.claimed = True
+            self._slots[rank] = slot
+        try:
+            parent_end, inbox, parent_key = self._make_join_parent(slot)
+            backend = BackEnd(rank, slot.label, parent_end, inbox)
+            stream_ids = sorted(self._streams)
+            for sid in stream_ids:
+                # Pre-seed the stream handles the join enters: the
+                # joiner missed the NEW_STREAM broadcast, but this
+                # front-end knows every open stream's parameters.
+                backend.register_stream(
+                    sid, chunk_bytes=self._streams[sid].chunk_bytes or 0
+                )
+            topo_key = ("joined", rank)
+            slot.topo_key = topo_key
+            if self._recovery is not None:
+                self._recovery.register_backend(topo_key, parent_key, slot)
+                if self.policy == REPAIR:
+                    backend.repair_fn = self._make_repair_fn(topo_key, inbox)
+            backend.join(stream_ids)
+        except BaseException:
+            with self._attach_lock:
+                self._slots.pop(rank, None)
+            raise
+        slot.backend = backend
+        slot.parent_end = parent_end
+        slot.inbox = inbox
+        return backend
+
+    def _make_join_parent(self, slot: _LeafSlot) -> tuple:
+        """Manufacture a joining back-end's uplink; returns
+        ``(parent_end, inbox, parent_topo_key)``.
+
+        Thread-hosted transports always go through the coordinator
+        (in-process or socketpair edge to the least-loaded live comm
+        node).  The process transport dials a live ``mrnet_commnode``
+        listener under the repair policy (they keep accepting); in any
+        other case — or when that dial fails — it falls back to the
+        front-end's own listener.
+        """
+        recovery = self._recovery
+        dialable = self.transport != "process" or self.policy == REPAIR
+        if recovery is not None and dialable:
+            member = recovery.choose_adopter()
+            if member is not None:
+                inbox = Inbox()
+                end = recovery.make_join_edge(member, inbox)
+                if end is not None:
+                    return end, inbox, member.key
+        if self.transport == "process" and self._listener is not None:
+            slot.parent_addr = self._listener.address
+            end, inbox = self._connect_accept_root_leaf(slot)
+            return end, inbox, self.topology.root.key
+        raise NetworkError(
+            f"no live parent available for joining rank {slot.rank}"
+        )
 
     def _attach_all_backends(self) -> None:
         """Mode-1 attach, concurrently (paper §2.5, Figure 5).
@@ -1583,6 +1769,28 @@ class Network:
             quantum = min(quantum, max(remaining, 0.0))
         return quantum
 
+    def _poll_repair_accepts(self) -> None:
+        """Admit orphans re-dialing the front-end (process + repair).
+
+        A ``transport="process"`` orphan whose nearest live ancestor
+        is the front-end reconnects to our listener; nobody blocks in
+        ``accept`` after startup, so the pump polls non-blockingly.
+        The orphan's endpoint report follows on the new link and
+        splices it into routing and stream membership.
+        """
+        if self._listener is None:
+            return
+        if any(s.claimed and s.backend is None for s in self._slots.values()):
+            # A back-end attach is mid-connect on this listener; its
+            # own acceptor must win that connection, not the pump.
+            return
+        while True:
+            try:
+                end = self._listener.accept(timeout=0)
+            except (OSError, ValueError, ConnectionError):
+                return
+            self._core.add_child(end)
+
     def _pump(self, timeout: float) -> bool:
         """Process inbound traffic for up to one blocking receive."""
         worked = False
@@ -1590,6 +1798,8 @@ class Network:
         # pump, *before* draining the inbox: its endpoint report may
         # already be queued behind the admission.
         self._core.admit_pending_children()
+        if self._accept_repairs:
+            self._poll_repair_accepts()
         if self._drains:
             self._drains.poll()
         if timeout > 0:

@@ -31,7 +31,7 @@ id 0 as the *control stream*; packets on it drive network life-cycle:
   replies from an earlier gather.
 * ``TAG_STATS_REPLY`` (upstream) — one node's answer.  Payload
   ``"%ud %s"``: the echoed request id and a JSON document in the
-  ``mrnet.stats/2`` schema (see :mod:`repro.obs.snapshot`).  Replies
+  ``mrnet.stats/3`` schema (see :mod:`repro.obs.snapshot`).  Replies
   are relayed hop by hop toward the root on the ordinary upstream
   control path, through the same packet buffers that batch tool data.
 * ``TAG_ADDR_REPORT`` (upstream) — parallel recursive instantiation
@@ -40,6 +40,37 @@ id 0 as the *control stream*; packets on it drive network life-cycle:
   without the launcher reading each child's stdout.  Payload
   ``"%s %s %ud"``: the node's topology label, listener host, listener
   port.  Reports relay hop by hop like any upstream control packet.
+* ``TAG_JOIN`` (upstream) — elastic membership: a back-end attached to
+  a *running* network asks to enter existing streams at the next
+  wave-epoch boundary.  Payload ``"%ud %aud"``: the joining rank and
+  the stream ids it enters.  Every node on the path to the root adds
+  the rank to those streams' endpoint sets, splices the carrying link
+  in with joining (grace) semantics, fires ``RanksChanged`` with the
+  rank *gained*, and relays the packet upward.
+* ``TAG_LEAVE`` (upstream) — a back-end detaches voluntarily.  Payload
+  ``"%ud"``: the leaving rank.  Nodes retire the rank from every
+  stream at a wave-epoch boundary (queued contributions still ride
+  along — leaving drains, it does not abort), fire ``RanksChanged``
+  with the rank *lost*, and treat the subsequent link EOF as announced
+  rather than as a failure.
+* ``TAG_WAVE_ACK`` (downstream, link-local) — crash-consistent waves:
+  a parent acknowledges consumption of a child's output wave so the
+  child can prune its bounded retransmit history.  Payload
+  ``"%ud %ud"``: stream id, highest consumed wave sequence.
+* ``TAG_WAVE_NACK`` (downstream, link-local) — a parent observed a gap
+  in a child's wave sequence and asks for retransmission.  Payload
+  ``"%ud %ud"``: stream id, first missing wave sequence.  The child
+  re-sends whatever its bounded history still holds from that
+  sequence on; sequences aged out of the history are simply skipped
+  (the parent's reassembler realigns on the next complete wave).
+* ``TAG_CHECKPOINT`` (upstream, one hop) — periodic filter-state
+  checkpoint.  Payload ``"%ud %ud %s"``: stream id, the sender's
+  output-wave sequence at capture time, and a JSON document holding
+  the sender's transformation-filter state and per-source wave
+  watermarks.  The parent *stores* the checkpoint (it does not relay
+  it); if the sender later dies and its orphans re-home here, the
+  stored watermarks seed duplicate suppression and the filter state
+  lets the adopter resume the dead node's partial reductions.
 
 Application packets use non-negative tags; tags below
 ``FIRST_APP_TAG`` are reserved for the protocol.
@@ -84,6 +115,11 @@ __all__ = [
     "TAG_STATS_REQUEST",
     "TAG_STATS_REPLY",
     "TAG_ADDR_REPORT",
+    "TAG_JOIN",
+    "TAG_LEAVE",
+    "TAG_WAVE_ACK",
+    "TAG_WAVE_NACK",
+    "TAG_CHECKPOINT",
     "TAG_CHUNK",
     "FIRST_APP_TAG",
     "WAVE_REDUCE",
@@ -98,6 +134,11 @@ __all__ = [
     "FMT_STATS_REQUEST",
     "FMT_STATS_REPLY",
     "FMT_ADDR_REPORT",
+    "FMT_JOIN",
+    "FMT_LEAVE",
+    "FMT_WAVE_ACK",
+    "FMT_WAVE_NACK",
+    "FMT_CHECKPOINT",
     "make_endpoint_report",
     "make_new_stream",
     "make_close_stream",
@@ -107,11 +148,21 @@ __all__ = [
     "make_stats_request",
     "make_stats_reply",
     "make_addr_report",
+    "make_join",
+    "make_leave",
+    "make_wave_ack",
+    "make_wave_nack",
+    "make_checkpoint",
     "parse_new_stream",
     "parse_ranks_changed",
     "parse_stats_request",
     "parse_stats_reply",
     "parse_addr_report",
+    "parse_join",
+    "parse_leave",
+    "parse_wave_ack",
+    "parse_wave_nack",
+    "parse_checkpoint",
 ]
 
 CONTROL_STREAM_ID = 0
@@ -126,6 +177,11 @@ TAG_RANKS_CHANGED = -6
 TAG_STATS_REQUEST = -7
 TAG_STATS_REPLY = -8
 TAG_ADDR_REPORT = -9
+TAG_JOIN = -10
+TAG_LEAVE = -11
+TAG_WAVE_ACK = -12
+TAG_WAVE_NACK = -13
+TAG_CHECKPOINT = -14
 
 #: Reserved tag marking a pipeline fragment on a *data* stream.  Not a
 #: control tag — chunks never ride stream 0 — but kept below
@@ -154,6 +210,11 @@ FMT_RANKS_CHANGED = "%ud %ud %aud %aud"
 FMT_STATS_REQUEST = "%ud"
 FMT_STATS_REPLY = "%ud %s"
 FMT_ADDR_REPORT = "%s %s %ud"
+FMT_JOIN = "%ud %aud"
+FMT_LEAVE = "%ud"
+FMT_WAVE_ACK = "%ud %ud"
+FMT_WAVE_NACK = "%ud %ud"
+FMT_CHECKPOINT = "%ud %ud %s"
 
 
 def make_endpoint_report(ranks: Sequence[int]) -> Packet:
@@ -271,7 +332,7 @@ def parse_stats_request(packet: Packet) -> int:
 def make_stats_reply(request_id: int, payload: str) -> Packet:
     """Build one node's upstream metrics reply.
 
-    *payload* is the ``mrnet.stats/2`` JSON produced by
+    *payload* is the ``mrnet.stats/3`` JSON produced by
     :func:`repro.obs.snapshot.dumps_snapshot`.
     """
     return Packet(
@@ -296,3 +357,67 @@ def parse_addr_report(packet: Packet) -> Tuple[str, str, int]:
     """Unpack a ``TAG_ADDR_REPORT`` control packet → (label, host, port)."""
     label, host, port = packet.unpack()
     return label, host, port
+
+
+def make_join(rank: int, stream_ids: Sequence[int]) -> Packet:
+    """Build a joining back-end's upstream membership announcement."""
+    return Packet(
+        CONTROL_STREAM_ID, TAG_JOIN, FMT_JOIN, (rank, tuple(stream_ids))
+    )
+
+
+def parse_join(packet: Packet) -> Tuple[int, Tuple[int, ...]]:
+    """Unpack a ``TAG_JOIN`` control packet → (rank, stream ids)."""
+    rank, stream_ids = packet.unpack()
+    return rank, tuple(stream_ids)
+
+
+def make_leave(rank: int) -> Packet:
+    """Build a leaving back-end's upstream detach announcement."""
+    return Packet(CONTROL_STREAM_ID, TAG_LEAVE, FMT_LEAVE, (rank,))
+
+
+def parse_leave(packet: Packet) -> int:
+    """Unpack a ``TAG_LEAVE`` control packet → leaving rank."""
+    (rank,) = packet.unpack()
+    return rank
+
+
+def make_wave_ack(stream_id: int, wave_seq: int) -> Packet:
+    """Build a parent's downstream wave-consumption acknowledgement."""
+    return Packet(CONTROL_STREAM_ID, TAG_WAVE_ACK, FMT_WAVE_ACK, (stream_id, wave_seq))
+
+
+def parse_wave_ack(packet: Packet) -> Tuple[int, int]:
+    """Unpack a ``TAG_WAVE_ACK`` control packet → (stream id, wave seq)."""
+    stream_id, wave_seq = packet.unpack()
+    return stream_id, wave_seq
+
+
+def make_wave_nack(stream_id: int, wave_seq: int) -> Packet:
+    """Build a parent's downstream retransmission request."""
+    return Packet(
+        CONTROL_STREAM_ID, TAG_WAVE_NACK, FMT_WAVE_NACK, (stream_id, wave_seq)
+    )
+
+
+def parse_wave_nack(packet: Packet) -> Tuple[int, int]:
+    """Unpack a ``TAG_WAVE_NACK`` control packet → (stream id, wave seq)."""
+    stream_id, wave_seq = packet.unpack()
+    return stream_id, wave_seq
+
+
+def make_checkpoint(stream_id: int, wave_seq: int, state_json: str) -> Packet:
+    """Build a node's periodic filter-state checkpoint for its parent."""
+    return Packet(
+        CONTROL_STREAM_ID,
+        TAG_CHECKPOINT,
+        FMT_CHECKPOINT,
+        (stream_id, wave_seq, state_json),
+    )
+
+
+def parse_checkpoint(packet: Packet) -> Tuple[int, int, str]:
+    """Unpack a ``TAG_CHECKPOINT`` packet → (stream id, wave seq, JSON)."""
+    stream_id, wave_seq, state_json = packet.unpack()
+    return stream_id, wave_seq, state_json

@@ -29,6 +29,15 @@ class RoutingTable:
         """Forget a link (closed child); returns the ranks it reached."""
         return self._reach.pop(link_id, set())
 
+    def remove_rank(self, rank: int) -> None:
+        """Forget one back-end rank everywhere (graceful leave).
+
+        The link itself survives — other ranks may still be reachable
+        through it; an empty reach set just stops attracting fan-out.
+        """
+        for ranks in self._reach.values():
+            ranks.discard(rank)
+
     def links_for(self, endpoints: FrozenSet[int] | Set[int]) -> List[int]:
         """Child links whose reachable set intersects *endpoints*.
 

@@ -48,6 +48,26 @@ byte-identical by construction.  A child that dies mid-wave leaves a
 truncated fragment sequence; the manager discards the poisoned
 partial wave at every affected level (``chunk_waves_aborted``) and
 realigns on the next wave boundary, under the bumped membership epoch.
+
+Crash-consistent waves (elastic robustness)
+-------------------------------------------
+
+Chunk framing already carries a per-stream monotonic output wave id in
+every fragment prefix, so crash consistency rides the existing wire
+format.  On the *send* side the manager keeps a bounded history of its
+own emitted waves (:data:`HISTORY_MAX_WAVES` waves /
+:data:`HISTORY_MAX_BYTES` bytes, mirroring the transport send-queue
+bound); after a parent repair the node replays the un-ACKed suffix via
+:meth:`StreamManager.resend_since`, and ``TAG_WAVE_ACK`` from the
+parent prunes it.  On the *receive* side a per-child-link high
+watermark of completed input waves drops duplicate retransmissions and
+turns a fresh gap into a single ``TAG_WAVE_NACK`` toward that child.
+Watermarks and resumable filter state (``checkpoint_state``) are
+shipped one hop up in periodic ``TAG_CHECKPOINT`` packets so an
+adopter can seed dedup for children it inherits from a dead node.
+Output wave ids deliberately bump on aborts without emitting, so gaps
+are *normal*; a NACK is sent at most once per (link, expected-seq) and
+a resender silently skips seqs its history has already aged out.
 """
 
 from __future__ import annotations
@@ -79,13 +99,36 @@ from .chunking import (
 from .packet import Packet
 from .protocol import WAVE_REDUCE
 
-__all__ = ["StreamManager", "CHUNK_BYTE_BUCKETS"]
+__all__ = [
+    "StreamManager",
+    "CHUNK_BYTE_BUCKETS",
+    "HISTORY_MAX_WAVES",
+    "HISTORY_MAX_BYTES",
+    "ACK_STRIDE",
+]
 
 log = logging.getLogger(__name__)
 
 #: Power-of-two byte buckets for the per-stream ``chunk_bytes``
 #: histogram (1 KiB .. 16 MiB covers every sane fragment size).
 CHUNK_BYTE_BUCKETS = tuple(1 << p for p in range(10, 25))
+
+#: Retransmit-history bound, in output waves.  Deep enough to cover
+#: the waves a parent can plausibly lose between heartbeat detection
+#: and repair; shallow enough that history stays a rounding error
+#: next to the chunk queues themselves.
+HISTORY_MAX_WAVES = 8
+
+#: Retransmit-history bound, in encoded payload bytes.  Mirrors the
+#: transport's per-link send-queue ceiling
+#: (:data:`repro.transport.eventloop.SEND_QUEUE_MAX_BYTES`) so a
+#: stream can never pin more memory in history than one link may
+#: queue under backpressure.
+HISTORY_MAX_BYTES = 4 << 20
+
+#: Completed input waves between ``TAG_WAVE_ACK`` emissions toward a
+#: child — the child prunes its history up to the ACKed seq.
+ACK_STRIDE = 4
 
 
 class StreamManager:
@@ -202,6 +245,7 @@ class StreamManager:
             {c: deque() for c in self.child_links} if self.incremental else {}
         )
         self._chunk_joining: set = set()
+        self._chunk_leaving: set = set()  # lame-duck links (TAG_LEAVE)
         self._wave_links: List[object] = []  # fixed participant set mid-wave
         self._wave_pos = 0  # next expected chunk index (0 = at a boundary)
         self._wave_n = 0  # fragment count of the in-flight aligned wave
@@ -230,6 +274,37 @@ class StreamManager:
         else:
             self._h_chunk_bytes = None
             self._c_chunk_aborts = None
+        # -- crash-consistent waves ------------------------------------
+        # Bounded replay history of this node's own emitted output
+        # waves: deque of ``(wave_id, [chunk packets])``, oldest first.
+        self._out_history: Deque = deque()
+        self._history_bytes = 0
+        # Per-child-link high watermark of *completed* input waves
+        # (the link delivered a wave's final fragment).  Anything at
+        # or below the watermark is a duplicate retransmission.
+        self._in_high: Dict[object, int] = {}
+        self._ack_low: Dict[object, int] = {}  # last wave ACKed per link
+        self._nacked: Dict[object, int] = {}  # highest seq NACKed per link
+        # Owner-installed control emitters, ``fn(link_id, stream_id,
+        # wave_seq)``; ``None`` (back-end-less unit tests, front-end)
+        # disables ACK/NACK emission without disabling the watermarks.
+        self.ack_hook: Optional[Callable[[object, int, int], None]] = None
+        self.nack_hook: Optional[Callable[[object, int, int], None]] = None
+        # True once the transform state has been mutated by a released
+        # wave; guards checkpoint restoration (an adopter only inherits
+        # a dead node's filter state while its own is still pristine).
+        self._state_dirty = False
+        self._c_waves_recovered = registry.counter(
+            "waves_recovered",
+            "Output waves replayed from the retransmit history after a "
+            "parent repair or TAG_WAVE_NACK",
+            stream=stream_id,
+        )
+        self._c_chunks_retx = registry.counter(
+            "chunks_retransmitted",
+            "Pipeline fragments replayed from the retransmit history",
+            stream=stream_id,
+        )
 
     @classmethod
     def create(
@@ -277,6 +352,8 @@ class StreamManager:
         """Process one packet arriving from a child; return outputs."""
         if self.closed:
             return []
+        if is_chunk(packet) and not self._admit_chunk(link_id, packet):
+            return []
         if self.incremental:
             return self._push_incremental(link_id, packet)
         if is_chunk(packet):
@@ -302,6 +379,54 @@ class StreamManager:
         waves = self.sync.push(link_id, packet.materialize())
         return self._emit_up(self._run_waves(waves))
 
+    def _admit_chunk(self, link_id: object, packet: Packet) -> bool:
+        """Sequence gate for one arriving fragment (crash consistency).
+
+        Returns ``False`` for duplicates (wave id at or below the
+        link's completed-wave watermark — a retransmission overlap
+        after repair).  A fresh gap at a wave boundary emits one
+        ``TAG_WAVE_NACK`` toward the child via :attr:`nack_hook`; gaps
+        are otherwise *normal* (aborted waves consume ids silently),
+        so the NACK fires at most once per (link, expected-seq) and
+        recovery degrades to realignment when history has aged out.
+        """
+        wave_id, index, n, _tag = chunk_meta(packet)
+        high = self._in_high.get(link_id, -1)
+        if wave_id <= high:
+            log.debug(
+                "stream %d: dropping duplicate chunk wave=%d idx=%d from %r",
+                self.stream_id, wave_id, index, link_id,
+            )
+            return False
+        if index == 0 and self.nack_hook is not None:
+            expected = high + 1
+            if wave_id > expected and expected > self._nacked.get(link_id, -1):
+                self._nacked[link_id] = expected
+                self.nack_hook(link_id, self.stream_id, expected)
+        if index + 1 == n:
+            self._in_high[link_id] = wave_id
+            if (
+                self.ack_hook is not None
+                and wave_id - self._ack_low.get(link_id, -1) >= ACK_STRIDE
+            ):
+                self._ack_low[link_id] = wave_id
+                self.ack_hook(link_id, self.stream_id, wave_id)
+        return True
+
+    def watermark(self, link_id: object) -> int:
+        """Highest completed input wave id seen on *link_id* (-1: none)."""
+        return self._in_high.get(link_id, -1)
+
+    def seed_watermark(self, link_id: object, wave_id: int) -> None:
+        """Pre-set a link's dedup watermark from a checkpoint.
+
+        Called when adopting an orphan whose dead parent had already
+        completed waves up to *wave_id*: the orphan's post-repair
+        replay of those waves must be dropped, not re-aggregated.
+        """
+        if wave_id > self._in_high.get(link_id, -1):
+            self._in_high[link_id] = wave_id
+
     def poll_upstream(self) -> List[Packet]:
         """Re-check time-based synchronization criteria."""
         if self.closed:
@@ -322,9 +447,13 @@ class StreamManager:
         """
         self._settle_offloads()
         self.membership_epoch += 1
+        self._in_high.pop(link_id, None)
+        self._ack_low.pop(link_id, None)
+        self._nacked.pop(link_id, None)
         if self.incremental:
             q = self._chunk_queues.pop(link_id, None)
             self._chunk_joining.discard(link_id)
+            self._chunk_leaving.discard(link_id)
             self.sync.remove_child(link_id)
             if link_id in self.child_links:
                 self.child_links.remove(link_id)
@@ -362,6 +491,41 @@ class StreamManager:
             self._chunk_queues[link_id] = deque()
             self._chunk_joining.add(link_id)
         self.membership_epoch += 1
+
+    def retire_link(self, link_id: int) -> None:
+        """Lame-duck a child link that announced a graceful leave.
+
+        The departing subtree flushed before sending ``TAG_LEAVE``, so
+        its already-queued contributions still ride the next waves —
+        but completeness criteria stop *requiring* the link, and the
+        eventual EOF is expected rather than a failure.  Contrast
+        :meth:`drop_link`, which is the abrupt-death path.
+        """
+        if link_id not in self.child_links:
+            return
+        self.membership_epoch += 1
+        self.sync.retire_child(link_id)
+        if self.incremental:
+            self._chunk_leaving.add(link_id)
+
+    def add_endpoints(self, ranks: Sequence[int]) -> None:
+        """Splice joining back-end ranks into the endpoint set (TAG_JOIN).
+
+        Bumps the membership epoch even when the join rides an already
+        known child link (the splice point is deeper in the tree): any
+        change to *who* a wave covers is a new membership generation.
+        """
+        grown = self.endpoints | frozenset(ranks)
+        if grown != self.endpoints:
+            self.endpoints = grown
+            self.membership_epoch += 1
+
+    def remove_endpoints(self, ranks: Sequence[int]) -> None:
+        """Retire departed back-end ranks (TAG_LEAVE or degrade)."""
+        shrunk = self.endpoints - frozenset(ranks)
+        if shrunk != self.endpoints:
+            self.endpoints = shrunk
+            self.membership_epoch += 1
 
     def flush_upstream(self) -> List[Packet]:
         """Stream teardown: push every held packet through the filter.
@@ -428,7 +592,10 @@ class StreamManager:
         already have one.
         """
         required = [
-            lid for lid in self._chunk_queues if lid not in self._chunk_joining
+            lid
+            for lid in self._chunk_queues
+            if lid not in self._chunk_joining
+            and lid not in self._chunk_leaving
         ]
         if not required:
             return None
@@ -497,7 +664,10 @@ class StreamManager:
                 self.stream_id,
                 detail=f"n={n}",
             )
-        out = [wrap_chunk(p, self._out_wave, index, n) for p in outputs]
+        self._state_dirty = True
+        out = self._record_out(
+            [wrap_chunk(p, self._out_wave, index, n) for p in outputs]
+        )
         if index + 1 >= n:
             released = self._clock()
             if self._wave_t0 is not None:
@@ -596,7 +766,118 @@ class StreamManager:
             else:
                 self._out_wave += 1
                 out.extend(chunks)
+        return self._record_out(out)
+
+    def _record_out(self, packets: List[Packet]) -> List[Packet]:
+        """Append emitted fragments to the bounded retransmit history.
+
+        Fragments are grouped by their output wave id; whole (unchunked)
+        packets carry no wire sequence number and are not replayable.
+        Packets are materialized before parking — a zero-copy shm frame
+        aliases ring memory that the transport recycles after send.
+        """
+        for p in packets:
+            if not is_chunk(p):
+                continue
+            wave_id = chunk_meta(p)[0]
+            if self._out_history and self._out_history[-1][0] == wave_id:
+                self._out_history[-1][1].append(p.materialize())
+            else:
+                self._out_history.append((wave_id, [p.materialize()]))
+            self._history_bytes += p.nbytes
+        while self._out_history and (
+            len(self._out_history) > HISTORY_MAX_WAVES
+            or self._history_bytes > HISTORY_MAX_BYTES
+        ):
+            _seq, chunks = self._out_history.popleft()
+            self._history_bytes -= sum(c.nbytes for c in chunks)
+        return packets
+
+    def ack_output(self, wave_seq: int) -> None:
+        """``TAG_WAVE_ACK``: the parent delivered through *wave_seq*.
+
+        Prunes the retransmit history up to and including that wave.
+        """
+        while self._out_history and self._out_history[0][0] <= wave_seq:
+            _seq, chunks = self._out_history.popleft()
+            self._history_bytes -= sum(c.nbytes for c in chunks)
+
+    def resend_since(self, wave_seq: int = -1) -> List[Packet]:
+        """Replay every buffered output wave newer than *wave_seq*.
+
+        The post-repair resend path (and the ``TAG_WAVE_NACK``
+        handler): returns the fragments in original emission order for
+        the owner to queue upstream.  Waves the bounded history has
+        already aged out are silently skipped — the parent's
+        reassembler realigns on the next boundary and the loss shows
+        up in ``chunk_waves_aborted`` there instead.
+        """
+        out: List[Packet] = []
+        waves = 0
+        for seq, chunks in self._out_history:
+            if seq <= wave_seq:
+                continue
+            out.extend(chunks)
+            waves += 1
+        if waves:
+            self._c_waves_recovered.value += waves
+            self._c_chunks_retx.value += len(out)
         return out
+
+    def checkpoint_state(self) -> dict:
+        """This node's resumable per-stream state (``TAG_CHECKPOINT``).
+
+        ``watermarks`` is keyed by child link id — the owner translates
+        link identities into rank sets before shipping, since a link id
+        is meaningless outside this process.  ``transform`` (and
+        ``sync``, when contributions are parked) appear only when the
+        filter's state serializes cleanly; checkpointing is always
+        best-effort and never fails the data path.
+        """
+        doc = {
+            "out_wave": self._out_wave,
+            "epoch": self.membership_epoch,
+            "watermarks": dict(self._in_high),
+        }
+        try:
+            doc["transform"] = self.transform.get_state(self.transform_state)
+        except Exception as exc:  # noqa: BLE001 - best-effort by design
+            log.debug(
+                "stream %d: transform state not checkpointable: %s",
+                self.stream_id, exc,
+            )
+        if self.sync.pending:
+            try:
+                doc["sync"] = self.sync.get_state()
+            except Exception as exc:  # noqa: BLE001
+                log.debug(
+                    "stream %d: sync state not checkpointable: %s",
+                    self.stream_id, exc,
+                )
+        return doc
+
+    def restore_state(self, snapshot: dict) -> None:
+        """Adopt a dead node's :meth:`checkpoint_state` filter state.
+
+        Applied only while this node's own transform state is pristine
+        (no wave has released here yet): an adopter that has already
+        aggregated waves owns its state, and a stale checkpoint must
+        not clobber it.  Watermark seeding is separate — see
+        :meth:`seed_watermark`, keyed by the adopter's own link ids.
+        """
+        transform = snapshot.get("transform")
+        if transform is None or self._state_dirty:
+            return
+        try:
+            self.transform.set_state(self.transform_state, transform)
+            self.transform_state.setdefault(
+                "n_children", len(self.child_links)
+            )
+        except Exception as exc:  # noqa: BLE001
+            log.debug(
+                "stream %d: checkpoint restore skipped: %s",
+                self.stream_id, exc,
+            )
 
     def _count_chunks_in_flight(self) -> int:
         n = sum(
@@ -609,6 +890,7 @@ class StreamManager:
         out: List[Packet] = []
         tracer = self._owner.tracer if self._owner is not None else None
         for wave in waves:
+            self._state_dirty = True
             released = self._clock()
             if self._wave_t0 is not None:
                 self._h_wave_latency.observe(released - self._wave_t0)

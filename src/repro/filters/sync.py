@@ -74,6 +74,11 @@ class SynchronizationFilter:
         # to full membership when it contributes its first packet or
         # when any wave releases, whichever happens first.
         self._joining: set = set()
+        # Children that announced a graceful leave (TAG_LEAVE): their
+        # queued contributions still ride, but waves stop *requiring*
+        # them.  Unlike ``_joining`` the exemption is permanent — it
+        # ends only when the link actually closes and is removed.
+        self._leaving: set = set()
 
     # -- membership -------------------------------------------------------
 
@@ -98,7 +103,20 @@ class SynchronizationFilter:
         """Drop a connection (e.g. a closed child); return its backlog."""
         backlog = self._queues.pop(child, deque())
         self._joining.discard(child)
+        self._leaving.discard(child)
         return list(backlog)
+
+    def retire_child(self, child: object) -> None:
+        """Lame-duck a child that announced a graceful leave.
+
+        The child's already-queued packets still participate in waves,
+        but completeness criteria stop waiting on it — the departing
+        back-end will send nothing further, and blocking every wave
+        until its EOF arrives would stall the stream for the detection
+        window.  The exemption persists until :meth:`remove_child`.
+        """
+        if child in self._queues:
+            self._leaving.add(child)
 
     # -- data path ---------------------------------------------------------
 
@@ -133,6 +151,45 @@ class SynchronizationFilter:
         """Number of packets currently held back."""
         return sum(len(q) for q in self._queues.values())
 
+    # -- checkpointing ------------------------------------------------------
+
+    def get_state(self) -> dict:
+        """Serialize the buffered partial-wave contributions (JSON-able).
+
+        Each child's queued packets are wire-encoded and base64'd;
+        children are keyed by ``str()`` of their identity (link ids in
+        practice).  Shipped in ``TAG_CHECKPOINT`` payloads so a dead
+        node's partially synchronized wave is not silently lost.
+        """
+        from base64 import b64encode
+
+        from ..core.batching import encode_batch
+
+        pending = {}
+        for child, q in self._queues.items():
+            if q:
+                pending[str(child)] = b64encode(encode_batch(q)).decode("ascii")
+        return {"sync": self.name, "pending": pending}
+
+    def set_state(self, snapshot: dict) -> None:
+        """Re-queue contributions from a :meth:`get_state` snapshot.
+
+        Children are matched by ``str()`` of their identity; entries
+        for children this filter does not know are ignored (the dead
+        node's links do not exist at the adopter).
+        """
+        from base64 import b64decode
+
+        from ..core.batching import decode_batch
+
+        by_name = {str(child): child for child in self._queues}
+        for key, blob in snapshot.get("pending", {}).items():
+            child = by_name.get(key)
+            if child is None:
+                continue
+            for packet in decode_batch(b64decode(blob), lazy=False):
+                self._queues[child].append(packet)
+
     def next_deadline(self) -> Optional[float]:
         """Clock time at which :meth:`poll` could release a wave.
 
@@ -157,7 +214,9 @@ class SynchronizationFilter:
         if not self._queues:
             return None
         required = [
-            q for c, q in self._queues.items() if c not in self._joining
+            q
+            for c, q in self._queues.items()
+            if c not in self._joining and c not in self._leaving
         ]
         if not required or not all(required):
             return None

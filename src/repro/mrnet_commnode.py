@@ -72,7 +72,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from .core.commnode import NodeCore
-from .core.failure import HeartbeatConfig
+from .core.failure import REPAIR, HeartbeatConfig
 from .core.protocol import make_addr_report
 from .filters.registry import default_registry
 from .transport.channel import Inbox
@@ -156,6 +156,8 @@ class RecursiveOpts:
     spawn: str = "fork"  # how *this* node creates its internal children
     colocate: bool = False  # host same-host internal subtrees in-process
     workers: int = 0  # filter worker threads on a colocated loop
+    repair: bool = False  # re-dial a live ancestor when the parent dies
+    checkpoint_interval: float = 0.0  # filter-state deposit period (0 = off)
 
     def command_line(self) -> List[str]:
         """The inheritable flags, as ``--spawn popen`` arguments."""
@@ -167,6 +169,10 @@ class RecursiveOpts:
         ]
         if self.colocate:
             args += ["--colocate"]
+        if self.repair:
+            args += ["--repair"]
+        if self.checkpoint_interval > 0:
+            args += ["--checkpoint-interval", str(self.checkpoint_interval)]
         if self.workers:
             args += ["--filter-workers", str(self.workers)]
         if self.heartbeat is not None and self.heartbeat.enabled:
@@ -180,6 +186,47 @@ class RecursiveOpts:
                 text += f":{spec[2]}"
             args += ["--filter", text]
         return args
+
+
+def _repair_fn_eventloop(loop, ancestors, accept_timeout: float):
+    """Parent-repair closure for selector-driven bodies.
+
+    *ancestors* is the proper-ancestor address chain root-first and
+    excluding the (now dead) parent; the orphan re-dials the nearest
+    live entry — grandparent first, front-end last — so adoption
+    needs no coordinator round-trip.
+    """
+    from .transport.tcp import tcp_connect_socket_retry
+
+    def repair():
+        for addr in reversed(ancestors):
+            try:
+                sock = tcp_connect_socket_retry(
+                    addr, attempts=3, timeout=min(accept_timeout, 5.0)
+                )
+            except Exception:
+                continue
+            return loop.add_socket(sock)
+        return None
+
+    return repair
+
+
+def _repair_fn_threads(inbox, ancestors, accept_timeout: float):
+    """Parent-repair closure for the reader-thread bodies (see
+    :func:`_repair_fn_eventloop` for the dialing order)."""
+
+    def repair():
+        for addr in reversed(ancestors):
+            try:
+                return tcp_connect_retry(
+                    addr, inbox, attempts=3, timeout=min(accept_timeout, 5.0)
+                )
+            except Exception:
+                continue
+        return None
+
+    return repair
 
 
 class _ForkChild:
@@ -224,6 +271,7 @@ def _spawn_internal_children(
     my_host: str,
     opts: RecursiveOpts,
     close_in_child: tuple = (),
+    child_ancestors: tuple = (),
 ) -> list:
     """Create this node's internal children, all at once (Figure 5).
 
@@ -259,7 +307,8 @@ def _spawn_internal_children(
                             except Exception:
                                 pass
                     code = run_commnode_recursive(
-                        child, addr, my_host, opts, announce=_silent
+                        child, addr, my_host, opts, announce=_silent,
+                        ancestors=child_ancestors,
                     )
                 except BaseException:
                     traceback.print_exc()
@@ -275,6 +324,11 @@ def _spawn_internal_children(
                 "--parent-host", my_host,
                 "--subtree", json.dumps(child, separators=(",", ":")),
             ] + opts.command_line()
+            if opts.repair and child_ancestors:
+                cmd += [
+                    "--ancestors",
+                    ",".join(f"{h}:{p}" for h, p in child_ancestors),
+                ]
             handles.append(
                 subprocess.Popen(cmd, stdout=subprocess.DEVNULL)
             )
@@ -304,6 +358,7 @@ def run_commnode_recursive(
     parent_host: str,
     opts: RecursiveOpts,
     announce=print,
+    ancestors: tuple = (),
 ) -> int:
     """Instantiate this node *and its whole subtree* (paper mode 1).
 
@@ -335,7 +390,7 @@ def run_commnode_recursive(
         try:
             return _run_recursive_colocated(
                 spec, parent_addr, parent_host, my_host,
-                registry, inbox, listener, opts,
+                registry, inbox, listener, opts, ancestors,
             )
         finally:
             listener.close()
@@ -344,18 +399,24 @@ def run_commnode_recursive(
     n_leaves = len(children) - len(internal)
     expected = sum(_count_leaves(c) for c in children)
 
-    handles = _spawn_internal_children(spec, listener, my_host, opts)
+    # A spawned child's repair chain is this node's own proper
+    # ancestors plus this node's parent (i.e. everything above the
+    # child except the child's parent — us).
+    handles = _spawn_internal_children(
+        spec, listener, my_host, opts,
+        child_ancestors=ancestors + (parent_addr,),
+    )
     try:
         if opts.io_mode == "eventloop":
             return _run_recursive_eventloop(
                 spec, parent_addr, parent_host, my_host,
                 len(internal), n_leaves, expected, registry, inbox,
-                listener, opts,
+                listener, opts, ancestors,
             )
         return _run_recursive_threads(
             spec, parent_addr, parent_host, my_host,
             len(internal), n_leaves, expected, registry, inbox,
-            listener, opts,
+            listener, opts, ancestors,
         )
     finally:
         listener.close()
@@ -363,20 +424,29 @@ def run_commnode_recursive(
 
 
 def _recursive_core(
-    spec, registry, expected, parent_end, inbox, opts
+    spec, registry, expected, parent_end, inbox, opts, repair_fn=None
 ) -> NodeCore:
     core = NodeCore(
         spec["l"], registry, expected, parent=parent_end, inbox=inbox
     )
     core.obs_rank = int(spec.get("r", -1))
+    kwargs = {}
     if opts.heartbeat is not None:
-        core.configure_failure(heartbeat=opts.heartbeat)
+        kwargs["heartbeat"] = opts.heartbeat
+    if opts.checkpoint_interval > 0:
+        kwargs["checkpoint_interval"] = opts.checkpoint_interval
+    if opts.repair and repair_fn is not None:
+        kwargs["policy"] = REPAIR
+        kwargs["repair_fn"] = repair_fn
+    if kwargs:
+        core.configure_failure(**kwargs)
     return core
 
 
 def _run_recursive_eventloop(
     spec, parent_addr, parent_host, my_host,
     n_internal, n_leaves, expected, registry, inbox, listener, opts,
+    ancestors=(),
 ) -> int:
     from .transport.eventloop import EventLoop
     from .transport.tcp import tcp_connect_socket_retry_ex
@@ -391,7 +461,12 @@ def _run_recursive_eventloop(
         parent_end = loop.add_shm_link(sock, pair[0], pair[1], owner=True)
     else:
         parent_end = loop.add_socket(sock)
-    core = _recursive_core(spec, registry, expected, parent_end, inbox, opts)
+    repair_fn = None
+    if opts.repair and ancestors:
+        repair_fn = _repair_fn_eventloop(loop, ancestors, opts.accept_timeout)
+    core = _recursive_core(
+        spec, registry, expected, parent_end, inbox, opts, repair_fn
+    )
     for _ in range(n_internal):
         sock_c, pair_c = listener.accept_socket_ex(
             timeout=opts.accept_timeout, allow_shm=allow_shm
@@ -403,7 +478,13 @@ def _run_recursive_eventloop(
     core._queue_up(
         make_addr_report(spec["l"], "127.0.0.1", listener.address[1])
     )
-    if n_leaves:
+    if opts.repair:
+        # Keep accepting for the network's lifetime: orphaned
+        # descendants re-dial their nearest live ancestor here, and
+        # elastic joiners may be pointed at this node by the
+        # coordinator, long after the n_leaves budget is spent.
+        loop.add_acceptor(listener, remaining=None, allow_shm=allow_shm)
+    elif n_leaves:
         # Back-ends attach whenever the front-end reaches them; the
         # loop accepts them without blocking the rest of the subtree.
         loop.add_acceptor(listener, remaining=n_leaves, allow_shm=allow_shm)
@@ -414,7 +495,7 @@ def _run_recursive_eventloop(
 
 def _run_recursive_colocated(
     spec, parent_addr, parent_host, my_host,
-    registry, inbox, listener, opts,
+    registry, inbox, listener, opts, ancestors=(),
 ) -> int:
     """Host the whole same-host subtree group on ONE event loop.
 
@@ -443,37 +524,51 @@ def _run_recursive_colocated(
     else:
         parent_end = loop.add_socket(sock)
 
-    # members: (spec, core, listener, n_remote, n_leaves), preorder.
+    # members: (spec, core, listener, n_remote, n_leaves, anc) in
+    # preorder; ``anc`` is the member's *full* proper-ancestor address
+    # chain (what its spawned children re-dial under repair).
     members: list = []
 
-    def build(node_spec, node_parent_end, node_inbox, node_listener):
+    def build(node_spec, node_parent_end, node_inbox, node_listener, anc):
         children = node_spec.get("c", [])
         internal = [c for c in children if "c" in c]
         hosted = [c for c in internal if _host_of(c["l"]) == my_host]
         remote = [c for c in internal if _host_of(c["l"]) != my_host]
         n_leaves = len(children) - len(internal)
+        # Only the group root can outlive its parent: a hosted
+        # member's parent shares this process, so it repairs nothing.
+        repair_fn = None
+        if not members and opts.repair and ancestors:
+            repair_fn = _repair_fn_eventloop(
+                loop, ancestors, opts.accept_timeout
+            )
         core = _recursive_core(
             node_spec, registry, sum(_count_leaves(c) for c in children),
-            node_parent_end, node_inbox, opts,
+            node_parent_end, node_inbox, opts, repair_fn,
         )
         if getattr(node_parent_end, "_inproc", False):
             node_parent_end._core = core
-        members.append((node_spec, core, node_listener, len(remote), n_leaves))
+        members.append(
+            (node_spec, core, node_listener, len(remote), n_leaves, anc)
+        )
         for child in hosted:
             p_end, c_end = loop.add_inproc_pair()
             p_end._core = core
             core.add_child(p_end)
-            build(child, c_end, Inbox(), TcpListener(Inbox()))
+            build(
+                child, c_end, Inbox(), TcpListener(Inbox()),
+                anc + (node_listener.address,),
+            )
         return core
 
-    build(spec, parent_end, inbox, listener)
+    build(spec, parent_end, inbox, listener, ancestors + (parent_addr,))
 
     # Spawn every member's off-host internal children in one burst —
     # the whole next off-host level boots in parallel (Figure 5), and
     # fork children close ALL group listeners, not just their parent's.
     all_listeners = tuple(m[2] for m in members)
     handles: list = []
-    for node_spec, _core, node_listener, n_remote, _n_leaves in members:
+    for node_spec, _core, node_listener, n_remote, _n_leaves, anc in members:
         if not n_remote:
             continue
         remote = [
@@ -482,11 +577,11 @@ def _run_recursive_colocated(
         ]
         handles += _spawn_internal_children(
             {"l": node_spec["l"], "c": remote}, node_listener, my_host,
-            opts, close_in_child=all_listeners,
+            opts, close_in_child=all_listeners, child_ancestors=anc,
         )
 
     try:
-        for node_spec, core, node_listener, n_remote, n_leaves in members:
+        for node_spec, core, node_listener, n_remote, n_leaves, _anc in members:
             for _ in range(n_remote):
                 sock_c, pair_c = node_listener.accept_socket_ex(
                     timeout=opts.accept_timeout, allow_shm=allow_shm
@@ -504,7 +599,14 @@ def _run_recursive_colocated(
                     node_spec["l"], "127.0.0.1", node_listener.address[1]
                 )
             )
-            if n_leaves:
+            if opts.repair:
+                # Accept forever: re-dialing orphans and elastic
+                # joiners arrive long after the leaf budget is spent.
+                loop.add_acceptor(
+                    node_listener, remaining=None,
+                    allow_shm=allow_shm, core=core,
+                )
+            elif n_leaves:
                 loop.add_acceptor(
                     node_listener, remaining=n_leaves,
                     allow_shm=allow_shm, core=core,
@@ -524,27 +626,40 @@ def _run_recursive_colocated(
 def _run_recursive_threads(
     spec, parent_addr, parent_host, my_host,
     n_internal, n_leaves, expected, registry, inbox, listener, opts,
+    ancestors=(),
 ) -> int:
     want_shm = opts.shm == "auto" and parent_host == my_host
     parent_end = tcp_connect_retry(
         parent_addr, inbox, attempts=6, timeout=opts.accept_timeout,
         shm=want_shm,
     )
-    core = _recursive_core(spec, registry, expected, parent_end, inbox, opts)
+    repair_fn = None
+    if opts.repair and ancestors:
+        repair_fn = _repair_fn_threads(inbox, ancestors, opts.accept_timeout)
+    core = _recursive_core(
+        spec, registry, expected, parent_end, inbox, opts, repair_fn
+    )
     for _ in range(n_internal):
         core.add_child(listener.accept(timeout=opts.accept_timeout))
     core._queue_up(
         make_addr_report(spec["l"], "127.0.0.1", listener.address[1])
     )
-    if n_leaves:
+    if opts.repair or n_leaves:
         def _accept_leaves():
-            for _ in range(n_leaves):
+            # Under repair the budget is open-ended: orphaned
+            # descendants and elastic joiners keep arriving.
+            budget = None if opts.repair else n_leaves
+            while budget is None or budget > 0:
                 try:
                     end = listener.accept(timeout=opts.accept_timeout)
                 except Exception:
+                    if opts.repair and not core.shutting_down:
+                        continue
                     return
                 # Admitted on the drive loop; not an orphan adoption.
                 core.offer_child(end, adopted=False)
+                if budget is not None:
+                    budget -= 1
 
         threading.Thread(
             target=_accept_leaves, name="leaf-acceptor", daemon=True
@@ -564,12 +679,19 @@ def run_commnode(
     io_mode: str = "eventloop",
     heartbeat: Optional["HeartbeatConfig"] = None,
     rank: int = -1,
+    repair: bool = False,
+    ancestors: tuple = (),
+    checkpoint_interval: float = 0.0,
 ) -> int:
     """The program body; returns a process exit code.
 
     ``rank`` is this process's observability rank (the launcher's
     spawn order), used only to form the ``rank:hostname`` identity in
-    ``STATS_SNAPSHOT`` replies.
+    ``STATS_SNAPSHOT`` replies.  With ``repair`` the node re-dials the
+    nearest live entry of *ancestors* (proper-ancestor addresses,
+    root-first, excluding its own parent) when the parent link dies,
+    and keeps accepting connections for its whole life so orphaned
+    descendants and elastic joiners can attach.
     """
     registry = default_registry()
     for path, func, fmt in filter_specs:
@@ -583,16 +705,35 @@ def run_commnode(
         return _run_eventloop(
             listener, parent_addr, n_children, expected_ranks,
             registry, name, inbox, accept_timeout, heartbeat, rank,
+            repair, ancestors, checkpoint_interval,
         )
     return _run_threads(
         listener, parent_addr, n_children, expected_ranks,
         registry, name, inbox, accept_timeout, heartbeat, rank,
+        repair, ancestors, checkpoint_interval,
     )
+
+
+def _configure_core_failure(
+    core, heartbeat, repair, repair_fn, checkpoint_interval
+) -> None:
+    """One configure_failure call carrying everything this body needs."""
+    kwargs = {}
+    if heartbeat is not None:
+        kwargs["heartbeat"] = heartbeat
+    if checkpoint_interval > 0:
+        kwargs["checkpoint_interval"] = checkpoint_interval
+    if repair and repair_fn is not None:
+        kwargs["policy"] = REPAIR
+        kwargs["repair_fn"] = repair_fn
+    if kwargs:
+        core.configure_failure(**kwargs)
 
 
 def _run_eventloop(
     listener, parent_addr, n_children, expected_ranks,
     registry, name, inbox, accept_timeout, heartbeat=None, rank=-1,
+    repair=False, ancestors=(), checkpoint_interval=0.0,
 ) -> int:
     """Selector-driven body: every socket on one loop, zero I/O threads."""
     from .transport.eventloop import EventLoop
@@ -606,23 +747,38 @@ def _run_eventloop(
         name, registry, expected_ranks, parent=parent_end, inbox=inbox
     )
     core.obs_rank = rank
-    if heartbeat is not None:
-        core.configure_failure(heartbeat=heartbeat)
+    repair_fn = None
+    if repair and ancestors:
+        repair_fn = _repair_fn_eventloop(loop, ancestors, accept_timeout)
+    _configure_core_failure(
+        core, heartbeat, repair, repair_fn, checkpoint_interval
+    )
     try:
         for _ in range(n_children):
             core.add_child(
                 loop.add_socket(listener.accept_socket(timeout=accept_timeout))
             )
     finally:
-        listener.close()
+        if not repair:
+            listener.close()
+    if repair:
+        # Accept for the node's whole life: orphaned descendants
+        # re-dial their nearest live ancestor here, and elastic
+        # joiners may be handed to this node by the coordinator.
+        loop.add_acceptor(listener, remaining=None)
     loop.bind(core)
-    loop.run()
+    try:
+        loop.run()
+    finally:
+        if repair:
+            listener.close()
     return 0
 
 
 def _run_threads(
     listener, parent_addr, n_children, expected_ranks,
     registry, name, inbox, accept_timeout, heartbeat=None, rank=-1,
+    repair=False, ancestors=(), checkpoint_interval=0.0,
 ) -> int:
     """Legacy body: reader thread per link, inbox drained on a timer."""
     parent_end = tcp_connect_retry(
@@ -632,14 +788,39 @@ def _run_threads(
         name, registry, expected_ranks, parent=parent_end, inbox=inbox
     )
     core.obs_rank = rank
-    if heartbeat is not None:
-        core.configure_failure(heartbeat=heartbeat)
+    repair_fn = None
+    if repair and ancestors:
+        repair_fn = _repair_fn_threads(inbox, ancestors, accept_timeout)
+    _configure_core_failure(
+        core, heartbeat, repair, repair_fn, checkpoint_interval
+    )
     try:
         for _ in range(n_children):
             core.add_child(listener.accept(timeout=accept_timeout))
     finally:
-        listener.close()
-    _drive_threads_loop(core)
+        if not repair:
+            listener.close()
+    if repair:
+        def _accept_forever():
+            while not core.shutting_down:
+                try:
+                    end = listener.accept(timeout=1.0)
+                except Exception:
+                    continue
+                # Admitted on the drive loop.  Not counted as an
+                # adoption here: the selector bodies' acceptor does
+                # not bump it either, and the re-dialing orphan's own
+                # parent_repairs counter already carries the signal.
+                core.offer_child(end, adopted=False)
+
+        threading.Thread(
+            target=_accept_forever, name="repair-acceptor", daemon=True
+        ).start()
+    try:
+        _drive_threads_loop(core)
+    finally:
+        if repair:
+            listener.close()
     return 0
 
 
@@ -748,11 +929,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--heartbeat-miss", type=int, default=3,
         help="silent intervals before a peer is declared dead",
     )
+    parser.add_argument(
+        "--repair", action="store_true",
+        help="repair policy: survive a dead parent by re-dialing a "
+        "live ancestor, and keep accepting connections so orphaned "
+        "descendants and joining back-ends can attach",
+    )
+    parser.add_argument(
+        "--ancestors", default="", metavar="HOST:PORT,...",
+        help="proper-ancestor addresses, root first and excluding this "
+        "node's own parent (repair re-dials the nearest live one)",
+    )
+    parser.add_argument(
+        "--checkpoint-interval", type=float, default=0.0,
+        help="period between filter-state checkpoints shipped to the "
+        "grandparent (0 disables checkpointing)",
+    )
     args = parser.parse_args(argv)
 
     try:
         specs = [parse_filter_spec(s) for s in args.filter]
         parent_addr = _parse_host_port(args.parent)
+        ancestors = tuple(
+            _parse_host_port(a) for a in args.ancestors.split(",") if a
+        )
     except ValueError as exc:
         parser.error(str(exc))
     heartbeat = None
@@ -775,9 +975,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             spawn=args.spawn,
             colocate=args.colocate,
             workers=args.filter_workers,
+            repair=args.repair,
+            checkpoint_interval=args.checkpoint_interval,
         )
         return run_commnode_recursive(
-            spec, parent_addr, args.parent_host, opts
+            spec, parent_addr, args.parent_host, opts, ancestors=ancestors
         )
     if args.children is None or args.expected_ranks is None:
         parser.error("--children and --expected-ranks are required "
@@ -792,6 +994,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         io_mode=args.io_mode,
         heartbeat=heartbeat,
         rank=args.rank,
+        repair=args.repair,
+        ancestors=ancestors,
+        checkpoint_interval=args.checkpoint_interval,
     )
 
 

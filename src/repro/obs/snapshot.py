@@ -13,7 +13,7 @@ The payload is deliberately tiny and versioned:
 .. code-block:: json
 
     {
-      "schema": "mrnet.stats/2",
+      "schema": "mrnet.stats/3",
       "node": "3:leaf-1",
       "rank": 3,
       "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}}
@@ -35,13 +35,16 @@ __all__ = ["STATS_SCHEMA", "dumps_snapshot", "loads_snapshot"]
 #: suffix when the snapshot shape changes incompatibly; readers reject
 #: unknown schemas rather than mis-parse them.  ``/2`` added the
 #: chunked-pipeline instruments (``chunks_in_flight``, ``chunk_bytes``,
-#: ``chunk_waves_aborted``, ``shm_frames_zero_copy``) — additive, so
-#: ``/1`` payloads from older nodes still load.
-STATS_SCHEMA = "mrnet.stats/2"
+#: ``chunk_waves_aborted``, ``shm_frames_zero_copy``); ``/3`` adds the
+#: elastic-membership and crash-consistency counters
+#: (``waves_recovered``, ``chunks_retransmitted``, ``members_joined``,
+#: ``members_left``, ``checkpoint_bytes``).  Both bumps are additive,
+#: so older payloads still load.
+STATS_SCHEMA = "mrnet.stats/3"
 
 #: Schemas this reader accepts: the current one plus older versions
 #: whose shape is a strict subset of it.
-_ACCEPTED_SCHEMAS = ("mrnet.stats/1", "mrnet.stats/2")
+_ACCEPTED_SCHEMAS = ("mrnet.stats/1", "mrnet.stats/2", "mrnet.stats/3")
 
 
 def dumps_snapshot(node: str, rank: int, metrics: Mapping) -> str:

@@ -588,17 +588,20 @@ class EventLoop:
             _Acceptor(listener, remaining, allow_shm, core),
         )
 
-    def adopt_socket(self, sock: socket.socket, core=None) -> None:
+    def adopt_socket(
+        self, sock: socket.socket, core=None, adopted: bool = True
+    ) -> None:
         """Hand this loop a new *child* socket from another thread.
 
         Tree repair: the recovery coordinator connects an orphan to
         this node and delivers the adopter-side socket here.  Selector
         registration and ``core.add_child`` happen on the loop thread
         (selector sets are not safe to mutate mid-``select``), at the
-        next wakeup.
+        next wakeup.  ``adopted=False`` marks a voluntary join (not an
+        orphan repair), so adoption accounting stays truthful.
         """
         with self._wake_lock:
-            self._pending_adoptions.append((sock, core))
+            self._pending_adoptions.append((sock, core, adopted))
         self.wake()
 
     def bind(self, core) -> None:
@@ -811,11 +814,12 @@ class EventLoop:
             pass
         for link in deferred:
             self._enable_write(link)
-        for sock, core in adoptions:
+        for sock, core, adopted in adoptions:
             core = core if core is not None else self.core
             link = self.add_socket(sock, core=core)
             core.add_child(link)
-            core.stats["orphans_adopted"] += 1
+            if adopted:
+                core.stats["orphans_adopted"] += 1
             log.info(
                 "%s: adopted orphan socket as link %d",
                 core.name,

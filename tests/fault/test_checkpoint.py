@@ -1,0 +1,208 @@
+"""Filter-state checkpoints: the crash-consistency backbone.
+
+Comm nodes with ``checkpoint_interval`` set periodically ship a
+``TAG_CHECKPOINT`` deposit per stream to their parent: the output wave
+sequence, per-child dedup watermarks (re-keyed by rank set), and the
+serialized transform/sync filter state.  When the depositor dies, the
+parent seeds the adopted orphans' links from that deposit — replayed
+waves the dead node had already forwarded are dropped, and a partial
+reduction resumes instead of silently restarting.
+
+This file covers the pieces in isolation: the ``get_state`` /
+``set_state`` round-trips (scalar state, bounded deques of arrays,
+parked sync contributions), the pristine-only restore rule, watermark
+seeding monotonicity, and the deposit flow itself.
+"""
+
+import time
+
+import pytest
+
+from repro.core import REPAIR, Network
+from repro.core.packet import Packet
+from repro.core.stream_manager import StreamManager
+from repro.filters import TFILTER_SUM, window_filter
+from repro.filters.base import FilterState, make_filter
+from repro.filters.registry import (
+    SFILTER_DONTWAIT,
+    SFILTER_WAITFORALL,
+    default_registry,
+)
+from repro.topology import balanced_tree
+
+from .conftest import drive_wave, wait_until
+
+WAVE_TIMEOUT = 10.0
+
+
+def ipkt(v, stream=5, origin=0):
+    return Packet(stream, 0, "%d", (v,), origin_rank=origin)
+
+
+def apkt(values, stream=5, origin=0):
+    return Packet(stream, 0, "%alf", (tuple(values),), origin_rank=origin)
+
+
+@pytest.fixture
+def registry():
+    return default_registry()
+
+
+def running_sum_manager(registry, links=(10,)):
+    """A manager whose transform carries scalar state across waves."""
+
+    def running_sum(packets, state):
+        state["acc"] = state.get("acc", 0) + sum(p.values[0] for p in packets)
+        return [packets[0].replace(values=(state["acc"],))]
+
+    fid = registry.register_transform(make_filter(running_sum, "rsum"))
+    return StreamManager.create(
+        5, [0], list(links), registry, SFILTER_DONTWAIT, fid
+    )
+
+
+class TestFilterStateRoundTrip:
+    def test_scalar_transform_state_resumes(self, registry):
+        mgr1 = running_sum_manager(registry)
+        assert mgr1.push_upstream(10, ipkt(5))[0].values == (5,)
+        assert mgr1.push_upstream(10, ipkt(2))[0].values == (7,)
+        doc = mgr1.checkpoint_state()
+        assert doc["transform"]["acc"] == 7
+
+        # A pristine adopter resumes the partial reduction exactly.
+        mgr2 = running_sum_manager(registry)
+        mgr2.restore_state(doc)
+        assert mgr2.push_upstream(10, ipkt(1))[0].values == (8,)
+
+    def test_dirty_adopter_refuses_stale_state(self, registry):
+        mgr1 = running_sum_manager(registry)
+        mgr1.push_upstream(10, ipkt(100))
+        doc = mgr1.checkpoint_state()
+
+        mgr2 = running_sum_manager(registry)
+        mgr2.push_upstream(10, ipkt(3))  # mgr2 owns its state now
+        mgr2.restore_state(doc)  # must be a no-op
+        assert mgr2.push_upstream(10, ipkt(4))[0].values == (7,)
+
+    def test_window_deque_of_arrays_roundtrips(self):
+        """The window filter's state — a bounded deque of numpy arrays
+        — survives the JSON-able snapshot encoding byte-for-byte."""
+        state = FilterState()
+        window_filter([apkt([1.0, 2.0])], state)
+        window_filter([apkt([3.0, 4.0])], state)
+        snapshot = window_filter.get_state(state)
+
+        restored = FilterState()
+        window_filter.set_state(restored, snapshot)
+        assert restored["window"].maxlen == state["window"].maxlen
+        # Identical continuation: the next wave's smoothed output is
+        # the same whether or not the node died in between.
+        (a,) = window_filter([apkt([5.0, 6.0])], state)
+        (b,) = window_filter([apkt([5.0, 6.0])], restored)
+        assert a.values == b.values
+
+    def test_parked_sync_contributions_resume(self, registry):
+        """Wait-for-all parked one child's contribution when the node
+        died; the adopter re-queues it and the wave completes with
+        nothing lost."""
+        mgr1 = StreamManager.create(
+            5, [0, 1], [10, 11], registry, SFILTER_WAITFORALL, TFILTER_SUM
+        )
+        assert mgr1.push_upstream(10, ipkt(3)) == []
+        doc = mgr1.checkpoint_state()
+        assert "sync" in doc and doc["sync"]["pending"]
+
+        mgr2 = StreamManager.create(
+            5, [0, 1], [10, 11], registry, SFILTER_WAITFORALL, TFILTER_SUM
+        )
+        mgr2.sync.set_state(doc["sync"])
+        out = mgr2.push_upstream(11, ipkt(4))
+        assert len(out) == 1 and out[0].values == (7,)
+
+    def test_unknown_children_in_snapshot_ignored(self, registry):
+        mgr1 = StreamManager.create(
+            5, [0, 1], [10, 11], registry, SFILTER_WAITFORALL, TFILTER_SUM
+        )
+        mgr1.push_upstream(10, ipkt(3))
+        doc = mgr1.checkpoint_state()
+
+        # The adopter's link ids differ: entries that match nothing
+        # must be dropped silently, not crash the restore.
+        mgr2 = StreamManager.create(
+            5, [0, 1], [20, 21], registry, SFILTER_WAITFORALL, TFILTER_SUM
+        )
+        mgr2.sync.set_state(doc["sync"])
+        assert mgr2.sync.pending == 0
+
+
+class TestWatermarks:
+    def test_seed_is_monotonic(self, registry):
+        mgr = StreamManager.create(
+            5, [0, 1], [10, 11], registry, SFILTER_WAITFORALL, TFILTER_SUM
+        )
+        assert mgr.watermark(10) == -1
+        mgr.seed_watermark(10, 5)
+        assert mgr.watermark(10) == 5
+        mgr.seed_watermark(10, 3)  # stale seed must never move it back
+        assert mgr.watermark(10) == 5
+        assert mgr.watermark(11) == -1
+
+    def test_checkpoint_carries_watermarks_and_out_wave(self, registry):
+        mgr = StreamManager.create(
+            5, [0, 1], [10, 11], registry, SFILTER_WAITFORALL, TFILTER_SUM
+        )
+        mgr.seed_watermark(10, 2)
+        doc = mgr.checkpoint_state()
+        assert doc["watermarks"] == {10: 2}
+        assert doc["out_wave"] == 0
+        assert doc["epoch"] == mgr.membership_epoch
+
+
+class TestCheckpointFlow:
+    def test_deposits_reach_the_parent(self, shutdown_nets):
+        """With ``checkpoint_interval`` set, every comm node ships
+        per-stream deposits upstream; the front-end holds its
+        children's latest documents and the shipped bytes are
+        accounted."""
+        net = Network(
+            balanced_tree(2, 2),
+            transport="tcp",
+            policy=REPAIR,
+            checkpoint_interval=0.02,
+        )
+        shutdown_nets.append(net)
+        st = net.new_stream(
+            net.get_broadcast_communicator(), transform=TFILTER_SUM
+        )
+        assert drive_wave(net, st, WAVE_TIMEOUT).values == (4,)
+
+        assert wait_until(
+            lambda: any(
+                sid == st.stream_id for (_link, sid) in net._core._checkpoints
+            ),
+            net=net,
+            timeout=WAVE_TIMEOUT,
+            poll=False,
+        ), "no checkpoint deposit ever reached the front-end"
+        shipped = sum(
+            s.get("checkpoint_bytes", 0)
+            for name, s in net.stats().items()
+            if name != "recovery"
+        )
+        assert shipped > 0
+
+    def test_no_deposits_when_disabled(self, shutdown_nets):
+        net = Network(balanced_tree(2, 2), transport="tcp")
+        shutdown_nets.append(net)
+        st = net.new_stream(
+            net.get_broadcast_communicator(), transform=TFILTER_SUM
+        )
+        assert drive_wave(net, st, WAVE_TIMEOUT).values == (4,)
+        time.sleep(0.1)
+        net.flush()
+        assert not net._core._checkpoints
+        assert all(
+            s.get("checkpoint_bytes", 0) == 0
+            for name, s in net.stats().items()
+            if name != "recovery"
+        )

@@ -4,13 +4,22 @@ A back-end that dies after shipping only a prefix of its fragment
 sequence must not poison the stream: its parent discards the partial
 wave (counted in ``chunk_waves_aborted``), bumps the membership epoch,
 and the next wave completes over the survivors.
+
+The crash-consistency half (:class:`TestMidChunkCommNodeDeath`): kill
+an *internal* node while a child is mid-``TAG_CHUNK`` sequence.  Under
+``repair`` the orphans re-home and replay their un-ACKed fragment
+histories, the adopter's checkpoint-seeded watermarks drop what the
+dead node had already forwarded, and the wave completes **byte
+identical** to the fault-free run — on the tcp, process, and colocated
+runtimes alike.  Under ``degrade`` the wave shrinks to exactly the
+survivors' sum.
 """
 
 import time
 
 import pytest
 
-from repro.core import Network
+from repro.core import DEGRADE, REPAIR, Network
 from repro.core.chunking import split_packet
 from repro.core.packet import Packet
 from repro.faultinject import FaultInjector
@@ -121,3 +130,163 @@ class TestMidWaveBackendDeath:
         assert drive_wave(net, st, WAVE_TIMEOUT, value=1).values == (3,)
         mgr = net._core.streams.get(st.stream_id)
         assert mgr is not None and mgr._c_chunk_aborts is None
+
+
+class TestMidChunkCommNodeDeath:
+    """Kill an internal node mid-``TAG_CHUNK`` sequence.
+
+    The acceptance scenario for crash-consistent waves: rank 0 has
+    shipped half its fragments when its parent comm node dies.  Under
+    ``repair`` the reassembled wave must be byte-identical to the
+    fault-free run — no back-end contribution lost (the orphans replay
+    un-ACKed history and finish the sequence on the new edge) and none
+    duplicated (the adopter's watermark, seeded from the dead node's
+    checkpoint, drops the replayed waves it already aggregated).  Under
+    ``degrade`` the wave must shrink to exactly the survivors' sum.
+    """
+
+    PAYLOAD = tuple(float(i % 97) for i in range(N_ELEMS))
+
+    def _chunked_stream(self, net):
+        return net.new_stream(
+            net.get_broadcast_communicator(),
+            transform=TFILTER_SUM,
+            chunk_bytes=CHUNK_BYTES,
+        )
+
+    def _begin_wave(self, net, st):
+        """Broadcast one wave; every rank receives it before anyone
+        replies.  Returns ``(reply_streams, broadcast_tag)``."""
+        st.send("%d", 0)
+        handles = {}
+        tag = None
+        for rank in sorted(net.backends):
+            packet, bstream = net.backends[rank].recv(timeout=WAVE_TIMEOUT)
+            handles[rank] = bstream
+            tag = packet.tag
+        return handles, tag
+
+    def _send_half_sequence(self, bstream, tag, stream_id):
+        """Rank 0 ships exactly the first half of its fragment wave.
+
+        Fragments are pre-split and recorded by hand (the replay
+        history normally fills in ``_send_maybe_chunked``) so the kill
+        lands deterministically *inside* one ``TAG_CHUNK`` sequence.
+        """
+        whole = Packet(stream_id, tag, "%alf", (self.PAYLOAD,), origin_rank=0)
+        frags = split_packet(whole, CHUNK_BYTES, bstream._send_wave)
+        assert frags is not None and len(frags) == 4
+        bstream._send_wave += 1
+        for frag in frags[:2]:
+            bstream.send_packet(frag)
+            bstream._record(frag)
+        return frags
+
+    @pytest.mark.parametrize("mode", ["tcp", "process", "colocated"])
+    def test_repair_wave_byte_identical_to_fault_free_run(
+        self, shutdown_nets, mode
+    ):
+        kwargs = {"colocate": True} if mode == "colocated" else {"transport": mode}
+        net = Network(
+            balanced_tree(2, 2),
+            policy=REPAIR,
+            checkpoint_interval=0.02,
+            **kwargs,
+        )
+        shutdown_nets.append(net)
+        st = self._chunked_stream(net)
+        expected = (tuple(v * 4 for v in self.PAYLOAD),)
+
+        # Wave 1: the fault-free reference result.
+        handles, tag = self._begin_wave(net, st)
+        for bstream in handles.values():
+            bstream.send("%alf", self.PAYLOAD)
+        assert st.recv(timeout=WAVE_TIMEOUT).values == expected
+
+        # Gate on the doomed node's checkpoint reaching the front-end:
+        # watermarks covering wave 1 for ranks 0 AND 1 are what make
+        # the post-repair replay duplicate-free, deterministically.
+        def checkpointed():
+            for (_link, sid), doc in list(net._core._checkpoints.items()):
+                if sid != st.stream_id:
+                    continue
+                marks = doc.get("watermarks", {})
+                if marks.get("0", -1) >= 0 and marks.get("1", -1) >= 0:
+                    return True
+            return False
+
+        assert wait_until(
+            checkpointed, net=net, timeout=WAVE_TIMEOUT, poll=False
+        ), "doomed comm node never deposited a checkpoint upstream"
+
+        # Wave 2: rank 0 is mid-fragment-sequence when its parent dies.
+        handles, tag = self._begin_wave(net, st)
+        frags = self._send_half_sequence(handles[0], tag, st.stream_id)
+        inj = FaultInjector(net)
+        if mode == "process":
+            inj.kill_process(0)
+        else:
+            inj.kill_commnode(0)
+
+        # The orphans notice the EOF on their next poll, re-home onto a
+        # live ancestor, and replay their un-ACKed fragment histories.
+        def repaired():
+            for rank in (0, 1):
+                try:
+                    net.backends[rank].poll()
+                except Exception:
+                    pass
+            return all(net.backends[r].reconnects >= 1 for r in (0, 1))
+
+        assert wait_until(
+            repaired, net=net, timeout=WAVE_TIMEOUT, poll=False
+        ), "orphaned back-ends never re-homed onto a live ancestor"
+
+        # Rank 0 finishes its sequence on the new edge: the replayed
+        # prefix plus this tail form one contiguous fragment wave.
+        for frag in frags[2:]:
+            handles[0].send_packet(frag)
+            handles[0]._record(frag)
+        for rank in (1, 2, 3):
+            handles[rank].send("%alf", self.PAYLOAD)
+
+        result = st.recv(timeout=WAVE_TIMEOUT)
+        # Byte-identical: every contribution exactly once.  A lost
+        # fragment would stall or shrink the wave; an undeduplicated
+        # replay would overshoot the fault-free sum.
+        assert result.values == expected
+        assert sum(be.reconnects for be in net.backends.values()) == 2
+        # Replay actually happened: wave 1 (deduped at the adopter) and
+        # the wave-2 prefix both retransmitted.
+        assert net.backends[0].chunks_retransmitted >= 2
+        assert not net.unexpected_packets()
+
+    def test_degrade_wave_shrinks_to_survivor_sum(self, shutdown_nets):
+        net = Network(balanced_tree(2, 2), transport="tcp", policy=DEGRADE)
+        shutdown_nets.append(net)
+        st = self._chunked_stream(net)
+
+        handles, tag = self._begin_wave(net, st)
+        for bstream in handles.values():
+            bstream.send("%alf", self.PAYLOAD)
+        assert st.recv(timeout=WAVE_TIMEOUT).values == (
+            tuple(v * 4 for v in self.PAYLOAD),
+        )
+
+        # Wave 2: rank 0 mid-sequence, then its parent dies.  No
+        # repair: the wave completes over the surviving subtree only.
+        handles, tag = self._begin_wave(net, st)
+        self._send_half_sequence(handles[0], tag, st.stream_id)
+        FaultInjector(net).kill_commnode(0)
+        for rank in (2, 3):
+            handles[rank].send("%alf", self.PAYLOAD)
+
+        result = st.recv(timeout=WAVE_TIMEOUT)
+        # Correctly shrunken: exactly the survivors' sum, byte for byte
+        # — the severed half-sequence never corrupts the aggregate.
+        assert result.values == (tuple(v * 2 for v in self.PAYLOAD),)
+        lost = set()
+        for event in net.recovery_events():
+            lost.update(event.lost)
+        assert lost == {0, 1}
+        assert not net.unexpected_packets()

@@ -116,6 +116,76 @@ class TestRepairColocated:
         assert drive_wave(net, stream, WAVE_TIMEOUT).values == (8,)
 
 
+class TestInprocLinkFaults:
+    INTERVAL = 0.05
+
+    def test_sever_inproc_link_drops_subtree(self, shutdown_nets):
+        """``sever_link`` on an in-process link: the peer's undrained
+        frames are discarded (a bare EOF, the deque equivalent of a
+        mid-frame TCP truncation) and the subtree behind the link is
+        lost, shrinking waves under ``degrade``."""
+        net = Network(balanced_tree(2, 3), colocate=True, policy=DEGRADE)
+        shutdown_nets.append(net)
+        stream = net.new_stream(
+            net.get_broadcast_communicator(), transform=TFILTER_SUM
+        )
+        assert drive_wave(net, stream, WAVE_TIMEOUT).values == (8,)
+
+        inj = FaultInjector(net)
+        core = inj.commnode(0).core
+        end = core.children[next(iter(core.children))]
+        assert getattr(end, "_inproc", False), (
+            "root child's comm children must hang off inproc links"
+        )
+        inj.sever_link(0, child_index=0, mid_frame=True)
+        assert ("sever_link", (core.name, end.link_id)) in inj.log
+        assert end.closed
+
+        # An inproc link has no reader to surface the EOF on the
+        # severing side; like a TCP half-close, the cut is discovered
+        # on the next downstream send — the broadcast of this wave.
+        assert drive_wave(net, stream, WAVE_TIMEOUT).values == (6,)
+        assert wait_until(
+            lambda: any(e.lost for e in net.recovery_events()),
+            net=net,
+            timeout=5.0,
+        )
+
+    def test_drop_heartbeats_detected_on_shared_loop(self, shutdown_nets):
+        """``drop_heartbeats`` on a colocated core: the node keeps
+        processing but falls silent, so on an otherwise-idle network
+        its parent's liveness deadline fires — over an inproc link."""
+        net = Network(
+            balanced_tree(2, 3),
+            colocate=True,
+            policy=DEGRADE,
+            heartbeat_interval=self.INTERVAL,
+            heartbeat_miss_threshold=3,
+        )
+        shutdown_nets.append(net)
+        stream = net.new_stream(
+            net.get_broadcast_communicator(), transform=TFILTER_SUM
+        )
+        assert drive_wave(net, stream, WAVE_TIMEOUT).values == (8,)
+
+        # Let probes establish the mutual-monitoring sets first.
+        time.sleep(4 * self.INTERVAL)
+        inj = FaultInjector(net)
+        label = inj.commnode_labels()[-1]  # deepest: commnode-parented
+        inj.drop_heartbeats(label)
+
+        assert wait_until(
+            lambda: any(e.lost for e in net.recovery_events()),
+            net=net,
+            timeout=8.0,
+        ), "silenced colocated node was never declared dead"
+        lost = set()
+        for event in net.recovery_events():
+            lost.update(event.lost)
+        assert len(lost) == 2  # the silenced node's two back-ends
+        assert drive_wave(net, stream, WAVE_TIMEOUT).values == (6,)
+
+
 class TestFailFastColocated:
     def test_first_failure_poisons_the_network(self, shutdown_nets):
         net = Network(balanced_tree(2, 3), colocate=True, policy=FAIL_FAST)

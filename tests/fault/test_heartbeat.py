@@ -83,6 +83,28 @@ class TestWedgeDetection:
         assert core.stats["heartbeats_sent"] == sent
 
 
+class TestHeartbeatJitter:
+    def test_probe_schedules_stay_in_band_and_desync(self, shutdown_nets):
+        """Probe emission is jittered ±20% around the base interval
+        with a name-seeded generator: every draw stays inside the
+        band, and distinct nodes draw distinct schedules, so a large
+        tree's probe bursts never align into a thundering herd.  The
+        *detection* deadline is never jittered."""
+        net = heartbeat_net(shutdown_nets, depth=3)
+        assert net.heartbeat.jitter == pytest.approx(0.2)
+        assert net.heartbeat.deadline == pytest.approx(3 * INTERVAL)
+
+        schedules = []
+        for node in net._commnodes:
+            seq = tuple(node.core._draw_hb_interval() for _ in range(8))
+            for interval in seq:
+                assert 0.8 * INTERVAL - 1e-9 <= interval <= 1.2 * INTERVAL + 1e-9
+            schedules.append(seq)
+        # De-sync: six nodes, six different schedules (per-name seeds
+        # are deterministic across runs but never shared across nodes).
+        assert len(set(schedules)) == len(schedules)
+
+
 class TestNoFalsePositives:
     def test_passive_peers_survive_long_silence(self, shutdown_nets):
         """Back-ends and the front-end never probe, so an idle network

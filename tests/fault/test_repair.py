@@ -13,7 +13,6 @@ import time
 import pytest
 
 from repro.core import DEGRADE, FAIL_FAST, REPAIR, Network, NetworkDownError
-from repro.core.network import NetworkError
 from repro.faultinject import FaultInjector
 from repro.filters import TFILTER_SUM
 from repro.topology import balanced_tree
@@ -86,9 +85,34 @@ class TestRepairPolicy:
         assert drive_wave(net, stream, WAVE_TIMEOUT).values == (16,)
         assert sum(be.reconnects for be in net.backends.values()) == 4
 
-    def test_repair_requires_thread_hosted_transport(self):
-        with pytest.raises(NetworkError):
-            Network(balanced_tree(2, 2), transport="process", policy=REPAIR)
+    def test_process_transport_repairs_orphans(self, shutdown_nets):
+        """Repair now covers real ``mrnet_commnode`` processes: SIGKILL
+        one internal process and its orphaned back-ends re-home onto a
+        live ancestor, restoring full wave coverage."""
+        net = Network(balanced_tree(2, 2), transport="process", policy=REPAIR)
+        shutdown_nets.append(net)
+        stream = net.new_stream(
+            net.get_broadcast_communicator(), transform=TFILTER_SUM
+        )
+        assert drive_wave(net, stream, WAVE_TIMEOUT).values == (4,)
+
+        FaultInjector(net).kill_process(0)
+
+        # Survivor waves may run short while the orphans re-home (the
+        # repair fires from their polls); within the acceptance bound
+        # a wave must cover the full rank set again.
+        deadline = time.monotonic() + WAVE_TIMEOUT
+        full = None
+        while time.monotonic() < deadline:
+            try:
+                wave = drive_wave(net, stream, 2.0)
+            except TimeoutError:
+                continue
+            if wave.values == (4,):
+                full = wave
+                break
+        assert full is not None, "waves never recovered full membership"
+        assert sum(be.reconnects for be in net.backends.values()) == 2
 
 
 class TestDegradePolicy:
