@@ -1,0 +1,309 @@
+"""Gateway serving benchmark: coalescing at 10k sessions, offered-load shedding.
+
+Exercises the front-end serving gateway (``repro.gateway``) the way
+Figure 9 (§4.2.2) stresses the front-end: many independent clients
+offering more work than the tree can absorb.  Two scenarios:
+
+1. **coalescing_10k** — 10,000 live sessions on one gateway; 150 of
+   them submit the *same* query concurrently (pre-queued under
+   ``gateway.paused()`` so every submit pre-dates the wave).  The
+   acceptance bar from ISSUE 9: all of them resolve with **exactly one
+   reduction wave** — 149 ride as coalesced followers (verified via
+   the ``queries_coalesced`` counter), every ticket gets the identical
+   aggregate.
+2. **offered_load** — calibrate the tree's wave capacity C (distinct
+   queries back-to-back, no coalescing), then offer 0.5×, 1× and 2× C
+   with the admission rate limiter set to C.  Under 2× saturation the
+   gateway must shed with *typed* ``Overloaded`` rejections (sub-ms
+   decision latency, measured per shed), keep the pending queue
+   bounded, and still service at least the gated fraction of offered
+   load — no unbounded queue growth, no tree stall.
+
+Writes ``BENCH_gateway.json`` (repo root by default).  ``--smoke``
+runs a fast pass for CI with the same structural gates (one wave for
+≥100 coalesced queries; typed shedding with a serviced-fraction
+floor), just shorter measurement windows.
+
+Usage::
+
+   PYTHONPATH=src python benchmarks/bench_gateway.py [--smoke] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import Network  # noqa: E402
+from repro.filters import TFILTER_SUM  # noqa: E402
+from repro.gateway import (  # noqa: E402
+    BackendResponder,
+    Gateway,
+    Overloaded,
+    Query,
+)
+from repro.topology import balanced_tree  # noqa: E402
+
+WAIT = 60.0
+
+# Structural gates (same bar in smoke and full mode).
+MIN_COALESCED_QUERIES = 100
+SERVICED_FLOOR_2X = 0.30
+SHED_MEAN_MS_CEILING = 5.0
+
+
+def sum_query(value: int) -> Query:
+    return Query("%d", (value,), transform=TFILTER_SUM)
+
+
+def build_tree(fanout: int, depth: int):
+    """A colocated tree with echo daemons behind every leaf."""
+    net = Network(balanced_tree(fanout, depth), colocate=True)
+    responder = BackendResponder(net.backends)
+    return net, responder
+
+
+def bench_coalescing(net, n_sessions: int, n_submitters: int) -> dict:
+    """N identical concurrent queries must cost exactly one wave."""
+    gw = Gateway(net, cache_ttl=60.0)
+    try:
+        t0 = time.perf_counter()
+        sessions = [gw.session(f"dash-{i}") for i in range(n_sessions)]
+        setup_s = time.perf_counter() - t0
+        submitters = sessions[:n_submitters]
+        t0 = time.perf_counter()
+        with gw.paused():  # pre-queue: every submit pre-dates the wave
+            tickets = [s.submit(sum_query(17)) for s in submitters]
+        results = {t.result(timeout=WAIT) for t in tickets}
+        resolve_s = time.perf_counter() - t0
+        stats = gw.stats()
+        assert len(results) == 1, f"coalesced waiters disagree: {results}"
+        expected = (17 * len(net.backends),)
+        assert results == {expected}, f"bad aggregate: {results}"
+        return {
+            "sessions": n_sessions,
+            "concurrent_identical_queries": n_submitters,
+            "waves": stats["waves"],
+            "queries_coalesced": stats["coalesced"],
+            "session_setup_ms": round(setup_s * 1e3, 2),
+            "resolve_all_ms": round(resolve_s * 1e3, 2),
+        }
+    finally:
+        gw.close()
+
+
+def calibrate_capacity(net, window_s: float) -> float:
+    """Waves/second the tree services for distinct (uncoalescable)
+    queries — the saturation point the offered-load sweep is scaled
+    against."""
+    gw = Gateway(net, cache_ttl=0.0)
+    try:
+        session = gw.session("calibrate")
+        # Warm-up: stream opened, routes learned.
+        session.submit(sum_query(0)).result(timeout=WAIT)
+        waves = 0
+        seq = 1
+        start = time.perf_counter()
+        while time.perf_counter() - start < window_s:
+            session.submit(sum_query(seq)).result(timeout=WAIT)
+            waves += 1
+            seq += 1
+        elapsed = time.perf_counter() - start
+        return waves / elapsed
+    finally:
+        gw.close()
+
+
+def bench_offered_load(
+    net, capacity: float, multiplier: float, duration_s: float
+) -> dict:
+    """Offer ``multiplier × capacity`` distinct queries/s for
+    *duration_s*; count serviced vs. typed sheds, time each shed
+    decision, and watch the pending queue stay bounded."""
+    max_pending = 64
+    gw = Gateway(
+        net,
+        rate=capacity,
+        burst=max(8.0, capacity / 4),
+        max_pending=max_pending,
+        cache_ttl=0.0,
+    )
+    try:
+        sessions = [gw.session(f"client-{i}") for i in range(32)]
+        offered_rate = capacity * multiplier
+        interval = 1.0 / offered_rate
+        offered = 0
+        admitted = []
+        sheds = {"rate": 0, "queue": 0, "backpressure": 0}
+        shed_timings = []
+        max_pending_seen = 0
+        seq = 0
+        start = time.perf_counter()
+        next_at = start
+        while True:
+            now = time.perf_counter()
+            if now - start >= duration_s:
+                break
+            if now < next_at:
+                time.sleep(min(next_at - now, interval))
+                continue
+            next_at += interval
+            session = sessions[seq % len(sessions)]
+            seq += 1
+            offered += 1
+            t0 = time.perf_counter()
+            try:
+                admitted.append(session.submit(sum_query(seq)))
+            except Overloaded as exc:
+                shed_timings.append(time.perf_counter() - t0)
+                sheds[exc.reason] += 1
+                assert exc.retry_after >= 0.0
+            max_pending_seen = max(max_pending_seen, gw.stats()["pending"])
+        # Drain: everything admitted must complete (no tree stall).
+        for ticket in admitted:
+            ticket.result(timeout=WAIT)
+        serviced = len(admitted)
+        total_shed = sum(sheds.values())
+        assert serviced + total_shed == offered
+        assert max_pending_seen <= max_pending, "unbounded queue growth"
+        shed_mean_ms = (
+            sum(shed_timings) / len(shed_timings) * 1e3 if shed_timings else 0.0
+        )
+        shed_max_ms = max(shed_timings) * 1e3 if shed_timings else 0.0
+        return {
+            "multiplier": multiplier,
+            "offered": offered,
+            "serviced": serviced,
+            "shed": sheds,
+            "serviced_fraction": round(serviced / max(offered, 1), 4),
+            "shed_mean_ms": round(shed_mean_ms, 4),
+            "shed_max_ms": round(shed_max_ms, 4),
+            "max_pending_seen": max_pending_seen,
+            "pending_bound": max_pending,
+        }
+    finally:
+        gw.close()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="fast sanity pass (CI)"
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_gateway.json",
+        help="where to write the JSON results",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        fanout, depth = 2, 2  # 4 daemons
+        n_sessions, n_submitters = 10_000, 128
+        calib_s, load_s = 0.6, 1.0
+    else:
+        fanout, depth = 4, 2  # 16 daemons
+        n_sessions, n_submitters = 10_000, 150
+        calib_s, load_s = 1.5, 3.0
+
+    net, responder = build_tree(fanout, depth)
+    try:
+        coalescing = bench_coalescing(net, n_sessions, n_submitters)
+        capacity = calibrate_capacity(net, calib_s)
+        offered_load = {}
+        for multiplier in (0.5, 1.0, 2.0):
+            offered_load[f"{multiplier:g}x"] = bench_offered_load(
+                net, capacity, multiplier, load_s
+            )
+    finally:
+        responder.stop()
+        net.shutdown()
+
+    results = {
+        "coalescing_10k": coalescing,
+        "capacity_waves_per_s": round(capacity, 1),
+        "offered_load": offered_load,
+    }
+    mode = "smoke" if args.smoke else "full"
+    doc = {
+        "benchmark": "bench_gateway",
+        "description": (
+            "Front-end gateway: query coalescing at 10k sessions and "
+            "typed load shedding under saturation offered load"
+        ),
+        "mode": mode,
+        "python": sys.version.split()[0],
+        "daemons": fanout ** depth,
+        "gates": {
+            "min_coalesced_queries": MIN_COALESCED_QUERIES,
+            "serviced_floor_2x": SERVICED_FLOOR_2X,
+            "shed_mean_ms_ceiling": SHED_MEAN_MS_CEILING,
+        },
+        "results": results,
+    }
+    args.out.write_text(json.dumps(doc, indent=2) + "\n")
+
+    print(
+        f"coalescing: {coalescing['concurrent_identical_queries']} identical "
+        f"queries over {coalescing['sessions']} sessions -> "
+        f"{coalescing['waves']} wave(s), "
+        f"{coalescing['queries_coalesced']} coalesced"
+    )
+    print(f"capacity: {capacity:,.1f} waves/s on {fanout ** depth} daemons")
+    print(
+        f"{'offered':>8} {'serviced':>9} {'shed':>6} {'fraction':>9} "
+        f"{'shed-mean':>10}"
+    )
+    for label, row in offered_load.items():
+        print(
+            f"{label:>8} {row['serviced']:>9} "
+            f"{sum(row['shed'].values()):>6} "
+            f"{row['serviced_fraction']:>9.3f} {row['shed_mean_ms']:>8.3f}ms"
+        )
+    print(f"\nresults written to {args.out}")
+
+    failed = False
+    if (
+        coalescing["waves"] != 1
+        or coalescing["queries_coalesced"] < MIN_COALESCED_QUERIES - 1
+        or coalescing["concurrent_identical_queries"] < MIN_COALESCED_QUERIES
+    ):
+        print(
+            "FAIL: identical concurrent queries did not coalesce to one wave",
+            file=sys.stderr,
+        )
+        failed = True
+    two_x = offered_load["2x"]
+    if two_x["serviced_fraction"] < SERVICED_FLOOR_2X:
+        print(
+            f"FAIL: serviced fraction at 2x offered load "
+            f"{two_x['serviced_fraction']:.3f} < {SERVICED_FLOOR_2X}",
+            file=sys.stderr,
+        )
+        failed = True
+    if sum(two_x["shed"].values()) == 0:
+        print("FAIL: 2x offered load produced no typed sheds", file=sys.stderr)
+        failed = True
+    if two_x["shed_mean_ms"] > SHED_MEAN_MS_CEILING:
+        print(
+            f"FAIL: mean shed decision {two_x['shed_mean_ms']:.3f}ms "
+            f"> {SHED_MEAN_MS_CEILING}ms",
+            file=sys.stderr,
+        )
+        failed = True
+    if failed:
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,6 +15,15 @@ With ``--fresh-startup`` the same ratio gate also covers the
 bench_startup.py scenarios (recursive-instantiation speedup and
 shm-vs-loopback link throughput) against ``BENCH_startup.json``.
 
+With ``--fresh-gateway`` the gateway serving gates run against a
+fresh ``bench_gateway.py`` output (falling back to the committed
+``BENCH_gateway.json``): identical concurrent queries must coalesce
+to exactly one wave, the serviced fraction under 2× saturation
+offered load must stay at or above the floor, and the mean typed-shed
+decision latency must stay under the ceiling.  These are absolute
+structural bars (the shed decision is an in-process O(1) check), so
+no committed-ratio dance is needed.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py \
@@ -171,6 +180,59 @@ def check_checkpoint_overhead(fresh: dict, committed: dict) -> bool:
     return ratio >= ceiling
 
 
+def check_gateway(doc: dict) -> bool:
+    """Enforce the gateway serving bars on a bench_gateway.py output.
+
+    Three gates, all absolute (see bench_gateway.py's ``gates`` block,
+    which travels with the results): coalescing must resolve ≥100
+    identical concurrent queries with exactly one wave; the serviced
+    fraction at 2× offered load must hold the floor; and the mean
+    typed-shed decision must stay under the latency ceiling.  Returns
+    True when a gate fails.
+    """
+    results = doc.get("results", {})
+    gates = doc.get("gates", {})
+    min_coalesced = gates.get("min_coalesced_queries", 100)
+    floor = gates.get("serviced_floor_2x", 0.30)
+    ceiling = gates.get("shed_mean_ms_ceiling", 5.0)
+    failed = False
+
+    co = results.get("coalescing_10k")
+    if co is not None:
+        one_wave = (
+            co["waves"] == 1
+            and co["queries_coalesced"] >= min_coalesced - 1
+            and co["concurrent_identical_queries"] >= min_coalesced
+        )
+        status = "ok" if one_wave else "REGRESSED"
+        print(
+            f"{'gateway_coalescing':<20} {'':>10} "
+            f"{co['concurrent_identical_queries']:>6}q/{co['waves']}w "
+            f"{'1 wave':>11}  {status}"
+        )
+        failed |= not one_wave
+
+    two_x = results.get("offered_load", {}).get("2x")
+    if two_x is not None:
+        frac = two_x["serviced_fraction"]
+        status = "ok" if frac >= floor else "REGRESSED"
+        print(
+            f"{'gateway_serviced_2x':<20} {'':>10} {frac:>9.3f} "
+            f"{floor:>9.2f}f  {status}"
+        )
+        failed |= frac < floor
+        shed_ms = two_x["shed_mean_ms"]
+        typed = sum(two_x["shed"].values()) > 0
+        shed_ok = typed and shed_ms <= ceiling
+        status = "ok" if shed_ok else "REGRESSED"
+        print(
+            f"{'gateway_shed_latency':<20} {'':>10} {shed_ms:>8.3f}m "
+            f"{ceiling:>8.2f}ms  {status}"
+        )
+        failed |= not shed_ok
+    return failed
+
+
 def check_speedups(
     fresh: dict, committed: dict, scenarios, tolerance: float
 ) -> bool:
@@ -217,6 +279,17 @@ def main(argv=None) -> int:
         default=REPO_ROOT / "BENCH_startup.json",
     )
     parser.add_argument(
+        "--fresh-gateway",
+        type=Path,
+        default=None,
+        help="fresh bench_gateway.py output to gate (omit to skip)",
+    )
+    parser.add_argument(
+        "--committed-gateway",
+        type=Path,
+        default=REPO_ROOT / "BENCH_gateway.json",
+    )
+    parser.add_argument(
         "--tolerance",
         type=float,
         default=0.3,
@@ -245,6 +318,11 @@ def main(argv=None) -> int:
             )
         else:
             print("startup baseline absent; skipping startup gates")
+
+    if args.fresh_gateway is not None:
+        failed |= check_gateway(json.loads(args.fresh_gateway.read_text()))
+    elif args.committed_gateway.exists():
+        failed |= check_gateway(json.loads(args.committed_gateway.read_text()))
 
     if check_heartbeat_overhead(fresh, committed, args.hb_ceiling):
         print("FAIL: heartbeat overhead exceeds ceiling", file=sys.stderr)

@@ -115,6 +115,13 @@ class _FrontEndCore(NodeCore):
         self.obs_rank = 0
         self.stream_queues: Dict[int, Deque[Packet]] = {}
         self.default_queue: Deque[Packet] = deque()
+        # Optional per-stream delivery sinks: when a callable is
+        # registered for a stream, reassembled upstream packets are
+        # handed to it instead of the delivery queue.  The serving
+        # gateway (:mod:`repro.gateway`) uses this to demultiplex
+        # shared-stream results to client sessions without a second
+        # copy through the queue.
+        self.delivery_sinks: Dict[int, Callable[[Packet], None]] = {}
         # Fault-tolerance bookkeeping surfaced through the Network API:
         # RANKS_CHANGED notifications (see Network.recovery_events) and
         # the first observed failure (fail_fast poisoning).
@@ -162,6 +169,10 @@ class _FrontEndCore(NodeCore):
             if whole is None:
                 return
             packet = whole
+        sink = self.delivery_sinks.get(packet.stream_id)
+        if sink is not None:
+            sink(packet.materialize())
+            return
         self.stream_queues.get(packet.stream_id, self.default_queue).append(
             packet.materialize()
         )
@@ -1823,6 +1834,43 @@ class Network:
     def flush(self) -> None:
         """Drain pending inbound traffic without blocking."""
         self._pump(0.0)
+
+    def pump_once(self, max_wait: float = 0.0) -> bool:
+        """Run one bounded pump cycle; returns True if any work was done.
+
+        The front-end is passive — it only makes progress while some
+        caller pumps it.  Driver threads (the serving gateway's, for
+        example) call this in a loop instead of blocking in a recv:
+        each call waits at most *max_wait* (capped by the pump quantum
+        and any pending TimeOut-stream deadline) for inbound traffic,
+        then drains everything that arrived and fires stream hooks.
+        """
+        self._check_up()
+        return self._pump(self._pump_quantum(max_wait))
+
+    # -- delivery sinks ----------------------------------------------------
+
+    def set_stream_sink(
+        self, stream_id: int, sink: Callable[[Packet], None]
+    ) -> None:
+        """Route a stream's upstream results to *sink* instead of its queue.
+
+        The sink runs synchronously on whatever thread pumps the
+        network, receiving each fully reassembled :class:`Packet`.
+        While a sink is installed, ``Stream.recv`` on that stream sees
+        nothing — the sink owns delivery.  Packets already queued
+        before installation are flushed through the sink first so no
+        result is stranded.
+        """
+        core = self._core
+        core.delivery_sinks[stream_id] = sink
+        backlog = core.stream_queues.get(stream_id)
+        while backlog:
+            sink(backlog.popleft())
+
+    def clear_stream_sink(self, stream_id: int) -> None:
+        """Remove a stream's delivery sink; results queue normally again."""
+        self._core.delivery_sinks.pop(stream_id, None)
 
     # -- lifecycle --------------------------------------------------------
 

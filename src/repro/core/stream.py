@@ -146,6 +146,52 @@ class Stream:
             return values[1]
         return values
 
+    # -- delivery sinks ------------------------------------------------------
+
+    def set_sink(self, sink) -> None:
+        """Deliver this stream's results to *sink* instead of queuing.
+
+        *sink* is called with each fully reassembled upstream
+        :class:`Packet`, synchronously on the pumping thread.  While a
+        sink is installed :meth:`recv`/:meth:`try_recv` see nothing;
+        already-queued packets are flushed through the sink on
+        installation.  The serving gateway uses this to demultiplex a
+        shared stream across many client sessions.
+        """
+        self._check_open()
+        self._network.set_stream_sink(self.stream_id, sink)
+
+    def clear_sink(self) -> None:
+        """Remove the delivery sink; results queue for ``recv`` again."""
+        self._network.clear_stream_sink(self.stream_id)
+
+    def set_wave_hooks(self, on_wave_complete=None, on_membership_change=None):
+        """Install front-end stream-manager hooks for this stream.
+
+        ``on_wave_complete(stream_id, epoch)`` fires each time the
+        root's synchronization filter releases a wave;
+        ``on_membership_change(stream_id, epoch)`` fires on every
+        membership-epoch bump.  Both run synchronously on the pumping
+        thread.  Pass ``None`` to leave a hook unchanged; use
+        :meth:`clear_wave_hooks` to remove them.
+        """
+        manager = self._network._core.streams.get(self.stream_id)
+        if manager is None:
+            raise StreamClosed(
+                f"stream {self.stream_id} has no front-end manager"
+            )
+        if on_wave_complete is not None:
+            manager.on_wave_complete = on_wave_complete
+        if on_membership_change is not None:
+            manager.on_membership_change = on_membership_change
+
+    def clear_wave_hooks(self) -> None:
+        """Remove any stream-manager hooks installed by :meth:`set_wave_hooks`."""
+        manager = self._network._core.streams.get(self.stream_id)
+        if manager is not None:
+            manager.on_wave_complete = None
+            manager.on_membership_change = None
+
     @property
     def membership_epoch(self) -> int:
         """The front-end's wave-membership epoch for this stream.

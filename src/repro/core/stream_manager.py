@@ -201,6 +201,15 @@ class StreamManager:
         # or adopted); lets tools correlate aggregates with the rank
         # set that produced them (see TAG_RANKS_CHANGED).
         self.membership_epoch = 0
+        # Front-end hooks (both optional, invoked synchronously on the
+        # owner's pump thread): ``on_wave_complete(stream_id, epoch)``
+        # fires each time the synchronization filter releases a wave,
+        # ``on_membership_change(stream_id, epoch)`` each time the
+        # membership epoch bumps.  The serving gateway
+        # (:mod:`repro.gateway`) uses them to stamp completion epochs
+        # and eagerly invalidate coalesced results.
+        self.on_wave_complete: Optional[Callable[[int, int], None]] = None
+        self.on_membership_change: Optional[Callable[[int, int], None]] = None
         # Pure pass-through streams (DONTWAIT sync, null transform, no
         # downstream filter) take the §4.2.1 negligible-overhead relay
         # path: the node forwards each packet without running the wave
@@ -435,6 +444,18 @@ class StreamManager:
             return []  # no time-based criterion in aligned-chunk mode
         return self._emit_up(self._run_waves(self.sync.poll()))
 
+    def _note_wave_released(self) -> None:
+        """Count a released wave and fire the front-end completion hook."""
+        self._c_waves_released.value += 1
+        if self.on_wave_complete is not None:
+            self.on_wave_complete(self.stream_id, self.membership_epoch)
+
+    def _bump_epoch(self) -> None:
+        """Advance the membership epoch and fire the change hook."""
+        self.membership_epoch += 1
+        if self.on_membership_change is not None:
+            self.on_membership_change(self.stream_id, self.membership_epoch)
+
     def drop_link(self, link_id: int) -> List[Packet]:
         """A child link closed: discard its state, realign the rest.
 
@@ -446,7 +467,7 @@ class StreamManager:
         realigns cleanly under the bumped membership epoch.
         """
         self._settle_offloads()
-        self.membership_epoch += 1
+        self._bump_epoch()
         self._in_high.pop(link_id, None)
         self._ack_low.pop(link_id, None)
         self._nacked.pop(link_id, None)
@@ -490,7 +511,7 @@ class StreamManager:
         if self.incremental:
             self._chunk_queues[link_id] = deque()
             self._chunk_joining.add(link_id)
-        self.membership_epoch += 1
+        self._bump_epoch()
 
     def retire_link(self, link_id: int) -> None:
         """Lame-duck a child link that announced a graceful leave.
@@ -503,7 +524,7 @@ class StreamManager:
         """
         if link_id not in self.child_links:
             return
-        self.membership_epoch += 1
+        self._bump_epoch()
         self.sync.retire_child(link_id)
         if self.incremental:
             self._chunk_leaving.add(link_id)
@@ -518,14 +539,14 @@ class StreamManager:
         grown = self.endpoints | frozenset(ranks)
         if grown != self.endpoints:
             self.endpoints = grown
-            self.membership_epoch += 1
+            self._bump_epoch()
 
     def remove_endpoints(self, ranks: Sequence[int]) -> None:
         """Retire departed back-end ranks (TAG_LEAVE or degrade)."""
         shrunk = self.endpoints - frozenset(ranks)
         if shrunk != self.endpoints:
             self.endpoints = shrunk
-            self.membership_epoch += 1
+            self._bump_epoch()
 
     def flush_upstream(self) -> List[Packet]:
         """Stream teardown: push every held packet through the filter.
@@ -673,7 +694,7 @@ class StreamManager:
             if self._wave_t0 is not None:
                 self._h_wave_latency.observe(released - self._wave_t0)
                 self._wave_t0 = None
-            self._c_waves_released.value += 1
+            self._note_wave_released()
             self._out_wave += 1
             self._wave_pos = 0
             self._wave_n = 0
@@ -905,7 +926,7 @@ class StreamManager:
                 self._wave_t0 = None
             if tracer is None and self._should_offload(wave):
                 self._offload_wave(wave)
-                self._c_waves_released.value += 1
+                self._note_wave_released()
                 continue
             if tracer is None:
                 out.extend(self.transform(wave, self.transform_state))
@@ -915,7 +936,7 @@ class StreamManager:
                 tracer.span_end(
                     "filter", t0, self.stream_id, detail=self.transform.name
                 )
-            self._c_waves_released.value += 1
+            self._note_wave_released()
         return out
 
     # -- worker-pool offload (colocated loops) -----------------------------

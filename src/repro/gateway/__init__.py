@@ -1,0 +1,49 @@
+"""``repro.gateway`` — the front-end serving gateway (ROADMAP item 4).
+
+Multiplexes many independent client sessions onto shared MRNet
+streams: per-session round-robin fairness, admission control with
+typed :class:`Overloaded` rejections (token bucket + bounded-queue +
+send-queue backpressure), and an in-flight query-coalescing result
+cache so N identical queries cost one reduction wave (the paper's
+Figure 9 serviced-fraction workload).
+
+Quick start::
+
+    from repro.core import Network
+    from repro.filters import TFILTER_SUM
+    from repro.gateway import BackendResponder, Gateway, Query
+    from repro.topology import balanced_tree
+
+    net = Network(balanced_tree(4, 2), colocate=True)
+    responder = BackendResponder(net.backends)   # echo daemons
+    with Gateway(net, rate=500.0, cache_ttl=0.5) as gw:
+        session = gw.session("dashboard-1")
+        ticket = session.submit(Query("%d", (1,), transform=TFILTER_SUM))
+        print(ticket.result(timeout=5.0))        # (len(net.backends),)
+    responder.stop()
+    net.shutdown()
+
+See ``docs/gateway.md`` for the full lifecycle, fairness, and
+coalescing semantics.
+"""
+
+from .admission import AdmissionController, GatewayError, Overloaded, TokenBucket
+from .coalesce import CoalescingCache
+from .gateway import Gateway, PeriodicPoller
+from .query import Query
+from .responder import BackendResponder
+from .session import GatewaySession, Ticket
+
+__all__ = [
+    "AdmissionController",
+    "BackendResponder",
+    "CoalescingCache",
+    "Gateway",
+    "GatewayError",
+    "GatewaySession",
+    "Overloaded",
+    "PeriodicPoller",
+    "Query",
+    "Ticket",
+    "TokenBucket",
+]

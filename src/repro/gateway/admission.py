@@ -1,0 +1,128 @@
+"""Admission control: shed load *before* the tree saturates.
+
+The paper's Figure 9 shows the front-end servicing a falling fraction
+of offered load past saturation; an unprotected implementation instead
+queues unboundedly and stalls.  The gateway sheds at three points,
+each surfacing as a typed :class:`Overloaded` rejection the client can
+back off on:
+
+* **queue** — the submit queue of not-yet-issued waves is full
+  (``max_pending``); admitting more would only grow latency.
+* **rate** — a token-bucket limiter (``rate``/``burst``) is dry;
+  sustained offered load exceeds the provisioned service rate.
+* **backpressure** — issuing the wave hit the bounded send-queue
+  (:class:`repro.transport.eventloop.SendQueueFull`, the PR-2
+  signal): the tree itself is saturated right now.
+
+Rejected requests cost O(1) work and no tree traffic — that is what
+keeps the serviced fraction flat instead of collapsing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+__all__ = ["GatewayError", "Overloaded", "TokenBucket", "AdmissionController"]
+
+
+class GatewayError(RuntimeError):
+    """Base class for gateway-level errors."""
+
+
+class Overloaded(GatewayError):
+    """Typed rejection: the gateway shed this request.
+
+    ``reason`` is one of ``"queue"``, ``"rate"``, ``"backpressure"``;
+    ``retry_after`` is a best-effort hint (seconds) for client
+    back-off — 0.0 when the gateway has no estimate.
+    """
+
+    def __init__(self, reason: str, retry_after: float = 0.0):
+        super().__init__(
+            f"gateway overloaded ({reason}); retry after {retry_after:.3f}s"
+        )
+        self.reason = reason
+        self.retry_after = retry_after
+
+
+class TokenBucket:
+    """A thread-safe token-bucket rate limiter.
+
+    Refills continuously at ``rate`` tokens/second up to ``burst``;
+    :meth:`try_take` never blocks.  ``rate=None`` disables limiting
+    (every take succeeds).  *clock* is injectable for deterministic
+    tests.
+    """
+
+    def __init__(
+        self,
+        rate: Optional[float],
+        burst: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be positive (or None to disable)")
+        self.rate = rate
+        self.burst = float(burst if burst is not None else (rate or 0) or 1.0)
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        if self.rate is None:
+            return
+        elapsed = now - self._stamp
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+            self._stamp = now
+
+    def try_take(self, n: float = 1.0) -> bool:
+        """Take *n* tokens if available; never blocks."""
+        if self.rate is None:
+            return True
+        with self._lock:
+            now = self._clock()
+            self._refill(now)
+            if self._tokens >= n:
+                self._tokens -= n
+                return True
+            return False
+
+    def retry_after(self, n: float = 1.0) -> float:
+        """Seconds until *n* tokens will have refilled (0.0 if unlimited)."""
+        if self.rate is None:
+            return 0.0
+        with self._lock:
+            self._refill(self._clock())
+            deficit = n - self._tokens
+            return max(0.0, deficit / self.rate)
+
+
+class AdmissionController:
+    """Combines the queue bound and the rate limiter.
+
+    :meth:`admit` is called with the current submit-queue depth for
+    every *leader* query (one that will cost a reduction wave);
+    coalesced followers and cache hits bypass it — they cost no tree
+    work, and charging them would defeat coalescing.  Raises
+    :class:`Overloaded` on rejection, returns silently on admission.
+    """
+
+    def __init__(self, max_pending: int, bucket: Optional[TokenBucket] = None):
+        if max_pending <= 0:
+            raise ValueError("max_pending must be positive")
+        self.max_pending = max_pending
+        self.bucket = bucket
+
+    def admit(self, pending: int) -> None:
+        """Admit one leader query given *pending* queued leaders."""
+        if pending >= self.max_pending:
+            hint = 0.0
+            if self.bucket is not None and self.bucket.rate:
+                hint = pending / self.bucket.rate
+            raise Overloaded("queue", retry_after=hint)
+        if self.bucket is not None and not self.bucket.try_take():
+            raise Overloaded("rate", retry_after=self.bucket.retry_after())

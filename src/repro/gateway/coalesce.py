@@ -1,0 +1,155 @@
+"""In-flight query coalescing and TTL result caching.
+
+The economics of the serving gateway: N identical queries must cost
+ONE reduction wave.  Two mechanisms deliver that:
+
+* **in-flight coalescing** — the first submitter of a key becomes the
+  *leader* and issues a wave; everyone submitting the same key before
+  the wave completes becomes a *follower* and just waits on the same
+  entry.  Completion fans the one result out to all of them.
+* **TTL result cache** — after completion the result is kept for
+  ``ttl`` seconds, so a fresh submitter inside the window gets an
+  immediate answer with no wave at all.
+
+Keys come from :meth:`repro.gateway.query.Query.cache_key` and embed
+the stream's membership epoch, so a back-end join/leave re-keys the
+world: entries cached under the old rank set become unreachable (and
+are eagerly dropped by :meth:`CoalescingCache.drop_stale`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["CoalescingCache", "InflightEntry"]
+
+
+class InflightEntry:
+    """One outstanding wave and the tickets waiting on its result."""
+
+    __slots__ = ("key", "waiters", "epoch", "issued_at")
+
+    def __init__(self, key: Tuple, epoch: int, issued_at: float):
+        self.key = key
+        self.epoch = epoch
+        self.issued_at = issued_at
+        self.waiters: List = []
+
+
+class CoalescingCache:
+    """Thread-safe in-flight entry table + TTL'd result cache.
+
+    ``ttl=0`` disables result caching (coalescing of concurrent
+    identical queries still works — that needs no storage beyond the
+    in-flight entry).  *clock* is injectable for deterministic tests.
+    """
+
+    def __init__(
+        self, ttl: float = 0.5, clock: Callable[[], float] = time.monotonic
+    ):
+        if ttl < 0:
+            raise ValueError("ttl must be >= 0")
+        self.ttl = ttl
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._inflight: Dict[Tuple, InflightEntry] = {}
+        self._results: Dict[Tuple, Tuple[object, float]] = {}
+
+    # -- submit-side -------------------------------------------------------
+
+    def lookup(self, key: Tuple):
+        """Return the cached ``(result, True)`` for *key*, or ``(None, False)``."""
+        with self._lock:
+            hit = self._results.get(key)
+            if hit is None:
+                return None, False
+            result, expires = hit
+            if self._clock() >= expires:
+                del self._results[key]
+                return None, False
+            return result, True
+
+    def join(self, key: Tuple, ticket) -> bool:
+        """Attach *ticket* to an in-flight entry; True if one existed."""
+        with self._lock:
+            entry = self._inflight.get(key)
+            if entry is None:
+                return False
+            entry.waiters.append(ticket)
+            return True
+
+    def open(self, key: Tuple, ticket, epoch: int) -> InflightEntry:
+        """Create the in-flight entry for *key* with *ticket* as leader."""
+        with self._lock:
+            if key in self._inflight:
+                raise GatewayInvariantError(f"duplicate in-flight key {key}")
+            entry = InflightEntry(key, epoch, self._clock())
+            entry.waiters.append(ticket)
+            self._inflight[key] = entry
+            return entry
+
+    # -- completion-side ---------------------------------------------------
+
+    def complete(self, entry: InflightEntry, result, cacheable: bool = True):
+        """Close *entry*, optionally caching *result*; returns the waiters.
+
+        ``cacheable=False`` delivers to the waiters but stores nothing
+        — used when membership changed mid-wave, so the aggregate the
+        waiters asked for (and got) must not be replayed to anyone
+        arriving under the new rank set.
+        """
+        with self._lock:
+            self._inflight.pop(entry.key, None)
+            if cacheable and self.ttl > 0:
+                self._results[entry.key] = (result, self._clock() + self.ttl)
+            return list(entry.waiters)
+
+    def abort(self, entry: InflightEntry):
+        """Drop *entry* without a result (issue failed); returns the waiters."""
+        with self._lock:
+            self._inflight.pop(entry.key, None)
+            return list(entry.waiters)
+
+    # -- maintenance -------------------------------------------------------
+
+    def drop_stale(self, stream_key: Tuple, epoch: int) -> int:
+        """Eagerly drop cached results for *stream_key* older than *epoch*.
+
+        Epoch-in-key already makes them unreachable; this reclaims the
+        memory immediately and returns how many entries were dropped
+        (surfaced as the ``gateway_entries_invalidated`` counter).
+        """
+        with self._lock:
+            stale = [
+                k for k in self._results
+                if k[0] == stream_key and k[2] != epoch
+            ]
+            for k in stale:
+                del self._results[k]
+            return len(stale)
+
+    def expire(self) -> int:
+        """Drop results past their TTL; returns how many were dropped."""
+        now = self._clock()
+        with self._lock:
+            dead = [k for k, (_, exp) in self._results.items() if now >= exp]
+            for k in dead:
+                del self._results[k]
+            return len(dead)
+
+    def stats(self) -> Dict[str, int]:
+        """Point-in-time sizes: inflight entries, cached results, waiters."""
+        with self._lock:
+            return {
+                "inflight": len(self._inflight),
+                "cached": len(self._results),
+                "waiters": sum(
+                    len(e.waiters) for e in self._inflight.values()
+                ),
+            }
+
+
+class GatewayInvariantError(AssertionError):
+    """An internal coalescing invariant was violated (a gateway bug)."""

@@ -1,0 +1,85 @@
+"""Gateway query descriptions and coalescing keys.
+
+A :class:`Query` is the client-facing unit of work: "multicast this
+payload down a stream with these filters, give me the aggregated
+result".  Two queries that would produce the same reduction wave must
+compare equal and hash equal — that equivalence is what lets the
+gateway coalesce a thousand identical dashboard refreshes onto one
+wave.  Equivalence is decided by the *canonical wire encoding* of the
+payload (:meth:`repro.core.packet.Packet.to_bytes`), so a list payload
+and the equivalent ndarray payload coalesce, plus the stream
+configuration (target ranks, transform/sync filters, sync timeout).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, Optional, Tuple
+
+from ..core.packet import Packet
+from ..core.protocol import FIRST_APP_TAG, WAVE_REDUCE
+from ..filters import SFILTER_WAITFORALL, TFILTER_NULL
+
+__all__ = ["Query"]
+
+
+@dataclass(frozen=True)
+class Query:
+    """An immutable description of one gateway request.
+
+    ``ranks=None`` (the default) targets the broadcast communicator —
+    every back-end currently attached; a frozenset restricts the wave
+    to that subset.  ``transform``/``sync`` are filter ids from the
+    network's registry, exactly as passed to ``Network.new_stream``.
+    """
+
+    fmt: str
+    values: Tuple[Any, ...] = ()
+    transform: int = TFILTER_NULL
+    sync: int = SFILTER_WAITFORALL
+    ranks: Optional[FrozenSet[int]] = None
+    tag: int = FIRST_APP_TAG
+    sync_timeout: float = 0.0
+    pattern: int = WAVE_REDUCE
+    _digest: Optional[str] = field(
+        default=None, repr=False, compare=False, hash=False
+    )
+
+    def __post_init__(self):
+        # Normalise mutable payloads so equal queries hash equal.
+        if not isinstance(self.values, tuple):
+            object.__setattr__(self, "values", tuple(self.values))
+        if self.ranks is not None and not isinstance(self.ranks, frozenset):
+            object.__setattr__(self, "ranks", frozenset(self.ranks))
+
+    @property
+    def digest(self) -> str:
+        """SHA-1 of the payload's canonical wire encoding (memoised)."""
+        if self._digest is None:
+            wire = Packet(0, self.tag, self.fmt, self.values).to_bytes()
+            object.__setattr__(
+                self, "_digest", hashlib.sha1(wire).hexdigest()
+            )
+        return self._digest
+
+    @property
+    def stream_key(self) -> Tuple:
+        """The stream-configuration part of the coalescing key.
+
+        Queries sharing a ``stream_key`` can ride the same underlying
+        :class:`repro.core.stream.Stream`; the gateway creates one
+        stream per distinct key and reuses it across waves.
+        """
+        return (self.ranks, self.transform, self.sync,
+                self.sync_timeout, self.pattern)
+
+    def cache_key(self, epoch: int) -> Tuple:
+        """The full coalescing-cache key under membership *epoch*.
+
+        The epoch is baked into the key: when a back-end joins or
+        leaves, the stream's membership epoch bumps and every entry
+        cached under the old rank set becomes unreachable — stale
+        aggregates can never be served for the new membership.
+        """
+        return (self.stream_key, self.digest, epoch)

@@ -1,0 +1,113 @@
+"""A back-end driver for gateway scenarios, tests, and benchmarks.
+
+Real MRNet back-ends run tool daemons that answer multicasts with
+local measurements.  :class:`BackendResponder` plays that role for a
+whole list of in-process :class:`repro.core.backend.BackEnd` handles:
+one thread round-robins ``poll()`` over them and answers every
+arriving packet with a reply function (default: echo the payload, so
+a ``TFILTER_SUM`` wave over N back-ends yields ``N * value``).
+
+Elastic joiners (``Network.attach_backend()``) can be added to a live
+responder with :meth:`add` — used by the membership/coalescing
+interaction tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["BackendResponder"]
+
+
+class BackendResponder:
+    """Poll a set of back-ends and answer every packet.
+
+    ``reply(rank, packet) -> tuple`` produces the response values for
+    a packet arriving at back-end *rank*; None (default) echoes the
+    packet's own values.  The responder thread is a daemon and stops
+    on :meth:`stop` or when every back-end reports shutdown.
+    """
+
+    def __init__(
+        self,
+        backends,
+        reply: Optional[Callable[[int, object], Tuple]] = None,
+        poll_interval: float = 0.0002,
+        autostart: bool = True,
+    ):
+        # Accept a Network.backends-style dict or a list of handles.
+        if hasattr(backends, "values"):
+            backends = list(backends.values())
+        self._backends: List = list(backends)
+        self._reply = reply
+        self._poll_interval = poll_interval
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self.replies = 0
+        self._thread = threading.Thread(
+            target=self._run, name="backend-responder", daemon=True
+        )
+        if autostart:
+            self.start()
+
+    def start(self) -> None:
+        """Start the responder thread (idempotent)."""
+        if not self._thread.is_alive() and not self._stop.is_set():
+            self._thread.start()
+
+    def add(self, backend) -> None:
+        """Adopt a newly attached (elastic-join) back-end."""
+        with self._lock:
+            self._backends.append(backend)
+
+    def remove(self, backend) -> None:
+        """Stop driving *backend* (before ``BackEnd.leave()``)."""
+        with self._lock:
+            if backend in self._backends:
+                self._backends.remove(backend)
+
+    def stop(self, join_timeout: float = 5.0) -> None:
+        """Stop the thread (idempotent)."""
+        self._stop.set()
+        if self._thread.is_alive():
+            self._thread.join(join_timeout)
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            with self._lock:
+                backends = list(self._backends)
+            if not backends:
+                time.sleep(self._poll_interval)
+                continue
+            worked = False
+            all_down = True
+            for be in backends:
+                if be.shut_down:
+                    continue
+                all_down = False
+                try:
+                    while True:
+                        item = be.poll()
+                        if item is None:
+                            break
+                        packet, stream = item
+                        values = (
+                            packet.unpack()
+                            if self._reply is None
+                            else self._reply(be.rank, packet)
+                        )
+                        stream.send(packet.fmt.canonical, *values,
+                                    tag=packet.tag)
+                        self.replies += 1
+                        worked = True
+                except Exception:
+                    if self._stop.is_set():
+                        return
+                    # A torn-down back-end mid-poll: skip it this round.
+                    continue
+            if all_down:
+                return
+            if not worked:
+                time.sleep(self._poll_interval)

@@ -1,0 +1,228 @@
+"""Client sessions and result tickets.
+
+A :class:`GatewaySession` is one independent client's handle onto the
+gateway — a dashboard tab, a poller, a tool instance.  Sessions are
+cheap (a deque and a condition variable; 10k+ per process is the
+design point) and thread-safe; the asyncio bridge needs no dedicated
+event loop inside the gateway, completions are trampolined onto the
+waiter's own loop via ``call_soon_threadsafe``.
+
+The API mirrors a familiar future/completion-queue shape:
+
+* ``submit(query) -> Ticket`` — non-blocking; raises
+  :class:`repro.gateway.admission.Overloaded` when shed.
+* ``ticket.result(timeout)`` — block one ticket.
+* ``session.poll()`` — non-blocking: next completed ticket or None.
+* ``session.recv(timeout)`` — block for the next completion.
+* ``await session.recv_async()`` / ``await ticket`` — asyncio forms.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Optional, Tuple
+
+from .admission import GatewayError
+from .query import Query
+
+__all__ = ["Ticket", "GatewaySession"]
+
+
+class Ticket:
+    """One submitted query's pending result.
+
+    Completed exactly once, with either a values tuple or an
+    exception; thread-safe, and awaitable from any asyncio loop.
+    ``coalesced`` is True when this ticket rode another submitter's
+    wave (follower) or was served straight from the result cache.
+    """
+
+    __slots__ = (
+        "query", "session", "submitted_at", "completed_at", "coalesced",
+        "epoch", "_event", "_result", "_error", "_async_waiters", "_lock",
+    )
+
+    def __init__(self, query: Query, session: "GatewaySession"):
+        self.query = query
+        self.session = session
+        self.submitted_at = time.monotonic()
+        self.completed_at: Optional[float] = None
+        self.coalesced = False
+        self.epoch: Optional[int] = None
+        self._event = threading.Event()
+        self._result: Optional[Tuple[Any, ...]] = None
+        self._error: Optional[BaseException] = None
+        self._async_waiters: list = []
+        self._lock = threading.Lock()
+
+    # -- completion (gateway-side) ----------------------------------------
+
+    def _complete(self, result=None, error: Optional[BaseException] = None):
+        with self._lock:
+            if self._event.is_set():
+                return  # already completed (e.g. shed racing a late wave)
+            self._result = result
+            self._error = error
+            self.completed_at = time.monotonic()
+            waiters = self._async_waiters
+            self._async_waiters = []
+            self._event.set()
+        for loop, future in waiters:
+            loop.call_soon_threadsafe(_resolve_future, future, result, error)
+        self.session._note_completed(self)
+
+    # -- waiting (client-side) --------------------------------------------
+
+    def done(self) -> bool:
+        """True once a result or error has landed."""
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> Tuple[Any, ...]:
+        """Block for the values tuple; raises the stored error if shed.
+
+        Raises ``TimeoutError`` after *timeout* seconds.
+        """
+        if not self._event.wait(timeout):
+            raise TimeoutError("gateway ticket not completed in time")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def exception(self) -> Optional[BaseException]:
+        """The stored error, or None (None too while still pending)."""
+        return self._error
+
+    def __await__(self):
+        return self.wait().__await__()
+
+    async def wait(self) -> Tuple[Any, ...]:
+        """Asyncio form of :meth:`result` (no timeout; wrap in wait_for)."""
+        with self._lock:
+            if not self._event.is_set():
+                loop = asyncio.get_running_loop()
+                future = loop.create_future()
+                self._async_waiters.append((loop, future))
+            else:
+                future = None
+        if future is not None:
+            return await future
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def __repr__(self) -> str:
+        state = "done" if self.done() else "pending"
+        return f"Ticket({self.query.digest[:8]}, {state})"
+
+
+def _resolve_future(future, result, error):
+    if future.cancelled():
+        return
+    if error is not None:
+        future.set_exception(error)
+    else:
+        future.set_result(result)
+
+
+class GatewaySession:
+    """One client's ordered view of its own submissions.
+
+    Completions are delivered per-session in completion order (not
+    submission order — a cache hit completes instantly while an
+    earlier wave is still in flight).  The gateway's round-robin
+    scheduler guarantees inter-session fairness: each drain round
+    issues at most one wave per session, so a firehose session cannot
+    starve a trickle session.
+    """
+
+    def __init__(self, gateway, name: str):
+        self._gateway = gateway
+        self.name = name
+        self.closed = False
+        self._completed: Deque[Ticket] = deque()
+        self._cv = threading.Condition()
+        self._outstanding = 0
+
+    # -- submitting --------------------------------------------------------
+
+    def submit(self, query: Query) -> Ticket:
+        """Submit *query*; returns a :class:`Ticket` immediately.
+
+        Raises :class:`repro.gateway.admission.Overloaded` when the
+        gateway sheds the request (queue full or rate limit) — the
+        typed rejection, never silent unbounded queuing.
+        """
+        if self.closed:
+            raise GatewayError(f"session {self.name!r} is closed")
+        # The gateway itself counts the ticket as outstanding before
+        # any completion can fire (a cache hit completes synchronously
+        # inside _submit).
+        return self._gateway._submit(self, query)
+
+    # -- receiving ---------------------------------------------------------
+
+    def poll(self) -> Optional[Ticket]:
+        """Non-blocking: the next completed ticket, or None."""
+        with self._cv:
+            if self._completed:
+                return self._completed.popleft()
+            return None
+
+    def recv(self, timeout: Optional[float] = None) -> Ticket:
+        """Block for this session's next completed ticket.
+
+        Raises ``TimeoutError`` after *timeout* seconds.  Completions
+        come from this session's own :meth:`submit` calls *or* from
+        periodic pollers it subscribed to — so ``recv`` with nothing
+        outstanding is legitimate for a subscriber awaiting the next
+        tick (but will block the full *timeout* on an idle session).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cv:
+            while not self._completed:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError("gateway recv timed out")
+                self._cv.wait(remaining)
+            return self._completed.popleft()
+
+    async def recv_async(self) -> Ticket:
+        """Asyncio form of :meth:`recv` (poll-free: one thread hop)."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self.recv)
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _note_completed(self, ticket: Ticket) -> None:
+        with self._cv:
+            self._completed.append(ticket)
+            self._outstanding -= 1
+            self._cv.notify_all()
+
+    @property
+    def outstanding(self) -> int:
+        """Tickets submitted but not yet handed back via poll/recv."""
+        with self._cv:
+            return self._outstanding + len(self._completed)
+
+    def close(self) -> None:
+        """Detach from the gateway (idempotent); pending tickets survive."""
+        if not self.closed:
+            self.closed = True
+            self._gateway._drop_session(self)
+
+    def __enter__(self) -> "GatewaySession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"GatewaySession({self.name!r}, outstanding={self.outstanding})"
+        )

@@ -1,0 +1,50 @@
+"""Shared fixtures for the serving-gateway suite.
+
+One small colocated tree per test, with echo back-end daemons and a
+gateway wired up — mirrors the production shape (driver thread owns
+the network) at test scale.
+"""
+
+import time
+
+import pytest
+
+from repro.core import Network
+from repro.gateway import BackendResponder, Gateway
+from repro.topology import balanced_tree
+
+RECV_TIMEOUT = 10.0
+
+
+@pytest.fixture
+def served_net():
+    """(net, responder) over a 2x2 colocated tree (4 back-ends)."""
+    net = Network(balanced_tree(2, 2), colocate=True)
+    responder = BackendResponder(net.backends)
+    try:
+        yield net, responder
+    finally:
+        responder.stop()
+        net.shutdown()
+
+
+@pytest.fixture
+def gateway(served_net):
+    """A default-config Gateway over ``served_net`` (closed after)."""
+    net, _ = served_net
+    gw = Gateway(net, cache_ttl=0.5)
+    try:
+        yield gw
+    finally:
+        gw.close()
+
+
+def wait_until(pred, timeout=RECV_TIMEOUT, interval=0.005):
+    """Poll *pred* until truthy; returns its last value (falsy = timeout)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = pred()
+        if value:
+            return value
+        time.sleep(interval)
+    return pred()

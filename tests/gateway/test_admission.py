@@ -1,0 +1,100 @@
+"""Unit tests for admission control (token bucket + queue bound).
+
+All deterministic: the clock is injected, no network involved.
+"""
+
+import pytest
+
+from repro.gateway import AdmissionController, Overloaded, TokenBucket
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+class TestTokenBucket:
+    def test_burst_then_dry(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=3, clock=clock)
+        assert [bucket.try_take() for _ in range(4)] == [True] * 3 + [False]
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=1, clock=clock)
+        assert bucket.try_take()
+        assert not bucket.try_take()
+        clock.advance(0.05)  # half a token
+        assert not bucket.try_take()
+        clock.advance(0.05)  # full token
+        assert bucket.try_take()
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2, clock=clock)
+        clock.advance(60.0)
+        assert [bucket.try_take() for _ in range(3)] == [True, True, False]
+
+    def test_retry_after_estimates_deficit(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=4.0, burst=1, clock=clock)
+        assert bucket.try_take()
+        assert bucket.retry_after() == pytest.approx(0.25)
+        clock.advance(0.125)
+        assert bucket.retry_after() == pytest.approx(0.125)
+
+    def test_unlimited_when_rate_none(self):
+        bucket = TokenBucket(rate=None)
+        assert all(bucket.try_take() for _ in range(1000))
+        assert bucket.retry_after() == 0.0
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0)
+
+
+class TestAdmissionController:
+    def test_queue_bound_sheds_typed(self):
+        ctl = AdmissionController(max_pending=2)
+        ctl.admit(0)
+        ctl.admit(1)
+        with pytest.raises(Overloaded) as err:
+            ctl.admit(2)
+        assert err.value.reason == "queue"
+        assert err.value.retry_after >= 0.0
+
+    def test_rate_shed_carries_retry_hint(self):
+        clock = FakeClock()
+        ctl = AdmissionController(
+            max_pending=100, bucket=TokenBucket(2.0, burst=1, clock=clock)
+        )
+        ctl.admit(0)
+        with pytest.raises(Overloaded) as err:
+            ctl.admit(0)
+        assert err.value.reason == "rate"
+        assert err.value.retry_after == pytest.approx(0.5)
+
+    def test_queue_bound_checked_before_bucket(self):
+        clock = FakeClock()
+        bucket = TokenBucket(1.0, burst=1, clock=clock)
+        ctl = AdmissionController(max_pending=1, bucket=bucket)
+        with pytest.raises(Overloaded) as err:
+            ctl.admit(1)
+        assert err.value.reason == "queue"
+        # The full queue did not burn a token.
+        assert bucket.try_take()
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_pending=0)
+
+    def test_overloaded_message_names_reason(self):
+        exc = Overloaded("backpressure", retry_after=0.1)
+        assert "backpressure" in str(exc)
+        assert exc.retry_after == pytest.approx(0.1)

@@ -1,0 +1,123 @@
+"""Unit tests for query keys and the coalescing cache (no network)."""
+
+import pytest
+
+from repro.filters import TFILTER_MAX, TFILTER_SUM
+from repro.gateway import CoalescingCache, Query
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+class TestQueryKeys:
+    def test_equal_payloads_share_digest(self):
+        a = Query("%d", (7,), transform=TFILTER_SUM)
+        b = Query("%d", [7], transform=TFILTER_SUM)  # list normalised
+        assert a == b
+        assert a.digest == b.digest
+        assert a.cache_key(0) == b.cache_key(0)
+
+    def test_payload_changes_digest(self):
+        base = Query("%d", (7,), transform=TFILTER_SUM)
+        assert base.digest != Query("%d", (8,), transform=TFILTER_SUM).digest
+
+    def test_filter_config_splits_stream_key(self):
+        a = Query("%d", (7,), transform=TFILTER_SUM)
+        b = Query("%d", (7,), transform=TFILTER_MAX)
+        assert a.digest == b.digest  # same payload...
+        assert a.stream_key != b.stream_key  # ...different stream
+        assert a.cache_key(0) != b.cache_key(0)
+
+    def test_rank_subset_splits_stream_key(self):
+        assert (
+            Query("%d", (1,)).stream_key
+            != Query("%d", (1,), ranks=frozenset({0, 1})).stream_key
+        )
+        assert (
+            Query("%d", (1,), ranks=[1, 0]).stream_key
+            == Query("%d", (1,), ranks=frozenset({0, 1})).stream_key
+        )
+
+    def test_epoch_re_keys(self):
+        q = Query("%d", (7,))
+        assert q.cache_key(0) != q.cache_key(1)
+
+
+class TestCoalescingCache:
+    def test_miss_then_hit_then_ttl_expiry(self):
+        clock = FakeClock()
+        cache = CoalescingCache(ttl=1.0, clock=clock)
+        key = ("sk", "digest", 0)
+        assert cache.lookup(key) == (None, False)
+        entry = cache.open(key, "leader", epoch=0)
+        assert cache.complete(entry, (42,)) == ["leader"]
+        assert cache.lookup(key) == ((42,), True)
+        clock.advance(1.5)
+        assert cache.lookup(key) == (None, False)
+
+    def test_join_fans_out_to_all_waiters(self):
+        cache = CoalescingCache(ttl=0.0, clock=FakeClock())
+        key = ("sk", "d", 0)
+        assert not cache.join(key, "early-bird")  # nothing in flight yet
+        entry = cache.open(key, "leader", epoch=0)
+        assert cache.join(key, "f1") and cache.join(key, "f2")
+        assert cache.complete(entry, (1,)) == ["leader", "f1", "f2"]
+        # ttl=0: coalescing worked but nothing was stored.
+        assert cache.lookup(key) == (None, False)
+
+    def test_uncacheable_completion_delivers_but_stores_nothing(self):
+        cache = CoalescingCache(ttl=10.0, clock=FakeClock())
+        entry = cache.open(("sk", "d", 0), "t", epoch=0)
+        assert cache.complete(entry, (9,), cacheable=False) == ["t"]
+        assert cache.lookup(("sk", "d", 0)) == (None, False)
+
+    def test_abort_returns_waiters_without_caching(self):
+        cache = CoalescingCache(ttl=10.0, clock=FakeClock())
+        entry = cache.open(("sk", "d", 0), "t", epoch=0)
+        cache.join(("sk", "d", 0), "u")
+        assert cache.abort(entry) == ["t", "u"]
+        assert cache.stats()["inflight"] == 0
+
+    def test_drop_stale_removes_old_epochs_only(self):
+        clock = FakeClock()
+        cache = CoalescingCache(ttl=100.0, clock=clock)
+        for epoch in (0, 1, 2):
+            entry = cache.open(("sk", "d", epoch), "t", epoch=epoch)
+            cache.complete(entry, (epoch,))
+        other = cache.open(("other", "d", 0), "t", epoch=0)
+        cache.complete(other, ("kept",))
+        assert cache.drop_stale("sk", epoch=2) == 2
+        assert cache.lookup(("sk", "d", 2)) == ((2,), True)
+        assert cache.lookup(("other", "d", 0)) == (("kept",), True)
+
+    def test_expire_sweeps_only_past_ttl(self):
+        clock = FakeClock()
+        cache = CoalescingCache(ttl=1.0, clock=clock)
+        e1 = cache.open(("a", "d", 0), "t", epoch=0)
+        cache.complete(e1, (1,))
+        clock.advance(0.6)
+        e2 = cache.open(("b", "d", 0), "t", epoch=0)
+        cache.complete(e2, (2,))
+        clock.advance(0.6)  # first entry now 1.2s old, second 0.6s
+        assert cache.expire() == 1
+        assert cache.lookup(("b", "d", 0)) == ((2,), True)
+
+    def test_stats_counts_waiters(self):
+        cache = CoalescingCache(ttl=1.0, clock=FakeClock())
+        entry = cache.open(("a", "d", 0), "t", epoch=0)
+        cache.join(("a", "d", 0), "u")
+        assert cache.stats() == {"inflight": 1, "cached": 0, "waiters": 2}
+        cache.complete(entry, (0,))
+        assert cache.stats() == {"inflight": 0, "cached": 1, "waiters": 0}
+
+    def test_rejects_negative_ttl(self):
+        with pytest.raises(ValueError):
+            CoalescingCache(ttl=-1.0)

@@ -1,0 +1,274 @@
+"""Live gateway tests: sessions, fairness, coalescing, shedding, pollers.
+
+Each test runs against a real colocated tree with echo back-end
+daemons (see conftest).  Sum filters make results self-checking: an
+echo of value *v* summed over N back-ends must equal ``N * v``.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.filters import TFILTER_SUM
+from repro.gateway import Gateway, GatewayError, Overloaded, Query
+
+from .conftest import RECV_TIMEOUT, wait_until
+
+
+def sum_query(value, **kwargs):
+    return Query("%d", (value,), transform=TFILTER_SUM, **kwargs)
+
+
+class TestSubmitPollRecv:
+    def test_submit_result_roundtrip(self, served_net, gateway):
+        net, _ = served_net
+        session = gateway.session("tool")
+        ticket = session.submit(sum_query(3))
+        assert ticket.result(timeout=RECV_TIMEOUT) == (3 * len(net.backends),)
+        assert ticket.done()
+        assert ticket.exception() is None
+
+    def test_poll_is_nonblocking(self, served_net, gateway):
+        net, _ = served_net
+        session = gateway.session()
+        assert session.poll() is None
+        ticket = session.submit(sum_query(1))
+        done = wait_until(session.poll)
+        assert done is ticket
+        assert done.result(0) == (len(net.backends),)
+
+    def test_recv_blocks_until_completion(self, served_net, gateway):
+        net, _ = served_net
+        session = gateway.session()
+        session.submit(sum_query(2))
+        ticket = session.recv(timeout=RECV_TIMEOUT)
+        assert ticket.result(0) == (2 * len(net.backends),)
+
+    def test_recv_with_nothing_outstanding_times_out(self, gateway):
+        # Legitimate for poller subscribers: recv just waits for the
+        # next completion, whatever its source.
+        with pytest.raises(TimeoutError):
+            gateway.session().recv(timeout=0.1)
+
+    def test_closed_session_rejects_submit(self, gateway):
+        session = gateway.session()
+        session.close()
+        with pytest.raises(GatewayError, match="closed"):
+            session.submit(sum_query(1))
+
+    def test_many_sessions_independent_results(self, served_net, gateway):
+        net, _ = served_net
+        n = len(net.backends)
+        sessions = [gateway.session(f"s{i}") for i in range(20)]
+        tickets = [s.submit(sum_query(i + 1)) for i, s in enumerate(sessions)]
+        for i, ticket in enumerate(tickets):
+            assert ticket.result(timeout=RECV_TIMEOUT) == ((i + 1) * n,)
+
+
+class TestAsyncAPI:
+    def test_await_ticket(self, served_net, gateway):
+        net, _ = served_net
+
+        async def go():
+            ticket = gateway.session().submit(sum_query(4))
+            return await asyncio.wait_for(ticket.wait(), RECV_TIMEOUT)
+
+        assert asyncio.run(go()) == (4 * len(net.backends),)
+
+    def test_await_already_completed_ticket(self, served_net, gateway):
+        net, _ = served_net
+        ticket = gateway.session().submit(sum_query(5))
+        expect = ticket.result(timeout=RECV_TIMEOUT)
+
+        async def go():
+            return await ticket.wait()
+
+        assert asyncio.run(go()) == expect
+
+    def test_recv_async(self, served_net, gateway):
+        net, _ = served_net
+
+        async def go():
+            session = gateway.session()
+            session.submit(sum_query(6))
+            ticket = await asyncio.wait_for(session.recv_async(), RECV_TIMEOUT)
+            return ticket.result(0)
+
+        assert asyncio.run(go()) == (6 * len(net.backends),)
+
+
+class TestCoalescing:
+    def test_identical_queries_cost_one_wave(self, served_net, gateway):
+        net, _ = served_net
+        n = len(net.backends)
+        sessions = [gateway.session(f"dash{i}") for i in range(30)]
+        with gateway.paused():  # pre-queue so every submit pre-dates the wave
+            tickets = [s.submit(sum_query(7)) for s in sessions]
+        for ticket in tickets:
+            assert ticket.result(timeout=RECV_TIMEOUT) == (7 * n,)
+        stats = gateway.stats()
+        assert stats["waves"] == 1
+        assert stats["coalesced"] == len(sessions) - 1
+        assert sum(1 for t in tickets if t.coalesced) == len(sessions) - 1
+
+    def test_cache_hit_within_ttl_issues_no_wave(self, served_net, gateway):
+        net, _ = served_net
+        session = gateway.session()
+        first = session.submit(sum_query(8)).result(timeout=RECV_TIMEOUT)
+        again = session.submit(sum_query(8))
+        assert again.result(timeout=RECV_TIMEOUT) == first
+        assert again.coalesced
+        stats = gateway.stats()
+        assert stats["waves"] == 1 and stats["cache_hits"] == 1
+
+    def test_distinct_payloads_do_not_coalesce(self, served_net, gateway):
+        net, _ = served_net
+        session = gateway.session()
+        t1 = session.submit(sum_query(1))
+        t2 = session.submit(sum_query(2))
+        assert t1.result(timeout=RECV_TIMEOUT) == (len(net.backends),)
+        assert t2.result(timeout=RECV_TIMEOUT) == (2 * len(net.backends),)
+        assert gateway.stats()["waves"] == 2
+
+
+class TestFairness:
+    def test_round_robin_interleaves_sessions(self, served_net):
+        """A firehose session cannot starve a trickle session.
+
+        With one wave in flight at a time, round-robin must schedule
+        the trickle session's single query ahead of the firehose's
+        backlog — it completes before the firehose's LAST query even
+        though it was submitted after all of them.
+        """
+        net, _ = served_net
+        gw = Gateway(net, cache_ttl=0.0, max_inflight=1)
+        try:
+            firehose = gw.session("firehose")
+            trickle = gw.session("trickle")
+            with gw.paused():
+                flood = [firehose.submit(sum_query(100 + i)) for i in range(8)]
+                single = trickle.submit(sum_query(999))
+            single.result(timeout=RECV_TIMEOUT)
+            assert not flood[-1].done(), (
+                "trickle session waited behind the whole firehose backlog"
+            )
+            for ticket in flood:
+                ticket.result(timeout=RECV_TIMEOUT)
+        finally:
+            gw.close()
+
+
+class TestShedding:
+    def test_rate_limit_sheds_typed(self, served_net):
+        net, _ = served_net
+        gw = Gateway(net, rate=1.0, burst=2, cache_ttl=0.0)
+        try:
+            session = gw.session()
+            admitted, shed = [], []
+            with gw.paused():
+                for i in range(10):
+                    try:
+                        admitted.append(session.submit(sum_query(i + 1)))
+                    except Overloaded as exc:
+                        shed.append(exc)
+            assert len(admitted) == 2  # the burst
+            assert len(shed) == 8
+            assert all(e.reason == "rate" for e in shed)
+            assert all(e.retry_after > 0 for e in shed)
+            assert gw.stats()["shed_rate"] == 8
+            for ticket in admitted:
+                ticket.result(timeout=RECV_TIMEOUT)
+        finally:
+            gw.close()
+
+    def test_queue_bound_sheds_typed(self, served_net):
+        net, _ = served_net
+        gw = Gateway(net, max_pending=3, cache_ttl=0.0)
+        try:
+            session = gw.session()
+            with gw.paused():  # driver parked: leaders pile up unissued
+                for i in range(3):
+                    session.submit(sum_query(i + 1))
+                with pytest.raises(Overloaded) as err:
+                    session.submit(sum_query(99))
+            assert err.value.reason == "queue"
+            assert gw.stats()["shed_queue"] == 1
+            while session.outstanding:
+                session.recv(timeout=RECV_TIMEOUT)
+        finally:
+            gw.close()
+
+    def test_shed_does_not_leak_outstanding(self, served_net):
+        net, _ = served_net
+        gw = Gateway(net, max_pending=1, cache_ttl=0.0)
+        try:
+            session = gw.session()
+            with gw.paused():
+                session.submit(sum_query(1))
+                with pytest.raises(Overloaded):
+                    session.submit(sum_query(2))
+            session.recv(timeout=RECV_TIMEOUT)
+            assert session.outstanding == 0
+        finally:
+            gw.close()
+
+
+class TestPeriodicPoller:
+    def test_subscribers_share_one_wave_per_period(self, served_net, gateway):
+        net, _ = served_net
+        n = len(net.backends)
+        poller = gateway.periodic(sum_query(2), period=0.05)
+        subscribers = [gateway.session(f"sub{i}") for i in range(3)]
+        for s in subscribers:
+            poller.subscribe(s)
+        try:
+            tickets = [s.recv(timeout=RECV_TIMEOUT) for s in subscribers]
+        finally:
+            poller.stop()
+        assert all(
+            t.result(0) == (2 * n,) for t in tickets
+        )
+        stats = gateway.stats()
+        assert stats["poller_ticks"] >= 1
+        # Per period: 1 leader + 2 coalesced followers (cache hits can
+        # substitute when a tick lands inside the TTL window).
+        assert stats["coalesced"] + stats["cache_hits"] >= 2
+
+    def test_poller_keeps_firing_until_stopped(self, served_net, gateway):
+        poller = gateway.periodic(sum_query(3), period=0.03)
+        session = gateway.session()
+        poller.subscribe(session)
+        first = session.recv(timeout=RECV_TIMEOUT)
+        second = session.recv(timeout=RECV_TIMEOUT)
+        poller.stop()
+        assert first.result(0) == second.result(0)
+        ticks_at_stop = gateway.stats()["poller_ticks"]
+        assert ticks_at_stop >= 2
+        poller.unsubscribe(session)
+
+    def test_unsubscribed_poller_fires_nothing(self, gateway):
+        import time
+
+        poller = gateway.periodic(sum_query(1), period=0.01)
+        time.sleep(0.1)  # let a few ticks pass with no subscribers
+        poller.stop()
+        assert gateway.stats()["poller_ticks"] == 0
+
+
+class TestObservability:
+    def test_gateway_metrics_in_network_stats(self, served_net, gateway):
+        net, _ = served_net
+        session = gateway.session()
+        session.submit(sum_query(1)).result(timeout=RECV_TIMEOUT)
+        snapshot = net.stats()["front-end"]
+        assert snapshot["gateway_sessions"] == 1
+        assert snapshot["gateway_queries"] == 1
+        assert snapshot["gateway_waves"] == 1
+        assert snapshot['queries_shed{reason="rate"}'] == 0
+
+    def test_service_latency_histogram_observes(self, served_net, gateway):
+        gateway.session().submit(sum_query(1)).result(timeout=RECV_TIMEOUT)
+        hist = gateway._h_service
+        assert hist.count == 1
+        assert hist.sum > 0

@@ -1,6 +1,6 @@
-"""Documentation lint: intra-doc links and public-API docstrings.
+"""Documentation lint: links, public-API docstrings, and code fences.
 
-Two checks, both cheap enough for every CI run:
+Three checks, all cheap enough for every CI run:
 
 1. **Links** — every relative Markdown link in ``README.md`` and
    ``docs/*.md`` must resolve to a file in the repo, and a ``#anchor``
@@ -9,11 +9,17 @@ Two checks, both cheap enough for every CI run:
    External (``http(s)://``, ``mailto:``) links are not fetched.
 
 2. **Docstrings** — every public module, class, function and method in
-   the modules listed in ``DOCSTRING_MODULES`` (the observability
-   surface this repo documents in ``docs/observability.md`` and
-   ``docs/api.md``) must carry a docstring.  "Public" means the name
-   and every enclosing scope avoid a leading underscore; ``__init__``
-   is exempt when its class is documented.
+   the modules listed in ``DOCSTRING_MODULES`` (the observability and
+   serving surfaces this repo documents in ``docs/observability.md``,
+   ``docs/gateway.md`` and ``docs/api.md``) must carry a docstring.
+   "Public" means the name and every enclosing scope avoid a leading
+   underscore; ``__init__`` is exempt when its class is documented.
+
+3. **Python fences** — every fenced ```` ```python ```` block in the
+   tracked docs must ``compile()`` (syntax only; nothing is executed).
+   Prose snippets that elide bodies with ``...`` stay valid Python, so
+   this catches typos, bad indentation, and API drift pasted from old
+   revisions.
 
 Usage::
 
@@ -27,6 +33,7 @@ from __future__ import annotations
 import ast
 import re
 import sys
+import textwrap
 from pathlib import Path
 from typing import Iterator, List, Tuple
 
@@ -48,12 +55,20 @@ DOCSTRING_MODULES = [
     "src/repro/obs/snapshot.py",
     "src/repro/obs/tracing.py",
     "src/repro/core/network.py",
+    "src/repro/gateway/__init__.py",
+    "src/repro/gateway/admission.py",
+    "src/repro/gateway/coalesce.py",
+    "src/repro/gateway/gateway.py",
+    "src/repro/gateway/query.py",
+    "src/repro/gateway/responder.py",
+    "src/repro/gateway/session.py",
 ]
 
 # [text](target) — excludes images (![alt](...)) via the lookbehind.
 _LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
 _HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
 _CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+_PY_FENCE_RE = re.compile(r"^```python[^\n]*\n(.*?)^```", re.DOTALL | re.MULTILINE)
 
 
 def github_slug(heading: str) -> str:
@@ -143,16 +158,46 @@ def check_docstrings(repo: Path) -> List[str]:
     return problems
 
 
+def check_python_fences(repo: Path) -> List[str]:
+    """Syntax-error report lines for fenced ```python blocks.
+
+    Each block is compiled (never executed) with the doc file and the
+    fence's first line number as the filename, so a violation points
+    at the exact snippet.
+    """
+    problems: List[str] = []
+    for rel in DOC_FILES:
+        doc = repo / rel
+        if not doc.exists():
+            continue
+        text = doc.read_text()
+        for m in _PY_FENCE_RE.finditer(text):
+            line = text.count("\n", 0, m.start(1)) + 1
+            source = textwrap.dedent(m.group(1))
+            try:
+                compile(source, f"{rel}:{line}", "exec")
+            except SyntaxError as exc:
+                problems.append(
+                    f"{rel}:{line}: python fence does not compile "
+                    f"({exc.msg}, fence line {exc.lineno})"
+                )
+    return problems
+
+
 def main() -> int:
-    """Run both checks; print violations; exit non-zero on any."""
-    problems = check_links(REPO_ROOT) + check_docstrings(REPO_ROOT)
+    """Run all three checks; print violations; exit non-zero on any."""
+    problems = (
+        check_links(REPO_ROOT)
+        + check_docstrings(REPO_ROOT)
+        + check_python_fences(REPO_ROOT)
+    )
     for line in problems:
         print(line)
     if problems:
         print(f"FAIL: {len(problems)} documentation problem(s)", file=sys.stderr)
         return 1
-    print(f"OK: links + docstrings clean across {len(DOC_FILES)} docs, "
-          f"{len(DOCSTRING_MODULES)} modules")
+    print(f"OK: links + docstrings + python fences clean across "
+          f"{len(DOC_FILES)} docs, {len(DOCSTRING_MODULES)} modules")
     return 0
 
 
