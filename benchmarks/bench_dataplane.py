@@ -154,7 +154,7 @@ def bench_fanout(payload: bytes, n_packets: int, fanout: int, rounds: int) -> di
     }
 
 
-def _tree_wave_latency(io_mode: str, fanout: int, depth: int, burst: int, rounds: int):
+def _tree_wave_latency(fanout: int, depth: int, burst: int, rounds: int):
     """Best-of-N latency for one burst fan-in wave over a live TCP tree.
 
     Builds a ``balanced_tree(fanout, depth)`` network, opens a
@@ -169,7 +169,7 @@ def _tree_wave_latency(io_mode: str, fanout: int, depth: int, burst: int, rounds
     from repro.filters.registry import SFILTER_DONTWAIT
     from repro.topology import balanced_tree
 
-    net = Network(balanced_tree(fanout, depth), transport="tcp", io_mode=io_mode)
+    net = Network(balanced_tree(fanout, depth), transport="tcp")
     try:
         comm = net.get_broadcast_communicator()
         stream = net.new_stream(comm, transform=TFILTER_NULL, sync=SFILTER_DONTWAIT)
@@ -193,7 +193,7 @@ def _tree_wave_latency(io_mode: str, fanout: int, depth: int, burst: int, rounds
             start = time.perf_counter()
             one_wave()
             timings.append(time.perf_counter() - start)
-        fe = net.stats()["front-end"]
+        fe = net.stats()["0:front-end"]
         pkts_per_msg = fe["packets_in"] / max(fe["messages_in"], 1)
     finally:
         net.shutdown()
@@ -201,25 +201,22 @@ def _tree_wave_latency(io_mode: str, fanout: int, depth: int, burst: int, rounds
 
 
 def bench_tree(fanout: int, depth: int, burst: int, rounds: int) -> dict:
-    """End-to-end wave latency: selector event loop vs. thread-per-link.
+    """Absolute end-to-end wave latency over a live TCP tree.
 
-    The eventloop config exercises the full new I/O stack — one selector
-    thread per comm node, adaptive flush batching, vectored writes —
-    against the legacy ``io_mode="threads"`` baseline on an identical
-    tree and workload.
+    Exercises the full I/O stack — one selector loop per comm node,
+    adaptive flush batching, vectored writes.  Until the thread-per-link
+    driver was removed this scenario was a ratio against the legacy
+    ``io_mode="threads"`` baseline; it is now a latency record (no
+    ``speedup`` field, so check_regression.py skips it).
     """
-    t_event, ppm_event = _tree_wave_latency("eventloop", fanout, depth, burst, rounds)
-    t_threads, ppm_threads = _tree_wave_latency("threads", fanout, depth, burst, rounds)
+    t_event, ppm_event = _tree_wave_latency(fanout, depth, burst, rounds)
     return {
         "fanout": fanout,
         "depth": depth,
         "burst_per_backend": burst,
         "rounds": rounds,
-        "baseline_wave_ms": round(t_threads * 1e3, 2),
         "eventloop_wave_ms": round(t_event * 1e3, 2),
-        "baseline_fe_packets_per_message": round(ppm_threads, 2),
         "eventloop_fe_packets_per_message": round(ppm_event, 2),
-        "speedup": round(t_threads / t_event, 2),
     }
 
 
@@ -475,14 +472,7 @@ def main(argv=None) -> int:
         print("FAIL: relay-hop speedup below threshold", file=sys.stderr)
         return 1
     # The live-tree comparisons are noise-prone at smoke scale; enforce
-    # the acceptance bars only on full runs.  The tree_fanin floor is a
-    # sanity bar, not the regression guard: the eventloop-vs-threads
-    # ratio swings with host scheduling (1.2x–1.7x across machine
-    # states), so the committed-reference ratio check in
-    # check_regression.py is what actually gates drift.
-    if not args.smoke and results["tree_fanin"]["speedup"] < 1.2:
-        print("FAIL: tree wave-latency speedup below 1.2x", file=sys.stderr)
-        return 1
+    # the acceptance bars only on full runs.
     if not args.smoke and results["pipelined_reduction"]["speedup"] < 2.0:
         print(
             "FAIL: pipelined-reduction wave-latency speedup below 2x",

@@ -1,0 +1,288 @@
+"""Many-stream scaling: bulk creation, idle-tick flatness, multi-metric waves.
+
+Three scenarios for the PR-10 many-stream runtime (ROADMAP item 2 —
+"thousands of simultaneous communicators with per-group routing
+state"), all on the colocated 64-leaf depth-3 tree the paper's tool
+scenarios assume:
+
+1. **bulk_creation** — streams/s creating many streams over one
+   shared communicator.  Baseline: a ``Network.new_stream()`` loop
+   (one ``TAG_NEW_STREAM`` control wave per stream, one full
+   ``StreamManager`` per stream per node, eagerly).  New:
+   ``Network.new_streams()`` — ONE ``TAG_NEW_STREAMS`` control wave
+   announcing the whole batch against interned
+   :class:`~repro.core.routing.CommGroup` references; nodes register
+   O(1) lazy specs and materialize managers only on first data.
+   The gated ``speedup`` is the per-stream creation-rate ratio.
+
+2. **idle_tick** — event-loop tick cost as a function of *total*
+   stream count.  A standalone ``NodeCore`` carries N open (eager)
+   streams, none with pending timed waves; one tick is
+   ``poll_streams()`` + ``next_timeout_deadline()`` — exactly what
+   the EventLoop pays per iteration per core.  The gated
+   ``tick_ratio`` compares N=5000 against N=64: with the O(active)
+   active-set + deadline heap it must stay flat (idle streams cost
+   nothing), where the old per-tick linear scan grew ~78x.
+
+3. **multistream_wave** — per-wave latency with 16 concurrent metric
+   streams (the Figure-9 16-way shape recorded in
+   ``benchmarks/results/fig9_16metrics.txt``) vs a single-stream
+   baseline on the same tree.  Every back-end contributes one value
+   per stream per round; the gated ``speedup`` is single-stream
+   per-wave latency over 16-way per-stream per-wave latency — the
+   acceptance bar is "multi-stream no worse than single-stream",
+   i.e. speedup >= ~1.
+
+Writes ``BENCH_multistream.json`` (repo root by default); ``--smoke``
+runs a fast pass for CI (smaller batch, fewer rounds) gated by
+``check_regression.py --fresh-multistream``.
+
+Usage::
+
+   PYTHONPATH=src python benchmarks/bench_multistream.py [--smoke] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.commnode import NodeCore  # noqa: E402
+from repro.core.network import Network  # noqa: E402
+from repro.core.protocol import make_endpoint_report, make_new_stream  # noqa: E402
+from repro.filters.registry import (  # noqa: E402
+    SFILTER_WAITFORALL,
+    TFILTER_SUM,
+    default_registry,
+)
+from repro.topology.generators import balanced_tree  # noqa: E402
+from repro.transport.channel import Channel, Inbox  # noqa: E402
+
+
+# -- scenario 1: bulk + lazy stream creation --------------------------------
+
+
+def _all_nodes_know(net, stream_id) -> bool:
+    """True once every comm node has the stream (manager or lazy spec)."""
+    for node in net._commnodes:
+        core = node.core
+        if stream_id not in core.streams and stream_id not in core._stream_specs:
+            return False
+    return True
+
+
+def _settle_creation(net, last_stream_id, timeout=60.0) -> None:
+    deadline = time.monotonic() + timeout
+    while not _all_nodes_know(net, last_stream_id):
+        if time.monotonic() > deadline:
+            raise RuntimeError("stream creation did not settle")
+        net._pump(0.001)
+
+
+def bench_bulk_creation(fanout: int, depth: int, n_bulk: int, n_loop: int) -> dict:
+    """Streams/s: one new_streams() batch vs a new_stream() loop.
+
+    The loop baseline uses a smaller count (*n_loop*) because at 5k
+    streams it is painfully slow — rates are per-stream, so the ratio
+    is count-independent.  Both timings end only when every comm node
+    in the tree knows the last stream (creation is a control wave,
+    not a local bookkeeping trick).
+    """
+    net = Network(balanced_tree(fanout, depth), colocate=True)
+    try:
+        comm = net.get_broadcast_communicator()
+
+        t0 = time.monotonic()
+        for _ in range(n_loop):
+            stream = net.new_stream(comm, transform=TFILTER_SUM)
+        _settle_creation(net, stream.stream_id)
+        loop_s = time.monotonic() - t0
+
+        t0 = time.monotonic()
+        streams = net.new_streams(
+            [(comm, {"transform": TFILTER_SUM}) for _ in range(n_bulk)]
+        )
+        _settle_creation(net, streams[-1].stream_id)
+        bulk_s = time.monotonic() - t0
+
+        loop_rate = n_loop / loop_s
+        bulk_rate = n_bulk / bulk_s
+    finally:
+        net.shutdown()
+    return {
+        "fanout": fanout,
+        "depth": depth,
+        "backends": fanout**depth,
+        "bulk_streams": n_bulk,
+        "loop_streams": n_loop,
+        "bulk_s": round(bulk_s, 4),
+        "loop_s": round(loop_s, 4),
+        "bulk_streams_per_s": round(bulk_rate),
+        "loop_streams_per_s": round(loop_rate),
+        "speedup": round(bulk_rate / loop_rate, 2),
+    }
+
+
+# -- scenario 2: idle-tick flatness -----------------------------------------
+
+
+def _idle_core(n_streams: int) -> NodeCore:
+    """A standalone NodeCore carrying *n_streams* open idle streams."""
+    registry = default_registry()
+    node_inbox = Inbox()
+    parent_inbox = Inbox()
+    parent = Channel(parent_inbox, node_inbox).end_b
+    core = NodeCore("bench-node", registry, 4, parent=parent, inbox=node_inbox)
+    links = []
+    for _ in range(2):
+        child = Channel(node_inbox, Inbox())
+        core.add_child(child.end_a)
+        links.append(child.link_id)
+    core.dispatch(links[0], make_endpoint_report([0, 1]))
+    core.dispatch(links[1], make_endpoint_report([2, 3]))
+    for sid in range(1, n_streams + 1):
+        core.handle_control_down(
+            make_new_stream(sid, [0, 1, 2, 3], SFILTER_WAITFORALL, TFILTER_SUM)
+        )
+    core.flush()
+    assert len(core.streams) == n_streams
+    return core
+
+
+def _time_ticks(core: NodeCore, rounds: int) -> float:
+    """Mean seconds per (poll_streams + next_timeout_deadline) tick."""
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        core.poll_streams()
+        core.next_timeout_deadline()
+    return (time.perf_counter() - t0) / rounds
+
+
+def bench_idle_tick(n_small: int, n_large: int, rounds: int) -> dict:
+    small = _time_ticks(_idle_core(n_small), rounds)
+    large = _time_ticks(_idle_core(n_large), rounds)
+    return {
+        "streams_small": n_small,
+        "streams_large": n_large,
+        "rounds": rounds,
+        "tick_small_us": round(small * 1e6, 3),
+        "tick_large_us": round(large * 1e6, 3),
+        # O(active): with every stream idle, the 5000-stream tick must
+        # cost the same as the 64-stream tick (the old linear scan
+        # scaled this ratio with the stream count).
+        "tick_ratio": round(large / small, 2) if small > 0 else 0.0,
+    }
+
+
+# -- scenario 3: 16-metric wave latency (Figure 9 shapes) -------------------
+
+
+def _drive_waves(net, streams, rounds: int) -> float:
+    """Seconds/wave/stream: every back-end sends 1 value on every
+    stream, front-end receives every reduced wave, *rounds* times."""
+    backends = [net.backends[r] for r in sorted(net.backends)]
+    # Make sure every back-end knows every stream before timing.
+    deadline = time.monotonic() + 30
+    want = {s.stream_id for s in streams}
+    while True:
+        for be in backends:
+            while be.poll():
+                pass
+        if all(want <= set(be.stream_ids) for be in backends):
+            break
+        if time.monotonic() > deadline:
+            raise RuntimeError("streams never reached the back-ends")
+        net._pump(0.001)
+    t0 = time.monotonic()
+    for _ in range(rounds):
+        for be in backends:
+            for stream in streams:
+                be.get_stream(stream.stream_id).send("%d", 1)
+            be.flush()
+        for stream in streams:
+            values = stream.recv_values(timeout=60)
+            assert values == (len(backends),), "wave corrupted"
+    elapsed = time.monotonic() - t0
+    return elapsed / (rounds * len(streams))
+
+
+def bench_multistream_wave(
+    fanout: int, depth: int, n_streams: int, rounds: int
+) -> dict:
+    net = Network(balanced_tree(fanout, depth), colocate=True)
+    try:
+        comm = net.get_broadcast_communicator()
+        single = net.new_streams([(comm, {"transform": TFILTER_SUM})])
+        single_s = _drive_waves(net, single, rounds)
+        multi = net.new_streams(
+            [(comm, {"transform": TFILTER_SUM}) for _ in range(n_streams)]
+        )
+        multi_s = _drive_waves(net, multi, rounds)
+    finally:
+        net.shutdown()
+    return {
+        "fanout": fanout,
+        "depth": depth,
+        "backends": fanout**depth,
+        "metric_streams": n_streams,
+        "rounds": rounds,
+        "single_wave_ms": round(single_s * 1e3, 4),
+        "multi_wave_per_stream_ms": round(multi_s * 1e3, 4),
+        # >= 1 means 16 concurrent metric streams cost no more per
+        # wave than one stream (the Figure 9 acceptance bar).
+        "speedup": round(single_s / multi_s, 2),
+    }
+
+
+# -- driver -----------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true")
+    parser.add_argument(
+        "--out", type=Path, default=REPO_ROOT / "BENCH_multistream.json"
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        creation = bench_bulk_creation(fanout=4, depth=3, n_bulk=500, n_loop=60)
+        tick = bench_idle_tick(n_small=64, n_large=5000, rounds=2000)
+        wave = bench_multistream_wave(fanout=4, depth=3, n_streams=16, rounds=3)
+    else:
+        creation = bench_bulk_creation(fanout=4, depth=3, n_bulk=5000, n_loop=250)
+        tick = bench_idle_tick(n_small=64, n_large=5000, rounds=10000)
+        wave = bench_multistream_wave(fanout=4, depth=3, n_streams=16, rounds=10)
+
+    doc = {
+        "benchmark": "bench_multistream",
+        "description": (
+            "Many-stream scaling on the colocated 64-leaf tree: bulk "
+            "(one-wave, lazy) stream creation vs the new_stream loop, "
+            "O(active) idle-tick flatness at 5000 streams, and 16-way "
+            "Figure-9 metric-wave latency vs a single stream"
+        ),
+        "mode": "smoke" if args.smoke else "full",
+        "python": platform.python_version(),
+        "results": {
+            "bulk_creation": creation,
+            "idle_tick": tick,
+            "multistream_wave": wave,
+        },
+    }
+    args.out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(json.dumps(doc["results"], indent=2))
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,8 +1,9 @@
 """Compare a fresh bench_dataplane run against the committed baseline.
 
 CI guard for the data-plane fast paths: fails (exit 1) if the
-``relay_hop`` or ``tree_fanin`` *speedup ratio* of a fresh run drops
-more than 30% below the committed ``BENCH_dataplane.json`` reference.
+``relay_hop`` or ``pipelined_reduction`` *speedup ratio* of a fresh
+run drops more than 30% below the committed ``BENCH_dataplane.json``
+reference.
 Ratios (new/baseline on the same machine, same run) are compared
 rather than absolute throughput so the check is portable across CI
 hardware.
@@ -14,6 +15,15 @@ tree, so their ratios are not comparable to full-mode ones).
 With ``--fresh-startup`` the same ratio gate also covers the
 bench_startup.py scenarios (recursive-instantiation speedup and
 shm-vs-loopback link throughput) against ``BENCH_startup.json``.
+
+With ``--fresh-multistream`` the many-stream scaling gates run
+against a fresh ``bench_multistream.py`` output (falling back to the
+committed ``BENCH_multistream.json``): bulk ``new_streams()``
+creation must beat the per-stream ``new_stream()`` loop by the floor
+ratio (10x full, 5x smoke), the idle event-loop tick must stay flat
+between 64 and 5000 open streams (the O(active) structural bar), and
+16 concurrent metric streams must cost no more per wave per stream
+than a single stream.  All three are absolute structural bars.
 
 With ``--fresh-gateway`` the gateway serving gates run against a
 fresh ``bench_gateway.py`` output (falling back to the committed
@@ -43,7 +53,6 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 
 GUARDED_SCENARIOS = (
     "relay_hop",
-    "tree_fanin",
     "pipelined_reduction",
     "allreduce_tree",
 )
@@ -180,6 +189,57 @@ def check_checkpoint_overhead(fresh: dict, committed: dict) -> bool:
     return ratio >= ceiling
 
 
+def check_multistream(doc: dict) -> bool:
+    """Enforce the many-stream scaling bars on a bench_multistream.py
+    output.
+
+    Three absolute gates (structural properties of the runtime, so no
+    committed-ratio dance): bulk creation >= 10x the new_stream loop
+    (5x in smoke mode, whose small batch amortizes the constant wave
+    cost over fewer streams); the 5000-stream idle tick within 3x of
+    the 64-stream tick (both are sub-microsecond heap peeks — the old
+    linear scan sat at ~78x); and 16-way wave latency per stream no
+    worse than 1.25x single-stream.  Returns True when a gate fails.
+    """
+    results = doc.get("results", {})
+    smoke = doc.get("mode") == "smoke"
+    failed = False
+
+    creation = results.get("bulk_creation")
+    if creation is not None:
+        floor = 5.0 if smoke else 10.0
+        got = creation["speedup"]
+        status = "ok" if got >= floor else "REGRESSED"
+        print(
+            f"{'bulk_creation':<20} {'':>10} {got:>9.2f}x "
+            f"{floor:>9.2f}x  {status}"
+        )
+        failed |= got < floor
+
+    tick = results.get("idle_tick")
+    if tick is not None:
+        ceiling = 3.0
+        ratio = tick["tick_ratio"]
+        status = "ok" if ratio <= ceiling else "REGRESSED"
+        print(
+            f"{'idle_tick_flatness':<20} {'':>10} {ratio:>9.2f}x "
+            f"{ceiling:>9.2f}x  {status}"
+        )
+        failed |= ratio > ceiling
+
+    wave = results.get("multistream_wave")
+    if wave is not None:
+        floor = 0.8  # speedup >= 0.8 <=> per-stream cost <= 1.25x single
+        got = wave["speedup"]
+        status = "ok" if got >= floor else "REGRESSED"
+        print(
+            f"{'multistream_wave':<20} {'':>10} {got:>9.2f}x "
+            f"{floor:>9.2f}x  {status}"
+        )
+        failed |= got < floor
+    return failed
+
+
 def check_gateway(doc: dict) -> bool:
     """Enforce the gateway serving bars on a bench_gateway.py output.
 
@@ -290,6 +350,17 @@ def main(argv=None) -> int:
         default=REPO_ROOT / "BENCH_gateway.json",
     )
     parser.add_argument(
+        "--fresh-multistream",
+        type=Path,
+        default=None,
+        help="fresh bench_multistream.py output to gate (omit to skip)",
+    )
+    parser.add_argument(
+        "--committed-multistream",
+        type=Path,
+        default=REPO_ROOT / "BENCH_multistream.json",
+    )
+    parser.add_argument(
         "--tolerance",
         type=float,
         default=0.3,
@@ -323,6 +394,15 @@ def main(argv=None) -> int:
         failed |= check_gateway(json.loads(args.fresh_gateway.read_text()))
     elif args.committed_gateway.exists():
         failed |= check_gateway(json.loads(args.committed_gateway.read_text()))
+
+    if args.fresh_multistream is not None:
+        failed |= check_multistream(
+            json.loads(args.fresh_multistream.read_text())
+        )
+    elif args.committed_multistream.exists():
+        failed |= check_multistream(
+            json.loads(args.committed_multistream.read_text())
+        )
 
     if check_heartbeat_overhead(fresh, committed, args.hb_ceiling):
         print("FAIL: heartbeat overhead exceeds ceiling", file=sys.stderr)

@@ -45,7 +45,7 @@ def drive(net, transform, sync):
         outputs.append(DataSample.from_packet(packet))
         if transform != TFILTER_NULL and len(outputs) == ROUNDS - 1:
             break  # the final interval may wait for stream teardown
-    fe_packets = net.stats()["front-end"]["packets_up"]
+    fe_packets = net.stats()["0:front-end"]["packets_up"]
     return fe_packets, outputs
 
 

@@ -30,6 +30,7 @@ from .protocol import (
     TAG_CHUNK,
     TAG_CLOSE_STREAM,
     TAG_NEW_STREAM,
+    TAG_NEW_STREAMS,
     TAG_RANKS_CHANGED,
     TAG_SHUTDOWN,
     TAG_WAVE_ACK,
@@ -38,6 +39,7 @@ from .protocol import (
     make_join,
     make_leave,
     parse_new_stream,
+    parse_new_streams,
     parse_ranks_changed,
     parse_wave_ack,
     parse_wave_nack,
@@ -334,6 +336,20 @@ class BackEnd:
                 else:
                     # Handle synthesised by racing data: adopt the knob.
                     stream.chunk_bytes = chunk_bytes
+        elif packet.tag == TAG_NEW_STREAMS:
+            # Bulk announcement: register a handle for every spec whose
+            # (deduplicated) endpoint group contains this rank.
+            groups, specs = parse_new_streams(packet)
+            for stream_id, gidx, _sync, _trans, _timeout, _down, chunk_bytes, _pattern in specs:
+                if self.rank not in groups[gidx]:
+                    continue
+                stream = self._streams.get(stream_id)
+                if stream is None:
+                    self._streams[stream_id] = BackEndStream(
+                        self, stream_id, chunk_bytes=chunk_bytes or 0
+                    )
+                else:
+                    stream.chunk_bytes = chunk_bytes or 0
         elif packet.tag == TAG_CLOSE_STREAM:
             (stream_id,) = packet.unpack()
             stream = self._streams.pop(stream_id, None)

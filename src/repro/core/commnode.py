@@ -23,15 +23,25 @@ without ever decoding or re-validating field values.  The
 ``packets_relayed_zero_copy`` stat counts packets that left this node
 on that fast path.
 
-:class:`CommNode` wraps a :class:`NodeCore` in a daemon thread.  By
-default (``io_mode="eventloop"``) that thread runs one
-:class:`~repro.transport.eventloop.EventLoop`: a ``selectors`` loop
-multiplexing every socket the node owns plus a wakeup for in-process
-channel deliveries — one I/O thread per node, however many links.
-``io_mode="threads"`` keeps the original inbox-polling loop (each TCP
-link then needs its own reader thread).  The tool front-end reuses
+:class:`CommNode` wraps a :class:`NodeCore` in a daemon thread running
+one :class:`~repro.transport.eventloop.EventLoop`: a ``selectors``
+loop multiplexing every socket the node owns plus a wakeup for
+in-process channel deliveries — one I/O thread per node, however many
+links.  (The legacy ``io_mode="threads"`` inbox-polling driver, which
+needed a reader thread per TCP link, was deprecated when the event
+loop landed and has been removed.)  The tool front-end reuses
 :class:`NodeCore` directly (see :mod:`repro.core.network`) and pumps
 it from API calls instead of a thread.
+
+Many-stream scaling: stream announcements arriving in a batched
+``TAG_NEW_STREAMS`` packet are registered as lightweight *specs* and
+materialized into full :class:`StreamManager` state only on a
+stream's first data packet, and the per-tick work
+(:meth:`NodeCore.poll_streams` / :meth:`NodeCore.next_timeout_deadline`)
+is O(active): only streams whose TimeOut filter currently holds an
+armed deadline are tracked (an active-set plus a lazy-deletion
+deadline heap), so thousands of idle streams cost a node nothing per
+tick.
 
 Output buffering is adaptive (§2.3's "fewer larger messages over busy
 connections"): ``flush()`` force-drains every buffer, while
@@ -48,15 +58,14 @@ so waiting streams release instead of hanging.
 
 from __future__ import annotations
 
+import heapq
 import json
 import logging
-import queue
 import random
 import threading
 import time
-import warnings
 import zlib
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from ..filters.registry import FilterRegistry
 from .batching import (
@@ -84,6 +93,7 @@ from .protocol import (
     TAG_JOIN,
     TAG_LEAVE,
     TAG_NEW_STREAM,
+    TAG_NEW_STREAMS,
     TAG_RANKS_CHANGED,
     TAG_SHUTDOWN,
     TAG_STATS_REPLY,
@@ -102,6 +112,7 @@ from .protocol import (
     parse_join,
     parse_leave,
     parse_new_stream,
+    parse_new_streams,
     parse_stats_request,
     parse_wave_ack,
     parse_wave_nack,
@@ -160,6 +171,23 @@ class NodeCore:
         self.children: Dict[int, ChannelEnd] = {}
         self.routing = RoutingTable()
         self.streams: Dict[int, StreamManager] = {}
+        # Bulk-announced streams not yet materialized (TAG_NEW_STREAMS):
+        # stream id -> spec dict (endpoint frozenset + filter ids +
+        # chunk/pattern parameters).  The endpoint set is SHARED with
+        # the interned CommGroup and rebound copy-on-write by
+        # join/leave/link-death, so 5000 specs over one communicator
+        # hold a single rank set; routing is recomputed from the epoch
+        # cache at materialization time, so a pending spec never goes
+        # stale.
+        self._stream_specs: Dict[int, dict] = {}
+        # O(active) tick state: only streams whose TimeOut filter holds
+        # an armed deadline appear here.  ``_armed_deadlines`` records
+        # the deadline each heap entry was pushed for — mismatched heap
+        # heads are stale and lazily discarded.
+        self._active_streams: Dict[int, StreamManager] = {}
+        self._armed_deadlines: Dict[int, float] = {}
+        self._deadline_heap: List[Tuple[float, int]] = []
+        self._timed_stream_count = 0
         self.reported_ranks: set[int] = set()
         self.sent_report = False
         self.shutting_down = False
@@ -244,7 +272,7 @@ class NodeCore:
             "Packets per flushed outbound message (adaptive batching)",
             buckets=DEFAULT_SIZE_BUCKETS,
         )
-        self.metrics.gauge("streams_open", "Streams with live state at this node", fn=lambda: len(self.streams))
+        self.metrics.gauge("streams_open", "Streams with live state at this node", fn=lambda: len(self.streams) + len(self._stream_specs))
         self.metrics.gauge("children_connected", "Downstream links currently attached", fn=lambda: len(self.children))
         # Per-transport link census: every ChannelEnd-like object
         # advertises a ``transport_kind`` class attribute ("channel",
@@ -451,11 +479,17 @@ class NodeCore:
                 self.dispatch(link_id, packet)
         else:
             streams = self.streams
+            specs = self._stream_specs
             pbuf = self._parent_buffer
             up = 0
             for packet in packets:
                 sid = packet.stream_id
-                if sid == CONTROL_STREAM_ID or pbuf is None or sid in streams:
+                if (
+                    sid == CONTROL_STREAM_ID
+                    or pbuf is None
+                    or sid in streams
+                    or (specs and sid in specs)
+                ):
                     n += 1
                     self.dispatch(link_id, packet)
                 else:
@@ -526,6 +560,8 @@ class NodeCore:
                 if gained and link_id not in manager.child_links:
                     manager.add_link(link_id)
                     self._seed_from_checkpoints(manager, link_id, gained)
+                    if manager.sync_timed:
+                        self._note_stream_activity(manager)
                     self._c_waves_reconfigured.value += 1
                     if self.recovery is not None:
                         self.recovery.bump("waves_reconfigured")
@@ -596,11 +632,19 @@ class NodeCore:
         for sid in stream_ids:
             manager = self.streams.get(sid)
             if manager is None:
+                # A pending bulk spec joins without materializing: the
+                # endpoint set travels with the spec, routes recompute
+                # at materialization.
+                spec = self._stream_specs.get(sid)
+                if spec is not None:
+                    spec["endpoints"] = spec["endpoints"] | {rank}
                 continue
             manager.add_endpoints([rank])
             if link_id not in manager.child_links:
                 manager.add_link(link_id)
                 self._c_waves_reconfigured.value += 1
+            if manager.sync_timed:
+                self._note_stream_activity(manager)
             self._emit_ranks_changed(
                 sid, manager.membership_epoch, gained=[rank]
             )
@@ -639,9 +683,23 @@ class NodeCore:
             if retire_link and link_id in manager.child_links:
                 manager.retire_link(link_id)
                 self._c_waves_reconfigured.value += 1
+            if manager.sync_timed:
+                self._note_stream_activity(manager)
             self._emit_ranks_changed(
                 manager.stream_id, manager.membership_epoch, lost=[rank]
             )
+        if self._stream_specs:
+            # Copy-on-write, preserving sharing: specs that pointed at
+            # the same rank set keep pointing at one (shrunk) set.
+            shrunk: Dict[FrozenSet[int], FrozenSet[int]] = {}
+            for spec in self._stream_specs.values():
+                eps = spec["endpoints"]
+                if rank not in eps:
+                    continue
+                new = shrunk.get(eps)
+                if new is None:
+                    new = shrunk[eps] = eps - {rank}
+                spec["endpoints"] = new
         self.routing.remove_rank(rank)
 
     def _seed_from_checkpoints(self, manager, link_id: int, ranks) -> None:
@@ -676,32 +734,74 @@ class NodeCore:
                 wave_pattern,
             ) = parse_new_stream(packet)
             links = self.routing.links_for(frozenset(endpoints))
-            manager = self.streams[stream_id] = StreamManager.create(
+            self._install_stream(
+                StreamManager.create(
+                    stream_id,
+                    endpoints,
+                    links,
+                    self.registry,
+                    sync_id,
+                    trans_id,
+                    sync_timeout=timeout,
+                    down_transform_filter_id=down_id,
+                    clock=self.clock,
+                    owner=self,
+                    chunk_bytes=chunk_bytes,
+                    wave_pattern=wave_pattern,
+                )
+            )
+            for link in links:
+                self._queue_down(link, packet)
+        elif packet.tag == TAG_NEW_STREAMS:
+            # Batched announcement: register every stream as a lazy
+            # spec (materialized on first data packet) and forward the
+            # whole packet once down every link any announced group
+            # routes through — one control wave for N streams.
+            groups, specs = parse_new_streams(packet)
+            interned = []
+            fanout: set = set()
+            for ranks in groups:
+                grp = self.routing.group(frozenset(ranks))
+                interned.append(grp)
+                fanout.update(self.routing.links_for_group(grp))
+            for (
                 stream_id,
-                endpoints,
-                links,
-                self.registry,
+                gidx,
                 sync_id,
                 trans_id,
-                sync_timeout=timeout,
-                down_transform_filter_id=down_id,
-                clock=self.clock,
-                owner=self,
-                chunk_bytes=chunk_bytes,
-                wave_pattern=wave_pattern,
-            )
-            manager.ack_hook = self._send_wave_ack
-            manager.nack_hook = self._send_wave_nack
-            for link in links:
+                timeout,
+                down_id,
+                chunk_bytes,
+                wave_pattern,
+            ) in specs:
+                self._stream_specs[stream_id] = {
+                    # Shared with the interned CommGroup (frozenset):
+                    # 5000 specs over one communicator hold ONE rank
+                    # set.  Membership churn rebinds copy-on-write.
+                    "endpoints": interned[gidx].endpoints,
+                    "sync": sync_id,
+                    "trans": trans_id,
+                    "timeout": timeout,
+                    "down": down_id,
+                    "chunk": chunk_bytes,
+                    "pattern": wave_pattern,
+                }
+            for link in fanout:
                 self._queue_down(link, packet)
         elif packet.tag == TAG_CLOSE_STREAM:
             (stream_id,) = packet.unpack()
-            manager = self.streams.pop(stream_id, None)
+            spec = self._stream_specs.pop(stream_id, None)
+            manager = self._discard_stream(stream_id)
             if manager is not None:
                 for out in manager.flush_upstream():
                     self._queue_up(out)
                 manager.close()
                 for link in manager.child_links:
+                    self._queue_down(link, packet)
+            elif spec is not None:
+                # Never materialized here: close the announcement along
+                # the group's current routes.
+                for link in self.routing.links_for(frozenset(spec["endpoints"])):
                     self._queue_down(link, packet)
         elif packet.tag == TAG_SHUTDOWN:
             self.shutting_down = True
@@ -745,17 +845,103 @@ class NodeCore:
             for link in list(self.children):
                 self._queue_down(link, packet)
 
+    # -- stream bookkeeping (lazy materialization + O(active) ticks) -------
+
+    def _install_stream(self, manager: StreamManager) -> StreamManager:
+        """Register a live stream manager (eager or just materialized)."""
+        self.streams[manager.stream_id] = manager
+        manager.ack_hook = self._send_wave_ack
+        manager.nack_hook = self._send_wave_nack
+        if manager.sync_timed:
+            self._timed_stream_count += 1
+        return manager
+
+    def _discard_stream(self, stream_id: int) -> Optional[StreamManager]:
+        """Forget a stream's live state (close path); returns the manager."""
+        manager = self.streams.pop(stream_id, None)
+        if manager is not None and manager.sync_timed:
+            self._timed_stream_count -= 1
+        self._active_streams.pop(stream_id, None)
+        self._armed_deadlines.pop(stream_id, None)
+        return manager
+
+    def _materialize_stream(self, stream_id: int) -> Optional[StreamManager]:
+        """Instantiate a bulk-announced stream's state on first use.
+
+        Routes come from the interned group's epoch cache, so a spec
+        announced before repair/join/leave still materializes against
+        the *current* topology.
+        """
+        spec = self._stream_specs.pop(stream_id, None)
+        if spec is None:
+            return None
+        endpoints = frozenset(spec["endpoints"])
+        links = self.routing.links_for(endpoints)
+        return self._install_stream(
+            StreamManager.create(
+                stream_id,
+                sorted(endpoints),
+                links,
+                self.registry,
+                spec["sync"],
+                spec["trans"],
+                sync_timeout=spec["timeout"],
+                down_transform_filter_id=spec["down"],
+                clock=self.clock,
+                owner=self,
+                chunk_bytes=spec["chunk"],
+                wave_pattern=spec["pattern"],
+            )
+        )
+
+    def stream_state(self, stream_id: int) -> Optional[StreamManager]:
+        """The stream's manager, materializing a lazy announcement.
+
+        Use instead of ``streams.get`` when the caller needs live
+        state for a stream that may still be a pending bulk spec
+        (wave hooks, membership epochs).
+        """
+        manager = self.streams.get(stream_id)
+        if manager is None and self._stream_specs:
+            manager = self._materialize_stream(stream_id)
+        return manager
+
+    def _note_stream_activity(self, manager: StreamManager) -> None:
+        """Track a TimeOut stream's armed deadline (O(active) ticks).
+
+        Call after any operation that may arm, move, or clear the
+        stream's synchronization deadline.  Disarms that slip through
+        (a wave released elsewhere) self-heal: the stale heap entry
+        triggers at most one spurious wakeup whose ``poll_streams``
+        re-evaluates the stream and clears it.
+        """
+        sid = manager.stream_id
+        deadline = manager.next_deadline()
+        if deadline is None:
+            if sid in self._active_streams:
+                del self._active_streams[sid]
+                self._armed_deadlines.pop(sid, None)
+            return
+        self._active_streams[sid] = manager
+        if self._armed_deadlines.get(sid) != deadline:
+            self._armed_deadlines[sid] = deadline
+            heapq.heappush(self._deadline_heap, (deadline, sid))
+
     # -- data ------------------------------------------------------------
 
     def _handle_data_up(self, link_id: int, packet: Packet) -> None:
         self._c_packets_up.value += 1
         manager = self.streams.get(packet.stream_id)
         if manager is None:
-            # Stream unknown here (e.g. point-to-point pass-through):
-            # forward unchanged, preserving MRNet's negligible-overhead
-            # relay behaviour (§4.2.1).
-            self._queue_up(packet)
-            return
+            if self._stream_specs:
+                # First data packet of a bulk-announced stream.
+                manager = self._materialize_stream(packet.stream_id)
+            if manager is None:
+                # Stream unknown here (e.g. point-to-point pass-through):
+                # forward unchanged, preserving MRNet's negligible-overhead
+                # relay behaviour (§4.2.1).
+                self._queue_up(packet)
+                return
         if manager.passthrough:
             # DONTWAIT + null transform: the wave machinery is an
             # identity function, so relay directly (§4.2.1).
@@ -767,15 +953,20 @@ class NodeCore:
             self._c_waves_aggregated.value += 1
         for out in outputs:
             self._queue_up(out)
+        if manager.sync_timed:
+            self._note_stream_activity(manager)
 
     def _handle_data_down(self, packet: Packet) -> None:
         self._c_packets_down.value += 1
         manager = self.streams.get(packet.stream_id)
         if manager is None:
-            # No stream state: flood to all children.
-            for link in list(self.children):
-                self._queue_down(link, packet)
-            return
+            if self._stream_specs:
+                manager = self._materialize_stream(packet.stream_id)
+            if manager is None:
+                # No stream state: flood to all children.
+                for link in list(self.children):
+                    self._queue_down(link, packet)
+                return
         for out in manager.transform_downstream(packet):
             links = manager.child_links
             if (
@@ -792,10 +983,21 @@ class NodeCore:
                 self._queue_down(link, out)
 
     def poll_streams(self) -> None:
-        """Drive time-based synchronization criteria (TimeOut filters)."""
-        for manager in list(self.streams.values()):
+        """Drive time-based synchronization criteria (TimeOut filters).
+
+        O(active): only streams with an armed deadline are visited —
+        idle streams, however many thousands exist, cost nothing per
+        tick.  (Only TimeOut filters ever release output from a poll;
+        WaitForAll/DontWait streams release on push alone.)
+        """
+        active = self._active_streams
+        if not active:
+            return
+        for sid in list(active):
+            manager = active[sid]
             for out in manager.poll_upstream():
                 self._queue_up(out)
+            self._note_stream_activity(manager)
 
     def _handle_link_closed(self, link_id: int) -> None:
         self._note_urgent()
@@ -835,6 +1037,8 @@ class NodeCore:
                 self._c_waves_reconfigured.value += 1
                 if self.recovery is not None and not announced:
                     self.recovery.bump("waves_reconfigured")
+                if manager.sync_timed:
+                    self._note_stream_activity(manager)
                 gone = manager.endpoints & frozenset(lost)
                 if gone:
                     self._emit_ranks_changed(
@@ -842,6 +1046,17 @@ class NodeCore:
                         manager.membership_epoch,
                         lost=sorted(gone),
                     )
+        if lost:
+            # Copy-on-write with sharing preserved, as in _handle_leave.
+            shrunk: Dict[FrozenSet[int], FrozenSet[int]] = {}
+            for spec in self._stream_specs.values():
+                eps = spec["endpoints"]
+                if not (eps & lost):
+                    continue
+                new = shrunk.get(eps)
+                if new is None:
+                    new = shrunk[eps] = eps - lost
+                spec["endpoints"] = new
 
     def _repair_parent(self) -> bool:
         """Replace a dead parent link via the recovery coordinator.
@@ -1250,8 +1465,12 @@ class NodeCore:
 
     @property
     def has_timeout_streams(self) -> bool:
-        """True when any stream needs time-based polling."""
-        return any(m.sync.name == "sync-timeout" for m in self.streams.values())
+        """True when any live stream needs time-based polling.
+
+        Maintained as a counter at stream install/discard — O(1), not
+        a scan over every manager.
+        """
+        return self._timed_stream_count > 0
 
     def next_timeout_deadline(self) -> Optional[float]:
         """Earliest clock time a TimeOut stream could release a wave.
@@ -1259,23 +1478,29 @@ class NodeCore:
         ``None`` when no stream holds a timed wave — the caller may
         then block indefinitely on I/O.  This is what replaced the old
         2 ms ``TIMEOUT_POLL`` spin: loops sleep until this instant.
+
+        Served from a lazy-deletion heap: superseded entries (whose
+        recorded deadline no longer matches the stream's armed one)
+        are popped on encounter, so the amortized cost is O(log
+        active) instead of a scan over every open stream.
         """
-        deadline = None
-        for manager in self.streams.values():
-            d = manager.next_deadline()
-            if d is not None and (deadline is None or d < deadline):
-                deadline = d
-        return deadline
+        heap = self._deadline_heap
+        armed = self._armed_deadlines
+        while heap:
+            deadline, sid = heap[0]
+            if armed.get(sid) != deadline:
+                heapq.heappop(heap)  # stale: disarmed or re-armed later
+                continue
+            return deadline
+        return None
 
     def next_wakeup_deadline(self) -> Optional[float]:
         """Earliest clock time *any* timed concern needs this core.
 
-        The single source of liveness semantics for every driver —
-        the selector loop, the legacy inbox loop and the recursive
-        threads runner all sleep until exactly this instant (TimeOut
-        streams and heartbeat emission/deadlines), so the io modes
-        cannot silently diverge on when a silent peer is declared
-        dead.
+        The single source of liveness semantics for every driver:
+        loops sleep until exactly this instant (TimeOut streams and
+        heartbeat emission/deadlines), so drivers cannot silently
+        diverge on when a silent peer is declared dead.
         """
         deadline = self.next_timeout_deadline()
         hb = self.next_heartbeat_deadline()
@@ -1287,18 +1512,16 @@ class NodeCore:
 class CommNode(threading.Thread):
     """An internal process: a :class:`NodeCore` driven by its own thread.
 
-    ``io_mode`` selects the driver:
-
-    * ``"eventloop"`` (default) — one selector-based
-      :class:`~repro.transport.eventloop.EventLoop` owns every socket
-      handed over via ``parent_socket``/:meth:`add_child_socket` plus
-      the in-process inbox; the node runs with exactly one I/O thread.
-    * ``"threads"`` — the legacy inbox-polling loop; TCP links must
-      then be :class:`~repro.transport.tcp.TcpChannelEnd` objects,
-      each with its own reader thread.
+    The driver is one selector-based
+    :class:`~repro.transport.eventloop.EventLoop` owning every socket
+    handed over via ``parent_socket``/:meth:`add_child_socket` plus
+    the in-process inbox; the node runs with exactly one I/O thread.
+    (The legacy ``io_mode="threads"`` inbox-polling driver — one
+    reader thread per TCP link — was deprecated when the event loop
+    landed and has been removed.)
     """
 
-    IDLE_POLL = 0.05
+    io_mode = "eventloop"
 
     def __init__(
         self,
@@ -1308,37 +1531,18 @@ class CommNode(threading.Thread):
         parent: Optional[ChannelEnd] = None,
         clock: Callable[[], float] = time.monotonic,
         inbox: Optional[Inbox] = None,
-        io_mode: str = "eventloop",
         parent_socket=None,
     ):
         super().__init__(name=f"commnode-{name}", daemon=True)
-        if io_mode not in ("eventloop", "threads"):
-            raise ValueError(f"unknown io_mode {io_mode!r}")
-        if io_mode == "threads":
-            warnings.warn(
-                "io_mode='threads' is deprecated: the inbox-polling "
-                "driver costs one reader thread per TCP link and will "
-                "be removed once the event loop is the only runtime; "
-                "liveness timing is shared (NodeCore.next_wakeup_deadline) "
-                "but new transports (shm, inproc) are eventloop-only",
-                DeprecationWarning,
-                stacklevel=2,
-            )
         if parent is None and parent_socket is None:
             raise ValueError("CommNode needs a parent end or parent_socket")
-        self.io_mode = io_mode
-        self.loop = None
-        if io_mode == "eventloop":
-            from ..transport.eventloop import EventLoop
+        from ..transport.eventloop import EventLoop
 
-            self.loop = EventLoop(clock=clock)
-            if parent_socket is not None:
-                parent = self.loop.add_socket(parent_socket)
-        elif parent_socket is not None:
-            raise ValueError("parent_socket requires io_mode='eventloop'")
+        self.loop = EventLoop(clock=clock)
+        if parent_socket is not None:
+            parent = self.loop.add_socket(parent_socket)
         self.core = NodeCore(name, registry, expected_ranks, parent, clock, inbox)
-        if self.loop is not None:
-            self.loop.bind(self.core)
+        self.loop.bind(self.core)
 
     @property
     def inbox(self) -> Inbox:
@@ -1350,17 +1554,12 @@ class CommNode(threading.Thread):
         Must be called before :meth:`start`.  Returns the loop-managed
         link (usable wherever a ``ChannelEnd`` is expected).
         """
-        if self.loop is None:
-            raise RuntimeError("add_child_socket requires io_mode='eventloop'")
         end = self.loop.add_socket(sock, **link_kwargs)
         self.core.add_child(end)
         return end
 
     def run(self) -> None:  # pragma: no branch - loop structure
-        if self.loop is not None:
-            self.loop.run()
-        else:
-            self._run_inbox_loop()
+        self.loop.run()
 
     def kill(self) -> None:
         """Crash this node abruptly (fault injection).
@@ -1371,60 +1570,7 @@ class CommNode(threading.Thread):
         killed OS process.
         """
         self.core.crashed = True
-        if self.loop is not None:
-            self.loop.wake()
-        else:
-            wake = self.core.inbox.on_deliver
-            if wake is not None:
-                wake()
-
-    def _poll_interval(self) -> float:
-        """How long the inbox loop may block before time-based work.
-
-        Sleeps all the way to the next TimeOut-stream deadline or
-        heartbeat instant (any inbound delivery interrupts the wait;
-        see :meth:`NodeCore.next_wakeup_deadline`), or ``IDLE_POLL``
-        when no deadline is pending — never the old fixed 2 ms spin.
-        """
-        deadline = self.core.next_wakeup_deadline()
-        if deadline is None:
-            return self.IDLE_POLL
-        return max(deadline - self.core.clock(), 0.0)
-
-    def _run_inbox_loop(self) -> None:
-        """Legacy driver: block on the inbox, flush once per drain."""
-        core = self.core
-        while not (core.shutting_down or core.crashed):
-            core.admit_pending_children()
-            try:
-                link_id, payload = core.inbox.get(timeout=self._poll_interval())
-            except queue.Empty:
-                core.poll_streams()
-                core.heartbeat_tick()
-                core.flush()
-                continue
-            if core.crashed:
-                break
-            core.handle_payload(link_id, payload)
-            # Drain whatever else is already queued so one flush batches
-            # an entire burst (Figure 3's batching layer earning its keep).
-            while True:
-                try:
-                    link_id, payload = core.inbox.get_nowait()
-                except queue.Empty:
-                    break
-                core.handle_payload(link_id, payload)
-                if core.shutting_down or core.crashed:
-                    break
-            core.poll_streams()
-            core.heartbeat_tick()
-            core.flush()
-        if core.crashed:
-            # Abrupt death: drop all pending output on the floor.
-            core.close_all()
-            return
-        core.flush()
-        core.close_all()
+        self.loop.wake()
 
 
 class NodeHost(threading.Thread):

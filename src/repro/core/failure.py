@@ -43,7 +43,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..obs.metrics import MetricsRegistry
 
@@ -222,6 +222,24 @@ class RecoveryCoordinator:
         """
         self.register(_Member(key, "remote", parent_key, addr=addr, proc=proc))
 
+    def members(self, kind: Optional[str] = None) -> List[_Member]:
+        """Snapshot of registered members, optionally one *kind*."""
+        with self._lock:
+            return [
+                m for m in self._members.values()
+                if kind is None or m.kind == kind
+            ]
+
+    def member(self, key: tuple) -> Optional[_Member]:
+        """The registered member under *key*, if any."""
+        with self._lock:
+            return self._members.get(key)
+
+    def unregister(self, key: tuple) -> None:
+        """Forget a member slot (e.g. a back-end re-homed elsewhere)."""
+        with self._lock:
+            self._members.pop(key, None)
+
     # -- stats -------------------------------------------------------------
 
     def bump(self, counter: str, n: int = 1) -> None:
@@ -311,7 +329,7 @@ class RecoveryCoordinator:
 
     # -- voluntary joins ----------------------------------------------------
 
-    def choose_adopter(self) -> Optional[_Member]:
+    def choose_adopter(self, exclude: Iterable[tuple] = ()) -> Optional[_Member]:
         """Pick a parent for a *joining* back-end (coordinator's choice).
 
         Prefers the live registered comm node with the fewest children
@@ -319,8 +337,11 @@ class RecoveryCoordinator:
         front-end when no comm node is live.  Remote (out-of-process)
         members are chosen by address the same way, with an unknown
         child count treated as infinite only relative to in-process
-        candidates.
+        candidates.  *exclude* names member keys that must not be
+        chosen — ``Network.rebalance()`` passes the hot node it is
+        evacuating so the mover cannot re-adopt its own evacuee.
         """
+        excluded = set(exclude)
         with self._lock:
             best = None
             best_load = None
@@ -330,6 +351,8 @@ class RecoveryCoordinator:
                     frontend = member
                     continue
                 if member.kind not in ("commnode", "remote"):
+                    continue
+                if member.key in excluded:
                     continue
                 if not self._alive(member):
                     continue
@@ -381,7 +404,7 @@ class RecoveryCoordinator:
             # many cores and must not default to the first bound one.
             loop.adopt_socket(sock_parent, core=core, adopted=adopted)
             return TcpChannelEnd(sock_child, _alloc_link_id(), orphan_inbox)
-        # Inbox-driven adopter (front-end, threads-mode comm node):
+        # Inbox-driven adopter (the front-end):
         # build an in-process channel and queue the parent end for
         # admission at the adopter's next processing step.
         from ..transport.channel import Channel

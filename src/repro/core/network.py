@@ -75,6 +75,7 @@ from .protocol import (
     WAVE_REDUCE_TO_ALL,
     make_close_stream,
     make_new_stream,
+    make_new_streams,
     make_shutdown,
     make_stats_request,
     parse_addr_report,
@@ -439,12 +440,11 @@ class Network:
           shipping model of §2.4); they are also loaded into this
           front-end's registry, ids assigned in list order.
 
-        ``io_mode`` selects how each internal process drives its I/O:
-        ``"eventloop"`` (default) runs one selector loop per comm node
-        — a TCP comm node owns all its sockets with a single thread —
-        while ``"threads"`` keeps the legacy inbox-polling loop with
-        one reader thread per TCP link.  The front-end and back-ends
-        are passive either way.
+        ``io_mode`` is ``"eventloop"``: one selector loop per comm
+        node — a TCP comm node owns all its sockets with a single
+        thread.  The front-end and back-ends are passive.  (The legacy
+        ``"threads"`` inbox-polling driver, deprecated in PR 7, has
+        been removed; passing it raises ``NetworkError``.)
 
         ``policy`` selects what a process failure means (see
         :mod:`repro.core.failure`): ``"fail_fast"`` poisons the
@@ -514,8 +514,11 @@ class Network:
                 "'tcp'): process-transport span rings live in other "
                 "address spaces"
             )
-        if io_mode not in ("eventloop", "threads"):
-            raise NetworkError(f"unknown io_mode {io_mode!r}")
+        if io_mode != "eventloop":
+            raise NetworkError(
+                f"unknown io_mode {io_mode!r}: the legacy 'threads' driver "
+                "was removed one release after its PR-7 deprecation"
+            )
         if policy not in POLICIES:
             raise NetworkError(f"unknown failure policy {policy!r}")
         if instantiation not in ("recursive", "sequential"):
@@ -525,11 +528,6 @@ class Network:
         if spawn not in ("fork", "popen"):
             raise NetworkError(f"unknown spawn mode {spawn!r}")
         if colocate:
-            if io_mode != "eventloop":
-                raise NetworkError(
-                    "colocate=True requires io_mode='eventloop': the legacy "
-                    "threaded driver cannot share one loop across nodes"
-                )
             if transport == "tcp":
                 raise NetworkError(
                     "colocate=True requires transport 'local' or 'process': "
@@ -671,7 +669,7 @@ class Network:
         # With the event loop, comm-node ends of TCP edges are raw
         # sockets owned by the node's selector — only the passive
         # processes (front-end, back-ends) keep reader-thread ends.
-        selector_tcp = self.transport == "tcp" and self.io_mode == "eventloop"
+        selector_tcp = self.transport == "tcp"
         cores: Dict[Tuple[str, int], NodeCore] = {self.topology.root.key: self._core}
         comms: Dict[Tuple[str, int], CommNode] = {}
         if self.colocate:
@@ -717,7 +715,6 @@ class Network:
                             parent_socket=sock_child,
                             clock=self._clock,
                             inbox=inboxes[child.key],
-                            io_mode="eventloop",
                         )
                         cores[child.key] = comm.core
                         comms[child.key] = comm
@@ -750,7 +747,6 @@ class Network:
                         parent=child_side,
                         clock=self._clock,
                         inbox=inboxes[child.key],
-                        io_mode=self.io_mode,
                     )
                     cores[child.key] = comm.core
                     comms[child.key] = comm
@@ -928,8 +924,6 @@ class Network:
                     child.label,
                     "--rank",
                     str(len(self._procs) + 1),
-                    "--io-mode",
-                    self.io_mode,
                 ]
                 if self.heartbeat.enabled:
                     cmd += [
@@ -1047,7 +1041,6 @@ class Network:
 
         opts = RecursiveOpts(
             filter_specs=self.filter_specs,
-            io_mode=self.io_mode,
             heartbeat=self.heartbeat,
             shm=self.shm,
             spawn=self.spawn,
@@ -1263,11 +1256,15 @@ class Network:
         slot.backend = backend
         return backend
 
-    def _attach_joining(self, rank: Optional[int]) -> BackEnd:
+    def _attach_joining(
+        self, rank: Optional[int], exclude: tuple = ()
+    ) -> BackEnd:
         """Join a brand-new back-end rank to the *running* network.
 
         See :meth:`attach_backend`; this is the elastic-membership
-        path for ranks the topology never reserved.
+        path for ranks the topology never reserved.  *exclude* lists
+        coordinator member keys that must not be chosen as the parent
+        (used by :meth:`rebalance` to move a back-end *off* a node).
         """
         self._check_up()
         if not self._core.ready:
@@ -1285,7 +1282,9 @@ class Network:
             slot.claimed = True
             self._slots[rank] = slot
         try:
-            parent_end, inbox, parent_key = self._make_join_parent(slot)
+            parent_end, inbox, parent_key = self._make_join_parent(
+                slot, exclude=exclude
+            )
             backend = BackEnd(rank, slot.label, parent_end, inbox)
             stream_ids = sorted(self._streams)
             for sid in stream_ids:
@@ -1311,7 +1310,7 @@ class Network:
         slot.inbox = inbox
         return backend
 
-    def _make_join_parent(self, slot: _LeafSlot) -> tuple:
+    def _make_join_parent(self, slot: _LeafSlot, exclude: tuple = ()) -> tuple:
         """Manufacture a joining back-end's uplink; returns
         ``(parent_end, inbox, parent_topo_key)``.
 
@@ -1325,7 +1324,7 @@ class Network:
         recovery = self._recovery
         dialable = self.transport != "process" or self.policy == REPAIR
         if recovery is not None and dialable:
-            member = recovery.choose_adopter()
+            member = recovery.choose_adopter(exclude=exclude)
             if member is not None:
                 inbox = Inbox()
                 end = recovery.make_join_edge(member, inbox)
@@ -1356,6 +1355,102 @@ class Network:
             futures = [(r, pool.submit(self.attach_backend, r)) for r in ranks]
             for _rank, fut in futures:
                 fut.result()
+
+    def rebalance(
+        self,
+        max_moves: int = 1,
+        load_fn: Optional[Callable[[NodeCore], float]] = None,
+        settle_timeout: float = 10.0,
+    ) -> List[dict]:
+        """Re-home back-ends off hot internal nodes (ROADMAP item 2).
+
+        Sensor → actuator pass over the running tree: per-node load is
+        read from the in-process metrics registries (default:
+        ``packets_up``, the data packets a comm node has received from
+        its children), and the most-loaded comm node with at least one
+        directly attached back-end is *evacuated* one back-end at a
+        time using the elastic-membership machinery — the back-end
+        announces a graceful ``TAG_LEAVE``, and the same rank rejoins
+        under the least-loaded parent, with the hot node excluded from
+        adopter choice.  Open streams follow automatically: the leave
+        retires the rank at a wave-epoch boundary and the join splices
+        it back in, so waves never stall mid-move.
+
+        Stops early when the tree is already balanced (the hottest
+        candidate is no hotter than the best alternative parent).
+        Returns one record per move: ``{"rank", "from", "to",
+        "backend"}`` — callers must use the returned (new)
+        :class:`BackEnd` objects; the old handles are detached.
+
+        *load_fn* overrides the sensor (a callable on a
+        :class:`NodeCore` returning a number).  Requires a
+        thread-hosted transport (the process transport would need
+        remote actuation of ``leave()``).
+        """
+        self._check_up()
+        if self.transport == "process":
+            raise NetworkError(
+                "rebalance() requires a thread-hosted transport: process-"
+                "transport back-end leave/rejoin is driven by the tool"
+            )
+        if self._recovery is None:
+            raise NetworkError("rebalance() requires the recovery coordinator")
+        if load_fn is None:
+            def load_fn(core):
+                return core.metrics.counter("packets_up").value
+        recovery = self._recovery
+        moves: List[dict] = []
+        for _ in range(max_moves):
+            loads: Dict[tuple, float] = {}
+            for member in recovery.members("commnode"):
+                core = member.core
+                if core is None or core.crashed or core.shutting_down:
+                    continue
+                loads[member.key] = load_fn(core)
+            if not loads:
+                break
+            # Movable back-ends grouped under their current parents.
+            children: Dict[tuple, List] = {}
+            for member in recovery.members("backend"):
+                slot = member.slot
+                backend = getattr(slot, "backend", None)
+                if backend is None or backend.shut_down or backend.left:
+                    continue
+                children.setdefault(member.parent_key, []).append(member)
+            candidates = [k for k in loads if children.get(k)]
+            if not candidates:
+                break
+            hot_key = max(candidates, key=lambda k: loads[k])
+            coolest = min(
+                (loads[k] for k in loads if k != hot_key), default=0.0
+            )
+            if loads[hot_key] <= coolest:
+                break  # already balanced
+            victim = min(children[hot_key], key=lambda m: m.slot.rank)
+            rank = victim.slot.rank
+            victim.slot.backend.leave()
+            deadline = self._clock() + settle_timeout
+            while rank in self._core.reported_ranks:
+                if self._clock() > deadline:
+                    raise NetworkError(
+                        f"rebalance: rank {rank} leave did not settle "
+                        f"within {settle_timeout}s"
+                    )
+                self._pump(self._pump_quantum())
+            with self._attach_lock:
+                self._slots.pop(rank, None)
+            recovery.unregister(victim.key)
+            backend = self._attach_joining(rank, exclude=(hot_key,))
+            new_member = recovery.member(("joined", rank))
+            moves.append(
+                {
+                    "rank": rank,
+                    "from": hot_key,
+                    "to": new_member.parent_key if new_member else None,
+                    "backend": backend,
+                }
+            )
+        return moves
 
     @property
     def backends(self) -> Dict[int, BackEnd]:
@@ -1465,6 +1560,98 @@ class Network:
         )
         self._streams[stream_id] = stream
         return stream
+
+    def new_streams(
+        self,
+        specs: Iterable[tuple],
+    ) -> List[Stream]:
+        """Create many streams with ONE downstream control wave.
+
+        *specs* is an iterable of ``(communicator, kwargs)`` pairs —
+        each ``kwargs`` dict accepts exactly the keyword arguments of
+        :meth:`new_stream` (``transform``, ``sync``, ``sync_timeout``,
+        ``down_transform``, ``chunk_bytes``, ``pattern``) — or bare
+        ``communicator`` objects for all-default streams.
+
+        This is the many-stream fast path (ROADMAP item 2): instead of
+        one ``TAG_NEW_STREAM`` control packet per stream, the batch is
+        announced in a single ``TAG_NEW_STREAMS`` packet whose
+        endpoint sets are deduplicated into interned
+        :class:`~repro.core.routing.CommGroup` references.  Each comm
+        node registers lightweight stream *specs* and materializes the
+        full :class:`StreamManager` lazily on the first data packet,
+        so creating 5000 streams over one communicator costs one
+        control wave plus O(1) bookkeeping per stream per node.
+        """
+        pairs: List[tuple] = []
+        for spec in specs:
+            if isinstance(spec, Communicator):
+                comm, kwargs = spec, {}
+            else:
+                comm, kwargs = spec
+            pairs.append((comm, dict(kwargs or {})))
+        self._check_up()
+        parsed: List[tuple] = []
+        for comm, kwargs in pairs:
+            if comm.network is not self:
+                raise NetworkError("communicator belongs to a different network")
+            unknown = set(kwargs) - {
+                "transform", "sync", "sync_timeout",
+                "down_transform", "chunk_bytes", "pattern",
+            }
+            if unknown:
+                raise NetworkError(
+                    f"unknown stream option(s) {sorted(unknown)}"
+                )
+            transform = kwargs.get("transform", TFILTER_NULL)
+            sync = kwargs.get("sync", SFILTER_WAITFORALL)
+            sync_timeout = kwargs.get("sync_timeout", 0.0)
+            down_transform = kwargs.get("down_transform", 0)
+            chunk_bytes = kwargs.get("chunk_bytes")
+            pattern = kwargs.get("pattern", WAVE_REDUCE)
+            if not self.registry.is_transform(transform):
+                raise NetworkError(f"unknown transformation filter id {transform}")
+            if not self.registry.is_sync(sync):
+                raise NetworkError(f"unknown synchronization filter id {sync}")
+            if down_transform and not self.registry.is_transform(down_transform):
+                raise NetworkError(f"unknown downstream filter id {down_transform}")
+            if chunk_bytes is not None and chunk_bytes <= 0:
+                raise NetworkError("chunk_bytes must be positive (or None)")
+            if pattern not in WAVE_PATTERNS:
+                raise NetworkError(f"unknown wave pattern {pattern}")
+            parsed.append(
+                (comm, transform, sync, sync_timeout, down_transform,
+                 chunk_bytes, pattern)
+            )
+        # Deduplicate endpoint sets: wire specs reference groups by
+        # index, mirroring the CommGroup interning every node performs.
+        group_index: Dict[frozenset, int] = {}
+        groups: List[tuple] = []
+        wire_specs: List[tuple] = []
+        streams: List[Stream] = []
+        for comm, transform, sync, sync_timeout, down, chunk, pattern in parsed:
+            key = frozenset(comm.ranks)
+            gidx = group_index.get(key)
+            if gidx is None:
+                gidx = group_index[key] = len(groups)
+                groups.append(tuple(sorted(key)))
+            stream_id = self._next_stream_id
+            self._next_stream_id += 1
+            self._core.stream_queues[stream_id] = deque()
+            wire_specs.append(
+                (stream_id, gidx, sync, transform, sync_timeout,
+                 down, chunk or 0, pattern)
+            )
+            stream = Stream(
+                self, stream_id, comm, chunk_bytes=chunk, pattern=pattern
+            )
+            self._streams[stream_id] = stream
+            streams.append(stream)
+        if wire_specs:
+            packet = make_new_streams(groups, wire_specs)
+            self._core.handle_control_down(packet)
+            self._core.flush()
+        return streams
 
     def load_filter_func(self, module_path: str, func_name: str, fmt=None) -> int:
         """Register a custom filter network-wide (paper's load_filterFunc)."""
@@ -1636,22 +1823,13 @@ class Network:
         top-level keys: ``"recovery"`` (network-wide recovery
         counters) and ``"meta"`` (schema/gather accounting).
 
-        .. deprecated:: PR4
-            Each process also appears under its bare label (the
-            front-end as ``"front-end"``, comm nodes as their topology
-            label) aliasing the same value dict.  These keys will be
-            removed one release after PR 4; key on ``rank:hostname``.
+        The bare-label aliases deprecated in PR 4 (``"front-end"``,
+        topology labels) are gone; key on ``rank:hostname``.
         """
         snapshots, meta = self._collect_snapshots(gather, timeout)
         out: Dict[str, dict] = {
             key: self._flatten_snapshot(snap) for key, snap in snapshots.items()
         }
-        # Deprecated bare-label aliases (same dict objects, one release).
-        out["front-end"] = out[self._core.obs_identity]
-        for node in self._commnodes:
-            identity = node.core.obs_identity
-            if identity in out:
-                out.setdefault(node.core.name, out[identity])
         if self._recovery is not None:
             # Network-wide recovery counters (nodes_failed,
             # orphans_adopted, waves_reconfigured, heartbeats_missed)

@@ -12,6 +12,13 @@ id 0 as the *control stream*; packets on it drive network life-cycle:
   synchronization timeout (seconds; meaningful for TimeOut sync),
   downstream transformation filter id, chunk size in bytes (0 =
   chunking disabled), and wave pattern (see *Chunked waves* below).
+* ``TAG_NEW_STREAMS`` (downstream) — *batched* stream creation: one
+  packet announces many streams in a single control wave.  Payload
+  ``"%s"``: a JSON document with ``"g"`` (deduplicated communicator
+  rank lists) and ``"s"`` (per-stream field tuples referencing a
+  group by index), so a thousand streams over one communicator ship
+  its rank list once.  Nodes register the announcements *lazily* and
+  instantiate a stream's filter state on its first data packet.
 * ``TAG_CLOSE_STREAM`` (downstream) — payload ``"%ud"``: stream id.
 * ``TAG_SHUTDOWN`` (downstream) — tears the tree down.
 * ``TAG_HEARTBEAT`` (both directions) — liveness probe, consumed at
@@ -99,7 +106,8 @@ mixed-version trees interoperate.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+import json
+from typing import List, Sequence, Tuple
 
 from .packet import Packet
 
@@ -120,6 +128,7 @@ __all__ = [
     "TAG_WAVE_ACK",
     "TAG_WAVE_NACK",
     "TAG_CHECKPOINT",
+    "TAG_NEW_STREAMS",
     "TAG_CHUNK",
     "FIRST_APP_TAG",
     "WAVE_REDUCE",
@@ -139,6 +148,7 @@ __all__ = [
     "FMT_WAVE_ACK",
     "FMT_WAVE_NACK",
     "FMT_CHECKPOINT",
+    "FMT_NEW_STREAMS",
     "make_endpoint_report",
     "make_new_stream",
     "make_close_stream",
@@ -153,7 +163,9 @@ __all__ = [
     "make_wave_ack",
     "make_wave_nack",
     "make_checkpoint",
+    "make_new_streams",
     "parse_new_stream",
+    "parse_new_streams",
     "parse_ranks_changed",
     "parse_stats_request",
     "parse_stats_reply",
@@ -182,6 +194,7 @@ TAG_LEAVE = -11
 TAG_WAVE_ACK = -12
 TAG_WAVE_NACK = -13
 TAG_CHECKPOINT = -14
+TAG_NEW_STREAMS = -15
 
 #: Reserved tag marking a pipeline fragment on a *data* stream.  Not a
 #: control tag — chunks never ride stream 0 — but kept below
@@ -215,6 +228,7 @@ FMT_LEAVE = "%ud"
 FMT_WAVE_ACK = "%ud %ud"
 FMT_WAVE_NACK = "%ud %ud"
 FMT_CHECKPOINT = "%ud %ud %s"
+FMT_NEW_STREAMS = "%s"
 
 
 def make_endpoint_report(ranks: Sequence[int]) -> Packet:
@@ -278,6 +292,60 @@ def parse_new_stream(
         chunk_bytes,
         wave_pattern,
     )
+
+
+def make_new_streams(
+    groups: Sequence[Sequence[int]],
+    streams: Sequence[Tuple[int, int, int, int, float, int, int, int]],
+) -> Packet:
+    """Build a *batched* downstream stream-creation announcement.
+
+    One ``TAG_NEW_STREAMS`` packet announces many streams in a single
+    control wave (the many-stream fast path behind
+    ``Network.new_streams``).  *groups* is the deduplicated list of
+    communicator endpoint sets (sorted rank sequences); each entry of
+    *streams* is ``(stream_id, group_index, sync_filter_id,
+    transform_filter_id, sync_timeout, down_transform_filter_id,
+    chunk_bytes, wave_pattern)`` — the ``TAG_NEW_STREAM`` fields with
+    the endpoint array replaced by an index into *groups*, so N
+    streams over one communicator ship its rank list once.
+    """
+    doc = {
+        "g": [list(g) for g in groups],
+        "s": [list(s) for s in streams],
+    }
+    return Packet(
+        CONTROL_STREAM_ID,
+        TAG_NEW_STREAMS,
+        FMT_NEW_STREAMS,
+        (json.dumps(doc, separators=(",", ":")),),
+    )
+
+
+def parse_new_streams(
+    packet: Packet,
+) -> Tuple[
+    List[Tuple[int, ...]],
+    List[Tuple[int, int, int, int, float, int, int, int]],
+]:
+    """Unpack a ``TAG_NEW_STREAMS`` packet → (groups, stream specs)."""
+    (blob,) = packet.unpack()
+    doc = json.loads(blob)
+    groups = [tuple(int(r) for r in g) for g in doc["g"]]
+    streams = [
+        (
+            int(s[0]),
+            int(s[1]),
+            int(s[2]),
+            int(s[3]),
+            float(s[4]),
+            int(s[5]),
+            int(s[6]),
+            int(s[7]),
+        )
+        for s in doc["s"]
+    ]
+    return groups, streams
 
 
 def make_close_stream(stream_id: int) -> Packet:

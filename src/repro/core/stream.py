@@ -175,7 +175,9 @@ class Stream:
         thread.  Pass ``None`` to leave a hook unchanged; use
         :meth:`clear_wave_hooks` to remove them.
         """
-        manager = self._network._core.streams.get(self.stream_id)
+        # stream_state() materializes bulk-created (lazy) streams so
+        # hooks can install before the first data packet arrives.
+        manager = self._network._core.stream_state(self.stream_id)
         if manager is None:
             raise StreamClosed(
                 f"stream {self.stream_id} has no front-end manager"
@@ -187,6 +189,8 @@ class Stream:
 
     def clear_wave_hooks(self) -> None:
         """Remove any stream-manager hooks installed by :meth:`set_wave_hooks`."""
+        # Lazy (not-yet-materialized) streams cannot have hooks —
+        # installing one materializes — so .get() suffices here.
         manager = self._network._core.streams.get(self.stream_id)
         if manager is not None:
             manager.on_wave_complete = None

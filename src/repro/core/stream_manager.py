@@ -179,6 +179,14 @@ class StreamManager:
         self.endpoints: FrozenSet[int] = frozenset(endpoints)
         self.child_links = list(child_links)
         self.sync = sync_filter
+        # True when the synchronization criterion has a time component
+        # (it overrides ``next_deadline``).  The owning node only
+        # tracks such streams in its O(active) deadline machinery —
+        # untimed streams never enter the per-tick poll set.
+        self.sync_timed = (
+            type(sync_filter).next_deadline
+            is not SynchronizationFilter.next_deadline
+        )
         self.transform = transform
         self.chunk_bytes = int(chunk_bytes or 0)
         self.wave_pattern = wave_pattern

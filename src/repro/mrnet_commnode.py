@@ -45,12 +45,11 @@ the shared-memory ring transport (``--shm auto``; see
 :mod:`repro.transport.shm`) during the connection hello — refusal or
 failure falls back to plain TCP transparently.
 
-With the default ``--io-mode eventloop`` the process multiplexes all
-of its sockets through one ``selectors`` loop on the main thread — no
-per-link reader threads, non-blocking vectored writes, and timer
-deadlines instead of polling.  ``--io-mode threads`` restores the
-legacy architecture (one reader thread per link feeding an inbox
-drained on a poll interval).
+The process multiplexes all of its sockets through one ``selectors``
+loop on the main thread — no per-link reader threads, non-blocking
+vectored writes, and timer deadlines instead of polling.  (The legacy
+``--io-mode threads`` reader-thread architecture, deprecated in PR 7,
+has been removed.)
 
 Custom filters cross the process boundary the same way real MRNet
 ships shared objects: as a file path + function name, loaded on every
@@ -62,10 +61,8 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import queue
 import signal
 import sys
-import threading
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -76,7 +73,7 @@ from .core.failure import REPAIR, HeartbeatConfig
 from .core.protocol import make_addr_report
 from .filters.registry import default_registry
 from .transport.channel import Inbox
-from .transport.tcp import TcpListener, tcp_connect_retry
+from .transport.tcp import TcpListener
 
 __all__ = [
     "main",
@@ -149,7 +146,6 @@ class RecursiveOpts:
     """Everything a subtree spawn must inherit from its parent."""
 
     filter_specs: List[Tuple[str, str, Optional[str]]] = field(default_factory=list)
-    io_mode: str = "eventloop"
     heartbeat: Optional[HeartbeatConfig] = None
     accept_timeout: float = 60.0
     shm: str = "off"  # "auto" upgrades same-host links to shared memory
@@ -162,7 +158,6 @@ class RecursiveOpts:
     def command_line(self) -> List[str]:
         """The inheritable flags, as ``--spawn popen`` arguments."""
         args = [
-            "--io-mode", self.io_mode,
             "--shm", self.shm,
             "--spawn", self.spawn,
             "--accept-timeout", str(self.accept_timeout),
@@ -207,23 +202,6 @@ def _repair_fn_eventloop(loop, ancestors, accept_timeout: float):
             except Exception:
                 continue
             return loop.add_socket(sock)
-        return None
-
-    return repair
-
-
-def _repair_fn_threads(inbox, ancestors, accept_timeout: float):
-    """Parent-repair closure for the reader-thread bodies (see
-    :func:`_repair_fn_eventloop` for the dialing order)."""
-
-    def repair():
-        for addr in reversed(ancestors):
-            try:
-                return tcp_connect_retry(
-                    addr, inbox, attempts=3, timeout=min(accept_timeout, 5.0)
-                )
-            except Exception:
-                continue
         return None
 
     return repair
@@ -383,7 +361,7 @@ def run_commnode_recursive(
     listener = TcpListener(inbox)
     announce(f"LISTENING {listener.address[1]}", flush=True)
     my_host = _host_of(spec["l"])
-    if opts.colocate and opts.io_mode == "eventloop":
+    if opts.colocate:
         # Same-host internal descendants are hosted on this process's
         # shared event loop instead of being spawned; the colocated
         # runner spawns (and reaps) only the off-host ones.
@@ -407,13 +385,7 @@ def run_commnode_recursive(
         child_ancestors=ancestors + (parent_addr,),
     )
     try:
-        if opts.io_mode == "eventloop":
-            return _run_recursive_eventloop(
-                spec, parent_addr, parent_host, my_host,
-                len(internal), n_leaves, expected, registry, inbox,
-                listener, opts, ancestors,
-            )
-        return _run_recursive_threads(
+        return _run_recursive_eventloop(
             spec, parent_addr, parent_host, my_host,
             len(internal), n_leaves, expected, registry, inbox,
             listener, opts, ancestors,
@@ -623,51 +595,6 @@ def _run_recursive_colocated(
         _reap(handles)
 
 
-def _run_recursive_threads(
-    spec, parent_addr, parent_host, my_host,
-    n_internal, n_leaves, expected, registry, inbox, listener, opts,
-    ancestors=(),
-) -> int:
-    want_shm = opts.shm == "auto" and parent_host == my_host
-    parent_end = tcp_connect_retry(
-        parent_addr, inbox, attempts=6, timeout=opts.accept_timeout,
-        shm=want_shm,
-    )
-    repair_fn = None
-    if opts.repair and ancestors:
-        repair_fn = _repair_fn_threads(inbox, ancestors, opts.accept_timeout)
-    core = _recursive_core(
-        spec, registry, expected, parent_end, inbox, opts, repair_fn
-    )
-    for _ in range(n_internal):
-        core.add_child(listener.accept(timeout=opts.accept_timeout))
-    core._queue_up(
-        make_addr_report(spec["l"], "127.0.0.1", listener.address[1])
-    )
-    if opts.repair or n_leaves:
-        def _accept_leaves():
-            # Under repair the budget is open-ended: orphaned
-            # descendants and elastic joiners keep arriving.
-            budget = None if opts.repair else n_leaves
-            while budget is None or budget > 0:
-                try:
-                    end = listener.accept(timeout=opts.accept_timeout)
-                except Exception:
-                    if opts.repair and not core.shutting_down:
-                        continue
-                    return
-                # Admitted on the drive loop; not an orphan adoption.
-                core.offer_child(end, adopted=False)
-                if budget is not None:
-                    budget -= 1
-
-        threading.Thread(
-            target=_accept_leaves, name="leaf-acceptor", daemon=True
-        ).start()
-    _drive_threads_loop(core)
-    return 0
-
-
 def run_commnode(
     parent_addr: Tuple[str, int],
     n_children: int,
@@ -676,7 +603,6 @@ def run_commnode(
     name: str = "commnode",
     announce=print,
     accept_timeout: float = 60.0,
-    io_mode: str = "eventloop",
     heartbeat: Optional["HeartbeatConfig"] = None,
     rank: int = -1,
     repair: bool = False,
@@ -701,13 +627,7 @@ def run_commnode(
     listener = TcpListener(inbox)
     announce(f"LISTENING {listener.address[1]}", flush=True)
 
-    if io_mode == "eventloop":
-        return _run_eventloop(
-            listener, parent_addr, n_children, expected_ranks,
-            registry, name, inbox, accept_timeout, heartbeat, rank,
-            repair, ancestors, checkpoint_interval,
-        )
-    return _run_threads(
+    return _run_eventloop(
         listener, parent_addr, n_children, expected_ranks,
         registry, name, inbox, accept_timeout, heartbeat, rank,
         repair, ancestors, checkpoint_interval,
@@ -775,90 +695,6 @@ def _run_eventloop(
     return 0
 
 
-def _run_threads(
-    listener, parent_addr, n_children, expected_ranks,
-    registry, name, inbox, accept_timeout, heartbeat=None, rank=-1,
-    repair=False, ancestors=(), checkpoint_interval=0.0,
-) -> int:
-    """Legacy body: reader thread per link, inbox drained on a timer."""
-    parent_end = tcp_connect_retry(
-        parent_addr, inbox, attempts=6, timeout=accept_timeout
-    )
-    core = NodeCore(
-        name, registry, expected_ranks, parent=parent_end, inbox=inbox
-    )
-    core.obs_rank = rank
-    repair_fn = None
-    if repair and ancestors:
-        repair_fn = _repair_fn_threads(inbox, ancestors, accept_timeout)
-    _configure_core_failure(
-        core, heartbeat, repair, repair_fn, checkpoint_interval
-    )
-    try:
-        for _ in range(n_children):
-            core.add_child(listener.accept(timeout=accept_timeout))
-    finally:
-        if not repair:
-            listener.close()
-    if repair:
-        def _accept_forever():
-            while not core.shutting_down:
-                try:
-                    end = listener.accept(timeout=1.0)
-                except Exception:
-                    continue
-                # Admitted on the drive loop.  Not counted as an
-                # adoption here: the selector bodies' acceptor does
-                # not bump it either, and the re-dialing orphan's own
-                # parent_repairs counter already carries the signal.
-                core.offer_child(end, adopted=False)
-
-        threading.Thread(
-            target=_accept_forever, name="repair-acceptor", daemon=True
-        ).start()
-    try:
-        _drive_threads_loop(core)
-    finally:
-        if repair:
-            listener.close()
-    return 0
-
-
-def _drive_threads_loop(core: NodeCore) -> None:
-    """The standard internal-process inbox loop (see CommNode)."""
-    while not core.shutting_down:
-        core.admit_pending_children()
-        deadline = core.next_timeout_deadline()
-        hb = core.next_heartbeat_deadline()
-        if hb is not None and (deadline is None or hb < deadline):
-            deadline = hb
-        if deadline is None:
-            poll = 0.05
-        else:
-            poll = max(deadline - core.clock(), 0.0)
-        try:
-            link_id, payload = core.inbox.get(timeout=poll)
-        except queue.Empty:
-            core.poll_streams()
-            core.heartbeat_tick()
-            core.flush()
-            continue
-        core.handle_payload(link_id, payload)
-        while True:
-            try:
-                link_id, payload = core.inbox.get_nowait()
-            except queue.Empty:
-                break
-            core.handle_payload(link_id, payload)
-            if core.shutting_down:
-                break
-        core.poll_streams()
-        core.heartbeat_tick()
-        core.flush()
-    core.flush()
-    core.close_all()
-
-
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="mrnet_commnode",
@@ -918,10 +754,6 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--accept-timeout", type=float, default=60.0)
     parser.add_argument(
-        "--io-mode", choices=("eventloop", "threads"), default="eventloop",
-        help="selector event loop (default) or legacy reader threads",
-    )
-    parser.add_argument(
         "--heartbeat-interval", type=float, default=0.0,
         help="liveness probe period in seconds (0 disables heartbeats)",
     )
@@ -968,7 +800,6 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error(f"malformed --subtree JSON: {exc}")
         opts = RecursiveOpts(
             filter_specs=specs,
-            io_mode=args.io_mode,
             heartbeat=heartbeat,
             accept_timeout=args.accept_timeout,
             shm=args.shm,
@@ -991,7 +822,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         specs,
         name=args.name,
         accept_timeout=args.accept_timeout,
-        io_mode=args.io_mode,
         heartbeat=heartbeat,
         rank=args.rank,
         repair=args.repair,

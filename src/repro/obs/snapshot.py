@@ -43,8 +43,9 @@ __all__ = ["STATS_SCHEMA", "dumps_snapshot", "loads_snapshot"]
 STATS_SCHEMA = "mrnet.stats/3"
 
 #: Schemas this reader accepts: the current one plus older versions
-#: whose shape is a strict subset of it.
-_ACCEPTED_SCHEMAS = ("mrnet.stats/1", "mrnet.stats/2", "mrnet.stats/3")
+#: whose shape is a strict subset of it.  ``/1`` acceptance (deprecated
+#: in PR 4) was dropped one release later, as promised.
+_ACCEPTED_SCHEMAS = ("mrnet.stats/2", "mrnet.stats/3")
 
 
 def dumps_snapshot(node: str, rank: int, metrics: Mapping) -> str:

@@ -735,6 +735,9 @@ class EventLoop:
                         continue
                     core.admit_pending_children()
                     worked |= self._drain_inbox(core)
+                    # O(active) tick: poll_streams walks only the
+                    # core's armed-deadline set (empty for idle cores),
+                    # so thousands of idle streams cost nothing here.
                     core.poll_streams()
                     core.heartbeat_tick()
                 worked |= self._drain_completions() > 0
@@ -788,6 +791,8 @@ class EventLoop:
     def _select_timeout(self, cores=None) -> float:
         deadline = None
         for core in cores if cores is not None else self.cores:
+            # next_timeout_deadline is a heap peek over armed
+            # deadlines — O(1) per core, not O(streams).
             for candidate in (
                 core.next_timeout_deadline(),
                 core.next_flush_deadline,  # property

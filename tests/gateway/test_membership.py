@@ -210,7 +210,7 @@ class TestEpochBookkeeping:
                 joiner = net.attach_backend()
                 responder.add(joiner)
             wait_membership(gw, net, lambda ev: joiner.rank in ev.gained)
-            snapshot = net.stats()["front-end"]
+            snapshot = net.stats()["0:front-end"]
             assert snapshot["gateway_entries_invalidated"] >= 1
         finally:
             gw.close()

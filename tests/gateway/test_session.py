@@ -261,7 +261,7 @@ class TestObservability:
         net, _ = served_net
         session = gateway.session()
         session.submit(sum_query(1)).result(timeout=RECV_TIMEOUT)
-        snapshot = net.stats()["front-end"]
+        snapshot = net.stats()["0:front-end"]
         assert snapshot["gateway_sessions"] == 1
         assert snapshot["gateway_queries"] == 1
         assert snapshot["gateway_waves"] == 1

@@ -1,0 +1,231 @@
+"""End-to-end many-stream runtime: bulk ``Network.new_streams()``
+with lazy per-node materialization, cached group routing under live
+membership churn, and ``Network.rebalance()`` re-homing back-ends off
+hot subtrees with the elastic-membership machinery."""
+
+import time
+
+import pytest
+
+from repro.core import REPAIR, Network
+from repro.core.network import NetworkError
+from repro.filters import TFILTER_SUM
+from repro.topology import balanced_tree
+
+from ..fault.conftest import drive_wave, shutdown_nets, wait_until  # noqa: F401
+from ..fault.test_membership import waves_until_sum
+
+WAVE_TIMEOUT = 10.0
+
+
+def internal_cores(net):
+    return [node.core for node in net._commnodes]
+
+
+class TestBulkStreams:
+    def test_bulk_creation_is_lazy_until_first_wave(self, shutdown_nets):
+        net = Network(balanced_tree(2, 2), colocate=True, policy=REPAIR)
+        shutdown_nets.append(net)
+        comm = net.get_broadcast_communicator()
+        streams = net.new_streams(
+            [(comm, {"transform": TFILTER_SUM}) for _ in range(20)]
+        )
+        assert len(streams) == 20
+        assert len({s.stream_id for s in streams}) == 20
+
+        # The whole batch is announced but NO manager exists anywhere
+        # until a stream carries data.
+        last = streams[-1].stream_id
+        assert wait_until(
+            lambda: all(
+                last in core._stream_specs or last in core.streams
+                for core in internal_cores(net)
+            ),
+            net=net,
+            poll=False,
+            timeout=5.0,
+        )
+        for core in internal_cores(net):
+            assert core.streams == {}
+            assert len(core._stream_specs) == 20
+
+        # Touch three streams: exactly those materialize, per node.
+        for stream in streams[:3]:
+            assert drive_wave(net, stream, WAVE_TIMEOUT).values == (4,)
+        touched = {s.stream_id for s in streams[:3]}
+        for core in internal_cores(net):
+            assert set(core.streams) == touched
+            assert len(core._stream_specs) == 17
+
+        # Closing works on both materialized and still-lazy streams.
+        for stream in streams:
+            stream.close()
+        assert wait_until(
+            lambda: all(
+                not core.streams and not core._stream_specs
+                for core in internal_cores(net)
+            ),
+            net=net,
+            poll=False,
+            timeout=5.0,
+        ), "close did not reach every node for every stream"
+
+    def test_backends_learn_bulk_streams_after_poll(self, shutdown_nets):
+        net = Network(balanced_tree(2, 2), colocate=True, policy=REPAIR)
+        shutdown_nets.append(net)
+        comm = net.get_broadcast_communicator()
+        streams = net.new_streams([comm, comm])  # bare-communicator form
+        want = {s.stream_id for s in streams}
+
+        def all_know():
+            for be in net.backends.values():
+                while be.poll():
+                    pass
+            return all(
+                want <= set(be.stream_ids) for be in net.backends.values()
+            )
+
+        assert wait_until(all_know, net=net, poll=False, timeout=5.0)
+        # The handles are live: a back-end can send unprompted.
+        be = net.backends[0]
+        be.get_stream(streams[0].stream_id)
+
+    def test_bulk_streams_survive_membership_churn(self, shutdown_nets):
+        """A stream created in bulk but never touched must still see
+        the post-churn membership when it finally materializes."""
+        net = Network(balanced_tree(2, 2), colocate=True, policy=REPAIR)
+        shutdown_nets.append(net)
+        comm = net.get_broadcast_communicator()
+        lazy, eager = net.new_streams(
+            [(comm, {"transform": TFILTER_SUM}) for _ in range(2)]
+        )
+        assert drive_wave(net, eager, WAVE_TIMEOUT).values == (4,)
+
+        net.backends[3].leave()
+        waves_until_sum(net, eager, 3, allowed={3, 4})
+
+        # First wave on the lazy stream: materializes against the
+        # SHRUNK membership, so it completes with three members.
+        assert drive_wave(net, lazy, WAVE_TIMEOUT).values == (3,)
+
+    def test_new_streams_validation(self, shutdown_nets):
+        net = Network(balanced_tree(2, 2), colocate=True)
+        shutdown_nets.append(net)
+        comm = net.get_broadcast_communicator()
+        with pytest.raises(NetworkError, match="unknown stream option"):
+            net.new_streams([(comm, {"bogus": 1})])
+        with pytest.raises(NetworkError, match="transformation filter"):
+            net.new_streams([(comm, {"transform": 424242})])
+        # A failed batch creates nothing.
+        assert net.new_streams([]) == []
+
+
+class TestCachedRoutesUnderChurn:
+    def test_cached_routes_match_uncached_at_every_core(self, shutdown_nets):
+        """Live-network version of the cache-transparency invariant:
+        after every membership event, every internal node's cached
+        ``links_for`` must equal the uncached intersection scan."""
+        net = Network(balanced_tree(2, 2), colocate=True, policy=REPAIR)
+        shutdown_nets.append(net)
+        stream = net.new_stream(
+            net.get_broadcast_communicator(), transform=TFILTER_SUM
+        )
+
+        def assert_caches_transparent():
+            for core in internal_cores(net):
+                rt = core.routing
+                for eps in (
+                    frozenset(rt.all_ranks()),
+                    frozenset({0}),
+                    frozenset({0, 99}),
+                ):
+                    assert rt.links_for(eps) == rt._compute_links(eps), (
+                        f"cache diverged at {core.name} epoch {rt.epoch}"
+                    )
+
+        assert drive_wave(net, stream, WAVE_TIMEOUT).values == (4,)
+        assert_caches_transparent()
+
+        net.attach_backend()
+        waves_until_sum(net, stream, 5, allowed={4, 5})
+        assert_caches_transparent()
+
+        net.backends[0].leave()
+        waves_until_sum(net, stream, 4, allowed={4, 5})
+        assert_caches_transparent()
+
+
+class TestRebalance:
+    def test_moves_backend_off_the_hot_node(self, shutdown_nets):
+        net = Network(balanced_tree(2, 2), colocate=True, policy=REPAIR)
+        shutdown_nets.append(net)
+        stream = net.new_stream(
+            net.get_broadcast_communicator(), transform=TFILTER_SUM
+        )
+        assert drive_wave(net, stream, WAVE_TIMEOUT).values == (4,)
+
+        # Force a synthetic hot spot on a comm node that actually
+        # parents back-ends (depth-1 nodes here).
+        parent_keys = {
+            m.parent_key for m in net._recovery.members("backend")
+        }
+        hot_key = sorted(parent_keys)[0]
+        hot_core = net._recovery.member(hot_key).core
+
+        moves = net.rebalance(
+            load_fn=lambda core: 1000.0 if core is hot_core else 0.0
+        )
+        assert len(moves) == 1
+        (move,) = moves
+        assert move["from"] == hot_key
+        assert move["to"] != hot_key
+        rank = move["rank"]
+        # The returned handle replaces the detached one.
+        assert net.backends[rank] is move["backend"]
+        assert move["backend"].connected
+
+        # Waves keep flowing over the full membership; the re-joined
+        # rank re-enters at a wave-epoch boundary, so a transitional
+        # 3-sum is legal but it must settle back to 4.
+        waves_until_sum(net, stream, 4, allowed={3, 4})
+        recovery = net.stats()["recovery"]
+        assert recovery["members_left"] >= 1
+        assert recovery["members_joined"] >= 1
+        assert recovery["nodes_failed"] == 0
+
+    def test_balanced_tree_is_left_alone(self, shutdown_nets):
+        net = Network(balanced_tree(2, 2), colocate=True, policy=REPAIR)
+        shutdown_nets.append(net)
+        # Uniform load: the hottest candidate is no hotter than the
+        # best alternative, so the actuator never fires.
+        assert net.rebalance(load_fn=lambda core: 1.0) == []
+        assert sorted(net.backends) == [0, 1, 2, 3]
+
+    def test_requires_thread_hosted_transport(self, shutdown_nets):
+        net = Network(balanced_tree(2, 2), transport="process")
+        shutdown_nets.append(net)
+        with pytest.raises(NetworkError, match="process"):
+            net.rebalance()
+
+    def test_repeated_rebalance_converges(self, shutdown_nets):
+        """A standing hot spot is drained one back-end per move and
+        the loop stops when the node has nothing left to give."""
+        net = Network(balanced_tree(2, 2), colocate=True, policy=REPAIR)
+        shutdown_nets.append(net)
+        stream = net.new_stream(
+            net.get_broadcast_communicator(), transform=TFILTER_SUM
+        )
+        assert drive_wave(net, stream, WAVE_TIMEOUT).values == (4,)
+        hot_key = sorted(
+            {m.parent_key for m in net._recovery.members("backend")}
+        )[0]
+        hot_core = net._recovery.member(hot_key).core
+        moves = net.rebalance(
+            max_moves=5,
+            load_fn=lambda core: 1000.0 if core is hot_core else 0.0,
+        )
+        # Both of the hot node's back-ends moved away, then the
+        # candidate pool emptied and the loop stopped early.
+        assert 1 <= len(moves) <= 2
+        assert all(m["from"] == hot_key for m in moves)
+        waves_until_sum(net, stream, 4, allowed={2, 3, 4})

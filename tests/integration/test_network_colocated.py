@@ -86,26 +86,10 @@ class TestThreadCensus:
         finally:
             net.shutdown()
 
-    def test_legacy_threads_mode_deprecated_but_working(self):
-        before = set(threading.enumerate())
-        with pytest.warns(DeprecationWarning, match="io_mode='threads'"):
-            net = Network(balanced_tree(2, 2), io_mode="threads")
-        try:
-            fresh = new_threads(before)
-            # Local transport: still one driver thread per node (TCP
-            # would add reader threads — the census the event loop
-            # exists to avoid).
-            assert len(fresh) == len(net._commnodes) == 2
-            assert len(fresh) / len(net._commnodes) <= 2
-            result = run_wave(
-                net,
-                net.new_stream(
-                    net.get_broadcast_communicator(), transform=TFILTER_SUM
-                ),
-            )
-            assert result.values == (2 * len(net.backends),)
-        finally:
-            net.shutdown()
+    def test_legacy_threads_mode_removed(self):
+        # Deprecated in PR 7, removed one release later as promised.
+        with pytest.raises(NetworkError, match="io_mode"):
+            Network(balanced_tree(2, 2), io_mode="threads")
 
     def test_colocated_with_workers_census(self):
         before = set(threading.enumerate())
@@ -122,8 +106,8 @@ class TestThreadCensus:
 
 
 class TestColocationValidation:
-    def test_requires_eventloop(self):
-        with pytest.raises(NetworkError, match="colocate"):
+    def test_rejects_unknown_io_mode(self):
+        with pytest.raises(NetworkError, match="io_mode"):
             Network(balanced_tree(2, 2), colocate=True, io_mode="threads")
 
     def test_rejects_tcp(self):

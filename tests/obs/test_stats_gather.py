@@ -33,7 +33,7 @@ def _new_sum_stream(net):
 
 
 class TestStatsKeys:
-    def test_uniform_rank_keys_and_deprecated_aliases(self, shutdown_nets):
+    def test_uniform_rank_keys_without_deprecated_aliases(self, shutdown_nets):
         net = Network(TOPO, transport="local")
         shutdown_nets.append(net)
         s = net.stats()
@@ -42,12 +42,12 @@ class TestStatsKeys:
         assert "0:front-end" in keys
         assert len(keys) == 3  # front-end + two comm nodes
 
-        # Every process is also reachable under its bare (pre-PR-4)
-        # label, aliasing the *same* dict for one deprecation release.
-        assert s["front-end"] is s["0:front-end"]
+        # The bare-label aliases deprecated in PR 4 were removed one
+        # release later: processes appear ONLY under rank:hostname.
+        assert "front-end" not in s
         for identity in keys:
             bare = identity.split(":", 1)[1]
-            assert s[bare] is s[identity]
+            assert bare not in s
 
     def test_meta_block(self, shutdown_nets):
         net = Network(TOPO, transport="local")
